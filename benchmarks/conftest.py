@@ -1,0 +1,57 @@
+"""Shared worlds for the benchmark/reproduction harness.
+
+Each benchmark file regenerates one of the paper's tables or figures.
+The expensive artifacts — the seven-month study simulation, the simulated
+Internet, its full scan, and the honey-probe campaign — are built once
+per session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.volume import descaled_volume_report
+from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
+from repro.experiment import ExperimentConfig, StudyRunner
+from repro.honey import HoneyCampaign
+from repro.util import SeededRng
+
+#: One canonical configuration for every headline number.
+STUDY_CONFIG = ExperimentConfig(seed=2016, spam_scale=2e-4)
+INTERNET_CONFIG = InternetConfig(num_filler_targets=60)
+WORLD_SEED = 20161105  # the paper's Alexa snapshot date
+
+
+@pytest.fixture(scope="session")
+def study_results():
+    return StudyRunner(STUDY_CONFIG).run()
+
+
+@pytest.fixture(scope="session")
+def study_volume_report(study_results):
+    smtp_domains = [d.domain for d in study_results.corpus.by_purpose("smtp")]
+    return descaled_volume_report(
+        study_results.records, study_results.window,
+        STUDY_CONFIG.ham_scale, STUDY_CONFIG.spam_scale, smtp_domains)
+
+
+@pytest.fixture(scope="session")
+def internet():
+    return build_internet(SeededRng(WORLD_SEED, name="world"),
+                          INTERNET_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def ecosystem_scan(internet):
+    return EcosystemScanner(internet).scan()
+
+
+@pytest.fixture(scope="session")
+def honey_campaign(internet):
+    return HoneyCampaign(internet, SeededRng(WORLD_SEED, name="honey"))
+
+
+@pytest.fixture(scope="session")
+def probe_result(honey_campaign, ecosystem_scan):
+    targets = honey_campaign.probe_targets_from_scan(ecosystem_scan)
+    return honey_campaign.run_probe_campaign(targets)

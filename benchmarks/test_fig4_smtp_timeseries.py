@@ -1,0 +1,38 @@
+"""Figure 4 — daily SMTP-typo email counts.
+
+Shape to reproduce: unlike the near-constant receiver stream, genuine
+SMTP-typo traffic is sparse and bursty — users rarely misconfigure a mail
+client, and fix it quickly when they do — while spam again dominates the
+raw counts.
+"""
+
+from repro.analysis import daily_series
+
+
+def test_fig4_smtp_timeseries(benchmark, study_results):
+    series = benchmark(daily_series, study_results.records, "smtp",
+                       study_results.window)
+    receiver = daily_series(study_results.records, "receiver",
+                            study_results.window)
+
+    real = series.categories["real_typos"]
+    print("\nFigure 4 — daily SMTP-candidate emails")
+    print(f"genuine SMTP-typo days active: {series.active_days('real_typos')}"
+          f" / {study_results.window.effective_days} collecting days")
+    print(f"totals: spam={series.total('spam_filtered')} "
+          f"filtered={series.total('reflection_and_frequency_filtered')} "
+          f"real={series.total('real_typos')}")
+
+    # spam dominates the SMTP stream even more than the receiver stream
+    assert series.total("spam_filtered") > 3 * series.total("real_typos")
+    # bursty: the busiest day carries an outsized share of genuine traffic
+    busiest = max(real)
+    total_real = sum(real)
+    assert total_real > 0
+    assert busiest >= 3  # batches, not a one-per-day trickle
+    # sparser than the receiver stream
+    assert series.active_days("real_typos") < \
+        receiver.active_days("real_typos")
+    # the outage hole exists here too
+    for day in study_results.window.outage_days:
+        assert real[day] == 0

@@ -1,0 +1,34 @@
+"""Figure 5 — cumulative receiver-typo share across provider typo domains.
+
+Paper's shape: of the 27 receiver-typo domains targeting email providers,
+two received the majority of all receiver typos and twelve received 99% —
+typo-domain quality varies by orders of magnitude, driven by target
+popularity and visual distance.
+"""
+
+from repro.analysis import figure5_curve
+
+
+def test_fig5_cumulative_domains(benchmark, study_results):
+    table = benchmark(figure5_curve, study_results.records,
+                      study_results.corpus)
+
+    print(f"\nFigure 5 — cumulative receiver typos over {len(table.entries)} "
+          f"provider typo domains ({table.total} emails)")
+    shares = table.cumulative_shares()
+    for (domain, count), share in list(zip(table.entries, shares))[:15]:
+        print(f"{domain:18s} {count:6d}  cumulative {share:6.1%}")
+
+    assert table.total > 100
+    # a couple of domains take the majority
+    assert table.domains_for_share(0.5) <= 4
+    # ~99% concentrates well before the tail
+    assert table.domains_for_share(0.99) <= 0.7 * len(table.entries)
+    # the winner is a typo of a top-3 provider with low visual distance
+    top_domain, top_count = table.entries[0]
+    registered = study_results.corpus.lookup(top_domain)
+    assert registered.target in ("gmail.com", "outlook.com", "hotmail.com")
+    assert top_count > 5 * table.entries[len(table.entries) // 2][1]
+    # visual distance effect inside one target: outlo0k beats outmook
+    counts = dict(table.entries)
+    assert counts.get("outlo0k.com", 0) > counts.get("outmook.com", 0)

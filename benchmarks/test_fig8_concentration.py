@@ -1,0 +1,45 @@
+"""Figure 8 — cumulative typo domains by mail server and by registrant.
+
+Paper's shape: the top 11 SMTP server domains handle mail for over a
+third of typosquatting domains and 51 for the majority (<1% of servers
+cover >74%); among clusterable registrants, the top 14 own 20% of
+domains and a mere 2.3% of registrants own the majority, with a heavy
+singleton tail.
+"""
+
+from repro.ecosystem import (
+    cluster_registrants,
+    concentration_curve,
+    smallest_fraction_covering,
+    top_share,
+)
+
+
+def test_fig8_concentration(benchmark, internet, ecosystem_scan):
+    squat_domains = [w.domain for w in internet.squatting_domains()]
+    clusters = benchmark(cluster_registrants, internet.whois, squat_domains)
+
+    registrant_curve = concentration_curve([len(c) for c in clusters])
+    mx_counts = ecosystem_scan.mx_domain_counts()
+    mx_curve = concentration_curve(list(mx_counts.values()))
+
+    print("\nFigure 8 — concentration of typo domains")
+    print(f"registrant clusters: {registrant_curve.entities} "
+          f"(top sizes {list(registrant_curve.entity_counts[:6])})")
+    print(f"  top-14 registrants own {top_share(registrant_curve, 14):.1%}")
+    print(f"  fraction of registrants owning the majority: "
+          f"{smallest_fraction_covering(registrant_curve, 0.5):.2%}")
+    print(f"mail servers: {mx_curve.entities} "
+          f"(top sizes {list(mx_curve.entity_counts[:6])})")
+    print(f"  top-11 servers serve {top_share(mx_curve, 11):.1%}")
+    print(f"  fraction of servers covering 74%: "
+          f"{smallest_fraction_covering(mx_curve, 0.74):.2%}")
+
+    # registrants: few own much, most own one
+    assert top_share(registrant_curve, 14) > 0.15          # paper: 20%
+    assert smallest_fraction_covering(registrant_curve, 0.5) < 0.10
+    singleton_clusters = sum(1 for c in clusters if len(c) == 1)
+    assert singleton_clusters > 0.5 * len(clusters)        # heavy tail
+    # mail servers: extreme concentration
+    assert top_share(mx_curve, 11) > 0.33                  # paper: >1/3
+    assert smallest_fraction_covering(mx_curve, 0.74) < 0.05

@@ -1,0 +1,44 @@
+"""Figure 9 — relative popularity of typo domains per mistake type.
+
+Paper's shape (Alexa estimates over typos of the top-40 targets, MAD
+outliers removed): deletion and transposition mistakes are significantly
+more popular than addition and substitution — roughly an order of
+magnitude on the log axis — with non-overlapping confidence intervals.
+This is what justifies the projection's typo-type adjustment.
+"""
+
+from repro.extrapolate import popularity_by_edit_type, edit_type_scale_factors
+from repro.util import SeededRng
+
+
+def test_fig9_typo_popularity(benchmark, internet):
+    popularity = benchmark(popularity_by_edit_type, internet,
+                           SeededRng(909))
+
+    print("\nFigure 9 — relative popularity by mistake type")
+    print(f"{'type':15s} {'mean':>7s} {'95% CI':>17s} {'n':>6s}")
+    for edit_type, entry in popularity.items():
+        print(f"{edit_type:15s} {entry.mean:7.3f} "
+              f"[{entry.ci_low:6.3f}, {entry.ci_high:6.3f}] "
+              f"{entry.sample_count:6d}")
+    factors = edit_type_scale_factors(popularity)
+    print("projection scale factors:", {k: round(v, 2)
+                                        for k, v in factors.items()})
+
+    deletion = popularity["deletion"]
+    transposition = popularity["transposition"]
+    addition = popularity["addition"]
+    substitution = popularity["substitution"]
+
+    # deletion/transposition significantly above addition/substitution:
+    # CIs must separate
+    assert deletion.ci_low > addition.ci_high
+    assert transposition.ci_low > addition.ci_high
+    assert deletion.ci_low > substitution.ci_high
+    # meaningful magnitude: several-fold difference
+    assert deletion.mean > 2 * addition.mean
+    # the derived adjustment factors follow
+    assert factors["deletion"] > 1.5
+    assert factors["transposition"] > 1.5
+    assert factors["addition"] == 1.0
+    assert factors["substitution"] == 1.0

@@ -1,0 +1,54 @@
+"""§7.2 headline — the honey-token experiments' negative result.
+
+Paper's numbers::
+
+    probes: 1,170 public + 6,099 private acceptances out of 50,995 domains
+    pilot (738 domains, <=4 per registrant): zero signals
+    full run (4 designs x 7,269 accepting domains): 15 emails read,
+        2 honey tokens accessed, multi-hour human lags, repeat accesses
+        from different cities
+
+Shape: squatters accept honey mail en masse but essentially never read or
+act on it — "the threat, for now, appears to remain theoretical".
+"""
+
+
+def test_headline_honey(benchmark, honey_campaign, probe_result):
+    accepting = probe_result.accepting_domains
+
+    pilot_domains = honey_campaign.select_pilot_domains(
+        accepting, max_per_registrant=4, pilot_size=738)
+    pilot = honey_campaign.run_token_campaign(
+        pilot_domains, designs=["email_credentials"])
+
+    full = benchmark.pedantic(
+        honey_campaign.run_token_campaign, args=(accepting,),
+        iterations=1, rounds=1)
+
+    print("\n§7.2 honey-token results")
+    print(f"accepting domains: {len(accepting)} "
+          f"of {probe_result.domains_probed} probed")
+    print(f"pilot: {pilot.emails_sent} sent, {pilot.emails_accepted} "
+          f"accepted, {len(pilot.domains_read)} read")
+    print(f"full: {full.emails_sent} sent, {full.emails_accepted} accepted,"
+          f" {full.emails_opened} opened")
+    print(f"domains with reads: {len(full.domains_read)}, with token/"
+          f"credential access: {len(full.domains_acted)}")
+    for domain in full.domains_acted:
+        lag_hours = full.monitor.first_access_lag(domain) / 3600.0
+        locations = full.monitor.access_locations(domain)
+        print(f"  {domain}: first access after {lag_hours:.1f}h "
+              f"from {locations}")
+
+    # mass acceptance...
+    assert full.emails_accepted > 0.5 * full.emails_sent
+    # ...but reads are the rare exception (paper: 15 of ~29k)
+    assert full.emails_opened < 0.03 * full.emails_accepted
+    # ...and acting on bait rarer still (paper: 2)
+    assert len(full.domains_acted) <= max(6, len(full.domains_read))
+    assert len(full.domains_acted) >= 1
+    # the conservative pilot sees essentially nothing (paper: zero)
+    assert len(pilot.domains_read) <= 3
+    # human fingerprints: hours-scale lag on every access
+    for domain in full.domains_read:
+        assert full.monitor.first_access_lag(domain) > 1800

@@ -1,0 +1,55 @@
+"""§4.4.1 headline volumes — the study's yearly projections.
+
+Paper's numbers::
+
+    total received              118,894,960 / year
+    receiver/reflection cand.    16,233,730 / year
+    SMTP candidates             102,661,230 / year
+    passed all filters                7,260 / year
+    corrected genuine typos           6,041 / year
+    SMTP typo band                415 - 5,970 / year
+    receiver typos at SMTP domains     ~700 / year
+
+All of these are regenerated from the simulated seven-month run, scale-
+corrected back to real-world volume.
+"""
+
+from repro.analysis import smtp_persistence
+
+
+def test_headline_volumes(benchmark, study_results, study_volume_report):
+    report = study_volume_report
+    benchmark(study_results.per_domain_yearly_true_typos)
+
+    print("\n§4.4.1 headline volumes (yearly, scale-corrected)")
+    print(f"total received:               {report.total_received:15,.0f}")
+    print(f"receiver/reflection cand.:    {report.receiver_candidates:15,.0f}")
+    print(f"SMTP candidates:              {report.smtp_candidates:15,.0f}")
+    print(f"genuine passed all filters:   {report.passed_all_filters:15,.0f}")
+    print(f"genuine receiver+reflection:  {report.true_receiver_reflection:15,.0f}")
+    low, high = report.smtp_typo_range()
+    print(f"SMTP typo band:               {low:10,.0f} - {high:,.0f}")
+    print(f"receiver typos @ SMTP domains:{report.receiver_typos_at_smtp_domains:15,.0f}")
+    print(f"raw survivors: {report.raw_survivors_total} "
+          f"({report.survivor_spam_fraction:.0%} residual spam; paper's "
+          "manual sample: 20%)")
+
+    # order-of-magnitude agreement with the paper's projections
+    assert 5e7 < report.total_received < 2.5e8          # ~118.9M
+    assert 5e6 < report.receiver_candidates < 5e7       # ~16.2M
+    assert 5e7 < report.smtp_candidates < 2e8           # ~102.7M
+    assert report.smtp_candidates > 3 * report.receiver_candidates
+    assert 2_000 < report.passed_all_filters < 20_000   # ~7,260
+    assert 2_000 < report.true_receiver_reflection < 20_000  # ~6,041
+    assert 50 < low < 2_000                             # ~415
+    assert high < 20_000                                # ~5,970
+    assert 100 < report.receiver_typos_at_smtp_domains < 3_000  # ~700
+
+    # the SMTP persistence distribution backing §4.4.2
+    stats = smtp_persistence(study_results.records,
+                             include_frequency_filtered=True)
+    print(f"SMTP persistence: {stats.single_email_fraction:.0%} single, "
+          f"{stats.under_one_day_fraction:.0%} <1d, "
+          f"{stats.under_one_week_fraction:.0%} <1w, "
+          f"max {stats.max_persistence_days:.0f}d")
+    assert stats.matches_paper_shape()

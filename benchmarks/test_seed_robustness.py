@@ -1,0 +1,40 @@
+"""Robustness — headline numbers across independent world seeds.
+
+Not a paper table: the reproduction's error bars.  One simulated seven
+months is a single draw; this sweep reruns the study under several seeds
+and checks that the shape claims quoted in EXPERIMENTS.md are properties
+of the generative world, not of one lucky draw.
+"""
+
+from repro.experiment import ExperimentConfig, run_seed_sweep
+
+SEEDS = (11, 22, 33)
+CONFIG = ExperimentConfig(spam_scale=2e-5)
+
+
+def test_seed_robustness(benchmark):
+    summary = benchmark.pedantic(run_seed_sweep, args=(SEEDS,),
+                                 kwargs={"base_config": CONFIG},
+                                 iterations=1, rounds=1)
+
+    print(f"\nheadline robustness across seeds {SEEDS}")
+    print(f"{'headline':34s} {'mean':>14s} {'rel. wobble':>12s}")
+    for name, distribution in summary.headlines.items():
+        print(f"{name:34s} {distribution.mean:14,.0f} "
+              f"{distribution.relative_half_width:12.1%}")
+    print(f"funnel accuracy: >= {min(summary.funnel_accuracies):.1%}")
+
+    # the calibrated quantities are stable across draws
+    assert summary.stable("true_receiver_reflection", tolerance=0.5)
+    assert summary.stable("passed_all_filters", tolerance=0.5)
+    # every seed preserves the headline orderings
+    for total, receiver, smtp in zip(
+            summary.headlines["total_received"].values,
+            summary.headlines["receiver_candidates"].values,
+            summary.headlines["smtp_candidates"].values):
+        assert smtp > receiver            # SMTP candidates dominate
+        assert total > 5e7                # order of the paper's 119M
+    for passed in summary.headlines["passed_all_filters"].values:
+        assert 2_000 < passed < 20_000    # thousands, not millions
+    # the funnel's agreement with ground truth is not seed luck
+    assert min(summary.funnel_accuracies) > 0.9

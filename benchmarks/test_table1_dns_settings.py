@@ -1,0 +1,29 @@
+"""Table 1 — DNS settings for a typo collection domain.
+
+Paper's layout::
+
+    FQDN             TTL  TYPE  priority  record
+    *.exampel.com.   300  MX    1         exampel.com.
+    exampel.com.     300  MX    1         exampel.com.
+    *.exampel.com.   300  A     NA        1.1.1.1
+    exampel.com.     300  A     NA        1.1.1.1
+"""
+
+from repro.dnssim import RecordType, collection_zone
+
+
+def test_table1_dns_settings(benchmark):
+    zone = benchmark(collection_zone, "exampel.com", "1.1.1.1")
+
+    print("\nTable 1 — DNS settings for an example typo domain")
+    print(zone.zone_file())
+
+    # the four paper rows, exactly
+    assert len(zone) == 4
+    mx_names = {r.name for r in zone.records if r.rtype is RecordType.MX}
+    a_names = {r.name for r in zone.records if r.rtype is RecordType.A}
+    assert mx_names == {"*.exampel.com", "exampel.com"}
+    assert a_names == {"*.exampel.com", "exampel.com"}
+    assert all(r.ttl == 300 for r in zone.records)
+    assert zone.mx_hosts("deep.sub.exampel.com") == ["exampel.com"]
+    assert zone.a_addresses("deep.sub.exampel.com") == ["1.1.1.1"]

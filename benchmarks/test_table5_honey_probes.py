@@ -1,0 +1,45 @@
+"""Table 5 — honey-probe outcomes by WHOIS registration type.
+
+Paper's values (50,995 domains probed)::
+
+                   Public reg.  Private reg.
+    No error        1,170        6,099
+    Bounce          1,567        1,160
+    Timeout        17,923        6,976
+    Network Error   7,901        6,584
+    Other error        93        1,522
+
+Shape: errors dominate, privately-registered domains accept far more
+often than public ones, bounces skew public.
+"""
+
+
+def test_table5_honey_probes(benchmark, honey_campaign, ecosystem_scan,
+                             probe_result):
+    # benchmark a small fresh probe wave; the session-wide campaign
+    # supplies the full table
+    targets = honey_campaign.probe_targets_from_scan(ecosystem_scan)[:40]
+    benchmark(honey_campaign.run_probe_campaign, targets)
+
+    table = probe_result.table
+    print(f"\nTable 5 — probe outcomes over {probe_result.domains_probed} "
+          "domains")
+    print(f"{'outcome':15s} {'public':>8s} {'private':>8s}")
+    for outcome, public, private in table.rows():
+        print(f"{outcome:15s} {public:8d} {private:8d}")
+    print(f"{'total':15s} {table.total(False):8d} {table.total(True):8d}")
+
+    # private registrations accept much more often
+    assert table.private["no_error"] > 1.3 * table.public["no_error"]
+    # bounces skew public (legitimate look-alikes reject unknown users)
+    assert table.public["bounce"] > table.private["bounce"]
+    # errors dominate the public column
+    public_errors = (table.public["timeout"] + table.public["network_error"]
+                     + table.public["bounce"] + table.public["other_error"])
+    assert public_errors > 2 * table.public["no_error"]
+    # timeouts are the single largest failure mode overall (paper: 24,899)
+    total_by_outcome = {outcome: table.public[outcome] + table.private[outcome]
+                        for outcome, _, _ in table.rows()}
+    worst_failure = max((k for k in total_by_outcome if k != "no_error"),
+                        key=total_by_outcome.get)
+    assert worst_failure == "timeout"

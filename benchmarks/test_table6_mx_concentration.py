@@ -1,0 +1,49 @@
+"""Table 6 — mail-exchanger concentration among accepting domains.
+
+Paper's values::
+
+    MX domain           Total   %     CDF    Private?
+    b-io.co             3,171   43.6  43.6   Yes
+    h-email.net         1,344   18.5  62.1   Yes
+    mb5p.com              732   10.1  72.2   Yes
+    m1bp.com              635    8.7  80.9   Yes
+    mb1p.com              558    7.7  88.6   Yes
+    hostedmxserver.com    225    3.1  91.7   Yes
+    hope-mail.com         176    2.4  94.1   Yes
+    m2bp.com               94    1.3  95.4   Yes
+    google.com             61    0.8  96.2   No
+    googlemail.com         34    0.5  96.7   No
+
+Shape: ~95% of everything that accepted honey mail funnels into eight
+privately-registered mail-server domains.
+"""
+
+from repro.ecosystem import SQUATTER_MX_POOL
+
+
+def test_table6_mx_concentration(benchmark, probe_result, internet):
+    rows = benchmark(probe_result.mx_table)
+
+    print(f"\nTable 6 — MX domains of {len(probe_result.accepting_domains)} "
+          "accepting domains")
+    print(f"{'MX domain':22s} {'total':>6s} {'%':>6s} {'CDF':>6s}  private?")
+    cdf = 0.0
+    for host, count, percent in rows[:10]:
+        cdf += percent
+        record = internet.whois.lookup(host)
+        private = "yes" if record is not None and record.is_private else "no"
+        print(f"{host:22s} {count:6d} {percent:6.1f} {cdf:6.1f}  {private}")
+
+    pool_hosts = {host for host, _, _ in SQUATTER_MX_POOL}
+    top8 = rows[:8]
+    top8_share = sum(percent for _, _, percent in top8)
+    # the dominant mail hosts are the squatter pool, and they are private
+    assert top8_share > 60.0                      # paper: 95.4%
+    overlap = pool_hosts & {host for host, _, _ in top8}
+    assert len(overlap) >= 5
+    for host in overlap:
+        record = internet.whois.lookup(host)
+        assert record is not None and record.is_private
+    # the single biggest host carries a disproportionate share
+    assert rows[0][2] > 15.0                      # paper: 43.6%
+    assert rows[0][0] in pool_hosts

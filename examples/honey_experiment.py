@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Play the typosquatting victim (paper Section 7).
+
+Sends benign probe emails to every wild typo domain that shows SMTP
+life, tabulates acceptance by WHOIS registration type (Table 5) and the
+mail-exchanger concentration of the accepters (Table 6), then runs the
+honey-token experiment: four bait designs — provider credentials, shell
+credentials, a monitored document link, a phoning-home DOCX — to every
+accepting domain, watching for reads and credential abuse.
+
+Run:  python examples/honey_experiment.py
+"""
+
+from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
+from repro.honey import HoneyCampaign
+from repro.util import SeededRng
+
+
+def main() -> None:
+    rng = SeededRng(20170515, name="honey-example")
+    print("building the world and scanning for candidate domains...")
+    internet = build_internet(rng.child("internet"),
+                              InternetConfig(num_filler_targets=60))
+    scan = EcosystemScanner(internet).scan()
+
+    campaign = HoneyCampaign(internet, rng.child("campaign"))
+    targets = campaign.probe_targets_from_scan(scan)
+    print(f"probing {len(targets)} domains with benign test emails "
+          "(ports 25/465/587)...")
+    probe = campaign.run_probe_campaign(targets)
+
+    print("\nTable 5 — probe outcomes:")
+    print(f"  {'outcome':15s} {'public':>8s} {'private':>8s}")
+    for outcome, public, private in probe.table.rows():
+        print(f"  {outcome:15s} {public:8d} {private:8d}")
+
+    print(f"\n{len(probe.accepting_domains)} domains accepted; their mail "
+          "funnels into few hosts (Table 6):")
+    for host, count, percent in probe.mx_table()[:8]:
+        print(f"  {host:22s} {count:5d}  {percent:5.1f}%")
+
+    pilot_domains = campaign.select_pilot_domains(probe.accepting_domains)
+    print(f"\npilot: one honey email to {len(pilot_domains)} domains "
+          "(max 4 per registrant)...")
+    pilot = campaign.run_token_campaign(pilot_domains,
+                                        designs=["email_credentials"])
+    print(f"  accepted {pilot.emails_accepted}, demonstrably read: "
+          f"{len(pilot.domains_read)}")
+
+    print(f"\nfull run: 4 designs x {len(probe.accepting_domains)} "
+          "accepting domains...")
+    full = campaign.run_token_campaign(probe.accepting_domains)
+    print(f"  sent {full.emails_sent}, accepted {full.emails_accepted}, "
+          f"opened {full.emails_opened}")
+    print(f"  domains with reads: {len(full.domains_read)}; with bait "
+          f"access: {len(full.domains_acted)}")
+    for domain in full.domains_acted:
+        lag = full.monitor.first_access_lag(domain) / 3600.0
+        locations = full.monitor.access_locations(domain)
+        print(f"    {domain}: first access {lag:.1f}h after sending, "
+              f"from {', '.join(dict.fromkeys(locations))}")
+
+    print("\nconclusion (the paper's): collection is industrial, reading "
+          "is the rare exception — the threat remains theoretical.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Username typosquatting — the study the paper couldn't run (§8).
+
+"aliec@gmail.com might receive a lot of email meant for alice@gmail.com.
+However, without the collaboration of the email service provider, doing
+an analysis of username typosquatting is impossible."
+
+Here we *are* the provider: simulate a user base, find real accounts one
+typo apart, estimate the intra-provider misdirected volume with the same
+typing model as the domain study, and take the attacker's view — which
+typo usernames of busy accounts are still free to register?
+
+Run:  python examples/username_squatting.py
+"""
+
+from repro.defenses import (
+    ProviderUserBase,
+    estimate_misdirected_volume,
+    find_collisions,
+    squattable_usernames,
+)
+from repro.util import SeededRng
+
+
+def main() -> None:
+    print("simulating a provider with 20,000 mailboxes...")
+    base = ProviderUserBase.generate(SeededRng(1701), "bigmail.example",
+                                     size=20_000)
+    total_inbound = sum(u.yearly_inbound for u in base.users)
+    print(f"  total inbound volume: {total_inbound:,.0f} emails/yr")
+
+    collisions = find_collisions(base)
+    pairs = {tuple(sorted(c.pair)) for c in collisions}
+    print(f"\n{len(pairs)} unordered account pairs sit one typo apart")
+    for collision in collisions[:5]:
+        print(f"  {collision.intended.username!r} -> "
+              f"{collision.neighbour.username!r} "
+              f"({collision.edit_type}, visual {collision.visual:.2f})")
+
+    volume = estimate_misdirected_volume(collisions)
+    print(f"\nestimated intra-provider misdirected mail: "
+          f"{volume:,.0f} emails/yr "
+          f"({volume / total_inbound:.4%} of all inbound)")
+
+    print("\nthe attacker's view — free typo usernames of busy accounts:")
+    for name, expected in squattable_usernames(base, top_n=8):
+        print(f"  register {name!r}: ~{expected:,.0f} captured emails/yr, "
+              "at zero registration cost")
+
+    print("\nunlike domains, usernames cost nothing — providers can close "
+          "this with\nregistration-time typo distance checks against "
+          "high-traffic accounts.")
+
+
+if __name__ == "__main__":
+    main()

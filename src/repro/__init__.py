@@ -1,0 +1,48 @@
+"""repro — a simulation-first reproduction of "Email Typosquatting"
+(Szurdi & Christin, IMC 2017).
+
+The package rebuilds the paper's entire measurement apparatus against a
+simulated Internet: typo generation and distance metrics (:mod:`repro.core`),
+DNS and SMTP substrates (:mod:`repro.dnssim`, :mod:`repro.smtpsim`), the
+collection infrastructure (:mod:`repro.infra`), the processing pipeline and
+five-layer spam funnel (:mod:`repro.pipeline`, :mod:`repro.spamfilter`),
+synthetic traffic and labelled corpora (:mod:`repro.workloads`), the wild
+ecosystem scan (:mod:`repro.ecosystem`), the volume projection
+(:mod:`repro.extrapolate`), the honey-email experiments (:mod:`repro.honey`),
+and the analyses behind every table and figure (:mod:`repro.analysis`,
+orchestrated by :mod:`repro.experiment`).
+
+Quickstart::
+
+    from repro import ExperimentConfig, StudyRunner
+
+    results = StudyRunner(ExperimentConfig(seed=2016)).run()
+    print(len(results.true_typo_records()), "true typo emails collected")
+"""
+
+from repro.core import (
+    TypoCandidate,
+    TypoGenerator,
+    build_study_corpus,
+    damerau_levenshtein,
+    fat_finger_distance,
+    visual_distance,
+)
+from repro.experiment import ExperimentConfig, StudyResults, StudyRunner
+from repro.util import SeededRng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SeededRng",
+    "damerau_levenshtein",
+    "fat_finger_distance",
+    "visual_distance",
+    "TypoGenerator",
+    "TypoCandidate",
+    "build_study_corpus",
+    "ExperimentConfig",
+    "StudyRunner",
+    "StudyResults",
+]

@@ -1,0 +1,61 @@
+"""Analyses over the collected corpus (paper Section 4.4)."""
+
+from repro.analysis.correlates import (
+    FeatureCorrelation,
+    volume_feature_correlations,
+    within_target_visual_effect,
+)
+from repro.analysis.funnel_report import (
+    FunnelLayerReport,
+    funnel_layer_report,
+)
+from repro.analysis.campaigns import (
+    CampaignReport,
+    SpamCampaignView,
+    reconstruct_campaigns,
+)
+from repro.analysis.attachments import (
+    MalwareLookupReport,
+    extension_histogram,
+    malware_lookup,
+)
+from repro.analysis.perdomain import (
+    DomainVolumeTable,
+    figure5_curve,
+    per_domain_typo_counts,
+)
+from repro.analysis.persistence import PersistenceStats, smtp_persistence
+from repro.analysis.records import CollectedRecord
+from repro.analysis.sensitive_heatmap import SensitiveHeatmap, sensitive_heatmap
+from repro.analysis.volume import (
+    DailySeries,
+    VolumeReport,
+    daily_series,
+    volume_report,
+)
+
+__all__ = [
+    "CollectedRecord",
+    "DailySeries",
+    "VolumeReport",
+    "daily_series",
+    "volume_report",
+    "DomainVolumeTable",
+    "per_domain_typo_counts",
+    "figure5_curve",
+    "PersistenceStats",
+    "smtp_persistence",
+    "extension_histogram",
+    "malware_lookup",
+    "MalwareLookupReport",
+    "SensitiveHeatmap",
+    "sensitive_heatmap",
+    "FeatureCorrelation",
+    "volume_feature_correlations",
+    "within_target_visual_effect",
+    "reconstruct_campaigns",
+    "CampaignReport",
+    "SpamCampaignView",
+    "funnel_layer_report",
+    "FunnelLayerReport",
+]

@@ -1,0 +1,77 @@
+"""Attachment analysis (paper §4.4.3, Figure 7 and the VirusTotal check).
+
+Two results: the extension histogram among *true typo* emails (Figure 7),
+which differs markedly from the spam mix (spam skews toward exploitable
+formats and archives), and the hash lookup against a malware database —
+in the paper, 304 of 323 VirusTotal-known hashes were malicious, and
+every email carrying one had already been classified as spam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.records import CollectedRecord
+from repro.spamfilter.funnel import Verdict
+
+__all__ = ["extension_histogram", "MalwareLookupReport", "malware_lookup"]
+
+
+def extension_histogram(records: Sequence[CollectedRecord],
+                        verdicts: Optional[Sequence[Verdict]] = None
+                        ) -> Dict[str, int]:
+    """Attachment-extension counts, optionally restricted by verdict.
+
+    ``verdicts=None`` counts everything; Figure 7 uses
+    ``[Verdict.TRUE_TYPO]``.
+    """
+    wanted = set(verdicts) if verdicts is not None else None
+    counts: Dict[str, int] = {}
+    for record in records:
+        if wanted is not None and record.verdict not in wanted:
+            continue
+        for extension in record.tokenized.attachment_extensions:
+            if extension:
+                counts[extension] = counts.get(extension, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class MalwareLookupReport:
+    """Result of looking up attachment hashes in a malware database."""
+
+    hashes_checked: int
+    hashes_known_malicious: int
+    malicious_emails_all_spam: bool   # the paper's key safety finding
+
+    @property
+    def malicious_fraction(self) -> float:
+        if self.hashes_checked == 0:
+            return 0.0
+        return self.hashes_known_malicious / self.hashes_checked
+
+
+def malware_lookup(records: Sequence[CollectedRecord],
+                   malware_database: Set[str]) -> MalwareLookupReport:
+    """Check every attachment hash against the (simulated) VT database.
+
+    Also verifies the paper's finding that every email carrying a known
+    malicious attachment was already classified as spam by the funnel.
+    """
+    seen: Set[str] = set()
+    malicious: Set[str] = set()
+    all_spam = True
+    for record in records:
+        for attachment in record.tokenized.attachments:
+            digest = attachment.sha256()
+            seen.add(digest)
+            if digest in malware_database:
+                malicious.add(digest)
+                if record.verdict is not Verdict.SPAM:
+                    all_spam = False
+    return MalwareLookupReport(
+        hashes_checked=len(seen),
+        hashes_known_malicious=len(malicious),
+        malicious_emails_all_spam=all_spam,
+    )

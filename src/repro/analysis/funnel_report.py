@@ -1,0 +1,75 @@
+"""Per-layer attribution: which funnel layer claimed how much mail.
+
+The paper describes the funnel qualitatively; operationally, the first
+question about any filtering cascade is *where the volume goes*.  This
+report cross-tabulates layer × candidate-kind over a classified corpus,
+giving the §4.3 funnel its missing operator dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.records import CollectedRecord
+from repro.spamfilter.funnel import Verdict
+
+__all__ = ["FunnelLayerReport", "funnel_layer_report"]
+
+_LAYER_LABELS = {
+    1: "L1 header sanity",
+    2: "L2 spamassassin",
+    3: "L3 collaborative",
+    4: "L4 reflection",
+    5: "L5 frequency",
+    None: "survived",
+}
+
+
+@dataclass
+class FunnelLayerReport:
+    """counts[(layer, kind)] over one classified corpus."""
+
+    counts: Dict[Tuple[Optional[int], str], int] = field(default_factory=dict)
+    total: int = 0
+
+    def claimed_by_layer(self, layer: Optional[int]) -> int:
+        """Emails (both kinds) claimed at ``layer`` (None = survivors)."""
+        return sum(count for (claimed_layer, _), count in self.counts.items()
+                   if claimed_layer == layer)
+
+    def survival_rate(self) -> float:
+        """Fraction of all mail that survived every layer."""
+        if self.total == 0:
+            return 0.0
+        return self.claimed_by_layer(None) / self.total
+
+    def cumulative_removal(self) -> List[Tuple[str, int, float]]:
+        """Funnel rows: (label, claimed, cumulative removed fraction)."""
+        out: List[Tuple[str, int, float]] = []
+        removed = 0
+        for layer in (1, 2, 3, 4, 5):
+            claimed = self.claimed_by_layer(layer)
+            removed += claimed
+            fraction = removed / self.total if self.total else 0.0
+            out.append((_LAYER_LABELS[layer], claimed, fraction))
+        out.append((_LAYER_LABELS[None], self.claimed_by_layer(None),
+                    removed / self.total if self.total else 0.0))
+        return out
+
+    def rows(self) -> List[Tuple[str, str, int]]:
+        """Sorted (layer label, kind, count) triples."""
+        return sorted(
+            (_LAYER_LABELS[layer], kind, count)
+            for (layer, kind), count in self.counts.items())
+
+
+def funnel_layer_report(records: Sequence[CollectedRecord]
+                        ) -> FunnelLayerReport:
+    """Tabulate which layer claimed each record, split by candidate kind."""
+    report = FunnelLayerReport()
+    for record in records:
+        key = (record.result.layer, record.result.kind)
+        report.counts[key] = report.counts.get(key, 0) + 1
+        report.total += 1
+    return report

@@ -1,0 +1,43 @@
+"""The unit of analysis: one collected, classified email."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.taxonomy import TypoEmailKind
+from repro.pipeline.processor import ProcessedEmail
+from repro.pipeline.tokenizer import TokenizedEmail
+from repro.spamfilter.funnel import FilterResult, Verdict
+
+__all__ = ["CollectedRecord"]
+
+
+@dataclass
+class CollectedRecord:
+    """One email as it sits in the study's dataset after classification.
+
+    ``study_domain`` is the researchers' attribution (recipient domain for
+    receiver candidates, VPS IP for SMTP candidates); ``true_kind`` is the
+    simulation's ground truth, which the paper never had — it is used
+    only to evaluate the funnel, mirroring the paper's manual sampling.
+    """
+
+    tokenized: TokenizedEmail
+    result: FilterResult
+    study_domain: Optional[str]
+    timestamp: float
+    true_kind: Optional[TypoEmailKind] = None
+    processed: Optional[ProcessedEmail] = None
+
+    @property
+    def day(self) -> int:
+        return int(self.timestamp // 86_400)
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.result.verdict
+
+    @property
+    def is_true_typo(self) -> bool:
+        return self.result.is_true_typo

@@ -1,0 +1,71 @@
+"""Sensitive-information heat map (paper §4.4.3, Figure 6).
+
+Cross-tabulates, over true typo emails only, the sensitive-information
+labels the scrubber found against the study domain that received them.
+The paper's stand-out cell: typos of a disposable-address provider
+(yopmail) collect usernames and passwords, because those addresses get
+used for throwaway registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.records import CollectedRecord
+
+__all__ = ["SensitiveHeatmap", "sensitive_heatmap"]
+
+
+@dataclass
+class SensitiveHeatmap:
+    """counts[(domain, label)] -> occurrences among true typos."""
+
+    counts: Dict[Tuple[str, str], int]
+
+    def domains(self) -> List[str]:
+        """Domains with at least one sensitive find."""
+        return sorted({domain for domain, _ in self.counts})
+
+    def labels(self) -> List[str]:
+        """Sensitive labels observed anywhere."""
+        return sorted({label for _, label in self.counts})
+
+    def get(self, domain: str, label: str) -> int:
+        """One heat-map cell."""
+        return self.counts.get((domain.lower(), label), 0)
+
+    def totals_by_label(self) -> Dict[str, int]:
+        """Column sums of the heat map."""
+        totals: Dict[str, int] = {}
+        for (_, label), count in self.counts.items():
+            totals[label] = totals.get(label, 0) + count
+        return totals
+
+    def totals_by_domain(self) -> Dict[str, int]:
+        """Row sums of the heat map."""
+        totals: Dict[str, int] = {}
+        for (domain, _), count in self.counts.items():
+            totals[domain] = totals.get(domain, 0) + count
+        return totals
+
+    def rows(self) -> List[Tuple[str, str, int]]:
+        """Sorted (domain, label, count) triples."""
+        return sorted((domain, label, count)
+                      for (domain, label), count in self.counts.items())
+
+
+def sensitive_heatmap(records: Sequence[CollectedRecord],
+                      true_typos_only: bool = True) -> SensitiveHeatmap:
+    """Cross-tabulate sensitive labels against receiving domains."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for record in records:
+        if true_typos_only and not record.is_true_typo:
+            continue
+        if record.processed is None or record.study_domain is None:
+            continue
+        domain = record.study_domain.lower()
+        for label, count in record.processed.sensitive_counts().items():
+            key = (domain, label)
+            counts[key] = counts.get(key, 0) + count
+    return SensitiveHeatmap(counts=counts)

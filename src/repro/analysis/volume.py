@@ -1,0 +1,195 @@
+"""Email volume analysis (paper §4.4.1, Figures 3 and 4).
+
+Everything is normalised to a full year via the paper's formula
+``y = x * 365 / d`` with ``d`` the effective collection days, and split
+three ways per figure: spam-filtered, reflection-and-frequency-filtered,
+and real email typos — separately for receiver candidates (Figure 3) and
+SMTP candidates (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.records import CollectedRecord
+from repro.spamfilter.funnel import Verdict
+from repro.util.simtime import CollectionWindow
+
+__all__ = ["DailySeries", "VolumeReport", "daily_series", "volume_report",
+           "descaled_volume_report"]
+
+FIGURE_CATEGORIES = ("spam_filtered", "reflection_and_frequency_filtered",
+                     "real_typos")
+
+
+@dataclass
+class DailySeries:
+    """Per-day counts for one figure (3 or 4)."""
+
+    kind: str  # receiver | smtp
+    days: List[int]
+    categories: Dict[str, List[int]]
+
+    def total(self, category: str) -> int:
+        """Sum of one category's daily series."""
+        return sum(self.categories[category])
+
+    def active_days(self, category: str) -> int:
+        """Number of days with at least one email in the category."""
+        return sum(1 for value in self.categories[category] if value > 0)
+
+
+def daily_series(records: Sequence[CollectedRecord], kind: str,
+                 window: CollectionWindow) -> DailySeries:
+    """Figure 3 (kind="receiver") or Figure 4 (kind="smtp") series."""
+    days = list(range(window.total_days))
+    categories = {name: [0] * window.total_days for name in FIGURE_CATEGORIES}
+    for record in records:
+        if record.result.kind != kind:
+            continue
+        if not 0 <= record.day < window.total_days:
+            continue
+        categories[record.verdict.figure_category][record.day] += 1
+    return DailySeries(kind=kind, days=days, categories=categories)
+
+
+@dataclass(frozen=True)
+class VolumeReport:
+    """The §4.4.1 headline numbers, projected to a year.
+
+    ``raw_survivors_total``/``raw_survivors_spam`` carry the unprojected
+    survivor composition: the paper's manual analysis of surviving emails
+    found ~20% residual spam, and corrected 7,260 "passed all filters"
+    down to 6,041 genuine typos — the same correction this pair allows.
+    """
+
+    total_received: float
+    receiver_candidates: float
+    smtp_candidates: float
+    passed_all_filters: float
+    true_receiver_reflection: float
+    smtp_true_unfiltered: float        # paper: 415/yr
+    smtp_frequency_filtered: float     # paper: 5,555/yr (ambiguous band)
+    receiver_typos_at_smtp_domains: float
+    raw_survivors_total: int = 0
+    raw_survivors_spam: int = 0
+
+    def smtp_typo_range(self) -> Tuple[float, float]:
+        """The paper's 415–5,970 emails/year band."""
+        return (self.smtp_true_unfiltered,
+                self.smtp_true_unfiltered + self.smtp_frequency_filtered)
+
+    @property
+    def survivor_spam_fraction(self) -> float:
+        """Fraction of surviving emails that are actually spam (~0.2 in
+        the paper's manual sample)."""
+        if self.raw_survivors_total == 0:
+            return 0.0
+        return self.raw_survivors_spam / self.raw_survivors_total
+
+
+def volume_report(records: Sequence[CollectedRecord],
+                  window: CollectionWindow,
+                  smtp_purpose_domains: Sequence[str] = ()) -> VolumeReport:
+    """The raw yearly projections over one run's records."""
+    smtp_purpose = {d.lower() for d in smtp_purpose_domains}
+    project = window.yearly_projection
+
+    total = len(records)
+    receiver_candidates = sum(1 for r in records if r.result.kind == "receiver")
+    smtp_candidates = total - receiver_candidates
+    passed = sum(1 for r in records if r.is_true_typo)
+    true_receiver = sum(1 for r in records
+                        if r.is_true_typo and r.result.kind == "receiver")
+    smtp_true = sum(1 for r in records
+                    if r.is_true_typo and r.result.kind == "smtp")
+    smtp_frequency = sum(
+        1 for r in records
+        if r.result.kind == "smtp" and r.verdict is Verdict.FREQUENCY_FILTERED)
+    receiver_at_smtp_domains = sum(
+        1 for r in records
+        if r.is_true_typo and r.result.kind == "receiver"
+        and (r.study_domain or "").lower() in smtp_purpose)
+
+    return VolumeReport(
+        total_received=project(total),
+        receiver_candidates=project(receiver_candidates),
+        smtp_candidates=project(smtp_candidates),
+        passed_all_filters=project(passed),
+        true_receiver_reflection=project(true_receiver),
+        smtp_true_unfiltered=project(smtp_true),
+        smtp_frequency_filtered=project(smtp_frequency),
+        receiver_typos_at_smtp_domains=project(receiver_at_smtp_domains),
+    )
+
+
+def descaled_volume_report(records: Sequence[CollectedRecord],
+                           window: CollectionWindow,
+                           ham_scale: float, spam_scale: float,
+                           smtp_purpose_domains: Sequence[str] = ()
+                           ) -> VolumeReport:
+    """Paper-comparable yearly volumes, correcting for simulation scales.
+
+    The simulation runs spam at ``spam_scale`` of real volume and typo
+    traffic at ``ham_scale``; each record's *candidate* contribution is
+    weighted by the inverse of its ground-truth stream's scale, which
+    reproduces the paper's 119M/16M/103M totals.
+
+    Survivor metrics (passed filters, true typos) are computed over
+    ground-truth-genuine records only: a single leaked spam email would
+    otherwise be inflated by ``1/spam_scale`` into hundreds of thousands
+    of phantom yearly survivors, an artifact of subsampling rather than
+    of the filtering.  The raw survivor composition — including the
+    residual leaked spam, which the paper estimated at ~20% by manual
+    analysis — is reported alongside.
+    """
+    from repro.core.taxonomy import TypoEmailKind
+
+    smtp_purpose = {d.lower() for d in smtp_purpose_domains}
+    project = window.yearly_projection
+
+    def candidate_weight(record: CollectedRecord) -> float:
+        if record.true_kind is TypoEmailKind.SPAM:
+            return 1.0 / spam_scale
+        return 1.0 / ham_scale
+
+    def genuine(record: CollectedRecord) -> bool:
+        return record.true_kind is not TypoEmailKind.SPAM
+
+    ham_weight = 1.0 / ham_scale
+    total = sum(candidate_weight(r) for r in records)
+    receiver_candidates = sum(candidate_weight(r) for r in records
+                              if r.result.kind == "receiver")
+    passed = sum(ham_weight for r in records
+                 if r.is_true_typo and genuine(r))
+    true_receiver = sum(ham_weight for r in records
+                        if r.is_true_typo and genuine(r)
+                        and r.result.kind == "receiver")
+    smtp_true = sum(ham_weight for r in records
+                    if r.is_true_typo and genuine(r)
+                    and r.result.kind == "smtp")
+    smtp_frequency = sum(
+        ham_weight for r in records
+        if r.result.kind == "smtp" and genuine(r)
+        and r.verdict is Verdict.FREQUENCY_FILTERED)
+    receiver_at_smtp = sum(
+        ham_weight for r in records
+        if r.is_true_typo and genuine(r) and r.result.kind == "receiver"
+        and (r.study_domain or "").lower() in smtp_purpose)
+
+    raw_survivors = [r for r in records if r.is_true_typo]
+    raw_spam = sum(1 for r in raw_survivors if not genuine(r))
+
+    return VolumeReport(
+        total_received=project(total),
+        receiver_candidates=project(receiver_candidates),
+        smtp_candidates=project(total - receiver_candidates),
+        passed_all_filters=project(passed),
+        true_receiver_reflection=project(true_receiver),
+        smtp_true_unfiltered=project(smtp_true),
+        smtp_frequency_filtered=project(smtp_frequency),
+        receiver_typos_at_smtp_domains=project(receiver_at_smtp),
+        raw_survivors_total=len(raw_survivors),
+        raw_survivors_spam=raw_spam,
+    )

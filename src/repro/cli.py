@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``study``    — run the seven-month collection simulation (§4)
+* ``scan``     — scan the wild ecosystem (§5, Table 4/Figure 8)
+* ``honey``    — the honey-probe and honey-token experiments (§7)
+* ``project``  — the regression projection (§6)
+* ``typos``    — enumerate DL-1 typo candidates of a domain, with features
+* ``check``    — the §8 defense: is this address a likely typo?
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Email Typosquatting' (IMC 2017)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="root RNG seed (default: 2016)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser("study", help="run the collection study")
+    study.add_argument("--spam-scale", type=float, default=1e-4,
+                       help="spam subsampling scale (default: 1e-4)")
+    study.add_argument("--no-outage", action="store_true",
+                       help="disable the two-month collection outage")
+    study.add_argument("--report", metavar="PATH",
+                       help="write a Markdown report to PATH")
+    study.add_argument("--export", metavar="DIR",
+                       help="export per-figure CSV data into DIR")
+
+    scan = commands.add_parser("scan", help="scan the wild ecosystem")
+    scan.add_argument("--targets", type=int, default=40,
+                      help="number of filler target domains (default: 40)")
+
+    honey = commands.add_parser("honey", help="run the honey experiments")
+    honey.add_argument("--targets", type=int, default=40)
+
+    project = commands.add_parser("project", help="run the §6 projection")
+    project.add_argument("--targets", type=int, default=40)
+    project.add_argument("--spam-scale", type=float, default=1e-4)
+
+    typos = commands.add_parser("typos", help="enumerate typo candidates")
+    typos.add_argument("domain", help="target domain, e.g. gmail.com")
+    typos.add_argument("--fat-finger-only", action="store_true")
+    typos.add_argument("--limit", type=int, default=20)
+
+    check = commands.add_parser("check", help="typo-check an address/domain")
+    check.add_argument("value", help="email address or bare domain")
+
+    sweep = commands.add_parser(
+        "sweep", help="multi-seed robustness sweep over headline numbers")
+    sweep.add_argument("--seeds", type=int, nargs="+",
+                       default=[1, 2, 3, 4, 5])
+    sweep.add_argument("--spam-scale", type=float, default=2e-5)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "study": _cmd_study,
+        "scan": _cmd_scan,
+        "honey": _cmd_honey,
+        "project": _cmd_project,
+        "typos": _cmd_typos,
+        "check": _cmd_check,
+        "sweep": _cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.volume import descaled_volume_report
+    from repro.experiment import ExperimentConfig, StudyRunner
+
+    config = ExperimentConfig(
+        seed=args.seed,
+        spam_scale=args.spam_scale,
+        outage_spans=() if args.no_outage else ((75, 135),),
+    )
+    print("running the collection study...", file=sys.stderr)
+    results = StudyRunner(config).run()
+    smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
+    report = descaled_volume_report(results.records, results.window,
+                                    config.ham_scale, config.spam_scale,
+                                    smtp_domains)
+    correct, total = results.funnel_accuracy()
+    print(f"collected {results.delivered_count} emails over "
+          f"{results.window.effective_days} effective days")
+    print(f"funnel/ground-truth agreement: {correct / total:.1%}")
+    print(f"yearly total (descaled):      {report.total_received:,.0f}")
+    print(f"yearly genuine typo emails:   {report.passed_all_filters:,.0f}")
+    low, high = report.smtp_typo_range()
+    print(f"yearly SMTP-typo band:        {low:,.0f} - {high:,.0f}")
+
+    if args.report:
+        from pathlib import Path
+
+        from repro.report import render_study_report
+
+        Path(args.report).write_text(render_study_report(results))
+        print(f"report written to {args.report}")
+    if args.export:
+        from repro.report import export_figure_data
+
+        written = export_figure_data(results, args.export)
+        print(f"exported {len(written)} files to {args.export}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.ecosystem import (
+        EcosystemScanner,
+        InternetConfig,
+        build_internet,
+        cluster_registrants,
+        concentration_curve,
+        smallest_fraction_covering,
+        top_share,
+    )
+    from repro.util import SeededRng
+
+    print("building the simulated Internet...", file=sys.stderr)
+    internet = build_internet(SeededRng(args.seed, name="world"),
+                              InternetConfig(num_filler_targets=args.targets))
+    scan = EcosystemScanner(internet).scan()
+    print(f"{scan.generated_count} gtypos enumerated; "
+          f"{scan.registered_count} registered ctypos")
+    for support, percent in scan.support_percentages().items():
+        print(f"  {support.value:25s} {percent:5.1f}%")
+    clusters = cluster_registrants(
+        internet.whois, [w.domain for w in internet.squatting_domains()])
+    curve = concentration_curve([len(c) for c in clusters])
+    print(f"top-14 registrants own {top_share(curve, 14):.1%}; "
+          f"{smallest_fraction_covering(curve, 0.5):.1%} of registrants "
+          "own the majority")
+    return 0
+
+
+def _cmd_honey(args: argparse.Namespace) -> int:
+    from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
+    from repro.honey import HoneyCampaign
+    from repro.util import SeededRng
+
+    rng = SeededRng(args.seed, name="honey-cli")
+    internet = build_internet(rng.child("world"),
+                              InternetConfig(num_filler_targets=args.targets))
+    scan = EcosystemScanner(internet).scan()
+    campaign = HoneyCampaign(internet, rng.child("campaign"))
+    probe = campaign.run_probe_campaign(
+        campaign.probe_targets_from_scan(scan))
+    print(f"probed {probe.domains_probed} domains; "
+          f"{len(probe.accepting_domains)} accepted")
+    full = campaign.run_token_campaign(probe.accepting_domains)
+    print(f"honey tokens: {full.emails_sent} sent, "
+          f"{full.emails_accepted} accepted, {full.emails_opened} opened")
+    print(f"domains with reads: {len(full.domains_read)}; "
+          f"with bait access: {len(full.domains_acted)}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.ecosystem import InternetConfig, build_internet
+    from repro.experiment import ExperimentConfig, StudyRunner
+    from repro.extrapolate import ProjectionExperiment, RegressionObservation
+    from repro.extrapolate.projection import PROJECTION_TARGETS
+    from repro.util import SeededRng
+
+    print("running the study for seed measurements...", file=sys.stderr)
+    config = ExperimentConfig(seed=args.seed, spam_scale=args.spam_scale)
+    results = StudyRunner(config).run()
+    volumes = results.per_domain_yearly_true_typos()
+
+    internet = build_internet(SeededRng(args.seed, name="world"),
+                              InternetConfig(num_filler_targets=args.targets))
+    observations = []
+    for domain in results.corpus.by_purpose("receiver"):
+        if domain.target not in PROJECTION_TARGETS or domain.candidate is None:
+            continue
+        rank = internet.alexa_rank(domain.target)
+        if rank is None:
+            continue
+        observations.append(RegressionObservation(
+            domain=domain.domain, target=domain.target,
+            yearly_emails=volumes.get(domain.domain, 0.0),
+            alexa_rank=rank,
+            normalized_visual=domain.candidate.normalized_visual,
+            fat_finger=domain.candidate.is_fat_finger))
+
+    experiment = ProjectionExperiment(internet,
+                                      SeededRng(args.seed, name="proj"))
+    report = experiment.run(observations,
+                            exclude_domains=results.corpus.domain_names())
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_typos(args: argparse.Namespace) -> int:
+    from repro.core import TypoGenerator
+
+    generator = TypoGenerator(fat_finger_only=args.fat_finger_only)
+    candidates = generator.generate(args.domain)
+    candidates.sort(key=lambda c: c.visual)
+    print(f"{len(candidates)} DL-1 candidates of {args.domain} "
+          f"(showing {min(args.limit, len(candidates))}, most "
+          "visually-confusable first)")
+    print(f"{'domain':24s} {'edit':14s} {'ff':>3s} {'visual':>7s}")
+    for candidate in candidates[:args.limit]:
+        print(f"{candidate.domain:24s} {candidate.edit_type:14s} "
+              f"{'y' if candidate.is_fat_finger else 'n':>3s} "
+              f"{candidate.visual:7.2f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.defenses import TypoCorrector
+
+    corrector = TypoCorrector()
+    if "@" in args.value:
+        suggestion = corrector.check_address(args.value)
+    else:
+        suggestion = corrector.check_domain(args.value)
+    if suggestion is None:
+        print(f"{args.value}: looks fine")
+        return 0
+    print(f"{args.value}: likely typo "
+          f"(confidence {suggestion.confidence:.0%})")
+    print(f"  {suggestion.render()}")
+    return 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiment import ExperimentConfig, run_seed_sweep
+
+    print(f"running the study under {len(args.seeds)} seeds...",
+          file=sys.stderr)
+    summary = run_seed_sweep(
+        args.seeds, base_config=ExperimentConfig(spam_scale=args.spam_scale))
+    print(f"{'headline':34s} {'mean':>14s} {'95% CI':>30s}")
+    for name, distribution in summary.headlines.items():
+        ci = f"[{distribution.ci_low:,.0f}, {distribution.ci_high:,.0f}]"
+        print(f"{name:34s} {distribution.mean:14,.0f} {ci:>30s}")
+    accuracy_low = min(summary.funnel_accuracies)
+    print(f"funnel accuracy across seeds: >= {accuracy_low:.1%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

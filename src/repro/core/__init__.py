@@ -1,0 +1,50 @@
+"""Core typosquatting analysis: distances, typo generation, taxonomy, targets."""
+
+from repro.core.distances import (
+    classify_edit,
+    damerau_levenshtein,
+    fat_finger_distance,
+    is_dl1,
+    is_ff1,
+    visual_distance,
+)
+from repro.core.keyboard import are_adjacent, key_position, qwerty_adjacency
+from repro.core.targets import (
+    EMAIL_TARGETS,
+    RegisteredTypoDomain,
+    StudyCorpus,
+    TargetDomain,
+    build_study_corpus,
+)
+from repro.core.taxonomy import (
+    DomainClass,
+    DomainVerdict,
+    TypoEmailKind,
+    classify_domain,
+)
+from repro.core.typogen import DOMAIN_ALPHABET, TypoCandidate, TypoGenerator, split_domain
+
+__all__ = [
+    "damerau_levenshtein",
+    "is_dl1",
+    "fat_finger_distance",
+    "is_ff1",
+    "visual_distance",
+    "classify_edit",
+    "qwerty_adjacency",
+    "are_adjacent",
+    "key_position",
+    "TypoGenerator",
+    "TypoCandidate",
+    "DOMAIN_ALPHABET",
+    "split_domain",
+    "DomainClass",
+    "DomainVerdict",
+    "TypoEmailKind",
+    "classify_domain",
+    "TargetDomain",
+    "RegisteredTypoDomain",
+    "StudyCorpus",
+    "EMAIL_TARGETS",
+    "build_study_corpus",
+]

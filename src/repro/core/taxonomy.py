@@ -1,0 +1,103 @@
+"""Typosquatting taxonomy (paper Section 3).
+
+Two orthogonal taxonomies from the paper:
+
+* **Domains** (after Szurdi et al. 2014): *generated typo domains* (gtypos)
+  are lexically-close strings; *candidate typo domains* (ctypos) are the
+  registered subset; *typosquatting domains* are ctypos registered by a
+  different entity to benefit from traffic meant for the target.
+
+* **Misdirected emails**: *receiver typos* (sender mistyped recipient's
+  domain), *reflection typos* (user mistyped their own address when
+  registering with a service, which then mails the wrong address), and
+  *SMTP typos* (user mistyped the SMTP server name in their mail client so
+  all their outgoing mail goes to the squatter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DomainClass",
+    "TypoEmailKind",
+    "DomainVerdict",
+    "classify_domain",
+]
+
+
+class DomainClass(enum.Enum):
+    """Lexical/registration status of a domain relative to a target."""
+
+    GENERATED_TYPO = "gtypo"          # lexically close, not necessarily registered
+    CANDIDATE_TYPO = "ctypo"          # gtypo that is actually registered
+    TYPOSQUATTING = "typosquatting"   # ctypo registered by another entity, for traffic
+    LEGITIMATE = "legitimate"         # registered but plausibly an honest name
+    UNRELATED = "unrelated"
+
+
+class TypoEmailKind(enum.Enum):
+    """Which user mistake produced a misdirected email."""
+
+    RECEIVER = "receiver"      # sender mistyped recipient domain
+    REFLECTION = "reflection"  # victim mistyped own address at signup
+    SMTP = "smtp"              # victim mistyped SMTP server in client config
+    SPAM = "spam"              # not a typo at all — unsolicited bulk email
+
+    @property
+    def is_typo(self) -> bool:
+        return self is not TypoEmailKind.SPAM
+
+
+@dataclass(frozen=True)
+class DomainVerdict:
+    """Result of classifying a candidate domain against a target."""
+
+    domain: str
+    target: Optional[str]
+    domain_class: DomainClass
+    registered: bool
+    same_owner: bool
+
+    @property
+    def is_squatting(self) -> bool:
+        return self.domain_class is DomainClass.TYPOSQUATTING
+
+
+def classify_domain(domain: str, target: Optional[str], registered: bool,
+                    same_owner_as_target: bool,
+                    looks_intentional: bool = True) -> DomainVerdict:
+    """Apply the Szurdi et al. taxonomy to one domain.
+
+    Parameters
+    ----------
+    domain, target:
+        The candidate and (when lexically close) the target it resembles;
+        ``target=None`` means the name is not close to any target.
+    registered:
+        Whether the name currently resolves to a registrant.
+    same_owner_as_target:
+        Whether WHOIS clustering attributes the name to the target's owner
+        — defensive registrations are *not* typosquatting.
+    looks_intentional:
+        Whether the registration appears aimed at capturing the target's
+        traffic (as opposed to an honest business that happens to be at
+        DL-1 of a popular name).  Upstream heuristics (parking pages, MX
+        concentration, bulk registrants) set this flag.
+    """
+    if target is None:
+        return DomainVerdict(domain, None, DomainClass.UNRELATED,
+                             registered, same_owner_as_target)
+    if not registered:
+        return DomainVerdict(domain, target, DomainClass.GENERATED_TYPO,
+                             False, False)
+    if same_owner_as_target:
+        return DomainVerdict(domain, target, DomainClass.LEGITIMATE,
+                             True, True)
+    if looks_intentional:
+        return DomainVerdict(domain, target, DomainClass.TYPOSQUATTING,
+                             True, False)
+    return DomainVerdict(domain, target, DomainClass.CANDIDATE_TYPO,
+                         True, False)

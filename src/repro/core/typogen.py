@@ -1,0 +1,182 @@
+"""Generation of typo domains ("gtypos", paper Sections 3 and 5.1).
+
+Given a target domain, enumerate every DL-1 variation of its registrable
+label — additions, deletions, substitutions, and adjacent transpositions —
+optionally restricted to fat-finger (QWERTY-adjacent) mistakes, and
+annotate each candidate with the features the paper's regression uses:
+edit type, edit position, fat-finger distance, and visual distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.core.distances import (
+    classify_edit,
+    fat_finger_distance,
+    visual_distance,
+)
+from repro.core.keyboard import qwerty_adjacency
+
+__all__ = ["TypoCandidate", "TypoGenerator", "split_domain", "DOMAIN_ALPHABET"]
+
+#: Characters legal in a registrable DNS label (LDH rule, no leading/trailing
+#: hyphen — enforced by the generator).
+DOMAIN_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+
+def split_domain(domain: str) -> tuple:
+    """Split ``label.tld`` into (label, tld); raises for bare labels."""
+    domain = domain.lower().rstrip(".")
+    if "." not in domain:
+        raise ValueError(f"domain {domain!r} has no TLD")
+    label, _, tld = domain.rpartition(".")
+    if not label or not tld:
+        raise ValueError(f"malformed domain {domain!r}")
+    return label, tld
+
+
+def _valid_label(label: str) -> bool:
+    if not label or len(label) > 63:
+        return False
+    if label[0] == "-" or label[-1] == "-":
+        return False
+    return all(ch in DOMAIN_ALPHABET for ch in label)
+
+
+@dataclass(frozen=True)
+class TypoCandidate:
+    """A generated typo domain with its regression features."""
+
+    domain: str
+    target: str
+    edit_type: str           # addition | deletion | substitution | transposition
+    edit_index: int          # index into the target label
+    fat_finger: int          # FF distance (1 when QWERTY-adjacent mistake)
+    visual: float            # heuristic visual distance
+
+    @property
+    def is_fat_finger(self) -> bool:
+        return self.fat_finger == 1
+
+    @property
+    def normalized_visual(self) -> float:
+        """Visual distance normalised by target label length (paper §6.2)."""
+        label, _ = split_domain(self.target)
+        return self.visual / max(1, len(label))
+
+
+class TypoGenerator:
+    """Enumerate DL-1 typo candidates of target domains.
+
+    Parameters
+    ----------
+    alphabet:
+        Characters considered for additions/substitutions.
+    fat_finger_only:
+        When True, only mistakes reachable by a QWERTY slip are generated
+        (adjacent-key substitutions/insertions, plus all deletions and
+        transpositions, which require no specific geometry).  This mirrors
+        the paper's registration strategy ("most of the typo domains we
+        generated have a fat-finger distance of one").
+    """
+
+    def __init__(self, alphabet: str = DOMAIN_ALPHABET,
+                 fat_finger_only: bool = False) -> None:
+        self.alphabet = alphabet
+        self.fat_finger_only = fat_finger_only
+
+    # -- enumeration -------------------------------------------------------
+
+    def generate(self, target: str) -> List[TypoCandidate]:
+        """All distinct DL-1 typo candidates of ``target`` (same TLD)."""
+        label, tld = split_domain(target)
+        seen: Set[str] = {label}
+        out: List[TypoCandidate] = []
+        for typo_label, edit_type, index in self._edits(label):
+            if typo_label in seen or not _valid_label(typo_label):
+                continue
+            seen.add(typo_label)
+            domain = f"{typo_label}.{tld}"
+            out.append(self._candidate(domain, target, edit_type, index,
+                                        label, typo_label))
+        return out
+
+    def generate_many(self, targets: Iterable[str]) -> List[TypoCandidate]:
+        """Typo candidates for a collection of targets, deduplicated.
+
+        When a candidate string is a DL-1 typo of several targets it is
+        attributed to the *first* target in iteration order, mirroring how
+        a registrant can only serve one squatting purpose per name.
+        """
+        seen: Set[str] = set()
+        out: List[TypoCandidate] = []
+        for target in targets:
+            for cand in self.generate(target):
+                if cand.domain not in seen:
+                    seen.add(cand.domain)
+                    out.append(cand)
+        return out
+
+    def _edits(self, label: str) -> Iterator[tuple]:
+        # deletions
+        for i in range(len(label)):
+            yield label[:i] + label[i + 1:], "deletion", i
+        # transpositions of distinct neighbours
+        for i in range(len(label) - 1):
+            if label[i] != label[i + 1]:
+                yield (label[:i] + label[i + 1] + label[i] + label[i + 2:],
+                       "transposition", i)
+        # substitutions
+        for i in range(len(label)):
+            choices = self._substitution_chars(label[i])
+            for ch in choices:
+                if ch != label[i]:
+                    yield label[:i] + ch + label[i + 1:], "substitution", i
+        # additions
+        for i in range(len(label) + 1):
+            choices = self._insertion_chars(label, i)
+            for ch in choices:
+                yield label[:i] + ch + label[i:], "addition", i
+
+    def _substitution_chars(self, original: str) -> Sequence[str]:
+        if self.fat_finger_only:
+            return sorted(qwerty_adjacency(original) & set(self.alphabet))
+        return self.alphabet
+
+    def _insertion_chars(self, label: str, index: int) -> Sequence[str]:
+        if not self.fat_finger_only:
+            return self.alphabet
+        candidates: Set[str] = set()
+        if index > 0:
+            candidates.add(label[index - 1])
+            candidates.update(qwerty_adjacency(label[index - 1]))
+        if index < len(label):
+            candidates.add(label[index])
+            candidates.update(qwerty_adjacency(label[index]))
+        return sorted(candidates & set(self.alphabet))
+
+    # -- feature annotation --------------------------------------------------
+
+    def _candidate(self, domain: str, target: str, edit_type: str, index: int,
+                   label: str, typo_label: str) -> TypoCandidate:
+        ff = fat_finger_distance(label, typo_label, max_interesting=1)
+        vis = visual_distance(label, typo_label)
+        return TypoCandidate(domain=domain, target=target, edit_type=edit_type,
+                             edit_index=index, fat_finger=ff, visual=vis)
+
+    # -- targeted lookups ------------------------------------------------------
+
+    def annotate(self, target: str, typo_domain: str) -> Optional[TypoCandidate]:
+        """Annotate an existing domain as a typo of ``target`` (or None)."""
+        label, tld = split_domain(target)
+        typo_label, typo_tld = split_domain(typo_domain)
+        if tld != typo_tld:
+            return None
+        edit = classify_edit(label, typo_label)
+        if edit is None:
+            return None
+        edit_type, index = edit
+        return self._candidate(typo_domain, target, edit_type, index,
+                               label, typo_label)

@@ -1,0 +1,34 @@
+"""Defenses and extensions (paper §8): autocorrect, policy, username typos."""
+
+from repro.defenses.autocorrect import Suggestion, TypoCorrector
+from repro.defenses.policy import (
+    LEGITIMATE_PRICE_ELASTICITY,
+    SQUATTER_PRICE_ELASTICITY,
+    PolicyOutcome,
+    break_even_price,
+    policy_sweep,
+    simulate_price_policy,
+)
+from repro.defenses.username_typos import (
+    ProviderUserBase,
+    UsernameCollision,
+    estimate_misdirected_volume,
+    find_collisions,
+    squattable_usernames,
+)
+
+__all__ = [
+    "TypoCorrector",
+    "Suggestion",
+    "simulate_price_policy",
+    "policy_sweep",
+    "break_even_price",
+    "PolicyOutcome",
+    "SQUATTER_PRICE_ELASTICITY",
+    "LEGITIMATE_PRICE_ELASTICITY",
+    "ProviderUserBase",
+    "UsernameCollision",
+    "find_collisions",
+    "estimate_misdirected_volume",
+    "squattable_usernames",
+]

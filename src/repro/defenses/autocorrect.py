@@ -1,0 +1,155 @@
+"""Typo-correction for email input fields (paper §8, "Possible defenses").
+
+The paper suggests integrating typo correction "into any input field: at
+SMTP setup phase, registrations, email recipient, or when giving contact
+information in online forms".  This module is that tool: given a typed
+email address (or bare domain), decide whether the domain is probably a
+typo of a well-known mail domain and, if so, suggest the correction.
+
+The scoring mirrors the study's own findings about which mistakes real
+users make: DL-1 closeness is necessary; fat-finger (adjacent-key)
+mistakes and visually-confusable edits are *more* likely to be accidental;
+deletion/transposition mistakes are the most frequent types (Figure 9);
+and the more popular the candidate target, the more likely the intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.distances import classify_edit, visual_distance
+from repro.core.targets import EMAIL_TARGETS, TargetDomain
+from repro.core.typogen import TypoGenerator, split_domain
+
+__all__ = ["Suggestion", "TypoCorrector"]
+
+#: Edit-type priors from Figure 9 (deletion/transposition dominate).
+_EDIT_TYPE_PRIOR = {
+    "deletion": 1.0,
+    "transposition": 0.9,
+    "substitution": 0.45,
+    "addition": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """A proposed correction with its confidence in [0, 1]."""
+
+    typed: str
+    suggested: str
+    confidence: float
+    edit_type: str
+
+    def render(self) -> str:
+        """A user-facing did-you-mean line."""
+        return f"did you mean {self.suggested!r}? (typed {self.typed!r})"
+
+
+class TypoCorrector:
+    """Suggests corrections for likely-mistyped mail domains.
+
+    Parameters
+    ----------
+    known_domains:
+        The protected domain list; defaults to the study's target list.
+    whitelist:
+        Domains that must never be "corrected" even though they sit at
+        DL-1 of a protected domain — the deployment knob that protects
+        legitimate look-alike businesses from being rewritten away.
+    threshold:
+        Minimum confidence to emit a suggestion.
+    """
+
+    def __init__(self, known_domains: Optional[Iterable[str]] = None,
+                 whitelist: Iterable[str] = (),
+                 threshold: float = 0.25) -> None:
+        if known_domains is None:
+            self._targets: List[Tuple[str, float]] = [
+                (t.name, t.email_share) for t in EMAIL_TARGETS]
+        else:
+            domains = list(known_domains)
+            weight = 1.0 / max(1, len(domains))
+            self._targets = [(d.lower(), weight) for d in domains]
+        self._known = {name for name, _ in self._targets}
+        self._whitelist = {d.lower() for d in whitelist}
+        self._generator = TypoGenerator()
+        self.threshold = threshold
+
+    # -- public API ----------------------------------------------------------
+
+    def check_address(self, address: str) -> Optional[Suggestion]:
+        """Check ``user@domain``; returns a suggestion or None."""
+        if "@" not in address:
+            raise ValueError(f"not an email address: {address!r}")
+        local, _, domain = address.rpartition("@")
+        suggestion = self.check_domain(domain)
+        if suggestion is None:
+            return None
+        return Suggestion(
+            typed=address,
+            suggested=f"{local}@{suggestion.suggested}",
+            confidence=suggestion.confidence,
+            edit_type=suggestion.edit_type,
+        )
+
+    def check_domain(self, domain: str) -> Optional[Suggestion]:
+        """Check a bare domain; returns the best suggestion or None."""
+        domain = domain.strip().lower().rstrip(".")
+        if not domain or "." not in domain:
+            return None
+        if domain in self._known or domain in self._whitelist:
+            return None
+
+        best: Optional[Suggestion] = None
+        for target, popularity in self._targets:
+            candidate = self._score(domain, target, popularity)
+            if candidate is None:
+                continue
+            if best is None or candidate.confidence > best.confidence:
+                best = candidate
+        if best is not None and best.confidence >= self.threshold:
+            return best
+        return None
+
+    def suggestions(self, domain: str, limit: int = 3) -> List[Suggestion]:
+        """All plausible corrections, best first (for UI pickers)."""
+        domain = domain.strip().lower().rstrip(".")
+        if domain in self._known or domain in self._whitelist:
+            return []
+        out = []
+        for target, popularity in self._targets:
+            candidate = self._score(domain, target, popularity)
+            if candidate is not None and candidate.confidence >= self.threshold:
+                out.append(candidate)
+        out.sort(key=lambda s: -s.confidence)
+        return out[:limit]
+
+    # -- scoring ------------------------------------------------------------------
+
+    def _score(self, domain: str, target: str,
+               popularity: float) -> Optional[Suggestion]:
+        try:
+            typed_label, typed_tld = split_domain(domain)
+            target_label, target_tld = split_domain(target)
+        except ValueError:
+            return None
+        if typed_tld != target_tld:
+            return None
+        edit = classify_edit(target_label, typed_label)
+        if edit is None:
+            return None
+        edit_type, _ = edit
+
+        prior = _EDIT_TYPE_PRIOR.get(edit_type, 0.3)
+        # invisible edits are the ones users actually make and miss
+        visual = visual_distance(target_label, typed_label)
+        visibility_factor = 1.0 / (1.0 + visual)
+        # popularity prior: normalise against the most popular target
+        top_share = max(share for _, share in self._targets)
+        popularity_factor = 0.4 + 0.6 * (popularity / top_share)
+
+        confidence = min(1.0, prior * visibility_factor * popularity_factor)
+        return Suggestion(typed=domain, suggested=target,
+                          confidence=confidence, edit_type=edit_type)

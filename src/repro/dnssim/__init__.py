@@ -1,0 +1,31 @@
+"""Simulated DNS: resource records, zones, the registry, and a resolver."""
+
+from repro.dnssim.records import (
+    RecordType,
+    ResourceRecord,
+    is_valid_ipv4,
+    normalize_name,
+)
+from repro.dnssim.cache import CacheStats, CachingResolver
+from repro.dnssim.registry import DomainRegistry, Registration
+from repro.dnssim.resolver import MailRoute, ResolutionStatus, Resolver
+from repro.dnssim.zone import Zone, collection_zone
+from repro.dnssim.zonefile import ZoneFileError, parse_zone_file
+
+__all__ = [
+    "RecordType",
+    "ResourceRecord",
+    "normalize_name",
+    "is_valid_ipv4",
+    "Zone",
+    "collection_zone",
+    "DomainRegistry",
+    "Registration",
+    "Resolver",
+    "MailRoute",
+    "ResolutionStatus",
+    "CachingResolver",
+    "CacheStats",
+    "parse_zone_file",
+    "ZoneFileError",
+]

@@ -1,0 +1,117 @@
+"""A TTL-honouring caching stub resolver.
+
+The study's zones use TTL 300 (paper Table 1) precisely so that
+infrastructure changes propagate quickly; a caching resolver models the
+client side of that contract.  Entries expire against the simulated
+clock, never the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnssim.records import RecordType, normalize_name
+from repro.dnssim.registry import DomainRegistry
+from repro.dnssim.resolver import MailRoute, Resolver
+from repro.util.simtime import SimClock
+
+__all__ = ["CachingResolver", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    value: Tuple[str, ...]
+    expires_at: float
+
+
+class CachingResolver:
+    """Wraps :class:`Resolver` with per-record-type TTL caching.
+
+    Negative answers are cached too (with ``negative_ttl``), the way real
+    resolvers cache NXDOMAIN per RFC 2308 — which matters to the scanner:
+    a burst of queries against a dead typo domain costs one lookup.
+    """
+
+    def __init__(self, registry: DomainRegistry, clock: SimClock,
+                 negative_ttl: float = 300.0) -> None:
+        self._inner = Resolver(registry)
+        self._registry = registry
+        self._clock = clock
+        self._negative_ttl = negative_ttl
+        self._cache: Dict[Tuple[str, RecordType], _CacheEntry] = {}
+        self.stats = CacheStats()
+
+    # -- cached lookups -----------------------------------------------------
+
+    def resolve_a(self, name: str) -> List[str]:
+        """Cached A lookup for ``name``."""
+        return list(self._lookup(name, RecordType.A,
+                                 self._inner.resolve_a))
+
+    def resolve_mx(self, name: str) -> List[str]:
+        """Cached MX lookup for ``name``."""
+        return list(self._lookup(name, RecordType.MX,
+                                 self._inner.resolve_mx))
+
+    def mail_route(self, domain: str) -> MailRoute:
+        """Uncached-object route assembled from cached record lookups."""
+        domain = normalize_name(domain)
+        mx_hosts = self.resolve_mx(domain)
+        if mx_hosts:
+            addresses: List[str] = []
+            for host in mx_hosts:
+                addresses.extend(self.resolve_a(host))
+            from repro.dnssim.resolver import ResolutionStatus
+
+            if addresses:
+                return MailRoute(domain, ResolutionStatus.OK,
+                                 mx_hosts=tuple(mx_hosts),
+                                 addresses=tuple(addresses))
+            return MailRoute(domain, ResolutionStatus.NO_MAIL_HOST,
+                             mx_hosts=tuple(mx_hosts))
+        return self._inner.mail_route(domain)
+
+    # -- cache mechanics ------------------------------------------------------
+
+    def _lookup(self, name: str, rtype: RecordType, fetch) -> Tuple[str, ...]:
+        key = (normalize_name(name), rtype)
+        now = self._clock.now
+        entry = self._cache.get(key)
+        if entry is not None:
+            if entry.expires_at > now:
+                self.stats.hits += 1
+                return entry.value
+            self.stats.expirations += 1
+            del self._cache[key]
+        self.stats.misses += 1
+        value = tuple(fetch(name))
+        ttl = self._record_ttl(key[0], rtype) if value else self._negative_ttl
+        self._cache[key] = _CacheEntry(value=value, expires_at=now + ttl)
+        return value
+
+    def _record_ttl(self, name: str, rtype: RecordType) -> float:
+        zone = self._registry.zone_for(name)
+        if zone is None:
+            return self._negative_ttl
+        ttls = [record.ttl for record in zone.lookup(name, rtype)]
+        return float(min(ttls)) if ttls else self._negative_ttl
+
+    def flush(self) -> None:
+        """Drop every cached entry."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

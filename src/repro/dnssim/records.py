@@ -1,0 +1,87 @@
+"""DNS resource records for the simulated name system.
+
+Only the record types the study needs: A (mail-host addresses), MX (mail
+routing), NS (suspicious-name-server analysis), and TXT (room for SPF-style
+extension experiments).  Records are immutable values; zones own mutation.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["RecordType", "ResourceRecord", "normalize_name", "is_valid_ipv4"]
+
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def is_valid_ipv4(address: str) -> bool:
+    """Whether ``address`` is a syntactically valid dotted-quad IPv4."""
+    match = _IPV4_RE.match(address)
+    if not match:
+        return False
+    return all(0 <= int(octet) <= 255 for octet in match.groups())
+
+
+def normalize_name(name: str) -> str:
+    """Lower-case and strip the trailing dot of a domain name."""
+    return name.strip().lower().rstrip(".")
+
+
+class RecordType(enum.Enum):
+    """The DNS record types the simulation models."""
+    A = "A"
+    MX = "MX"
+    NS = "NS"
+    TXT = "TXT"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS RR: ``name TTL type [priority] value``.
+
+    ``priority`` is meaningful only for MX records (lower wins, RFC 5321);
+    all other types carry ``priority=0``.
+    """
+
+    name: str
+    rtype: RecordType
+    value: str
+    ttl: int = 300
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        object.__setattr__(self, "value", normalize_name(self.value)
+                           if self.rtype is not RecordType.TXT else self.value)
+        if self.ttl < 0:
+            raise ValueError("TTL must be non-negative")
+        if self.rtype is RecordType.A and not is_valid_ipv4(self.value):
+            raise ValueError(f"invalid IPv4 address {self.value!r}")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name.startswith("*.")
+
+    def matches(self, query_name: str) -> bool:
+        """Whether this record answers a query for ``query_name``.
+
+        A wildcard ``*.example.com`` matches any name with at least one
+        extra label under ``example.com`` but not ``example.com`` itself,
+        per RFC 4592 semantics (the simplified subset we need).
+        """
+        query = normalize_name(query_name)
+        if not self.is_wildcard:
+            return self.name == query
+        suffix = self.name[2:]
+        return query.endswith("." + suffix) and query != suffix
+
+    def zone_file_line(self) -> str:
+        """Render as a zone-file-style line (paper Table 1 format)."""
+        priority = str(self.priority) if self.rtype is RecordType.MX else "NA"
+        return (f"{self.name}.\t{self.ttl}\t{self.rtype.value}\t"
+                f"{priority}\t{self.value}{'.' if self.rtype is not RecordType.TXT else ''}")

@@ -1,0 +1,82 @@
+"""Zone-file text format: serialisation and parsing.
+
+:meth:`~repro.dnssim.zone.Zone.zone_file` renders the paper's Table 1
+layout; this module completes the round trip, so zones can be stored,
+diffed, and reloaded as text — the interchange format a real deployment
+would use with its registrar's DNS console.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dnssim.records import RecordType, ResourceRecord
+from repro.dnssim.zone import Zone
+
+__all__ = ["parse_zone_file", "ZoneFileError"]
+
+_HEADER = "FQDN\tTTL\tTYPE\tpriority\trecord"
+
+
+class ZoneFileError(ValueError):
+    """Raised for malformed zone-file text."""
+
+
+def parse_zone_file(text: str, origin: Optional[str] = None) -> Zone:
+    """Parse the Table-1-style tab-separated format back into a Zone.
+
+    ``origin`` defaults to the shortest apex among the record names (the
+    non-wildcard name every other name falls under); pass it explicitly
+    when the zone holds only wildcard records.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ZoneFileError("empty zone file")
+    if lines[0].strip() == _HEADER:
+        lines = lines[1:]
+
+    records: List[ResourceRecord] = []
+    for line_number, line in enumerate(lines, start=2):
+        fields = line.rstrip().split("\t")
+        if len(fields) != 5:
+            raise ZoneFileError(
+                f"line {line_number}: expected 5 tab-separated fields, "
+                f"got {len(fields)}")
+        fqdn, ttl_text, type_text, priority_text, value = fields
+        try:
+            rtype = RecordType(type_text.strip())
+        except ValueError as error:
+            raise ZoneFileError(
+                f"line {line_number}: unknown record type "
+                f"{type_text!r}") from error
+        try:
+            ttl = int(ttl_text)
+        except ValueError as error:
+            raise ZoneFileError(
+                f"line {line_number}: bad TTL {ttl_text!r}") from error
+        if priority_text.strip() in ("NA", ""):
+            priority = 0
+        else:
+            try:
+                priority = int(priority_text)
+            except ValueError as error:
+                raise ZoneFileError(
+                    f"line {line_number}: bad priority "
+                    f"{priority_text!r}") from error
+        name = fqdn.rstrip(".")
+        record_value = value.rstrip(".") if rtype is not RecordType.TXT \
+            else value
+        try:
+            records.append(ResourceRecord(name, rtype, record_value,
+                                          ttl=ttl, priority=priority))
+        except ValueError as error:
+            raise ZoneFileError(f"line {line_number}: {error}") from error
+
+    if origin is None:
+        apexes = [r.name for r in records if not r.is_wildcard]
+        if not apexes:
+            raise ZoneFileError(
+                "cannot infer origin from wildcard-only zone; pass origin=")
+        origin = min(apexes, key=len)
+
+    return Zone(origin=origin, records=records)

@@ -1,0 +1,200 @@
+"""Scanning the wild typosquatting ecosystem (paper Section 5.1).
+
+The paper's pipeline: generate all DL-1 variations of the Alexa top list,
+keep the registered ones ("ctypos"), collect their MX and A records, and
+probe the SMTP endpoint zmap-style to classify mail support (Table 4).
+The scanner here runs the same pipeline against the simulated Internet,
+discovering — not assuming — the support categories, the MX
+concentration, and the candidate set the honey campaign later mails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.typogen import TypoCandidate, TypoGenerator
+from repro.dnssim import Resolver
+from repro.ecosystem.internet import SimulatedInternet, SmtpSupport
+from repro.smtpsim.transport import ConnectOutcome
+
+__all__ = ["ScanResult", "EcosystemScan", "EcosystemScanner"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Everything the scanner learned about one ctypo."""
+
+    domain: str
+    target: str
+    candidate: TypoCandidate
+    mx_hosts: Tuple[str, ...]
+    addresses: Tuple[str, ...]
+    used_implicit_mx: bool
+    support: SmtpSupport
+    nameserver: Optional[str]
+    whois_private: bool
+
+    @property
+    def primary_mx_domain(self) -> Optional[str]:
+        """The registrable domain of the best-priority MX (Table 6 key)."""
+        if not self.mx_hosts:
+            return None
+        host = self.mx_hosts[0]
+        labels = host.split(".")
+        if len(labels) <= 2:
+            return host
+        return ".".join(labels[-2:])
+
+
+@dataclass
+class EcosystemScan:
+    """A completed scan over the candidate typo space."""
+
+    results: List[ScanResult] = field(default_factory=list)
+    generated_count: int = 0   # gtypos enumerated
+    registered_count: int = 0  # ctypos found registered
+
+    def support_table(self) -> Dict[SmtpSupport, int]:
+        """Table 4: count of ctypos per SMTP support category."""
+        counts = {support: 0 for support in SmtpSupport}
+        for result in self.results:
+            counts[result.support] += 1
+        return counts
+
+    def support_percentages(self) -> Dict[SmtpSupport, float]:
+        """Table 4 as percentages of all scanned ctypos."""
+        total = len(self.results)
+        if total == 0:
+            return {support: 0.0 for support in SmtpSupport}
+        return {support: 100.0 * count / total
+                for support, count in self.support_table().items()}
+
+    def accepting_results(self) -> List[ScanResult]:
+        """The ctypos whose support class can accept mail."""
+        return [r for r in self.results if r.support.can_accept_mail]
+
+    def mx_domain_counts(self) -> Dict[str, int]:
+        """How many ctypos each MX operator domain serves."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            mx = result.primary_mx_domain
+            if mx is not None:
+                counts[mx] = counts.get(mx, 0) + 1
+        return counts
+
+    def results_for_targets(self, targets: Sequence[str]) -> List[ScanResult]:
+        """Scan results restricted to typos of the given targets."""
+        wanted = set(targets)
+        return [r for r in self.results if r.target in wanted]
+
+
+class EcosystemScanner:
+    """Runs the §5.1 methodology against a :class:`SimulatedInternet`.
+
+    ``probe_attempts`` models zmap-style repeat probing: a single timeout
+    does not condemn a host; only a host that never answers is "no info".
+    """
+
+    def __init__(self, internet: SimulatedInternet,
+                 probe_attempts: int = 3) -> None:
+        self._internet = internet
+        self._resolver = Resolver(internet.registry)
+        self._generator = TypoGenerator()
+        self.probe_attempts = probe_attempts
+
+    # -- the full pipeline ------------------------------------------------------
+
+    def scan(self, targets: Optional[Sequence[str]] = None,
+             exclude: Sequence[str] = ()) -> EcosystemScan:
+        """Enumerate gtypos of ``targets``, keep ctypos, classify support.
+
+        ``targets`` defaults to the whole simulated Alexa list; ``exclude``
+        removes e.g. the study's own domains from consideration.
+        """
+        if targets is None:
+            targets = [entry.domain for entry in self._internet.alexa]
+        excluded = {d.lower() for d in exclude}
+        scan = EcosystemScan()
+
+        for target in targets:
+            for candidate in self._generator.generate(target):
+                scan.generated_count += 1
+                domain = candidate.domain
+                if domain in excluded:
+                    continue
+                if not self._internet.registry.is_registered(domain):
+                    continue
+                scan.registered_count += 1
+                scan.results.append(self._scan_domain(candidate))
+        return scan
+
+    # -- per-domain probing --------------------------------------------------------
+
+    def _scan_domain(self, candidate: TypoCandidate) -> ScanResult:
+        domain = candidate.domain
+        mx_hosts = tuple(self._resolver.resolve_mx(domain))
+        direct_a = tuple(self._resolver.resolve_a(domain))
+
+        registration = self._internet.registry.get(domain)
+        nameserver = registration.nameserver if registration else None
+        whois_record = self._internet.whois.lookup(domain)
+        whois_private = bool(whois_record and whois_record.is_private)
+
+        # RFC 5321: use MX; in its absence fall back to the A record.
+        if mx_hosts:
+            addresses: Tuple[str, ...] = tuple(
+                address for host in mx_hosts
+                for address in self._resolver.resolve_a(host))
+            used_implicit = False
+        else:
+            addresses = direct_a
+            used_implicit = True
+
+        support = self._classify_support(mx_hosts, direct_a, addresses)
+        return ScanResult(domain=domain, target=candidate.target,
+                          candidate=candidate, mx_hosts=mx_hosts,
+                          addresses=addresses,
+                          used_implicit_mx=used_implicit and bool(direct_a),
+                          support=support, nameserver=nameserver,
+                          whois_private=whois_private)
+
+    def _classify_support(self, mx_hosts: Tuple[str, ...],
+                          direct_a: Tuple[str, ...],
+                          addresses: Tuple[str, ...]) -> SmtpSupport:
+        if not mx_hosts and not direct_a:
+            return SmtpSupport.NO_DNS
+        if not addresses:
+            # an MX that resolves to nothing cannot be scanned
+            return SmtpSupport.NO_INFO
+        return self._probe(addresses[0])
+
+    def _probe(self, ip: str) -> SmtpSupport:
+        """zmap-style SMTP probe with retries."""
+        network = self._internet.network
+        refused = False
+        for _ in range(self.probe_attempts):
+            connection = network.connect(ip, port=25)
+            if connection.outcome is ConnectOutcome.REFUSED:
+                refused = True
+                continue
+            if connection.outcome in (ConnectOutcome.TIMEOUT,
+                                      ConnectOutcome.NETWORK_ERROR,
+                                      ConnectOutcome.OTHER_ERROR):
+                continue
+            return self._starttls_check(connection.server)
+        return SmtpSupport.NO_EMAIL if refused else SmtpSupport.NO_INFO
+
+    def _starttls_check(self, server) -> SmtpSupport:
+        session = server.open_session()
+        session.banner()
+        ehlo = session.command("EHLO scanner.study.example")
+        if not ehlo.is_success:
+            return SmtpSupport.STARTTLS_ERRORS
+        if "STARTTLS" not in ehlo.text:
+            return SmtpSupport.PLAIN
+        reply = session.command("STARTTLS")
+        session.command("QUIT")
+        if reply.code == 220:
+            return SmtpSupport.STARTTLS_OK
+        return SmtpSupport.STARTTLS_ERRORS

@@ -1,0 +1,148 @@
+"""WHOIS records for the simulated Internet (paper Section 5.1).
+
+The paper clusters typosquatting registrants by WHOIS: two domains belong
+to the same entity when at least four of six fields match (registrant
+name, organization, email, phone, fax, mailing address) — fake data is
+fine for clustering as long as it is *consistently* fake.  Privacy-proxy
+registrations replace all six fields with the proxy service's details and
+are excluded from registrant clustering (but tabulated separately, e.g.
+in Table 5's public/private split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rand import SeededRng
+from repro.workloads.textgen import FIRST_NAMES, LAST_NAMES
+
+__all__ = ["WhoisRecord", "WhoisDatabase", "RegistrantPersona",
+           "PRIVACY_PROXIES", "CLUSTER_FIELDS", "fields_match_count"]
+
+#: The six fields used for registrant clustering (Halvorson et al. style).
+CLUSTER_FIELDS = ("registrant_name", "organization", "email", "phone",
+                  "fax", "mailing_address")
+
+#: Well-known privacy/proxy services in the simulation.
+PRIVACY_PROXIES = (
+    "whoisguard.example", "domainsbyproxy.example", "privacyprotect.example",
+)
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One domain's WHOIS data."""
+
+    domain: str
+    registrant_name: Optional[str] = None
+    organization: Optional[str] = None
+    email: Optional[str] = None
+    phone: Optional[str] = None
+    fax: Optional[str] = None
+    mailing_address: Optional[str] = None
+    privacy_proxy: Optional[str] = None   # set => a private registration
+    registrar: str = "registrar.example"
+
+    @property
+    def is_private(self) -> bool:
+        return self.privacy_proxy is not None
+
+    def filled_field_count(self) -> int:
+        """How many of the six cluster fields are present."""
+        return sum(getattr(self, f) is not None for f in CLUSTER_FIELDS)
+
+    def clusterable(self) -> bool:
+        """The paper only clusters records with >= 4 of 6 fields filled."""
+        return not self.is_private and self.filled_field_count() >= 4
+
+
+def fields_match_count(a: WhoisRecord, b: WhoisRecord) -> int:
+    """How many of the six cluster fields match (both filled and equal)."""
+    count = 0
+    for field_name in CLUSTER_FIELDS:
+        value_a = getattr(a, field_name)
+        value_b = getattr(b, field_name)
+        if value_a is not None and value_a == value_b:
+            count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class RegistrantPersona:
+    """A (possibly fake) registrant identity, reused across their domains."""
+
+    registrant_id: str
+    registrant_name: str
+    organization: str
+    email: str
+    phone: str
+    fax: str
+    mailing_address: str
+
+    def record_for(self, domain: str, fields_filled: int = 6,
+                   rng: Optional[SeededRng] = None) -> WhoisRecord:
+        """A WHOIS record for one of this registrant's domains.
+
+        ``fields_filled`` < 6 drops trailing fields, modelling sloppy
+        registrations that the paper cannot cluster.
+        """
+        values: Dict[str, Optional[str]] = {
+            "registrant_name": self.registrant_name,
+            "organization": self.organization,
+            "email": self.email,
+            "phone": self.phone,
+            "fax": self.fax,
+            "mailing_address": self.mailing_address,
+        }
+        order = list(CLUSTER_FIELDS)
+        if rng is not None:
+            rng.shuffle(order)
+        for field_name in order[fields_filled:]:
+            values[field_name] = None
+        return WhoisRecord(domain=domain, **values)
+
+
+def make_registrant(rng: SeededRng, registrant_id: str) -> RegistrantPersona:
+    """Mint a consistent registrant identity (fake but stable)."""
+    first = rng.choice(FIRST_NAMES).title()
+    last = rng.choice(LAST_NAMES).title()
+    org = f"{last} {rng.choice(('Holdings', 'Media', 'Domains', 'Ventures', 'LLC'))}"
+    return RegistrantPersona(
+        registrant_id=registrant_id,
+        registrant_name=f"{first} {last}",
+        organization=org,
+        email=f"{first.lower()}.{last.lower()}@{rng.token(6)}.example",
+        phone=f"+1.{rng.randint(2000000000, 9899999999)}",
+        fax=f"+1.{rng.randint(2000000000, 9899999999)}",
+        mailing_address=f"{rng.randint(1, 9999)} {last} St, Suite {rng.randint(1, 400)}",
+    )
+
+
+class WhoisDatabase:
+    """Domain → WHOIS record store with the paper's query semantics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, WhoisRecord] = {}
+
+    def add(self, record: WhoisRecord) -> None:
+        """Store (or overwrite) one domain's WHOIS record."""
+        self._records[record.domain.lower()] = record
+
+    def lookup(self, domain: str) -> Optional[WhoisRecord]:
+        """The WHOIS record of ``domain``, or None."""
+        return self._records.get(domain.lower())
+
+    def private_domains(self) -> List[str]:
+        """Domains registered behind privacy proxies."""
+        return sorted(d for d, r in self._records.items() if r.is_private)
+
+    def clusterable_records(self) -> List[WhoisRecord]:
+        """Records public enough to cluster (>= 4 of 6 fields)."""
+        return [r for r in self._records.values() if r.clusterable()]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._records

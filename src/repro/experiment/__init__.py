@@ -1,0 +1,26 @@
+"""End-to-end study simulation: configuration, runner, and validation."""
+
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.runner import StudyResults, StudyRunner
+from repro.experiment.sweep import (
+    HeadlineDistribution,
+    SweepSummary,
+    run_seed_sweep,
+)
+from repro.experiment.validation import (
+    SampledValidation,
+    validate_receiver_typos_at_smtp_domains,
+    validate_survivors_by_sampling,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "StudyRunner",
+    "StudyResults",
+    "SampledValidation",
+    "validate_survivors_by_sampling",
+    "validate_receiver_typos_at_smtp_domains",
+    "run_seed_sweep",
+    "SweepSummary",
+    "HeadlineDistribution",
+]

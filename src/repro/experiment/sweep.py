@@ -1,0 +1,95 @@
+"""Multi-seed robustness sweeps over the headline numbers.
+
+A single simulated seven months is one draw from the generative world;
+before quoting shape agreements with the paper, it is worth knowing how
+much the headline numbers wobble across seeds.  The sweep runs the study
+under several seeds and summarises each headline quantity with a mean and
+normal-theory confidence interval — the reproduction's error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.volume import VolumeReport, descaled_volume_report
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.runner import StudyRunner
+from repro.util.stats import mean_confidence_interval
+
+__all__ = ["HeadlineDistribution", "SweepSummary", "run_seed_sweep"]
+
+#: The headline quantities tracked across seeds, as report extractors.
+_HEADLINES: Dict[str, Callable[[VolumeReport], float]] = {
+    "total_received": lambda r: r.total_received,
+    "receiver_candidates": lambda r: r.receiver_candidates,
+    "smtp_candidates": lambda r: r.smtp_candidates,
+    "passed_all_filters": lambda r: r.passed_all_filters,
+    "true_receiver_reflection": lambda r: r.true_receiver_reflection,
+    "smtp_band_low": lambda r: r.smtp_typo_range()[0],
+    "smtp_band_high": lambda r: r.smtp_typo_range()[1],
+    "receiver_typos_at_smtp_domains":
+        lambda r: r.receiver_typos_at_smtp_domains,
+}
+
+
+@dataclass(frozen=True)
+class HeadlineDistribution:
+    """One quantity's behaviour across seeds."""
+
+    name: str
+    values: Tuple[float, ...]
+    mean: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width over the mean — the wobble, dimensionless."""
+        if self.mean == 0:
+            return float("inf")
+        return (self.ci_high - self.ci_low) / 2.0 / abs(self.mean)
+
+
+@dataclass
+class SweepSummary:
+    seeds: Tuple[int, ...]
+    headlines: Dict[str, HeadlineDistribution] = field(default_factory=dict)
+    funnel_accuracies: Tuple[float, ...] = ()
+
+    def stable(self, name: str, tolerance: float = 0.5) -> bool:
+        """Whether a headline's relative wobble stays under ``tolerance``."""
+        return self.headlines[name].relative_half_width < tolerance
+
+
+def run_seed_sweep(seeds: Sequence[int],
+                   base_config: Optional[ExperimentConfig] = None
+                   ) -> SweepSummary:
+    """Run the study once per seed and summarise the headline spread."""
+    if len(seeds) < 2:
+        raise ValueError("a sweep needs at least two seeds")
+    base_config = base_config or ExperimentConfig()
+
+    samples: Dict[str, List[float]] = {name: [] for name in _HEADLINES}
+    accuracies: List[float] = []
+    for seed in seeds:
+        config = replace(base_config, seed=seed)
+        results = StudyRunner(config).run()
+        smtp_domains = [d.domain
+                        for d in results.corpus.by_purpose("smtp")]
+        report = descaled_volume_report(results.records, results.window,
+                                        config.ham_scale, config.spam_scale,
+                                        smtp_domains)
+        for name, extractor in _HEADLINES.items():
+            samples[name].append(extractor(report))
+        correct, total = results.funnel_accuracy()
+        accuracies.append(correct / max(1, total))
+
+    summary = SweepSummary(seeds=tuple(seeds),
+                           funnel_accuracies=tuple(accuracies))
+    for name, values in samples.items():
+        mean, low, high = mean_confidence_interval(values)
+        summary.headlines[name] = HeadlineDistribution(
+            name=name, values=tuple(values), mean=mean,
+            ci_low=low, ci_high=high)
+    return summary

@@ -1,0 +1,57 @@
+"""Extrapolation: regression projection, typo-type popularity, economics (paper §6)."""
+
+from repro.extrapolate.economics import (
+    DOMAIN_PRICE_PER_YEAR,
+    AttackerEconomics,
+    DefenderPlan,
+    attacker_economics,
+    cost_per_email,
+    defensive_registration_plan,
+)
+from repro.extrapolate.projection import (
+    PROJECTION_TARGETS,
+    ProjectionExperiment,
+    ProjectionReport,
+)
+from repro.extrapolate.regression import (
+    FEATURE_NAMES,
+    FitResult,
+    RegressionObservation,
+    SqrtVolumeRegression,
+)
+from repro.extrapolate.sensitivity import (
+    FeatureKnockout,
+    feature_knockouts,
+    leave_one_target_out_r_squared,
+)
+from repro.extrapolate.typo_popularity import (
+    EDIT_TYPES,
+    EditTypePopularity,
+    edit_type_scale_factors,
+    estimate_typo_popularity,
+    popularity_by_edit_type,
+)
+
+__all__ = [
+    "RegressionObservation",
+    "SqrtVolumeRegression",
+    "FitResult",
+    "FEATURE_NAMES",
+    "ProjectionExperiment",
+    "ProjectionReport",
+    "PROJECTION_TARGETS",
+    "EditTypePopularity",
+    "EDIT_TYPES",
+    "popularity_by_edit_type",
+    "edit_type_scale_factors",
+    "estimate_typo_popularity",
+    "attacker_economics",
+    "AttackerEconomics",
+    "cost_per_email",
+    "defensive_registration_plan",
+    "DefenderPlan",
+    "DOMAIN_PRICE_PER_YEAR",
+    "FeatureKnockout",
+    "feature_knockouts",
+    "leave_one_target_out_r_squared",
+]

@@ -1,0 +1,110 @@
+"""Economic analyses (paper §6.2 "Economic implications" and §8 defenses).
+
+Two sides of the same ledger:
+
+* the **attacker**: registering .com domains at ~$8.50/year, a squatter
+  acquires misdirected email for under two cents apiece (the paper's
+  headline), and under a penny when keeping only the top-performing
+  domains;
+* the **defender**: large providers registering their own typo space
+  defensively get the most protection per dollar, because typo traffic
+  concentrates on typos of popular targets (paper §8, "Possible
+  defenses").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DOMAIN_PRICE_PER_YEAR",
+    "cost_per_email",
+    "AttackerEconomics",
+    "attacker_economics",
+    "DefenderPlan",
+    "defensive_registration_plan",
+]
+
+#: The paper's quoted .com registration price.
+DOMAIN_PRICE_PER_YEAR = 8.5
+
+
+def cost_per_email(domain_count: int, emails_per_year: float,
+                   price_per_domain: float = DOMAIN_PRICE_PER_YEAR) -> float:
+    """Dollars paid per captured email (registration costs only)."""
+    if emails_per_year <= 0:
+        return float("inf")
+    return domain_count * price_per_domain / emails_per_year
+
+
+@dataclass(frozen=True)
+class AttackerEconomics:
+    domain_count: int
+    emails_per_year: float
+    yearly_cost: float
+    cost_per_email: float
+    top5_cost_per_email: float  # keeping only the five best domains
+
+
+def attacker_economics(per_domain_yearly: Mapping[str, float],
+                       price_per_domain: float = DOMAIN_PRICE_PER_YEAR
+                       ) -> AttackerEconomics:
+    """Attacker-side summary over a measured per-domain volume map."""
+    domain_count = len(per_domain_yearly)
+    total = sum(per_domain_yearly.values())
+    top5 = sorted(per_domain_yearly.values(), reverse=True)[:5]
+    top5_total = sum(top5)
+    return AttackerEconomics(
+        domain_count=domain_count,
+        emails_per_year=total,
+        yearly_cost=domain_count * price_per_domain,
+        cost_per_email=cost_per_email(domain_count, total, price_per_domain),
+        top5_cost_per_email=cost_per_email(min(5, domain_count), top5_total,
+                                           price_per_domain),
+    )
+
+
+@dataclass(frozen=True)
+class DefenderPlan:
+    """A defensive-registration budget for one provider."""
+
+    target: str
+    domains_to_register: Tuple[str, ...]
+    yearly_cost: float
+    emails_protected_per_year: float
+
+    @property
+    def cost_per_protected_email(self) -> float:
+        if self.emails_protected_per_year <= 0:
+            return float("inf")
+        return self.yearly_cost / self.emails_protected_per_year
+
+
+def defensive_registration_plan(per_domain_yearly: Mapping[str, float],
+                                domain_targets: Mapping[str, str],
+                                target: str,
+                                budget_domains: Optional[int] = None,
+                                price_per_domain: float = DOMAIN_PRICE_PER_YEAR
+                                ) -> DefenderPlan:
+    """Greedy defensive plan: register the highest-traffic typos first.
+
+    ``per_domain_yearly`` maps typo domain → expected misdirected volume;
+    ``domain_targets`` maps typo domain → its target.  The greedy order
+    maximises protected email per dollar, the paper's argument for why
+    big providers get the largest impact per defensive registration.
+    """
+    candidates = [(volume, domain)
+                  for domain, volume in per_domain_yearly.items()
+                  if domain_targets.get(domain) == target]
+    candidates.sort(reverse=True)
+    if budget_domains is not None:
+        candidates = candidates[:budget_domains]
+    domains = tuple(domain for _, domain in candidates)
+    protected = sum(volume for volume, _ in candidates)
+    return DefenderPlan(
+        target=target,
+        domains_to_register=domains,
+        yearly_cost=len(domains) * price_per_domain,
+        emails_protected_per_year=protected,
+    )

@@ -1,0 +1,150 @@
+"""The end-to-end projection experiment (paper Section 6).
+
+Pipeline, exactly as the paper runs it:
+
+1. take the study's 25 seed domains targeting the five projection targets
+   (gmail, hotmail, outlook, comcast, verizon) with their measured yearly
+   true-typo volumes;
+2. fit the sqrt-space regression on (log Alexa rank, normalised visual
+   distance, fat-finger flag);
+3. enumerate the wild typosquatting domains of those five targets
+   (excluding defensive registrations and the study's own domains);
+4. project total yearly email volume with a 95% CI;
+5. re-project with the Figure-9 edit-type adjustment, since the wild set
+   is rich in deletion/transposition typos the training set lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ecosystem.internet import OwnerType, SimulatedInternet, WildDomain
+from repro.extrapolate.regression import (
+    RegressionObservation,
+    SqrtVolumeRegression,
+)
+from repro.extrapolate.typo_popularity import (
+    EditTypePopularity,
+    edit_type_scale_factors,
+    popularity_by_edit_type,
+)
+from repro.util.rand import SeededRng
+
+__all__ = ["PROJECTION_TARGETS", "ProjectionReport", "ProjectionExperiment"]
+
+#: The paper's five projection targets.
+PROJECTION_TARGETS = ("gmail.com", "hotmail.com", "outlook.com",
+                      "comcast.net", "verizon.net")
+
+
+@dataclass
+class ProjectionReport:
+    """Everything Section 6.2 reports."""
+
+    seed_domain_count: int
+    wild_domain_count: int
+    r_squared: float
+    loo_r_squared: float
+    base_total: float
+    base_ci: Tuple[float, float]
+    adjusted_total: float
+    adjusted_ci: Tuple[float, float]
+    edit_type_popularity: Dict[str, EditTypePopularity]
+    scale_factors: Dict[str, float]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable lines mirroring the paper's Section 6.2 text."""
+        low, high = self.base_ci
+        alow, ahigh = self.adjusted_ci
+        return [
+            f"seed domains: {self.seed_domain_count}",
+            f"wild typosquatting domains of 5 targets: {self.wild_domain_count}",
+            f"fit R^2 = {self.r_squared:.2f}, LOO-CV R^2 = {self.loo_r_squared:.2f}",
+            f"base projection: {self.base_total:,.0f} emails/yr "
+            f"(95% CI {low:,.0f} - {high:,.0f})",
+            f"typo-type adjusted: {self.adjusted_total:,.0f} emails/yr "
+            f"(95% CI {alow:,.0f} - {ahigh:,.0f})",
+        ]
+
+
+class ProjectionExperiment:
+    """Runs the Section 6 methodology against a simulated world."""
+
+    def __init__(self, internet: SimulatedInternet, rng: SeededRng,
+                 targets: Sequence[str] = PROJECTION_TARGETS) -> None:
+        self._internet = internet
+        self._rng = rng
+        self._targets = tuple(targets)
+
+    # -- data assembly ------------------------------------------------------
+
+    def wild_observations(self, exclude_domains: Sequence[str] = ()
+                          ) -> List[RegressionObservation]:
+        """Prediction rows for the wild ctypos of the projection targets.
+
+        Excludes defensive registrations (not typosquatting) and any
+        domains in ``exclude_domains`` (the study's own registrations).
+        """
+        excluded = {d.lower() for d in exclude_domains}
+        rows: List[RegressionObservation] = []
+        for wild in self._internet.wild_domains:
+            if wild.target not in self._targets:
+                continue
+            if wild.owner_type is OwnerType.DEFENSIVE:
+                continue
+            if wild.domain in excluded:
+                continue
+            rank = self._internet.alexa_rank(wild.target) or 10_000
+            rows.append(RegressionObservation(
+                domain=wild.domain,
+                target=wild.target,
+                yearly_emails=0.0,
+                alexa_rank=rank,
+                normalized_visual=wild.candidate.normalized_visual,
+                fat_finger=wild.candidate.is_fat_finger,
+            ))
+        return rows
+
+    def _wild_scale_factors(self, rows: Sequence[RegressionObservation],
+                            factors: Mapping[str, float]) -> List[float]:
+        by_domain = {w.domain: w for w in self._internet.wild_domains}
+        scales = []
+        for row in rows:
+            wild = by_domain[row.domain]
+            scales.append(factors.get(wild.candidate.edit_type, 1.0))
+        return scales
+
+    # -- the experiment ------------------------------------------------------
+
+    def run(self, seed_observations: Sequence[RegressionObservation],
+            exclude_domains: Sequence[str] = (),
+            n_bootstrap: int = 2000) -> ProjectionReport:
+        """Fit on the study's measurements and project over the wild set."""
+        regression = SqrtVolumeRegression()
+        fit = regression.fit(seed_observations)
+
+        wild_rows = self.wild_observations(exclude_domains=exclude_domains)
+        base_total, base_low, base_high = regression.predict_total_with_ci(
+            wild_rows, self._rng.child("base-ci"), n_bootstrap=n_bootstrap)
+
+        popularity = popularity_by_edit_type(
+            self._internet, self._rng.child("figure9"))
+        factors = edit_type_scale_factors(popularity)
+        scales = self._wild_scale_factors(wild_rows, factors)
+        adj_total, adj_low, adj_high = regression.predict_total_with_ci(
+            wild_rows, self._rng.child("adjusted-ci"),
+            scale_factors=scales, n_bootstrap=n_bootstrap)
+
+        return ProjectionReport(
+            seed_domain_count=len(seed_observations),
+            wild_domain_count=len(wild_rows),
+            r_squared=fit.r_squared,
+            loo_r_squared=fit.loo_r_squared,
+            base_total=base_total,
+            base_ci=(base_low, base_high),
+            adjusted_total=adj_total,
+            adjusted_ci=(adj_low, adj_high),
+            edit_type_popularity=popularity,
+            scale_factors=factors,
+        )

@@ -1,0 +1,177 @@
+"""The paper's projection regression (Section 6.2).
+
+A linear regression in square-root space: the dependent variable is
+``sqrt(yearly typo emails)`` and the features are exactly the paper's —
+the target's Alexa rank (log-transformed), the square root of the visual
+distance normalised by target length, and the fat-finger indicator.  The
+paper reports R² = 0.74 on the fit and 0.63 under leave-one-out
+cross-validation, then projects the fitted model over the 1,211 wild
+typosquatting domains of five popular targets with a 95% CI.
+
+Confidence intervals for the projected *total* come from a parametric
+bootstrap: coefficient draws from the estimated sampling distribution
+N(b, σ²(XᵀX)⁻¹) plus residual noise, with totals re-assembled in count
+space — reproducing the paper's strongly asymmetric interval
+(22,577 – 905,174 around 260,514).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rand import SeededRng
+
+__all__ = ["RegressionObservation", "FitResult", "SqrtVolumeRegression"]
+
+
+@dataclass(frozen=True)
+class RegressionObservation:
+    """One domain's measured (or to-be-predicted) traffic and features."""
+
+    domain: str
+    target: str
+    yearly_emails: float      # 0.0 for prediction-only rows
+    alexa_rank: int
+    normalized_visual: float
+    fat_finger: bool
+
+    def feature_vector(self) -> List[float]:
+        """The design-matrix row: intercept, log rank, sqrt visual, FF."""
+        return [
+            1.0,
+            math.log(max(1, self.alexa_rank)),
+            math.sqrt(max(0.0, self.normalized_visual)),
+            1.0 if self.fat_finger else 0.0,
+        ]
+
+
+FEATURE_NAMES = ("intercept", "log_alexa_rank", "sqrt_norm_visual",
+                 "fat_finger")
+
+
+@dataclass
+class FitResult:
+    coefficients: np.ndarray
+    r_squared: float
+    loo_r_squared: float
+    residual_variance: float
+    coefficient_covariance: np.ndarray
+    n_observations: int
+
+    def coefficient(self, name: str) -> float:
+        """The fitted coefficient of one named feature."""
+        return float(self.coefficients[FEATURE_NAMES.index(name)])
+
+
+class SqrtVolumeRegression:
+    """OLS in sqrt-count space with LOO-CV and bootstrap projection."""
+
+    def __init__(self) -> None:
+        self._fit: Optional[FitResult] = None
+
+    @property
+    def fit_result(self) -> FitResult:
+        if self._fit is None:
+            raise RuntimeError("call fit() first")
+        return self._fit
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, observations: Sequence[RegressionObservation]) -> FitResult:
+        """OLS fit in sqrt space with R-squared and LOO-CV."""
+        if len(observations) < len(FEATURE_NAMES) + 1:
+            raise ValueError(
+                f"need more than {len(FEATURE_NAMES)} observations, "
+                f"got {len(observations)}")
+        design = np.array([o.feature_vector() for o in observations])
+        response = np.sqrt(np.array([o.yearly_emails for o in observations]))
+
+        coefficients, *_ = np.linalg.lstsq(design, response, rcond=None)
+        fitted = design @ coefficients
+        residuals = response - fitted
+        ss_res = float(residuals @ residuals)
+        ss_tot = float(((response - response.mean()) ** 2).sum())
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else float("nan")
+
+        dof = len(observations) - len(FEATURE_NAMES)
+        residual_variance = ss_res / max(1, dof)
+        gram_inverse = np.linalg.pinv(design.T @ design)
+        covariance = residual_variance * gram_inverse
+
+        loo = self._loo_r_squared(design, response)
+        self._fit = FitResult(
+            coefficients=coefficients,
+            r_squared=r_squared,
+            loo_r_squared=loo,
+            residual_variance=residual_variance,
+            coefficient_covariance=covariance,
+            n_observations=len(observations),
+        )
+        return self._fit
+
+    @staticmethod
+    def _loo_r_squared(design: np.ndarray, response: np.ndarray) -> float:
+        predictions = np.zeros_like(response)
+        n = len(response)
+        for leave in range(n):
+            mask = np.arange(n) != leave
+            coeffs, *_ = np.linalg.lstsq(design[mask], response[mask],
+                                         rcond=None)
+            predictions[leave] = design[leave] @ coeffs
+        ss_res = float(((response - predictions) ** 2).sum())
+        ss_tot = float(((response - response.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else float("nan")
+
+    # -- prediction ----------------------------------------------------------------
+
+    def predict(self, observations: Sequence[RegressionObservation],
+                scale_factors: Optional[Sequence[float]] = None
+                ) -> np.ndarray:
+        """Point predictions of yearly emails (count space, >= 0).
+
+        ``scale_factors`` multiplies each domain's predicted *count* —
+        used for the typo-type adjustment of Section 6.2 (deletion and
+        transposition typos receive more traffic than the
+        addition/substitution typos the model was trained on).
+        """
+        fit = self.fit_result
+        design = np.array([o.feature_vector() for o in observations])
+        sqrt_predictions = np.clip(design @ fit.coefficients, 0.0, None)
+        counts = sqrt_predictions ** 2
+        if scale_factors is not None:
+            counts = counts * np.asarray(scale_factors, dtype=float)
+        return counts
+
+    def predict_total_with_ci(self, observations: Sequence[RegressionObservation],
+                              rng: SeededRng,
+                              scale_factors: Optional[Sequence[float]] = None,
+                              n_bootstrap: int = 2000,
+                              confidence: float = 0.95
+                              ) -> Tuple[float, float, float]:
+        """(total, ci_low, ci_high) for the summed yearly volume."""
+        fit = self.fit_result
+        design = np.array([o.feature_vector() for o in observations])
+        scales = (np.asarray(scale_factors, dtype=float)
+                  if scale_factors is not None
+                  else np.ones(len(observations)))
+
+        point_total = float(self.predict(observations, scale_factors).sum())
+
+        np_rng = rng.numpy_rng()
+        coefficient_draws = np_rng.multivariate_normal(
+            fit.coefficients, fit.coefficient_covariance, size=n_bootstrap)
+        totals = np.empty(n_bootstrap)
+        sigma = math.sqrt(fit.residual_variance)
+        for b in range(n_bootstrap):
+            sqrt_pred = design @ coefficient_draws[b]
+            sqrt_pred = sqrt_pred + np_rng.normal(0.0, sigma,
+                                                  size=len(observations))
+            counts = np.clip(sqrt_pred, 0.0, None) ** 2 * scales
+            totals[b] = counts.sum()
+        alpha = (1.0 - confidence) / 2.0
+        low, high = np.quantile(totals, [alpha, 1.0 - alpha])
+        return point_total, float(low), float(high)

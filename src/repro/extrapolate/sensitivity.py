@@ -1,0 +1,102 @@
+"""Sensitivity of the §6 regression to its feature set and seed data.
+
+Two analyses the paper implies but does not print:
+
+* **feature knockout** — refit with each feature removed and report the
+  R² drop; the paper's claim that rank, visual distance, and fat-finger
+  status all carry signal predicts every knockout hurts, with rank (the
+  popularity proxy) hurting most;
+* **leave-one-target-out** — the harsher cousin of the paper's
+  leave-one-out CV: hold out *all* domains of one target and predict
+  them from the rest, testing whether the model generalises across
+  targets rather than interpolating within them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.extrapolate.regression import (
+    FEATURE_NAMES,
+    RegressionObservation,
+    SqrtVolumeRegression,
+)
+
+__all__ = ["FeatureKnockout", "feature_knockouts",
+           "leave_one_target_out_r_squared"]
+
+
+@dataclass(frozen=True)
+class FeatureKnockout:
+    """Fit quality with one feature removed."""
+
+    removed_feature: str
+    r_squared: float
+    r_squared_drop: float
+
+
+def _masked_matrix(observations: Sequence[RegressionObservation],
+                   masked_index: int) -> np.ndarray:
+    """Zero one design column: the column contributes nothing and its
+    coefficient is harmless under the least-squares pseudo-inverse."""
+    design = np.array([o.feature_vector() for o in observations])
+    design[:, masked_index] = 0.0
+    return design
+
+
+def feature_knockouts(observations: Sequence[RegressionObservation]
+                      ) -> List[FeatureKnockout]:
+    """R² with each non-intercept feature knocked out."""
+    response = np.sqrt(np.array([o.yearly_emails for o in observations]))
+    ss_tot = float(((response - response.mean()) ** 2).sum())
+
+    def r_squared_for(design: np.ndarray) -> float:
+        coefficients, *_ = np.linalg.lstsq(design, response, rcond=None)
+        residuals = response - design @ coefficients
+        return 1.0 - float(residuals @ residuals) / ss_tot
+
+    full_design = np.array([o.feature_vector() for o in observations])
+    full_r2 = r_squared_for(full_design)
+
+    out: List[FeatureKnockout] = []
+    for index, name in enumerate(FEATURE_NAMES):
+        if name == "intercept":
+            continue
+        reduced = r_squared_for(_masked_matrix(observations, index))
+        out.append(FeatureKnockout(removed_feature=name,
+                                   r_squared=reduced,
+                                   r_squared_drop=full_r2 - reduced))
+    return out
+
+
+def leave_one_target_out_r_squared(
+        observations: Sequence[RegressionObservation]) -> float:
+    """R² of cross-target prediction (hold out one target at a time).
+
+    Requires observations from at least two targets; raises otherwise.
+    """
+    targets = sorted({o.target for o in observations})
+    if len(targets) < 2:
+        raise ValueError("need observations from at least two targets")
+
+    response = np.sqrt(np.array([o.yearly_emails for o in observations]))
+    predictions = np.zeros_like(response)
+    design = np.array([o.feature_vector() for o in observations])
+    target_of = np.array([targets.index(o.target) for o in observations])
+
+    for held_out in range(len(targets)):
+        train = target_of != held_out
+        test = ~train
+        if not test.any() or train.sum() <= design.shape[1]:
+            continue
+        coefficients, *_ = np.linalg.lstsq(design[train], response[train],
+                                           rcond=None)
+        predictions[test] = design[test] @ coefficients
+
+    ss_res = float(((response - predictions) ** 2).sum())
+    ss_tot = float(((response - response.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else float("nan")

@@ -1,0 +1,34 @@
+"""Honey-email experiments: playing the typosquatting victim (paper §7)."""
+
+from repro.honey.campaign import (
+    HoneyCampaign,
+    HoneyTokenResult,
+    PROBE_OUTCOMES,
+    ProbeCampaignResult,
+    ProbeOutcomeTable,
+)
+from repro.honey.emails import (
+    HONEY_DESIGNS,
+    HoneyBait,
+    make_honey_email,
+    make_probe_email,
+)
+from repro.honey.monitor import AccessEvent, AccessKind, AccessMonitor
+from repro.honey.squatters import SquatterBehaviorConfig, SquatterBehaviorModel
+
+__all__ = [
+    "make_honey_email",
+    "make_probe_email",
+    "HoneyBait",
+    "HONEY_DESIGNS",
+    "AccessMonitor",
+    "AccessEvent",
+    "AccessKind",
+    "SquatterBehaviorModel",
+    "SquatterBehaviorConfig",
+    "HoneyCampaign",
+    "ProbeCampaignResult",
+    "ProbeOutcomeTable",
+    "PROBE_OUTCOMES",
+    "HoneyTokenResult",
+]

@@ -1,0 +1,206 @@
+"""The honey-email campaigns (paper §7.1's two measurement experiments).
+
+**Probe experiment** — benign test emails to every candidate domain that
+shows any sign of SMTP life, one per listening port (25/465/587),
+tabulating the outcome per public/private WHOIS registration: Table 5's
+no-error / bounce / timeout / network-error / other matrix, plus the MX
+concentration of the accepting domains (Table 6).
+
+**Honey-token experiment** — a conservative pilot (at most four domains
+per identified registrant) followed by the full run: all four honey
+designs to every domain that accepted probes, then watching the monitor
+for reads and bait accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dnssim import Resolver
+from repro.ecosystem.internet import SimulatedInternet
+from repro.ecosystem.scanner import EcosystemScan, ScanResult
+from repro.honey.emails import (
+    HONEY_DESIGNS,
+    HoneyBait,
+    make_honey_email,
+    make_probe_email,
+)
+from repro.honey.monitor import AccessMonitor
+from repro.honey.squatters import SquatterBehaviorModel
+from repro.smtpsim import SendStatus, SmtpClient
+from repro.smtpsim.protocol import SMTP_PORTS
+from repro.util.rand import SeededRng
+
+__all__ = ["ProbeOutcomeTable", "ProbeCampaignResult", "HoneyCampaign",
+           "HoneyTokenResult"]
+
+#: Table 5's row labels in order.
+PROBE_OUTCOMES = ("no_error", "bounce", "timeout", "network_error",
+                  "other_error")
+
+_STATUS_TO_OUTCOME = {
+    SendStatus.DELIVERED: "no_error",
+    SendStatus.BOUNCED: "bounce",
+    SendStatus.TIMEOUT: "timeout",
+    SendStatus.NETWORK_ERROR: "network_error",
+    SendStatus.OTHER_ERROR: "other_error",
+    SendStatus.NO_ROUTE: "network_error",
+}
+
+
+@dataclass
+class ProbeOutcomeTable:
+    """Table 5: probe outcomes split by WHOIS registration privacy."""
+
+    public: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in PROBE_OUTCOMES})
+    private: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in PROBE_OUTCOMES})
+
+    def record(self, outcome: str, is_private: bool) -> None:
+        """Count one probe outcome in the right WHOIS column."""
+        table = self.private if is_private else self.public
+        table[outcome] += 1
+
+    def total(self, is_private: bool) -> int:
+        """Column total for the public or private side."""
+        table = self.private if is_private else self.public
+        return sum(table.values())
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """Table 5 rows: (outcome, public count, private count)."""
+        return [(outcome, self.public[outcome], self.private[outcome])
+                for outcome in PROBE_OUTCOMES]
+
+
+@dataclass
+class ProbeCampaignResult:
+    table: ProbeOutcomeTable
+    accepting_domains: List[str]
+    mx_of_accepting: Dict[str, int]
+    domains_probed: int
+
+    def mx_table(self) -> List[Tuple[str, int, float]]:
+        """Table 6 rows: (mx domain, count, percent), descending."""
+        total = sum(self.mx_of_accepting.values())
+        rows = sorted(self.mx_of_accepting.items(), key=lambda kv: -kv[1])
+        return [(host, count, 100.0 * count / total if total else 0.0)
+                for host, count in rows]
+
+
+@dataclass
+class HoneyTokenResult:
+    emails_sent: int
+    emails_accepted: int
+    emails_opened: int
+    monitor: AccessMonitor
+
+    @property
+    def domains_read(self) -> List[str]:
+        return self.monitor.domains_with_reads()
+
+    @property
+    def domains_acted(self) -> List[str]:
+        return self.monitor.domains_with_token_access()
+
+
+class HoneyCampaign:
+    """Runs both §7 experiments against the simulated ecosystem."""
+
+    def __init__(self, internet: SimulatedInternet, rng: SeededRng,
+                 behavior: Optional[SquatterBehaviorModel] = None) -> None:
+        self._internet = internet
+        self._rng = rng
+        self._client = SmtpClient(Resolver(internet.registry),
+                                  internet.network,
+                                  helo_hostname="probe.study-vps.example")
+        self._behavior = behavior or SquatterBehaviorModel(
+            internet, rng.child("squatters"))
+
+    # -- experiment 1: probes ----------------------------------------------------
+
+    def probe_targets_from_scan(self, scan: EcosystemScan) -> List[ScanResult]:
+        """Domains worth probing: anything with a resolvable mail path.
+
+        The paper selected domains that listened on some SMTP port per
+        zmap — i.e. everything except the clearly mail-dead names.
+        """
+        from repro.ecosystem.internet import SmtpSupport
+        return [r for r in scan.results
+                if r.support is not SmtpSupport.NO_DNS and r.addresses]
+
+    def run_probe_campaign(self, targets: Sequence[ScanResult]
+                           ) -> ProbeCampaignResult:
+        """Probe every target on the three SMTP ports (Table 5/6)."""
+        table = ProbeOutcomeTable()
+        accepting: List[str] = []
+        mx_counts: Dict[str, int] = {}
+
+        for result in targets:
+            best = self._probe_domain(result.domain)
+            table.record(best, result.whois_private)
+            if best == "no_error":
+                accepting.append(result.domain)
+                mx = result.primary_mx_domain or result.domain
+                mx_counts[mx] = mx_counts.get(mx, 0) + 1
+
+        return ProbeCampaignResult(table=table,
+                                   accepting_domains=accepting,
+                                   mx_of_accepting=mx_counts,
+                                   domains_probed=len(targets))
+
+    def _probe_domain(self, domain: str) -> str:
+        """Send one probe per standard port; report the best outcome."""
+        precedence = ("no_error", "bounce", "other_error", "network_error",
+                      "timeout")
+        best = "timeout"
+        recipient = f"test@{domain}"
+        for port in SMTP_PORTS:
+            message = make_probe_email(recipient)
+            result = self._client.send(message, recipient=recipient,
+                                       port=port)
+            outcome = _STATUS_TO_OUTCOME[result.status]
+            if precedence.index(outcome) < precedence.index(best):
+                best = outcome
+        return best
+
+    # -- experiment 2: honey tokens --------------------------------------------------
+
+    def select_pilot_domains(self, accepting: Sequence[str],
+                             max_per_registrant: int = 4,
+                             pilot_size: int = 738) -> List[str]:
+        """The pilot's conservative selection: at most four per registrant."""
+        per_owner: Dict[str, int] = {}
+        chosen: List[str] = []
+        for domain in accepting:
+            wild = self._internet.ground_truth(domain)
+            owner = wild.owner_id if wild else f"unknown-{domain}"
+            if per_owner.get(owner, 0) >= max_per_registrant:
+                continue
+            per_owner[owner] = per_owner.get(owner, 0) + 1
+            chosen.append(domain)
+            if len(chosen) >= pilot_size:
+                break
+        return chosen
+
+    def run_token_campaign(self, domains: Sequence[str],
+                           designs: Sequence[str] = HONEY_DESIGNS,
+                           monitor: Optional[AccessMonitor] = None
+                           ) -> HoneyTokenResult:
+        """Send the given honey designs to each domain, once each."""
+        monitor = monitor if monitor is not None else AccessMonitor()
+        sent = accepted = opened = 0
+        for domain in domains:
+            recipient = f"accounts@{domain}"
+            for design in designs:
+                message, bait = make_honey_email(design, recipient)
+                sent += 1
+                result = self._client.send(message, recipient=recipient)
+                if result.status is not SendStatus.DELIVERED:
+                    continue
+                accepted += 1
+                if self._behavior.process_accepted_email(bait, monitor):
+                    opened += 1
+        return HoneyTokenResult(emails_sent=sent, emails_accepted=accepted,
+                                emails_opened=opened, monitor=monitor)

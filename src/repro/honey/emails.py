@@ -1,0 +1,130 @@
+"""Honey email designs (paper §7.1).
+
+Four designs, each carrying a different monitorable bait, plus an inlined
+1x1 tracking pixel hosted on a VPS the researchers control:
+
+1. login credentials for an account at a major email provider;
+2. login credentials for a shell account on a researcher-controlled VPS;
+3. a link to a "tax document" on a document-sharing service with access
+   logging;
+4. a DOCX attachment with (fake) payment information that signals back
+   when opened (DOCX readers fetch external resources more often than
+   PDF readers — the paper picked DOCX for exactly that reason).
+
+Every bait artifact gets an identifier that is unique per (recipient
+domain, design) so that any later access can be attributed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.smtpsim.message import Attachment, EmailMessage
+
+__all__ = ["HoneyDesign", "HoneyBait", "make_honey_email", "HONEY_DESIGNS",
+           "make_probe_email"]
+
+HONEY_DESIGNS = ("email_credentials", "shell_credentials",
+                 "document_link", "docx_payment")
+
+_PIXEL_HOST = "cdn-metrics.study-vps.example"
+_DOCS_HOST = "docshare.example"
+_SHELL_HOST = "shell.study-vps.example"
+
+
+@dataclass(frozen=True)
+class HoneyBait:
+    """The monitorable artifacts embedded in one honey email."""
+
+    design: str
+    recipient_domain: str
+    pixel_id: str
+    credential_id: Optional[str] = None   # honey account this email leaks
+    token_id: Optional[str] = None        # document/attachment token
+
+    @property
+    def pixel_url(self) -> str:
+        return f"http://{_PIXEL_HOST}/px/{self.pixel_id}.gif"
+
+
+def _stable_id(*parts: str) -> str:
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def make_honey_email(design: str, recipient: str,
+                     sender: str = "julia.meyers@personal-mail.example"
+                     ) -> Tuple[EmailMessage, HoneyBait]:
+    """Build one honey email of the given design for ``recipient``.
+
+    Wording mimics real user-to-user interactions (the paper piloted the
+    templates on group members to make sure they read as plausible and
+    passed spam filters).
+    """
+    if design not in HONEY_DESIGNS:
+        raise ValueError(f"unknown honey design {design!r}")
+    domain = recipient.rpartition("@")[2]
+    pixel_id = _stable_id("pixel", design, domain)
+    bait = HoneyBait(design=design, recipient_domain=domain,
+                     pixel_id=pixel_id)
+
+    pixel_tag = f'<img src="{bait.pixel_url}" width="1" height="1">'
+
+    if design == "email_credentials":
+        credential_id = _stable_id("mail-cred", domain)
+        bait = HoneyBait(design, domain, pixel_id, credential_id=credential_id)
+        body = (
+            "hey, as promised here is the login for the shared inbox:\n"
+            f"account: team.{credential_id[:6]}@bigmail.example\n"
+            f"password: Sp2016-{credential_id[6:12]}\n"
+            "delete this after you save it somewhere safe.\n" + pixel_tag)
+        subject = "shared inbox login"
+        attachments: List[Attachment] = []
+    elif design == "shell_credentials":
+        credential_id = _stable_id("shell-cred", domain)
+        bait = HoneyBait(design, domain, pixel_id, credential_id=credential_id)
+        body = (
+            "the staging box is up again. ssh in with\n"
+            f"host: {_SHELL_HOST}\n"
+            f"user: deploy_{credential_id[:6]}\n"
+            f"pass: {credential_id[6:14]}\n"
+            "ping me if the build is still broken.\n" + pixel_tag)
+        subject = "staging box access"
+        attachments = []
+    elif design == "document_link":
+        token_id = _stable_id("doc", domain)
+        bait = HoneyBait(design, domain, pixel_id, token_id=token_id)
+        body = (
+            "i shared the tax document you asked about:\n"
+            f"http://{_DOCS_HOST}/d/{token_id}\n"
+            "let me know if the numbers look right before friday.\n"
+            + pixel_tag)
+        subject = "tax document for review"
+        attachments = []
+    else:  # docx_payment
+        token_id = _stable_id("docx", domain)
+        bait = HoneyBait(design, domain, pixel_id, token_id=token_id)
+        docx_body = (f"PK-OOXML\n<w:t>payment details attached</w:t>"
+                     f"<w:t>HONEYTOKEN:{token_id}</w:t>"
+                     f"<w:t>routing 000000 account 00000000</w:t>")
+        attachments = [Attachment("payment_details.docx",
+                                  docx_body.encode("utf-8"))]
+        body = ("attached are the payment details for the invoice. "
+                "double check the account number please.\n" + pixel_tag)
+        subject = "invoice payment details"
+
+    message = EmailMessage.create(from_addr=sender, to_addr=recipient,
+                                  subject=subject, body=body,
+                                  attachments=attachments)
+    return message, bait
+
+
+def make_probe_email(recipient: str,
+                     sender: str = "probe@study-vps.example"
+                     ) -> EmailMessage:
+    """The first experiment's benign test email (no sensitive content)."""
+    return EmailMessage.create(
+        from_addr=sender, to_addr=recipient,
+        subject="test",
+        body="test message, please ignore.")

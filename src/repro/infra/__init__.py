@@ -1,0 +1,38 @@
+"""Collection infrastructure: VPS provisioning, the main collector, encrypted storage."""
+
+from repro.infra.collector import CollectorStats, MainCollectionServer
+from repro.infra.forwarding import (
+    COLLECTOR_HOSTNAME,
+    COLLECTOR_IP,
+    ForwardingStats,
+    attach_forwarding,
+)
+from repro.infra.provisioning import (
+    CollectionInfrastructure,
+    VpsAllocator,
+    provision_study,
+    surrender_domain,
+)
+from repro.infra.storage import (
+    EncryptedStore,
+    KeyVault,
+    StorageSealedError,
+    StoredRecord,
+)
+
+__all__ = [
+    "MainCollectionServer",
+    "CollectorStats",
+    "VpsAllocator",
+    "CollectionInfrastructure",
+    "provision_study",
+    "surrender_domain",
+    "KeyVault",
+    "EncryptedStore",
+    "StoredRecord",
+    "StorageSealedError",
+    "attach_forwarding",
+    "ForwardingStats",
+    "COLLECTOR_HOSTNAME",
+    "COLLECTOR_IP",
+]

@@ -1,0 +1,84 @@
+"""The main collection server (paper Fig. 1, right-hand side).
+
+Every VPS forwards accepted mail here.  The collector never sends mail; it
+counts, optionally processes (pipeline hook), and appends to an in-memory
+corpus that the analyses consume.  A bounded-queue failure mode models the
+paper's infrastructure being "overwhelmed with spam, and crashing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.smtpsim.message import EmailMessage
+
+__all__ = ["MainCollectionServer", "CollectorStats"]
+
+ProcessHook = Callable[[EmailMessage], None]
+
+
+@dataclass
+class CollectorStats:
+    ingested: int = 0
+    dropped_overload: int = 0
+    dropped_outage: int = 0
+
+
+class MainCollectionServer:
+    """Central sink for all study mail.
+
+    Parameters
+    ----------
+    daily_capacity:
+        Messages the server can absorb per simulated day before it starts
+        dropping (None = unlimited).  The experiment runner uses this to
+        reproduce the paper's collection gaps.
+    process_hook:
+        Called for each ingested message (the processing pipeline); any
+        exception from the hook is *not* swallowed — pipeline bugs should
+        surface, not silently lose data.
+    """
+
+    def __init__(self, daily_capacity: Optional[int] = None,
+                 process_hook: Optional[ProcessHook] = None) -> None:
+        self.daily_capacity = daily_capacity
+        self.process_hook = process_hook
+        self.corpus: List[EmailMessage] = []
+        self.stats = CollectorStats()
+        self._outage = False
+        self._current_day: Optional[int] = None
+        self._today_count = 0
+
+    # -- outage control (driven by the experiment runner) --------------------
+
+    def set_outage(self, outage: bool) -> None:
+        """Toggle the crashed-infrastructure state (drops all mail)."""
+        self._outage = outage
+
+    @property
+    def in_outage(self) -> bool:
+        return self._outage
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, message: EmailMessage) -> None:
+        """Accept one forwarded message, subject to outage/capacity."""
+        if self._outage:
+            self.stats.dropped_outage += 1
+            return
+        day = int(message.received_at // 86_400)
+        if day != self._current_day:
+            self._current_day = day
+            self._today_count = 0
+        if self.daily_capacity is not None and self._today_count >= self.daily_capacity:
+            self.stats.dropped_overload += 1
+            return
+        self._today_count += 1
+        self.stats.ingested += 1
+        if self.process_hook is not None:
+            self.process_hook(message)
+        self.corpus.append(message)
+
+    def __len__(self) -> int:
+        return len(self.corpus)

@@ -1,0 +1,137 @@
+"""Provisioning of the study's collection infrastructure (paper Fig. 1).
+
+Each registered typo domain gets a dedicated virtual private server with
+its own IP address — a one-to-one domain↔IP mapping.  The mapping is
+load-bearing: the SMTP protocol does not put the contacted server's domain
+name in the headers, so the *only* way to attribute an SMTP-typo email to
+the typo domain that attracted it is the IP it arrived on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.targets import StudyCorpus
+from repro.dnssim import DomainRegistry, Registration, Zone, collection_zone
+from repro.smtpsim import Network, SmtpServer
+
+from repro.infra.collector import MainCollectionServer
+
+__all__ = ["VpsAllocator", "CollectionInfrastructure", "provision_study",
+           "surrender_domain"]
+
+#: The study's address block (documentation range, never routable).
+VPS_ADDRESS_PREFIX = "198.51"
+
+
+class VpsAllocator:
+    """Hands out unique VPS IP addresses from the study's address block."""
+
+    def __init__(self, prefix: str = VPS_ADDRESS_PREFIX) -> None:
+        self._prefix = prefix
+        self._next = 1
+
+    def allocate(self) -> str:
+        """The next unique VPS address from the study's block."""
+        index = self._next
+        self._next += 1
+        if index > 255 * 250:
+            raise RuntimeError("VPS address block exhausted")
+        high, low = divmod(index, 250)
+        return f"{self._prefix}.{100 + high}.{low + 1}"
+
+
+@dataclass
+class CollectionInfrastructure:
+    """The provisioned study: domains registered, VPSes attached, collector wired.
+
+    ``domain_to_ip`` is the one-to-one map used later to attribute
+    SMTP-typo emails; ``servers`` are the per-domain VPS SMTP servers, each
+    forwarding into the shared :class:`MainCollectionServer`.
+    """
+
+    collector: MainCollectionServer
+    domain_to_ip: Dict[str, str] = field(default_factory=dict)
+    servers: Dict[str, SmtpServer] = field(default_factory=dict)
+
+    def ip_for(self, domain: str) -> Optional[str]:
+        """The VPS address serving ``domain``, or None."""
+        return self.domain_to_ip.get(domain.lower())
+
+    def domain_for_ip(self, ip: str) -> Optional[str]:
+        """Reverse lookup: which study domain owns ``ip``."""
+        for domain, addr in self.domain_to_ip.items():
+            if addr == ip:
+                return domain
+        return None
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted(self.domain_to_ip)
+
+
+def surrender_domain(infra: CollectionInfrastructure,
+                     registry: DomainRegistry, network: Network,
+                     domain: str, new_owner: str) -> bool:
+    """Hand a study domain over to a trademark owner (paper §4.1).
+
+    The IRB protocol committed the researchers to "surrender any domain
+    we registered to the legitimate owner of a trademark it could
+    potentially infringe upon simple request".  Surrendering tears the
+    domain out of the collection infrastructure — VPS detached, zone
+    deregistered — and re-registers it to the requesting owner with an
+    empty zone (their DNS, their business).
+
+    Returns False when the domain is not part of the study.
+    """
+    domain = domain.lower()
+    ip = infra.domain_to_ip.pop(domain, None)
+    if ip is None:
+        return False
+    infra.servers.pop(domain, None)
+    network.detach(ip)
+    registry.deregister(domain)
+    registry.register(Registration(
+        domain=domain,
+        zone=Zone(origin=domain),
+        registrant_id=new_owner,
+    ))
+    return True
+
+
+def provision_study(corpus: StudyCorpus, registry: DomainRegistry,
+                    network: Network,
+                    collector: Optional[MainCollectionServer] = None,
+                    registrant_id: str = "study-researchers",
+                    nameserver: str = "ns.study-infra.net") -> CollectionInfrastructure:
+    """Register every study domain and attach its dedicated VPS.
+
+    Mirrors the paper's setup: per-domain wildcard MX+A zones (Table 1),
+    one VPS per domain, all VPSes forwarding accepted mail — stamped with
+    the VPS IP — to the main collection server.
+    """
+    if collector is None:
+        collector = MainCollectionServer()
+    allocator = VpsAllocator()
+    infra = CollectionInfrastructure(collector=collector)
+
+    for typo_domain in corpus.domains:
+        domain = typo_domain.domain
+        ip = allocator.allocate()
+        registry.register(Registration(
+            domain=domain,
+            zone=collection_zone(domain, ip),
+            nameserver=nameserver,
+            registrant_id=registrant_id,
+        ))
+        server = SmtpServer(
+            hostname=domain,
+            ip=ip,
+            on_delivery=collector.ingest,
+        )
+        network.attach(ip, server)
+        infra.domain_to_ip[domain] = ip
+        infra.servers[domain] = server
+
+    return infra

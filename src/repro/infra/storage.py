@@ -1,0 +1,123 @@
+"""Encrypted at-rest storage for collected email (paper §4.1).
+
+The paper's protocol requires that stored emails be useless without an
+encryption key kept on removable media, separate from the server.  We
+model that contract: :class:`EncryptedStore` holds only ciphertext, the
+key lives in a detachable :class:`KeyVault`, and decryption without the
+vault attached fails.  The cipher is a keyed SHA-256 keystream (a real
+deployment would use NaCl/Fernet; the *system property* — ciphertext and
+key separation — is what the study depends on, not the cipher strength).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["KeyVault", "EncryptedStore", "StoredRecord", "StorageSealedError"]
+
+
+class StorageSealedError(RuntimeError):
+    """Raised when decrypting while the key vault is detached."""
+
+
+@dataclass
+class KeyVault:
+    """The removable-media key: attachable/detachable at runtime."""
+
+    key: bytes
+    attached: bool = True
+
+    @classmethod
+    def generate(cls, seed: int) -> "KeyVault":
+        key = hashlib.sha256(f"vault-key-{seed}".encode()).digest()
+        return cls(key=key)
+
+    def detach(self) -> None:
+        """Pull the removable key: decryption becomes impossible."""
+        self.attached = False
+
+    def attach(self) -> None:
+        """Reinsert the removable key."""
+        self.attached = True
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """A SHA-256-in-counter-mode keystream."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One encrypted email part: ciphertext plus integrity tag."""
+
+    record_id: str
+    nonce: bytes
+    ciphertext: bytes
+    mac: bytes
+    kind: str  # header | body | attachment | log
+
+
+class EncryptedStore:
+    """Stores email parts encrypted under a :class:`KeyVault` key.
+
+    ``put`` always works (encryption needs the key, which must be attached
+    at write time — like the paper's live pipeline); ``get`` raises
+    :class:`StorageSealedError` when the vault is detached, modelling an
+    attacker with disk access but no key.
+    """
+
+    def __init__(self, vault: KeyVault) -> None:
+        self._vault = vault
+        self._records: Dict[str, StoredRecord] = {}
+        self._counter = 0
+
+    def put(self, plaintext: bytes, kind: str = "body") -> str:
+        """Encrypt and store one part; returns its record id."""
+        if not self._vault.attached:
+            raise StorageSealedError("cannot encrypt: key vault detached")
+        self._counter += 1
+        record_id = f"rec-{self._counter:08d}"
+        nonce = hashlib.sha256(record_id.encode()).digest()[:12]
+        stream = _keystream(self._vault.key, nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = hmac.new(self._vault.key, nonce + ciphertext,
+                       hashlib.sha256).digest()
+        self._records[record_id] = StoredRecord(record_id, nonce, ciphertext,
+                                                mac, kind)
+        return record_id
+
+    def get(self, record_id: str) -> bytes:
+        """Decrypt one record (vault must be attached; MAC verified)."""
+        if not self._vault.attached:
+            raise StorageSealedError("cannot decrypt: key vault detached")
+        record = self._records[record_id]
+        expected = hmac.new(self._vault.key, record.nonce + record.ciphertext,
+                            hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, record.mac):
+            raise ValueError(f"integrity check failed for {record_id}")
+        stream = _keystream(self._vault.key, record.nonce,
+                            len(record.ciphertext))
+        return bytes(c ^ s for c, s in zip(record.ciphertext, stream))
+
+    def raw_ciphertext(self, record_id: str) -> bytes:
+        """What an attacker with disk access sees (no key required)."""
+        return self._records[record_id].ciphertext
+
+    def records_of_kind(self, kind: str) -> List[str]:
+        """Record ids of all parts stored with ``kind``."""
+        return [r.record_id for r in self._records.values() if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._records

@@ -1,0 +1,45 @@
+"""Email processing pipeline: tokenize, extract, scrub, encrypt (paper Fig. 2)."""
+
+from repro.pipeline.extraction import (
+    SUPPORTED_EXTENSIONS,
+    ExtractionError,
+    extract_text,
+)
+from repro.pipeline.processor import (
+    EmailProcessor,
+    ProcessedAttachment,
+    ProcessedEmail,
+)
+from repro.pipeline.sensitive import (
+    SENTINEL,
+    ScrubResult,
+    SensitiveMatch,
+    SensitiveScrubber,
+    card_brand,
+    luhn_valid,
+)
+from repro.pipeline.tokenizer import (
+    ARCHIVE_EXTENSIONS,
+    HeaderMetadata,
+    TokenizedEmail,
+    tokenize,
+)
+
+__all__ = [
+    "tokenize",
+    "TokenizedEmail",
+    "HeaderMetadata",
+    "ARCHIVE_EXTENSIONS",
+    "extract_text",
+    "ExtractionError",
+    "SUPPORTED_EXTENSIONS",
+    "SensitiveScrubber",
+    "SensitiveMatch",
+    "ScrubResult",
+    "SENTINEL",
+    "luhn_valid",
+    "card_brand",
+    "EmailProcessor",
+    "ProcessedEmail",
+    "ProcessedAttachment",
+]

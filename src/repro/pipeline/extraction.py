@@ -1,0 +1,111 @@
+"""Text extraction from attachments (paper Fig. 2, Textract stage).
+
+The real study ran Textract, which understands dozens of formats and even
+performs OCR on images.  Our simulated attachments carry their payload in
+a light container format per extension, and this module is the *only*
+component that knows how to open each container — exactly the role
+Textract plays.  Unknown binary formats yield no text (but no error), and
+image formats go through a pretend-OCR that recovers embedded text marked
+by the workload generators.
+
+Container conventions (produced by :mod:`repro.workloads`):
+
+* ``txt``/``ics``/``xml``/``html``/``rtf`` — text, possibly with markup.
+* ``pdf``  — ``%PDF-SIM\\n`` header followed by page text.
+* ``docx``/``docm``/``pptx`` — ``PK-OOXML\\n`` header followed by XML-ish
+  paragraphs ``<w:t>...</w:t>``.
+* ``xls``/``xlsx`` — ``XLS-SIM\\n`` header, one cell per line ``A1=value``.
+* ``jpg``/``jpeg``/``png``/``gif`` — binary-ish blob; OCR-able text appears
+  after an ``OCR:`` marker (absent marker = picture with no text).
+* ``zip``/``rar`` — opaque archives; extraction refuses them (the
+  filtering pipeline has already discarded these as spam).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.smtpsim.message import Attachment
+
+__all__ = ["extract_text", "ExtractionError", "SUPPORTED_EXTENSIONS"]
+
+
+class ExtractionError(ValueError):
+    """Raised for containers extraction must not open (archives)."""
+
+
+_PLAIN_TEXT = {"txt", "ics", "csv", "log", "eml"}
+_MARKUP = {"html", "htm", "xml", "rtf"}
+_PDF = {"pdf"}
+_OOXML = {"docx", "docm", "doc", "pptx"}
+_SHEET = {"xls", "xlsx", "xlsm"}
+_IMAGE = {"jpg", "jpeg", "png", "gif", "bmp", "tiff"}
+_ARCHIVE = {"zip", "rar"}
+
+SUPPORTED_EXTENSIONS = frozenset(
+    _PLAIN_TEXT | _MARKUP | _PDF | _OOXML | _SHEET | _IMAGE)
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_OOXML_TEXT_RE = re.compile(r"<w:t>(.*?)</w:t>", re.DOTALL)
+
+
+def extract_text(attachment: Attachment) -> Optional[str]:
+    """Extract readable text from an attachment.
+
+    Returns ``None`` when the format holds no recoverable text (e.g. an
+    image without OCR-able content, or an unknown binary format) and
+    raises :class:`ExtractionError` for archives.
+    """
+    extension = attachment.extension
+    if extension in _ARCHIVE:
+        raise ExtractionError(
+            f"refusing to open archive attachment {attachment.filename!r}")
+
+    try:
+        raw = attachment.content.decode("utf-8")
+    except UnicodeDecodeError:
+        raw = attachment.content.decode("utf-8", errors="ignore")
+
+    if extension in _PLAIN_TEXT:
+        return raw
+    if extension in _MARKUP:
+        return _TAG_RE.sub(" ", raw)
+    if extension in _PDF:
+        return _strip_container_header(raw, "%PDF-SIM")
+    if extension in _OOXML:
+        body = _strip_container_header(raw, "PK-OOXML")
+        if body is None:
+            return None
+        paragraphs = _OOXML_TEXT_RE.findall(body)
+        return "\n".join(paragraphs) if paragraphs else _TAG_RE.sub(" ", body)
+    if extension in _SHEET:
+        body = _strip_container_header(raw, "XLS-SIM")
+        if body is None:
+            return None
+        cells = []
+        for line in body.splitlines():
+            _, _, value = line.partition("=")
+            if value:
+                cells.append(value)
+        return "\n".join(cells)
+    if extension in _IMAGE:
+        return _simulated_ocr(raw)
+    # unknown format: Textract gives up silently
+    return None
+
+
+def _strip_container_header(raw: str, marker: str) -> Optional[str]:
+    if not raw.startswith(marker):
+        return None
+    _, _, body = raw.partition("\n")
+    return body
+
+
+def _simulated_ocr(raw: str) -> Optional[str]:
+    """OCR stand-in: recover text after an ``OCR:`` marker, if present."""
+    marker = "OCR:"
+    position = raw.find(marker)
+    if position == -1:
+        return None
+    return raw[position + len(marker):].strip()

@@ -1,0 +1,201 @@
+"""Report rendering and figure-data export for a completed study run.
+
+``render_study_report`` produces a self-contained Markdown report with
+every §4.4 analysis; ``export_figure_data`` writes the plotting-ready
+series behind each figure as CSV files, so downstream users can regenerate
+the paper's plots with whatever toolchain they prefer (this repository
+deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis import (
+    daily_series,
+    extension_histogram,
+    figure5_curve,
+    funnel_layer_report,
+    malware_lookup,
+    sensitive_heatmap,
+    smtp_persistence,
+    volume_feature_correlations,
+)
+from repro.analysis.volume import descaled_volume_report
+from repro.experiment.runner import StudyResults
+from repro.spamfilter import Verdict
+
+__all__ = ["render_study_report", "export_figure_data"]
+
+
+def render_study_report(results: StudyResults) -> str:
+    """A Markdown report covering every §4.4 analysis of one run."""
+    config = results.config
+    smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
+    report = descaled_volume_report(results.records, results.window,
+                                    config.ham_scale, config.spam_scale,
+                                    smtp_domains)
+    correct, total = results.funnel_accuracy()
+
+    lines: List[str] = []
+    push = lines.append
+    push("# Email typosquatting study report")
+    push("")
+    push(f"* seed `{config.seed}`, spam scale `{config.spam_scale}`, "
+         f"ham scale `{config.ham_scale}`")
+    push(f"* window: {results.window.total_days} days, "
+         f"{results.window.effective_days} effective")
+    push(f"* collected: {results.delivered_count} emails "
+         f"({results.sent_count} sent)")
+    push(f"* funnel/ground-truth agreement: {correct / max(1, total):.1%}")
+    push("")
+
+    push("## Yearly projections (scale-corrected)")
+    push("")
+    push("| quantity | per year |")
+    push("|---|---:|")
+    push(f"| total received | {report.total_received:,.0f} |")
+    push(f"| receiver/reflection candidates | "
+         f"{report.receiver_candidates:,.0f} |")
+    push(f"| SMTP candidates | {report.smtp_candidates:,.0f} |")
+    push(f"| genuine typo emails | {report.passed_all_filters:,.0f} |")
+    low, high = report.smtp_typo_range()
+    push(f"| SMTP-typo band | {low:,.0f} – {high:,.0f} |")
+    push(f"| receiver typos at SMTP-purpose domains | "
+         f"{report.receiver_typos_at_smtp_domains:,.0f} |")
+    push("")
+
+    push("## Filtering funnel attribution (§4.3)")
+    push("")
+    funnel = funnel_layer_report(results.records)
+    push("| stage | emails claimed | cumulative removed |")
+    push("|---|---:|---:|")
+    for label, claimed, fraction in funnel.cumulative_removal():
+        push(f"| {label} | {claimed} | {fraction:.1%} |")
+    push("")
+
+    push("## Per-domain concentration (Figure 5)")
+    push("")
+    table = figure5_curve(results.records, results.corpus)
+    push("| domain | receiver typos | cumulative |")
+    push("|---|---:|---:|")
+    shares = table.cumulative_shares()
+    for (domain, count), share in list(zip(table.entries, shares))[:12]:
+        push(f"| {domain} | {count} | {share:.1%} |")
+    push("")
+    push(f"{table.domains_for_share(0.5)} domains hold half the volume; "
+         f"{table.domains_for_share(0.99)} hold 99%.")
+    push("")
+
+    push("## Sensitive information among true typos (Figure 6)")
+    push("")
+    heatmap = sensitive_heatmap(results.records)
+    totals = heatmap.totals_by_label()
+    if totals:
+        push("| label | occurrences |")
+        push("|---|---:|")
+        for label, count in sorted(totals.items(), key=lambda kv: -kv[1]):
+            push(f"| {label} | {count} |")
+    else:
+        push("(none found)")
+    push("")
+
+    push("## Attachments (Figure 7)")
+    push("")
+    histogram = extension_histogram(results.records,
+                                    verdicts=[Verdict.TRUE_TYPO])
+    lookup = malware_lookup(results.records, results.malicious_hashes)
+    ordered = sorted(histogram.items(), key=lambda kv: -kv[1])
+    push("true-typo extensions: "
+         + ", ".join(f"{ext} ({count})" for ext, count in ordered[:10]))
+    push("")
+    push(f"malware database hits: {lookup.hashes_known_malicious} of "
+         f"{lookup.hashes_checked} hashes; all inside spam-classified "
+         f"email: {lookup.malicious_emails_all_spam}")
+    push("")
+
+    push("## SMTP-typo persistence")
+    push("")
+    stats = smtp_persistence(results.records,
+                             include_frequency_filtered=True)
+    push(f"{stats.sender_count} victims; "
+         f"{stats.single_email_fraction:.0%} sent one email, "
+         f"{stats.under_one_day_fraction:.0%} fixed within a day, "
+         f"{stats.under_one_week_fraction:.0%} within a week "
+         f"(max {stats.max_persistence_days:.0f} days).")
+    push("")
+
+    push("## Feature correlations (§4.4.2)")
+    push("")
+    push("| feature | Spearman rho | p | significant |")
+    push("|---|---:|---:|---|")
+    volumes = results.per_domain_yearly_true_typos()
+    for correlation in volume_feature_correlations(volumes, results.corpus):
+        push(f"| {correlation.feature} | {correlation.rho:+.2f} | "
+             f"{correlation.p_value:.3g} | "
+             f"{'yes' if correlation.significant else 'no'} |")
+    push("")
+    return "\n".join(lines)
+
+
+def export_figure_data(results: StudyResults,
+                       directory: Union[str, Path]) -> Dict[str, Path]:
+    """Write the per-figure series as CSV (and a manifest JSON).
+
+    Returns a mapping of figure id to written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    for figure_id, kind in (("fig3_receiver", "receiver"),
+                            ("fig4_smtp", "smtp")):
+        series = daily_series(results.records, kind, results.window)
+        path = directory / f"{figure_id}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["day"] + list(series.categories))
+            for day in series.days:
+                writer.writerow([day] + [series.categories[c][day]
+                                         for c in series.categories])
+        written[figure_id] = path
+
+    table = figure5_curve(results.records, results.corpus)
+    path = directory / "fig5_cumulative.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["domain", "count", "cumulative_share"])
+        for (domain, count), share in zip(table.entries,
+                                          table.cumulative_shares()):
+            writer.writerow([domain, count, f"{share:.6f}"])
+    written["fig5"] = path
+
+    heatmap = sensitive_heatmap(results.records)
+    path = directory / "fig6_heatmap.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["domain", "label", "count"])
+        for domain, label, count in heatmap.rows():
+            writer.writerow([domain, label, count])
+    written["fig6"] = path
+
+    histogram = extension_histogram(results.records,
+                                    verdicts=[Verdict.TRUE_TYPO])
+    path = directory / "fig7_extensions.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["extension", "count"])
+        for extension, count in sorted(histogram.items(),
+                                       key=lambda kv: -kv[1]):
+            writer.writerow([extension, count])
+    written["fig7"] = path
+
+    manifest = directory / "manifest.json"
+    manifest.write_text(json.dumps(
+        {figure_id: str(path.name) for figure_id, path in written.items()},
+        indent=2))
+    written["manifest"] = manifest
+    return written

@@ -1,0 +1,48 @@
+"""Simulated SMTP: messages, protocol state machine, servers, clients, network."""
+
+from repro.smtpsim.bounce import (
+    bounce_for_result,
+    is_bounce_message,
+    make_bounce_message,
+)
+from repro.smtpsim.client import SendResult, SendStatus, SmtpClient
+from repro.smtpsim.message import Address, Attachment, EmailMessage, parse_address
+from repro.smtpsim.protocol import (
+    SMTP_PORTS,
+    SmtpReply,
+    SmtpSession,
+    SmtpState,
+    accept_all_policy,
+)
+from repro.smtpsim.server import DeliveryCallback, SmtpServer, domain_policy
+from repro.smtpsim.transport import (
+    ConnectOutcome,
+    ConnectResult,
+    HostBehavior,
+    Network,
+)
+
+__all__ = [
+    "Address",
+    "Attachment",
+    "EmailMessage",
+    "parse_address",
+    "SmtpReply",
+    "SmtpSession",
+    "SmtpState",
+    "SMTP_PORTS",
+    "accept_all_policy",
+    "SmtpServer",
+    "DeliveryCallback",
+    "domain_policy",
+    "Network",
+    "HostBehavior",
+    "ConnectOutcome",
+    "ConnectResult",
+    "SmtpClient",
+    "SendResult",
+    "SendStatus",
+    "make_bounce_message",
+    "bounce_for_result",
+    "is_bounce_message",
+]

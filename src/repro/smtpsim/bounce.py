@@ -1,0 +1,90 @@
+"""Delivery status notifications (bounces), RFC 3464 style.
+
+When an MTA permanently fails to deliver, it mails a DSN back to the
+envelope sender from ``MAILER-DAEMON`` with a null reverse-path.  Two
+places in the study meet these messages: reflection-typo streams contain
+service bounces (funnel Layer 4 keys on "bounce" senders), and the honey
+probe campaign counts bounces as their own outcome class (Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.smtpsim.client import SendResult, SendStatus
+from repro.smtpsim.message import EmailMessage
+
+__all__ = ["make_bounce_message", "is_bounce_message"]
+
+_DSN_TEMPLATE = """This is the mail system at host {reporting_host}.
+
+I'm sorry to have to inform you that your message could not
+be delivered to one or more recipients.
+
+<{failed_recipient}>: {diagnostic}
+
+------ This is a copy of the message headers. ------
+
+{original_headers}"""
+
+
+def make_bounce_message(original: EmailMessage, failed_recipient: str,
+                        reporting_host: str,
+                        diagnostic: str = "550 user unknown",
+                        timestamp: float = 0.0) -> EmailMessage:
+    """Build the DSN an MTA would return for a failed delivery.
+
+    The bounce goes to the original envelope sender; its own envelope
+    sender is the null reverse-path (so bounces never bounce), and its
+    From is ``MAILER-DAEMON@<reporting host>`` — the fingerprint the
+    funnel's reflection layer recognises.
+    """
+    sender = original.envelope_from
+    if not sender:
+        from_header = original.sender
+        sender = from_header.bare if from_header else None
+    if not sender:
+        raise ValueError("original message has no return address to notify")
+
+    original_headers = "\n".join(f"{key}: {value}"
+                                 for key, value in original.headers[:8])
+    bounce = EmailMessage(
+        body=_DSN_TEMPLATE.format(reporting_host=reporting_host,
+                                  failed_recipient=failed_recipient,
+                                  diagnostic=diagnostic,
+                                  original_headers=original_headers),
+    )
+    bounce.add_header("From", f"MAILER-DAEMON@{reporting_host}")
+    bounce.add_header("To", sender)
+    bounce.add_header("Subject", "Undelivered Mail Returned to Sender")
+    bounce.add_header("Auto-Submitted", "auto-replied")
+    bounce.add_header("Content-Type", "multipart/report; report-type=delivery-status")
+    bounce.envelope_from = ""  # RFC 5321 null reverse-path
+    bounce.envelope_to = [sender]
+    bounce.received_at = timestamp
+    return bounce
+
+
+def bounce_for_result(original: EmailMessage, result: SendResult,
+                      reporting_host: str,
+                      timestamp: float = 0.0) -> Optional[EmailMessage]:
+    """A DSN for a failed send attempt, or None when none would be sent.
+
+    Only permanent rejections (5xx) produce immediate DSNs; timeouts and
+    network errors would be retried by a real MTA before any bounce, and
+    the study's window makes those eventual bounces irrelevant.
+    """
+    if result.status is not SendStatus.BOUNCED:
+        return None
+    diagnostic = (str(result.last_reply) if result.last_reply
+                  else "550 delivery failed")
+    return make_bounce_message(original, result.recipient, reporting_host,
+                               diagnostic=diagnostic, timestamp=timestamp)
+
+
+def is_bounce_message(message: EmailMessage) -> bool:
+    """Recognise a DSN: null reverse-path or a MAILER-DAEMON sender."""
+    if message.envelope_from == "":
+        return True
+    from_field = (message.get_header("From") or "").lower()
+    return from_field.startswith("mailer-daemon@")

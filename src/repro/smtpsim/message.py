@@ -1,0 +1,294 @@
+"""Email messages: RFC 5322-style headers, bodies, and MIME attachments.
+
+The processing pipeline (tokenizer, text extraction, scrubber) and all five
+spam-filter layers operate on these objects.  Messages render to and parse
+from an RFC 5322-ish wire format so the collection infrastructure can
+exercise real serialisation boundaries rather than passing Python objects
+around.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Attachment", "EmailMessage", "Address", "parse_address"]
+
+_ADDRESS_RE = re.compile(
+    r"^(?:(?P<display>[^<>]*)<(?P<addr>[^<>@\s]+@[^<>@\s]+)>|(?P<bare>[^<>@\s]+@[^<>@\s]+))\s*$")
+
+
+@dataclass(frozen=True)
+class Address:
+    """An email address split into local part and domain."""
+
+    local: str
+    domain: str
+    display_name: str = ""
+
+    def __str__(self) -> str:
+        bare = f"{self.local}@{self.domain}"
+        if self.display_name:
+            return f"{self.display_name} <{bare}>"
+        return bare
+
+    @property
+    def bare(self) -> str:
+        return f"{self.local}@{self.domain}"
+
+
+def parse_address(text: str) -> Address:
+    """Parse ``user@dom`` or ``Display Name <user@dom>``."""
+    match = _ADDRESS_RE.match(text.strip())
+    if not match:
+        raise ValueError(f"unparseable address {text!r}")
+    raw = match.group("addr") or match.group("bare")
+    display = (match.group("display") or "").strip()
+    local, _, domain = raw.partition("@")
+    return Address(local=local, domain=domain.lower(), display_name=display)
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """A MIME attachment.
+
+    ``content`` is the already-decoded payload; for binary formats the
+    simulated extraction layer understands, it is a structured text payload
+    (see :mod:`repro.pipeline.extraction`).  ``sha256`` is computed lazily
+    for the VirusTotal-style hash lookups in the attachment analysis.
+    """
+
+    filename: str
+    content: bytes
+    content_type: str = "application/octet-stream"
+
+    @property
+    def extension(self) -> str:
+        name = self.filename.lower()
+        if "." not in name:
+            return ""
+        return name.rsplit(".", 1)[1]
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    def sha256(self) -> str:
+        """SHA-256 hex digest of the payload (the VirusTotal-style key)."""
+        import hashlib
+
+        return hashlib.sha256(self.content).hexdigest()
+
+
+@dataclass
+class EmailMessage:
+    """A mutable in-flight email.
+
+    ``headers`` preserves insertion order and allows repeated fields
+    (``Received`` chains); convenience accessors return the first value.
+    ``envelope_*`` captures the SMTP envelope, which the paper's Layer-1
+    filter compares against the header fields.
+    """
+
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: str = ""
+    attachments: List[Attachment] = field(default_factory=list)
+    envelope_from: Optional[str] = None
+    envelope_to: List[str] = field(default_factory=list)
+    #: IP of the SMTP server that relayed the message to the collector;
+    #: how the study distinguishes SMTP-typo domains (one IP per domain).
+    received_by_ip: Optional[str] = None
+    #: simulation timestamp (seconds since collection epoch)
+    received_at: float = 0.0
+
+    # -- header helpers ----------------------------------------------------
+
+    def get_header(self, name: str) -> Optional[str]:
+        """First value of header ``name`` (case-insensitive), or None."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    def get_all_headers(self, name: str) -> List[str]:
+        """Every value of header ``name``, in order."""
+        wanted = name.lower()
+        return [v for k, v in self.headers if k.lower() == wanted]
+
+    def set_header(self, name: str, value: str) -> None:
+        """Replace the first occurrence (or append when absent)."""
+        wanted = name.lower()
+        for i, (key, _) in enumerate(self.headers):
+            if key.lower() == wanted:
+                self.headers[i] = (name, value)
+                return
+        self.headers.append((name, value))
+
+    def add_header(self, name: str, value: str) -> None:
+        """Append a header field (repeats allowed, e.g. Received)."""
+        self.headers.append((name, value))
+
+    def has_header(self, name: str) -> bool:
+        """Whether a header named ``name`` is present."""
+        return self.get_header(name) is not None
+
+    # -- common fields -----------------------------------------------------
+
+    @property
+    def sender(self) -> Optional[Address]:
+        raw = self.get_header("From")
+        if raw is None:
+            return None
+        try:
+            return parse_address(raw)
+        except ValueError:
+            return None
+
+    @property
+    def recipient(self) -> Optional[Address]:
+        raw = self.get_header("To")
+        if raw is None:
+            return None
+        try:
+            return parse_address(raw)
+        except ValueError:
+            return None
+
+    @property
+    def subject(self) -> str:
+        return self.get_header("Subject") or ""
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, from_addr: str, to_addr: str, subject: str, body: str,
+               attachments: Optional[List[Attachment]] = None,
+               extra_headers: Optional[Dict[str, str]] = None) -> "EmailMessage":
+        message = cls(body=body, attachments=list(attachments or []))
+        message.add_header("From", from_addr)
+        message.add_header("To", to_addr)
+        message.add_header("Subject", subject)
+        for key, value in (extra_headers or {}).items():
+            message.add_header(key, value)
+        message.envelope_from = parse_address(from_addr).bare
+        message.envelope_to = [parse_address(to_addr).bare]
+        return message
+
+    # -- wire format ---------------------------------------------------------
+
+    _BOUNDARY = "=_repro_boundary_="
+
+    def to_wire(self) -> str:
+        """Serialise to an RFC 5322-ish text blob with MIME attachments.
+
+        Attachment payloads that survive a UTF-8 round trip travel as
+        7bit text; anything else (true binary) is base64-encoded with a
+        Content-Transfer-Encoding header, as real MIME requires.
+        """
+        lines = [f"{k}: {_fold(v)}" for k, v in self.headers]
+        if not self.attachments:
+            return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+        lines.append(f"Content-Type: multipart/mixed; boundary=\"{self._BOUNDARY}\"")
+        parts = ["\r\n".join(lines), ""]
+        parts.append(f"--{self._BOUNDARY}")
+        parts.append("Content-Type: text/plain")
+        parts.append("")
+        parts.append(self.body)
+        for attachment in self.attachments:
+            parts.append(f"--{self._BOUNDARY}")
+            parts.append(f"Content-Type: {attachment.content_type}")
+            parts.append(
+                f"Content-Disposition: attachment; filename=\"{attachment.filename}\"")
+            payload, encoding = _encode_payload(attachment.content)
+            if encoding:
+                parts.append(f"Content-Transfer-Encoding: {encoding}")
+            parts.append("")
+            parts.append(payload)
+        parts.append(f"--{self._BOUNDARY}--")
+        return "\r\n".join(parts)
+
+    @classmethod
+    def from_wire(cls, wire: str) -> "EmailMessage":
+        """Parse a blob produced by :meth:`to_wire`."""
+        head, _, rest = wire.partition("\r\n\r\n")
+        message = cls()
+        content_type = ""
+        for line in head.split("\r\n"):
+            if ": " not in line:
+                continue
+            key, _, value = line.partition(": ")
+            value = value.replace("\r\n\t", " ")
+            if key.lower() == "content-type" and "multipart/mixed" in value:
+                content_type = value
+                continue
+            message.add_header(key, value)
+
+        if not content_type:
+            message.body = rest
+            return message
+
+        boundary = cls._BOUNDARY
+        segments = rest.split(f"--{boundary}")
+        for segment in segments:
+            segment = segment.strip("\r\n")
+            if not segment or segment == "--":
+                continue
+            part_head, _, part_body = segment.partition("\r\n\r\n")
+            disposition = ""
+            part_type = "text/plain"
+            transfer_encoding = ""
+            for line in part_head.split("\r\n"):
+                lowered = line.lower()
+                if lowered.startswith("content-disposition:"):
+                    disposition = line.partition(":")[2].strip()
+                elif lowered.startswith("content-type:"):
+                    part_type = line.partition(":")[2].strip()
+                elif lowered.startswith("content-transfer-encoding:"):
+                    transfer_encoding = line.partition(":")[2].strip().lower()
+            if "attachment" in disposition:
+                match = re.search(r'filename="([^"]+)"', disposition)
+                filename = match.group(1) if match else "unnamed"
+                if transfer_encoding == "base64":
+                    import base64
+
+                    content = base64.b64decode(part_body)
+                else:
+                    content = part_body.encode("utf-8")
+                message.attachments.append(Attachment(
+                    filename=filename,
+                    content=content,
+                    content_type=part_type))
+            else:
+                message.body = part_body
+        return message
+
+    def size_bytes(self) -> int:
+        """Size of the serialised message on the wire."""
+        return len(self.to_wire().encode("utf-8", errors="replace"))
+
+
+def _fold(value: str) -> str:
+    """Escape newlines in header values (simplified RFC 5322 folding)."""
+    return value.replace("\r\n", " ").replace("\n", " ")
+
+
+def _encode_payload(content: bytes) -> Tuple[str, str]:
+    """(payload text, transfer encoding) for one attachment body.
+
+    Text payloads travel verbatim; anything that does not survive a
+    UTF-8 round trip — or that contains the MIME boundary or bare CRs —
+    goes base64.
+    """
+    import base64
+
+    try:
+        text = content.decode("utf-8")
+        if ("\r" not in text and EmailMessage._BOUNDARY not in text
+                and text.encode("utf-8") == content):
+            return text, ""
+    except UnicodeDecodeError:
+        pass
+    return base64.b64encode(content).decode("ascii"), "base64"

@@ -1,0 +1,211 @@
+"""The SMTP protocol state machine (RFC 5321 subset).
+
+Both the catch-all collection server and the honey-email sending client
+speak through :class:`SmtpSession`, which enforces command ordering
+(HELO before MAIL, MAIL before RCPT, RCPT before DATA) and produces the
+standard three-digit reply codes.  Modelling the protocol rather than
+passing messages around is what lets the honey experiment observe the
+paper's error taxonomy (bounces vs. timeouts vs. network errors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["SmtpReply", "SmtpState", "SmtpSession", "SMTP_PORTS", "RcptPolicy"]
+
+#: Standard submission ports probed by the honey campaign: cleartext,
+#: implicit TLS, and STARTTLS.
+SMTP_PORTS = (25, 465, 587)
+
+
+@dataclass(frozen=True)
+class SmtpReply:
+    code: int
+    text: str
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.code < 400
+
+    @property
+    def is_permanent_failure(self) -> bool:
+        return 500 <= self.code < 600
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.text}"
+
+
+class SmtpState(enum.Enum):
+    """Phases of one SMTP conversation."""
+    CONNECTED = "connected"     # banner sent, waiting for HELO/EHLO
+    GREETED = "greeted"         # HELO done
+    MAIL = "mail"               # MAIL FROM accepted
+    RCPT = "rcpt"               # at least one RCPT TO accepted
+    DATA = "data"               # in message body
+    DONE = "done"               # message accepted
+    CLOSED = "closed"
+
+
+#: Decides whether a recipient is accepted: returns (accept, reply-text).
+RcptPolicy = Callable[[str], Tuple[bool, str]]
+
+
+def accept_all_policy(recipient: str) -> Tuple[bool, str]:
+    """The study's catch-all policy: any user, any domain (paper §4.2.2)."""
+    return True, "OK"
+
+
+class SmtpSession:
+    """Server-side SMTP conversation.
+
+    Drive it with :meth:`command` calls and a final :meth:`data_payload`;
+    the session records the envelope so the server can construct the
+    received message.  STARTTLS is modelled as a capability flag that the
+    ecosystem scanner reads; no actual cryptography is simulated.
+    """
+
+    def __init__(self, server_hostname: str,
+                 rcpt_policy: RcptPolicy = accept_all_policy,
+                 supports_starttls: bool = True,
+                 starttls_broken: bool = False,
+                 max_recipients: int = 100) -> None:
+        self.server_hostname = server_hostname
+        self.rcpt_policy = rcpt_policy
+        self.supports_starttls = supports_starttls
+        self.starttls_broken = starttls_broken
+        self.max_recipients = max_recipients
+        self.state = SmtpState.CONNECTED
+        self.client_hostname: Optional[str] = None
+        self.envelope_from: Optional[str] = None
+        self.envelope_to: List[str] = []
+        self.tls_active = False
+        self.transcript: List[str] = []
+
+    # -- banner -------------------------------------------------------------
+
+    def banner(self) -> SmtpReply:
+        """The 220 service-ready greeting that opens the conversation."""
+        return self._log(SmtpReply(220, f"{self.server_hostname} ESMTP ready"))
+
+    # -- command dispatch -----------------------------------------------------
+
+    def command(self, line: str) -> SmtpReply:
+        """Dispatch one client command line and return the server reply."""
+        if self.state is SmtpState.CLOSED:
+            raise RuntimeError("session is closed")
+        verb, _, argument = line.strip().partition(" ")
+        verb = verb.upper()
+        handler = {
+            "HELO": self._helo,
+            "EHLO": self._ehlo,
+            "MAIL": self._mail,
+            "RCPT": self._rcpt,
+            "DATA": self._data,
+            "RSET": self._rset,
+            "NOOP": self._noop,
+            "QUIT": self._quit,
+            "STARTTLS": self._starttls,
+        }.get(verb)
+        if handler is None:
+            return self._log(SmtpReply(502, "command not implemented"))
+        return self._log(handler(argument.strip()))
+
+    def data_payload(self, payload: str) -> SmtpReply:
+        """Deliver the message body after a successful DATA command."""
+        if self.state is not SmtpState.DATA:
+            return self._log(SmtpReply(503, "bad sequence of commands"))
+        self.state = SmtpState.DONE
+        return self._log(SmtpReply(250, "OK message accepted"))
+
+    # -- handlers --------------------------------------------------------------
+
+    def _helo(self, argument: str) -> SmtpReply:
+        if not argument:
+            return SmtpReply(501, "syntax: HELO hostname")
+        self.client_hostname = argument
+        self.state = SmtpState.GREETED
+        return SmtpReply(250, f"{self.server_hostname} greets {argument}")
+
+    def _ehlo(self, argument: str) -> SmtpReply:
+        reply = self._helo(argument)
+        if reply.is_success and self.supports_starttls:
+            return SmtpReply(250, f"{reply.text}\nSTARTTLS")
+        return reply
+
+    def _starttls(self, argument: str) -> SmtpReply:
+        if not self.supports_starttls:
+            return SmtpReply(502, "STARTTLS not offered")
+        if self.starttls_broken:
+            return SmtpReply(454, "TLS not available due to temporary reason")
+        if self.state is SmtpState.CONNECTED:
+            return SmtpReply(503, "send EHLO first")
+        self.tls_active = True
+        return SmtpReply(220, "ready to start TLS")
+
+    def _mail(self, argument: str) -> SmtpReply:
+        if self.state not in (SmtpState.GREETED, SmtpState.DONE):
+            return SmtpReply(503, "send HELO/EHLO first")
+        address = _extract_path(argument, "FROM")
+        if address is None:
+            return SmtpReply(501, "syntax: MAIL FROM:<address>")
+        self.envelope_from = address
+        self.envelope_to = []
+        self.state = SmtpState.MAIL
+        return SmtpReply(250, "OK")
+
+    def _rcpt(self, argument: str) -> SmtpReply:
+        if self.state not in (SmtpState.MAIL, SmtpState.RCPT):
+            return SmtpReply(503, "need MAIL before RCPT")
+        address = _extract_path(argument, "TO")
+        if address is None:
+            return SmtpReply(501, "syntax: RCPT TO:<address>")
+        if len(self.envelope_to) >= self.max_recipients:
+            return SmtpReply(452, "too many recipients")
+        accepted, text = self.rcpt_policy(address)
+        if not accepted:
+            return SmtpReply(550, text or "mailbox unavailable")
+        self.envelope_to.append(address)
+        self.state = SmtpState.RCPT
+        return SmtpReply(250, text or "OK")
+
+    def _data(self, argument: str) -> SmtpReply:
+        if self.state is not SmtpState.RCPT:
+            return SmtpReply(503, "need RCPT before DATA")
+        self.state = SmtpState.DATA
+        return SmtpReply(354, "start mail input; end with <CRLF>.<CRLF>")
+
+    def _rset(self, argument: str) -> SmtpReply:
+        if self.state is not SmtpState.CONNECTED:
+            self.state = SmtpState.GREETED
+        self.envelope_from = None
+        self.envelope_to = []
+        return SmtpReply(250, "OK")
+
+    def _noop(self, argument: str) -> SmtpReply:
+        return SmtpReply(250, "OK")
+
+    def _quit(self, argument: str) -> SmtpReply:
+        self.state = SmtpState.CLOSED
+        return SmtpReply(221, f"{self.server_hostname} closing connection")
+
+    def _log(self, reply: SmtpReply) -> SmtpReply:
+        self.transcript.append(str(reply))
+        return reply
+
+
+def _extract_path(argument: str, keyword: str) -> Optional[str]:
+    """Parse ``FROM:<a@b>`` / ``TO:<a@b>`` arguments; None on bad syntax."""
+    upper = argument.upper()
+    if not upper.startswith(keyword + ":"):
+        return None
+    path = argument[len(keyword) + 1:].strip()
+    if path.startswith("<") and path.endswith(">"):
+        path = path[1:-1]
+    if path == "":  # null reverse-path is legal for bounces
+        return ""
+    if "@" not in path:
+        return None
+    return path

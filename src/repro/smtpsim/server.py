@@ -1,0 +1,101 @@
+"""SMTP servers for the simulated Internet.
+
+Two behaviours matter to the study:
+
+* the **catch-all collector** (the researchers' own servers): accepts any
+  RCPT at any subdomain, never relays, hands every accepted message to a
+  delivery callback — the paper's Postfix configuration;
+* **wild servers** (squatter or legitimate infrastructure): accept or
+  bounce according to their recipient policy, optionally with broken
+  STARTTLS, which the ecosystem scan observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from repro.smtpsim.message import EmailMessage
+from repro.smtpsim.protocol import (
+    SMTP_PORTS,
+    RcptPolicy,
+    SmtpReply,
+    SmtpSession,
+    accept_all_policy,
+)
+
+__all__ = ["SmtpServer", "DeliveryCallback", "domain_policy"]
+
+DeliveryCallback = Callable[[EmailMessage], None]
+
+
+def domain_policy(accepted_domains: Iterable[str]) -> RcptPolicy:
+    """A policy accepting mail only for the given recipient domains."""
+    domains = {d.lower() for d in accepted_domains}
+
+    def policy(recipient: str) -> Tuple[bool, str]:
+        _, _, domain = recipient.rpartition("@")
+        if domain.lower() in domains:
+            return True, "OK"
+        return False, "relay access denied"
+
+    return policy
+
+
+@dataclass
+class SmtpServer:
+    """One SMTP server process bound to an IP by the :class:`Network`.
+
+    ``hostname`` appears in the banner and in the Received header the
+    server stamps; the collection analysis relies on that header to verify
+    the relaying server matches a registered domain (Layer-1 filtering).
+    """
+
+    hostname: str
+    ip: str
+    ports: Set[int] = field(default_factory=lambda: set(SMTP_PORTS))
+    rcpt_policy: RcptPolicy = accept_all_policy
+    supports_starttls: bool = True
+    starttls_broken: bool = False
+    on_delivery: Optional[DeliveryCallback] = None
+
+    accepted_count: int = 0
+    rejected_count: int = 0
+
+    def open_session(self) -> SmtpSession:
+        """Begin a fresh SMTP conversation against this server."""
+        return SmtpSession(
+            server_hostname=self.hostname,
+            rcpt_policy=self.rcpt_policy,
+            supports_starttls=self.supports_starttls,
+            starttls_broken=self.starttls_broken,
+        )
+
+    def receive(self, session: SmtpSession, message: EmailMessage,
+                timestamp: float = 0.0) -> SmtpReply:
+        """Complete a DATA transaction: stamp, count, deliver.
+
+        The caller must have driven ``session`` to the DATA state; this
+        finalises the transaction the way a real server does at
+        ``<CRLF>.<CRLF>``.
+        """
+        reply = session.data_payload(message.to_wire())
+        if not reply.is_success:
+            self.rejected_count += 1
+            return reply
+
+        message.envelope_from = session.envelope_from
+        message.envelope_to = list(session.envelope_to)
+        if message.received_by_ip is None:
+            # first hop wins: the study attributes SMTP-typo mail by the
+            # VPS that initially received it, not by later relays
+            message.received_by_ip = self.ip
+        message.received_at = timestamp
+        message.headers.insert(0, (
+            "Received",
+            f"from {session.client_hostname or 'unknown'} "
+            f"by {self.hostname} ({self.ip}); t={timestamp:.0f}"))
+        self.accepted_count += 1
+        if self.on_delivery is not None:
+            self.on_delivery(message)
+        return reply

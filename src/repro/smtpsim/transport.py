@@ -1,0 +1,127 @@
+"""The simulated network between SMTP clients and servers.
+
+A :class:`Network` maps IP addresses to listening :class:`~repro.smtpsim.server.SmtpServer`
+instances and injects the failure modes the paper's honey-probe experiment
+tabulates (Table 5): connections that time out, that fail with a network
+error, or that reach a server which then bounces the mail.  Failure
+behaviour is configured per-IP so the ecosystem generator can make some
+squatter infrastructure flaky, as observed in the wild.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.util.rand import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.smtpsim.server import SmtpServer
+
+__all__ = ["ConnectOutcome", "ConnectResult", "HostBehavior", "Network"]
+
+
+class ConnectOutcome(enum.Enum):
+    """What happened when a client dialled an IP and port."""
+    CONNECTED = "connected"
+    TIMEOUT = "timeout"
+    NETWORK_ERROR = "network_error"
+    REFUSED = "refused"          # nothing listening on the port
+    OTHER_ERROR = "other_error"  # TLS negotiation failure and the like
+
+
+@dataclass(frozen=True)
+class ConnectResult:
+    outcome: ConnectOutcome
+    server: Optional["SmtpServer"] = None
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is ConnectOutcome.CONNECTED and self.server is not None
+
+
+@dataclass
+class HostBehavior:
+    """Stochastic connection behaviour of one IP address.
+
+    Probabilities are evaluated in order (timeout, then network error,
+    then other); the remainder connects.  A refused connection happens
+    deterministically when no server listens on the port.
+    """
+
+    timeout_probability: float = 0.0
+    network_error_probability: float = 0.0
+    other_error_probability: float = 0.0
+    base_latency_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = (self.timeout_probability + self.network_error_probability
+                 + self.other_error_probability)
+        if total > 1.0:
+            raise ValueError("failure probabilities exceed 1")
+
+
+class Network:
+    """IP-address space of the simulated Internet.
+
+    ``attach`` binds a server to an IP; ``connect`` simulates a TCP+SMTP
+    connection attempt to ``ip:port``.  Randomness comes from an injected
+    :class:`SeededRng` so honey-probe results are reproducible.
+    """
+
+    def __init__(self, rng: Optional[SeededRng] = None) -> None:
+        self._servers: Dict[str, "SmtpServer"] = {}
+        self._behaviors: Dict[str, HostBehavior] = {}
+        self._rng = rng or SeededRng(0, name="network")
+
+    def attach(self, ip: str, server: "SmtpServer",
+               behavior: Optional[HostBehavior] = None) -> None:
+        """Bind a server to an IP, optionally with failure behaviour."""
+        if ip in self._servers:
+            raise ValueError(f"IP {ip} already in use")
+        self._servers[ip] = server
+        if behavior is not None:
+            self._behaviors[ip] = behavior
+
+    def detach(self, ip: str) -> None:
+        """Unbind whatever is at ``ip`` (idempotent)."""
+        self._servers.pop(ip, None)
+        self._behaviors.pop(ip, None)
+
+    def set_behavior(self, ip: str, behavior: HostBehavior) -> None:
+        """Set or replace the connection behaviour of ``ip``."""
+        self._behaviors[ip] = behavior
+
+    def server_at(self, ip: str) -> Optional["SmtpServer"]:
+        """The server bound at ``ip``, or None."""
+        return self._servers.get(ip)
+
+    def listening_ports(self, ip: str) -> tuple:
+        """Which SMTP ports answer at this IP (zmap-style banner scan)."""
+        server = self._servers.get(ip)
+        if server is None:
+            return ()
+        return tuple(sorted(server.ports))
+
+    def connect(self, ip: str, port: int = 25) -> ConnectResult:
+        """Attempt a TCP+SMTP connection to ``ip:port``."""
+        behavior = self._behaviors.get(ip, HostBehavior())
+        latency = behavior.base_latency_seconds * self._rng.uniform(0.5, 2.0)
+
+        if self._rng.bernoulli(behavior.timeout_probability):
+            return ConnectResult(ConnectOutcome.TIMEOUT, latency_seconds=30.0)
+        if self._rng.bernoulli(behavior.network_error_probability):
+            return ConnectResult(ConnectOutcome.NETWORK_ERROR,
+                                 latency_seconds=latency)
+
+        server = self._servers.get(ip)
+        if server is None or port not in server.ports:
+            return ConnectResult(ConnectOutcome.REFUSED, latency_seconds=latency)
+
+        if self._rng.bernoulli(behavior.other_error_probability):
+            return ConnectResult(ConnectOutcome.OTHER_ERROR,
+                                 latency_seconds=latency)
+        return ConnectResult(ConnectOutcome.CONNECTED, server=server,
+                             latency_seconds=latency)

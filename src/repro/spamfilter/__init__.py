@@ -1,0 +1,29 @@
+"""The five-layer spam filtering and classification funnel (paper Section 4.3)."""
+
+from repro.spamfilter.funnel import (
+    CollaborativeDatabase,
+    FilterFunnel,
+    FilterResult,
+    FunnelConfig,
+    Verdict,
+)
+from repro.spamfilter.spamassassin import (
+    DEFAULT_THRESHOLD,
+    SpamAssassinScorer,
+    SpamRule,
+    SpamScore,
+    default_rules,
+)
+
+__all__ = [
+    "FilterFunnel",
+    "FilterResult",
+    "FunnelConfig",
+    "Verdict",
+    "CollaborativeDatabase",
+    "SpamAssassinScorer",
+    "SpamRule",
+    "SpamScore",
+    "default_rules",
+    "DEFAULT_THRESHOLD",
+]

@@ -1,0 +1,404 @@
+"""The five-layer email classification funnel (paper Section 4.3).
+
+Each email flows through the layers in order; the first layer that claims
+it determines its class, and emails claimed as spam feed the collaborative
+database that strengthens Layer 3 for subsequent mail:
+
+1. **Header sanity** — the relaying server must be one of our domains, the
+   sender must *not* be (we never send), and receiver-typo candidates must
+   actually be addressed to one of our domains.
+2. **SpamAssassin** — rule-based scoring, plus the study's hard rule that
+   ZIP/RAR attachments mean spam.
+3. **Collaborative filtering** — once a sender sends spam anywhere in the
+   study, all their mail is spam; ditto any message whose bag-of-words
+   (>20 words) matches known spam.
+4. **Reflection-typo detection** — mailing-list/automation fingerprints
+   (unsubscribe headers, bounce senders, mismatched From/Reply-To/
+   Return-Path, system users) mark automated reflection mail.
+5. **Frequency filtering** — emails whose recipient address, sender
+   address, or body text recur too often are filtered (thresholds
+   20/10/10 as in the paper).  Frequency-filtered SMTP candidates form
+   the ambiguous band the paper reports as 415–5,970 emails/year: one
+   misconfigured client legitimately sends many emails, so some of the
+   filtered mail may be real.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.pipeline.tokenizer import TokenizedEmail
+from repro.spamfilter.spamassassin import SpamAssassinScorer
+
+__all__ = [
+    "Verdict",
+    "FilterResult",
+    "FunnelConfig",
+    "FilterFunnel",
+    "CollaborativeDatabase",
+]
+
+
+class Verdict(enum.Enum):
+    """The funnel's four terminal classifications."""
+    SPAM = "spam"
+    REFLECTION = "reflection"          # automated mail from a signup typo
+    FREQUENCY_FILTERED = "frequency"   # too-common sender/recipient/content
+    TRUE_TYPO = "true_typo"
+
+    @property
+    def figure_category(self) -> str:
+        """The three series of Figures 3/4."""
+        if self is Verdict.SPAM:
+            return "spam_filtered"
+        if self is Verdict.TRUE_TYPO:
+            return "real_typos"
+        return "reflection_and_frequency_filtered"
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    verdict: Verdict
+    kind: str                 # receiver | smtp — candidate class from the header
+    layer: Optional[int]      # which layer claimed the email (None = survived all)
+    reason: str = ""
+
+    @property
+    def is_true_typo(self) -> bool:
+        return self.verdict is Verdict.TRUE_TYPO
+
+
+@dataclass(frozen=True)
+class FunnelConfig:
+    """Thresholds from the paper (Section 4.3, Layer 5)."""
+
+    recipient_frequency_threshold: int = 20
+    sender_frequency_threshold: int = 10
+    content_frequency_threshold: int = 10
+    bag_of_words_minimum: int = 20
+    spamassassin_threshold: float = 5.0
+
+
+class CollaborativeDatabase:
+    """Shared spam knowledge across all of the study's domains (Layer 3)."""
+
+    def __init__(self, bag_of_words_minimum: int = 20) -> None:
+        self.spam_senders: Set[str] = set()
+        self.spam_bags: Set[FrozenSet[str]] = set()
+        self._bow_minimum = bag_of_words_minimum
+
+    def record_spam(self, sender: Optional[str], body: str) -> None:
+        """Learn from one spam decision: blacklist sender, remember body."""
+        if sender:
+            self.spam_senders.add(sender.lower())
+        bag = self._bag(body)
+        if bag is not None:
+            self.spam_bags.add(bag)
+
+    def matches(self, sender: Optional[str], body: str) -> Optional[str]:
+        """A human-readable reason when the email matches known spam."""
+        if sender and sender.lower() in self.spam_senders:
+            return f"sender {sender} previously sent spam"
+        bag = self._bag(body)
+        if bag is not None and bag in self.spam_bags:
+            return "body bag-of-words matches known spam"
+        return None
+
+    def _bag(self, body: str) -> Optional[FrozenSet[str]]:
+        words = frozenset(re.findall(r"[a-z0-9']+", body.lower()))
+        if len(words) > self._bow_minimum:
+            return words
+        return None
+
+
+_SYSTEM_USERS = frozenset({
+    "postmaster", "root", "admin", "administrator", "mailer-daemon",
+    "noreply", "no-reply", "donotreply", "do-not-reply", "notifications",
+    "notification", "alerts", "newsletter", "support", "info",
+})
+
+_REFLECTION_BODY_PHRASES = (
+    "unsubscribe", "remove yourself", "opt out", "opt-out",
+    "manage your preferences", "email preferences",
+    "you are receiving this", "you're receiving this",
+    "update your subscription", "mailing list",
+)
+
+
+class FilterFunnel:
+    """Classify a stream (or corpus) of tokenised study emails.
+
+    The funnel is stateful: Layer 3 learns from every spam decision, and
+    Layer 5 needs corpus-wide frequencies.  Streaming use
+    (:meth:`classify`) applies frequency thresholds against counts seen so
+    far; batch use (:meth:`classify_corpus`) does the paper's two-pass
+    analysis, where frequencies are computed over the whole corpus before
+    any Layer-5 decision.
+    """
+
+    def __init__(self, our_domains: Iterable[str],
+                 smtp_purpose_ips: Optional[Iterable[str]] = None,
+                 config: Optional[FunnelConfig] = None,
+                 scorer: Optional[SpamAssassinScorer] = None,
+                 enabled_layers: Iterable[int] = (1, 2, 3, 4, 5)) -> None:
+        self.our_domains = {d.lower() for d in our_domains}
+        self.smtp_purpose_ips = set(smtp_purpose_ips or ())
+        self.config = config or FunnelConfig()
+        self.enabled_layers = frozenset(enabled_layers)
+        bad_layers = self.enabled_layers - {1, 2, 3, 4, 5}
+        if bad_layers:
+            raise ValueError(f"unknown funnel layers: {sorted(bad_layers)}")
+        self.scorer = scorer or SpamAssassinScorer(
+            threshold=self.config.spamassassin_threshold)
+        self.collaborative = CollaborativeDatabase(
+            bag_of_words_minimum=self.config.bag_of_words_minimum)
+        self._recipient_counts: Dict[str, int] = {}
+        self._sender_counts: Dict[str, int] = {}
+        self._content_counts: Dict[str, int] = {}
+
+    # -- candidate kind ------------------------------------------------------
+
+    def candidate_kind(self, email: TokenizedEmail) -> str:
+        """Receiver/reflection candidate vs SMTP-typo candidate.
+
+        Receiver and reflection typos are *addressed to* one of our
+        domains.  SMTP typos are addressed to arbitrary third parties —
+        the sender's client merely connected to our IP believing it to be
+        their provider's SMTP server.
+        """
+        for recipient in email.metadata.envelope_to:
+            domain = recipient.rpartition("@")[2].lower()
+            if domain in self.our_domains or self._suffix_match(domain):
+                return "receiver"
+        return "smtp"
+
+    def _suffix_match(self, domain: str) -> bool:
+        return any(domain.endswith("." + ours) for ours in self.our_domains)
+
+    # -- layers ---------------------------------------------------------------
+
+    def _layer1_header_sanity(self, email: TokenizedEmail,
+                              kind: str) -> Optional[str]:
+        relay_hosts = _relay_chain_hosts(email)
+        if relay_hosts and not any(h in self.our_domains
+                                   for h in relay_hosts):
+            return ("relaying server "
+                    f"{'/'.join(sorted(relay_hosts))} is not one of our "
+                    "domains")
+        sender_domain = _sender_domain(email)
+        if sender_domain and (sender_domain in self.our_domains
+                              or self._suffix_match(sender_domain)):
+            return "sender claims to be one of our domains"
+        if kind == "receiver":
+            to_domain = _header_to_domain(email)
+            if to_domain is not None and to_domain not in self.our_domains \
+                    and not self._suffix_match(to_domain):
+                return "To: header does not point at our domains"
+        return None
+
+    def _layer2_spamassassin(self, email: TokenizedEmail) -> Optional[str]:
+        if email.has_archive_attachment:
+            return "ZIP/RAR attachment"
+        score = self.scorer.score(email)
+        if score.is_spam:
+            return f"SpamAssassin score {score.total:.1f} >= {score.threshold}"
+        return None
+
+    def _layer3_collaborative(self, email: TokenizedEmail) -> Optional[str]:
+        return self.collaborative.matches(_sender_address(email), email.body)
+
+    def _layer4_reflection(self, email: TokenizedEmail) -> Optional[str]:
+        metadata = email.metadata
+        if metadata.list_unsubscribe:
+            return "List-Unsubscribe header present"
+        for label, value in (("Sender", metadata.sender_field),
+                             ("From", metadata.from_field),
+                             ("Reply-To", metadata.reply_to)):
+            lowered = (value or "").lower()
+            if "bounce" in lowered or "unsubscribe" in lowered:
+                return f"{label} field contains bounce/unsubscribe"
+        trio = [v for v in (metadata.from_field, metadata.reply_to,
+                            metadata.return_path) if v]
+        if len(set(trio)) > 1:
+            return "From/Reply-To/Return-Path disagree"
+        sender = _sender_address(email)
+        if sender:
+            local = sender.split("@", 1)[0].lower()
+            if local in _SYSTEM_USERS:
+                return f"system sender {local}"
+        body = email.body.lower()
+        for phrase in _REFLECTION_BODY_PHRASES:
+            if phrase in body:
+                return f"body contains {phrase!r}"
+        return None
+
+    # -- classification ----------------------------------------------------------
+
+    def classify(self, email: TokenizedEmail,
+                 update_frequencies: bool = True) -> FilterResult:
+        """Streaming classification of one email."""
+        kind = self.candidate_kind(email)
+        layers = self.enabled_layers
+
+        if 1 in layers:
+            reason = self._layer1_header_sanity(email, kind)
+            if reason is not None:
+                self._record_spam(email)
+                return FilterResult(Verdict.SPAM, kind, 1, reason)
+
+        if 2 in layers:
+            reason = self._layer2_spamassassin(email)
+            if reason is not None:
+                self._record_spam(email)
+                return FilterResult(Verdict.SPAM, kind, 2, reason)
+
+        if 3 in layers:
+            reason = self._layer3_collaborative(email)
+            if reason is not None:
+                self._record_spam(email)
+                return FilterResult(Verdict.SPAM, kind, 3, reason)
+
+        if 4 in layers:
+            reason = self._layer4_reflection(email)
+            if reason is not None:
+                return FilterResult(Verdict.REFLECTION, kind, 4, reason)
+
+        if update_frequencies:
+            self._bump_frequencies(email)
+        if 5 in layers:
+            reason = self._frequency_reason(email)
+            if reason is not None:
+                return FilterResult(Verdict.FREQUENCY_FILTERED, kind, 5,
+                                    reason)
+        return FilterResult(Verdict.TRUE_TYPO, kind, None, "passed all layers")
+
+    def classify_corpus(self,
+                        emails: Sequence[TokenizedEmail]) -> List[FilterResult]:
+        """Two-pass batch classification (the paper's offline analysis).
+
+        Pass 1 runs Layers 1–4 and accumulates corpus-wide frequencies for
+        the survivors.  Pass 2 first re-applies the collaborative layer —
+        the paper's wording is retroactive ("if a sender sends us spam
+        once, we consider all of the emails from that sender ... to be
+        spam"), so a campaign caught late still condemns its early mail —
+        and then applies Layer 5 against the complete frequency counts.
+        """
+        provisional: List[Tuple[int, TokenizedEmail, FilterResult]] = []
+        results: List[Optional[FilterResult]] = [None] * len(emails)
+
+        for index, email in enumerate(emails):
+            result = self.classify(email, update_frequencies=False)
+            if result.verdict in (Verdict.SPAM, Verdict.REFLECTION):
+                results[index] = result
+            else:
+                self._bump_frequencies(email)
+                provisional.append((index, email, result))
+
+        for index, email, result in provisional:
+            if 3 in self.enabled_layers:
+                retro = self._layer3_collaborative(email)
+                if retro is not None:
+                    results[index] = FilterResult(
+                        Verdict.SPAM, result.kind, 3,
+                        f"(retroactive) {retro}")
+                    continue
+            if 5 in self.enabled_layers:
+                reason = self._frequency_reason(email)
+                if reason is not None:
+                    results[index] = FilterResult(
+                        Verdict.FREQUENCY_FILTERED, result.kind, 5, reason)
+                    continue
+            results[index] = FilterResult(Verdict.TRUE_TYPO, result.kind,
+                                          None, "passed all layers")
+        return [r for r in results if r is not None]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _record_spam(self, email: TokenizedEmail) -> None:
+        self.collaborative.record_spam(_sender_address(email), email.body)
+
+    def _bump_frequencies(self, email: TokenizedEmail) -> None:
+        for recipient in email.metadata.envelope_to:
+            key = recipient.lower()
+            self._recipient_counts[key] = self._recipient_counts.get(key, 0) + 1
+        sender = _sender_address(email)
+        if sender:
+            key = sender.lower()
+            self._sender_counts[key] = self._sender_counts.get(key, 0) + 1
+        digest = _content_hash(email.body)
+        self._content_counts[digest] = self._content_counts.get(digest, 0) + 1
+
+    def _frequency_reason(self, email: TokenizedEmail) -> Optional[str]:
+        config = self.config
+        for recipient in email.metadata.envelope_to:
+            count = self._recipient_counts.get(recipient.lower(), 0)
+            if count >= config.recipient_frequency_threshold:
+                return f"recipient {recipient} seen {count} times"
+        sender = _sender_address(email)
+        if sender:
+            count = self._sender_counts.get(sender.lower(), 0)
+            if count >= config.sender_frequency_threshold:
+                return f"sender {sender} seen {count} times"
+        count = self._content_counts.get(_content_hash(email.body), 0)
+        if count >= config.content_frequency_threshold:
+            return f"identical body seen {count} times"
+        return None
+
+
+# -- header helpers -----------------------------------------------------------
+
+_RELAY_BY_RE = re.compile(r"by ([^\s(]+)")
+_RELAY_FROM_RE = re.compile(r"from ([^\s(]+)")
+
+
+def _relay_chain_hosts(email: TokenizedEmail) -> Set[str]:
+    """Hosts named in the topmost Received header.
+
+    With the Figure-1 two-hop topology the collection server's header
+    reads ``from <vps-typo-domain> by collector...``; with a direct
+    delivery it reads ``from <sender> by <vps-typo-domain>``.  Layer 1
+    accepts the mail when *either* position names one of our domains —
+    mail that reached the collector without passing a registered VPS
+    names neither, and is spam by construction.
+    """
+    chain = email.metadata.received_chain
+    if not chain:
+        return set()
+    hosts: Set[str] = set()
+    for pattern in (_RELAY_BY_RE, _RELAY_FROM_RE):
+        match = pattern.search(chain[0])
+        if match:
+            hosts.add(match.group(1).lower())
+    return hosts
+
+
+def _sender_address(email: TokenizedEmail) -> Optional[str]:
+    raw = email.metadata.envelope_from or email.metadata.from_field
+    if not raw:
+        return None
+    match = re.search(r"[\w.+-]+@[\w.-]+", raw)
+    return match.group(0) if match else None
+
+
+def _sender_domain(email: TokenizedEmail) -> Optional[str]:
+    sender = _sender_address(email)
+    if sender is None:
+        return None
+    return sender.rpartition("@")[2].lower()
+
+
+def _header_to_domain(email: TokenizedEmail) -> Optional[str]:
+    raw = email.metadata.to_field
+    if not raw:
+        return None
+    match = re.search(r"[\w.+-]+@([\w.-]+)", raw)
+    return match.group(1).lower() if match else None
+
+
+def _content_hash(body: str) -> str:
+    normalised = re.sub(r"\s+", " ", body.strip().lower())
+    return hashlib.sha1(normalised.encode("utf-8")).hexdigest()

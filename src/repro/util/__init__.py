@@ -1,0 +1,38 @@
+"""Shared utilities: deterministic randomness, simulated time, statistics."""
+
+from repro.util.rand import SeededRng, derive_seed
+from repro.util.simtime import (
+    CollectionWindow,
+    SimClock,
+    PAPER_COLLECTION_START,
+    PAPER_COLLECTION_END,
+    paper_window,
+)
+from repro.util.stats import (
+    BinaryClassificationScores,
+    cumulative_share,
+    gini,
+    mad,
+    mad_outliers,
+    mean_confidence_interval,
+    median,
+    score_binary,
+)
+
+__all__ = [
+    "SeededRng",
+    "derive_seed",
+    "SimClock",
+    "CollectionWindow",
+    "paper_window",
+    "PAPER_COLLECTION_START",
+    "PAPER_COLLECTION_END",
+    "BinaryClassificationScores",
+    "cumulative_share",
+    "gini",
+    "mad",
+    "mad_outliers",
+    "mean_confidence_interval",
+    "median",
+    "score_binary",
+]

@@ -1,0 +1,149 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the reproduction draws randomness through a
+:class:`SeededRng`, never through the global :mod:`random` state.  Child
+generators are derived by name so that adding a new consumer of randomness
+does not perturb the draws seen by existing consumers — a property the
+end-to-end experiment tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SeededRng", "derive_seed"]
+
+
+def derive_seed(parent_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from a parent seed and a label.
+
+    The derivation hashes ``"{parent_seed}/{name}"`` with SHA-256, so child
+    streams are statistically independent of each other and of the parent,
+    and are stable across Python versions (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{parent_seed}/{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SeededRng:
+    """A named, seedable random source with convenience helpers.
+
+    Wraps :class:`random.Random` rather than numpy so that cheap scalar
+    draws stay cheap; callers needing vectorised draws can request a numpy
+    generator via :meth:`numpy_rng`.
+    """
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+        self._random = random.Random(seed)
+
+    def child(self, name: str) -> "SeededRng":
+        """Return an independent child generator labelled ``name``."""
+        return SeededRng(derive_seed(self.seed, name), name=f"{self.name}/{name}")
+
+    # -- scalar draws -----------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform draw in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform draw in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Inclusive-range integer draw, mirroring random.randint."""
+        return self._random.randint(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal draw with mean mu and stddev sigma."""
+        return self._random.gauss(mu, sigma)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Log-normal draw with underlying normal (mu, sigma)."""
+        return self._random.lognormvariate(mu, sigma)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential draw with the given rate (1/mean)."""
+        return self._random.expovariate(rate)
+
+    def poisson(self, lam: float) -> int:
+        """Poisson draw via inversion for small lambda, normal approx above.
+
+        ``random.Random`` has no Poisson; this implementation is adequate
+        for traffic simulation (lambda up to ~1e6).
+        """
+        if lam <= 0:
+            return 0
+        if lam < 30.0:
+            # Knuth inversion.
+            threshold = 2.718281828459045 ** (-lam)
+            k = 0
+            product = self._random.random()
+            while product > threshold:
+                k += 1
+                product *= self._random.random()
+            return k
+        draw = self._random.gauss(lam, lam ** 0.5)
+        return max(0, int(round(draw)))
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability p."""
+        return self._random.random() < p
+
+    # -- collection draws -------------------------------------------------
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """One uniformly-drawn element of seq."""
+        return self._random.choice(seq)
+
+    def choices(self, seq: Sequence[T], weights: Optional[Sequence[float]] = None,
+                k: int = 1) -> List[T]:
+        """k draws with replacement, optionally weighted."""
+        return self._random.choices(seq, weights=weights, k=k)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        """k distinct elements drawn without replacement."""
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle items in place."""
+        self._random.shuffle(items)
+
+    def shuffled(self, items: Iterable[T]) -> List[T]:
+        """A shuffled copy; the input is left untouched."""
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Draw an index proportionally to ``weights`` (need not sum to 1)."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must have a positive sum")
+        point = self._random.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if point < acc:
+                return i
+        return len(weights) - 1
+
+    # -- strings ----------------------------------------------------------
+
+    _ALNUM = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+    def token(self, length: int = 12, alphabet: str = _ALNUM) -> str:
+        """A random lowercase-alphanumeric token (usernames, ids, ...)."""
+        return "".join(self._random.choice(alphabet) for _ in range(length))
+
+    def numpy_rng(self):
+        """A numpy Generator seeded from this source (lazy import)."""
+        import numpy as np
+
+        return np.random.default_rng(self._random.getrandbits(64))

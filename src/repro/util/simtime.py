@@ -1,0 +1,130 @@
+"""Simulated time.
+
+The paper's collection ran June 4 2016 – January 15 2017.  All simulated
+events are stamped with a :class:`SimClock` time rather than wall-clock
+time, so runs are reproducible and can model the paper's collection gaps
+(days the infrastructure was overwhelmed and recorded nothing).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Iterator, List, Set, Tuple
+
+__all__ = [
+    "SimClock",
+    "CollectionWindow",
+    "PAPER_COLLECTION_START",
+    "PAPER_COLLECTION_END",
+    "SECONDS_PER_DAY",
+    "DAYS_PER_YEAR",
+]
+
+SECONDS_PER_DAY = 86_400
+DAYS_PER_YEAR = 365
+
+#: The paper's data collection window (Section 4).
+PAPER_COLLECTION_START = _dt.datetime(2016, 6, 4)
+PAPER_COLLECTION_END = _dt.datetime(2017, 1, 15)
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Time is a float count of seconds since ``epoch``.  ``advance`` moves the
+    clock forward; moving backwards raises, which catches event-ordering
+    bugs in the traffic generators.
+    """
+
+    epoch: _dt.datetime = PAPER_COLLECTION_START
+    _now: float = 0.0
+
+    @property
+    def now(self) -> float:
+        """Seconds since the epoch."""
+        return self._now
+
+    @property
+    def now_datetime(self) -> _dt.datetime:
+        return self.epoch + _dt.timedelta(seconds=self._now)
+
+    @property
+    def day(self) -> int:
+        """Whole days elapsed since the epoch (0-based)."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds``; negative moves are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} seconds")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute timestamp, which must not be in the past."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards ({timestamp} < {self._now})")
+        self._now = timestamp
+        return self._now
+
+    def timestamp_to_datetime(self, timestamp: float) -> _dt.datetime:
+        """Convert a seconds-since-epoch timestamp to a datetime."""
+        return self.epoch + _dt.timedelta(seconds=timestamp)
+
+
+@dataclass
+class CollectionWindow:
+    """A measurement window with possible per-day outages.
+
+    ``total_days`` is the full span; ``outage_days`` are day indices during
+    which the collection infrastructure was down (the paper lost roughly two
+    months of data to spam-induced crashes).  Yearly projection divides by
+    *effective* days, exactly as the paper normalises: y = x * 365 / d.
+    """
+
+    total_days: int
+    outage_days: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.total_days <= 0:
+            raise ValueError("total_days must be positive")
+        bad = [d for d in self.outage_days if d < 0 or d >= self.total_days]
+        if bad:
+            raise ValueError(f"outage days outside window: {bad}")
+
+    @property
+    def effective_days(self) -> int:
+        return self.total_days - len(self.outage_days)
+
+    def is_collecting(self, day: int) -> bool:
+        """Whether data was being collected on day ``day``."""
+        return 0 <= day < self.total_days and day not in self.outage_days
+
+    def collecting_days(self) -> Iterator[int]:
+        """Iterate the day indices on which collection was up."""
+        for day in range(self.total_days):
+            if day not in self.outage_days:
+                yield day
+
+    def yearly_projection(self, count: float) -> float:
+        """Project a raw count to a full year: ``count * 365 / effective``."""
+        if self.effective_days == 0:
+            raise ValueError("window has no effective collection days")
+        return count * DAYS_PER_YEAR / self.effective_days
+
+
+def paper_window(outage_spans: Tuple[Tuple[int, int], ...] = ((75, 135),)) -> CollectionWindow:
+    """The paper's ~225-day window with a default two-month outage.
+
+    ``outage_spans`` is a tuple of half-open (start_day, end_day) spans.
+    The default single span of 60 days mirrors the paper's report of losing
+    about two months of data to crashes.
+    """
+    total = (PAPER_COLLECTION_END - PAPER_COLLECTION_START).days
+    outages: List[int] = []
+    for start, end in outage_spans:
+        outages.extend(range(start, end))
+    return CollectionWindow(total_days=total, outage_days=set(outages))

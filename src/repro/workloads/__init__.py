@@ -1,0 +1,53 @@
+"""Synthetic workload generation: typo traffic, spam, and labelled corpora."""
+
+from repro.workloads.corpus import (
+    EnronLikeCorpus,
+    LabeledEmail,
+    LabeledEntity,
+    evaluate_scrubber,
+)
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    LabeledDataset,
+    build_dataset,
+    evaluate_spamassassin,
+)
+from repro.workloads.events import SendRequest
+from repro.workloads.hamgen import ATTACHMENT_EXTENSION_WEIGHTS, ReceiverTypoGenerator
+from repro.workloads.reflection import ReflectionTypoGenerator
+from repro.workloads.smtp_typo import SmtpTypoEvent, SmtpTypoGenerator
+from repro.workloads.spamgen import SpamCampaign, SpamConfig, SpamGenerator
+from repro.workloads.textgen import BodyBuilder, Persona, PersonaFactory
+from repro.workloads.typo_model import (
+    TypingMistakeModel,
+    TypoModelConfig,
+    calibrate_global_volume,
+)
+
+__all__ = [
+    "SendRequest",
+    "ReceiverTypoGenerator",
+    "ATTACHMENT_EXTENSION_WEIGHTS",
+    "ReflectionTypoGenerator",
+    "SmtpTypoGenerator",
+    "SmtpTypoEvent",
+    "SpamGenerator",
+    "SpamConfig",
+    "SpamCampaign",
+    "TypingMistakeModel",
+    "TypoModelConfig",
+    "calibrate_global_volume",
+    "EnronLikeCorpus",
+    "LabeledEmail",
+    "LabeledEntity",
+    "evaluate_scrubber",
+    "DatasetProfile",
+    "LabeledDataset",
+    "DATASET_PROFILES",
+    "build_dataset",
+    "evaluate_spamassassin",
+    "BodyBuilder",
+    "Persona",
+    "PersonaFactory",
+]

@@ -1,0 +1,256 @@
+"""A labelled Enron-like corpus for evaluating the scrubber (Table 2).
+
+The paper tested its sensitive-information regexes against the public
+Enron email corpus by manually labelling samples.  We instead *plant*
+identifiers with ground-truth labels into Enron-flavoured business prose,
+which turns Table 2 into an exact computation instead of a manual
+sampling exercise.  Three ingredient classes drive the precision and
+sensitivity numbers:
+
+* **detectable identifiers** — planted in the formats the detectors parse;
+* **evasive identifiers** — real identifiers in formats the detectors miss
+  ("bob at gmail dot com", unseparated phone digits), producing the
+  false negatives behind sensitivities below 1.0;
+* **decoys** — text that *triggers* a detector without being sensitive
+  ("the password is not required"), producing the false positives behind
+  the low precision of the password/username/idnumber detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.sensitive import SensitiveScrubber
+from repro.util.rand import SeededRng
+from repro.util.stats import BinaryClassificationScores
+from repro.workloads.textgen import BodyBuilder, PersonaFactory
+
+__all__ = ["LabeledEntity", "LabeledEmail", "EnronLikeCorpus",
+           "evaluate_scrubber"]
+
+
+@dataclass(frozen=True)
+class LabeledEntity:
+    """One planted ground-truth identifier."""
+
+    kind: str
+    value: str
+
+
+@dataclass
+class LabeledEmail:
+    """A corpus email with its ground-truth sensitive content."""
+
+    text: str
+    entities: List[LabeledEntity] = field(default_factory=list)
+
+
+#: (kind, detectable-template, evasive-template, decoy-template,
+#:  plant-probability, evasive-rate, decoy-rate)
+#: Rates are tuned so the computed Table 2 approximates the paper's.
+_PLANTING_SPECS = (
+    ("creditcard",
+     "charge it to my card {card}",
+     None,
+     "tracking number {card} confirms shipment",
+     0.10, 0.0, 0.08),
+    ("ssn",
+     "my social security number is {ssn}",
+     "ssn on file ending {digits4}",
+     "internal doc code {ssnlike} filed",
+     0.05, 0.0, 0.30),
+    ("ein",
+     "the company EIN {ein} is registered",
+     None,
+     "part no {einlike} restocked",
+     0.06, 0.0, 0.13),
+    ("password",
+     "the password is {token}",
+     None,
+     "the password is {decoy_word}",
+     0.08, 0.0, 0.65),
+    ("vin",
+     "truck vin {vin} needs service",
+     None, None,
+     0.05, 0.0, 0.0),
+    ("username",
+     "my username is {token}",
+     None,
+     "your username is {decoy_word}",
+     0.08, 0.0, 0.45),
+    ("zip",
+     "ship to Houston, TX {zip5}",
+     None, None,
+     0.10, 0.0, 0.0),
+    ("idnumber",
+     "account number: {token_upper}",
+     "their file code is {token_upper}",
+     "case number: {decoy_word}",
+     0.10, 0.40, 0.20),
+    ("email",
+     "copy {email} on this",
+     "reach me at {user} at {host} dot com",
+     None,
+     0.25, 0.02, 0.0),
+    ("phone",
+     "call me at {phone}",
+     "cell {digits10}",
+     "po line item {phonelike} approved",
+     0.20, 0.05, 0.20),
+    ("date",
+     "the contract closes {date}",
+     None, None,
+     0.30, 0.0, 0.0),
+)
+
+_DECOY_WORDS = ("required", "changed", "here", "below", "attached",
+                "confidential", "unchanged", "ready")
+
+_SAMPLE_CARDS = ("4111111111111111", "5500005555555559", "371449635398431",
+                 "30569309025904", "3530111333300000")
+
+
+class EnronLikeCorpus:
+    """Deterministic generator of labelled business emails."""
+
+    def __init__(self, rng: SeededRng) -> None:
+        self._rng = rng
+        self._bodies = BodyBuilder(rng.child("bodies"))
+        self._personas = PersonaFactory(rng.child("personas"))
+
+    def generate(self, count: int) -> List[LabeledEmail]:
+        """Mint ``count`` labelled business emails."""
+        return [self._one_email() for _ in range(count)]
+
+    def _one_email(self) -> LabeledEmail:
+        rng = self._rng
+        persona = self._personas.make("enron-like.example")
+        lines = [self._bodies.body(sentences=rng.randint(2, 4),
+                                   closing_name=persona.first_name)]
+        entities: List[LabeledEntity] = []
+
+        for spec in _PLANTING_SPECS:
+            (kind, detectable, evasive, decoy,
+             plant_p, evasive_rate, decoy_rate) = spec
+            if decoy is not None and rng.bernoulli(plant_p * decoy_rate):
+                lines.append(self._fill_decoy(decoy))
+            if not rng.bernoulli(plant_p):
+                continue
+            use_evasive = evasive is not None and rng.bernoulli(evasive_rate)
+            template = evasive if use_evasive else detectable
+            line, value = self._fill(template, kind)
+            lines.append(line)
+            entities.append(LabeledEntity(kind=kind, value=value))
+
+        return LabeledEmail(text="\n".join(lines), entities=entities)
+
+    def _fill_decoy(self, template: str) -> str:
+        """Render a false-positive trap: detector-shaped but not sensitive."""
+        rng = self._rng
+        return template.format(
+            decoy_word=rng.choice(_DECOY_WORDS),
+            card=rng.choice(_SAMPLE_CARDS),
+            ssnlike=(f"{rng.randint(100, 999)}-{rng.randint(10, 99)}-"
+                     f"{rng.randint(1000, 9999)}"),
+            einlike=f"{rng.randint(10, 99)}-{rng.randint(1000000, 9999999)}",
+            phonelike=(f"{rng.randint(200, 999)}-{rng.randint(200, 999)}-"
+                       f"{rng.randint(1000, 9999)}"),
+        )
+
+    def _fill(self, template: str, kind: str) -> Tuple[str, str]:
+        rng = self._rng
+        fillers: Dict[str, str] = {}
+        if "{card}" in template:
+            fillers["card"] = rng.choice(_SAMPLE_CARDS)
+            value = fillers["card"]
+        elif "{ssn}" in template:
+            fillers["ssn"] = (f"{rng.randint(100, 772)}-"
+                              f"{rng.randint(10, 99)}-{rng.randint(1000, 9999)}")
+            value = fillers["ssn"]
+        elif "{digits4}" in template:
+            fillers["digits4"] = str(rng.randint(1000, 9999))
+            value = fillers["digits4"]
+        elif "{ein}" in template:
+            fillers["ein"] = f"{rng.randint(10, 99)}-{rng.randint(1000000, 9999999)}"
+            value = fillers["ein"]
+        elif "{vin}" in template:
+            alphabet = "ABCDEFGHJKLMNPRSTUVWXYZ0123456789"
+            fillers["vin"] = "1" + "".join(
+                rng.choice(alphabet) for _ in range(15)) + "4"
+            value = fillers["vin"]
+        elif "{zip5}" in template:
+            fillers["zip5"] = f"{rng.randint(10000, 99999)}"
+            value = fillers["zip5"]
+        elif "{token_upper}" in template:
+            fillers["token_upper"] = f"AC-{rng.randint(10000, 99999)}"
+            value = fillers["token_upper"]
+        elif "{email}" in template:
+            fillers["email"] = f"{rng.token(6)}@{rng.token(5)}.com"
+            value = fillers["email"]
+        elif "{user}" in template and "{host}" in template:
+            fillers["user"] = rng.token(6)
+            fillers["host"] = rng.token(5)
+            value = f"{fillers['user']}@{fillers['host']}.com"
+        elif "{phone}" in template:
+            fillers["phone"] = (f"({rng.randint(200, 989)}) "
+                                f"{rng.randint(200, 999)}-{rng.randint(1000, 9999)}")
+            value = fillers["phone"]
+        elif "{digits10}" in template:
+            fillers["digits10"] = str(rng.randint(2_000_000_000, 9_899_999_999))
+            value = fillers["digits10"]
+        elif "{date}" in template:
+            fillers["date"] = (f"{rng.randint(1, 12):02d}/"
+                               f"{rng.randint(1, 28):02d}/{rng.randint(1998, 2002)}")
+            value = fillers["date"]
+        elif "{token}" in template:
+            fillers["token"] = rng.token(8)
+            value = fillers["token"]
+        else:
+            raise AssertionError(f"template without filler: {template}")
+        if "{token}" in template and "token" not in fillers:
+            fillers["token"] = rng.token(8)
+        return template.format(**fillers), value
+
+
+def evaluate_scrubber(corpus: Sequence[LabeledEmail],
+                      scrubber: Optional[SensitiveScrubber] = None
+                      ) -> Dict[str, BinaryClassificationScores]:
+    """Per-kind precision/sensitivity of the scrubber on a labelled corpus.
+
+    A detection counts as a true positive when a planted entity of the
+    same kind appears in the email and the detected text covers its value;
+    unmatched detections are false positives, unmatched plants false
+    negatives — the exact bookkeeping behind the paper's Table 2.
+    """
+    scrubber = scrubber or SensitiveScrubber()
+    tallies: Dict[str, Dict[str, int]] = {}
+
+    def tally(kind: str) -> Dict[str, int]:
+        return tallies.setdefault(kind, {"tp": 0, "fp": 0, "fn": 0})
+
+    for email in corpus:
+        detections = scrubber.find(email.text)
+        remaining = list(email.entities)
+        for detection in detections:
+            match_index = None
+            for i, entity in enumerate(remaining):
+                if entity.kind == detection.kind and (
+                        entity.value in detection.text
+                        or detection.text in entity.value):
+                    match_index = i
+                    break
+            if match_index is not None:
+                tally(detection.kind)["tp"] += 1
+                remaining.pop(match_index)
+            else:
+                tally(detection.kind)["fp"] += 1
+        for entity in remaining:
+            tally(entity.kind)["fn"] += 1
+
+    return {
+        kind: BinaryClassificationScores(
+            true_positives=t["tp"], false_positives=t["fp"],
+            false_negatives=t["fn"])
+        for kind, t in sorted(tallies.items())
+    }

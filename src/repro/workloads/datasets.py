@@ -1,0 +1,155 @@
+"""Labelled spam datasets for the SpamAssassin evaluation (Table 3).
+
+The paper evaluated SpamAssassin (local mode, default thresholds) on four
+public corpora — TREC, CSDMC 2010, the SpamAssassin corpus, and the
+Untroubled spam archive — finding high precision but recall between 0.23
+and 0.87.  We synthesise four corpora with the same *difficulty profile*:
+each dataset mixes obvious spam (trips several rules), stealthy spam
+(benign-looking prose, slips through), and ham with a small rate of
+marketing-flavoured messages that can false-positive.  Untroubled is
+spam-only (no precision can be computed, as in the paper's Table 3) and
+skews heavily stealthy, reproducing the 0.23 recall of a modern,
+adversarial archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipeline.tokenizer import TokenizedEmail, tokenize
+from repro.smtpsim.message import EmailMessage
+from repro.spamfilter.spamassassin import SpamAssassinScorer
+from repro.util.rand import SeededRng
+from repro.util.stats import BinaryClassificationScores, score_binary
+from repro.workloads.textgen import BodyBuilder, PersonaFactory
+
+__all__ = ["DatasetProfile", "LabeledDataset", "build_dataset",
+           "DATASET_PROFILES", "evaluate_spamassassin"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Difficulty profile of one synthetic corpus."""
+
+    name: str
+    ham_fraction: float          # 0 for a spam-only archive
+    spam_obvious_fraction: float # fraction of spam that trips Layer-2 rules
+    ham_marketing_rate: float    # ham that flirts with spam phrasing
+
+
+#: Profiles tuned to land near the paper's Table 3 rows.
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "trec": DatasetProfile("trec", ham_fraction=0.5,
+                           spam_obvious_fraction=0.79,
+                           ham_marketing_rate=0.018),
+    "csdmc": DatasetProfile("csdmc", ham_fraction=0.5,
+                            spam_obvious_fraction=0.87,
+                            ham_marketing_rate=0.020),
+    "spamassassin": DatasetProfile("spamassassin", ham_fraction=0.5,
+                                   spam_obvious_fraction=0.84,
+                                   ham_marketing_rate=0.028),
+    "untroubled": DatasetProfile("untroubled", ham_fraction=0.0,
+                                 spam_obvious_fraction=0.23,
+                                 ham_marketing_rate=0.0),
+}
+
+_OBVIOUS_BODIES = (
+    "dear friend you have won $2,000,000 in the lottery. claim your prize "
+    "now, act now! http://{h}/a http://{h}/b http://{h}/c",
+    "online pharmacy viagra cialis cheap meds 100% free order now "
+    "http://{h}/shop",
+    "verify your account: unusual activity. confirm your password at "
+    "http://{h}/login immediately",
+    "make money fast! work from home, wire transfer weekly, risk free "
+    "limited time offer http://{h}/go",
+)
+
+_MARKETING_HAM_BODIES = (
+    # legitimate but promotional: enough signal to occasionally cross 5.0
+    "our spring sale is a limited time offer! click here and order now "
+    "http://{h}/sale http://{h}/new http://{h}/cat",
+    "WINTER CLEARANCE EVENT!!! everything must go, act now and save big "
+    "at http://{h}/clearance",
+)
+
+
+@dataclass
+class LabeledDataset:
+    """Emails with spam/ham ground truth."""
+
+    name: str
+    emails: List[TokenizedEmail]
+    labels: List[bool]  # True = spam
+
+    def __len__(self) -> int:
+        return len(self.emails)
+
+    @property
+    def spam_count(self) -> int:
+        return sum(self.labels)
+
+
+def build_dataset(profile: DatasetProfile, size: int,
+                  rng: SeededRng) -> LabeledDataset:
+    """Synthesise one labelled corpus following ``profile``."""
+    bodies = BodyBuilder(rng.child("bodies"))
+    personas = PersonaFactory(rng.child("personas"))
+    emails: List[TokenizedEmail] = []
+    labels: List[bool] = []
+
+    for _ in range(size):
+        if rng.bernoulli(profile.ham_fraction):
+            emails.append(_ham_email(rng, bodies, personas,
+                                     profile.ham_marketing_rate))
+            labels.append(False)
+        else:
+            emails.append(_spam_email(rng, bodies,
+                                      profile.spam_obvious_fraction))
+            labels.append(True)
+    return LabeledDataset(name=profile.name, emails=emails, labels=labels)
+
+
+def _ham_email(rng: SeededRng, bodies: BodyBuilder,
+               personas: PersonaFactory, marketing_rate: float) -> TokenizedEmail:
+    sender = personas.make("colleague.example")
+    recipient = personas.make("workplace.example")
+    if rng.bernoulli(marketing_rate):
+        host = f"{rng.token(6)}.example"
+        body = rng.choice(_MARKETING_HAM_BODIES).format(h=host)
+        subject = "newsletter: seasonal savings"
+    else:
+        body = bodies.body(sentences=rng.randint(2, 5),
+                           recipient_name=recipient.first_name,
+                           closing_name=sender.first_name)
+        subject = bodies.subject()
+    message = EmailMessage.create(sender.full_address, recipient.email,
+                                  subject, body)
+    return tokenize(message)
+
+
+def _spam_email(rng: SeededRng, bodies: BodyBuilder,
+                obvious_fraction: float) -> TokenizedEmail:
+    host = f"{rng.token(8)}.{rng.choice(('top', 'click', 'xyz'))}"
+    if rng.bernoulli(obvious_fraction):
+        body = rng.choice(_OBVIOUS_BODIES).format(h=host)
+        subject = rng.choice(("YOU HAVE WON!!!", "claim your prize",
+                              "URGENT RESPONSE NEEDED"))
+        sender = f"{rng.token(5)}{rng.randint(100, 99999)}@{host}"
+    else:
+        # stealth spam: indistinguishable prose, ordinary-looking sender
+        body = bodies.body(sentences=rng.randint(2, 4))
+        subject = bodies.subject()
+        sender = f"{rng.token(7)}@{rng.token(6)}.example"
+    message = EmailMessage.create(sender, f"{rng.token(6)}@victim.example",
+                                  subject, body)
+    return tokenize(message)
+
+
+def evaluate_spamassassin(dataset: LabeledDataset,
+                          scorer: Optional[SpamAssassinScorer] = None
+                          ) -> BinaryClassificationScores:
+    """Precision/recall of the Layer-2 scorer on one dataset (Table 3 row)."""
+    scorer = scorer or SpamAssassinScorer()
+    predicted = [scorer.is_spam(email) for email in dataset.emails]
+    return score_binary(predicted, dataset.labels)

@@ -1,0 +1,33 @@
+"""Traffic events shared by all workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.taxonomy import TypoEmailKind
+from repro.smtpsim.message import EmailMessage
+
+__all__ = ["SendRequest"]
+
+
+@dataclass
+class SendRequest:
+    """One email the simulated world wants to send.
+
+    ``true_kind`` is ground truth known only to the simulation — the
+    filtering funnel never sees it; tests and analyses use it to measure
+    how well the funnel recovers the truth (the paper could only do this
+    by manually sampling 103 emails).
+    """
+
+    timestamp: float              # seconds since the collection epoch
+    message: EmailMessage
+    recipient: str                # envelope RCPT TO
+    true_kind: TypoEmailKind
+    study_domain: Optional[str]   # which study domain should attract it
+    smtp_port: int = 25
+
+    @property
+    def day(self) -> int:
+        return int(self.timestamp // 86_400)

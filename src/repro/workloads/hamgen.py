@@ -1,0 +1,222 @@
+"""Receiver-typo email generation — the "legitimate" misdirected mail.
+
+A receiver typo happens when a real person emails a real correspondent but
+fat-fingers the recipient's domain.  The generator draws the daily count
+per study domain from the typing model (Pt, Pc, target popularity), and
+builds plausible personal/business mail: benign prose, occasional
+attachments (the Figure 7 extension mix), and occasional sensitive
+identifiers with per-target-category profiles (the Figure 6 heat map —
+typos of disposable-mail providers see credentials, typos of financial
+domains see payment details).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.targets import (
+    EMAIL_TARGETS,
+    RegisteredTypoDomain,
+    StudyCorpus,
+    TargetDomain,
+)
+from repro.core.taxonomy import TypoEmailKind
+from repro.smtpsim.message import Attachment, EmailMessage
+from repro.util.rand import SeededRng
+from repro.util.simtime import SECONDS_PER_DAY
+from repro.workloads.events import SendRequest
+from repro.workloads.textgen import BodyBuilder, PersonaFactory, make_attachment_payload
+from repro.workloads.typo_model import TypingMistakeModel, calibrate_global_volume
+
+__all__ = ["ReceiverTypoGenerator", "ATTACHMENT_EXTENSION_WEIGHTS"]
+
+#: Extension mix for true-typo attachments, shaped like the paper's
+#: Figure 7 (txt/jpg dominate; office formats follow; a long tail).
+ATTACHMENT_EXTENSION_WEIGHTS: Mapping[str, float] = {
+    "txt": 4571, "jpg": 1617, "pdf": 1113, "png": 335, "docx": 307,
+    "xml": 146, "gif": 80, "doc": 65, "jpeg": 52, "xlsx": 19,
+    "xls": 18, "ics": 11, "html": 10, "docm": 9, "pptx": 9,
+    "rtf": 6,
+}
+
+#: Per-target-category sensitive-content profiles: (kind, probability).
+#: Figure 6's heavy cells: yopmail typos collect usernames+passwords,
+#: provider typos a mix, financial typos payment identifiers.
+_SENSITIVE_PROFILES: Mapping[str, Sequence] = {
+    # throwaway addresses exist to receive registration credentials:
+    # the paper's Figure 6 shows 128 usernames and 16 passwords at a
+    # single yopmail typo domain
+    "disposable": (("username", 0.55), ("password", 0.30)),
+    "provider": (("username", 0.015), ("password", 0.01),
+                 ("creditcard", 0.006), ("ein", 0.004), ("vin", 0.003)),
+    "isp": (("username", 0.01), ("creditcard", 0.004), ("vin", 0.004)),
+    "financial": (("creditcard", 0.03), ("ein", 0.01)),
+    "bulk": (("username", 0.01),),
+}
+
+#: Valid (Luhn) PANs per brand for planting.
+_SAMPLE_CARDS = {
+    "visa": "4111111111111111",
+    "mastercard": "5500005555555559",
+    "amex": "371449635398431",
+    "dinersclub": "30569309025904",
+    "jcb": "3530111333300000",
+}
+
+
+@dataclass
+class _DomainPlan:
+    domain: RegisteredTypoDomain
+    daily_rate: float
+
+
+class ReceiverTypoGenerator:
+    """Generates receiver-typo mail for the study corpus.
+
+    ``yearly_true_typos`` calibrates the world so the whole corpus
+    receives roughly that many receiver typos per year (the paper measured
+    ~6,041/year including reflections); ``volume_scale`` scales everything
+    down for fast simulation runs.
+    """
+
+    def __init__(self, corpus: StudyCorpus, rng: SeededRng,
+                 model: Optional[TypingMistakeModel] = None,
+                 yearly_true_typos: float = 5300.0,
+                 volume_scale: float = 1.0,
+                 smtp_domain_leak_rate: float = 700.0) -> None:
+        self._rng = rng
+        self._model = model or TypingMistakeModel()
+        self._personas = PersonaFactory(rng.child("personas"))
+        self._bodies = BodyBuilder(rng.child("bodies"))
+        self._volume_scale = volume_scale
+        self._targets = {t.name: t for t in EMAIL_TARGETS}
+
+        annotated = [d for d in corpus.domains
+                     if d.purpose in ("receiver", "reflection")
+                     and d.candidate is not None]
+        global_volume = calibrate_global_volume(
+            [d.candidate for d in annotated], self._targets, self._model,
+            desired_total_yearly=yearly_true_typos)
+
+        self._plans: List[_DomainPlan] = []
+        for domain in annotated:
+            target = self._targets[domain.target]
+            yearly = self._model.expected_yearly_emails(
+                global_volume * target.email_share, domain.candidate)
+            self._plans.append(_DomainPlan(
+                domain=domain, daily_rate=yearly / 365.0 * volume_scale))
+
+        # the paper's unexplained ~700/yr receiver typos at SMTP-purpose
+        # domains, spread uniformly over them
+        smtp_domains = corpus.by_purpose("smtp")
+        if smtp_domains:
+            per_domain = (smtp_domain_leak_rate / 365.0 / len(smtp_domains)
+                          * volume_scale)
+            for domain in smtp_domains:
+                self._plans.append(_DomainPlan(domain=domain,
+                                               daily_rate=per_domain))
+
+    # -- introspection (used by analyses/tests) -------------------------------
+
+    def expected_daily_rate(self, domain: str) -> float:
+        """The calibrated mean receiver typos/day for one study domain."""
+        for plan in self._plans:
+            if plan.domain.domain == domain:
+                return plan.daily_rate
+        return 0.0
+
+    def total_daily_rate(self) -> float:
+        """Mean receiver typos/day across the whole corpus."""
+        return sum(plan.daily_rate for plan in self._plans)
+
+    # -- generation --------------------------------------------------------------
+
+    #: Mild weekly seasonality: human email dips on weekends.  The paper's
+    #: yearly normalisation (y = x*365/d) assumes the window averages out
+    #: "daily, weekly, monthly, and most seasonal effects" — which only
+    #: holds if such effects exist to be averaged.
+    WEEKDAY_FACTORS = (1.1, 1.1, 1.1, 1.1, 1.05, 0.75, 0.8)
+
+    def emails_for_day(self, day: int) -> List[SendRequest]:
+        """The day's receiver-typo send requests (Poisson per domain)."""
+        factor = self.WEEKDAY_FACTORS[day % 7]
+        out: List[SendRequest] = []
+        for plan in self._plans:
+            count = self._rng.poisson(plan.daily_rate * factor)
+            for _ in range(count):
+                out.append(self._one_email(day, plan.domain))
+        return out
+
+    def _one_email(self, day: int, domain: RegisteredTypoDomain) -> SendRequest:
+        rng = self._rng
+        target = self._targets.get(domain.target)
+        category = target.category if target else "provider"
+
+        sender = self._personas.make(
+            rng.choice(("fastmail.org", "corporate.example", "mail.example",
+                        "university.example", "smallbiz.example")))
+        intended = self._personas.make(domain.target)
+        # the typo: same local part, mistyped domain
+        typoed_address = f"{intended.email.split('@')[0]}@{domain.domain}"
+
+        topic = rng.choice(self._bodies.topics())
+        body = self._bodies.body(topic=topic, sentences=rng.randint(2, 5),
+                                 recipient_name=intended.first_name,
+                                 closing_name=sender.first_name)
+        body = self._maybe_add_sensitive(body, category)
+
+        attachments = self._maybe_attachments(topic)
+        message = EmailMessage.create(
+            from_addr=sender.full_address,
+            to_addr=f"{intended.display_name} <{typoed_address}>",
+            subject=self._bodies.subject(topic),
+            body=body,
+            attachments=attachments,
+        )
+        timestamp = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY)
+        return SendRequest(
+            timestamp=timestamp,
+            message=message,
+            recipient=typoed_address,
+            true_kind=TypoEmailKind.RECEIVER,
+            study_domain=domain.domain,
+        )
+
+    # -- content helpers -----------------------------------------------------------
+
+    def _maybe_add_sensitive(self, body: str, category: str) -> str:
+        rng = self._rng
+        extra: List[str] = []
+        for kind, probability in _SENSITIVE_PROFILES.get(category, ()):
+            if not rng.bernoulli(probability):
+                continue
+            if kind == "creditcard":
+                brand = rng.choice(sorted(_SAMPLE_CARDS))
+                extra.append(f"you can put it on my card {_SAMPLE_CARDS[brand]}")
+            elif kind == "password":
+                extra.append(f"the password is {rng.token(8)}")
+            elif kind == "username":
+                extra.append(f"my username is {rng.token(6)}{rng.randint(1, 99)}")
+            elif kind == "ein":
+                extra.append(
+                    f"our EIN {rng.randint(10, 99)}-{rng.randint(1000000, 9999999)}")
+            elif kind == "vin":
+                alphabet = "ABCDEFGHJKLMNPRSTUVWXYZ0123456789"
+                vin = "1" + "".join(rng.choice(alphabet) for _ in range(15)) + "2"
+                extra.append(f"the car vin is {vin}")
+        if extra:
+            return body + "\n" + "\n".join(extra)
+        return body
+
+    def _maybe_attachments(self, topic: str) -> List[Attachment]:
+        rng = self._rng
+        if not rng.bernoulli(0.18):
+            return []
+        extensions = list(ATTACHMENT_EXTENSION_WEIGHTS)
+        weights = [ATTACHMENT_EXTENSION_WEIGHTS[e] for e in extensions]
+        extension = extensions[rng.weighted_index(weights)]
+        text = self._bodies.body(topic=topic, sentences=2)
+        filename = f"{rng.token(6)}.{extension}"
+        return [Attachment(filename,
+                           make_attachment_payload(extension, text))]

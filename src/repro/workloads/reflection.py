@@ -1,0 +1,189 @@
+"""Reflection-typo email generation (paper Section 3, "reflection typos").
+
+A reflection typo starts with a victim mistyping *their own* address when
+registering with an online service; the service then mails the mistyped
+address — our typo domain — forever after.  The traffic is automated
+(newsletters, receipts, notifications) and carries the machine fingerprints
+that funnel Layer 4 keys on: List-Unsubscribe headers, bounce senders,
+unsubscribe footers.
+
+The generator also reproduces the paper's ``zohomil.com`` anecdote: one
+mistyped address published in job postings attracts a steady stream of
+CVs — which are *human* mail and sail through Layer 4 as true typos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.targets import StudyCorpus
+from repro.core.taxonomy import TypoEmailKind
+from repro.smtpsim.message import Attachment, EmailMessage
+from repro.util.rand import SeededRng
+from repro.util.simtime import SECONDS_PER_DAY
+from repro.workloads.events import SendRequest
+from repro.workloads.textgen import BodyBuilder, PersonaFactory, make_attachment_payload
+
+__all__ = ["ReflectionTypoGenerator"]
+
+_SERVICES = (
+    ("news-weekly.example", "Your weekly digest"),
+    ("shop-deals.example", "Order confirmation"),
+    ("travel-fares.example", "Fare alert"),
+    ("forum-hub.example", "New replies to your thread"),
+    ("fitness-app.example", "Your activity summary"),
+    ("raffle-site.example", "Entry received"),
+)
+
+_UNSUBSCRIBE_FOOTERS = (
+    "to unsubscribe from these emails click the link below",
+    "you are receiving this because you signed up at our site",
+    "manage your preferences or remove yourself from this list",
+)
+
+
+@dataclass
+class _SignupTypo:
+    """One victim's mistyped signup: a service keeps mailing the address."""
+
+    service_domain: str
+    subject_base: str
+    victim_address: str     # the mistyped address at our typo domain
+    daily_rate: float       # service emails per day to this address
+
+
+class ReflectionTypoGenerator:
+    """Automated service mail to mistyped signup addresses.
+
+    ``signups_per_domain`` controls how many standing subscriptions each
+    reflection-purpose study domain accumulates; a disposable-mail typo
+    domain sees many (its whole user base registers with throwaway
+    addresses), which is why the paper targeted 10MinuteMail/YOPmail
+    typos for this mistake class.
+    """
+
+    def __init__(self, corpus: StudyCorpus, rng: SeededRng,
+                 signups_per_domain: int = 6,
+                 volume_scale: float = 1.0,
+                 job_posting_domain: Optional[str] = "zohomil.com",
+                 job_posting_daily_rate: float = 1.2) -> None:
+        self._rng = rng
+        self._bodies = BodyBuilder(rng.child("bodies"))
+        self._personas = PersonaFactory(rng.child("personas"))
+        self._volume_scale = volume_scale
+        self._signups: List[_SignupTypo] = []
+
+        reflection_domains = [d.domain for d in corpus.by_purpose("reflection")]
+        # provider typo domains also collect some reflections (signup typos
+        # happen with any provider, just less often)
+        receiver_domains = [d.domain for d in corpus.by_purpose("receiver")]
+
+        for domain in reflection_domains:
+            self._add_signups(domain, signups_per_domain)
+        for domain in receiver_domains:
+            if rng.bernoulli(0.35):
+                self._add_signups(domain, 1)
+
+        # residual promo lists from a previous life (paper §4.3: some
+        # study domains "might have also been previously registered, and
+        # could still appear in certain promotional lists") — old
+        # addresses at the domain keep receiving newsletters
+        for registered in corpus.domains:
+            if registered.previously_registered:
+                self._add_signups(registered.domain, 2)
+
+        self._job_posting_address: Optional[str] = None
+        self._job_posting_rate = job_posting_daily_rate * volume_scale
+        if job_posting_domain and corpus.lookup(job_posting_domain):
+            persona = self._personas.make(job_posting_domain)
+            self._job_posting_address = persona.email
+
+    def _add_signups(self, domain: str, count: int) -> None:
+        for _ in range(count):
+            service, subject = self._rng.choice(_SERVICES)
+            persona = self._personas.make(domain)
+            self._signups.append(_SignupTypo(
+                service_domain=service,
+                subject_base=subject,
+                victim_address=persona.email,
+                daily_rate=self._rng.uniform(0.05, 0.5) * self._volume_scale,
+            ))
+
+    @property
+    def standing_signups(self) -> int:
+        return len(self._signups)
+
+    # -- generation -------------------------------------------------------------
+
+    def emails_for_day(self, day: int) -> List[SendRequest]:
+        """The day's reflection traffic: service mail plus CV stream."""
+        out: List[SendRequest] = []
+        for signup in self._signups:
+            count = self._rng.poisson(signup.daily_rate)
+            for _ in range(count):
+                out.append(self._service_email(day, signup))
+        if self._job_posting_address is not None:
+            for _ in range(self._rng.poisson(self._job_posting_rate)):
+                out.append(self._job_application(day))
+        return out
+
+    def _service_email(self, day: int, signup: _SignupTypo) -> SendRequest:
+        rng = self._rng
+        domain = signup.victim_address.rpartition("@")[2]
+        body = "\n".join([
+            self._bodies.sentence("work"),
+            rng.choice(_UNSUBSCRIBE_FOOTERS),
+        ])
+        message = EmailMessage.create(
+            from_addr=f"noreply@{signup.service_domain}",
+            to_addr=signup.victim_address,
+            subject=f"{signup.subject_base} #{rng.randint(100, 999)}",
+            body=body,
+            extra_headers={
+                "List-Unsubscribe": f"<mailto:unsub@{signup.service_domain}>",
+                "Return-Path": f"bounce-{rng.token(8)}@{signup.service_domain}",
+            },
+        )
+        timestamp = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY)
+        return SendRequest(
+            timestamp=timestamp,
+            message=message,
+            recipient=signup.victim_address,
+            true_kind=TypoEmailKind.REFLECTION,
+            study_domain=domain,
+        )
+
+    def _job_application(self, day: int) -> SendRequest:
+        """A CV sent by a human to the mistyped address in a job posting.
+
+        Human-authored, so it should pass Layer 4 — the paper observed
+        these as a "nasty variant" of reflection typos that look like
+        perfectly legitimate mail.
+        """
+        rng = self._rng
+        applicant = self._personas.make(
+            rng.choice(("gmail.example", "outlook.example", "mail.example")))
+        domain = self._job_posting_address.rpartition("@")[2]
+        body = self._bodies.body(topic="jobsearch", sentences=3,
+                                 recipient_name="hiring team",
+                                 closing_name=applicant.display_name)
+        cv_text = self._bodies.body(topic="jobsearch", sentences=4)
+        attachment = Attachment(
+            f"cv_{applicant.last_name}.pdf",
+            make_attachment_payload("pdf", cv_text))
+        message = EmailMessage.create(
+            from_addr=applicant.full_address,
+            to_addr=self._job_posting_address,
+            subject=f"application for the {rng.choice(('analyst', 'engineer', 'designer'))} position",
+            body=body,
+            attachments=[attachment],
+        )
+        timestamp = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY)
+        return SendRequest(
+            timestamp=timestamp,
+            message=message,
+            recipient=self._job_posting_address,
+            true_kind=TypoEmailKind.REFLECTION,
+            study_domain=domain,
+        )

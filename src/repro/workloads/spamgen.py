@@ -1,0 +1,281 @@
+"""Spam generation — the overwhelming bulk of the study's traffic.
+
+The paper projects ~118.9 million emails/year across 76 domains, of which
+only a few thousand survive filtering: the corpus is dominated by spam
+aimed at the catch-all servers.  Two streams matter, because the funnel
+classifies candidates by header:
+
+* **receiver-candidate spam** — addressed *to* the study domains
+  (harvested/dictionary addresses), indistinguishable in kind from
+  receiver typos until filtered;
+* **SMTP-candidate spam** — blasted at the open SMTP ports with
+  third-party recipients, which is why the paper saw 102.7M *SMTP-typo
+  candidates* a year: spammers probing open relays.
+
+Spam arrives in campaigns (one sender, one body template, many hits) plus
+a singleton tail.  Campaign "obviousness" controls whether Layer 2 catches
+a given email; stealthy campaign mail is then mopped up by Layer 3
+(collaborative) and Layer 5 (frequency), and a residue survives — the
+paper's manual analysis found ~20% of surviving "typos" were such spam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.targets import StudyCorpus
+from repro.core.taxonomy import TypoEmailKind
+from repro.smtpsim.message import Attachment, EmailMessage
+from repro.util.rand import SeededRng
+from repro.util.simtime import SECONDS_PER_DAY
+from repro.workloads.events import SendRequest
+from repro.workloads.textgen import BodyBuilder, PersonaFactory, make_attachment_payload
+
+__all__ = ["SpamGenerator", "SpamConfig", "SpamCampaign"]
+
+_SPAM_SUBJECTS = (
+    "YOU HAVE WON!!!",
+    "claim your prize now",
+    "RE: urgent response needed",
+    "cheap meds online pharmacy",
+    "limited time offer inside",
+    "your account needs attention",
+)
+
+_SPAM_BODY_TEMPLATES = (
+    "dear friend, you have won ${amount}. claim your prize today. act now "
+    "risk free at http://{host}/win",
+    "verify your account immediately. unusual activity detected. click here "
+    "http://{host}/verify to confirm your password",
+    "online pharmacy sale! viagra and cialis 100% free shipping. order now "
+    "http://{host}/shop http://{host}/deals http://{host}/meds",
+    "work from home and make money fast. wire transfer ${amount} weekly. "
+    "limited time offer http://{host}/job",
+)
+
+_SPAM_ATTACHMENT_EXTENSIONS = ("zip", "rar", "doc", "docm", "xls", "xlsm",
+                               "exe", "js", "pdf")
+
+
+@dataclass
+class SpamCampaign:
+    """One bulk-mailing operation."""
+
+    sender: str
+    body: str
+    subject: str
+    obviousness: float          # probability a given email trips Layer 2
+    forged_headers: bool        # Layer-1-detectable header games
+    daily_volume: float         # emails/day while active
+    remaining_days: int
+    attaches_malware: bool = False
+
+
+@dataclass(frozen=True)
+class SpamConfig:
+    """Volume knobs, in emails/year before ``volume_scale``.
+
+    Defaults approximate the paper's mix: receiver-candidate spam ~16.2M,
+    SMTP-candidate spam ~102.7M (here scaled implicitly by the caller —
+    running the real yearly volume is neither feasible nor needed for
+    shape reproduction).
+    """
+
+    receiver_spam_per_year: float = 16_200_000.0
+    smtp_spam_per_year: float = 102_700_000.0
+    campaign_fraction: float = 0.92       # rest is singleton spam
+    mean_campaign_days: float = 4.0
+    obvious_campaign_fraction: float = 0.8
+    forged_header_fraction: float = 0.25
+    attachment_probability: float = 0.25
+    malware_fraction_of_attachments: float = 0.03
+
+
+class SpamGenerator:
+    """Day-by-day spam for the whole study corpus."""
+
+    def __init__(self, corpus: StudyCorpus, rng: SeededRng,
+                 config: Optional[SpamConfig] = None,
+                 volume_scale: float = 1.0) -> None:
+        self._rng = rng
+        self._config = config or SpamConfig()
+        self._bodies = BodyBuilder(rng.child("bodies"))
+        self._personas = PersonaFactory(rng.child("personas"))
+        self._receiver_domains = [d.domain for d in corpus.domains]
+        self._smtp_capable = [d.domain for d in corpus.domains]
+        self._scale = volume_scale
+        self._campaigns: List[SpamCampaign] = []
+        #: sha256 of every malware payload produced — the simulated
+        #: VirusTotal database for the attachment analysis.
+        self.malicious_hashes: Set[str] = set()
+
+        self._receiver_daily = (self._config.receiver_spam_per_year / 365.0
+                                * volume_scale)
+        self._smtp_daily = (self._config.smtp_spam_per_year / 365.0
+                            * volume_scale)
+        # stealth singletons mostly recycle a small pool of chain-letter
+        # bodies (real spam reuses text heavily); a small residue is
+        # genuinely unique and survives to the manual-analysis stage,
+        # like the ~20% spam the paper found among its "true typos"
+        self._stealth_body_pool = [self._bodies.body(sentences=4)
+                                   for _ in range(25)]
+
+    @property
+    def expected_daily_total(self) -> float:
+        return self._receiver_daily + self._smtp_daily
+
+    # -- campaign lifecycle ------------------------------------------------------
+
+    def _ensure_campaigns(self, needed_daily: float) -> None:
+        active = sum(c.daily_volume for c in self._campaigns)
+        while active < needed_daily * self._config.campaign_fraction:
+            campaign = self._new_campaign(needed_daily)
+            self._campaigns.append(campaign)
+            active += campaign.daily_volume
+
+    def _new_campaign(self, needed_daily: float) -> SpamCampaign:
+        rng = self._rng
+        host = f"{rng.token(8)}.{rng.choice(('top', 'click', 'xyz', 'biz'))}"
+        obvious = rng.bernoulli(self._config.obvious_campaign_fraction)
+        if obvious:
+            body = rng.choice(_SPAM_BODY_TEMPLATES).format(
+                amount=f"{rng.randint(1, 9)},000,000", host=host)
+            subject = rng.choice(_SPAM_SUBJECTS)
+            obviousness = rng.uniform(0.85, 1.0)
+        else:
+            # stealth campaign: benign-looking prose, unique host
+            body = self._bodies.body(sentences=4)
+            subject = self._bodies.subject()
+            obviousness = rng.uniform(0.0, 0.15)
+        return SpamCampaign(
+            sender=f"{rng.token(6)}{rng.randint(10, 9999)}@{host}",
+            body=body,
+            subject=subject,
+            obviousness=obviousness,
+            forged_headers=rng.bernoulli(self._config.forged_header_fraction),
+            daily_volume=max(1.0, needed_daily
+                             * rng.uniform(0.02, 0.2)),
+            remaining_days=1 + rng.poisson(self._config.mean_campaign_days),
+            attaches_malware=rng.bernoulli(0.1),
+        )
+
+    # -- generation ----------------------------------------------------------------
+
+    def emails_for_day(self, day: int) -> List[SendRequest]:
+        """The day's spam across both streams; campaigns age afterwards."""
+        out: List[SendRequest] = []
+        out.extend(self._stream_for_day(day, self._receiver_daily,
+                                        receiver_stream=True))
+        out.extend(self._stream_for_day(day, self._smtp_daily,
+                                        receiver_stream=False))
+        for campaign in self._campaigns:
+            campaign.remaining_days -= 1
+        self._campaigns = [c for c in self._campaigns if c.remaining_days > 0]
+        return out
+
+    def _stream_for_day(self, day: int, daily_rate: float,
+                        receiver_stream: bool) -> List[SendRequest]:
+        rng = self._rng
+        total = rng.poisson(daily_rate)
+        if total == 0:
+            return []
+        self._ensure_campaigns(daily_rate)
+        campaign_count = round(total * self._config.campaign_fraction)
+        out: List[SendRequest] = []
+        for _ in range(campaign_count):
+            campaign = rng.choice(self._campaigns)
+            out.append(self._campaign_email(day, campaign, receiver_stream))
+        for _ in range(total - campaign_count):
+            out.append(self._singleton_email(day, receiver_stream))
+        return out
+
+    def _campaign_email(self, day: int, campaign: SpamCampaign,
+                        receiver_stream: bool) -> SendRequest:
+        rng = self._rng
+        study_domain = rng.choice(self._receiver_domains)
+        if receiver_stream:
+            recipient = f"{rng.token(7)}@{study_domain}"
+        else:
+            recipient = f"{rng.token(7)}@{rng.token(6)}.example"
+
+        # real campaigns reuse their template: the body is a campaign-level
+        # property (which is exactly what makes collaborative bag-of-words
+        # and content-frequency filtering bite)
+        body = campaign.body
+        subject = campaign.subject
+
+        to_header = recipient
+        if campaign.forged_headers:
+            # classic spammer trick the paper's Layer 1 catches: pretend to
+            # send *from* the victim domain, or use an unrelated To header
+            if rng.bernoulli(0.5):
+                sender = f"{rng.token(6)}@{study_domain}"
+            else:
+                sender = campaign.sender
+                to_header = f"{rng.token(7)}@unrelated.example"
+        else:
+            sender = campaign.sender
+
+        # only loud campaigns push attachments; stealth campaigns stay lean
+        attachments = (self._maybe_attachments(campaign.attaches_malware)
+                       if campaign.obviousness > 0.5 else [])
+        message = EmailMessage.create(
+            from_addr=sender, to_addr=to_header, subject=subject, body=body,
+            attachments=attachments)
+        message.envelope_to = [recipient]
+        timestamp = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY)
+        return SendRequest(timestamp=timestamp, message=message,
+                           recipient=recipient,
+                           true_kind=TypoEmailKind.SPAM,
+                           study_domain=study_domain,
+                           smtp_port=25)
+
+    def _singleton_email(self, day: int,
+                         receiver_stream: bool) -> SendRequest:
+        rng = self._rng
+        study_domain = rng.choice(self._receiver_domains)
+        recipient = (f"{rng.token(7)}@{study_domain}" if receiver_stream
+                     else f"{rng.token(7)}@{rng.token(6)}.example")
+        host = f"{rng.token(8)}.{rng.choice(('top', 'click', 'net'))}"
+        attachments: List[Attachment] = []
+        if rng.bernoulli(0.7):
+            body = rng.choice(_SPAM_BODY_TEMPLATES).format(
+                amount=f"{rng.randint(1, 9)}00,000", host=host)
+            subject = rng.choice(_SPAM_SUBJECTS)
+            # malware rides on the loud mass mail, not the stealthy tail
+            attachments = self._maybe_attachments(rng.bernoulli(0.05))
+        elif rng.bernoulli(0.8):
+            body = rng.choice(self._stealth_body_pool)
+            subject = self._bodies.subject()
+        else:
+            # the genuinely unique residue that defeats every filter
+            body = self._bodies.body(sentences=2)
+            subject = self._bodies.subject()
+        message = EmailMessage.create(
+            from_addr=f"{rng.token(8)}@{host}",
+            to_addr=recipient, subject=subject, body=body,
+            attachments=attachments)
+        message.envelope_to = [recipient]
+        timestamp = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY)
+        return SendRequest(timestamp=timestamp, message=message,
+                           recipient=recipient,
+                           true_kind=TypoEmailKind.SPAM,
+                           study_domain=study_domain,
+                           smtp_port=25)
+
+    def _maybe_attachments(self, malware_biased: bool) -> List[Attachment]:
+        rng = self._rng
+        probability = self._config.attachment_probability
+        if not rng.bernoulli(probability):
+            return []
+        extension = rng.choice(_SPAM_ATTACHMENT_EXTENSIONS)
+        is_malware = malware_biased or rng.bernoulli(
+            self._config.malware_fraction_of_attachments)
+        payload_text = ("MALSIG-" + rng.token(16)) if is_malware \
+            else self._bodies.body(sentences=1)
+        attachment = Attachment(f"{rng.token(6)}.{extension}",
+                                make_attachment_payload(extension, payload_text))
+        if is_malware:
+            self.malicious_hashes.add(attachment.sha256())
+        return [attachment]

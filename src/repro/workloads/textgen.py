@@ -1,0 +1,179 @@
+"""Synthetic text generation for email bodies, names, and attachments.
+
+All workload generators build their content here so that vocabulary
+control lives in one place: ham must *not* accidentally contain the
+phrases the SpamAssassin layer keys on, spam must contain them with a
+configurable probability, and sensitive identifiers are planted with
+ground-truth labels for the Table 2 evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.rand import SeededRng
+
+__all__ = ["PersonaFactory", "Persona", "BodyBuilder", "make_attachment_payload"]
+
+FIRST_NAMES = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+    "nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+    "donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew",
+    "emily", "joshua", "donna", "kenneth", "michelle",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+)
+
+#: Benign vocabulary: none of these words appear in the SA phrase lists.
+_TOPIC_WORDS: Dict[str, Sequence[str]] = {
+    "work": ("meeting", "deadline", "quarterly", "report", "slides",
+             "project", "review", "budget", "agenda", "notes", "deck",
+             "standup", "sprint", "roadmap", "hire", "interview"),
+    "family": ("dinner", "weekend", "birthday", "kids", "vacation",
+               "grandma", "photos", "recipe", "garden", "barbecue",
+               "holidays", "graduation", "soccer", "school"),
+    "travel": ("flight", "hotel", "itinerary", "reservation", "airport",
+               "luggage", "passport", "rooms", "checkin", "conference",
+               "taxi", "train", "departure"),
+    "finance": ("invoice", "statement", "payment", "balance", "mortgage",
+                "lease", "insurance", "premium", "deductible", "quote",
+                "closing", "escrow", "appraisal"),
+    "health": ("appointment", "prescription", "checkup", "clinic",
+               "referral", "results", "therapy", "dentist", "allergy"),
+    "jobsearch": ("resume", "cover", "letter", "position", "opening",
+                  "recruiter", "salary", "reference", "portfolio"),
+}
+
+_SENTENCE_TEMPLATES = (
+    "hi {name}, quick note about the {w1} and the {w2}.",
+    "can we talk about the {w1} before the {w2} on {day}?",
+    "i attached the {w1} you asked for, let me know about the {w2}.",
+    "thanks for sending the {w1}, the {w2} looks good to me.",
+    "just a reminder that the {w1} is scheduled after the {w2}.",
+    "sorry for the delay, the {w1} took longer than the {w2}.",
+    "see you at the {w1}; bring the {w2} if you can.",
+    "the {w1} went well, though we still owe them the {w2}.",
+    "could you double check the {w1} against last month's {w2}?",
+    "my flight lands early so the {w1} before the {w2} works.",
+)
+
+_WEEKDAYS = ("monday", "tuesday", "wednesday", "thursday", "friday")
+
+
+@dataclass(frozen=True)
+class Persona:
+    """A synthetic user with a stable identity."""
+
+    first_name: str
+    last_name: str
+    email: str
+
+    @property
+    def display_name(self) -> str:
+        return f"{self.first_name.title()} {self.last_name.title()}"
+
+    @property
+    def full_address(self) -> str:
+        return f"{self.display_name} <{self.email}>"
+
+
+class PersonaFactory:
+    """Mints personas deterministically from a seeded RNG."""
+
+    def __init__(self, rng: SeededRng) -> None:
+        self._rng = rng
+        self._counter = 0
+
+    def make(self, domain: str, style: Optional[str] = None) -> Persona:
+        """A persona with a mailbox at ``domain``.
+
+        ``style`` controls the local part: "firstlast" (default),
+        "initials", or "numbered" — matching the mix of address shapes a
+        real provider hosts.
+        """
+        first = self._rng.choice(FIRST_NAMES)
+        last = self._rng.choice(LAST_NAMES)
+        self._counter += 1
+        style = style or self._rng.choice(("firstlast", "firstlast",
+                                           "initials", "numbered"))
+        if style == "firstlast":
+            sep = self._rng.choice((".", "_", ""))
+            local = f"{first}{sep}{last}"
+        elif style == "initials":
+            local = f"{first[0]}{last}{self._rng.randint(1, 99)}"
+        else:
+            local = f"{first}{self._rng.randint(1950, 2005)}"
+        return Persona(first, last, f"{local}@{domain}")
+
+
+class BodyBuilder:
+    """Builds benign prose bodies on a topic."""
+
+    def __init__(self, rng: SeededRng) -> None:
+        self._rng = rng
+
+    def topics(self) -> List[str]:
+        """The available benign conversation topics."""
+        return sorted(_TOPIC_WORDS)
+
+    def sentence(self, topic: str, name: str = "there") -> str:
+        """One templated sentence on ``topic``."""
+        words = _TOPIC_WORDS[topic]
+        template = self._rng.choice(_SENTENCE_TEMPLATES)
+        return template.format(
+            name=name,
+            w1=self._rng.choice(words),
+            w2=self._rng.choice(words),
+            day=self._rng.choice(_WEEKDAYS),
+        )
+
+    def body(self, topic: Optional[str] = None, sentences: int = 3,
+             recipient_name: str = "there",
+             closing_name: str = "me") -> str:
+        """A multi-sentence benign body with a signature line."""
+        topic = topic or self._rng.choice(self.topics())
+        lines = [self.sentence(topic, recipient_name)
+                 for _ in range(max(1, sentences))]
+        lines.append(f"thanks, {closing_name}")
+        return "\n".join(lines)
+
+    def subject(self, topic: Optional[str] = None) -> str:
+        """A short subject line on ``topic`` (random topic if None)."""
+        topic = topic or self._rng.choice(self.topics())
+        words = _TOPIC_WORDS[topic]
+        return f"{self._rng.choice(words)} {self._rng.choice(words)}"
+
+
+def make_attachment_payload(extension: str, text: str) -> bytes:
+    """Wrap ``text`` in the simulated container for ``extension``.
+
+    The containers match what :mod:`repro.pipeline.extraction` opens, so
+    planted content round-trips through the pipeline.
+    """
+    if extension in ("pdf",):
+        return f"%PDF-SIM\n{text}".encode("utf-8")
+    if extension in ("docx", "docm", "doc", "pptx"):
+        paragraphs = "".join(f"<w:t>{line}</w:t>"
+                             for line in text.split("\n"))
+        return f"PK-OOXML\n{paragraphs}".encode("utf-8")
+    if extension in ("xls", "xlsx", "xlsm"):
+        cells = "\n".join(f"A{i+1}={line}"
+                          for i, line in enumerate(text.split("\n")))
+        return f"XLS-SIM\n{cells}".encode("utf-8")
+    if extension in ("jpg", "jpeg", "png", "gif"):
+        if text:
+            return f"BINIMG OCR:{text}".encode("utf-8")
+        return b"BINIMG \x00\x01pixels"
+    if extension in ("zip", "rar"):
+        return b"PK\x03\x04 opaque archive"
+    # txt, html, xml, ics, rtf and anything else: text as-is
+    return text.encode("utf-8")

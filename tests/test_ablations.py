@@ -1,0 +1,175 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+These are not paper experiments — they probe *why* the system is built
+the way it is: what each funnel layer uniquely contributes, how sensitive
+Layer 5 is to its thresholds, what the retroactive collaborative pass
+buys, and how the typing model's fat-finger/visual knobs drive the
+traffic shape the paper observed.
+"""
+
+import pytest
+
+from repro.core import TypoEmailKind, TypoGenerator, build_study_corpus
+from repro.pipeline import tokenize
+from repro.spamfilter import FilterFunnel, FunnelConfig, Verdict
+from repro.util import SeededRng
+from repro.workloads import (
+    ReceiverTypoGenerator,
+    SpamGenerator,
+    TypingMistakeModel,
+    TypoModelConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    """A compact labelled mixed-traffic corpus (spam + genuine typos)."""
+    corpus = build_study_corpus()
+    rng = SeededRng(555)
+    spam = SpamGenerator(corpus, rng.child("spam"), volume_scale=2e-4)
+    ham = ReceiverTypoGenerator(corpus, rng.child("ham"))
+    requests = []
+    for day in range(40):
+        requests.extend(spam.emails_for_day(day))
+        requests.extend(ham.emails_for_day(day))
+    emails = []
+    labels = []
+    for request in requests:
+        message = request.message
+        message.headers.insert(
+            0, ("Received",
+                f"from x by {request.study_domain} (198.51.100.9)"))
+        message.envelope_to = [request.recipient]
+        emails.append(tokenize(message))
+        labels.append(request.true_kind)
+    return corpus, emails, labels
+
+
+def _spam_leak(corpus, emails, labels, **funnel_kwargs) -> int:
+    """Ground-truth spam emails that survive to the true-typo bin."""
+    funnel = FilterFunnel(corpus.domain_names(), **funnel_kwargs)
+    results = funnel.classify_corpus(emails)
+    return sum(1 for result, label in zip(results, labels)
+               if label is TypoEmailKind.SPAM and result.is_true_typo)
+
+
+class TestLayerKnockouts:
+    def test_full_funnel_baseline(self, traffic):
+        corpus, emails, labels = traffic
+        leak = _spam_leak(corpus, emails, labels)
+        spam_total = sum(1 for label in labels
+                         if label is TypoEmailKind.SPAM)
+        assert leak < 0.05 * spam_total
+
+    def test_each_layer_contributes(self, traffic):
+        """Removing any spam-facing layer must not reduce the leak."""
+        corpus, emails, labels = traffic
+        baseline = _spam_leak(corpus, emails, labels)
+        for removed in (1, 2, 3, 5):
+            layers = {1, 2, 3, 4, 5} - {removed}
+            leak = _spam_leak(corpus, emails, labels,
+                              enabled_layers=layers)
+            assert leak >= baseline, f"layer {removed} made things worse?"
+
+    def test_spamassassin_is_the_workhorse(self, traffic):
+        """Without Layer 2, the funnel leaks dramatically more."""
+        corpus, emails, labels = traffic
+        baseline = _spam_leak(corpus, emails, labels)
+        without_l2 = _spam_leak(corpus, emails, labels,
+                                enabled_layers={1, 3, 4, 5})
+        assert without_l2 > 3 * max(1, baseline)
+
+    def test_genuine_typos_unharmed_by_full_funnel(self, traffic):
+        corpus, emails, labels = traffic
+        funnel = FilterFunnel(corpus.domain_names())
+        results = funnel.classify_corpus(emails)
+        genuine = [(result, label) for result, label in zip(results, labels)
+                   if label is TypoEmailKind.RECEIVER]
+        survived = sum(1 for result, _ in genuine if result.is_true_typo)
+        assert survived > 0.8 * len(genuine)
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            FilterFunnel(["a.com"], enabled_layers={1, 9})
+
+
+class TestFrequencyThresholdSensitivity:
+    def test_tighter_thresholds_filter_more(self, traffic):
+        corpus, emails, labels = traffic
+
+        def frequency_count(threshold):
+            config = FunnelConfig(
+                recipient_frequency_threshold=threshold,
+                sender_frequency_threshold=threshold,
+                content_frequency_threshold=threshold)
+            funnel = FilterFunnel(corpus.domain_names(), config=config)
+            results = funnel.classify_corpus(emails)
+            return sum(1 for r in results
+                       if r.verdict is Verdict.FREQUENCY_FILTERED)
+
+        tight = frequency_count(3)
+        paper = frequency_count(20)
+        loose = frequency_count(500)
+        assert tight > paper > loose
+
+    def test_overtight_threshold_hurts_genuine_mail(self, traffic):
+        """The paper chose 20/10/10 to 'exclude outliers' — a threshold
+        of 2 starts eating genuine typos."""
+        corpus, emails, labels = traffic
+        config = FunnelConfig(recipient_frequency_threshold=2,
+                              sender_frequency_threshold=2,
+                              content_frequency_threshold=2)
+        funnel = FilterFunnel(corpus.domain_names(), config=config)
+        results = funnel.classify_corpus(emails)
+        genuine_filtered = sum(
+            1 for result, label in zip(results, labels)
+            if label is TypoEmailKind.RECEIVER
+            and result.verdict is Verdict.FREQUENCY_FILTERED)
+        assert genuine_filtered > 0
+
+
+class TestRetroactiveCollaborative:
+    def test_batch_beats_streaming_on_campaign_order(self, traffic):
+        """classify_corpus retroactively condemns a campaign's early mail;
+        streaming lets the pre-detection prefix through."""
+        corpus, emails, labels = traffic
+        batch_funnel = FilterFunnel(corpus.domain_names())
+        batch = batch_funnel.classify_corpus(emails)
+        stream_funnel = FilterFunnel(corpus.domain_names())
+        stream = [stream_funnel.classify(email) for email in emails]
+        batch_leak = sum(1 for result, label in zip(batch, labels)
+                         if label is TypoEmailKind.SPAM and result.is_true_typo)
+        stream_leak = sum(1 for result, label in zip(stream, labels)
+                          if label is TypoEmailKind.SPAM and result.is_true_typo)
+        assert batch_leak <= stream_leak
+
+
+class TestTypingModelKnobs:
+    def test_fat_finger_multiplier_shapes_traffic(self):
+        generator = TypoGenerator()
+        candidates = [c for c in generator.generate("gmail.com")
+                      if c.edit_type == "substitution"]
+        ff = next(c for c in candidates if c.is_fat_finger)
+        boosted = TypingMistakeModel(TypoModelConfig(fat_finger_multiplier=10.0))
+        flat = TypingMistakeModel(TypoModelConfig(fat_finger_multiplier=1.0))
+        assert boosted.mistype_probability(ff) > flat.mistype_probability(ff)
+
+    def test_correction_steepness_drives_visual_effect(self):
+        generator = TypoGenerator()
+        visible = generator.annotate("outlook.com", "oxtlook.com")
+        steep = TypingMistakeModel(TypoModelConfig(correction_steepness=30.0))
+        shallow = TypingMistakeModel(TypoModelConfig(correction_steepness=1.0))
+        assert steep.correction_probability(visible) > \
+            shallow.correction_probability(visible)
+
+    def test_visual_effect_disappears_without_steepness(self):
+        """With steepness ~0 every typo is corrected at the floor rate:
+        the paper's visual-distance finding requires the knob."""
+        generator = TypoGenerator()
+        invisible = generator.annotate("outlook.com", "outlo0k.com")
+        visible = generator.annotate("outlook.com", "oxtlook.com")
+        flat_model = TypingMistakeModel(
+            TypoModelConfig(correction_steepness=1e-9))
+        gap = (flat_model.correction_probability(visible)
+               - flat_model.correction_probability(invisible))
+        assert gap == pytest.approx(0.0, abs=1e-6)

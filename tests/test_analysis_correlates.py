@@ -1,0 +1,63 @@
+"""Tests for the §4.4.2 correlation analysis."""
+
+import pytest
+
+from repro.analysis import (
+    volume_feature_correlations,
+    within_target_visual_effect,
+)
+from repro.core import build_study_corpus
+from repro.experiment import ExperimentConfig, StudyRunner
+
+
+@pytest.fixture(scope="module")
+def study():
+    results = StudyRunner(ExperimentConfig(seed=99, spam_scale=2e-5)).run()
+    return results.corpus, results.per_domain_yearly_true_typos()
+
+
+class TestFeatureCorrelations:
+    def test_popularity_significant(self, study):
+        """The paper's only significant raw correlation: target popularity."""
+        corpus, volumes = study
+        correlations = {c.feature: c
+                        for c in volume_feature_correlations(volumes, corpus)}
+        popularity = correlations["target_popularity"]
+        assert popularity.rho > 0.3
+        assert popularity.significant
+
+    def test_rank_direction(self, study):
+        corpus, volumes = study
+        correlations = {c.feature: c
+                        for c in volume_feature_correlations(volumes, corpus)}
+        # negative rank encodes popularity: same sign as popularity
+        assert correlations["negative_alexa_rank"].rho > 0
+
+    def test_raw_visual_weaker_than_popularity(self, study):
+        """Without controlling for the target, popularity outweighs the
+        other attributes — the paper's §4.4.2 observation."""
+        corpus, volumes = study
+        correlations = {c.feature: c
+                        for c in volume_feature_correlations(volumes, corpus)}
+        assert abs(correlations["normalized_visual"].rho) < \
+            correlations["target_popularity"].rho
+
+    def test_sample_counts(self, study):
+        corpus, volumes = study
+        for correlation in volume_feature_correlations(volumes, corpus):
+            assert correlation.n > 30
+
+
+class TestWithinTargetVisual:
+    def test_visual_effect_emerges_when_controlled(self, study):
+        """Holding the target fixed, low visual distance wins: negative
+        correlation between visual distance and relative volume."""
+        corpus, volumes = study
+        effect = within_target_visual_effect(volumes, corpus)
+        assert effect is not None
+        assert effect.rho < 0
+
+    def test_insufficient_data_returns_none(self):
+        corpus = build_study_corpus()
+        assert within_target_visual_effect(
+            {}, corpus, min_domains_per_target=100) is None

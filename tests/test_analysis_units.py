@@ -1,0 +1,233 @@
+"""Unit tests for the analysis modules, on hand-built records."""
+
+import pytest
+
+from repro.analysis import (
+    CollectedRecord,
+    daily_series,
+    extension_histogram,
+    malware_lookup,
+    per_domain_typo_counts,
+    sensitive_heatmap,
+    smtp_persistence,
+    volume_report,
+)
+from repro.core import TypoEmailKind
+from repro.pipeline import EmailProcessor, tokenize
+from repro.smtpsim import Attachment, EmailMessage
+from repro.spamfilter.funnel import FilterResult, Verdict
+from repro.util import CollectionWindow
+
+DAY = 86_400.0
+
+
+def _record(verdict=Verdict.TRUE_TYPO, kind="receiver", domain="gmial.com",
+            day=0, sender="alice@real.org", body="hello", attachments=None,
+            true_kind=TypoEmailKind.RECEIVER, process=False):
+    message = EmailMessage.create(sender, f"bob@{domain}", "subject", body,
+                                  attachments=attachments)
+    message.envelope_from = sender
+    message.received_at = day * DAY + 7.0
+    layer = None if verdict is Verdict.TRUE_TYPO else 2
+    processed = EmailProcessor().process(message) if process else None
+    return CollectedRecord(
+        tokenized=tokenize(message),
+        result=FilterResult(verdict, kind, layer, "test"),
+        study_domain=domain,
+        timestamp=message.received_at,
+        true_kind=true_kind,
+        processed=processed,
+    )
+
+
+class TestCollectedRecord:
+    def test_day_and_helpers(self):
+        record = _record(day=3)
+        assert record.day == 3
+        assert record.is_true_typo
+        assert record.verdict is Verdict.TRUE_TYPO
+
+    def test_spam_record(self):
+        record = _record(verdict=Verdict.SPAM, true_kind=TypoEmailKind.SPAM)
+        assert not record.is_true_typo
+
+
+class TestDailySeries:
+    def test_buckets_by_day_and_category(self):
+        window = CollectionWindow(total_days=5)
+        records = [
+            _record(day=0), _record(day=0),
+            _record(day=2, verdict=Verdict.SPAM),
+            _record(day=4, verdict=Verdict.REFLECTION),
+        ]
+        series = daily_series(records, "receiver", window)
+        assert series.categories["real_typos"][0] == 2
+        assert series.categories["spam_filtered"][2] == 1
+        assert series.categories[
+            "reflection_and_frequency_filtered"][4] == 1
+
+    def test_kind_filtering(self):
+        window = CollectionWindow(total_days=3)
+        records = [_record(kind="smtp"), _record(kind="receiver")]
+        series = daily_series(records, "smtp", window)
+        assert sum(series.categories["real_typos"]) == 1
+
+    def test_out_of_window_records_dropped(self):
+        window = CollectionWindow(total_days=2)
+        records = [_record(day=10)]
+        series = daily_series(records, "receiver", window)
+        assert sum(sum(v) for v in series.categories.values()) == 0
+
+    def test_active_days(self):
+        window = CollectionWindow(total_days=4)
+        records = [_record(day=0), _record(day=0), _record(day=3)]
+        series = daily_series(records, "receiver", window)
+        assert series.active_days("real_typos") == 2
+
+
+class TestVolumeReport:
+    def test_projection_formula(self):
+        # 10 records over a 73-day window -> 50/year
+        window = CollectionWindow(total_days=73)
+        records = [_record(day=i % 73) for i in range(10)]
+        report = volume_report(records, window)
+        assert report.total_received == pytest.approx(50.0)
+
+    def test_kind_split(self):
+        window = CollectionWindow(total_days=365)
+        records = [_record(kind="receiver"), _record(kind="smtp"),
+                   _record(kind="smtp")]
+        report = volume_report(records, window)
+        assert report.receiver_candidates == pytest.approx(1.0)
+        assert report.smtp_candidates == pytest.approx(2.0)
+
+    def test_smtp_band(self):
+        window = CollectionWindow(total_days=365)
+        records = [
+            _record(kind="smtp", true_kind=TypoEmailKind.SMTP),
+            _record(kind="smtp", verdict=Verdict.FREQUENCY_FILTERED,
+                    true_kind=TypoEmailKind.SMTP),
+        ]
+        report = volume_report(records, window)
+        low, high = report.smtp_typo_range()
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(2.0)
+
+    def test_receiver_at_smtp_domains(self):
+        window = CollectionWindow(total_days=365)
+        records = [_record(domain="smtpverizon.net")]
+        report = volume_report(records, window,
+                               smtp_purpose_domains=["smtpverizon.net"])
+        assert report.receiver_typos_at_smtp_domains == pytest.approx(1.0)
+
+
+class TestPerDomain:
+    def test_counts_and_ordering(self):
+        records = ([_record(domain="a.com")] * 5
+                   + [_record(domain="b.com")] * 2
+                   + [_record(domain="a.com", verdict=Verdict.SPAM)])
+        table = per_domain_typo_counts(records, ["a.com", "b.com", "c.com"])
+        assert table.entries == (("a.com", 5), ("b.com", 2), ("c.com", 0))
+        assert table.total == 7
+
+    def test_domains_for_share(self):
+        records = [_record(domain="a.com")] * 8 + [_record(domain="b.com")] * 2
+        table = per_domain_typo_counts(records, ["a.com", "b.com"])
+        assert table.domains_for_share(0.5) == 1
+        assert table.domains_for_share(0.9) == 2
+
+    def test_cumulative_shares_empty(self):
+        table = per_domain_typo_counts([], ["a.com"])
+        assert table.cumulative_shares() == [0.0]
+
+
+class TestPersistence:
+    def test_single_sender_single_email(self):
+        records = [_record(kind="smtp", true_kind=TypoEmailKind.SMTP)]
+        stats = smtp_persistence(records)
+        assert stats.sender_count == 1
+        assert stats.single_email_fraction == 1.0
+        assert stats.max_persistence_days == 0.0
+
+    def test_multiday_sender(self):
+        records = [
+            _record(kind="smtp", sender="v@isp.net", day=0),
+            _record(kind="smtp", sender="v@isp.net", day=3),
+        ]
+        stats = smtp_persistence(records)
+        assert stats.sender_count == 1
+        assert stats.single_email_fraction == 0.0
+        assert stats.max_persistence_days == pytest.approx(3.0)
+
+    def test_frequency_filtered_excluded_by_default(self):
+        records = [_record(kind="smtp", verdict=Verdict.FREQUENCY_FILTERED)]
+        assert smtp_persistence(records).sender_count == 0
+        assert smtp_persistence(
+            records, include_frequency_filtered=True).sender_count == 1
+
+    def test_empty(self):
+        stats = smtp_persistence([])
+        assert stats.sender_count == 0
+
+
+class TestAttachmentsAnalysis:
+    def test_histogram_by_verdict(self):
+        records = [
+            _record(attachments=[Attachment("a.pdf", b"x")]),
+            _record(attachments=[Attachment("b.pdf", b"y"),
+                                 Attachment("c.txt", b"z")]),
+            _record(verdict=Verdict.SPAM,
+                    attachments=[Attachment("d.exe", b"m")]),
+        ]
+        true_hist = extension_histogram(records, verdicts=[Verdict.TRUE_TYPO])
+        assert true_hist == {"pdf": 2, "txt": 1}
+        all_hist = extension_histogram(records)
+        assert all_hist["exe"] == 1
+
+    def test_malware_lookup_spam_only(self):
+        bad = Attachment("evil.doc", b"MALSIG-payload")
+        records = [_record(verdict=Verdict.SPAM, attachments=[bad],
+                           true_kind=TypoEmailKind.SPAM)]
+        report = malware_lookup(records, {bad.sha256()})
+        assert report.hashes_known_malicious == 1
+        assert report.malicious_emails_all_spam
+
+    def test_malware_in_surviving_email_flagged(self):
+        bad = Attachment("evil.doc", b"MALSIG-payload")
+        records = [_record(attachments=[bad])]
+        report = malware_lookup(records, {bad.sha256()})
+        assert not report.malicious_emails_all_spam
+
+    def test_malware_lookup_empty_db(self):
+        records = [_record(attachments=[Attachment("a.pdf", b"x")])]
+        report = malware_lookup(records, set())
+        assert report.hashes_known_malicious == 0
+        assert report.malicious_fraction == 0.0
+
+
+class TestHeatmapAnalysis:
+    def test_counts_processed_true_typos(self):
+        record = _record(body="my password is hunter2", process=True)
+        heatmap = sensitive_heatmap([record])
+        assert heatmap.get("gmial.com", "password") == 1
+
+    def test_spam_excluded(self):
+        record = _record(verdict=Verdict.SPAM,
+                         body="my password is hunter2", process=True)
+        heatmap = sensitive_heatmap([record])
+        assert heatmap.counts == {}
+
+    def test_unprocessed_records_skipped(self):
+        record = _record(body="my password is hunter2", process=False)
+        assert sensitive_heatmap([record]).counts == {}
+
+    def test_totals(self):
+        records = [
+            _record(body="password: a1 and login: bb2", process=True),
+            _record(domain="ohtlook.com", body="password: zz9",
+                    process=True),
+        ]
+        heatmap = sensitive_heatmap(records)
+        assert heatmap.totals_by_label()["password"] == 2
+        assert heatmap.totals_by_domain()["gmial.com"] >= 2
+        assert len(heatmap.domains()) == 2

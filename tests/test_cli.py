@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_options(self):
+        args = build_parser().parse_args(
+            ["study", "--spam-scale", "1e-5", "--no-outage"])
+        assert args.command == "study"
+        assert args.spam_scale == 1e-5
+        assert args.no_outage
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "typos", "gmail.com"])
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_typos_command(self, capsys):
+        assert main(["typos", "gmail.com", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "DL-1 candidates of gmail.com" in out
+        assert out.count("\n") >= 6
+
+    def test_typos_fat_finger_only(self, capsys):
+        main(["typos", "gmail.com", "--fat-finger-only", "--limit", "5"])
+        out = capsys.readouterr().out
+        assert "candidates of gmail.com" in out
+
+    def test_check_typo_exits_nonzero(self, capsys):
+        assert main(["check", "alice@gmial.com"]) == 1
+        assert "gmail.com" in capsys.readouterr().out
+
+    def test_check_clean_exits_zero(self, capsys):
+        assert main(["check", "alice@gmail.com"]) == 0
+        assert "looks fine" in capsys.readouterr().out
+
+    def test_check_bare_domain(self, capsys):
+        assert main(["check", "outlo0k.com"]) == 1
+        assert "outlook.com" in capsys.readouterr().out
+
+    def test_scan_command_small(self, capsys):
+        assert main(["--seed", "3", "scan", "--targets", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "registered ctypos" in out
+        assert "starttls_ok" in out

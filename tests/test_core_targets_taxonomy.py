@@ -1,0 +1,130 @@
+"""Tests for the study corpus and the typosquatting taxonomy."""
+
+import pytest
+
+from repro.core import (
+    EMAIL_TARGETS,
+    DomainClass,
+    TypoEmailKind,
+    build_study_corpus,
+    classify_domain,
+    damerau_levenshtein,
+)
+
+
+class TestStudyCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_study_corpus()
+
+    def test_exactly_76_domains(self, corpus):
+        assert len(corpus) == 76
+
+    def test_paper_figure5_domains_present(self, corpus):
+        names = set(corpus.domain_names())
+        for expected in ("ohtlook.com", "outlo0k.com", "gmaiql.com",
+                         "zohomil.com", "evrizon.com", "gmai-l.com"):
+            assert expected in names
+
+    def test_smtp_purpose_domains_present(self, corpus):
+        smtp = {d.domain for d in corpus.by_purpose("smtp")}
+        assert "smtpverizon.net" in smtp
+        assert "mx4hotmail.com" in smtp
+
+    def test_purposes_partition_corpus(self, corpus):
+        total = sum(len(corpus.by_purpose(p))
+                    for p in ("receiver", "smtp", "reflection"))
+        assert total == 76
+
+    def test_receiver_domains_are_dl1_of_targets(self, corpus):
+        for d in corpus.by_purpose("receiver"):
+            label = d.domain.rsplit(".", 1)[0]
+            target_label = d.target.rsplit(".", 1)[0]
+            assert damerau_levenshtein(label, target_label) == 1, d.domain
+
+    def test_receiver_candidates_annotated(self, corpus):
+        for d in corpus.by_purpose("receiver"):
+            if d.domain.rsplit(".", 1)[1] == d.target.rsplit(".", 1)[1]:
+                assert d.candidate is not None, d.domain
+
+    def test_lookup(self, corpus):
+        domain = corpus.lookup("ohtlook.com")
+        assert domain is not None
+        assert domain.target == "outlook.com"
+        assert corpus.lookup("nonexistent.com") is None
+
+    def test_by_target(self, corpus):
+        outlook_typos = corpus.by_target("outlook.com")
+        assert len(outlook_typos) >= 8
+
+    def test_targets_are_known(self, corpus):
+        known = {t.name for t in EMAIL_TARGETS}
+        assert set(corpus.targets()) <= known
+
+    def test_target_domain_resolution(self, corpus):
+        domain = corpus.lookup("gmaiql.com")
+        assert domain.target_domain is not None
+        assert domain.target_domain.alexa_rank == 1
+
+    def test_duplicate_domains_rejected(self, corpus):
+        from repro.core.targets import RegisteredTypoDomain, StudyCorpus
+        dup = [RegisteredTypoDomain("x.com", "gmail.com", "receiver")] * 2
+        with pytest.raises(ValueError):
+            StudyCorpus(domains=dup)
+
+
+class TestEmailTargets:
+    def test_shares_are_probabilities(self):
+        for target in EMAIL_TARGETS:
+            assert 0 < target.email_share < 1
+
+    def test_total_share_below_one(self):
+        assert sum(t.email_share for t in EMAIL_TARGETS) < 1
+
+    def test_gmail_most_popular(self):
+        gmail = next(t for t in EMAIL_TARGETS if t.name == "gmail.com")
+        assert gmail.email_share == max(t.email_share for t in EMAIL_TARGETS)
+        assert gmail.alexa_rank == 1
+
+    def test_categories_cover_paper_strategy(self):
+        categories = {t.category for t in EMAIL_TARGETS}
+        assert {"provider", "isp", "financial", "disposable", "bulk"} <= categories
+
+    def test_label_property(self):
+        assert EMAIL_TARGETS[0].label == "gmail"
+
+
+class TestTaxonomy:
+    def test_unregistered_gtypo(self):
+        verdict = classify_domain("gmial.com", "gmail.com",
+                                  registered=False, same_owner_as_target=False)
+        assert verdict.domain_class is DomainClass.GENERATED_TYPO
+        assert not verdict.is_squatting
+
+    def test_defensive_registration_is_legitimate(self):
+        verdict = classify_domain("gmial.com", "gmail.com",
+                                  registered=True, same_owner_as_target=True)
+        assert verdict.domain_class is DomainClass.LEGITIMATE
+
+    def test_squatting(self):
+        verdict = classify_domain("gmial.com", "gmail.com",
+                                  registered=True, same_owner_as_target=False)
+        assert verdict.domain_class is DomainClass.TYPOSQUATTING
+        assert verdict.is_squatting
+
+    def test_accidental_neighbour_is_ctypo(self):
+        verdict = classify_domain("gmial.com", "gmail.com",
+                                  registered=True, same_owner_as_target=False,
+                                  looks_intentional=False)
+        assert verdict.domain_class is DomainClass.CANDIDATE_TYPO
+
+    def test_unrelated(self):
+        verdict = classify_domain("example.com", None,
+                                  registered=True, same_owner_as_target=False)
+        assert verdict.domain_class is DomainClass.UNRELATED
+
+    def test_email_kind_spam_is_not_typo(self):
+        assert not TypoEmailKind.SPAM.is_typo
+        for kind in (TypoEmailKind.RECEIVER, TypoEmailKind.REFLECTION,
+                     TypoEmailKind.SMTP):
+            assert kind.is_typo

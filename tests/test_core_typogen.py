@@ -1,0 +1,142 @@
+"""Tests for repro.core.typogen and keyboard adjacency."""
+
+import pytest
+
+from repro.core import (
+    DOMAIN_ALPHABET,
+    TypoGenerator,
+    are_adjacent,
+    damerau_levenshtein,
+    qwerty_adjacency,
+    split_domain,
+)
+
+
+class TestKeyboard:
+    def test_same_row_neighbours(self):
+        assert are_adjacent("q", "w")
+        assert are_adjacent("a", "s")
+
+    def test_cross_row_neighbours(self):
+        assert are_adjacent("q", "a")
+        assert are_adjacent("u", "h")
+
+    def test_digit_row(self):
+        assert are_adjacent("1", "2")
+        assert are_adjacent("0", "o") or are_adjacent("0", "p")
+
+    def test_far_keys_not_adjacent(self):
+        assert not are_adjacent("q", "p")
+        assert not are_adjacent("a", "l")
+
+    def test_symmetry(self):
+        for a in "qwertyuiopasdfghjklzxcvbnm":
+            for b in qwerty_adjacency(a):
+                assert a in qwerty_adjacency(b)
+
+    def test_self_not_adjacent(self):
+        assert not are_adjacent("g", "g")
+
+    def test_unknown_char_empty(self):
+        assert qwerty_adjacency("!") == frozenset()
+
+
+class TestSplitDomain:
+    def test_basic(self):
+        assert split_domain("gmail.com") == ("gmail", "com")
+
+    def test_multi_label_keeps_tld_only_split(self):
+        assert split_domain("mail.google.com") == ("mail.google", "com")
+
+    def test_case_normalised(self):
+        assert split_domain("GMail.COM") == ("gmail", "com")
+
+    def test_trailing_dot_stripped(self):
+        assert split_domain("gmail.com.") == ("gmail", "com")
+
+    def test_no_tld_rejected(self):
+        with pytest.raises(ValueError):
+            split_domain("localhost")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            split_domain(".com")
+
+
+class TestTypoGenerator:
+    def test_all_candidates_are_dl1(self):
+        for cand in TypoGenerator().generate("gmail.com"):
+            label = cand.domain.rsplit(".", 1)[0]
+            assert damerau_levenshtein("gmail", label) == 1
+
+    def test_no_duplicates(self):
+        cands = TypoGenerator().generate("gmail.com")
+        names = [c.domain for c in cands]
+        assert len(names) == len(set(names))
+
+    def test_target_not_in_candidates(self):
+        names = [c.domain for c in TypoGenerator().generate("gmail.com")]
+        assert "gmail.com" not in names
+
+    def test_tld_preserved(self):
+        assert all(c.domain.endswith(".net")
+                   for c in TypoGenerator().generate("comcast.net"))
+
+    def test_edit_types_all_present(self):
+        types = {c.edit_type for c in TypoGenerator().generate("gmail.com")}
+        assert types == {"addition", "deletion", "substitution", "transposition"}
+
+    def test_fat_finger_only_subset(self):
+        full = {c.domain for c in TypoGenerator().generate("gmail.com")}
+        ff = {c.domain for c in TypoGenerator(fat_finger_only=True).generate("gmail.com")}
+        assert ff < full
+
+    def test_fat_finger_only_candidates_are_ff1(self):
+        for cand in TypoGenerator(fat_finger_only=True).generate("gmail.com"):
+            if cand.edit_type in ("substitution", "addition"):
+                assert cand.fat_finger == 1, cand
+
+    def test_no_invalid_labels(self):
+        # additions at the edges could create leading/trailing hyphens
+        for cand in TypoGenerator().generate("a-b.com"):
+            label = cand.domain.rsplit(".", 1)[0]
+            assert not label.startswith("-")
+            assert not label.endswith("-")
+
+    def test_count_formula_rough(self):
+        # gmail (len 5): 5 deletions + <=4 transpositions + 5*36 subs + 6*36 adds
+        cands = TypoGenerator().generate("gmail.com")
+        assert 350 < len(cands) < 420
+
+    def test_generate_many_dedupes_across_targets(self):
+        # gmail.com and gmail.net do not collide; but two close targets do
+        cands = TypoGenerator().generate_many(["gmail.com", "gmaul.com"])
+        names = [c.domain for c in cands]
+        assert len(names) == len(set(names))
+
+    def test_annotate_known_typo(self):
+        cand = TypoGenerator().annotate("outlook.com", "ohtlook.com")
+        assert cand is not None
+        assert cand.edit_type == "substitution"
+        assert cand.fat_finger == 1
+
+    def test_annotate_far_domain_none(self):
+        assert TypoGenerator().annotate("outlook.com", "yahoo.com") is None
+
+    def test_annotate_wrong_tld_none(self):
+        assert TypoGenerator().annotate("outlook.com", "ohtlook.net") is None
+
+    def test_normalized_visual(self):
+        cand = TypoGenerator().annotate("outlook.com", "outlo0k.com")
+        assert cand.normalized_visual == pytest.approx(cand.visual / 7)
+
+    def test_alphabet_restriction(self):
+        gen = TypoGenerator(alphabet="ab")
+        for cand in gen.generate("gmail.com"):
+            if cand.edit_type in ("substitution", "addition"):
+                label = cand.domain.rsplit(".", 1)[0]
+                new_chars = set(label) - set("gmail")
+                assert new_chars <= set("ab")
+
+    def test_domain_alphabet_is_ldh(self):
+        assert set(DOMAIN_ALPHABET) == set("abcdefghijklmnopqrstuvwxyz0123456789-")

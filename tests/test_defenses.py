@@ -1,0 +1,175 @@
+"""Tests for the §8 extensions: autocorrect, price policy, username typos."""
+
+import pytest
+
+from repro.defenses import (
+    ProviderUserBase,
+    Suggestion,
+    TypoCorrector,
+    break_even_price,
+    estimate_misdirected_volume,
+    find_collisions,
+    policy_sweep,
+    simulate_price_policy,
+    squattable_usernames,
+)
+from repro.ecosystem import InternetConfig
+from repro.util import SeededRng
+
+
+class TestTypoCorrector:
+    @pytest.fixture(scope="class")
+    def corrector(self):
+        return TypoCorrector()
+
+    def test_obvious_typo_corrected(self, corrector):
+        suggestion = corrector.check_domain("gmial.com")
+        assert suggestion is not None
+        assert suggestion.suggested == "gmail.com"
+        assert suggestion.edit_type == "transposition"
+
+    def test_deletion_typo_corrected(self, corrector):
+        suggestion = corrector.check_domain("gmal.com")
+        assert suggestion is not None
+        assert suggestion.suggested == "gmail.com"
+
+    def test_correct_domain_untouched(self, corrector):
+        assert corrector.check_domain("gmail.com") is None
+        assert corrector.check_domain("outlook.com") is None
+
+    def test_unrelated_domain_untouched(self, corrector):
+        assert corrector.check_domain("example.com") is None
+        assert corrector.check_domain("zzzqqq.com") is None
+
+    def test_wrong_tld_untouched(self, corrector):
+        # gmail.org is not DL-1 of gmail.com under same-TLD matching
+        assert corrector.check_domain("gmail.org") is None
+
+    def test_whitelist_respected(self):
+        corrector = TypoCorrector(whitelist=["gmial.com"])
+        assert corrector.check_domain("gmial.com") is None
+
+    def test_address_level_api(self, corrector):
+        suggestion = corrector.check_address("alice@gmial.com")
+        assert suggestion is not None
+        assert suggestion.suggested == "alice@gmail.com"
+        assert "alice" in suggestion.render()
+
+    def test_address_requires_at(self, corrector):
+        with pytest.raises(ValueError):
+            corrector.check_address("no-at-sign")
+
+    def test_invisible_typo_scores_higher(self, corrector):
+        invisible = corrector.check_domain("outlo0k.com")   # o -> 0
+        visible = corrector.check_domain("oxtlook.com")     # u -> x
+        assert invisible is not None
+        if visible is not None:
+            assert invisible.confidence > visible.confidence
+
+    def test_popular_target_scores_higher(self):
+        corrector = TypoCorrector(threshold=0.02)
+        gmail_typo = corrector.check_domain("gmal.com")
+        hushmail_typo = corrector.check_domain("hushmal.com")
+        assert gmail_typo is not None and hushmail_typo is not None
+        assert gmail_typo.confidence > hushmail_typo.confidence
+
+    def test_suggestions_ranked(self, corrector):
+        suggestions = corrector.suggestions("gmal.com")
+        assert suggestions
+        confidences = [s.confidence for s in suggestions]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_custom_domain_list(self):
+        corrector = TypoCorrector(known_domains=["corp-internal.example"])
+        suggestion = corrector.check_domain("corp-interal.example")
+        assert suggestion is not None
+        assert suggestion.suggested == "corp-internal.example"
+
+
+class TestPricePolicy:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return InternetConfig(num_filler_targets=10)
+
+    def test_baseline_multiplier_is_noop(self, small_config):
+        outcome = simulate_price_policy(SeededRng(31), 1.0,
+                                        config=small_config)
+        assert outcome.squatted_after == outcome.squatted_before
+        assert outcome.legitimate_after == outcome.legitimate_before
+
+    def test_price_hike_drives_out_squatters(self, small_config):
+        outcome = simulate_price_policy(SeededRng(32), 10.0,
+                                        config=small_config)
+        assert outcome.squatting_reduction > 0.8
+        # collateral damage exists but is far smaller
+        assert outcome.collateral_damage < outcome.squatting_reduction
+
+    def test_sweep_monotone(self, small_config):
+        outcomes = policy_sweep(SeededRng(33), [1.0, 2.0, 5.0, 10.0],
+                                config=small_config)
+        reductions = [o.squatting_reduction for o in outcomes]
+        assert reductions[0] == pytest.approx(0.0)
+        assert reductions[-1] > reductions[1]
+
+    def test_invalid_multiplier(self, small_config):
+        with pytest.raises(ValueError):
+            simulate_price_policy(SeededRng(34), 0.0, config=small_config)
+
+    def test_break_even(self):
+        # 1,000 emails/yr at a cent each: profitable below $10/yr
+        assert break_even_price(1_000) == pytest.approx(10.0)
+        assert break_even_price(0) == 0.0
+        with pytest.raises(ValueError):
+            break_even_price(-1)
+
+
+class TestUsernameTypos:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return ProviderUserBase.generate(SeededRng(77), "bigmail.example",
+                                         size=3_000)
+
+    def test_generation(self, base):
+        assert len(base) == 3_000
+        assert len(base.usernames()) == 3_000  # unique
+        assert all(u.yearly_inbound > 0 for u in base.users)
+
+    def test_collisions_exist_and_are_dl1(self, base):
+        from repro.core import damerau_levenshtein
+        collisions = find_collisions(base)
+        assert collisions, "a 3k-user base should contain DL-1 pairs"
+        for collision in collisions[:100]:
+            assert damerau_levenshtein(collision.intended.username,
+                                       collision.neighbour.username) == 1
+
+    def test_collisions_ordered_pairs(self, base):
+        collisions = find_collisions(base)
+        pairs = {c.pair for c in collisions}
+        # symmetry: if (a, b) is a collision so is (b, a)
+        for a, b in list(pairs)[:50]:
+            assert (b, a) in pairs
+
+    def test_max_pairs_cap(self, base):
+        assert len(find_collisions(base, max_pairs=5)) == 5
+
+    def test_misdirected_volume_positive(self, base):
+        collisions = find_collisions(base)
+        volume = estimate_misdirected_volume(collisions)
+        assert volume > 0
+        # sanity: tiny compared to total inbound
+        total = sum(u.yearly_inbound for u in base.users)
+        assert volume < 0.01 * total
+
+    def test_squattable_usernames_free_and_ranked(self, base):
+        candidates = squattable_usernames(base, top_n=10)
+        assert 0 < len(candidates) <= 10
+        taken = base.usernames()
+        volumes = [v for _, v in candidates]
+        assert volumes == sorted(volumes, reverse=True)
+        for name, _ in candidates:
+            assert name not in taken
+
+    def test_deterministic(self):
+        a = ProviderUserBase.generate(SeededRng(5), "x.example", 100)
+        b = ProviderUserBase.generate(SeededRng(5), "x.example", 100)
+        assert [u.username for u in a.users] == [u.username for u in b.users]

@@ -1,0 +1,215 @@
+"""Tests for the simulated DNS substrate."""
+
+import pytest
+
+from repro.dnssim import (
+    DomainRegistry,
+    MailRoute,
+    RecordType,
+    Registration,
+    ResolutionStatus,
+    Resolver,
+    ResourceRecord,
+    Zone,
+    collection_zone,
+    is_valid_ipv4,
+    normalize_name,
+)
+
+
+class TestRecords:
+    def test_normalize(self):
+        assert normalize_name("ExAmple.COM.") == "example.com"
+        assert normalize_name("  a.b ") == "a.b"
+
+    def test_ipv4_validation(self):
+        assert is_valid_ipv4("1.2.3.4")
+        assert is_valid_ipv4("255.255.255.255")
+        assert not is_valid_ipv4("256.1.1.1")
+        assert not is_valid_ipv4("1.2.3")
+        assert not is_valid_ipv4("a.b.c.d")
+
+    def test_a_record_requires_valid_ip(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("x.com", RecordType.A, "not-an-ip")
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("x.com", RecordType.MX, "mail.x.com", ttl=-1)
+
+    def test_wildcard_detection(self):
+        record = ResourceRecord("*.exampel.com", RecordType.MX, "exampel.com")
+        assert record.is_wildcard
+
+    def test_wildcard_matches_subdomain_only(self):
+        record = ResourceRecord("*.exampel.com", RecordType.MX, "exampel.com")
+        assert record.matches("mail.exampel.com")
+        assert record.matches("a.b.exampel.com")
+        assert not record.matches("exampel.com")
+        assert not record.matches("other.com")
+
+    def test_exact_match(self):
+        record = ResourceRecord("exampel.com", RecordType.MX, "exampel.com")
+        assert record.matches("exampel.com")
+        assert record.matches("EXAMPEL.COM.")
+        assert not record.matches("mail.exampel.com")
+
+    def test_zone_file_line_mx(self):
+        record = ResourceRecord("*.exampel.com", RecordType.MX, "exampel.com",
+                                ttl=300, priority=1)
+        line = record.zone_file_line()
+        assert "*.exampel.com." in line
+        assert "MX" in line and "\t1\t" in line
+
+    def test_zone_file_line_a_has_na_priority(self):
+        record = ResourceRecord("exampel.com", RecordType.A, "1.1.1.1")
+        assert "\tNA\t" in record.zone_file_line()
+
+
+class TestZone:
+    def test_collection_zone_matches_paper_table1(self):
+        zone = collection_zone("exampel.com", "1.1.1.1")
+        assert len(zone) == 4
+        assert zone.mx_hosts() == ["exampel.com"]
+        assert zone.mx_hosts("anything.exampel.com") == ["exampel.com"]
+        assert zone.a_addresses() == ["1.1.1.1"]
+        assert zone.a_addresses("random.sub.exampel.com") == ["1.1.1.1"]
+
+    def test_zone_file_rendering(self):
+        text = collection_zone("exampel.com", "1.1.1.1").zone_file()
+        assert text.splitlines()[0] == "FQDN\tTTL\tTYPE\tpriority\trecord"
+        assert len(text.splitlines()) == 5
+
+    def test_out_of_zone_record_rejected(self):
+        zone = Zone(origin="a.com")
+        with pytest.raises(ValueError):
+            zone.add(ResourceRecord("b.com", RecordType.A, "1.1.1.1"))
+
+    def test_exact_shadows_wildcard(self):
+        zone = collection_zone("exampel.com", "1.1.1.1")
+        zone.add(ResourceRecord("special.exampel.com", RecordType.A, "2.2.2.2"))
+        assert zone.a_addresses("special.exampel.com") == ["2.2.2.2"]
+        assert zone.a_addresses("other.exampel.com") == ["1.1.1.1"]
+
+    def test_mx_priority_ordering(self):
+        zone = Zone(origin="x.com")
+        zone.add(ResourceRecord("x.com", RecordType.MX, "backup.x.com", priority=20))
+        zone.add(ResourceRecord("x.com", RecordType.MX, "primary.x.com", priority=5))
+        assert zone.mx_hosts() == ["primary.x.com", "backup.x.com"]
+
+
+class TestRegistry:
+    def _registry(self):
+        registry = DomainRegistry()
+        registry.register(Registration(
+            domain="exampel.com", zone=collection_zone("exampel.com", "1.1.1.1")))
+        return registry
+
+    def test_register_and_lookup(self):
+        registry = self._registry()
+        assert registry.is_registered("exampel.com")
+        assert registry.is_registered("EXAMPEL.com.")
+        assert not registry.is_registered("other.com")
+
+    def test_double_registration_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ValueError):
+            registry.register(Registration(
+                domain="exampel.com",
+                zone=collection_zone("exampel.com", "2.2.2.2")))
+
+    def test_deregister(self):
+        registry = self._registry()
+        registry.deregister("exampel.com")
+        assert not registry.is_registered("exampel.com")
+        with pytest.raises(KeyError):
+            registry.deregister("exampel.com")
+
+    def test_zone_origin_must_match_domain(self):
+        with pytest.raises(ValueError):
+            Registration(domain="a.com", zone=collection_zone("b.com", "1.1.1.1"))
+
+    def test_zone_for_longest_suffix(self):
+        registry = self._registry()
+        zone = registry.zone_for("deep.sub.exampel.com")
+        assert zone is not None and zone.origin == "exampel.com"
+        assert registry.zone_for("unregistered.com") is None
+
+    def test_domains_in_tld(self):
+        registry = self._registry()
+        registry.register(Registration(
+            domain="foo.net", zone=collection_zone("foo.net", "3.3.3.3")))
+        assert registry.domains_in_tld("com") == ["exampel.com"]
+        assert registry.domains_in_tld("net") == ["foo.net"]
+
+    def test_len_and_iter(self):
+        registry = self._registry()
+        assert len(registry) == 1
+        assert [r.domain for r in registry] == ["exampel.com"]
+
+
+class TestResolver:
+    def _setup(self):
+        registry = DomainRegistry()
+        registry.register(Registration(
+            domain="exampel.com", zone=collection_zone("exampel.com", "1.1.1.1")))
+        # a domain with MX pointing at a third-party mail host
+        zone = Zone(origin="shop.com")
+        zone.add(ResourceRecord("shop.com", RecordType.MX, "mx.mailhost.com", priority=10))
+        registry.register(Registration(domain="shop.com", zone=zone))
+        # the mail host itself
+        host_zone = Zone(origin="mailhost.com")
+        host_zone.add(ResourceRecord("mx.mailhost.com", RecordType.A, "9.9.9.9"))
+        registry.register(Registration(domain="mailhost.com", zone=host_zone))
+        # a web-only domain: A but no MX
+        web_zone = Zone(origin="webonly.com")
+        web_zone.add(ResourceRecord("webonly.com", RecordType.A, "8.8.8.8"))
+        registry.register(Registration(domain="webonly.com", zone=web_zone))
+        # a parked domain: registered, no records at all
+        registry.register(Registration(domain="parked.com", zone=Zone(origin="parked.com")))
+        return Resolver(registry)
+
+    def test_mx_route(self):
+        route = self._setup().mail_route("shop.com")
+        assert route.status is ResolutionStatus.OK
+        assert route.mx_hosts == ("mx.mailhost.com",)
+        assert route.addresses == ("9.9.9.9",)
+        assert not route.used_implicit_mx
+
+    def test_implicit_mx_fallback_rfc5321(self):
+        route = self._setup().mail_route("webonly.com")
+        assert route.status is ResolutionStatus.OK
+        assert route.used_implicit_mx
+        assert route.addresses == ("8.8.8.8",)
+
+    def test_nxdomain(self):
+        route = self._setup().mail_route("never-registered.com")
+        assert route.status is ResolutionStatus.NXDOMAIN
+        assert not route.can_receive_mail
+
+    def test_no_mail_host(self):
+        route = self._setup().mail_route("parked.com")
+        assert route.status is ResolutionStatus.NO_MAIL_HOST
+        assert not route.can_receive_mail
+
+    def test_mx_with_unresolvable_host(self):
+        registry = DomainRegistry()
+        zone = Zone(origin="broken.com")
+        zone.add(ResourceRecord("broken.com", RecordType.MX, "mx.gone.com", priority=1))
+        registry.register(Registration(domain="broken.com", zone=zone))
+        route = Resolver(registry).mail_route("broken.com")
+        assert route.status is ResolutionStatus.NO_MAIL_HOST
+        assert route.mx_hosts == ("mx.gone.com",)
+
+    def test_subdomain_route_via_wildcard(self):
+        route = self._setup().mail_route("any.sub.exampel.com")
+        assert route.status is ResolutionStatus.OK
+        assert route.addresses == ("1.1.1.1",)
+
+    def test_resolve_a_unknown(self):
+        assert self._setup().resolve_a("nope.com") == []
+
+    def test_self_mx_collection_domain(self):
+        route = self._setup().mail_route("exampel.com")
+        assert route.mx_hosts == ("exampel.com",)
+        assert route.addresses == ("1.1.1.1",)

@@ -1,0 +1,105 @@
+"""Tests for the TTL-honouring caching resolver."""
+
+import pytest
+
+from repro.dnssim import (
+    CachingResolver,
+    DomainRegistry,
+    RecordType,
+    Registration,
+    ResourceRecord,
+    Zone,
+    collection_zone,
+)
+from repro.util import SimClock
+
+
+@pytest.fixture()
+def world():
+    registry = DomainRegistry()
+    registry.register(Registration(
+        domain="gmial.com", zone=collection_zone("gmial.com", "1.1.1.1")))
+    long_zone = Zone(origin="slow.com")
+    long_zone.add(ResourceRecord("slow.com", RecordType.A, "2.2.2.2",
+                                 ttl=3600))
+    registry.register(Registration(domain="slow.com", zone=long_zone))
+    clock = SimClock()
+    return registry, clock, CachingResolver(registry, clock)
+
+
+class TestCaching:
+    def test_second_lookup_hits_cache(self, world):
+        _, _, resolver = world
+        assert resolver.resolve_a("gmial.com") == ["1.1.1.1"]
+        assert resolver.resolve_a("gmial.com") == ["1.1.1.1"]
+        assert resolver.stats.hits == 1
+        assert resolver.stats.misses == 1
+
+    def test_entry_expires_after_ttl(self, world):
+        _, clock, resolver = world
+        resolver.resolve_a("gmial.com")        # TTL 300
+        clock.advance(301)
+        resolver.resolve_a("gmial.com")
+        assert resolver.stats.expirations == 1
+        assert resolver.stats.misses == 2
+
+    def test_entry_survives_within_ttl(self, world):
+        _, clock, resolver = world
+        resolver.resolve_a("gmial.com")
+        clock.advance(299)
+        resolver.resolve_a("gmial.com")
+        assert resolver.stats.hits == 1
+
+    def test_per_zone_ttl_honoured(self, world):
+        _, clock, resolver = world
+        resolver.resolve_a("slow.com")         # TTL 3600
+        clock.advance(1000)
+        resolver.resolve_a("slow.com")
+        assert resolver.stats.hits == 1        # still cached
+
+    def test_negative_caching(self, world):
+        _, _, resolver = world
+        assert resolver.resolve_a("nxdomain.example") == []
+        assert resolver.resolve_a("nxdomain.example") == []
+        assert resolver.stats.hits == 1
+
+    def test_negative_entry_expires(self, world):
+        registry, clock, resolver = world
+        assert resolver.resolve_a("late.com") == []
+        registry.register(Registration(
+            domain="late.com", zone=collection_zone("late.com", "3.3.3.3")))
+        clock.advance(301)                     # negative TTL elapses
+        assert resolver.resolve_a("late.com") == ["3.3.3.3"]
+
+    def test_stale_answer_served_until_expiry(self, world):
+        """The cost of caching: a changed zone is invisible until TTL."""
+        registry, clock, resolver = world
+        assert resolver.resolve_a("gmial.com") == ["1.1.1.1"]
+        registry.deregister("gmial.com")
+        registry.register(Registration(
+            domain="gmial.com", zone=collection_zone("gmial.com", "9.9.9.9")))
+        assert resolver.resolve_a("gmial.com") == ["1.1.1.1"]  # stale
+        clock.advance(301)
+        assert resolver.resolve_a("gmial.com") == ["9.9.9.9"]
+
+    def test_mail_route_uses_cache(self, world):
+        _, _, resolver = world
+        route_a = resolver.mail_route("gmial.com")
+        route_b = resolver.mail_route("gmial.com")
+        assert route_a.addresses == route_b.addresses == ("1.1.1.1",)
+        assert resolver.stats.hits > 0
+
+    def test_flush(self, world):
+        _, _, resolver = world
+        resolver.resolve_a("gmial.com")
+        assert len(resolver) == 1
+        resolver.flush()
+        assert len(resolver) == 0
+
+    def test_hit_rate(self, world):
+        _, _, resolver = world
+        assert resolver.stats.hit_rate == 0.0
+        resolver.resolve_a("gmial.com")
+        resolver.resolve_a("gmial.com")
+        resolver.resolve_a("gmial.com")
+        assert resolver.stats.hit_rate == pytest.approx(2 / 3)

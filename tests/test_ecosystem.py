@@ -1,0 +1,282 @@
+"""Tests for the ecosystem: WHOIS, internet builder, scanner, clustering, NS."""
+
+import pytest
+
+from repro.ecosystem import (
+    CLUSTER_FIELDS,
+    EcosystemScanner,
+    InternetConfig,
+    OwnerType,
+    SmtpSupport,
+    WhoisDatabase,
+    WhoisRecord,
+    analyze_nameservers,
+    build_internet,
+    cluster_registrants,
+    concentration_curve,
+    fields_match_count,
+    make_registrant,
+    smallest_fraction_covering,
+    suspicious_nameservers,
+    top_share,
+)
+from repro.util import SeededRng
+
+#: A small world shared by the whole module (builds take seconds).
+SMALL_CONFIG = InternetConfig(num_filler_targets=25)
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(SeededRng(77), SMALL_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def scan(internet):
+    return EcosystemScanner(internet).scan()
+
+
+class TestWhois:
+    def test_match_count(self):
+        a = WhoisRecord("a.com", registrant_name="X", organization="O",
+                        email="e@x.com", phone="1", fax="2",
+                        mailing_address="addr")
+        b = WhoisRecord("b.com", registrant_name="X", organization="O",
+                        email="e@x.com", phone="1", fax="9",
+                        mailing_address="other")
+        assert fields_match_count(a, b) == 4
+
+    def test_none_fields_never_match(self):
+        a = WhoisRecord("a.com")
+        b = WhoisRecord("b.com")
+        assert fields_match_count(a, b) == 0
+
+    def test_clusterable_requires_four_fields(self):
+        record = WhoisRecord("a.com", registrant_name="X", organization="O",
+                             email="e@x.com")
+        assert record.filled_field_count() == 3
+        assert not record.clusterable()
+
+    def test_private_not_clusterable(self):
+        record = WhoisRecord("a.com", privacy_proxy="whoisguard.example")
+        assert record.is_private
+        assert not record.clusterable()
+
+    def test_persona_records_cluster_together(self):
+        persona = make_registrant(SeededRng(5), "r1")
+        a = persona.record_for("a.com")
+        b = persona.record_for("b.com")
+        assert fields_match_count(a, b) == 6
+
+    def test_persona_partial_fields(self):
+        persona = make_registrant(SeededRng(6), "r2")
+        record = persona.record_for("a.com", fields_filled=3,
+                                    rng=SeededRng(1))
+        assert record.filled_field_count() == 3
+
+    def test_database(self):
+        db = WhoisDatabase()
+        db.add(WhoisRecord("a.com", privacy_proxy="whoisguard.example"))
+        assert "a.com" in db
+        assert db.lookup("A.COM").is_private
+        assert db.private_domains() == ["a.com"]
+        assert db.lookup("missing.com") is None
+
+
+class TestInternetBuilder:
+    def test_ctypos_are_dl1_of_targets(self, internet):
+        from repro.core import damerau_levenshtein, split_domain
+        for wild in internet.wild_domains[:200]:
+            label = split_domain(wild.domain)[0]
+            target_label = split_domain(wild.target)[0]
+            assert damerau_levenshtein(label, target_label) == 1
+
+    def test_all_ctypos_registered(self, internet):
+        for wild in internet.wild_domains:
+            assert internet.registry.is_registered(wild.domain)
+
+    def test_owner_mixture(self, internet):
+        counts = {}
+        for wild in internet.wild_domains:
+            counts[wild.owner_type] = counts.get(wild.owner_type, 0) + 1
+        assert set(counts) == set(OwnerType)
+        squatters = (counts[OwnerType.BULK_SQUATTER]
+                     + counts[OwnerType.MEDIUM_SQUATTER]
+                     + counts[OwnerType.SMALL_SQUATTER])
+        assert squatters > counts[OwnerType.DEFENSIVE]
+        assert squatters > counts[OwnerType.LEGITIMATE]
+
+    def test_popular_targets_more_squatted(self, internet):
+        gmail_typos = [w for w in internet.wild_domains
+                       if w.target == "gmail.com"]
+        hushmail_typos = [w for w in internet.wild_domains
+                          if w.target == "hushmail.com"]
+        assert len(gmail_typos) > len(hushmail_typos)
+
+    def test_defensive_points_at_target_mail(self, internet):
+        defensives = [w for w in internet.wild_domains
+                      if w.owner_type is OwnerType.DEFENSIVE]
+        assert defensives
+        for wild in defensives[:20]:
+            assert wild.mx_domain == f"mx.{wild.target}"
+
+    def test_bulk_domains_use_shared_pool(self, internet):
+        from repro.ecosystem import SQUATTER_MX_POOL
+        pool = {host for host, _, _ in SQUATTER_MX_POOL}
+        bulk_ok = [w for w in internet.wild_domains
+                   if w.owner_type is OwnerType.BULK_SQUATTER
+                   and w.support.can_accept_mail]
+        assert bulk_ok
+        for wild in bulk_ok:
+            assert wild.mx_domain in pool
+
+    def test_ground_truth_lookup(self, internet):
+        wild = internet.wild_domains[0]
+        assert internet.ground_truth(wild.domain) is wild
+        assert internet.ground_truth("not-a-ctypo.example") is None
+
+    def test_alexa_rank(self, internet):
+        assert internet.alexa_rank("gmail.com") == 1
+        assert internet.alexa_rank("nonexistent.test") is None
+
+    def test_deterministic(self):
+        a = build_internet(SeededRng(9), SMALL_CONFIG)
+        b = build_internet(SeededRng(9), SMALL_CONFIG)
+        assert [w.domain for w in a.wild_domains] == \
+            [w.domain for w in b.wild_domains]
+        assert [w.support for w in a.wild_domains] == \
+            [w.support for w in b.wild_domains]
+
+
+class TestScanner:
+    def test_finds_all_wild_domains(self, internet, scan):
+        scanned = {r.domain for r in scan.results}
+        for wild in internet.wild_domains:
+            assert wild.domain in scanned
+
+    def test_generated_exceeds_registered(self, scan):
+        assert scan.generated_count > scan.registered_count
+
+    def test_table4_shape(self, scan):
+        """Paper Table 4: ~43% support SMTP, ~22% cannot, ~34% no info."""
+        pct = scan.support_percentages()
+        supports = (pct[SmtpSupport.PLAIN]
+                    + pct[SmtpSupport.STARTTLS_ERRORS]
+                    + pct[SmtpSupport.STARTTLS_OK])
+        cannot = pct[SmtpSupport.NO_DNS] + pct[SmtpSupport.NO_EMAIL]
+        no_info = pct[SmtpSupport.NO_INFO]
+        assert 25 < supports < 60
+        assert 10 < cannot < 40
+        assert 20 < no_info < 55
+        # STARTTLS works almost everywhere mail is supported
+        assert pct[SmtpSupport.PLAIN] < 1.0
+
+    def test_scan_against_ground_truth(self, internet, scan):
+        """The scanner must broadly recover the built-in support labels."""
+        agreements = 0
+        hard_fails = 0
+        for result in scan.results:
+            truth = internet.ground_truth(result.domain)
+            if truth is None:
+                continue
+            if truth.support == result.support:
+                agreements += 1
+            elif truth.support.can_accept_mail != result.support.can_accept_mail:
+                hard_fails += 1
+        assert agreements > 0.7 * len(scan.results)
+        # flaky hosts may blur categories but rarely flip accept/non-accept
+        assert hard_fails < 0.2 * len(scan.results)
+
+    def test_exclusion(self, internet):
+        wild = internet.wild_domains[0]
+        scan = EcosystemScanner(internet).scan(targets=[wild.target],
+                                               exclude=[wild.domain])
+        assert wild.domain not in {r.domain for r in scan.results}
+
+    def test_mx_domain_counts(self, scan):
+        counts = scan.mx_domain_counts()
+        assert counts
+        assert "b-io.co" in counts
+
+    def test_accepting_results_can_accept(self, scan):
+        for result in scan.accepting_results():
+            assert result.support.can_accept_mail
+
+
+class TestClustering:
+    def test_bulk_owners_form_large_clusters(self, internet):
+        clusters = cluster_registrants(
+            internet.whois,
+            [w.domain for w in internet.squatting_domains()])
+        assert clusters
+        assert len(clusters[0]) > 20
+
+    def test_concentration_shape(self, internet):
+        """Figure 8: few registrants own most; heavy long tail."""
+        clusters = cluster_registrants(
+            internet.whois,
+            [w.domain for w in internet.squatting_domains()])
+        curve = concentration_curve([len(c) for c in clusters])
+        assert top_share(curve, 14) > 0.15
+        assert smallest_fraction_covering(curve, 0.5) < 0.10
+        singletons = sum(1 for c in clusters if len(c) == 1)
+        assert singletons > len(clusters) * 0.5
+
+    def test_private_domains_excluded(self, internet):
+        clusters = cluster_registrants(
+            internet.whois,
+            [w.domain for w in internet.squatting_domains()])
+        clustered = {d for c in clusters for d in c.domains}
+        for domain in internet.whois.private_domains():
+            assert domain not in clustered
+
+    def test_curve_helpers(self):
+        curve = concentration_curve([50, 30, 10, 5, 3, 1, 1])
+        assert curve.total_domains == 100
+        assert top_share(curve, 2) == pytest.approx(0.8)
+        assert smallest_fraction_covering(curve, 0.5) == pytest.approx(1 / 7)
+
+    def test_cluster_fields_constant(self):
+        assert len(CLUSTER_FIELDS) == 6
+
+
+class TestNameservers:
+    def test_cesspools_detected(self, internet):
+        stats = analyze_nameservers(
+            internet.registry, internet.whois,
+            [w.domain for w in internet.wild_domains],
+            benign_counts=internet.nameserver_benign_counts)
+        suspicious = suspicious_nameservers(stats)
+        assert suspicious
+        for entry in suspicious:
+            assert "cheap-dns" in entry.nameserver
+
+    def test_baseline_ratio_low(self, internet):
+        """Paper: the ecosystem-wide typo ratio is ~4%."""
+        stats = analyze_nameservers(
+            internet.registry, internet.whois,
+            [w.domain for w in internet.wild_domains],
+            benign_counts=internet.nameserver_benign_counts)
+        total = sum(s.total_domains for s in stats)
+        typos = sum(s.typo_domains for s in stats)
+        assert typos / total < 0.15
+
+    def test_suspicious_ns_ratio_extreme(self, internet):
+        stats = analyze_nameservers(
+            internet.registry, internet.whois,
+            [w.domain for w in internet.wild_domains],
+            benign_counts=internet.nameserver_benign_counts)
+        suspicious = suspicious_nameservers(stats)
+        assert max(s.typo_ratio for s in suspicious) > 0.5
+
+    def test_suspicious_ns_private_heavy(self, internet):
+        stats = analyze_nameservers(
+            internet.registry, internet.whois,
+            [w.domain for w in internet.wild_domains],
+            benign_counts=internet.nameserver_benign_counts)
+        suspicious = suspicious_nameservers(stats)
+        private_ratios = [s.private_ratio_among_typos for s in suspicious]
+        assert max(private_ratios) > 0.25
+
+    def test_empty_inputs(self):
+        assert suspicious_nameservers([]) == []

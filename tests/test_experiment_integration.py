@@ -1,0 +1,220 @@
+"""Integration tests: the full seven-month study simulation end to end.
+
+One shared (module-scoped) run powers many assertions — the run itself is
+the expensive part; each test then checks one paper finding against it.
+"""
+
+import pytest
+
+from repro.analysis import (
+    daily_series,
+    extension_histogram,
+    figure5_curve,
+    malware_lookup,
+    per_domain_typo_counts,
+    sensitive_heatmap,
+    smtp_persistence,
+    volume_report,
+)
+from repro.analysis.volume import descaled_volume_report
+from repro.core import TypoEmailKind
+from repro.experiment import ExperimentConfig, StudyRunner
+from repro.spamfilter import Verdict
+
+CONFIG = ExperimentConfig(seed=1234, spam_scale=2e-4)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return StudyRunner(CONFIG).run()
+
+
+@pytest.fixture(scope="module")
+def report(results):
+    smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
+    return descaled_volume_report(results.records, results.window,
+                                  CONFIG.ham_scale, CONFIG.spam_scale,
+                                  smtp_domains)
+
+
+class TestRunMechanics:
+    def test_messages_collected(self, results):
+        assert results.delivered_count > 1000
+        assert len(results.records) == results.delivered_count
+
+    def test_outage_days_empty(self, results):
+        outage_days = results.window.outage_days
+        for record in results.records:
+            assert record.day not in outage_days
+
+    def test_deterministic(self):
+        a = StudyRunner(ExperimentConfig(seed=7, spam_scale=2e-5,
+                                         outage_spans=())).run()
+        b = StudyRunner(ExperimentConfig(seed=7, spam_scale=2e-5,
+                                         outage_spans=())).run()
+        assert a.delivered_count == b.delivered_count
+        assert [r.verdict for r in a.records] == [r.verdict for r in b.records]
+
+    def test_different_seeds_differ(self):
+        a = StudyRunner(ExperimentConfig(seed=1, spam_scale=2e-5,
+                                         outage_spans=())).run()
+        b = StudyRunner(ExperimentConfig(seed=2, spam_scale=2e-5,
+                                         outage_spans=())).run()
+        assert a.delivered_count != b.delivered_count
+
+    def test_funnel_accuracy_high(self, results):
+        correct, total = results.funnel_accuracy()
+        assert total > 0
+        assert correct / total > 0.9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(ham_scale=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(yearly_true_typos=-1)
+
+
+class TestHeadlineVolumes:
+    def test_total_matches_paper_order(self, report):
+        """Paper: 118,894,960 emails/year."""
+        assert 5e7 < report.total_received < 2.5e8
+
+    def test_candidate_split(self, report):
+        """Paper: 16.2M receiver vs 102.7M SMTP candidates."""
+        assert report.smtp_candidates > 3 * report.receiver_candidates
+
+    def test_true_typos_thousands_not_millions(self, report):
+        """Paper: ~6,041 genuine receiver/reflection typos per year."""
+        assert 2_000 < report.true_receiver_reflection < 20_000
+
+    def test_smtp_typo_band(self, report):
+        low, high = report.smtp_typo_range()
+        assert 50 < low < 2_000
+        assert low <= high < 20_000
+
+    def test_receiver_typos_at_smtp_domains(self, report):
+        """Paper: ~700/year at domains designed for SMTP typos."""
+        assert 100 < report.receiver_typos_at_smtp_domains < 3_000
+
+    def test_spam_dominates(self, results):
+        spam = sum(1 for r in results.records
+                   if r.verdict is Verdict.SPAM)
+        assert spam > 0.5 * len(results.records)
+
+    def test_survivor_spam_fraction_minor(self, report):
+        assert report.survivor_spam_fraction < 0.35
+
+
+class TestFigure3And4:
+    def test_receiver_stream_near_constant(self, results):
+        """Figure 3: receiver typos arrive at a near-constant daily rate."""
+        series = daily_series(results.records, "receiver", results.window)
+        active = series.active_days("real_typos")
+        collecting = results.window.effective_days
+        assert active > 0.7 * collecting
+
+    def test_smtp_stream_sparser_than_receiver(self, results):
+        """Figure 4 vs 3: genuine SMTP traffic is sparse and bursty next
+        to the near-constant receiver stream."""
+        smtp = daily_series(results.records, "smtp", results.window)
+        receiver = daily_series(results.records, "receiver", results.window)
+        assert smtp.active_days("real_typos") < \
+            receiver.active_days("real_typos")
+        assert smtp.total("real_typos") < 0.5 * receiver.total("real_typos")
+
+    def test_spam_dominates_smtp_series(self, results):
+        series = daily_series(results.records, "smtp", results.window)
+        assert series.total("spam_filtered") > 3 * series.total("real_typos")
+
+    def test_outage_days_are_zero(self, results):
+        series = daily_series(results.records, "receiver", results.window)
+        for day in results.window.outage_days:
+            for category in series.categories.values():
+                assert category[day] == 0
+
+
+class TestFigure5:
+    def test_concentration(self, results):
+        """Two domains take the majority; a dozen take ~99%."""
+        table = figure5_curve(results.records, results.corpus)
+        assert table.total > 100
+        assert table.domains_for_share(0.5) <= 4
+        assert table.domains_for_share(0.99) <= 0.7 * len(table.entries)
+
+    def test_gmail_typo_tops(self, results):
+        table = figure5_curve(results.records, results.corpus)
+        top_domain, _ = table.entries[0]
+        top_target = results.corpus.lookup(top_domain).target
+        assert top_target in ("gmail.com", "outlook.com", "hotmail.com")
+
+    def test_per_domain_counts_subset(self, results):
+        table = per_domain_typo_counts(results.records,
+                                       ["gnail.com", "hushmaul.com"])
+        counts = dict(table.entries)
+        assert counts["gnail.com"] > counts["hushmaul.com"]
+
+
+class TestFigure6:
+    def test_disposable_provider_credentials(self, results):
+        """yopmail typos collect usernames/passwords."""
+        heatmap = sensitive_heatmap(results.records)
+        disposable_domains = [d.domain for d in results.corpus.domains
+                              if d.target_domain is not None
+                              and d.target_domain.category == "disposable"]
+        credential_hits = sum(
+            heatmap.get(domain, label)
+            for domain in disposable_domains
+            for label in ("username", "password"))
+        assert credential_hits > 0
+
+    def test_heatmap_true_typos_only(self, results):
+        heatmap = sensitive_heatmap(results.records)
+        assert heatmap.counts  # something was found
+        # all referenced domains belong to the corpus
+        corpus_domains = set(results.corpus.domain_names())
+        for domain in heatmap.domains():
+            assert domain in corpus_domains
+
+
+class TestFigure7:
+    def test_true_typo_extension_mix(self, results):
+        histogram = extension_histogram(results.records,
+                                        verdicts=[Verdict.TRUE_TYPO])
+        assert histogram
+        assert "zip" not in histogram   # archives never survive filtering
+        assert histogram.get("txt", 0) >= histogram.get("pptx", 0)
+
+    def test_spam_mix_differs(self, results):
+        spam_hist = extension_histogram(results.records,
+                                        verdicts=[Verdict.SPAM])
+        risky = sum(spam_hist.get(ext, 0)
+                    for ext in ("zip", "rar", "exe", "js", "docm", "xlsm"))
+        assert risky > 0.2 * sum(spam_hist.values())
+
+    def test_malware_only_in_spam(self, results):
+        lookup = malware_lookup(results.records, results.malicious_hashes)
+        assert lookup.hashes_known_malicious > 0
+        assert lookup.malicious_emails_all_spam
+
+
+class TestSmtpPersistence:
+    def test_paper_shape(self, results):
+        stats = smtp_persistence(results.records,
+                                 include_frequency_filtered=True)
+        assert stats.sender_count > 20
+        assert stats.matches_paper_shape()
+        assert stats.max_persistence_days <= 209.0
+
+
+class TestRegressionInputs:
+    def test_per_domain_yearly_volumes(self, results):
+        volumes = results.per_domain_yearly_true_typos()
+        assert len(volumes) > 10
+        # calibrated world: total near the configured yearly volume
+        total = sum(volumes.values())
+        assert 2_000 < total < 20_000
+
+    def test_volume_report_raw_projection(self, results):
+        raw = volume_report(results.records, results.window)
+        assert raw.total_received > 0
+        assert raw.passed_all_filters < raw.total_received

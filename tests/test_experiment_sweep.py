@@ -1,0 +1,41 @@
+"""Tests for the multi-seed robustness sweep."""
+
+import pytest
+
+from repro.experiment import ExperimentConfig, run_seed_sweep
+
+FAST = ExperimentConfig(spam_scale=2e-5, outage_spans=())
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_seed_sweep([1, 2, 3], base_config=FAST)
+
+
+class TestSweep:
+    def test_tracks_all_headlines(self, summary):
+        assert {"total_received", "passed_all_filters",
+                "smtp_band_low"} <= set(summary.headlines)
+        for distribution in summary.headlines.values():
+            assert len(distribution.values) == 3
+
+    def test_ci_brackets_mean(self, summary):
+        for distribution in summary.headlines.values():
+            assert distribution.ci_low <= distribution.mean \
+                <= distribution.ci_high
+
+    def test_genuine_typo_headline_stable(self, summary):
+        """The calibrated quantity must not swing wildly with the seed."""
+        assert summary.stable("true_receiver_reflection", tolerance=0.5)
+
+    def test_funnel_accuracy_consistent(self, summary):
+        assert len(summary.funnel_accuracies) == 3
+        assert min(summary.funnel_accuracies) > 0.85
+
+    def test_seeds_actually_vary(self, summary):
+        values = summary.headlines["total_received"].values
+        assert len(set(values)) > 1
+
+    def test_requires_two_seeds(self):
+        with pytest.raises(ValueError):
+            run_seed_sweep([1], base_config=FAST)

@@ -1,0 +1,219 @@
+"""Tests for the regression, typo-popularity, projection, and economics."""
+
+import math
+
+import pytest
+
+from repro.core import EMAIL_TARGETS
+from repro.ecosystem import InternetConfig, OwnerType, build_internet
+from repro.extrapolate import (
+    DOMAIN_PRICE_PER_YEAR,
+    ProjectionExperiment,
+    RegressionObservation,
+    SqrtVolumeRegression,
+    attacker_economics,
+    cost_per_email,
+    defensive_registration_plan,
+    edit_type_scale_factors,
+    popularity_by_edit_type,
+)
+from repro.extrapolate.projection import PROJECTION_TARGETS
+from repro.util import SeededRng
+from repro.workloads import TypingMistakeModel
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(SeededRng(303),
+                          InternetConfig(num_filler_targets=30))
+
+
+def _seed_observations(internet, noise_sigma=0.5, per_target=5):
+    """Measured volumes for 25 seed domains, from ground truth + noise."""
+    model = TypingMistakeModel()
+    targets = {t.name: t for t in EMAIL_TARGETS}
+    rng = SeededRng(99)
+    counts = {}
+    observations = []
+    for wild in internet.wild_domains:
+        if wild.target not in PROJECTION_TARGETS:
+            continue
+        if counts.get(wild.target, 0) >= per_target:
+            continue
+        if wild.candidate.edit_type not in ("addition", "substitution"):
+            continue
+        counts[wild.target] = counts.get(wild.target, 0) + 1
+        yearly = model.expected_yearly_emails(
+            3e8 * targets[wild.target].email_share, wild.candidate)
+        observations.append(RegressionObservation(
+            domain=wild.domain, target=wild.target,
+            yearly_emails=yearly * rng.lognormal(0, noise_sigma),
+            alexa_rank=internet.alexa_rank(wild.target),
+            normalized_visual=wild.candidate.normalized_visual,
+            fat_finger=wild.candidate.is_fat_finger))
+    return observations
+
+
+class TestRegression:
+    def test_fit_recovers_rank_effect(self, internet):
+        observations = _seed_observations(internet)
+        regression = SqrtVolumeRegression()
+        fit = regression.fit(observations)
+        # more popular target (lower rank) means more mail: negative slope
+        assert fit.coefficient("log_alexa_rank") < 0
+
+    def test_visual_distance_negative_effect(self, internet):
+        observations = _seed_observations(internet)
+        fit = SqrtVolumeRegression().fit(observations)
+        assert fit.coefficient("sqrt_norm_visual") < 0
+
+    def test_r_squared_reasonable(self, internet):
+        fit = SqrtVolumeRegression().fit(_seed_observations(internet))
+        assert 0.5 < fit.r_squared <= 1.0
+
+    def test_loo_below_fit_r_squared(self, internet):
+        fit = SqrtVolumeRegression().fit(_seed_observations(internet))
+        assert fit.loo_r_squared <= fit.r_squared
+
+    def test_too_few_observations_rejected(self):
+        observation = RegressionObservation("a.com", "t.com", 10.0, 1, 0.1, True)
+        with pytest.raises(ValueError):
+            SqrtVolumeRegression().fit([observation] * 3)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SqrtVolumeRegression().predict([])
+
+    def test_predictions_nonnegative(self, internet):
+        observations = _seed_observations(internet)
+        regression = SqrtVolumeRegression()
+        regression.fit(observations)
+        predictions = regression.predict(observations)
+        assert (predictions >= 0).all()
+
+    def test_scale_factors_multiply(self, internet):
+        observations = _seed_observations(internet)
+        regression = SqrtVolumeRegression()
+        regression.fit(observations)
+        base = regression.predict(observations)
+        doubled = regression.predict(observations,
+                                     scale_factors=[2.0] * len(observations))
+        assert doubled == pytest.approx(base * 2.0)
+
+    def test_ci_brackets_point_estimate(self, internet):
+        observations = _seed_observations(internet)
+        regression = SqrtVolumeRegression()
+        regression.fit(observations)
+        total, low, high = regression.predict_total_with_ci(
+            observations, SeededRng(1), n_bootstrap=500)
+        assert low < high
+        assert low < total * 1.5 and high > total * 0.67
+
+    def test_ci_deterministic_given_seed(self, internet):
+        observations = _seed_observations(internet)
+        regression = SqrtVolumeRegression()
+        regression.fit(observations)
+        a = regression.predict_total_with_ci(observations, SeededRng(5),
+                                             n_bootstrap=300)
+        b = regression.predict_total_with_ci(observations, SeededRng(5),
+                                             n_bootstrap=300)
+        assert a == b
+
+
+class TestTypoPopularity:
+    def test_figure9_ordering(self, internet):
+        """Deletion and transposition significantly above addition/substitution."""
+        popularity = popularity_by_edit_type(internet, SeededRng(7))
+        deletion = popularity["deletion"]
+        addition = popularity["addition"]
+        assert deletion.sample_count > 0 and addition.sample_count > 0
+        # CIs must separate: deletion's low above addition's high
+        assert deletion.ci_low > addition.ci_high
+
+    def test_scale_factors(self, internet):
+        popularity = popularity_by_edit_type(internet, SeededRng(8))
+        factors = edit_type_scale_factors(popularity)
+        assert factors["addition"] == 1.0
+        assert factors["substitution"] == 1.0
+        assert factors["deletion"] > 1.5
+        assert factors["transposition"] > 1.5
+
+    def test_missing_baseline_rejected(self):
+        from repro.extrapolate import EditTypePopularity
+        empty = {t: EditTypePopularity(t, float("nan"), float("nan"),
+                                       float("nan"), 0)
+                 for t in ("addition", "deletion", "substitution",
+                           "transposition")}
+        with pytest.raises(ValueError):
+            edit_type_scale_factors(empty)
+
+
+class TestProjection:
+    def test_full_experiment(self, internet):
+        observations = _seed_observations(internet)
+        experiment = ProjectionExperiment(internet, SeededRng(11))
+        report = experiment.run(observations,
+                                exclude_domains=[o.domain for o in observations],
+                                n_bootstrap=400)
+        assert report.seed_domain_count == 25
+        assert report.wild_domain_count > 100
+        assert report.base_ci[0] < report.base_total < report.base_ci[1]
+        # the paper's headline shape: the typo-type adjustment raises
+        # the projection substantially
+        assert report.adjusted_total > 1.1 * report.base_total
+        assert len(report.summary_lines()) == 5
+
+    def test_excludes_defensive(self, internet):
+        experiment = ProjectionExperiment(internet, SeededRng(12))
+        rows = experiment.wild_observations()
+        defensive = {w.domain for w in internet.wild_domains
+                     if w.owner_type is OwnerType.DEFENSIVE}
+        assert not defensive & {r.domain for r in rows}
+
+    def test_excludes_requested_domains(self, internet):
+        experiment = ProjectionExperiment(internet, SeededRng(13))
+        all_rows = experiment.wild_observations()
+        excluded = all_rows[0].domain
+        rows = experiment.wild_observations(exclude_domains=[excluded])
+        assert excluded not in {r.domain for r in rows}
+        assert len(rows) == len(all_rows) - 1
+
+
+class TestEconomics:
+    def test_cost_per_email_paper_headline(self):
+        """1,211 domains, ~800k emails/yr => under two cents per email."""
+        assert cost_per_email(1211, 846_219) < 0.02
+
+    def test_cost_per_email_zero_volume(self):
+        assert cost_per_email(10, 0) == float("inf")
+
+    def test_attacker_economics(self):
+        volumes = {"a.com": 1000.0, "b.com": 500.0, "c.com": 10.0,
+                   "d.com": 5.0, "e.com": 3.0, "f.com": 1.0, "g.com": 0.0}
+        economics = attacker_economics(volumes)
+        assert economics.domain_count == 7
+        assert economics.yearly_cost == pytest.approx(7 * DOMAIN_PRICE_PER_YEAR)
+        # keeping the best five is cheaper per email than keeping all
+        assert economics.top5_cost_per_email < economics.cost_per_email
+
+    def test_defender_plan_greedy(self):
+        volumes = {"x1.com": 100.0, "x2.com": 50.0, "x3.com": 1.0,
+                   "y1.com": 75.0}
+        targets = {"x1.com": "x.com", "x2.com": "x.com", "x3.com": "x.com",
+                   "y1.com": "y.com"}
+        plan = defensive_registration_plan(volumes, targets, "x.com",
+                                           budget_domains=2)
+        assert plan.domains_to_register == ("x1.com", "x2.com")
+        assert plan.emails_protected_per_year == 150.0
+        assert plan.cost_per_protected_email == pytest.approx(
+            2 * DOMAIN_PRICE_PER_YEAR / 150.0)
+
+    def test_defender_popular_target_cheaper(self):
+        """Paper §8: defending popular providers costs less per email."""
+        volumes = {"big1.com": 1000.0, "big2.com": 800.0,
+                   "small1.com": 5.0, "small2.com": 3.0}
+        targets = {"big1.com": "gmail.com", "big2.com": "gmail.com",
+                   "small1.com": "tiny.com", "small2.com": "tiny.com"}
+        big = defensive_registration_plan(volumes, targets, "gmail.com")
+        small = defensive_registration_plan(volumes, targets, "tiny.com")
+        assert big.cost_per_protected_email < small.cost_per_protected_email

@@ -1,0 +1,71 @@
+"""Tests for the regression sensitivity analyses."""
+
+import pytest
+
+from repro.core import EMAIL_TARGETS, TypoGenerator
+from repro.extrapolate import (
+    RegressionObservation,
+    feature_knockouts,
+    leave_one_target_out_r_squared,
+)
+from repro.util import SeededRng
+from repro.workloads import TypingMistakeModel
+
+
+@pytest.fixture(scope="module")
+def observations():
+    """Measured-style observations across five targets."""
+    model = TypingMistakeModel()
+    generator = TypoGenerator()
+    targets = {t.name: t for t in EMAIL_TARGETS}
+    rng = SeededRng(17)
+    out = []
+    ranked = [("gmail.com", 1), ("hotmail.com", 9), ("outlook.com", 20),
+              ("comcast.net", 250), ("verizon.net", 350)]
+    for target, rank in ranked:
+        candidates = [c for c in generator.generate(target)
+                      if c.edit_type in ("addition", "substitution")]
+        for candidate in rng.sample(candidates, 8):
+            yearly = model.expected_yearly_emails(
+                3e8 * targets[target].email_share, candidate)
+            out.append(RegressionObservation(
+                domain=candidate.domain, target=target,
+                yearly_emails=yearly * rng.lognormal(0, 0.4),
+                alexa_rank=rank,
+                normalized_visual=candidate.normalized_visual,
+                fat_finger=candidate.is_fat_finger))
+    return out
+
+
+class TestFeatureKnockouts:
+    def test_every_feature_carries_signal(self, observations):
+        knockouts = feature_knockouts(observations)
+        assert len(knockouts) == 3
+        for knockout in knockouts:
+            assert knockout.r_squared_drop >= -1e-9, knockout
+
+    def test_rank_is_the_strongest_feature(self, observations):
+        """Popularity is the dominant signal (paper §4.4.2)."""
+        knockouts = {k.removed_feature: k
+                     for k in feature_knockouts(observations)}
+        rank_drop = knockouts["log_alexa_rank"].r_squared_drop
+        assert rank_drop == max(k.r_squared_drop
+                                for k in knockouts.values())
+        assert rank_drop > 0.1
+
+    def test_visual_distance_contributes(self, observations):
+        knockouts = {k.removed_feature: k
+                     for k in feature_knockouts(observations)}
+        assert knockouts["sqrt_norm_visual"].r_squared_drop > 0.0
+
+
+class TestLeaveOneTargetOut:
+    def test_generalises_across_targets(self, observations):
+        r_squared = leave_one_target_out_r_squared(observations)
+        # cross-target prediction is harder than LOO but must retain signal
+        assert r_squared > 0.2
+
+    def test_requires_two_targets(self, observations):
+        single = [o for o in observations if o.target == "gmail.com"]
+        with pytest.raises(ValueError):
+            leave_one_target_out_r_squared(single)

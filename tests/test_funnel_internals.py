@@ -1,0 +1,140 @@
+"""Unit tests for funnel helper internals and edge cases."""
+
+import pytest
+
+from repro.pipeline import tokenize
+from repro.smtpsim import EmailMessage
+from repro.spamfilter import CollaborativeDatabase, FilterFunnel, Verdict
+from repro.spamfilter.funnel import (
+    _content_hash,
+    _header_to_domain,
+    _relay_chain_hosts,
+    _sender_address,
+    _sender_domain,
+)
+
+OUR = ["gmial.com", "smtpverizon.net"]
+
+
+def _tok(from_addr="a@b.com", to_addr="c@gmial.com", envelope_to=None,
+         received=None, body="hi", extra_headers=None):
+    message = EmailMessage.create(from_addr, to_addr, "s", body,
+                                  extra_headers=extra_headers)
+    if envelope_to is not None:
+        message.envelope_to = envelope_to
+    for header in reversed(received or []):
+        message.headers.insert(0, ("Received", header))
+    return tokenize(message)
+
+
+class TestHeaderHelpers:
+    def test_relay_hosts_direct_path(self):
+        tok = _tok(received=["from sender.org by gmial.com (1.1.1.1)"])
+        assert _relay_chain_hosts(tok) == {"sender.org", "gmial.com"}
+
+    def test_relay_hosts_forwarded_path(self):
+        tok = _tok(received=[
+            "from gmial.com by collector.study-infra.net (198.51.99.1)",
+            "from sender.org by gmial.com (198.51.100.1)"])
+        assert "gmial.com" in _relay_chain_hosts(tok)
+
+    def test_relay_hosts_empty_chain(self):
+        assert _relay_chain_hosts(_tok()) == set()
+
+    def test_sender_address_prefers_envelope(self):
+        tok = _tok(from_addr="display@header.com")
+        tok.metadata = tok.metadata.__class__(
+            **{**tok.metadata.__dict__, "envelope_from": "real@envelope.com"})
+        assert _sender_address(tok) == "real@envelope.com"
+
+    def test_sender_address_falls_back_to_from(self):
+        tok = _tok(from_addr="Alice <alice@x.com>")
+        assert _sender_address(tok) == "alice@x.com"
+
+    def test_sender_domain(self):
+        tok = _tok(from_addr="alice@Mixed.Example")
+        assert _sender_domain(tok) == "mixed.example"
+
+    def test_header_to_domain(self):
+        tok = _tok(to_addr="Bob <bob@Target.ORG>")
+        assert _header_to_domain(tok) == "target.org"
+
+    def test_content_hash_normalises_whitespace(self):
+        assert _content_hash("hello   world") == _content_hash("hello\nworld ")
+        assert _content_hash("hello world") != _content_hash("other words")
+
+
+class TestCandidateKind:
+    def test_subdomain_recipient_is_receiver(self):
+        funnel = FilterFunnel(OUR)
+        tok = _tok(envelope_to=["user@mail.gmial.com"])
+        assert funnel.candidate_kind(tok) == "receiver"
+
+    def test_third_party_recipient_is_smtp(self):
+        funnel = FilterFunnel(OUR)
+        tok = _tok(envelope_to=["user@elsewhere.org"])
+        assert funnel.candidate_kind(tok) == "smtp"
+
+    def test_mixed_recipients_count_as_receiver(self):
+        funnel = FilterFunnel(OUR)
+        tok = _tok(envelope_to=["a@elsewhere.org", "b@gmial.com"])
+        assert funnel.candidate_kind(tok) == "receiver"
+
+    def test_case_insensitive(self):
+        funnel = FilterFunnel(OUR)
+        tok = _tok(envelope_to=["USER@GMIAL.COM"])
+        assert funnel.candidate_kind(tok) == "receiver"
+
+
+class TestCollaborativeDatabase:
+    def test_sender_match_case_insensitive(self):
+        database = CollaborativeDatabase()
+        database.record_spam("Spammer@Bad.org", "short")
+        assert database.matches("spammer@bad.org", "other") is not None
+
+    def test_bow_requires_minimum_words(self):
+        database = CollaborativeDatabase(bag_of_words_minimum=5)
+        database.record_spam(None, "one two three four five six")
+        assert database.matches(None, "six five four three two one") is not None
+        database2 = CollaborativeDatabase(bag_of_words_minimum=10)
+        database2.record_spam(None, "one two three four five six")
+        assert database2.matches(None, "one two three four five six") is None
+
+    def test_bow_order_insensitive(self):
+        database = CollaborativeDatabase(bag_of_words_minimum=3)
+        database.record_spam(None, "alpha beta gamma delta epsilon")
+        assert database.matches(
+            None, "epsilon delta gamma beta alpha") is not None
+
+    def test_none_sender_tolerated(self):
+        database = CollaborativeDatabase()
+        database.record_spam(None, "body")
+        assert database.matches(None, "body") is None  # too short for bow
+
+
+class TestFunnelEdgeCases:
+    def test_email_without_any_headers(self):
+        funnel = FilterFunnel(OUR)
+        message = EmailMessage()
+        message.envelope_to = ["x@gmial.com"]
+        result = funnel.classify(tokenize(message))
+        # headerless mail has no From at all; it survives L1 (no relay
+        # chain, no sender claim) and is judged on content
+        assert result.verdict in (Verdict.TRUE_TYPO, Verdict.SPAM,
+                                  Verdict.REFLECTION)
+
+    def test_empty_envelope_to_is_smtp_kind(self):
+        funnel = FilterFunnel(OUR)
+        message = EmailMessage.create("a@b.com", "c@d.com", "s", "b")
+        message.envelope_to = []
+        assert funnel.candidate_kind(tokenize(message)) == "smtp"
+
+    def test_null_sender_bounce_not_flagged_as_own_domain(self):
+        funnel = FilterFunnel(OUR)
+        message = EmailMessage.create("MAILER-DAEMON@relay.example",
+                                      "x@gmial.com", "bounced", "dsn body")
+        message.envelope_from = ""
+        message.headers.insert(
+            0, ("Received", "from relay.example by gmial.com (1.1.1.1)"))
+        result = funnel.classify(tokenize(message))
+        assert result.layer != 1

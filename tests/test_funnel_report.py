@@ -1,0 +1,74 @@
+"""Tests for the per-layer funnel attribution report."""
+
+import pytest
+
+from repro.analysis import CollectedRecord, funnel_layer_report
+from repro.pipeline import tokenize
+from repro.smtpsim import EmailMessage
+from repro.spamfilter.funnel import FilterResult, Verdict
+
+
+def _record(layer, kind="receiver",
+            verdict=Verdict.SPAM):
+    msg = EmailMessage.create("a@b.com", "c@gmial.com", "s", "b")
+    return CollectedRecord(
+        tokenized=tokenize(msg),
+        result=FilterResult(verdict, kind, layer, "test"),
+        study_domain="gmial.com",
+        timestamp=0.0,
+    )
+
+
+class TestFunnelLayerReport:
+    def test_counts_by_layer_and_kind(self):
+        records = [
+            _record(1), _record(2), _record(2),
+            _record(2, kind="smtp"),
+            _record(None, verdict=Verdict.TRUE_TYPO),
+        ]
+        report = funnel_layer_report(records)
+        assert report.total == 5
+        assert report.claimed_by_layer(1) == 1
+        assert report.claimed_by_layer(2) == 3
+        assert report.claimed_by_layer(None) == 1
+
+    def test_survival_rate(self):
+        records = [_record(2)] * 3 + [_record(None,
+                                              verdict=Verdict.TRUE_TYPO)]
+        report = funnel_layer_report(records)
+        assert report.survival_rate() == pytest.approx(0.25)
+
+    def test_cumulative_removal_monotone(self):
+        records = ([_record(1)] * 2 + [_record(2)] * 5
+                   + [_record(4, verdict=Verdict.REFLECTION)] * 3
+                   + [_record(5, verdict=Verdict.FREQUENCY_FILTERED)]
+                   + [_record(None, verdict=Verdict.TRUE_TYPO)] * 2)
+        report = funnel_layer_report(records)
+        rows = report.cumulative_removal()
+        assert len(rows) == 6
+        fractions = [fraction for _, _, fraction in rows[:5]]
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+        assert rows[-1][0] == "survived"
+        assert rows[-1][1] == 2
+
+    def test_rows_labelled(self):
+        report = funnel_layer_report([_record(3)])
+        assert report.rows() == [("L3 collaborative", "receiver", 1)]
+
+    def test_empty(self):
+        report = funnel_layer_report([])
+        assert report.survival_rate() == 0.0
+        assert report.total == 0
+
+    def test_on_real_run(self):
+        """On an actual study the funnel removes most mail before L5."""
+        from repro.experiment import ExperimentConfig, StudyRunner
+        results = StudyRunner(ExperimentConfig(seed=31,
+                                               spam_scale=2e-5,
+                                               outage_spans=())).run()
+        report = funnel_layer_report(results.records)
+        assert report.total == len(results.records)
+        # survivors are the minority of all collected mail
+        assert report.survival_rate() < 0.6
+        # layer 2 claims a large share of the spam stream
+        assert report.claimed_by_layer(2) > 0.2 * report.total * 0.3

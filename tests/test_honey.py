@@ -1,0 +1,209 @@
+"""Tests for honey emails, squatter behaviour, and the two campaigns."""
+
+import pytest
+
+from repro.ecosystem import (
+    EcosystemScanner,
+    InternetConfig,
+    SmtpSupport,
+    build_internet,
+)
+from repro.honey import (
+    HONEY_DESIGNS,
+    AccessKind,
+    AccessMonitor,
+    HoneyCampaign,
+    SquatterBehaviorConfig,
+    SquatterBehaviorModel,
+    make_honey_email,
+    make_probe_email,
+)
+from repro.honey.monitor import AccessEvent
+from repro.util import SeededRng
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(SeededRng(404),
+                          InternetConfig(num_filler_targets=25))
+
+
+@pytest.fixture(scope="module")
+def scan(internet):
+    return EcosystemScanner(internet).scan()
+
+
+@pytest.fixture(scope="module")
+def probe_result(internet, scan):
+    campaign = HoneyCampaign(internet, SeededRng(405))
+    targets = campaign.probe_targets_from_scan(scan)
+    return campaign.run_probe_campaign(targets)
+
+
+class TestHoneyEmails:
+    def test_four_designs(self):
+        assert len(HONEY_DESIGNS) == 4
+
+    def test_all_designs_have_pixel(self):
+        for design in HONEY_DESIGNS:
+            message, bait = make_honey_email(design, "user@gmial.com")
+            assert bait.pixel_url in message.body
+
+    def test_bait_ids_stable(self):
+        _, bait_a = make_honey_email("document_link", "u@gmial.com")
+        _, bait_b = make_honey_email("document_link", "v@gmial.com")
+        assert bait_a.token_id == bait_b.token_id  # same domain
+        _, bait_c = make_honey_email("document_link", "u@other.com")
+        assert bait_a.token_id != bait_c.token_id
+
+    def test_credential_designs_carry_credentials(self):
+        for design in ("email_credentials", "shell_credentials"):
+            message, bait = make_honey_email(design, "u@gmial.com")
+            assert bait.credential_id is not None
+            assert "password" in message.body.lower() or "pass" in message.body
+
+    def test_docx_design_attaches_token(self):
+        message, bait = make_honey_email("docx_payment", "u@gmial.com")
+        assert len(message.attachments) == 1
+        assert message.attachments[0].extension == "docx"
+        assert bait.token_id in message.attachments[0].content.decode()
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            make_honey_email("bogus", "u@gmial.com")
+
+    def test_probe_email_is_benign(self):
+        message = make_probe_email("test@x.com")
+        assert "password" not in message.body.lower()
+        assert message.attachments == []
+
+    def test_honey_email_passes_spam_filter(self):
+        """The paper piloted designs to make sure they dodge spam filters."""
+        from repro.pipeline import tokenize
+        from repro.spamfilter import SpamAssassinScorer
+        scorer = SpamAssassinScorer()
+        for design in HONEY_DESIGNS:
+            message, _ = make_honey_email(design, "u@gmial.com")
+            assert not scorer.is_spam(tokenize(message)), design
+
+
+class TestMonitor:
+    def test_record_and_query(self):
+        monitor = AccessMonitor()
+        monitor.record(AccessEvent(AccessKind.PIXEL_FETCH, "p1", 100.0,
+                                   "Warsaw, PL", "a.com"))
+        monitor.record(AccessEvent(AccessKind.SHELL_LOGIN, "c1", 200.0,
+                                   "Warsaw, PL", "a.com"))
+        assert monitor.domains_with_reads() == ["a.com"]
+        assert monitor.domains_with_token_access() == ["a.com"]
+        assert monitor.first_access_lag("a.com") == 100.0
+        assert monitor.first_access_lag("b.com") is None
+        assert len(monitor) == 2
+
+    def test_pixel_only_is_not_token_access(self):
+        monitor = AccessMonitor()
+        monitor.record(AccessEvent(AccessKind.PIXEL_FETCH, "p1", 50.0,
+                                   "Kyiv, UA", "x.com"))
+        assert monitor.domains_with_reads() == ["x.com"]
+        assert monitor.domains_with_token_access() == []
+
+
+class TestSquatterBehavior:
+    def test_reads_are_rare(self, internet):
+        model = SquatterBehaviorModel(internet, SeededRng(42))
+        monitor = AccessMonitor()
+        opened = 0
+        domains = [w.domain for w in internet.wild_domains[:2000]]
+        for domain in domains:
+            _, bait = make_honey_email("document_link", f"u@{domain}")
+            if model.process_accepted_email(bait, monitor):
+                opened += 1
+        assert opened < len(domains) * 0.05
+
+    def test_reader_decision_stable_per_owner(self, internet):
+        model = SquatterBehaviorModel(internet, SeededRng(43))
+        wild = internet.wild_domains[0]
+        first = model._owner_is_reader(wild.domain)
+        second = model._owner_is_reader(wild.domain)
+        assert first == second
+
+    def test_human_lags_hours_scale(self, internet):
+        config = SquatterBehaviorConfig(reader_rate_bulk=1.0,
+                                        reader_rate_medium=1.0,
+                                        reader_rate_small=1.0,
+                                        reader_rate_legitimate=1.0,
+                                        open_probability=1.0,
+                                        image_load_probability=1.0)
+        model = SquatterBehaviorModel(internet, SeededRng(44), config=config)
+        monitor = AccessMonitor()
+        for wild in internet.wild_domains[:50]:
+            _, bait = make_honey_email("email_credentials", f"u@{wild.domain}")
+            model.process_accepted_email(bait, monitor)
+        lags = [e.timestamp for e in monitor.events]
+        assert lags
+        assert min(lags) > 1800  # at least half an hour: humans, not bots
+
+    def test_unknown_domain_never_read(self, internet):
+        model = SquatterBehaviorModel(internet, SeededRng(45))
+        _, bait = make_honey_email("document_link", "u@unknown-domain.example")
+        assert not model.process_accepted_email(bait, AccessMonitor())
+
+
+class TestProbeCampaign:
+    def test_probe_targets_exclude_dns_dead(self, internet, scan):
+        campaign = HoneyCampaign(internet, SeededRng(1))
+        targets = campaign.probe_targets_from_scan(scan)
+        assert targets
+        for result in targets:
+            assert result.support is not SmtpSupport.NO_DNS
+
+    def test_table5_shape(self, probe_result):
+        """Private registrations accept more; errors dominate overall."""
+        table = probe_result.table
+        assert table.private["no_error"] > table.public["no_error"]
+        errors_public = (table.public["timeout"] + table.public["network_error"]
+                         + table.public["bounce"])
+        assert errors_public > table.public["no_error"]
+
+    def test_accepting_domains_recorded(self, probe_result):
+        assert probe_result.accepting_domains
+        assert len(probe_result.accepting_domains) < probe_result.domains_probed
+
+    def test_table6_concentration(self, probe_result):
+        """Paper: ~95% of accepters rely on eight (private) mail hosts."""
+        rows = probe_result.mx_table()
+        top8 = sum(count for _, count, _ in rows[:8])
+        assert top8 > 0.6 * len(probe_result.accepting_domains)
+        from repro.ecosystem import SQUATTER_MX_POOL
+        pool = {host for host, _, _ in SQUATTER_MX_POOL}
+        top_hosts = {host for host, _, _ in rows[:8]}
+        assert len(pool & top_hosts) >= 5
+
+
+class TestTokenCampaign:
+    def test_pilot_respects_per_registrant_cap(self, internet, probe_result):
+        campaign = HoneyCampaign(internet, SeededRng(2))
+        pilot = campaign.select_pilot_domains(probe_result.accepting_domains,
+                                              max_per_registrant=4)
+        per_owner = {}
+        for domain in pilot:
+            wild = internet.ground_truth(domain)
+            owner = wild.owner_id if wild else domain
+            per_owner[owner] = per_owner.get(owner, 0) + 1
+        assert max(per_owner.values()) <= 4
+
+    def test_full_campaign_negative_result(self, internet, probe_result):
+        """The paper's headline: accepted en masse, read almost never."""
+        campaign = HoneyCampaign(internet, SeededRng(3))
+        result = campaign.run_token_campaign(probe_result.accepting_domains)
+        assert result.emails_sent == 4 * len(probe_result.accepting_domains)
+        assert result.emails_accepted > 0.5 * result.emails_sent
+        assert result.emails_opened < 0.05 * result.emails_accepted
+        assert len(result.domains_acted) <= len(result.domains_read) + 1
+
+    def test_one_design_each(self, internet, probe_result):
+        campaign = HoneyCampaign(internet, SeededRng(4))
+        subset = probe_result.accepting_domains[:10]
+        result = campaign.run_token_campaign(subset,
+                                             designs=["document_link"])
+        assert result.emails_sent == 10

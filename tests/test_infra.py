@@ -1,0 +1,184 @@
+"""Tests for the collection infrastructure: provisioning, collector, storage."""
+
+import pytest
+
+from repro.core import build_study_corpus
+from repro.dnssim import DomainRegistry, Resolver
+from repro.infra import (
+    EncryptedStore,
+    KeyVault,
+    MainCollectionServer,
+    StorageSealedError,
+    VpsAllocator,
+    provision_study,
+)
+from repro.smtpsim import EmailMessage, Network, SendStatus, SmtpClient
+from repro.util import SeededRng
+
+
+class TestVpsAllocator:
+    def test_unique_addresses(self):
+        allocator = VpsAllocator()
+        addresses = [allocator.allocate() for _ in range(500)]
+        assert len(set(addresses)) == 500
+
+    def test_valid_ipv4(self):
+        from repro.dnssim import is_valid_ipv4
+        allocator = VpsAllocator()
+        for _ in range(300):
+            assert is_valid_ipv4(allocator.allocate())
+
+
+class TestProvisioning:
+    @pytest.fixture(scope="class")
+    def world(self):
+        corpus = build_study_corpus()
+        registry = DomainRegistry()
+        network = Network(SeededRng(7))
+        infra = provision_study(corpus, registry, network)
+        return corpus, registry, network, infra
+
+    def test_all_domains_registered(self, world):
+        corpus, registry, _, _ = world
+        for domain in corpus.domain_names():
+            assert registry.is_registered(domain)
+
+    def test_one_to_one_ip_mapping(self, world):
+        _, _, _, infra = world
+        ips = list(infra.domain_to_ip.values())
+        assert len(ips) == len(set(ips)) == 76
+
+    def test_domain_ip_roundtrip(self, world):
+        _, _, _, infra = world
+        ip = infra.ip_for("gmaiql.com")
+        assert ip is not None
+        assert infra.domain_for_ip(ip) == "gmaiql.com"
+        assert infra.ip_for("unknown.com") is None
+        assert infra.domain_for_ip("203.0.113.1") is None
+
+    def test_zones_are_catch_all(self, world):
+        _, registry, _, infra = world
+        resolver = Resolver(registry)
+        route = resolver.mail_route("anything.gmaiql.com")
+        assert route.can_receive_mail
+        assert route.addresses == (infra.ip_for("gmaiql.com"),)
+
+    def test_mail_reaches_collector(self, world):
+        _, registry, network, infra = world
+        client = SmtpClient(Resolver(registry), network)
+        before = len(infra.collector)
+        msg = EmailMessage.create("alice@real.org", "bob@gmaiql.com",
+                                  "hello", "misdirected")
+        result = client.send(msg, timestamp=10.0)
+        assert result.status is SendStatus.DELIVERED
+        assert len(infra.collector) == before + 1
+        stamped = infra.collector.corpus[-1]
+        assert stamped.received_by_ip == infra.ip_for("gmaiql.com")
+
+    def test_registrant_recorded(self, world):
+        _, registry, _, _ = world
+        registration = registry.get("ohtlook.com")
+        assert registration.registrant_id == "study-researchers"
+
+
+class TestCollector:
+    def _message(self, t=0.0):
+        msg = EmailMessage.create("a@b.com", "c@d.com", "s", "b")
+        msg.received_at = t
+        return msg
+
+    def test_ingest_counts(self):
+        collector = MainCollectionServer()
+        collector.ingest(self._message())
+        assert collector.stats.ingested == 1
+        assert len(collector) == 1
+
+    def test_outage_drops(self):
+        collector = MainCollectionServer()
+        collector.set_outage(True)
+        collector.ingest(self._message())
+        assert len(collector) == 0
+        assert collector.stats.dropped_outage == 1
+        collector.set_outage(False)
+        collector.ingest(self._message())
+        assert len(collector) == 1
+
+    def test_daily_capacity_overload(self):
+        collector = MainCollectionServer(daily_capacity=2)
+        for i in range(5):
+            collector.ingest(self._message(t=100.0 + i))
+        assert len(collector) == 2
+        assert collector.stats.dropped_overload == 3
+
+    def test_capacity_resets_next_day(self):
+        collector = MainCollectionServer(daily_capacity=1)
+        collector.ingest(self._message(t=10.0))
+        collector.ingest(self._message(t=20.0))          # same day: dropped
+        collector.ingest(self._message(t=90_000.0))      # next day: accepted
+        assert len(collector) == 2
+
+    def test_process_hook_called(self):
+        seen = []
+        collector = MainCollectionServer(process_hook=seen.append)
+        collector.ingest(self._message())
+        assert len(seen) == 1
+
+
+class TestEncryptedStore:
+    def test_roundtrip(self):
+        vault = KeyVault.generate(1)
+        store = EncryptedStore(vault)
+        record_id = store.put(b"secret email body")
+        assert store.get(record_id) == b"secret email body"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        store = EncryptedStore(KeyVault.generate(2))
+        record_id = store.put(b"secret email body")
+        assert store.raw_ciphertext(record_id) != b"secret email body"
+
+    def test_detached_vault_blocks_decryption(self):
+        vault = KeyVault.generate(3)
+        store = EncryptedStore(vault)
+        record_id = store.put(b"data")
+        vault.detach()
+        with pytest.raises(StorageSealedError):
+            store.get(record_id)
+        vault.attach()
+        assert store.get(record_id) == b"data"
+
+    def test_detached_vault_blocks_encryption(self):
+        vault = KeyVault.generate(4)
+        vault.detach()
+        store = EncryptedStore(vault)
+        with pytest.raises(StorageSealedError):
+            store.put(b"data")
+
+    def test_tamper_detection(self):
+        vault = KeyVault.generate(5)
+        store = EncryptedStore(vault)
+        record_id = store.put(b"data")
+        record = store._records[record_id]
+        tampered = bytes([record.ciphertext[0] ^ 1]) + record.ciphertext[1:]
+        store._records[record_id] = type(record)(
+            record.record_id, record.nonce, tampered, record.mac, record.kind)
+        with pytest.raises(ValueError):
+            store.get(record_id)
+
+    def test_records_of_kind(self):
+        store = EncryptedStore(KeyVault.generate(6))
+        header_id = store.put(b"h", kind="header")
+        store.put(b"b", kind="body")
+        assert store.records_of_kind("header") == [header_id]
+
+    def test_unique_keys_unique_ciphertext(self):
+        s1 = EncryptedStore(KeyVault.generate(7))
+        s2 = EncryptedStore(KeyVault.generate(8))
+        c1 = s1.raw_ciphertext(s1.put(b"same plaintext"))
+        c2 = s2.raw_ciphertext(s2.put(b"same plaintext"))
+        assert c1 != c2
+
+    def test_contains_and_len(self):
+        store = EncryptedStore(KeyVault.generate(9))
+        record_id = store.put(b"x")
+        assert record_id in store
+        assert len(store) == 1

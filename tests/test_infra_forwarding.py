@@ -1,0 +1,91 @@
+"""Tests for the Figure-1 two-hop SMTP forwarding topology."""
+
+import pytest
+
+from repro.core import build_study_corpus
+from repro.dnssim import DomainRegistry, Resolver
+from repro.infra import (
+    COLLECTOR_HOSTNAME,
+    attach_forwarding,
+    provision_study,
+)
+from repro.pipeline import tokenize
+from repro.smtpsim import EmailMessage, Network, SendStatus, SmtpClient
+from repro.spamfilter import FilterFunnel, Verdict
+from repro.util import SeededRng
+
+
+@pytest.fixture()
+def world():
+    corpus = build_study_corpus()
+    registry = DomainRegistry()
+    network = Network(SeededRng(88))
+    infra = provision_study(corpus, registry, network)
+    stats = attach_forwarding(infra, network)
+    client = SmtpClient(Resolver(registry), network,
+                        helo_hostname="sender.example")
+    return corpus, infra, client, stats
+
+
+class TestForwarding:
+    def test_message_reaches_collector_via_two_hops(self, world):
+        corpus, infra, client, stats = world
+        message = EmailMessage.create("alice@real.example", "bob@gmaiql.com",
+                                      "hi", "misdirected mail")
+        result = client.send(message, timestamp=50.0)
+        assert result.status is SendStatus.DELIVERED
+        assert len(infra.collector) == 1
+        assert stats.forwarded == 1
+        assert stats.forward_failures == 0
+
+    def test_two_received_headers(self, world):
+        corpus, infra, client, _ = world
+        message = EmailMessage.create("alice@real.example", "bob@gmaiql.com",
+                                      "hi", "body")
+        client.send(message)
+        collected = infra.collector.corpus[0]
+        chain = collected.get_all_headers("Received")
+        assert len(chain) == 2
+        # topmost: the collector's stamp naming the VPS
+        assert f"by {COLLECTOR_HOSTNAME}" in chain[0]
+        assert "from gmaiql.com" in chain[0]
+        # below it: the VPS's stamp naming the sender
+        assert "by gmaiql.com" in chain[1]
+
+    def test_first_hop_ip_preserved(self, world):
+        corpus, infra, client, _ = world
+        message = EmailMessage.create("alice@real.example", "bob@gmaiql.com",
+                                      "hi", "body")
+        client.send(message)
+        collected = infra.collector.corpus[0]
+        assert collected.received_by_ip == infra.ip_for("gmaiql.com")
+
+    def test_timestamp_preserved_across_hops(self, world):
+        corpus, infra, client, _ = world
+        message = EmailMessage.create("alice@real.example", "bob@gmaiql.com",
+                                      "hi", "body")
+        client.send(message, timestamp=123.0)
+        assert infra.collector.corpus[0].received_at == 123.0
+
+    def test_layer1_accepts_forwarded_genuine_mail(self, world):
+        corpus, infra, client, _ = world
+        message = EmailMessage.create("alice@real.example", "bob@gmaiql.com",
+                                      "lunch", "see you at noon")
+        client.send(message)
+        funnel = FilterFunnel(corpus.domain_names())
+        result = funnel.classify(tokenize(infra.collector.corpus[0]))
+        assert result.verdict is Verdict.TRUE_TYPO
+
+    def test_layer1_rejects_direct_to_collector_mail(self, world):
+        """Mail that skipped the VPS fleet names no registered domain in
+        its topmost Received header — spam by construction."""
+        corpus, infra, client, _ = world
+        from repro.infra.forwarding import COLLECTOR_IP
+        message = EmailMessage.create("spammer@bulk.example",
+                                      "bob@gmaiql.com", "hi", "plain body")
+        result = client.send_to_ip(message, "bob@gmaiql.com", COLLECTOR_IP)
+        assert result.status is SendStatus.DELIVERED
+        funnel = FilterFunnel(corpus.domain_names())
+        verdict = funnel.classify(tokenize(infra.collector.corpus[0]))
+        assert verdict.verdict is Verdict.SPAM
+        assert verdict.layer == 1

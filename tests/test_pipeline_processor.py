@@ -1,0 +1,172 @@
+"""Tests for tokenizer, extraction, and the end-to-end processor."""
+
+import pytest
+
+from repro.infra import EncryptedStore, KeyVault
+from repro.pipeline import (
+    ARCHIVE_EXTENSIONS,
+    EmailProcessor,
+    ExtractionError,
+    extract_text,
+    tokenize,
+)
+from repro.smtpsim import Attachment, EmailMessage
+
+
+def _message(**kwargs):
+    return EmailMessage.create(
+        from_addr="alice@real.org", to_addr="bob@gmial.com",
+        subject="travel", body="see attached", **kwargs)
+
+
+class TestTokenizer:
+    def test_metadata_fields(self):
+        msg = _message(extra_headers={"Reply-To": "alice@real.org",
+                                      "List-Unsubscribe": "<mailto:u@x.com>"})
+        msg.envelope_from = "alice@real.org"
+        msg.received_by_ip = "198.51.100.1"
+        msg.received_at = 55.0
+        tok = tokenize(msg)
+        assert tok.metadata.from_field == "alice@real.org"
+        assert tok.metadata.subject == "travel"
+        assert tok.metadata.reply_to == "alice@real.org"
+        assert tok.metadata.list_unsubscribe == "<mailto:u@x.com>"
+        assert tok.metadata.received_by_ip == "198.51.100.1"
+        assert tok.metadata.received_at == 55.0
+
+    def test_received_chain(self):
+        msg = _message()
+        msg.add_header("Received", "hop1")
+        msg.add_header("Received", "hop2")
+        assert tokenize(msg).metadata.received_chain == ("hop1", "hop2")
+
+    def test_archive_detection(self):
+        msg = _message(attachments=[Attachment("evil.zip", b"PK...")])
+        assert tokenize(msg).has_archive_attachment
+        assert "zip" in ARCHIVE_EXTENSIONS
+
+    def test_attachment_extensions(self):
+        msg = _message(attachments=[Attachment("a.pdf", b"x"),
+                                    Attachment("b.docx", b"y")])
+        assert tokenize(msg).attachment_extensions == ["pdf", "docx"]
+
+    def test_body_preserved(self):
+        assert tokenize(_message()).body == "see attached"
+
+
+class TestExtraction:
+    def test_plain_text(self):
+        att = Attachment("notes.txt", b"hello world")
+        assert extract_text(att) == "hello world"
+
+    def test_html_tags_stripped(self):
+        att = Attachment("page.html", b"<p>hello <b>world</b></p>")
+        text = extract_text(att)
+        assert "hello" in text and "world" in text
+        assert "<p>" not in text
+
+    def test_pdf_container(self):
+        att = Attachment("doc.pdf", b"%PDF-SIM\npage one text")
+        assert extract_text(att) == "page one text"
+
+    def test_pdf_wrong_magic_gives_none(self):
+        att = Attachment("doc.pdf", b"not a pdf at all")
+        assert extract_text(att) is None
+
+    def test_docx_paragraphs(self):
+        content = b"PK-OOXML\n<w:t>first para</w:t><w:t>second para</w:t>"
+        att = Attachment("cv.docx", content)
+        assert extract_text(att) == "first para\nsecond para"
+
+    def test_xlsx_cells(self):
+        content = b"XLS-SIM\nA1=Revenue\nB1=4500\nA2=Cost"
+        att = Attachment("sheet.xlsx", content)
+        assert extract_text(att) == "Revenue\n4500\nCost"
+
+    def test_image_ocr_marker(self):
+        att = Attachment("scan.png", b"\x89PNG-ish OCR: invoice total 42")
+        assert extract_text(att) == "invoice total 42"
+
+    def test_image_without_text(self):
+        att = Attachment("photo.jpg", b"\xff\xd8 pure pixels")
+        assert extract_text(att) is None
+
+    def test_archives_refused(self):
+        for name in ("backup.zip", "stuff.rar"):
+            with pytest.raises(ExtractionError):
+                extract_text(Attachment(name, b"PK..."))
+
+    def test_unknown_format_none(self):
+        assert extract_text(Attachment("thing.xyz", b"???")) is None
+
+    def test_ics_and_rtf(self):
+        assert "MEETING" in extract_text(Attachment("c.ics", b"BEGIN MEETING"))
+        assert "hello" in extract_text(Attachment("d.rtf", b"hello {rtf}"))
+
+
+class TestEmailProcessor:
+    def test_body_scrubbed(self):
+        processor = EmailProcessor()
+        msg = _message()
+        msg.body = "my ssn is 078-05-1120, room 7"
+        processed = processor.process(msg)
+        assert "078-05-1120" not in processed.scrubbed_body
+        assert "room 0" in processed.scrubbed_body
+        assert processed.body_sensitive_labels == ("ssn",)
+
+    def test_attachment_scrubbed(self):
+        processor = EmailProcessor()
+        content = b"PK-OOXML\n<w:t>card 4111111111111111 enclosed</w:t>"
+        msg = _message(attachments=[Attachment("pay.docx", content)])
+        processed = processor.process(msg)
+        att = processed.attachments[0]
+        assert att.extracted
+        assert "4111111111111111" not in att.scrubbed_text
+        assert att.sensitive_labels == ("visa",)
+
+    def test_archive_attachment_not_extracted(self):
+        processor = EmailProcessor()
+        msg = _message(attachments=[Attachment("x.zip", b"PK")])
+        processed = processor.process(msg)
+        assert not processed.attachments[0].extracted
+        assert processed.attachments[0].scrubbed_text == ""
+
+    def test_sensitive_counts_aggregated(self):
+        processor = EmailProcessor()
+        msg = _message(attachments=[
+            Attachment("a.txt", b"password: abc"),
+            Attachment("b.txt", b"password: xyz"),
+        ])
+        msg.body = "login: jdoe"
+        processed = processor.process(msg)
+        counts = processed.sensitive_counts()
+        assert counts["password"] == 2
+        assert counts["username"] == 1
+
+    def test_storage_integration(self):
+        store = EncryptedStore(KeyVault.generate(1))
+        processor = EmailProcessor(store=store)
+        msg = _message(attachments=[Attachment("a.txt", b"hello")])
+        processed = processor.process(msg)
+        assert processed.header_record_id in store
+        assert processed.body_record_id in store
+        assert processed.attachments[0].stored_record_id in store
+        # stored body is the scrubbed one
+        stored = store.get(processed.body_record_id).decode()
+        assert stored == processed.scrubbed_body
+
+    def test_no_plaintext_identifiers_in_store(self):
+        store = EncryptedStore(KeyVault.generate(2))
+        processor = EmailProcessor(store=store)
+        msg = _message()
+        msg.body = "card 4111111111111111"
+        processed = processor.process(msg)
+        stored = store.get(processed.body_record_id).decode()
+        assert "4111111111111111" not in stored
+
+    def test_attachment_hash_preserved(self):
+        processor = EmailProcessor()
+        attachment = Attachment("a.txt", b"identical payload")
+        msg = _message(attachments=[attachment])
+        processed = processor.process(msg)
+        assert processed.attachments[0].sha256 == attachment.sha256()

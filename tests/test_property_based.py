@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TypoGenerator,
+    classify_edit,
+    damerau_levenshtein,
+    fat_finger_distance,
+    visual_distance,
+)
+from repro.pipeline import SensitiveScrubber, luhn_valid
+from repro.smtpsim import Attachment, EmailMessage, SmtpSession
+from repro.util import SeededRng, cumulative_share, mad_outliers, median
+
+LABELS = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+WORDS = st.text(alphabet=string.ascii_lowercase + " ", min_size=0,
+                max_size=80)
+
+
+class TestDistanceProperties:
+    @given(LABELS)
+    def test_identity(self, s):
+        assert damerau_levenshtein(s, s) == 0
+
+    @given(LABELS, LABELS)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(LABELS, LABELS)
+    def test_length_difference_lower_bound(self, a, b):
+        assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(LABELS, LABELS)
+    def test_upper_bound_max_length(self, a, b):
+        assert damerau_levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(LABELS, st.integers(0, 30), st.sampled_from(string.ascii_lowercase))
+    def test_single_substitution_at_most_one(self, s, index, ch):
+        if not s:
+            return
+        i = index % len(s)
+        mutated = s[:i] + ch + s[i + 1:]
+        assert damerau_levenshtein(s, mutated) <= 1
+
+    @given(LABELS, st.integers(0, 30))
+    def test_single_deletion_exactly_one(self, s, index):
+        if len(s) < 2:
+            return
+        i = index % len(s)
+        mutated = s[:i] + s[i + 1:]
+        assert damerau_levenshtein(s, mutated) == 1
+
+    @given(LABELS, LABELS)
+    def test_classify_edit_consistent_with_distance(self, a, b):
+        edit = classify_edit(a, b)
+        if edit is not None:
+            assert damerau_levenshtein(a, b) == 1
+
+    @given(LABELS, LABELS)
+    def test_ff_at_least_dl(self, a, b):
+        """Fat-finger ops are a restriction, so FF distance >= DL distance
+        wherever FF is within its computed horizon."""
+        ff = fat_finger_distance(a, b, max_interesting=2)
+        dl = damerau_levenshtein(a, b)
+        if ff <= 2:  # beyond the horizon FF is a sentinel
+            assert ff >= dl
+
+    @given(LABELS, LABELS)
+    def test_visual_distance_total_and_nonnegative(self, a, b):
+        assert visual_distance(a, b) >= 0.0
+
+    @given(LABELS)
+    def test_visual_distance_identity(self, s):
+        assert visual_distance(s, s) == 0.0
+
+
+class TestTypoGeneratorProperties:
+    @given(LABELS)
+    @settings(max_examples=30, deadline=None)
+    def test_all_candidates_dl1_and_annotatable(self, label):
+        domain = f"{label}.com"
+        generator = TypoGenerator()
+        for candidate in generator.generate(domain)[:50]:
+            typo_label = candidate.domain.rsplit(".", 1)[0]
+            assert damerau_levenshtein(label, typo_label) == 1
+            # annotate() must agree with the generator's own classification
+            annotated = generator.annotate(domain, candidate.domain)
+            assert annotated is not None
+            assert annotated.edit_type == candidate.edit_type
+
+
+class TestLuhnProperties:
+    @given(st.integers(0, 10 ** 15 - 1))
+    def test_luhn_completion_always_valid(self, body):
+        """Appending the correct check digit always yields a valid PAN."""
+        digits = f"{body:015d}"
+        total = 0
+        for index, char in enumerate(reversed(digits)):
+            value = int(char)
+            if index % 2 == 0:  # these double once the check digit appends
+                value *= 2
+                if value > 9:
+                    value -= 9
+            total += value
+        check = (10 - total % 10) % 10
+        assert luhn_valid(digits + str(check))
+
+    @given(st.integers(0, 10 ** 15 - 1), st.integers(1, 9))
+    def test_single_digit_corruption_detected(self, body, delta):
+        digits = f"{body:015d}"
+        total = 0
+        for index, char in enumerate(reversed(digits)):
+            value = int(char)
+            if index % 2 == 0:
+                value *= 2
+                if value > 9:
+                    value -= 9
+            total += value
+        check = (10 - total % 10) % 10
+        pan = digits + str(check)
+        corrupted = str((int(pan[0]) + delta) % 10) + pan[1:]
+        if corrupted != pan:
+            assert not luhn_valid(corrupted)
+
+
+class TestScrubberProperties:
+    @given(WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_no_digits_survive(self, text):
+        scrubbed = SensitiveScrubber().scrub(text + " 4111111111111111").text
+        for ch in scrubbed:
+            assert not ch.isdigit() or ch == "0"
+
+    @given(WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_scrub_idempotent_for_cards(self, text):
+        scrubber = SensitiveScrubber()
+        once = scrubber.scrub(text + " card 4111111111111111").text
+        again = scrubber.scrub(once)
+        assert all(m.kind != "creditcard" for m in again.matches)
+
+    @given(WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sorted_and_disjoint(self, text):
+        matches = SensitiveScrubber().find(
+            text + " ssn 078-05-1120 mail a@b.com")
+        for first, second in zip(matches, matches[1:]):
+            assert first.end <= second.start
+
+
+class TestMessageProperties:
+    @given(WORDS, WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_wire_roundtrip_preserves_body(self, subject, body):
+        message = EmailMessage.create("a@b.com", "c@d.com",
+                                      subject.replace("\r", " "),
+                                      body)
+        parsed = EmailMessage.from_wire(message.to_wire())
+        assert parsed.body == body
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_attachment_hash_deterministic(self, payload):
+        a = Attachment("x.bin", payload)
+        b = Attachment("y.bin", payload)
+        assert a.sha256() == b.sha256()
+
+
+class TestSmtpSessionProperties:
+    @given(st.lists(st.sampled_from([
+        "HELO c.org", "EHLO c.org", "MAIL FROM:<a@b.com>",
+        "RCPT TO:<x@y.com>", "DATA", "RSET", "NOOP",
+    ]), max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_data_only_after_rcpt(self, commands):
+        """Whatever the command order, 354 is only ever issued when the
+        envelope has a sender and at least one recipient."""
+        session = SmtpSession("mx.x.com")
+        session.banner()
+        for command in commands:
+            reply = session.command(command)
+            if reply.code == 354:
+                assert session.envelope_from is not None
+                assert session.envelope_to
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_cumulative_share_monotone_and_bounded(self, values):
+        shares = cumulative_share(values)
+        assert all(0.0 <= s <= 1.0 + 1e-9 for s in shares)
+        assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_mad_outlier_indices_valid(self, values):
+        for index in mad_outliers(values):
+            assert 0 <= index < len(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_median_within_range(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestRngProperties:
+    @given(st.integers(0, 2 ** 32), st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_child_streams_reproducible(self, seed, name):
+        a = SeededRng(seed).child(name).random()
+        b = SeededRng(seed).child(name).random()
+        assert a == b
+
+    @given(st.integers(0, 2 ** 32), st.floats(min_value=0.01, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_poisson_nonnegative(self, seed, lam):
+        assert SeededRng(seed).poisson(lam) >= 0

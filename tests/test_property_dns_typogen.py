@@ -1,0 +1,87 @@
+"""More property-based tests: DNS wildcards, zones, typo-space counting."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DOMAIN_ALPHABET, TypoGenerator
+from repro.dnssim import (
+    RecordType,
+    ResourceRecord,
+    collection_zone,
+    normalize_name,
+)
+
+LABEL = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10)
+SUBLABELS = st.lists(LABEL, min_size=1, max_size=3)
+
+
+class TestWildcardProperties:
+    @given(LABEL, SUBLABELS)
+    def test_wildcard_matches_any_subdomain(self, apex, subs):
+        domain = f"{apex}.com"
+        record = ResourceRecord(f"*.{domain}", RecordType.MX, domain)
+        name = ".".join(subs + [domain])
+        assert record.matches(name)
+
+    @given(LABEL)
+    def test_wildcard_never_matches_apex(self, apex):
+        domain = f"{apex}.com"
+        record = ResourceRecord(f"*.{domain}", RecordType.MX, domain)
+        assert not record.matches(domain)
+
+    @given(LABEL, LABEL)
+    def test_wildcard_never_matches_sibling(self, apex, other):
+        if apex == other:
+            return
+        record = ResourceRecord(f"*.{apex}.com", RecordType.MX,
+                                f"{apex}.com")
+        assert not record.matches(f"{other}.com")
+        assert not record.matches(f"sub.{other}.com")
+
+    @given(LABEL, SUBLABELS)
+    def test_collection_zone_total_coverage(self, apex, subs):
+        """The study's catch-all zone answers MX+A for every subdomain."""
+        domain = f"{apex}.com"
+        zone = collection_zone(domain, "10.0.0.1")
+        name = ".".join(subs + [domain])
+        assert zone.mx_hosts(name) == [domain]
+        assert zone.a_addresses(name) == ["10.0.0.1"]
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_normalize_idempotent(self, name):
+        once = normalize_name(name)
+        assert normalize_name(once) == once
+
+
+class TestTypoSpaceCounting:
+    @given(LABEL)
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_count_upper_bound(self, label):
+        """|gtypos| <= deletions + transpositions + subs + adds."""
+        generator = TypoGenerator()
+        candidates = generator.generate(f"{label}.com")
+        n = len(label)
+        alphabet = len(DOMAIN_ALPHABET)
+        upper = n + (n - 1) + n * (alphabet - 1) + (n + 1) * alphabet
+        assert len(candidates) <= upper
+
+    @given(LABEL)
+    @settings(max_examples=40, deadline=None)
+    def test_deletion_count_exact_for_distinct_labels(self, label):
+        generator = TypoGenerator()
+        deletions = {c.domain for c in generator.generate(f"{label}.com")
+                     if c.edit_type == "deletion"}
+        distinct_deletions = {label[:i] + label[i + 1:]
+                              for i in range(len(label))} - {label}
+        valid = {d for d in distinct_deletions if d}
+        assert len(deletions) == len(valid)
+
+    @given(LABEL)
+    @settings(max_examples=40, deadline=None)
+    def test_fat_finger_subset_of_full(self, label):
+        full = {c.domain for c in TypoGenerator().generate(f"{label}.com")}
+        restricted = {c.domain for c in TypoGenerator(
+            fat_finger_only=True).generate(f"{label}.com")}
+        assert restricted <= full

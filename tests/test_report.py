@@ -1,0 +1,82 @@
+"""Tests for report rendering and figure-data export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiment import ExperimentConfig, StudyRunner
+from repro.report import export_figure_data, render_study_report
+
+
+@pytest.fixture(scope="module")
+def results():
+    return StudyRunner(ExperimentConfig(seed=404, spam_scale=2e-5)).run()
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, results):
+        report = render_study_report(results)
+        for heading in ("# Email typosquatting study report",
+                        "## Yearly projections",
+                        "## Filtering funnel attribution",
+                        "## Per-domain concentration",
+                        "## Sensitive information",
+                        "## Attachments",
+                        "## SMTP-typo persistence",
+                        "## Feature correlations"):
+            assert heading in report
+
+    def test_mentions_config(self, results):
+        report = render_study_report(results)
+        assert "seed `404`" in report
+
+    def test_is_markdown_table_shaped(self, results):
+        report = render_study_report(results)
+        assert "| total received |" in report
+        assert "|---" in report
+
+    def test_deterministic(self, results):
+        assert render_study_report(results) == render_study_report(results)
+
+
+class TestExportFigureData:
+    @pytest.fixture(scope="class")
+    def exported(self, results, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("figures")
+        return export_figure_data(results, directory), directory, results
+
+    def test_all_files_written(self, exported):
+        written, directory, _ = exported
+        assert set(written) == {"fig3_receiver", "fig4_smtp", "fig5",
+                                "fig6", "fig7", "manifest"}
+        for path in written.values():
+            assert path.exists()
+
+    def test_daily_series_rows(self, exported):
+        written, _, results = exported
+        with written["fig3_receiver"].open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "day"
+        assert len(data) == results.window.total_days
+
+    def test_fig5_shares_monotone(self, exported):
+        written, _, _ = exported
+        with written["fig5"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        shares = [float(row["cumulative_share"]) for row in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(shares, shares[1:]))
+
+    def test_manifest_lists_files(self, exported):
+        written, directory, _ = exported
+        manifest = json.loads(written["manifest"].read_text())
+        for name in manifest.values():
+            assert (directory / name).exists()
+
+    def test_fig7_counts_positive(self, exported):
+        written, _, _ = exported
+        with written["fig7"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        assert all(int(row["count"]) > 0 for row in rows)

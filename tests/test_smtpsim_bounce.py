@@ -1,0 +1,93 @@
+"""Tests for DSN (bounce) generation and recognition."""
+
+import pytest
+
+from repro.pipeline import tokenize
+from repro.smtpsim import (
+    EmailMessage,
+    SendResult,
+    SendStatus,
+    is_bounce_message,
+    make_bounce_message,
+)
+from repro.smtpsim.bounce import bounce_for_result
+from repro.smtpsim.protocol import SmtpReply
+
+
+def _original():
+    message = EmailMessage.create("alice@sender.org", "bob@gone.example",
+                                  "hello", "are you there?")
+    return message
+
+
+class TestMakeBounce:
+    def test_addressed_to_original_sender(self):
+        bounce = make_bounce_message(_original(), "bob@gone.example",
+                                     "mx.relay.example")
+        assert bounce.envelope_to == ["alice@sender.org"]
+        assert bounce.get_header("To") == "alice@sender.org"
+
+    def test_null_reverse_path(self):
+        bounce = make_bounce_message(_original(), "bob@gone.example",
+                                     "mx.relay.example")
+        assert bounce.envelope_from == ""
+
+    def test_mailer_daemon_sender(self):
+        bounce = make_bounce_message(_original(), "bob@gone.example",
+                                     "mx.relay.example")
+        assert bounce.get_header("From") == "MAILER-DAEMON@mx.relay.example"
+
+    def test_body_carries_diagnostic_and_headers(self):
+        bounce = make_bounce_message(_original(), "bob@gone.example",
+                                     "mx.relay.example",
+                                     diagnostic="550 user unknown")
+        assert "550 user unknown" in bounce.body
+        assert "bob@gone.example" in bounce.body
+        assert "Subject: hello" in bounce.body
+
+    def test_original_without_sender_rejected(self):
+        orphan = EmailMessage()
+        with pytest.raises(ValueError):
+            make_bounce_message(orphan, "x@y.com", "mx.example")
+
+
+class TestBounceForResult:
+    def test_bounced_status_produces_dsn(self):
+        result = SendResult(SendStatus.BOUNCED, "bob@gone.example",
+                            last_reply=SmtpReply(550, "user unknown"))
+        bounce = bounce_for_result(_original(), result, "mx.relay.example")
+        assert bounce is not None
+        assert "550" in bounce.body
+
+    def test_other_statuses_produce_none(self):
+        for status in (SendStatus.DELIVERED, SendStatus.TIMEOUT,
+                       SendStatus.NETWORK_ERROR, SendStatus.NO_ROUTE):
+            result = SendResult(status, "bob@gone.example")
+            assert bounce_for_result(_original(), result, "mx.example") is None
+
+
+class TestRecognition:
+    def test_dsn_recognised(self):
+        bounce = make_bounce_message(_original(), "bob@gone.example",
+                                     "mx.relay.example")
+        assert is_bounce_message(bounce)
+
+    def test_ordinary_mail_not_a_bounce(self):
+        assert not is_bounce_message(_original())
+
+    def test_funnel_classifies_dsn_as_reflection(self):
+        """The funnel's Layer 4 must catch DSNs (bounce senders).
+
+        Scenario: a victim gave a mistyped reply address (alice@gmial.com);
+        a service's mail to some third party failed, and the DSN comes
+        back to the mistyped address at our collection domain.
+        """
+        from repro.spamfilter import FilterFunnel, Verdict
+        original = EmailMessage.create("alice@gmial.com", "bob@gone.example",
+                                       "hello", "are you there?")
+        bounce = make_bounce_message(original, "bob@gone.example",
+                                     "mx.relay.example")
+        bounce.headers.insert(
+            0, ("Received", "from mx.relay.example by gmial.com (1.1.1.1)"))
+        result = FilterFunnel(["gmial.com"]).classify(tokenize(bounce))
+        assert result.verdict is Verdict.REFLECTION

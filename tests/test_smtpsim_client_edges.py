@@ -1,0 +1,113 @@
+"""Edge-case tests for the SMTP client's delivery logic."""
+
+import pytest
+
+from repro.dnssim import (
+    DomainRegistry,
+    RecordType,
+    Registration,
+    Resolver,
+    ResourceRecord,
+    Zone,
+)
+from repro.smtpsim import (
+    EmailMessage,
+    HostBehavior,
+    Network,
+    SendStatus,
+    SmtpClient,
+    SmtpServer,
+)
+from repro.util import SeededRng
+
+
+def _zone_with_two_mx(domain, primary_ip, backup_ip):
+    zone = Zone(origin=domain)
+    zone.add(ResourceRecord(domain, RecordType.MX, f"mx1.{domain}", priority=5))
+    zone.add(ResourceRecord(domain, RecordType.MX, f"mx2.{domain}", priority=10))
+    zone.add(ResourceRecord(f"mx1.{domain}", RecordType.A, primary_ip))
+    zone.add(ResourceRecord(f"mx2.{domain}", RecordType.A, backup_ip))
+    return zone
+
+
+class TestMxFallback:
+    def _world(self, primary_behavior=None):
+        registry = DomainRegistry()
+        registry.register(Registration(
+            domain="dual.com",
+            zone=_zone_with_two_mx("dual.com", "1.0.0.1", "1.0.0.2")))
+        network = Network(SeededRng(1))
+        received = []
+        primary = SmtpServer(hostname="mx1.dual.com", ip="1.0.0.1",
+                             on_delivery=received.append)
+        backup = SmtpServer(hostname="mx2.dual.com", ip="1.0.0.2",
+                            on_delivery=received.append)
+        network.attach("1.0.0.1", primary, behavior=primary_behavior)
+        network.attach("1.0.0.2", backup)
+        client = SmtpClient(Resolver(registry), network)
+        return client, received
+
+    def test_primary_mx_used_when_up(self):
+        client, received = self._world()
+        msg = EmailMessage.create("a@b.org", "x@dual.com", "s", "b")
+        assert client.send(msg).status is SendStatus.DELIVERED
+        assert received[0].received_by_ip == "1.0.0.1"
+
+    def test_falls_back_to_backup_mx_on_timeout(self):
+        client, received = self._world(
+            primary_behavior=HostBehavior(timeout_probability=1.0))
+        msg = EmailMessage.create("a@b.org", "x@dual.com", "s", "b")
+        result = client.send(msg)
+        assert result.status is SendStatus.DELIVERED
+        assert received[0].received_by_ip == "1.0.0.2"
+        assert result.tried_ips == ("1.0.0.1", "1.0.0.2")
+
+    def test_all_hosts_down_reports_last_failure(self):
+        registry = DomainRegistry()
+        registry.register(Registration(
+            domain="dead.com",
+            zone=_zone_with_two_mx("dead.com", "2.0.0.1", "2.0.0.2")))
+        network = Network(SeededRng(2))
+        # nothing attached anywhere: both connects are refused
+        client = SmtpClient(Resolver(registry), network)
+        msg = EmailMessage.create("a@b.org", "x@dead.com", "s", "b")
+        result = client.send(msg)
+        assert result.status is SendStatus.NETWORK_ERROR
+        assert len(result.tried_ips) == 2
+
+
+class TestEnvelopeDefaults:
+    def test_envelope_from_preferred_over_header(self):
+        registry = DomainRegistry()
+        from repro.dnssim import collection_zone
+        registry.register(Registration(
+            domain="sink.com", zone=collection_zone("sink.com", "3.0.0.1")))
+        network = Network(SeededRng(3))
+        received = []
+        network.attach("3.0.0.1", SmtpServer(hostname="sink.com",
+                                             ip="3.0.0.1",
+                                             on_delivery=received.append))
+        client = SmtpClient(Resolver(registry), network)
+        msg = EmailMessage.create("display@header.org", "x@sink.com", "s", "b")
+        msg.envelope_from = "real@envelope.org"
+        client.send(msg)
+        assert received[0].envelope_from == "real@envelope.org"
+
+    def test_send_to_ip_other_error(self):
+        network = Network(SeededRng(4))
+        network.attach("4.0.0.1",
+                       SmtpServer(hostname="x.com", ip="4.0.0.1"),
+                       behavior=HostBehavior(other_error_probability=1.0))
+        registry = DomainRegistry()
+        client = SmtpClient(Resolver(registry), network)
+        msg = EmailMessage.create("a@b.org", "c@d.com", "s", "b")
+        result = client.send_to_ip(msg, "c@d.com", "4.0.0.1")
+        assert result.status is SendStatus.OTHER_ERROR
+
+    def test_send_to_ip_refused(self):
+        network = Network(SeededRng(5))
+        registry = DomainRegistry()
+        client = SmtpClient(Resolver(registry), network)
+        msg = EmailMessage.create("a@b.org", "c@d.com", "s", "b")
+        result = client.send_to_ip(msg, "c@d.com", "9.9.9.9")
+        assert result.status is SendStatus.NETWORK_ERROR

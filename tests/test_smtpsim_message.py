@@ -1,0 +1,142 @@
+"""Tests for repro.smtpsim.message — addresses, messages, wire format."""
+
+import pytest
+
+from repro.smtpsim import Attachment, EmailMessage, parse_address
+
+
+class TestParseAddress:
+    def test_bare(self):
+        addr = parse_address("alice@gmail.com")
+        assert addr.local == "alice"
+        assert addr.domain == "gmail.com"
+        assert addr.display_name == ""
+
+    def test_display_name(self):
+        addr = parse_address("Alice Smith <alice@gmail.com>")
+        assert addr.local == "alice"
+        assert addr.display_name == "Alice Smith"
+
+    def test_domain_lowercased(self):
+        assert parse_address("a@GMAIL.COM").domain == "gmail.com"
+
+    def test_bare_property_and_str(self):
+        addr = parse_address("Bob <bob@x.com>")
+        assert addr.bare == "bob@x.com"
+        assert str(addr) == "Bob <bob@x.com>"
+
+    def test_invalid_rejected(self):
+        for bad in ("no-at-sign", "a@", "@b.com", "a b@c.com"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestAttachment:
+    def test_extension(self):
+        assert Attachment("cv.pdf", b"x").extension == "pdf"
+        assert Attachment("archive.tar.gz", b"x").extension == "gz"
+        assert Attachment("README", b"x").extension == ""
+        assert Attachment("Photo.JPG", b"x").extension == "jpg"
+
+    def test_size_and_hash(self):
+        att = Attachment("a.txt", b"hello")
+        assert att.size == 5
+        assert len(att.sha256()) == 64
+        assert att.sha256() == Attachment("b.txt", b"hello").sha256()
+
+
+class TestEmailMessage:
+    def _message(self, **kwargs):
+        return EmailMessage.create(
+            from_addr="alice@sender.com", to_addr="bob@gmial.com",
+            subject="hello", body="hi bob", **kwargs)
+
+    def test_create_sets_headers_and_envelope(self):
+        msg = self._message()
+        assert msg.get_header("From") == "alice@sender.com"
+        assert msg.subject == "hello"
+        assert msg.envelope_from == "alice@sender.com"
+        assert msg.envelope_to == ["bob@gmial.com"]
+
+    def test_sender_recipient_parsed(self):
+        msg = self._message()
+        assert msg.sender.domain == "sender.com"
+        assert msg.recipient.local == "bob"
+
+    def test_malformed_from_gives_none(self):
+        msg = EmailMessage()
+        msg.add_header("From", "not an address")
+        assert msg.sender is None
+
+    def test_repeated_headers(self):
+        msg = self._message()
+        msg.add_header("Received", "hop1")
+        msg.add_header("Received", "hop2")
+        assert msg.get_all_headers("Received") == ["hop1", "hop2"]
+        assert msg.get_header("Received") == "hop1"
+
+    def test_set_header_replaces_first(self):
+        msg = self._message()
+        msg.set_header("Subject", "changed")
+        assert msg.subject == "changed"
+        assert len(msg.get_all_headers("Subject")) == 1
+
+    def test_header_case_insensitive(self):
+        msg = self._message()
+        assert msg.get_header("SUBJECT") == "hello"
+        assert msg.has_header("subject")
+
+    def test_wire_roundtrip_plain(self):
+        msg = self._message()
+        parsed = EmailMessage.from_wire(msg.to_wire())
+        assert parsed.subject == "hello"
+        assert parsed.body == "hi bob"
+        assert parsed.attachments == []
+
+    def test_wire_roundtrip_with_attachments(self):
+        msg = self._message(attachments=[
+            Attachment("cv.pdf", b"pdf-bytes", "application/pdf"),
+            Attachment("notes.txt", b"some text", "text/plain"),
+        ])
+        parsed = EmailMessage.from_wire(msg.to_wire())
+        assert parsed.body == "hi bob"
+        assert [a.filename for a in parsed.attachments] == ["cv.pdf", "notes.txt"]
+        assert parsed.attachments[0].content == b"pdf-bytes"
+        assert parsed.attachments[0].content_type == "application/pdf"
+
+    def test_wire_roundtrip_binary_attachment(self):
+        """True binary payloads must survive via base64 transfer encoding."""
+        binary = bytes(range(256)) * 3
+        msg = self._message(attachments=[
+            Attachment("blob.bin", binary, "application/octet-stream")])
+        wire = msg.to_wire()
+        assert "Content-Transfer-Encoding: base64" in wire
+        parsed = EmailMessage.from_wire(wire)
+        assert parsed.attachments[0].content == binary
+        assert parsed.attachments[0].sha256() == msg.attachments[0].sha256()
+
+    def test_wire_text_attachment_stays_7bit(self):
+        msg = self._message(attachments=[Attachment("a.txt", b"plain text")])
+        assert "base64" not in msg.to_wire()
+
+    def test_wire_roundtrip_mixed_attachments(self):
+        msg = self._message(attachments=[
+            Attachment("a.txt", b"readable"),
+            Attachment("b.bin", b"\x00\xff\xfe binary"),
+        ])
+        parsed = EmailMessage.from_wire(msg.to_wire())
+        assert parsed.attachments[0].content == b"readable"
+        assert parsed.attachments[1].content == b"\x00\xff\xfe binary"
+
+    def test_wire_header_newline_folding(self):
+        msg = self._message()
+        msg.set_header("Subject", "line1\nline2")
+        parsed = EmailMessage.from_wire(msg.to_wire())
+        assert "\n" not in parsed.subject
+
+    def test_extra_headers(self):
+        msg = self._message(extra_headers={"Reply-To": "noreply@sender.com"})
+        assert msg.get_header("Reply-To") == "noreply@sender.com"
+
+    def test_size_bytes_positive(self):
+        assert self._message().size_bytes() > 0

@@ -1,0 +1,272 @@
+"""Tests for the SpamAssassin-style scorer and the five-layer funnel."""
+
+import pytest
+
+from repro.pipeline import tokenize
+from repro.smtpsim import Attachment, EmailMessage
+from repro.spamfilter import (
+    FilterFunnel,
+    FunnelConfig,
+    SpamAssassinScorer,
+    Verdict,
+)
+
+OUR_DOMAINS = ["gmial.com", "ohtlook.com", "smtpverizon.net"]
+
+
+def _email(from_addr="alice@real.org", to_addr="bob@gmial.com",
+           subject="lunch", body="see you at noon", relay="gmial.com",
+           attachments=None, envelope_to=None, extra_headers=None):
+    msg = EmailMessage.create(from_addr, to_addr, subject, body,
+                              attachments=attachments,
+                              extra_headers=extra_headers)
+    if envelope_to is not None:
+        msg.envelope_to = envelope_to
+    if relay is not None:
+        msg.headers.insert(0, ("Received", f"from sender by {relay} (1.2.3.4)"))
+    return tokenize(msg)
+
+
+def _spam_email(**kwargs):
+    defaults = dict(
+        from_addr="win4237@lucky.top",
+        subject="YOU HAVE WON THE LOTTERY!!!",
+        body=("Dear friend, you have won $1,000,000. claim your prize. "
+              "act now, risk free! visit http://a.top http://b.top http://c.top"),
+    )
+    defaults.update(kwargs)
+    return _email(**defaults)
+
+
+class TestSpamAssassinScorer:
+    def test_obvious_spam_flagged(self):
+        assert SpamAssassinScorer().is_spam(_spam_email())
+
+    def test_plain_ham_passes(self):
+        assert not SpamAssassinScorer().is_spam(_email())
+
+    def test_single_weak_signal_not_enough(self):
+        email = _email(body="free shipping on your order, click here")
+        assert not SpamAssassinScorer().is_spam(email)
+
+    def test_score_lists_fired_rules(self):
+        score = SpamAssassinScorer().score(_spam_email())
+        assert "SPAM_PHRASE" in score.fired_rules
+        assert score.total >= 5.0
+
+    def test_threshold_configurable(self):
+        lenient = SpamAssassinScorer(threshold=100.0)
+        assert not lenient.is_spam(_spam_email())
+
+    def test_executable_attachment_scores(self):
+        email = _email(attachments=[Attachment("run.exe", b"MZ")])
+        score = SpamAssassinScorer().score(email)
+        assert "EXE_ATTACH" in score.fired_rules
+
+    def test_phishing_language(self):
+        email = _email(body="please verify your account and confirm your password "
+                            "due to unusual activity at http://x.top")
+        score = SpamAssassinScorer().score(email)
+        assert "PHISH_PHRASE" in score.fired_rules
+
+
+class TestFunnelLayer1:
+    def _funnel(self):
+        return FilterFunnel(OUR_DOMAINS)
+
+    def test_wrong_relay_is_spam(self):
+        result = self._funnel().classify(_email(relay="attacker.com"))
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 1
+
+    def test_sender_from_our_domain_is_spam(self):
+        result = self._funnel().classify(_email(from_addr="fake@gmial.com"))
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 1
+
+    def test_receiver_candidate_with_foreign_to_header_is_spam(self):
+        email = _email(to_addr="someone@other.org",
+                       envelope_to=["bob@gmial.com"])
+        result = self._funnel().classify(email)
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 1
+
+    def test_honest_typo_passes_layer1(self):
+        result = self._funnel().classify(_email())
+        assert result.verdict is Verdict.TRUE_TYPO
+
+    def test_smtp_candidate_exempt_from_to_check(self):
+        # SMTP typo: recipient is a third party, relay is our server
+        email = _email(to_addr="friend@elsewhere.org",
+                       envelope_to=["friend@elsewhere.org"],
+                       relay="smtpverizon.net")
+        result = self._funnel().classify(email)
+        assert result.kind == "smtp"
+        assert result.verdict is Verdict.TRUE_TYPO
+
+
+class TestFunnelLayer2:
+    def test_spamassassin_spam(self):
+        result = FilterFunnel(OUR_DOMAINS).classify(_spam_email())
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 2
+
+    def test_zip_attachment_is_spam(self):
+        email = _email(attachments=[Attachment("docs.zip", b"PK")])
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.SPAM
+        assert "ZIP/RAR" in result.reason
+
+    def test_rar_attachment_is_spam(self):
+        email = _email(attachments=[Attachment("docs.rar", b"Rar!")])
+        assert FilterFunnel(OUR_DOMAINS).classify(email).layer == 2
+
+
+class TestFunnelLayer3:
+    def test_repeat_spammer_caught_across_domains(self):
+        funnel = FilterFunnel(OUR_DOMAINS)
+        funnel.classify(_spam_email(from_addr="spammer@bad.org"))
+        # second email from the same sender is clean-looking, different domain
+        clean = _email(from_addr="spammer@bad.org", to_addr="x@ohtlook.com",
+                       relay="ohtlook.com")
+        result = funnel.classify(clean)
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 3
+
+    def test_bag_of_words_match(self):
+        body = ("quarterly synergy report attached kindly review the numbers "
+                "before the committee meeting on thursday regards accounting "
+                "department floor nine building two today")  # >20 distinct words
+        funnel = FilterFunnel(OUR_DOMAINS)
+        funnel.collaborative.record_spam("other@bad.org", body)
+        result = funnel.classify(_email(body=body))
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 3
+
+    def test_short_bodies_not_bow_matched(self):
+        funnel = FilterFunnel(OUR_DOMAINS)
+        funnel.collaborative.record_spam("other@bad.org", "short body")
+        result = funnel.classify(_email(body="short body"))
+        assert result.verdict is Verdict.TRUE_TYPO
+
+
+class TestFunnelLayer4:
+    def test_list_unsubscribe_header(self):
+        email = _email(extra_headers={"List-Unsubscribe": "<mailto:u@s.com>"})
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.REFLECTION
+        assert result.layer == 4
+
+    def test_bounce_sender(self):
+        email = _email(from_addr="bounce-123@mailer.shop.com")
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.REFLECTION
+
+    def test_mismatched_reply_to(self):
+        email = _email(extra_headers={"Reply-To": "other@elsewhere.com"})
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.REFLECTION
+
+    def test_system_sender(self):
+        email = _email(from_addr="postmaster@corp.org")
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.REFLECTION
+
+    def test_unsubscribe_body_phrase(self):
+        email = _email(body="monthly deals inside. to unsubscribe reply stop")
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.REFLECTION
+
+    def test_personal_mail_not_reflection(self):
+        email = _email(body="hey bob, dinner friday? - alice")
+        result = FilterFunnel(OUR_DOMAINS).classify(email)
+        assert result.verdict is Verdict.TRUE_TYPO
+
+
+class TestFunnelLayer5:
+    def test_recipient_frequency(self):
+        config = FunnelConfig(recipient_frequency_threshold=3)
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = [funnel.classify(_email(
+            from_addr=f"user{i}@site{i}.org",
+            body=f"unique message {i} about project {i}"))
+            for i in range(5)]
+        assert results[-1].verdict is Verdict.FREQUENCY_FILTERED
+        assert results[-1].layer == 5
+
+    def test_sender_frequency(self):
+        config = FunnelConfig(sender_frequency_threshold=3,
+                              recipient_frequency_threshold=1000,
+                              content_frequency_threshold=1000)
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = [funnel.classify(_email(
+            to_addr=f"user{i}@gmial.com", envelope_to=[f"user{i}@gmial.com"],
+            body=f"note number {i} with fresh words {i}"))
+            for i in range(5)]
+        assert results[-1].verdict is Verdict.FREQUENCY_FILTERED
+
+    def test_content_frequency(self):
+        config = FunnelConfig(content_frequency_threshold=3,
+                              recipient_frequency_threshold=1000,
+                              sender_frequency_threshold=1000)
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = [funnel.classify(_email(
+            from_addr=f"user{i}@site{i}.org",
+            to_addr=f"user{i}@gmial.com", envelope_to=[f"user{i}@gmial.com"],
+            body="identical chain letter body"))
+            for i in range(5)]
+        assert results[-1].verdict is Verdict.FREQUENCY_FILTERED
+
+    def test_smtp_bursts_frequency_filtered_not_spam(self):
+        """A chatty SMTP-typo victim crosses the sender threshold; the
+        paper treats such emails as an ambiguous band (415-5,970/yr), not
+        as spam — so the verdict must be FREQUENCY_FILTERED."""
+        config = FunnelConfig(sender_frequency_threshold=3)
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = [funnel.classify(_email(
+            from_addr="victim@verizon.net",
+            to_addr=f"friend{i}@elsewhere.org",
+            envelope_to=[f"friend{i}@elsewhere.org"],
+            relay="smtpverizon.net",
+            body=f"personal note {i} unique text"))
+            for i in range(6)]
+        assert all(r.kind == "smtp" for r in results)
+        assert results[0].verdict is Verdict.TRUE_TYPO
+        assert results[-1].verdict is Verdict.FREQUENCY_FILTERED
+        assert all(r.verdict is not Verdict.SPAM for r in results)
+
+
+class TestBatchClassification:
+    def test_two_pass_filters_early_emails(self):
+        """An address crossing the threshold late still filters early mail."""
+        config = FunnelConfig(recipient_frequency_threshold=4)
+        emails = [_email(from_addr=f"user{i}@site{i}.org",
+                         body=f"different body {i} each time")
+                  for i in range(6)]
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = funnel.classify_corpus(emails)
+        assert all(r.verdict is Verdict.FREQUENCY_FILTERED for r in results)
+
+    def test_streaming_lets_early_emails_through(self):
+        config = FunnelConfig(recipient_frequency_threshold=4)
+        funnel = FilterFunnel(OUR_DOMAINS, config=config)
+        results = [funnel.classify(_email(
+            from_addr=f"user{i}@site{i}.org",
+            body=f"different body {i} each time")) for i in range(6)]
+        assert results[0].verdict is Verdict.TRUE_TYPO
+        assert results[-1].verdict is Verdict.FREQUENCY_FILTERED
+
+    def test_corpus_mixed(self):
+        emails = [_spam_email(), _email(),
+                  _email(extra_headers={"List-Unsubscribe": "<mailto:x@y.z>"})]
+        results = FilterFunnel(OUR_DOMAINS).classify_corpus(emails)
+        verdicts = [r.verdict for r in results]
+        assert verdicts == [Verdict.SPAM, Verdict.TRUE_TYPO, Verdict.REFLECTION]
+
+    def test_figure_categories(self):
+        assert Verdict.SPAM.figure_category == "spam_filtered"
+        assert Verdict.TRUE_TYPO.figure_category == "real_typos"
+        assert Verdict.REFLECTION.figure_category == \
+            "reflection_and_frequency_filtered"
+        assert Verdict.FREQUENCY_FILTERED.figure_category == \
+            "reflection_and_frequency_filtered"

@@ -1,0 +1,85 @@
+"""Tests for §5.2's subdomain-style (missing-dot) typosquatting."""
+
+import pytest
+
+from repro.ecosystem import (
+    InternetConfig,
+    SERVICE_PREFIXES,
+    build_internet,
+    find_registered_subdomain_typos,
+    generate_subdomain_typos,
+)
+from repro.util import SeededRng
+
+
+class TestGeneration:
+    def test_all_prefixes_generated(self):
+        candidates = generate_subdomain_typos(["gmail.com"])
+        domains = {c.domain for c in candidates}
+        assert "smtpgmail.com" in domains
+        assert "mailgmail.com" in domains
+        assert len(candidates) == len(SERVICE_PREFIXES)
+
+    def test_mimicked_host(self):
+        candidate = next(c for c in generate_subdomain_typos(["gmail.com"])
+                         if c.prefix == "smtp")
+        assert candidate.mimicked_host == "smtp.gmail.com"
+
+    def test_tld_preserved(self):
+        for candidate in generate_subdomain_typos(["verizon.net"]):
+            assert candidate.domain.endswith(".net")
+
+    def test_invalid_target_skipped(self):
+        assert generate_subdomain_typos(["no-tld"]) == []
+
+
+class TestInTheWild:
+    @pytest.fixture(scope="class")
+    def internet(self):
+        return build_internet(SeededRng(11),
+                              InternetConfig(num_filler_targets=30))
+
+    def test_builder_registers_some(self, internet):
+        assert internet.subdomain_typo_domains
+        for domain in internet.subdomain_typo_domains:
+            assert internet.registry.is_registered(domain)
+
+    def test_popular_targets_preferred(self, internet):
+        """smtpgmail.com-style names of the biggest providers exist."""
+        registered = set(internet.subdomain_typo_domains)
+        big_three = {"smtpgmail.com", "smtphotmail.com", "smtpoutlook.com",
+                     "mailgmail.com", "mailhotmail.com", "mailoutlook.com"}
+        assert registered & big_three
+
+    def test_analysis_finds_them_all(self, internet):
+        report = find_registered_subdomain_typos(
+            internet.registry, internet.whois,
+            [entry.domain for entry in internet.alexa[:30]])
+        assert {c.domain for c in report.registered} == \
+            set(internet.subdomain_typo_domains)
+
+    def test_privately_registered_not_defensive(self, internet):
+        """The paper's tell: private registration is inconsistent with
+        trademark protection."""
+        report = find_registered_subdomain_typos(
+            internet.registry, internet.whois,
+            [entry.domain for entry in internet.alexa[:30]])
+        assert report.private_count == len(report.registered)
+        assert report.defensive_count == 0
+        assert report.suspicious_count == len(report.registered)
+
+    def test_they_can_receive_mail(self, internet):
+        """The whole point: these names route mail to the squatter pool."""
+        from repro.dnssim import Resolver
+        resolver = Resolver(internet.registry)
+        routable = sum(
+            1 for domain in internet.subdomain_typo_domains
+            if resolver.mail_route(domain).can_receive_mail)
+        assert routable > 0.8 * len(internet.subdomain_typo_domains)
+
+    def test_count_by_prefix_sums(self, internet):
+        report = find_registered_subdomain_typos(
+            internet.registry, internet.whois,
+            [entry.domain for entry in internet.alexa[:30]])
+        assert sum(report.count_by_prefix().values()) == \
+            len(report.registered)

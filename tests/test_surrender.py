@@ -1,0 +1,64 @@
+"""Tests for the IRB surrender protocol (paper §4.1)."""
+
+import pytest
+
+from repro.core import build_study_corpus
+from repro.dnssim import DomainRegistry, Resolver
+from repro.infra import provision_study, surrender_domain
+from repro.smtpsim import EmailMessage, Network, SendStatus, SmtpClient
+from repro.util import SeededRng
+
+
+@pytest.fixture()
+def world():
+    corpus = build_study_corpus()
+    registry = DomainRegistry()
+    network = Network(SeededRng(55))
+    infra = provision_study(corpus, registry, network)
+    client = SmtpClient(Resolver(registry), network)
+    return registry, network, infra, client
+
+
+class TestSurrender:
+    def test_surrendered_domain_leaves_the_study(self, world):
+        registry, network, infra, _ = world
+        assert surrender_domain(infra, registry, network,
+                                "gmaiql.com", "google-legal")
+        assert infra.ip_for("gmaiql.com") is None
+        assert "gmaiql.com" not in infra.servers
+
+    def test_new_owner_recorded(self, world):
+        registry, network, infra, _ = world
+        surrender_domain(infra, registry, network, "gmaiql.com",
+                         "google-legal")
+        registration = registry.get("gmaiql.com")
+        assert registration is not None
+        assert registration.registrant_id == "google-legal"
+
+    def test_mail_no_longer_collected(self, world):
+        registry, network, infra, client = world
+        surrender_domain(infra, registry, network, "gmaiql.com",
+                         "google-legal")
+        message = EmailMessage.create("a@b.org", "x@gmaiql.com", "s", "b")
+        result = client.send(message)
+        # the surrendered zone is empty: no mail route, nothing collected
+        assert result.status is SendStatus.NO_ROUTE
+        assert len(infra.collector) == 0
+
+    def test_other_domains_unaffected(self, world):
+        registry, network, infra, client = world
+        surrender_domain(infra, registry, network, "gmaiql.com",
+                         "google-legal")
+        message = EmailMessage.create("a@b.org", "x@ohtlook.com", "s", "b")
+        assert client.send(message).status is SendStatus.DELIVERED
+        assert len(infra.collector) == 1
+
+    def test_unknown_domain_returns_false(self, world):
+        registry, network, infra, _ = world
+        assert not surrender_domain(infra, registry, network,
+                                    "not-ours.com", "whoever")
+
+    def test_case_insensitive(self, world):
+        registry, network, infra, _ = world
+        assert surrender_domain(infra, registry, network, "GMAIQL.COM",
+                                "google-legal")

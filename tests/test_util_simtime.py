@@ -1,0 +1,101 @@
+"""Tests for repro.util.simtime — simulated clock and collection windows."""
+
+import datetime
+
+import pytest
+
+from repro.util import CollectionWindow, SimClock, paper_window
+from repro.util.simtime import (
+    DAYS_PER_YEAR,
+    PAPER_COLLECTION_END,
+    PAPER_COLLECTION_START,
+    SECONDS_PER_DAY,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(100.5)
+        assert clock.now == 100.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(500)
+        with pytest.raises(ValueError):
+            clock.advance_to(400)
+
+    def test_day_index(self):
+        clock = SimClock()
+        clock.advance(3 * SECONDS_PER_DAY + 5)
+        assert clock.day == 3
+
+    def test_datetime_mapping(self):
+        clock = SimClock()
+        clock.advance(SECONDS_PER_DAY)
+        assert clock.now_datetime == PAPER_COLLECTION_START + datetime.timedelta(days=1)
+
+    def test_timestamp_to_datetime(self):
+        clock = SimClock()
+        dt = clock.timestamp_to_datetime(2 * SECONDS_PER_DAY)
+        assert dt == PAPER_COLLECTION_START + datetime.timedelta(days=2)
+
+
+class TestCollectionWindow:
+    def test_effective_days(self):
+        window = CollectionWindow(total_days=100, outage_days={1, 2, 3})
+        assert window.effective_days == 97
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            CollectionWindow(total_days=0)
+
+    def test_rejects_outage_outside_window(self):
+        with pytest.raises(ValueError):
+            CollectionWindow(total_days=10, outage_days={10})
+
+    def test_is_collecting(self):
+        window = CollectionWindow(total_days=10, outage_days={5})
+        assert window.is_collecting(4)
+        assert not window.is_collecting(5)
+        assert not window.is_collecting(10)
+        assert not window.is_collecting(-1)
+
+    def test_collecting_days_excludes_outages(self):
+        window = CollectionWindow(total_days=5, outage_days={2})
+        assert list(window.collecting_days()) == [0, 1, 3, 4]
+
+    def test_yearly_projection_paper_formula(self):
+        # y = x * 365 / d
+        window = CollectionWindow(total_days=200, outage_days=set())
+        assert window.yearly_projection(200) == pytest.approx(DAYS_PER_YEAR)
+
+    def test_yearly_projection_uses_effective_days(self):
+        window = CollectionWindow(total_days=100, outage_days=set(range(50)))
+        assert window.yearly_projection(50) == pytest.approx(365.0)
+
+    def test_yearly_projection_empty_window_rejected(self):
+        window = CollectionWindow(total_days=2, outage_days={0, 1})
+        with pytest.raises(ValueError):
+            window.yearly_projection(10)
+
+
+class TestPaperWindow:
+    def test_total_span_matches_paper_dates(self):
+        window = paper_window()
+        assert window.total_days == (PAPER_COLLECTION_END - PAPER_COLLECTION_START).days
+
+    def test_default_outage_is_two_months(self):
+        window = paper_window()
+        assert len(window.outage_days) == 60
+
+    def test_custom_outages(self):
+        window = paper_window(outage_spans=((0, 5), (10, 12)))
+        assert window.outage_days == {0, 1, 2, 3, 4, 10, 11}

@@ -1,0 +1,159 @@
+"""Tests for repro.util.stats — MAD outliers, CIs, classification scores."""
+
+import math
+
+import pytest
+
+from repro.util import (
+    BinaryClassificationScores,
+    cumulative_share,
+    gini,
+    mad,
+    mad_outliers,
+    mean_confidence_interval,
+    median,
+    score_binary,
+)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestMad:
+    def test_symmetric(self):
+        assert mad([1, 2, 3, 4, 5]) == 1
+
+    def test_constant_sequence(self):
+        assert mad([7, 7, 7]) == 0
+
+
+class TestMadOutliers:
+    def test_detects_outstanding_value(self):
+        values = [10, 11, 9, 10, 12, 10, 500]
+        assert mad_outliers(values) == [6]
+
+    def test_no_outliers_in_tight_cluster(self):
+        assert mad_outliers([10, 11, 9, 10, 12]) == []
+
+    def test_zero_mad_flags_any_deviation(self):
+        # over half identical values -> MAD 0; the different one is flagged
+        assert mad_outliers([5, 5, 5, 5, 6]) == [4]
+
+    def test_empty(self):
+        assert mad_outliers([]) == []
+
+    def test_paper_use_case_popular_typo_domain(self):
+        # typo domains of one target: one accidentally-legit domain dominates
+        traffic = [3, 5, 2, 4, 6, 3, 100000]
+        outliers = mad_outliers(traffic)
+        assert 6 in outliers
+
+
+class TestMeanConfidenceInterval:
+    def test_single_value_degenerate(self):
+        mean, low, high = mean_confidence_interval([5.0])
+        assert mean == low == high == 5.0
+
+    def test_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert low < mean < high
+        assert mean == 3
+
+    def test_narrower_with_more_data(self):
+        small = mean_confidence_interval([1, 2, 3])
+        big = mean_confidence_interval([1, 2, 3] * 30)
+        assert (big[2] - big[1]) < (small[2] - small[1])
+
+    def test_confidence_level_widens_interval(self):
+        data = [1, 2, 3, 4, 5, 6]
+        ci95 = mean_confidence_interval(data, 0.95)
+        ci99 = mean_confidence_interval(data, 0.99)
+        assert (ci99[2] - ci99[1]) > (ci95[2] - ci95[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestBinaryScores:
+    def test_perfect(self):
+        scores = score_binary([True, False, True], [True, False, True])
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_paper_table2_style(self):
+        # precision 0.93, sensitivity 1.0 like credit cards in Table 2
+        predicted = [True] * 15
+        actual = [True] * 14 + [False]
+        scores = score_binary(predicted, actual)
+        assert scores.precision == pytest.approx(14 / 15)
+        assert scores.recall == 1.0
+
+    def test_no_positives_predicted_nan_precision(self):
+        scores = score_binary([False, False], [True, False])
+        assert math.isnan(scores.precision)
+        assert scores.recall == 0.0
+
+    def test_f1_harmonic_mean(self):
+        scores = BinaryClassificationScores(
+            true_positives=1, false_positives=1, false_negatives=0)
+        assert scores.precision == 0.5
+        assert scores.recall == 1.0
+        assert scores.f1 == pytest.approx(2 / 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_binary([True], [True, False])
+
+    def test_confusion_counts(self):
+        scores = score_binary([True, True, False, False],
+                              [True, False, True, False])
+        assert (scores.true_positives, scores.false_positives,
+                scores.false_negatives, scores.true_negatives) == (1, 1, 1, 1)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    def test_total_concentration_near_one(self):
+        assert gini([0] * 99 + [100]) > 0.95
+
+    def test_zero_total(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+
+class TestCumulativeShare:
+    def test_sorted_descending_internally(self):
+        shares = cumulative_share([1, 3, 2])
+        assert shares == pytest.approx([0.5, 5 / 6, 1.0])
+
+    def test_last_is_one(self):
+        assert cumulative_share([5, 5, 5])[-1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        shares = cumulative_share([9, 1, 4, 4, 2])
+        assert all(a <= b for a, b in zip(shares, shares[1:]))
+
+    def test_all_zero(self):
+        assert cumulative_share([0, 0]) == [0.0, 0.0]
+
+    def test_paper_figure5_shape(self):
+        # two domains dominating: top-2 should carry the majority
+        counts = [1000, 800, 50, 40, 30, 20, 10, 5, 4, 3]
+        shares = cumulative_share(counts)
+        assert shares[1] > 0.5

@@ -1,0 +1,63 @@
+"""Tests for the §4.3 performance-analysis replay."""
+
+import pytest
+
+from repro.experiment import (
+    ExperimentConfig,
+    StudyRunner,
+    validate_receiver_typos_at_smtp_domains,
+    validate_survivors_by_sampling,
+)
+from repro.util import SeededRng
+
+
+@pytest.fixture(scope="module")
+def results():
+    return StudyRunner(ExperimentConfig(seed=606, spam_scale=2e-4)).run()
+
+
+class TestSurvivorSampling:
+    def test_mostly_genuine(self, results):
+        """Paper: 80% of sampled surviving emails were not spam."""
+        validation = validate_survivors_by_sampling(
+            results.records, results.corpus, SeededRng(1))
+        assert validation.sampled > 30
+        assert validation.genuine_fraction > 0.6
+
+    def test_per_domain_cap_respected(self, results):
+        validation = validate_survivors_by_sampling(
+            results.records, results.corpus, SeededRng(2),
+            per_domain_sample=5)
+        for genuine, sampled in validation.per_domain.values():
+            assert sampled <= 5
+            assert genuine <= sampled
+
+    def test_deterministic_given_rng(self, results):
+        a = validate_survivors_by_sampling(results.records, results.corpus,
+                                           SeededRng(3))
+        b = validate_survivors_by_sampling(results.records, results.corpus,
+                                           SeededRng(3))
+        assert a.per_domain == b.per_domain
+
+    def test_empty_records(self, results):
+        validation = validate_survivors_by_sampling([], results.corpus,
+                                                    SeededRng(4))
+        assert validation.sampled == 0
+        import math
+        assert math.isnan(validation.genuine_fraction)
+
+
+class TestSmtpDomainReceivers:
+    def test_surprise_finding_mostly_correct(self, results):
+        """Paper: 25 of 26 receiver-classified emails at SMTP-purpose
+        domains really were receiver typos."""
+        validation = validate_receiver_typos_at_smtp_domains(
+            results.records, results.corpus)
+        assert validation.sampled > 10
+        assert validation.genuine_fraction > 0.85
+
+    def test_only_smtp_purpose_domains_counted(self, results):
+        validation = validate_receiver_typos_at_smtp_domains(
+            results.records, results.corpus)
+        smtp_domains = {d.domain for d in results.corpus.by_purpose("smtp")}
+        assert set(validation.per_domain) <= smtp_domains

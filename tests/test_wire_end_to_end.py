@@ -1,0 +1,106 @@
+"""Wire-boundary integration: serialise → parse → process → classify.
+
+Everything the collection server stores and everything the pipeline
+consumes crosses the RFC 5322-ish wire format at least once in a real
+deployment.  These tests push complete messages through a serialisation
+round trip *before* the processing pipeline and the funnel, proving that
+classification outcomes do not depend on in-memory object identity.
+"""
+
+import pytest
+
+from repro.pipeline import EmailProcessor, tokenize
+from repro.smtpsim import Attachment, EmailMessage
+from repro.spamfilter import FilterFunnel, Verdict
+from repro.workloads.textgen import make_attachment_payload
+
+OUR = ["gmial.com"]
+
+
+def _roundtrip(message: EmailMessage) -> EmailMessage:
+    parsed = EmailMessage.from_wire(message.to_wire())
+    # the envelope travels out of band (SMTP, not RFC 5322): re-attach
+    parsed.envelope_from = message.envelope_from
+    parsed.envelope_to = list(message.envelope_to)
+    parsed.received_by_ip = message.received_by_ip
+    parsed.received_at = message.received_at
+    return parsed
+
+
+class TestWireThenPipeline:
+    def test_scrubbing_after_roundtrip(self):
+        message = EmailMessage.create(
+            "alice@real.org", "bob@gmial.com", "payment",
+            "charge my card 4111111111111111 please")
+        processed = EmailProcessor().process(_roundtrip(message))
+        assert "4111111111111111" not in processed.scrubbed_body
+        assert processed.body_sensitive_labels == ("visa",)
+
+    def test_attachment_extraction_after_roundtrip(self):
+        payload = make_attachment_payload("docx", "ssn 078-05-1120 enclosed")
+        message = EmailMessage.create(
+            "alice@real.org", "bob@gmial.com", "forms", "see attached",
+            attachments=[Attachment("forms.docx", payload)])
+        processed = EmailProcessor().process(_roundtrip(message))
+        attachment = processed.attachments[0]
+        assert attachment.extracted
+        assert attachment.sensitive_labels == ("ssn",)
+        assert "078-05-1120" not in attachment.scrubbed_text
+
+    def test_binary_attachment_hash_stable_across_wire(self):
+        binary = bytes(range(256))
+        message = EmailMessage.create(
+            "alice@real.org", "bob@gmial.com", "blob", "binary attached",
+            attachments=[Attachment("data.bin", binary)])
+        original_hash = message.attachments[0].sha256()
+        parsed = _roundtrip(message)
+        assert parsed.attachments[0].sha256() == original_hash
+
+
+class TestWireThenFunnel:
+    def _classify(self, message: EmailMessage):
+        message.headers.insert(
+            0, ("Received", "from sender by gmial.com (198.51.100.1)"))
+        funnel = FilterFunnel(OUR)
+        return funnel.classify(tokenize(_roundtrip(message)))
+
+    def test_genuine_typo_survives_roundtrip(self):
+        message = EmailMessage.create(
+            "alice@real.org", "bob@gmial.com", "lunch",
+            "see you at noon, bob")
+        assert self._classify(message).verdict is Verdict.TRUE_TYPO
+
+    def test_spam_still_spam_after_roundtrip(self):
+        message = EmailMessage.create(
+            "win@lucky.top", "bob@gmial.com", "YOU HAVE WON!!!",
+            "dear friend, claim your prize now! act now risk free "
+            "http://a.top http://b.top http://c.top")
+        result = self._classify(message)
+        assert result.verdict is Verdict.SPAM
+        assert result.layer == 2
+
+    def test_zip_rule_survives_roundtrip(self):
+        message = EmailMessage.create(
+            "docs@corp.org", "bob@gmial.com", "files", "attached",
+            attachments=[Attachment("archive.zip", b"PK\x03\x04")])
+        result = self._classify(message)
+        assert result.verdict is Verdict.SPAM
+        assert "ZIP/RAR" in result.reason
+
+    def test_reflection_markers_survive_roundtrip(self):
+        message = EmailMessage.create(
+            "noreply@deals.example", "bob@gmial.com", "deals #12",
+            "big savings. to unsubscribe reply stop.",
+            extra_headers={"List-Unsubscribe": "<mailto:u@deals.example>"})
+        assert self._classify(message).verdict is Verdict.REFLECTION
+
+    def test_smtp_kind_preserved(self):
+        message = EmailMessage.create(
+            "victim@verizon.net", "friend@elsewhere.org", "note",
+            "a personal note")
+        message.envelope_to = ["friend@elsewhere.org"]
+        message.headers.insert(
+            0, ("Received", "from victim by gmial.com (198.51.100.1)"))
+        funnel = FilterFunnel(OUR)
+        result = funnel.classify(tokenize(_roundtrip(message)))
+        assert result.kind == "smtp"

@@ -1,0 +1,158 @@
+"""Unit tests for the labelled corpora and text generation."""
+
+import math
+
+import pytest
+
+from repro.pipeline import SensitiveScrubber
+from repro.util import SeededRng
+from repro.workloads import (
+    DATASET_PROFILES,
+    BodyBuilder,
+    EnronLikeCorpus,
+    PersonaFactory,
+    build_dataset,
+    evaluate_scrubber,
+    evaluate_spamassassin,
+)
+from repro.workloads.textgen import make_attachment_payload
+
+
+class TestPersonaFactory:
+    def test_email_at_requested_domain(self):
+        factory = PersonaFactory(SeededRng(1))
+        persona = factory.make("gmail.com")
+        assert persona.email.endswith("@gmail.com")
+        assert "@" in persona.full_address
+
+    def test_display_name_title_case(self):
+        persona = PersonaFactory(SeededRng(2)).make("x.com")
+        assert persona.display_name[0].isupper()
+
+    def test_styles(self):
+        factory = PersonaFactory(SeededRng(3))
+        numbered = factory.make("x.com", style="numbered")
+        assert any(ch.isdigit() for ch in numbered.email)
+        firstlast = factory.make("x.com", style="firstlast")
+        assert firstlast.first_name in firstlast.email
+
+    def test_deterministic(self):
+        a = PersonaFactory(SeededRng(4)).make("x.com")
+        b = PersonaFactory(SeededRng(4)).make("x.com")
+        assert a == b
+
+
+class TestBodyBuilder:
+    def test_body_contains_closing(self):
+        builder = BodyBuilder(SeededRng(5))
+        body = builder.body(topic="work", closing_name="alice")
+        assert "thanks, alice" in body
+
+    def test_sentence_count(self):
+        builder = BodyBuilder(SeededRng(6))
+        body = builder.body(topic="travel", sentences=4)
+        assert len(body.splitlines()) == 5  # 4 sentences + closing
+
+    def test_unknown_topic_rejected(self):
+        builder = BodyBuilder(SeededRng(7))
+        with pytest.raises(KeyError):
+            builder.sentence("nonexistent-topic")
+
+    def test_ham_avoids_spam_phrases(self):
+        """Benign vocabulary must not trip the Layer-2 phrase rules."""
+        from repro.spamfilter.spamassassin import _SPAM_PHRASES
+        builder = BodyBuilder(SeededRng(8))
+        for _ in range(100):
+            body = builder.body()
+            for phrase in _SPAM_PHRASES:
+                assert phrase not in body
+
+
+class TestAttachmentPayloads:
+    def test_pdf_container_roundtrip(self):
+        from repro.pipeline import extract_text
+        from repro.smtpsim import Attachment
+        payload = make_attachment_payload("pdf", "hello world")
+        assert extract_text(Attachment("a.pdf", payload)) == "hello world"
+
+    def test_docx_container_roundtrip(self):
+        from repro.pipeline import extract_text
+        from repro.smtpsim import Attachment
+        payload = make_attachment_payload("docx", "line one\nline two")
+        text = extract_text(Attachment("a.docx", payload))
+        assert "line one" in text and "line two" in text
+
+    def test_image_ocr_roundtrip(self):
+        from repro.pipeline import extract_text
+        from repro.smtpsim import Attachment
+        payload = make_attachment_payload("png", "scanned receipt 42")
+        assert "scanned receipt" in extract_text(Attachment("a.png", payload))
+
+    def test_image_without_text(self):
+        from repro.pipeline import extract_text
+        from repro.smtpsim import Attachment
+        payload = make_attachment_payload("jpg", "")
+        assert extract_text(Attachment("a.jpg", payload)) is None
+
+    def test_xlsx_roundtrip(self):
+        from repro.pipeline import extract_text
+        from repro.smtpsim import Attachment
+        payload = make_attachment_payload("xlsx", "Revenue\n4500")
+        text = extract_text(Attachment("a.xlsx", payload))
+        assert "Revenue" in text
+
+
+class TestEnronLikeCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return EnronLikeCorpus(SeededRng(9)).generate(400)
+
+    def test_entities_present_in_text(self, corpus):
+        for email in corpus:
+            for entity in email.entities:
+                # evasive plantings may reformat the value; at minimum a
+                # recognisable fragment appears
+                fragment = entity.value.split("@")[0][:4]
+                assert fragment.lower() in email.text.lower(), entity
+
+    def test_all_kinds_planted_somewhere(self, corpus):
+        kinds = {entity.kind for email in corpus for entity in email.entities}
+        assert {"creditcard", "ssn", "ein", "password", "vin", "username",
+                "zip", "idnumber", "email", "phone", "date"} <= kinds
+
+    def test_evaluation_structure(self, corpus):
+        scores = evaluate_scrubber(corpus, SensitiveScrubber())
+        assert set(scores) >= {"creditcard", "password", "email"}
+        for score in scores.values():
+            assert score.true_positives + score.false_negatives >= 0
+
+    def test_deterministic(self):
+        a = EnronLikeCorpus(SeededRng(10)).generate(20)
+        b = EnronLikeCorpus(SeededRng(10)).generate(20)
+        assert [e.text for e in a] == [e.text for e in b]
+
+
+class TestSpamDatasets:
+    def test_profiles_exist(self):
+        assert set(DATASET_PROFILES) == {"trec", "csdmc", "spamassassin",
+                                         "untroubled"}
+
+    def test_untroubled_spam_only(self):
+        dataset = build_dataset(DATASET_PROFILES["untroubled"], 200,
+                                SeededRng(11))
+        assert dataset.spam_count == len(dataset) == 200
+
+    def test_mixed_dataset_balance(self):
+        dataset = build_dataset(DATASET_PROFILES["trec"], 1000, SeededRng(12))
+        assert 350 < dataset.spam_count < 650
+
+    def test_evaluation_returns_scores(self):
+        dataset = build_dataset(DATASET_PROFILES["csdmc"], 300, SeededRng(13))
+        score = evaluate_spamassassin(dataset)
+        assert 0.0 <= score.recall <= 1.0
+
+    def test_deterministic(self):
+        a = build_dataset(DATASET_PROFILES["trec"], 50, SeededRng(14))
+        b = build_dataset(DATASET_PROFILES["trec"], 50, SeededRng(14))
+        assert a.labels == b.labels
+        assert [e.body for e in a.emails] == [e.body for e in b.emails]

@@ -1,0 +1,242 @@
+"""Tests for the traffic generators: receiver, reflection, SMTP typo, spam."""
+
+import pytest
+
+from repro.core import TypoEmailKind, build_study_corpus
+from repro.util import SeededRng
+from repro.workloads import (
+    ReceiverTypoGenerator,
+    ReflectionTypoGenerator,
+    SmtpTypoGenerator,
+    SpamConfig,
+    SpamGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_study_corpus()
+
+
+class TestReceiverTypoGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, corpus):
+        return ReceiverTypoGenerator(corpus, SeededRng(11))
+
+    def test_yearly_calibration(self, generator):
+        yearly = generator.total_daily_rate() * 365
+        # 5300 calibrated + 700 smtp-domain leak
+        assert yearly == pytest.approx(6000, rel=0.02)
+
+    def test_events_have_receiver_kind(self, generator):
+        for request in generator.emails_for_day(0):
+            assert request.true_kind is TypoEmailKind.RECEIVER
+
+    def test_recipient_at_study_domain(self, generator, corpus):
+        domains = set(corpus.domain_names())
+        for request in generator.emails_for_day(1):
+            domain = request.recipient.rpartition("@")[2]
+            assert domain in domains
+            assert request.study_domain == domain
+
+    def test_popular_targets_attract_more(self, generator):
+        """gmail/outlook typos must dominate hushmail typos."""
+        gmail_typo = generator.expected_daily_rate("gnail.com")
+        hushmail_typo = generator.expected_daily_rate("hushmaul.com")
+        assert gmail_typo > 10 * hushmail_typo
+
+    def test_visual_distance_matters_within_target(self, generator):
+        """outlo0k (invisible edit) out-earns outmook (visible edit)."""
+        assert generator.expected_daily_rate("outlo0k.com") > \
+            generator.expected_daily_rate("outmook.com")
+
+    def test_timestamps_within_day(self, generator):
+        for request in generator.emails_for_day(5):
+            assert request.day == 5
+
+    def test_deterministic_given_seed(self, corpus):
+        a = ReceiverTypoGenerator(corpus, SeededRng(3))
+        b = ReceiverTypoGenerator(corpus, SeededRng(3))
+        reqs_a = a.emails_for_day(0)
+        reqs_b = b.emails_for_day(0)
+        assert [r.recipient for r in reqs_a] == [r.recipient for r in reqs_b]
+        assert [r.message.body for r in reqs_a] == [r.message.body for r in reqs_b]
+
+    def test_volume_scale(self, corpus):
+        full = ReceiverTypoGenerator(corpus, SeededRng(4), volume_scale=1.0)
+        tenth = ReceiverTypoGenerator(corpus, SeededRng(4), volume_scale=0.1)
+        assert tenth.total_daily_rate() == pytest.approx(
+            full.total_daily_rate() * 0.1)
+
+    def test_smtp_purpose_domains_get_leak_traffic(self, generator):
+        assert generator.expected_daily_rate("mx4hotmail.com") > 0
+
+    def test_from_header_parses(self, generator):
+        for request in generator.emails_for_day(2):
+            assert request.message.sender is not None
+
+    def test_weekly_seasonality_mean_preserving(self):
+        """The weekday factors average to 1.0, so the yearly calibration
+        is untouched by the weekly dip."""
+        factors = ReceiverTypoGenerator.WEEKDAY_FACTORS
+        assert sum(factors) / len(factors) == pytest.approx(1.0)
+
+    def test_weekends_quieter(self, corpus):
+        generator = ReceiverTypoGenerator(corpus, SeededRng(99))
+        weekday_counts = []
+        weekend_counts = []
+        for day in range(140):
+            count = len(generator.emails_for_day(day))
+            if day % 7 in (5, 6):
+                weekend_counts.append(count)
+            else:
+                weekday_counts.append(count)
+        weekday_mean = sum(weekday_counts) / len(weekday_counts)
+        weekend_mean = sum(weekend_counts) / len(weekend_counts)
+        assert weekend_mean < weekday_mean
+
+
+class TestReflectionTypoGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, corpus):
+        return ReflectionTypoGenerator(corpus, SeededRng(21))
+
+    def test_kind(self, generator):
+        for request in generator.emails_for_day(0):
+            assert request.true_kind is TypoEmailKind.REFLECTION
+
+    def test_service_mail_has_automation_fingerprints(self, generator):
+        service_mails = [r for r in generator.emails_for_day(0)
+                         if "application" not in r.message.subject]
+        assert service_mails, "expected some service mail on day 0"
+        for request in service_mails:
+            has_unsub = request.message.has_header("List-Unsubscribe")
+            sender = request.message.get_header("From") or ""
+            assert has_unsub or "noreply" in sender
+
+    def test_job_posting_anecdote_cvs(self, corpus):
+        generator = ReflectionTypoGenerator(corpus, SeededRng(22),
+                                            job_posting_daily_rate=5.0)
+        requests = []
+        for day in range(5):
+            requests.extend(generator.emails_for_day(day))
+        cvs = [r for r in requests if r.message.attachments
+               and r.message.attachments[0].filename.startswith("cv_")]
+        assert len(cvs) > 5
+        # all CVs go to the same mistyped address at zohomil.com
+        addresses = {r.recipient for r in cvs}
+        assert len(addresses) == 1
+        assert addresses.pop().endswith("@zohomil.com")
+
+    def test_signups_accumulate_on_reflection_domains(self, generator):
+        assert generator.standing_signups >= 6 * 6  # 6 reflection domains
+
+
+class TestSmtpTypoGenerator:
+    def _collect(self, seed, days=120, **kwargs):
+        corpus = build_study_corpus()
+        generator = SmtpTypoGenerator(corpus, SeededRng(seed), **kwargs)
+        requests = []
+        for day in range(days):
+            requests.extend(generator.emails_for_day(day))
+        return generator, requests
+
+    def test_kind_and_domain(self):
+        generator, requests = self._collect(31)
+        corpus_domains = {d.domain for d in build_study_corpus().by_purpose("smtp")}
+        for request in requests:
+            assert request.true_kind is TypoEmailKind.SMTP
+            assert request.study_domain in corpus_domains
+
+    def test_recipient_is_third_party(self):
+        _, requests = self._collect(32)
+        for request in requests:
+            assert not request.recipient.endswith(
+                tuple(d.domain for d in build_study_corpus().domains))
+
+    def test_bursty_sparse_pattern(self):
+        """Figure 4 shape: most days are silent, traffic comes in bursts."""
+        corpus = build_study_corpus()
+        generator = SmtpTypoGenerator(corpus, SeededRng(33),
+                                      events_per_year=80.0)
+        daily = [len(generator.emails_for_day(day)) for day in range(200)]
+        silent_days = sum(1 for d in daily if d == 0)
+        assert silent_days > 100
+
+    def test_persistence_distribution(self):
+        generator, _ = self._collect(34, days=400,
+                                     events_per_year=1200.0)
+        events = generator.completed_events
+        assert len(events) > 100
+        single = sum(1 for e in events if e.persistence_days == 0.0)
+        under_day = sum(1 for e in events if e.persistence_days <= 1.0)
+        under_week = sum(1 for e in events if e.persistence_days <= 7.0)
+        n = len(events)
+        assert 0.60 < single / n < 0.80          # paper: 70% single email
+        assert 0.75 < under_day / n < 0.92       # paper: 83% under a day
+        assert under_week / n > 0.85             # paper: 90% under a week
+        assert max(e.persistence_days for e in events) <= 209.0
+
+    def test_sender_stable_within_event(self):
+        generator, requests = self._collect(35, days=200,
+                                            events_per_year=400.0)
+        by_sender = {}
+        for request in requests:
+            sender = request.message.sender.bare
+            by_sender.setdefault(sender, []).append(request)
+        # some victim sent multiple emails, all to the same study domain
+        multi = [reqs for reqs in by_sender.values() if len(reqs) > 1]
+        assert multi
+        for reqs in multi:
+            assert len({r.study_domain for r in reqs}) == 1
+
+    def test_requires_smtp_domains(self):
+        from repro.core.targets import StudyCorpus
+        with pytest.raises(ValueError):
+            SmtpTypoGenerator(StudyCorpus(domains=[]), SeededRng(1))
+
+
+class TestSpamGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, corpus):
+        return SpamGenerator(corpus, SeededRng(41), volume_scale=2e-4)
+
+    def test_kind(self, generator):
+        for request in generator.emails_for_day(0):
+            assert request.true_kind is TypoEmailKind.SPAM
+
+    def test_volume_near_expected(self, generator):
+        total = sum(len(generator.emails_for_day(day)) for day in range(10))
+        expected = generator.expected_daily_total * 10
+        assert expected * 0.8 < total < expected * 1.2
+
+    def test_mixes_receiver_and_smtp_streams(self, corpus):
+        generator = SpamGenerator(corpus, SeededRng(42), volume_scale=2e-4)
+        requests = generator.emails_for_day(0)
+        domains = set(corpus.domain_names())
+        to_ours = [r for r in requests
+                   if r.recipient.rpartition("@")[2] in domains]
+        to_third_parties = [r for r in requests
+                            if r.recipient.rpartition("@")[2] not in domains]
+        assert to_ours and to_third_parties
+        # SMTP-candidate stream dominates, as in the paper (102.7M vs 16.2M)
+        assert len(to_third_parties) > 2 * len(to_ours)
+
+    def test_campaigns_repeat_senders(self, corpus):
+        generator = SpamGenerator(corpus, SeededRng(43), volume_scale=3e-4)
+        senders = []
+        for day in range(3):
+            senders.extend(r.message.envelope_from
+                           for r in generator.emails_for_day(day))
+        assert len(set(senders)) < len(senders) * 0.7
+
+    def test_malware_hashes_recorded(self, corpus):
+        config = SpamConfig(attachment_probability=1.0,
+                            malware_fraction_of_attachments=0.5)
+        generator = SpamGenerator(corpus, SeededRng(44), config=config,
+                                  volume_scale=1e-4)
+        requests = generator.emails_for_day(0)
+        assert generator.malicious_hashes
+        attached_hashes = {a.sha256() for r in requests
+                           for a in r.message.attachments}
+        assert generator.malicious_hashes <= attached_hashes

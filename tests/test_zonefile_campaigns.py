@@ -1,0 +1,136 @@
+"""Tests for zone-file parsing and spam-campaign reconstruction."""
+
+import pytest
+
+from repro.analysis import CollectedRecord, reconstruct_campaigns
+from repro.dnssim import (
+    RecordType,
+    ZoneFileError,
+    collection_zone,
+    parse_zone_file,
+)
+from repro.pipeline import tokenize
+from repro.smtpsim import EmailMessage
+from repro.spamfilter.funnel import FilterResult, Verdict
+
+
+class TestZoneFileRoundTrip:
+    def test_collection_zone_round_trip(self):
+        original = collection_zone("exampel.com", "1.1.1.1")
+        parsed = parse_zone_file(original.zone_file())
+        assert parsed.origin == "exampel.com"
+        assert len(parsed) == 4
+        assert parsed.mx_hosts("sub.exampel.com") == ["exampel.com"]
+        assert parsed.a_addresses() == ["1.1.1.1"]
+
+    def test_round_trip_preserves_ttl_and_priority(self):
+        original = collection_zone("exampel.com", "1.1.1.1", ttl=900)
+        parsed = parse_zone_file(original.zone_file())
+        assert all(r.ttl == 900 for r in parsed.records)
+        mx = [r for r in parsed.records if r.rtype is RecordType.MX]
+        assert all(r.priority == 1 for r in mx)
+
+    def test_header_optional(self):
+        original = collection_zone("exampel.com", "1.1.1.1")
+        body_only = "\n".join(original.zone_file().splitlines()[1:])
+        parsed = parse_zone_file(body_only)
+        assert len(parsed) == 4
+
+    def test_explicit_origin(self):
+        text = "*.x.com.\t300\tMX\t1\tx.com."
+        zone = parse_zone_file(text, origin="x.com")
+        assert zone.origin == "x.com"
+
+    def test_wildcard_only_without_origin_rejected(self):
+        text = "*.x.com.\t300\tMX\t1\tx.com."
+        with pytest.raises(ZoneFileError):
+            parse_zone_file(text)
+
+    def test_malformed_rejected(self):
+        for bad in ("",                              # empty
+                    "x.com.\t300\tMX\t1",            # too few fields
+                    "x.com.\tfast\tMX\t1\ty.com.",   # bad TTL
+                    "x.com.\t300\tBOGUS\t1\ty.com.", # bad type
+                    "x.com.\t300\tA\tNA\tnot-an-ip"):
+            with pytest.raises(ZoneFileError):
+                parse_zone_file(bad)
+
+
+def _spam_record(sender, body, day=0, subject="offer"):
+    msg = EmailMessage.create(sender, "x@gmial.com", subject, body)
+    msg.envelope_from = sender
+    msg.received_at = day * 86_400.0
+    return CollectedRecord(
+        tokenized=tokenize(msg),
+        result=FilterResult(Verdict.SPAM, "receiver", 2, "test"),
+        study_domain="gmial.com",
+        timestamp=msg.received_at,
+    )
+
+
+class TestCampaignReconstruction:
+    def test_same_sender_one_campaign(self):
+        records = [_spam_record("spam@x.top", f"body variant {i}", day=i)
+                   for i in range(5)]
+        report = reconstruct_campaigns(records)
+        assert len(report.campaigns) == 1
+        assert report.campaigns[0].size == 5
+        assert report.campaigns[0].duration_days == 5
+
+    def test_same_body_different_senders_merge(self):
+        records = [_spam_record(f"s{i}@x{i}.top", "identical spam body")
+                   for i in range(4)]
+        report = reconstruct_campaigns(records)
+        assert len(report.campaigns) == 1
+        assert len(report.campaigns[0].senders) == 4
+
+    def test_transitive_merging(self):
+        # A shares sender with B; B shares body with C -> one campaign
+        records = [
+            _spam_record("a@x.top", "body one"),
+            _spam_record("a@x.top", "body two"),
+            _spam_record("b@y.top", "body two"),
+        ]
+        report = reconstruct_campaigns(records)
+        assert len(report.campaigns) == 1
+        assert report.campaigns[0].size == 3
+
+    def test_singletons_counted_separately(self):
+        records = [
+            _spam_record("a@x.top", "unique body alpha"),
+            _spam_record("b@y.top", "unique body beta"),
+        ]
+        report = reconstruct_campaigns(records)
+        assert report.campaigns == []
+        assert report.singleton_count == 2
+        assert report.campaign_spam_fraction == 0.0
+
+    def test_non_spam_ignored(self):
+        record = _spam_record("a@x.top", "body")
+        ham = CollectedRecord(
+            tokenized=record.tokenized,
+            result=FilterResult(Verdict.TRUE_TYPO, "receiver", None, ""),
+            study_domain="gmial.com", timestamp=0.0)
+        report = reconstruct_campaigns([ham])
+        assert report.spam_total == 0
+
+    def test_generated_spam_is_campaign_heavy(self):
+        """Validates the generator: most spam belongs to campaigns."""
+        from repro.core import build_study_corpus
+        from repro.util import SeededRng
+        from repro.workloads import SpamGenerator
+        corpus = build_study_corpus()
+        generator = SpamGenerator(corpus, SeededRng(21), volume_scale=1e-4)
+        records = []
+        for day in range(20):
+            for request in generator.emails_for_day(day):
+                message = request.message
+                message.received_at = request.timestamp
+                records.append(CollectedRecord(
+                    tokenized=tokenize(message),
+                    result=FilterResult(Verdict.SPAM, "receiver", 2, ""),
+                    study_domain=request.study_domain,
+                    timestamp=request.timestamp))
+        report = reconstruct_campaigns(records)
+        assert report.campaign_spam_fraction > 0.7
+        assert report.top_campaigns(1)[0].size > 20
