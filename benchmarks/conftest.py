@@ -8,6 +8,8 @@ per session and shared.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.volume import descaled_volume_report
@@ -15,6 +17,11 @@ from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
 from repro.experiment import ExperimentConfig, StudyRunner
 from repro.honey import HoneyCampaign
 from repro.util import SeededRng
+
+#: Worker processes for the multi-run benches (sweeps, ablations); the
+#: results are identical for any value — set REPRO_BENCH_JOBS>1 on a
+#: multi-core box to shorten wall-clock.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
 
 #: One canonical configuration for every headline number.
 STUDY_CONFIG = ExperimentConfig(seed=2016, spam_scale=2e-4)

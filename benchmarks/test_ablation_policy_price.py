@@ -7,6 +7,8 @@ legitimate domain owners."  This sweep quantifies both sides under
 constant-elasticity demand.
 """
 
+from conftest import BENCH_JOBS
+
 from repro.defenses import break_even_price, policy_sweep
 from repro.ecosystem import InternetConfig
 from repro.util import SeededRng
@@ -16,7 +18,8 @@ MULTIPLIERS = (1.0, 2.0, 5.0, 10.0, 20.0)
 
 def test_ablation_policy_price(benchmark):
     outcomes = benchmark(policy_sweep, SeededRng(888), MULTIPLIERS,
-                         InternetConfig(num_filler_targets=15))
+                         InternetConfig(num_filler_targets=15),
+                         jobs=BENCH_JOBS)
 
     print("\nregistration-price policy sweep")
     print(f"{'price x':>8s} {'squatted':>9s} {'reduction':>10s} "

@@ -1,0 +1,114 @@
+"""Performance baseline — the repo's speed trajectory.
+
+Not a paper table: the harness's own wall-clock and throughput, recorded
+to ``BENCH_perf.json`` so future changes have a trajectory to compare
+against.  Two workloads are timed:
+
+* one full seven-month study run (the `study` CLI hot path), reporting
+  emails simulated per second from the run's own perf snapshot;
+* one wild-ecosystem scan, reporting registered ctypo domains scanned
+  per second.
+
+The first recorded run becomes the baseline; later runs append to the
+history and **fail** when the study wall-clock regresses more than 2x
+over that baseline — an accidental O(n^2) in the hot path shows up here
+before it shows up in a reviewer's patience.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
+from repro.experiment import ExperimentConfig, StudyRunner
+from repro.util import SeededRng
+from repro.util.perf import throughput
+
+#: The canonical timing workload (matches the perf acceptance run).
+PERF_CONFIG = ExperimentConfig(seed=606, spam_scale=2e-4)
+SCAN_CONFIG = InternetConfig(num_filler_targets=40)
+SCAN_SEED = 606
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+#: Regression gate: fail when the study takes this many times the
+#: recorded baseline wall-clock.
+REGRESSION_FACTOR = 2.0
+HISTORY_LIMIT = 50
+
+
+def _load_bench() -> dict:
+    if BENCH_PATH.exists():
+        return json.loads(BENCH_PATH.read_text())
+    return {"baseline": None, "history": []}
+
+
+def _timed_study():
+    start = time.perf_counter()
+    results = StudyRunner(PERF_CONFIG).run()
+    return results, time.perf_counter() - start
+
+
+def _timed_scan():
+    start = time.perf_counter()
+    internet = build_internet(SeededRng(SCAN_SEED, name="world"),
+                              SCAN_CONFIG)
+    scan = EcosystemScanner(internet).scan()
+    return scan, time.perf_counter() - start
+
+
+def test_perf_baseline(benchmark):
+    (results, study_wall), (scan, scan_wall) = benchmark.pedantic(
+        lambda: (_timed_study(), _timed_scan()),
+        iterations=1, rounds=1)
+
+    perf = results.perf or {}
+    entry = {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "study": {
+            "config": {"seed": PERF_CONFIG.seed,
+                       "spam_scale": PERF_CONFIG.spam_scale},
+            "wall_seconds": round(study_wall, 3),
+            "emails_sent": results.sent_count,
+            "emails_delivered": results.delivered_count,
+            "records": len(results.records),
+            "throughput": perf.get("throughput", {}),
+            "phase_seconds": {
+                name: round(stat["seconds"], 3)
+                for name, stat in perf.get("timers", {}).items()},
+        },
+        "scan": {
+            "wall_seconds": round(scan_wall, 3),
+            "gtypos_generated": scan.generated_count,
+            "ctypos_registered": scan.registered_count,
+            "ctypos_scanned_per_sec": round(
+                throughput(scan.registered_count, scan_wall), 1),
+        },
+    }
+
+    bench = _load_bench()
+    if bench["baseline"] is None:
+        bench["baseline"] = entry
+    bench["history"] = (bench["history"] + [entry])[-HISTORY_LIMIT:]
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+
+    baseline_wall = bench["baseline"]["study"]["wall_seconds"]
+    sent_rate = entry["study"]["throughput"].get("emails_sent_per_sec", 0.0)
+    print(f"\nstudy: {study_wall:.2f}s wall, "
+          f"{sent_rate:,.0f} emails simulated/sec "
+          f"(baseline {baseline_wall:.2f}s)")
+    print(f"scan:  {scan_wall:.2f}s wall, "
+          f"{entry['scan']['ctypos_scanned_per_sec']:,.1f} "
+          "ctypos scanned/sec")
+
+    # sanity: the snapshot carries real throughput numbers
+    assert sent_rate > 0
+    assert entry["scan"]["ctypos_scanned_per_sec"] > 0
+    # the regression gate
+    assert study_wall <= REGRESSION_FACTOR * baseline_wall, (
+        f"study run regressed: {study_wall:.2f}s vs recorded baseline "
+        f"{baseline_wall:.2f}s (gate {REGRESSION_FACTOR}x) — if this "
+        "slowdown is intended, delete BENCH_perf.json to re-baseline")

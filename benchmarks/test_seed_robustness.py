@@ -6,6 +6,8 @@ and checks that the shape claims quoted in EXPERIMENTS.md are properties
 of the generative world, not of one lucky draw.
 """
 
+from conftest import BENCH_JOBS
+
 from repro.experiment import ExperimentConfig, run_seed_sweep
 
 SEEDS = (11, 22, 33)
@@ -14,7 +16,8 @@ CONFIG = ExperimentConfig(spam_scale=2e-5)
 
 def test_seed_robustness(benchmark):
     summary = benchmark.pedantic(run_seed_sweep, args=(SEEDS,),
-                                 kwargs={"base_config": CONFIG},
+                                 kwargs={"base_config": CONFIG,
+                                         "jobs": BENCH_JOBS},
                                  iterations=1, rounds=1)
 
     print(f"\nheadline robustness across seeds {SEEDS}")

@@ -32,6 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spam subsampling scale (default: 1e-4)")
     study.add_argument("--no-outage", action="store_true",
                        help="disable the two-month collection outage")
+    study.add_argument("--seeds", type=_seed_list, metavar="A,B,C",
+                       help="run one study per seed (comma-separated) "
+                            "instead of the single --seed run")
+    study.add_argument("--jobs", type=int, metavar="N",
+                       help="worker processes for the multi-seed path")
     study.add_argument("--report", metavar="PATH",
                        help="write a Markdown report to PATH")
     study.add_argument("--export", metavar="DIR",
@@ -61,8 +66,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", type=int, nargs="+",
                        default=[1, 2, 3, 4, 5])
     sweep.add_argument("--spam-scale", type=float, default=2e-5)
+    sweep.add_argument("--jobs", type=int, metavar="N",
+                       help="worker processes (default: serial)")
 
     return parser
+
+
+def _seed_list(text: str) -> List[int]:
+    """argparse type for ``--seeds 1,2,3``."""
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}")
+    if not seeds:
+        raise argparse.ArgumentTypeError("expected at least one seed")
+    return seeds
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -91,6 +110,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         spam_scale=args.spam_scale,
         outage_spans=() if args.no_outage else ((75, 135),),
     )
+    if args.seeds:
+        return _cmd_study_multi(args, config)
     print("running the collection study...", file=sys.stderr)
     results = StudyRunner(config).run()
     smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
@@ -118,6 +139,39 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
         written = export_figure_data(results, args.export)
         print(f"exported {len(written)} files to {args.export}")
+    return 0
+
+
+def _cmd_study_multi(args: argparse.Namespace, base_config) -> int:
+    """``study --seeds a,b,c [--jobs N]``: one study per seed."""
+    from dataclasses import replace
+
+    from repro.analysis.volume import descaled_volume_report
+    from repro.experiment import run_study_samples
+
+    if args.report or args.export:
+        print("--report/--export need a single-seed run", file=sys.stderr)
+        return 2
+    seeds = args.seeds
+    jobs = args.jobs
+    print(f"running the collection study under {len(seeds)} seeds"
+          f"{f' ({jobs} workers)' if jobs and jobs > 1 else ''}...",
+          file=sys.stderr)
+    configs = [replace(base_config, seed=seed) for seed in seeds]
+    samples = run_study_samples(configs, jobs=jobs)
+    print(f"{'seed':>12s} {'delivered':>10s} {'funnel':>7s} "
+          f"{'yearly typos':>13s} {'smtp band':>21s}")
+    for config, sample in zip(configs, samples):
+        smtp_domains = [d.domain for d in sample.corpus.by_purpose("smtp")]
+        report = descaled_volume_report(list(sample.records), sample.window,
+                                        config.ham_scale, config.spam_scale,
+                                        smtp_domains)
+        correct, total = sample.funnel_accuracy()
+        low, high = report.smtp_typo_range()
+        print(f"{sample.seed:>12d} {sample.delivered_count:>10d} "
+              f"{correct / max(1, total):>6.1%} "
+              f"{report.passed_all_filters:>13,.0f} "
+              f"{f'{low:,.0f} - {high:,.0f}':>21s}")
     return 0
 
 
@@ -249,7 +303,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"running the study under {len(args.seeds)} seeds...",
           file=sys.stderr)
     summary = run_seed_sweep(
-        args.seeds, base_config=ExperimentConfig(spam_scale=args.spam_scale))
+        args.seeds, base_config=ExperimentConfig(spam_scale=args.spam_scale),
+        jobs=args.jobs)
     print(f"{'headline':34s} {'mean':>14s} {'95% CI':>30s}")
     for name, distribution in summary.headlines.items():
         ci = f"[{distribution.ci_low:,.0f}, {distribution.ci_high:,.0f}]"

@@ -2,10 +2,13 @@
 
 from repro.core.distances import (
     classify_edit,
+    clear_distance_caches,
     damerau_levenshtein,
+    distance_cache_stats,
     fat_finger_distance,
     is_dl1,
     is_ff1,
+    set_distance_caches_enabled,
     visual_distance,
 )
 from repro.core.keyboard import are_adjacent, key_position, qwerty_adjacency
@@ -22,7 +25,35 @@ from repro.core.taxonomy import (
     TypoEmailKind,
     classify_domain,
 )
-from repro.core.typogen import DOMAIN_ALPHABET, TypoCandidate, TypoGenerator, split_domain
+from repro.core.typogen import (
+    DOMAIN_ALPHABET,
+    TypoCandidate,
+    TypoGenerator,
+    clear_typogen_cache,
+    set_typogen_cache_enabled,
+    split_domain,
+    typogen_cache_stats,
+)
+
+
+def set_kernel_caches_enabled(enabled: bool) -> None:
+    """Toggle every pure-kernel memoization layer (distances + typogen)."""
+    set_distance_caches_enabled(enabled)
+    set_typogen_cache_enabled(enabled)
+
+
+def clear_kernel_caches() -> None:
+    """Drop all memoized kernel results (distances + typogen)."""
+    clear_distance_caches()
+    clear_typogen_cache()
+
+
+def kernel_cache_stats() -> dict:
+    """Hit/miss/size counters for every kernel cache, by cache name."""
+    stats = dict(distance_cache_stats())
+    stats["typogen_candidates"] = typogen_cache_stats()
+    return stats
+
 
 __all__ = [
     "damerau_levenshtein",
@@ -47,4 +78,13 @@ __all__ = [
     "StudyCorpus",
     "EMAIL_TARGETS",
     "build_study_corpus",
+    "set_kernel_caches_enabled",
+    "clear_kernel_caches",
+    "kernel_cache_stats",
+    "set_distance_caches_enabled",
+    "clear_distance_caches",
+    "distance_cache_stats",
+    "set_typogen_cache_enabled",
+    "clear_typogen_cache",
+    "typogen_cache_stats",
 ]

@@ -19,7 +19,15 @@ from repro.core.distances import (
 )
 from repro.core.keyboard import qwerty_adjacency
 
-__all__ = ["TypoCandidate", "TypoGenerator", "split_domain", "DOMAIN_ALPHABET"]
+__all__ = [
+    "TypoCandidate",
+    "TypoGenerator",
+    "split_domain",
+    "DOMAIN_ALPHABET",
+    "set_typogen_cache_enabled",
+    "clear_typogen_cache",
+    "typogen_cache_stats",
+]
 
 #: Characters legal in a registrable DNS label (LDH rule, no leading/trailing
 #: hyphen — enforced by the generator).
@@ -35,6 +43,42 @@ def split_domain(domain: str) -> tuple:
     if not label or not tld:
         raise ValueError(f"malformed domain {domain!r}")
     return label, tld
+
+
+# -- candidate memoization ----------------------------------------------------
+#
+# Candidate enumeration is a pure function of (alphabet, fat_finger_only,
+# target): the study harness regenerates the same ~20 target labels for
+# every model calibration and every sweep seed.  The cache is shared across
+# generator instances, keyed by the generator's configuration, explicitly
+# size-bounded, and seed-independent.  ``TypoCandidate`` is frozen, so the
+# cached tuples are safe to share; :meth:`TypoGenerator.generate` hands out
+# a fresh list each call because callers sort the result in place.
+
+_CANDIDATE_CACHE: dict = {}
+_CANDIDATE_CACHE_MAX = 4096
+_CANDIDATE_CACHE_ENABLED = True
+_CANDIDATE_CACHE_HITS = 0
+_CANDIDATE_CACHE_MISSES = 0
+
+
+def set_typogen_cache_enabled(enabled: bool) -> None:
+    """Enable/disable the shared candidate cache (cleared on any toggle)."""
+    global _CANDIDATE_CACHE_ENABLED
+    _CANDIDATE_CACHE_ENABLED = bool(enabled)
+    clear_typogen_cache()
+
+
+def clear_typogen_cache() -> None:
+    """Drop every memoized candidate list."""
+    _CANDIDATE_CACHE.clear()
+
+
+def typogen_cache_stats() -> dict:
+    """``{"hits", "misses", "size"}`` for the shared candidate cache."""
+    return {"hits": _CANDIDATE_CACHE_HITS,
+            "misses": _CANDIDATE_CACHE_MISSES,
+            "size": len(_CANDIDATE_CACHE)}
 
 
 def _valid_label(label: str) -> bool:
@@ -91,6 +135,22 @@ class TypoGenerator:
 
     def generate(self, target: str) -> List[TypoCandidate]:
         """All distinct DL-1 typo candidates of ``target`` (same TLD)."""
+        if not _CANDIDATE_CACHE_ENABLED:
+            return self._generate_uncached(target)
+        global _CANDIDATE_CACHE_HITS, _CANDIDATE_CACHE_MISSES
+        key = (self.alphabet, self.fat_finger_only, target)
+        cached = _CANDIDATE_CACHE.get(key)
+        if cached is not None:
+            _CANDIDATE_CACHE_HITS += 1
+            return list(cached)
+        _CANDIDATE_CACHE_MISSES += 1
+        out = self._generate_uncached(target)
+        if len(_CANDIDATE_CACHE) >= _CANDIDATE_CACHE_MAX:
+            _CANDIDATE_CACHE.clear()
+        _CANDIDATE_CACHE[key] = tuple(out)
+        return out
+
+    def _generate_uncached(self, target: str) -> List[TypoCandidate]:
         label, tld = split_domain(target)
         seen: Set[str] = {label}
         out: List[TypoCandidate] = []

@@ -119,10 +119,22 @@ def break_even_price(yearly_emails: float, value_per_email: float = 0.01,
     return yearly_emails * value_per_email
 
 
+def _policy_job(work: tuple) -> PolicyOutcome:
+    """Module-level worker so the sweep can fan out over processes."""
+    rng, multiplier, config = work
+    return simulate_price_policy(rng, multiplier, config=config)
+
+
 def policy_sweep(rng: SeededRng, multipliers: Sequence[float],
-                 config: Optional[InternetConfig] = None
-                 ) -> List[PolicyOutcome]:
-    """One outcome per price multiplier (the ablation bench's sweep)."""
-    return [simulate_price_policy(rng.child(f"m-{multiplier}"), multiplier,
-                                  config=config)
+                 config: Optional[InternetConfig] = None,
+                 jobs: Optional[int] = None) -> List[PolicyOutcome]:
+    """One outcome per price multiplier (the ablation bench's sweep).
+
+    Each multiplier rebuilds its own world from an independent child
+    seed, so the outcomes are identical for any ``jobs`` count.
+    """
+    from repro.experiment.parallel import parallel_map
+
+    work = [(rng.child(f"m-{multiplier}"), multiplier, config)
             for multiplier in multipliers]
+    return parallel_map(_policy_job, work, jobs=jobs)

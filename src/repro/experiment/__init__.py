@@ -1,6 +1,14 @@
 """End-to-end study simulation: configuration, runner, and validation."""
 
 from repro.experiment.config import ExperimentConfig
+from repro.experiment.parallel import (
+    StudySample,
+    derive_child_seeds,
+    parallel_map,
+    record_stream_digest,
+    run_study_sample,
+    run_study_samples,
+)
 from repro.experiment.runner import StudyResults, StudyRunner
 from repro.experiment.sweep import (
     HeadlineDistribution,
@@ -23,4 +31,10 @@ __all__ = [
     "run_seed_sweep",
     "SweepSummary",
     "HeadlineDistribution",
+    "StudySample",
+    "run_study_sample",
+    "run_study_samples",
+    "derive_child_seeds",
+    "parallel_map",
+    "record_stream_digest",
 ]

@@ -1,0 +1,180 @@
+"""Parallel multi-seed study engine.
+
+One simulated seven-month study is a single draw from the generative
+world; the robustness sweeps, the ablation benches, and the calibration
+workflows all need *many* draws.  This module fans independent
+:class:`StudyRunner` configurations out over worker processes:
+
+* every run is fully determined by its :class:`ExperimentConfig` (seed
+  included), so results are identical whether computed serially or on a
+  pool — :func:`record_stream_digest` makes that property testable;
+* workers return :class:`StudySample`, a picklable projection of
+  :class:`~repro.experiment.runner.StudyResults` — the live
+  infrastructure (SMTP servers holding policy closures) never crosses a
+  process boundary;
+* child seeds come from :func:`~repro.util.rand.derive_seed`, so a
+  parallel sweep's seed list is itself reproducible from one base seed.
+
+On machines without usable worker processes (or for ``jobs=None``)
+everything degrades to the serial path with the same outputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.analysis.records import CollectedRecord
+from repro.core.targets import StudyCorpus
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.runner import StudyResults, StudyRunner
+from repro.util.rand import derive_seed
+from repro.util.simtime import CollectionWindow
+
+__all__ = [
+    "StudySample",
+    "run_study_sample",
+    "run_study_samples",
+    "derive_child_seeds",
+    "parallel_map",
+    "record_stream_digest",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class StudySample:
+    """The picklable cross-process view of one completed study run.
+
+    Everything the sweep/analysis layers consume survives the trip:
+    records, corpus, window, counts, and the perf snapshot.  The live
+    infrastructure objects stay behind in the worker.
+    """
+
+    config: ExperimentConfig
+    corpus: StudyCorpus
+    window: CollectionWindow
+    records: Tuple[CollectedRecord, ...]
+    malicious_hashes: FrozenSet[str]
+    sent_count: int
+    delivered_count: int
+    funnel_correct: int
+    funnel_total: int
+    perf: Optional[Dict] = None
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def true_typo_records(self) -> List[CollectedRecord]:
+        """The records that survived every filter layer."""
+        return [r for r in self.records if r.is_true_typo]
+
+    def funnel_accuracy(self) -> Tuple[int, int]:
+        """(correct, total) verdicts vs. ground truth, as computed in-run."""
+        return self.funnel_correct, self.funnel_total
+
+    def record_digest(self) -> str:
+        """Content digest of the record stream (for determinism checks)."""
+        return record_stream_digest(self.records)
+
+
+def sample_from_results(results: StudyResults) -> StudySample:
+    """Project live :class:`StudyResults` onto the picklable sample."""
+    correct, total = results.funnel_accuracy()
+    return StudySample(
+        config=results.config,
+        corpus=results.corpus,
+        window=results.window,
+        records=tuple(results.records),
+        malicious_hashes=frozenset(results.malicious_hashes),
+        sent_count=results.sent_count,
+        delivered_count=results.delivered_count,
+        funnel_correct=correct,
+        funnel_total=total,
+        perf=results.perf,
+    )
+
+
+def run_study_sample(config: ExperimentConfig) -> StudySample:
+    """Run one full study and return its picklable sample.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can ship
+    it to workers by name.
+    """
+    return sample_from_results(StudyRunner(config).run())
+
+
+def derive_child_seeds(base_seed: int, count: int,
+                       name: str = "parallel-study") -> List[int]:
+    """``count`` deterministic, distinct child seeds of ``base_seed``.
+
+    Uses the same SHA-256 derivation as :meth:`SeededRng.child`, so a
+    sweep's whole seed list is reproducible from (base_seed, name).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [derive_seed(base_seed, f"{name}-{index}")
+            for index in range(count)]
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 jobs: Optional[int] = None) -> List[R]:
+    """Order-preserving map over worker processes, serial when ``jobs<=1``.
+
+    Falls back to the serial path when the pool cannot be used at all
+    (unpicklable work or a sandbox without worker processes); exceptions
+    raised by ``fn`` itself propagate unchanged in both modes.
+    """
+    work = list(items)
+    if jobs is None or jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except (pickle.PicklingError, AttributeError, BrokenProcessPool,
+            OSError):
+        # AttributeError is how lambdas/closures fail to pickle; a real
+        # AttributeError from ``fn`` re-raises identically on the serial
+        # retry, so nothing is masked.
+        return [fn(item) for item in work]
+
+
+def run_study_samples(configs: Sequence[ExperimentConfig],
+                      jobs: Optional[int] = None) -> List[StudySample]:
+    """Run one study per config, optionally on a process pool.
+
+    Results come back in input order and are identical to the serial
+    path: each run is a pure function of its config.
+    """
+    return parallel_map(run_study_sample, configs, jobs=jobs)
+
+
+def record_stream_digest(records: Iterable[CollectedRecord]) -> str:
+    """SHA-256 over the full repr of every record, in stream order.
+
+    Two runs produce the same digest iff their record streams match
+    field-for-field — the byte-identical bar the cached and parallel
+    paths are held to.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(repr(record).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

@@ -26,6 +26,7 @@ from repro.pipeline.processor import EmailProcessor
 from repro.pipeline.tokenizer import tokenize
 from repro.smtpsim import Network, SmtpClient
 from repro.spamfilter.funnel import FilterFunnel, Verdict
+from repro.util.perf import PerfRegistry, throughput
 from repro.util.rand import SeededRng
 from repro.util.simtime import CollectionWindow, paper_window
 from repro.workloads.events import SendRequest
@@ -49,6 +50,8 @@ class StudyResults:
     malicious_hashes: Set[str]
     sent_count: int = 0
     delivered_count: int = 0
+    #: per-phase timers and call/byte counters (see :mod:`repro.util.perf`)
+    perf: Optional[Dict] = None
 
     # -- convenience views ---------------------------------------------------
 
@@ -114,37 +117,60 @@ class StudyRunner:
     def run(self) -> StudyResults:
         """Provision the world, simulate the window, classify everything."""
         config = self.config
-        corpus = build_study_corpus()
-        registry = DomainRegistry()
-        network = Network(self._rng.child("network"))
-        infra = provision_study(corpus, registry, network)
-        collector = infra.collector
-        if config.smtp_forwarding:
-            from repro.infra.forwarding import attach_forwarding
+        perf = PerfRegistry()
+        with perf.timer("run"):
+            with perf.timer("provision"):
+                corpus = build_study_corpus()
+                registry = DomainRegistry()
+                network = Network(self._rng.child("network"))
+                infra = provision_study(corpus, registry, network)
+                collector = infra.collector
+                if config.smtp_forwarding:
+                    from repro.infra.forwarding import attach_forwarding
 
-            attach_forwarding(infra, network)
-        window = paper_window(outage_spans=config.outage_spans)
+                    attach_forwarding(infra, network)
+                window = paper_window(outage_spans=config.outage_spans)
 
-        generators = self._build_generators(corpus)
-        client = SmtpClient(Resolver(registry), network)
-        our_domains = set(corpus.domain_names())
+            with perf.timer("build_generators"):
+                generators = self._build_generators(corpus)
+            client = SmtpClient(Resolver(registry), network)
+            our_domains = frozenset(corpus.domain_names())
+            # suffix tuple for C-speed subdomain checks (str.endswith
+            # accepts a tuple); rebuilt once per run, not per email
+            our_suffixes = tuple("." + d for d in our_domains)
 
-        sent = 0
-        origin_by_id: Dict[int, SendRequest] = {}
-        for day in range(window.total_days):
-            collector.set_outage(not window.is_collecting(day))
-            requests: List[SendRequest] = []
-            for generator in generators:
-                requests.extend(generator.emails_for_day(day))
-            requests.sort(key=lambda r: r.timestamp)
-            for request in requests:
-                sent += 1
-                origin_by_id[id(request.message)] = request
-                self._deliver(client, infra, our_domains, request)
-        collector.set_outage(False)
+            sent = 0
+            origin_by_id: Dict[int, SendRequest] = {}
+            for day in range(window.total_days):
+                collector.set_outage(not window.is_collecting(day))
+                with perf.timer("generate"):
+                    requests: List[SendRequest] = []
+                    for generator in generators:
+                        requests.extend(generator.emails_for_day(day))
+                    requests.sort(key=lambda r: r.timestamp)
+                with perf.timer("deliver"):
+                    for request in requests:
+                        sent += 1
+                        origin_by_id[id(request.message)] = request
+                        perf.count("deliver.body_bytes",
+                                   len(request.message.body))
+                        self._deliver(client, infra, our_domains,
+                                      our_suffixes, request)
+            collector.set_outage(False)
 
-        records = self._classify(corpus, infra, collector.corpus,
-                                 origin_by_id)
+            with perf.timer("classify"):
+                records = self._classify(corpus, infra, collector.corpus,
+                                         origin_by_id)
+        perf.count("emails.sent", sent)
+        perf.count("emails.delivered", len(collector.corpus))
+        perf.count("records", len(records))
+        snapshot = perf.snapshot(extra={
+            "throughput": {
+                "emails_sent_per_sec": throughput(sent, perf.seconds("run")),
+                "emails_delivered_per_sec": throughput(
+                    len(collector.corpus), perf.seconds("run")),
+            },
+        })
         spam_generator = generators[-1]
         return StudyResults(
             config=config,
@@ -155,6 +181,7 @@ class StudyRunner:
             malicious_hashes=set(spam_generator.malicious_hashes),
             sent_count=sent,
             delivered_count=len(collector.corpus),
+            perf=snapshot,
         )
 
     # -- internals ----------------------------------------------------------
@@ -180,11 +207,11 @@ class StudyRunner:
         return [receiver, reflection, smtp_typo, spam]
 
     def _deliver(self, client: SmtpClient, infra: CollectionInfrastructure,
-                 our_domains: Set[str], request: SendRequest) -> None:
+                 our_domains: Set[str], our_suffixes: Tuple[str, ...],
+                 request: SendRequest) -> None:
         recipient_domain = request.recipient.rpartition("@")[2].lower()
         addressed_to_us = (recipient_domain in our_domains
-                           or any(recipient_domain.endswith("." + d)
-                                  for d in our_domains))
+                           or recipient_domain.endswith(our_suffixes))
         if addressed_to_us:
             # normal MX-routed delivery: sender's MTA resolves our zone
             client.send(request.message, recipient=request.recipient,
@@ -210,13 +237,20 @@ class StudyRunner:
         results = funnel.classify_corpus(tokenized)
 
         processor = EmailProcessor() if config.process_non_spam else None
+        # attribution index, hoisted once per run instead of rebuilt per
+        # recipient: exact matches hit the frozenset, subdomain matches the
+        # suffix tuple (str.endswith scans it in C)
+        domain_set = frozenset(our_domains)
+        suffix_of = {"." + d: d for d in our_domains}
+        suffixes = tuple(suffix_of)
         records: List[CollectedRecord] = []
         for message, tok, result in zip(messages, tokenized, results):
             origin = origin_by_id.get(id(message))
-            study_domain = self._attribute(corpus, infra, tok, result)
+            study_domain = self._attribute(domain_set, suffixes, suffix_of,
+                                           infra, tok, result)
             processed = None
             if processor is not None and result.verdict is not Verdict.SPAM:
-                processed = processor.process(message)
+                processed = processor.process(message, tokenized=tok)
             records.append(CollectedRecord(
                 tokenized=tok,
                 result=result,
@@ -227,7 +261,8 @@ class StudyRunner:
             ))
         return records
 
-    def _attribute(self, corpus: StudyCorpus,
+    def _attribute(self, domain_set: frozenset,
+                   suffixes: Tuple[str, ...], suffix_of: Dict[str, str],
                    infra: CollectionInfrastructure, tok,
                    result) -> Optional[str]:
         """The researchers' domain attribution (no ground truth).
@@ -239,11 +274,14 @@ class StudyRunner:
         if result.kind == "receiver":
             for recipient in tok.metadata.envelope_to:
                 domain = recipient.rpartition("@")[2].lower()
-                if corpus.lookup(domain):
+                if domain in domain_set:
                     return domain
-                for candidate in corpus.domain_names():
-                    if domain.endswith("." + candidate):
-                        return candidate
+                if domain.endswith(suffixes):
+                    # rare path: recover *which* suffix matched, in the
+                    # corpus order the serial implementation used
+                    for suffix in suffixes:
+                        if domain.endswith(suffix):
+                            return suffix_of[suffix]
             return None
         ip = tok.metadata.received_by_ip
         if ip is None:

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.volume import VolumeReport, descaled_volume_report
 from repro.experiment.config import ExperimentConfig
-from repro.experiment.runner import StudyRunner
+from repro.experiment.parallel import StudySample, run_study_samples
 from repro.util.stats import mean_confidence_interval
 
 __all__ = ["HeadlineDistribution", "SweepSummary", "run_seed_sweep"]
@@ -63,26 +63,32 @@ class SweepSummary:
 
 
 def run_seed_sweep(seeds: Sequence[int],
-                   base_config: Optional[ExperimentConfig] = None
-                   ) -> SweepSummary:
-    """Run the study once per seed and summarise the headline spread."""
+                   base_config: Optional[ExperimentConfig] = None,
+                   jobs: Optional[int] = None) -> SweepSummary:
+    """Run the study once per seed and summarise the headline spread.
+
+    ``jobs`` fans the per-seed runs out over worker processes (see
+    :mod:`repro.experiment.parallel`); every run is a pure function of
+    its config, so the summary is identical for any worker count.
+    """
     if len(seeds) < 2:
         raise ValueError("a sweep needs at least two seeds")
     base_config = base_config or ExperimentConfig()
 
+    configs = [replace(base_config, seed=seed) for seed in seeds]
+    results: List[StudySample] = run_study_samples(configs, jobs=jobs)
+
     samples: Dict[str, List[float]] = {name: [] for name in _HEADLINES}
     accuracies: List[float] = []
-    for seed in seeds:
-        config = replace(base_config, seed=seed)
-        results = StudyRunner(config).run()
+    for config, sample in zip(configs, results):
         smtp_domains = [d.domain
-                        for d in results.corpus.by_purpose("smtp")]
-        report = descaled_volume_report(results.records, results.window,
+                        for d in sample.corpus.by_purpose("smtp")]
+        report = descaled_volume_report(list(sample.records), sample.window,
                                         config.ham_scale, config.spam_scale,
                                         smtp_domains)
         for name, extractor in _HEADLINES.items():
             samples[name].append(extractor(report))
-        correct, total = results.funnel_accuracy()
+        correct, total = sample.funnel_accuracy()
         accuracies.append(correct / max(1, total))
 
     summary = SweepSummary(seeds=tuple(seeds),

@@ -76,9 +76,15 @@ class EmailProcessor:
         self.scrubber = scrubber or SensitiveScrubber()
         self.store = store
 
-    def process(self, message: EmailMessage) -> ProcessedEmail:
-        """Run the full Fig. 2 pipeline over one received message."""
-        tokenized = tokenize(message)
+    def process(self, message: EmailMessage,
+                tokenized: Optional[TokenizedEmail] = None) -> ProcessedEmail:
+        """Run the full Fig. 2 pipeline over one received message.
+
+        ``tokenized`` lets callers that already tokenized the message (the
+        study runner does, for the funnel) skip the repeat parse.
+        """
+        if tokenized is None:
+            tokenized = tokenize(message)
         body_result = self.scrubber.scrub(tokenized.body)
 
         processed_attachments = [

@@ -126,6 +126,7 @@ class ScrubResult:
 
 # --- detector implementation ------------------------------------------------
 
+_HAS_DIGIT_RE = re.compile(r"\d")
 _CARD_RE = re.compile(r"(?<![\d-])(?:\d[ -]?){12,18}\d(?![\d-])")
 _SSN_RE = re.compile(r"\b\d{3}-\d{2}-\d{4}\b")
 _SSN_CONTEXT_RE = re.compile(
@@ -176,16 +177,21 @@ class SensitiveScrubber:
     def find(self, text: str) -> List[SensitiveMatch]:
         """All identifier matches, overlaps resolved by kind priority."""
         candidates: List[SensitiveMatch] = []
-        candidates.extend(self._find_cards(text))
-        candidates.extend(_simple(text, _SSN_RE, "ssn"))
-        candidates.extend(_group(text, _SSN_CONTEXT_RE, "ssn", group=1))
-        candidates.extend(_simple(text, _EIN_RE, "ein"))
-        candidates.extend(_simple(text, _VIN_RE, "vin"))
-        candidates.extend(_simple(text, _PHONE_RE, "phone"))
-        for pattern in _DATE_RES:
-            candidates.extend(_simple(text, pattern, "date"))
+        # every numeric-identifier pattern requires at least one digit, so
+        # one digit scan gates eleven regex passes for digit-free bodies
+        has_digit = _HAS_DIGIT_RE.search(text) is not None
+        if has_digit:
+            candidates.extend(self._find_cards(text))
+            candidates.extend(_simple(text, _SSN_RE, "ssn"))
+            candidates.extend(_group(text, _SSN_CONTEXT_RE, "ssn", group=1))
+            candidates.extend(_simple(text, _EIN_RE, "ein"))
+            candidates.extend(_simple(text, _VIN_RE, "vin"))
+            candidates.extend(_simple(text, _PHONE_RE, "phone"))
+            for pattern in _DATE_RES:
+                candidates.extend(_simple(text, pattern, "date"))
         candidates.extend(_simple(text, _EMAIL_RE, "email"))
-        candidates.extend(_zip_matches(text))
+        if has_digit:
+            candidates.extend(_zip_matches(text))
         candidates.extend(_group(text, _PASSWORD_RE, "password", group=1))
         candidates.extend(_group(text, _USERNAME_RE, "username", group=1))
         candidates.extend(_group(text, _IDNUMBER_RE, "idnumber", group=1))
@@ -209,6 +215,10 @@ class SensitiveScrubber:
     def scrub(self, text: str) -> ScrubResult:
         """Replace identifiers with sentinel tokens, then zero all digits."""
         matches = self.find(text)
+        if not matches:
+            if _HAS_DIGIT_RE.search(text) is None:
+                return ScrubResult(text=text, matches=())
+            return ScrubResult(text=_HAS_DIGIT_RE.sub("0", text), matches=())
         pieces: List[str] = []
         cursor = 0
         for match in matches:
@@ -217,7 +227,7 @@ class SensitiveScrubber:
             cursor = match.end
         pieces.append(text[cursor:])
         sanitised = "".join(pieces)
-        sanitised = re.sub(r"\d", "0", sanitised)
+        sanitised = _HAS_DIGIT_RE.sub("0", sanitised)
         return ScrubResult(text=sanitised, matches=tuple(matches))
 
     def _replacement(self, match: SensitiveMatch) -> str:

@@ -38,15 +38,28 @@ class Address:
         return f"{self.local}@{self.domain}"
 
 
+# Address is frozen, so parses can be shared; delivery re-parses the same
+# sender/recipient strings constantly.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_MAX = 1 << 15
+
+
 def parse_address(text: str) -> Address:
     """Parse ``user@dom`` or ``Display Name <user@dom>``."""
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
     match = _ADDRESS_RE.match(text.strip())
     if not match:
         raise ValueError(f"unparseable address {text!r}")
     raw = match.group("addr") or match.group("bare")
     display = (match.group("display") or "").strip()
     local, _, domain = raw.partition("@")
-    return Address(local=local, domain=domain.lower(), display_name=display)
+    address = Address(local=local, domain=domain.lower(), display_name=display)
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[text] = address
+    return address
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,14 @@ class SmtpReply:
         return 500 <= self.code < 600
 
     def __str__(self) -> str:
-        return f"{self.code} {self.text}"
+        # replies are shared across sessions (see the reply caches below)
+        # and each one is rendered into every transcript, so the wire
+        # string is memoized per instance
+        rendered = self.__dict__.get("_rendered")
+        if rendered is None:
+            rendered = f"{self.code} {self.text}"
+            object.__setattr__(self, "_rendered", rendered)
+        return rendered
 
 
 class SmtpState(enum.Enum):
@@ -51,6 +58,27 @@ class SmtpState(enum.Enum):
 
 #: Decides whether a recipient is accepted: returns (accept, reply-text).
 RcptPolicy = Callable[[str], Tuple[bool, str]]
+
+# Shared instances of the fixed-text replies; SmtpReply is frozen, so the
+# hot transaction path can reuse them instead of re-allocating per command.
+# Hostname-dependent replies (banner, greeting, QUIT) are shared through
+# a bounded cache keyed on their formatted inputs.
+_HOST_REPLY_CACHE: dict = {}
+_HOST_REPLY_CACHE_MAX = 1 << 15
+
+
+def _store_host_reply(key, reply: "SmtpReply") -> "SmtpReply":
+    if len(_HOST_REPLY_CACHE) >= _HOST_REPLY_CACHE_MAX:
+        _HOST_REPLY_CACHE.clear()
+    _HOST_REPLY_CACHE[key] = reply
+    return reply
+
+
+_REPLY_OK = SmtpReply(250, "OK")
+_REPLY_DATA_GO = SmtpReply(354, "start mail input; end with <CRLF>.<CRLF>")
+_REPLY_ACCEPTED = SmtpReply(250, "OK message accepted")
+_REPLY_BAD_SEQUENCE = SmtpReply(503, "bad sequence of commands")
+_REPLY_NOT_IMPLEMENTED = SmtpReply(502, "command not implemented")
 
 
 def accept_all_policy(recipient: str) -> Tuple[bool, str]:
@@ -88,37 +116,48 @@ class SmtpSession:
 
     def banner(self) -> SmtpReply:
         """The 220 service-ready greeting that opens the conversation."""
-        return self._log(SmtpReply(220, f"{self.server_hostname} ESMTP ready"))
+        key = ("banner", self.server_hostname)
+        reply = _HOST_REPLY_CACHE.get(key)
+        if reply is None:
+            reply = _store_host_reply(
+                key, SmtpReply(220, f"{self.server_hostname} ESMTP ready"))
+        return self._log(reply)
 
     # -- command dispatch -----------------------------------------------------
+
+    #: verb -> unbound handler; class-level so dispatch costs one dict
+    #: lookup per command instead of building the table per call
+    _HANDLERS = {
+        "HELO": "_helo",
+        "EHLO": "_ehlo",
+        "MAIL": "_mail",
+        "RCPT": "_rcpt",
+        "DATA": "_data",
+        "RSET": "_rset",
+        "NOOP": "_noop",
+        "QUIT": "_quit",
+        "STARTTLS": "_starttls",
+    }
 
     def command(self, line: str) -> SmtpReply:
         """Dispatch one client command line and return the server reply."""
         if self.state is SmtpState.CLOSED:
             raise RuntimeError("session is closed")
         verb, _, argument = line.strip().partition(" ")
-        verb = verb.upper()
-        handler = {
-            "HELO": self._helo,
-            "EHLO": self._ehlo,
-            "MAIL": self._mail,
-            "RCPT": self._rcpt,
-            "DATA": self._data,
-            "RSET": self._rset,
-            "NOOP": self._noop,
-            "QUIT": self._quit,
-            "STARTTLS": self._starttls,
-        }.get(verb)
-        if handler is None:
-            return self._log(SmtpReply(502, "command not implemented"))
-        return self._log(handler(argument.strip()))
+        # clients overwhelmingly send upper-case verbs already; only pay
+        # for .upper() when the exact-match lookup misses
+        handler_name = self._HANDLERS.get(verb) \
+            or self._HANDLERS.get(verb.upper())
+        if handler_name is None:
+            return self._log(_REPLY_NOT_IMPLEMENTED)
+        return self._log(getattr(self, handler_name)(argument.strip()))
 
     def data_payload(self, payload: str) -> SmtpReply:
         """Deliver the message body after a successful DATA command."""
         if self.state is not SmtpState.DATA:
-            return self._log(SmtpReply(503, "bad sequence of commands"))
+            return self._log(_REPLY_BAD_SEQUENCE)
         self.state = SmtpState.DONE
-        return self._log(SmtpReply(250, "OK message accepted"))
+        return self._log(_REPLY_ACCEPTED)
 
     # -- handlers --------------------------------------------------------------
 
@@ -127,12 +166,22 @@ class SmtpSession:
             return SmtpReply(501, "syntax: HELO hostname")
         self.client_hostname = argument
         self.state = SmtpState.GREETED
-        return SmtpReply(250, f"{self.server_hostname} greets {argument}")
+        key = ("helo", self.server_hostname, argument)
+        reply = _HOST_REPLY_CACHE.get(key)
+        if reply is None:
+            reply = _store_host_reply(key, SmtpReply(
+                250, f"{self.server_hostname} greets {argument}"))
+        return reply
 
     def _ehlo(self, argument: str) -> SmtpReply:
         reply = self._helo(argument)
         if reply.is_success and self.supports_starttls:
-            return SmtpReply(250, f"{reply.text}\nSTARTTLS")
+            key = ("ehlo", self.server_hostname, argument)
+            extended = _HOST_REPLY_CACHE.get(key)
+            if extended is None:
+                extended = _store_host_reply(
+                    key, SmtpReply(250, f"{reply.text}\nSTARTTLS"))
+            return extended
         return reply
 
     def _starttls(self, argument: str) -> SmtpReply:
@@ -154,7 +203,7 @@ class SmtpSession:
         self.envelope_from = address
         self.envelope_to = []
         self.state = SmtpState.MAIL
-        return SmtpReply(250, "OK")
+        return _REPLY_OK
 
     def _rcpt(self, argument: str) -> SmtpReply:
         if self.state not in (SmtpState.MAIL, SmtpState.RCPT):
@@ -169,27 +218,33 @@ class SmtpSession:
             return SmtpReply(550, text or "mailbox unavailable")
         self.envelope_to.append(address)
         self.state = SmtpState.RCPT
-        return SmtpReply(250, text or "OK")
+        return _REPLY_OK if (not text or text == "OK") \
+            else SmtpReply(250, text)
 
     def _data(self, argument: str) -> SmtpReply:
         if self.state is not SmtpState.RCPT:
             return SmtpReply(503, "need RCPT before DATA")
         self.state = SmtpState.DATA
-        return SmtpReply(354, "start mail input; end with <CRLF>.<CRLF>")
+        return _REPLY_DATA_GO
 
     def _rset(self, argument: str) -> SmtpReply:
         if self.state is not SmtpState.CONNECTED:
             self.state = SmtpState.GREETED
         self.envelope_from = None
         self.envelope_to = []
-        return SmtpReply(250, "OK")
+        return _REPLY_OK
 
     def _noop(self, argument: str) -> SmtpReply:
-        return SmtpReply(250, "OK")
+        return _REPLY_OK
 
     def _quit(self, argument: str) -> SmtpReply:
         self.state = SmtpState.CLOSED
-        return SmtpReply(221, f"{self.server_hostname} closing connection")
+        key = ("quit", self.server_hostname)
+        reply = _HOST_REPLY_CACHE.get(key)
+        if reply is None:
+            reply = _store_host_reply(key, SmtpReply(
+                221, f"{self.server_hostname} closing connection"))
+        return reply
 
     def _log(self, reply: SmtpReply) -> SmtpReply:
         self.transcript.append(str(reply))
@@ -198,8 +253,10 @@ class SmtpSession:
 
 def _extract_path(argument: str, keyword: str) -> Optional[str]:
     """Parse ``FROM:<a@b>`` / ``TO:<a@b>`` arguments; None on bad syntax."""
-    upper = argument.upper()
-    if not upper.startswith(keyword + ":"):
+    prefix = argument[:len(keyword) + 1]
+    # exact match first: only pay for case folding on the rare
+    # lower/mixed-case client
+    if prefix != keyword + ":" and prefix.upper() != keyword + ":":
         return None
     path = argument[len(keyword) + 1:].strip()
     if path.startswith("<") and path.endswith(">"):

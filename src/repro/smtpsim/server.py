@@ -79,7 +79,9 @@ class SmtpServer:
         finalises the transaction the way a real server does at
         ``<CRLF>.<CRLF>``.
         """
-        reply = session.data_payload(message.to_wire())
+        # data_payload only advances the state machine — serialising the
+        # whole message with to_wire() here would be pure wasted work
+        reply = session.data_payload("")
         if not reply.is_success:
             self.rejected_count += 1
             return reply

@@ -105,9 +105,11 @@ class Network:
             return ()
         return tuple(sorted(server.ports))
 
+    _DEFAULT_BEHAVIOR = HostBehavior()
+
     def connect(self, ip: str, port: int = 25) -> ConnectResult:
         """Attempt a TCP+SMTP connection to ``ip:port``."""
-        behavior = self._behaviors.get(ip, HostBehavior())
+        behavior = self._behaviors.get(ip, self._DEFAULT_BEHAVIOR)
         latency = behavior.base_latency_seconds * self._rng.uniform(0.5, 2.0)
 
         if self._rng.bernoulli(behavior.timeout_probability):

@@ -83,6 +83,13 @@ class FunnelConfig:
     spamassassin_threshold: float = 5.0
 
 
+# bounded memo tables keyed by body text, shared process-wide (both are
+# pure functions of the body, so staleness is impossible)
+_BODY_CACHE_MAX = 1 << 15
+_WORDS_CACHE: Dict[str, FrozenSet[str]] = {}
+_CONTENT_HASH_CACHE: Dict[str, str] = {}
+
+
 class CollaborativeDatabase:
     """Shared spam knowledge across all of the study's domains (Layer 3)."""
 
@@ -109,7 +116,15 @@ class CollaborativeDatabase:
         return None
 
     def _bag(self, body: str) -> Optional[FrozenSet[str]]:
-        words = frozenset(re.findall(r"[a-z0-9']+", body.lower()))
+        # the word set is a pure function of the body; campaign spam repeats
+        # bodies verbatim and every survivor is bagged twice (pass 1 +
+        # retroactive pass 2).  The threshold stays per-instance.
+        words = _WORDS_CACHE.get(body)
+        if words is None:
+            words = frozenset(re.findall(r"[a-z0-9']+", body.lower()))
+            if len(_WORDS_CACHE) >= _BODY_CACHE_MAX:
+                _WORDS_CACHE.clear()
+            _WORDS_CACHE[body] = words
         if len(words) > self._bow_minimum:
             return words
         return None
@@ -146,6 +161,9 @@ class FilterFunnel:
                  scorer: Optional[SpamAssassinScorer] = None,
                  enabled_layers: Iterable[int] = (1, 2, 3, 4, 5)) -> None:
         self.our_domains = {d.lower() for d in our_domains}
+        # precomputed suffix tuple: str.endswith(tuple) runs the whole
+        # subdomain scan in C instead of a per-email generator expression
+        self._suffix_tuple = tuple("." + d for d in sorted(self.our_domains))
         self.smtp_purpose_ips = set(smtp_purpose_ips or ())
         self.config = config or FunnelConfig()
         self.enabled_layers = frozenset(enabled_layers)
@@ -177,7 +195,8 @@ class FilterFunnel:
         return "smtp"
 
     def _suffix_match(self, domain: str) -> bool:
-        return any(domain.endswith("." + ours) for ours in self.our_domains)
+        return domain.endswith(self._suffix_tuple) if self._suffix_tuple \
+            else False
 
     # -- layers ---------------------------------------------------------------
 
@@ -400,5 +419,12 @@ def _header_to_domain(email: TokenizedEmail) -> Optional[str]:
 
 
 def _content_hash(body: str) -> str:
+    cached = _CONTENT_HASH_CACHE.get(body)
+    if cached is not None:
+        return cached
     normalised = re.sub(r"\s+", " ", body.strip().lower())
-    return hashlib.sha1(normalised.encode("utf-8")).hexdigest()
+    digest = hashlib.sha1(normalised.encode("utf-8")).hexdigest()
+    if len(_CONTENT_HASH_CACHE) >= _BODY_CACHE_MAX:
+        _CONTENT_HASH_CACHE.clear()
+    _CONTENT_HASH_CACHE[body] = digest
+    return digest

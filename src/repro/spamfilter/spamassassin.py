@@ -66,18 +66,44 @@ _PHISH_PHRASES = (
 )
 
 
+# Three phrase rules lower-case the same subject+body per score() call;
+# scoring walks rules in order, so a one-slot memo keyed on the email's
+# identity collapses the repeats without keeping old emails alive long.
+_LAST_TEXT: Tuple[Optional[TokenizedEmail], str] = (None, "")
+
+
 def _body_and_subject(email: TokenizedEmail) -> str:
-    return f"{email.metadata.subject}\n{email.body}".lower()
+    global _LAST_TEXT
+    last_email, last_text = _LAST_TEXT
+    if last_email is email:
+        return last_text
+    text = f"{email.metadata.subject}\n{email.body}".lower()
+    _LAST_TEXT = (email, text)
+    return text
+
+
+_LAST_PHRASE_COUNT: Tuple[Optional[TokenizedEmail], int] = (None, -1)
+
+
+def _spam_phrase_count(email: TokenizedEmail) -> int:
+    # the two phrase rules below would otherwise scan the phrase table
+    # twice per scored email; same one-slot memo pattern as _LAST_TEXT
+    global _LAST_PHRASE_COUNT
+    last_email, last_count = _LAST_PHRASE_COUNT
+    if last_email is email:
+        return last_count
+    text = _body_and_subject(email)
+    count = sum(phrase in text for phrase in _SPAM_PHRASES)
+    _LAST_PHRASE_COUNT = (email, count)
+    return count
 
 
 def _rule_spam_phrases(email: TokenizedEmail) -> bool:
-    text = _body_and_subject(email)
-    return any(phrase in text for phrase in _SPAM_PHRASES)
+    return _spam_phrase_count(email) >= 1
 
 
 def _rule_many_spam_phrases(email: TokenizedEmail) -> bool:
-    text = _body_and_subject(email)
-    return sum(phrase in text for phrase in _SPAM_PHRASES) >= 3
+    return _spam_phrase_count(email) >= 3
 
 
 def _rule_phishing_phrases(email: TokenizedEmail) -> bool:

@@ -1,5 +1,6 @@
 """Shared utilities: deterministic randomness, simulated time, statistics."""
 
+from repro.util.perf import PerfRegistry, TimerStat, throughput
 from repro.util.rand import SeededRng, derive_seed
 from repro.util.simtime import (
     CollectionWindow,
@@ -22,6 +23,9 @@ from repro.util.stats import (
 __all__ = [
     "SeededRng",
     "derive_seed",
+    "PerfRegistry",
+    "TimerStat",
+    "throughput",
     "SimClock",
     "CollectionWindow",
     "paper_window",

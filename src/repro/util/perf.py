@@ -1,0 +1,97 @@
+"""Lightweight performance instrumentation: timers and counters.
+
+The study harness is a simulation, so "how fast is it" is a first-class
+reproduction artifact: the perf registry collects per-subsystem wall-clock
+timers (context managers around each phase) and monotonically increasing
+call/byte counters, and snapshots them into plain dicts that ride along on
+:class:`~repro.experiment.runner.StudyResults` and in ``BENCH_perf.json``.
+
+Everything here is deliberately dependency-free and picklable so the
+parallel study engine can ship snapshots across process boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["TimerStat", "PerfRegistry", "throughput"]
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock for one named timer."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"calls": self.calls, "seconds": self.seconds}
+
+
+@dataclass
+class PerfRegistry:
+    """Named timers + counters for one run (or one subsystem).
+
+    ``timer`` nests and re-enters freely; ``count`` accumulates integers
+    (calls, emails, bytes).  ``snapshot`` returns plain nested dicts so
+    results stay picklable and JSON-serialisable.
+    """
+
+    timers: Dict[str, TimerStat] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.calls += 1
+            stat.seconds += elapsed
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds under timer ``name`` (0.0 when unused)."""
+        stat = self.timers.get(name)
+        return stat.seconds if stat is not None else 0.0
+
+    def merge(self, other: "PerfRegistry") -> None:
+        """Fold another registry's timers/counters into this one."""
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.calls += stat.calls
+            mine.seconds += stat.seconds
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+
+    def snapshot(self, extra: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        """Plain-dict view: ``{"timers": ..., "counters": ..., **extra}``."""
+        out: Dict[str, Any] = {
+            "timers": {name: stat.as_dict()
+                       for name, stat in self.timers.items()},
+            "counters": dict(self.counters),
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+
+def throughput(count: int, seconds: float) -> float:
+    """Events per second, 0.0 when the denominator is degenerate."""
+    if seconds <= 0:
+        return 0.0
+    return count / seconds

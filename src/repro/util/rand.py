@@ -140,7 +140,8 @@ class SeededRng:
 
     def token(self, length: int = 12, alphabet: str = _ALNUM) -> str:
         """A random lowercase-alphanumeric token (usernames, ids, ...)."""
-        return "".join(self._random.choice(alphabet) for _ in range(length))
+        choice = self._random.choice
+        return "".join([choice(alphabet) for _ in range(length)])
 
     def numpy_rng(self):
         """A numpy Generator seeded from this source (lazy import)."""

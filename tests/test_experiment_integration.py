@@ -21,6 +21,10 @@ from repro.core import TypoEmailKind
 from repro.experiment import ExperimentConfig, StudyRunner
 from repro.spamfilter import Verdict
 
+#: several full seven-month study runs -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
 CONFIG = ExperimentConfig(seed=1234, spam_scale=2e-4)
 
 

@@ -4,6 +4,10 @@ import pytest
 
 from repro.experiment import ExperimentConfig, run_seed_sweep
 
+#: multi-seed sweep = several full study runs -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
 FAST = ExperimentConfig(spam_scale=2e-5, outage_spans=())
 
 

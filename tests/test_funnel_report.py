@@ -8,6 +8,10 @@ from repro.smtpsim import EmailMessage
 from repro.spamfilter.funnel import FilterResult, Verdict
 
 
+#: full study run behind the layer report -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
 def _record(layer, kind="receiver",
             verdict=Verdict.SPAM):
     msg = EmailMessage.create("a@b.com", "c@gmial.com", "s", "b")

@@ -1,0 +1,95 @@
+"""Cache transparency: the kernel memos must never change an answer.
+
+The distance/typo caches exist purely for speed; every cached kernel is
+a pure function of its string arguments, so answers with caching on and
+off must agree exactly, and the per-target candidate cache must hand
+back equal candidate lists.  These tests flip the switch both ways on
+identical inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    TypoGenerator,
+    clear_kernel_caches,
+    damerau_levenshtein,
+    fat_finger_distance,
+    kernel_cache_stats,
+    set_kernel_caches_enabled,
+    visual_distance,
+)
+
+TARGETS = ("gmail.com", "yahoo.com", "aol.com", "hotmail.com")
+PAIRS = [
+    ("gmail.com", "gmial.com"),
+    ("gmail.com", "gmall.com"),
+    ("yahoo.com", "yaho.com"),
+    ("hotmail.com", "hotmali.com"),
+    ("aol.com", "apl.com"),
+    ("example.org", "example.org"),
+    ("", "a"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _caches_restored():
+    """Leave the process-wide cache switch the way we found it."""
+    yield
+    set_kernel_caches_enabled(True)
+    clear_kernel_caches()
+
+
+def _distance_answers():
+    return [(damerau_levenshtein(a, b),
+             fat_finger_distance(a, b),
+             visual_distance(a, b)) for a, b in PAIRS]
+
+
+def test_distances_agree_with_caches_on_and_off():
+    set_kernel_caches_enabled(True)
+    clear_kernel_caches()
+    cached_cold = _distance_answers()
+    cached_warm = _distance_answers()   # every lookup now hits the cache
+
+    set_kernel_caches_enabled(False)
+    clear_kernel_caches()
+    uncached = _distance_answers()
+
+    assert cached_cold == cached_warm == uncached
+
+
+def test_candidates_agree_with_caches_on_and_off():
+    generator = TypoGenerator()
+    set_kernel_caches_enabled(True)
+    clear_kernel_caches()
+    cached = {t: generator.generate(t) for t in TARGETS}
+    rerun = {t: generator.generate(t) for t in TARGETS}
+
+    set_kernel_caches_enabled(False)
+    clear_kernel_caches()
+    uncached = {t: generator.generate(t) for t in TARGETS}
+
+    assert cached == rerun == uncached
+
+
+def test_warm_lookups_actually_hit_the_cache():
+    set_kernel_caches_enabled(True)
+    clear_kernel_caches()
+    _distance_answers()
+    cold = kernel_cache_stats()
+    _distance_answers()
+    warm = kernel_cache_stats()
+
+    total_cold_hits = sum(s["hits"] for s in cold.values())
+    total_warm_hits = sum(s["hits"] for s in warm.values())
+    assert total_warm_hits > total_cold_hits
+
+
+def test_disabled_caches_stay_empty():
+    set_kernel_caches_enabled(False)
+    clear_kernel_caches()
+    _distance_answers()
+    stats = kernel_cache_stats()
+    assert all(s["size"] == 0 for s in stats.values())

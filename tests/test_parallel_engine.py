@@ -1,0 +1,146 @@
+"""The parallel multi-seed engine's correctness bar.
+
+The whole point of :mod:`repro.experiment.parallel` is that worker
+processes are an implementation detail: a study run is a pure function
+of its config, so the serial path and any ``jobs`` count must produce
+byte-identical record streams and identical headline numbers.  These
+tests hold the engine to that bar with cheap configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiment import (
+    ExperimentConfig,
+    StudyRunner,
+    derive_child_seeds,
+    parallel_map,
+    record_stream_digest,
+    run_study_sample,
+    run_study_samples,
+)
+from repro.experiment.parallel import StudySample, sample_from_results
+
+#: full study runs on both the serial and pooled paths -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
+#: Small world: low spam volume, half ham, no outage bookkeeping.
+CHEAP = ExperimentConfig(seed=41, spam_scale=1e-5, ham_scale=0.5,
+                         outage_spans=())
+SEEDS = (41, 42)
+
+
+@pytest.fixture(scope="module")
+def serial_samples():
+    return run_study_samples(
+        [replace(CHEAP, seed=s) for s in SEEDS], jobs=None)
+
+
+class TestParallelMatchesSerial:
+    def test_record_streams_byte_identical(self, serial_samples):
+        parallel = run_study_samples(
+            [replace(CHEAP, seed=s) for s in SEEDS], jobs=2)
+        for serial, pooled in zip(serial_samples, parallel):
+            assert serial.seed == pooled.seed
+            assert serial.record_digest() == pooled.record_digest()
+
+    def test_headline_numbers_identical(self, serial_samples):
+        parallel = run_study_samples(
+            [replace(CHEAP, seed=s) for s in SEEDS], jobs=2)
+        for serial, pooled in zip(serial_samples, parallel):
+            assert serial.sent_count == pooled.sent_count
+            assert serial.delivered_count == pooled.delivered_count
+            assert serial.funnel_accuracy() == pooled.funnel_accuracy()
+            assert serial.malicious_hashes == pooled.malicious_hashes
+            assert len(serial.true_typo_records()) == \
+                len(pooled.true_typo_records())
+
+    def test_results_come_back_in_input_order(self, serial_samples):
+        assert [s.seed for s in serial_samples] == list(SEEDS)
+
+
+class TestStudySample:
+    def test_projection_preserves_results(self):
+        results = StudyRunner(CHEAP).run()
+        sample = sample_from_results(results)
+        assert sample.config == results.config
+        assert sample.records == tuple(results.records)
+        assert sample.sent_count == results.sent_count
+        assert sample.delivered_count == results.delivered_count
+        assert sample.funnel_accuracy() == results.funnel_accuracy()
+        assert sample.perf == results.perf
+
+    def test_sample_is_picklable(self, serial_samples):
+        import pickle
+
+        blob = pickle.dumps(serial_samples[0])
+        clone = pickle.loads(blob)
+        assert isinstance(clone, StudySample)
+        assert clone.record_digest() == serial_samples[0].record_digest()
+
+    def test_run_study_sample_matches_runner(self, serial_samples):
+        direct = run_study_sample(replace(CHEAP, seed=SEEDS[0]))
+        assert direct.record_digest() == serial_samples[0].record_digest()
+
+
+class TestDigest:
+    def test_digest_is_order_sensitive(self, serial_samples):
+        records = list(serial_samples[0].records)
+        assert len(records) > 1
+        forward = record_stream_digest(records)
+        assert forward == serial_samples[0].record_digest()
+        assert forward != record_stream_digest(list(reversed(records)))
+
+    def test_different_seeds_differ(self, serial_samples):
+        assert serial_samples[0].record_digest() != \
+            serial_samples[1].record_digest()
+
+    def test_empty_stream(self):
+        assert record_stream_digest([]) == record_stream_digest(())
+
+
+class TestChildSeeds:
+    def test_deterministic_and_distinct(self):
+        a = derive_child_seeds(2016, 5)
+        b = derive_child_seeds(2016, 5)
+        assert a == b
+        assert len(set(a)) == 5
+
+    def test_name_and_base_change_the_seeds(self):
+        assert derive_child_seeds(2016, 3) != derive_child_seeds(2017, 3)
+        assert derive_child_seeds(2016, 3) != \
+            derive_child_seeds(2016, 3, name="other")
+
+    def test_count_validation(self):
+        assert derive_child_seeds(1, 0) == []
+        with pytest.raises(ValueError):
+            derive_child_seeds(1, -1)
+
+
+class TestParallelMap:
+    def test_serial_and_pooled_agree(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=None) == \
+            parallel_map(_square, items, jobs=2) == \
+            [n * n for n in items]
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        # a lambda cannot cross the process boundary; the engine must
+        # quietly compute the same answer serially
+        assert parallel_map(lambda n: n + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [1, 0], jobs=None)
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+def _reciprocal(n: int) -> float:
+    return 1.0 / n

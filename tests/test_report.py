@@ -9,6 +9,10 @@ from repro.experiment import ExperimentConfig, StudyRunner
 from repro.report import export_figure_data, render_study_report
 
 
+#: full study run behind the rendered report -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def results():
     return StudyRunner(ExperimentConfig(seed=404, spam_scale=2e-5)).run()

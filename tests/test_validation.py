@@ -11,6 +11,10 @@ from repro.experiment import (
 from repro.util import SeededRng
 
 
+#: full study run behind the sampled validation -- skipped in the '-m "not slow"' smoke lane
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def results():
     return StudyRunner(ExperimentConfig(seed=606, spam_scale=2e-4)).run()
