@@ -7,12 +7,15 @@ against.  Two workloads are timed:
 * one full seven-month study run (the `study` CLI hot path), reporting
   emails simulated per second from the run's own perf snapshot;
 * one wild-ecosystem scan, reporting registered ctypo domains scanned
-  per second.
+  per second;
+* one streaming lazy-world scan over the first 10k Alexa ranks,
+  reporting generated gtypos and registered ctypos per second.
 
 The first recorded run becomes the baseline; later runs append to the
-history and **fail** when the study wall-clock regresses more than 2x
-over that baseline — an accidental O(n^2) in the hot path shows up here
-before it shows up in a reviewer's patience.
+history and **fail** when the study wall-clock — or either scan's
+throughput — regresses more than 2x against that baseline.  An
+accidental O(n^2) in a hot path shows up here before it shows up in a
+reviewer's patience.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.ecosystem import EcosystemScanner, InternetConfig, build_internet
-from repro.experiment import ExperimentConfig, StudyRunner
+from repro.experiment import ExperimentConfig, StudyRunner, run_sharded_scan
 from repro.util import SeededRng
 from repro.util.perf import throughput
 
@@ -31,6 +34,7 @@ from repro.util.perf import throughput
 PERF_CONFIG = ExperimentConfig(seed=606, spam_scale=2e-4)
 SCAN_CONFIG = InternetConfig(num_filler_targets=40)
 SCAN_SEED = 606
+STREAM_RANKS = 10_000
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 #: Regression gate: fail when the study takes this many times the
@@ -59,9 +63,16 @@ def _timed_scan():
     return scan, time.perf_counter() - start
 
 
+def _timed_stream():
+    start = time.perf_counter()
+    aggregates = run_sharded_scan(SCAN_SEED, STREAM_RANKS, jobs=1)
+    return aggregates, time.perf_counter() - start
+
+
 def test_perf_baseline(benchmark):
-    (results, study_wall), (scan, scan_wall) = benchmark.pedantic(
-        lambda: (_timed_study(), _timed_scan()),
+    ((results, study_wall), (scan, scan_wall),
+     (stream, stream_wall)) = benchmark.pedantic(
+        lambda: (_timed_study(), _timed_scan(), _timed_stream()),
         iterations=1, rounds=1)
 
     perf = results.perf or {}
@@ -87,15 +98,32 @@ def test_perf_baseline(benchmark):
             "ctypos_scanned_per_sec": round(
                 throughput(scan.registered_count, scan_wall), 1),
         },
+        "streaming_scan": {
+            "ranks": STREAM_RANKS,
+            "wall_seconds": round(stream_wall, 3),
+            "gtypos_generated": stream.generated_count,
+            "ctypos_registered": stream.registered_count,
+            "gtypos_per_sec": round(
+                throughput(stream.generated_count, stream_wall), 1),
+            "ctypos_per_sec": round(
+                throughput(stream.registered_count, stream_wall), 1),
+        },
     }
 
     bench = _load_bench()
     if bench["baseline"] is None:
         bench["baseline"] = entry
+    elif "streaming_scan" not in bench["baseline"]:
+        # the streaming workload postdates the first baseline; back-fill
+        # so later runs have a trajectory to gate against
+        bench["baseline"]["streaming_scan"] = entry["streaming_scan"]
     bench["history"] = (bench["history"] + [entry])[-HISTORY_LIMIT:]
     BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
 
     baseline_wall = bench["baseline"]["study"]["wall_seconds"]
+    baseline_scan_rate = bench["baseline"]["scan"]["ctypos_scanned_per_sec"]
+    baseline_stream_rate = \
+        bench["baseline"]["streaming_scan"]["ctypos_per_sec"]
     sent_rate = entry["study"]["throughput"].get("emails_sent_per_sec", 0.0)
     print(f"\nstudy: {study_wall:.2f}s wall, "
           f"{sent_rate:,.0f} emails simulated/sec "
@@ -103,12 +131,26 @@ def test_perf_baseline(benchmark):
     print(f"scan:  {scan_wall:.2f}s wall, "
           f"{entry['scan']['ctypos_scanned_per_sec']:,.1f} "
           "ctypos scanned/sec")
+    print(f"stream: {stream_wall:.2f}s wall for {STREAM_RANKS:,} ranks, "
+          f"{entry['streaming_scan']['ctypos_per_sec']:,.1f} ctypos/sec, "
+          f"{entry['streaming_scan']['gtypos_per_sec']:,.0f} gtypos/sec")
 
     # sanity: the snapshot carries real throughput numbers
     assert sent_rate > 0
     assert entry["scan"]["ctypos_scanned_per_sec"] > 0
-    # the regression gate
+    assert entry["streaming_scan"]["ctypos_per_sec"] > 0
+    # the regression gates
     assert study_wall <= REGRESSION_FACTOR * baseline_wall, (
         f"study run regressed: {study_wall:.2f}s vs recorded baseline "
         f"{baseline_wall:.2f}s (gate {REGRESSION_FACTOR}x) — if this "
         "slowdown is intended, delete BENCH_perf.json to re-baseline")
+    assert (entry["scan"]["ctypos_scanned_per_sec"]
+            >= baseline_scan_rate / REGRESSION_FACTOR), (
+        f"scan throughput regressed: "
+        f"{entry['scan']['ctypos_scanned_per_sec']:,.1f}/s vs baseline "
+        f"{baseline_scan_rate:,.1f}/s (gate {REGRESSION_FACTOR}x)")
+    assert (entry["streaming_scan"]["ctypos_per_sec"]
+            >= baseline_stream_rate / REGRESSION_FACTOR), (
+        f"streaming scan throughput regressed: "
+        f"{entry['streaming_scan']['ctypos_per_sec']:,.1f}/s vs baseline "
+        f"{baseline_stream_rate:,.1f}/s (gate {REGRESSION_FACTOR}x)")

@@ -1,0 +1,79 @@
+"""Paper-scale streaming scan throughput — the ISSUE's acceptance bar.
+
+Times the lazy-world streaming scan at 1k, 10k and 100k Alexa ranks and
+records gtypos/s and ctypos/s into ``BENCH_perf.json`` under
+``scan_scale``.  The paper's own crawl covered the .com zone against the
+Alexa top 100k; this bench is the harness's equivalent ecosystem sweep.
+
+The 100k-rank entry is the acceptance gate: its ctypo throughput must be
+at least 10x the retained-scan baseline recorded by
+``test_perf_baseline`` (~6k ctypos/s at the seed commit).  Marked slow —
+the three sweeps together take ~10s single-core, dominated by the 100k
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.experiment import run_sharded_scan
+from repro.util.perf import throughput
+
+from test_perf_baseline import BENCH_PATH, _load_bench
+
+SCALE_SEED = 606
+RANK_POINTS = (1_000, 10_000, 100_000)
+#: The acceptance bar: the 100k-rank streaming scan must beat the
+#: retained-scan baseline by this factor.
+SPEEDUP_FACTOR = 10.0
+
+
+@pytest.mark.slow
+def test_scan_scale_throughput():
+    points = []
+    for ranks in RANK_POINTS:
+        start = time.perf_counter()
+        aggregates = run_sharded_scan(SCALE_SEED, ranks, jobs=1)
+        wall = time.perf_counter() - start
+        points.append({
+            "ranks": ranks,
+            "wall_seconds": round(wall, 3),
+            "gtypos_generated": aggregates.generated_count,
+            "ctypos_registered": aggregates.registered_count,
+            "gtypos_per_sec": round(
+                throughput(aggregates.generated_count, wall), 1),
+            "ctypos_per_sec": round(
+                throughput(aggregates.registered_count, wall), 1),
+            "digest": aggregates.digest(),
+        })
+        print(f"\n{ranks:>7,} ranks: {wall:6.2f}s  "
+              f"{points[-1]['ctypos_per_sec']:>10,.1f} ctypos/s  "
+              f"{points[-1]['gtypos_per_sec']:>13,.0f} gtypos/s")
+
+    bench = _load_bench()
+    bench["scan_scale"] = {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "seed": SCALE_SEED,
+        "points": points,
+    }
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+
+    # more ranks must never mean fewer registrations
+    registered = [p["ctypos_registered"] for p in points]
+    assert registered == sorted(registered)
+    assert registered[0] > 0
+
+    # the acceptance gate: 100k ranks at >= 10x the retained-scan baseline
+    baseline = bench.get("baseline") or {}
+    baseline_rate = (baseline.get("scan") or {}).get(
+        "ctypos_scanned_per_sec", 6053.0)
+    paper_scale = points[-1]
+    assert paper_scale["ctypos_per_sec"] >= SPEEDUP_FACTOR * baseline_rate, (
+        f"100k-rank streaming scan ran at "
+        f"{paper_scale['ctypos_per_sec']:,.1f} ctypos/s — below "
+        f"{SPEEDUP_FACTOR}x the {baseline_rate:,.1f}/s retained baseline")

@@ -24,8 +24,12 @@ __all__ = [
     "damerau_levenshtein",
     "is_dl1",
     "fat_finger_distance",
+    "fat_finger_for_edit",
     "is_ff1",
     "visual_distance",
+    "visual_distance_for_edit",
+    "char_visual_cost",
+    "position_weight",
     "classify_edit",
     "EditOperation",
     "set_distance_caches_enabled",
@@ -448,3 +452,78 @@ def _position_weight(index: int, length: int) -> float:
     # Interior positions: mild bowl shape, minimum mid-word.
     rel = index / (length - 1)
     return 0.85 + 0.3 * abs(rel - 0.5)
+
+
+def position_weight(index: int, length: int) -> float:
+    """Public form of the positional visibility weight (paper §3)."""
+    return _position_weight(index, length)
+
+
+def char_visual_cost(a: str, b: str) -> float:
+    """Public form of the single-character substitution cost table."""
+    return _char_visual_cost(a, b)
+
+
+# -- direct per-edit kernels --------------------------------------------------
+#
+# When the caller already knows *which* DL-1 edit produced a typo (the typo
+# generator does), the general metrics above waste most of their time
+# rediscovering it: ``visual_distance`` re-classifies the edit and probes
+# the digram table, ``fat_finger_distance`` materializes the whole
+# neighbourhood of the source string.  These kernels compute the identical
+# values straight from ``(operation, index, char)``.  The digram confusions
+# (rn/m, vv/w) change string length by the number of occurrences replaced,
+# which no single DL-1 edit can reproduce, so they never apply to generated
+# candidates — an equivalence the typo-generator parity tests pin down.
+
+
+def visual_distance_for_edit(label: str, op: EditOperation, index: int,
+                             char: str = "") -> float:
+    """``visual_distance(label, typo)`` for a known DL-1 edit of ``label``.
+
+    ``char`` is the substituted/inserted character (ignored for deletions
+    and transpositions).  ``index`` follows :func:`classify_edit`: the
+    position of the edit in ``label`` (for additions, the position the new
+    character is inserted *before*, in ``0..len(label)``).
+    """
+    length = len(label)
+    if op == "substitution":
+        cost = _char_visual_cost(label[index], char)
+    elif op == "transposition":
+        cost = 0.5
+    elif op == "deletion":
+        removed = label[index]
+        doubled = (index + 1 < length and label[index + 1] == removed) or (
+            index > 0 and label[index - 1] == removed)
+        cost = 0.3 if doubled else 0.9
+    elif op == "addition":
+        doubles = (index < length and label[index] == char) or (
+            index > 0 and label[index - 1] == char)
+        cost = 0.3 if doubles else 1.0
+    else:
+        raise ValueError(f"unknown edit operation {op!r}")
+    return cost * _position_weight(index, length)
+
+
+def fat_finger_for_edit(label: str, op: EditOperation, index: int,
+                        char: str = "") -> int:
+    """``fat_finger_distance(label, typo, max_interesting=1)`` for a known edit.
+
+    Mirrors :func:`_ff_neighbours_uncached`: deletions and transpositions
+    need no key geometry (always distance 1); substitutions must swap
+    QWERTY-adjacent keys; insertions must repeat a string-neighbour or hit
+    a key adjacent to one.
+    """
+    if op in ("deletion", "transposition"):
+        return 1
+    if op == "substitution":
+        return 1 if char in qwerty_adjacency(label[index]) else 2
+    if op == "addition":
+        if index > 0 and (char == label[index - 1]
+                          or char in qwerty_adjacency(label[index - 1])):
+            return 1
+        if index < len(label) and (char == label[index]
+                                   or char in qwerty_adjacency(label[index])):
+            return 1
+        return 2
+    raise ValueError(f"unknown edit operation {op!r}")

@@ -1,5 +1,6 @@
 """The wild email-typosquatting ecosystem: synthetic Internet, scans, clustering."""
 
+from repro.ecosystem.aggregates import ScanAggregates
 from repro.ecosystem.clustering import (
     ConcentrationCurve,
     RegistrantCluster,
@@ -31,6 +32,7 @@ from repro.ecosystem.subdomain_typos import (
     find_registered_subdomain_typos,
     generate_subdomain_typos,
 )
+from repro.ecosystem.world import DomainState, WorldModel
 from repro.ecosystem.whois import (
     CLUSTER_FIELDS,
     PRIVACY_PROXIES,
@@ -53,6 +55,9 @@ __all__ = [
     "EcosystemScanner",
     "EcosystemScan",
     "ScanResult",
+    "ScanAggregates",
+    "WorldModel",
+    "DomainState",
     "cluster_registrants",
     "RegistrantCluster",
     "concentration_curve",

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.targets import EMAIL_TARGETS
-from repro.core.typogen import TypoCandidate, TypoGenerator, split_domain
+from repro.core.typogen import TypoCandidate, split_domain
 from repro.dnssim import (
     DomainRegistry,
     RecordType,
@@ -43,11 +43,10 @@ from repro.ecosystem.whois import (
     RegistrantPersona,
     WhoisDatabase,
     WhoisRecord,
-    make_registrant,
 )
 from repro.smtpsim import HostBehavior, Network, SmtpServer, domain_policy
 from repro.smtpsim.protocol import accept_all_policy
-from repro.util.rand import SeededRng
+from repro.util.rand import SeededRng, derive_seed
 
 __all__ = [
     "SmtpSupport",
@@ -205,14 +204,6 @@ _PRONOUNCEABLE_ONSETS = ("br", "cl", "dr", "fl", "gr", "pl", "st", "tr",
 _PRONOUNCEABLE_VOWELS = ("a", "e", "i", "o", "u")
 
 
-def _filler_domain(rng: SeededRng, index: int) -> str:
-    syllables = rng.randint(2, 3)
-    label = "".join(rng.choice(_PRONOUNCEABLE_ONSETS)
-                    + rng.choice(_PRONOUNCEABLE_VOWELS)
-                    for _ in range(syllables))
-    return f"{label}{index}.com"
-
-
 class SimulatedInternet:
     """The assembled world: registry, network, WHOIS, and ground truth."""
 
@@ -261,13 +252,25 @@ class SimulatedInternet:
 
 def build_internet(rng: SeededRng,
                    config: Optional[InternetConfig] = None) -> SimulatedInternet:
-    """Assemble the synthetic Internet."""
+    """Assemble the synthetic Internet.
+
+    Since the paper-scale scan landed, the wild-domain law lives in
+    :class:`repro.ecosystem.world.WorldModel`; this builder *materializes*
+    that law — per-rank derived states become registry zones, SMTP
+    servers, and WHOIS records — so a lazily scanned world and an eagerly
+    built one agree on ground truth.  When one candidate string registers
+    under several ranks, the lowest rank wins (the registry enforces it).
+    """
+    from repro.ecosystem.world import WorldModel
+
     config = config or InternetConfig()
+    world = WorldModel(rng.seed, config)
     registry = DomainRegistry()
     network = Network(rng.child("network"))
     whois = WhoisDatabase()
 
-    alexa = _build_alexa(rng, config)
+    num_targets = len(EMAIL_TARGETS) + config.num_filler_targets
+    alexa = world.alexa_entries(num_targets)
     _register_targets(rng, registry, network, whois, alexa)
 
     registrants: Dict[str, RegistrantPersona] = {}
@@ -277,66 +280,31 @@ def build_internet(rng: SeededRng,
     # privately-registered collectors running the shared MX pool.
     bulk: List[Tuple[RegistrantPersona, str]] = []
     for i in range(config.bulk_registrant_count):
-        persona = _new_registrant(rng, registrants, f"bulk-{i:02d}")
-        profile = "reseller" if i < 3 else "collector"
-        bulk.append((persona, profile))
-    # mid-size registrants split the same way: half collect mail on the
-    # shared pool behind privacy proxies, half hold public inventory
-    medium: List[Tuple[RegistrantPersona, str]] = []
+        registrant_id = f"bulk-{i:02d}"
+        persona = world.persona(registrant_id)
+        registrants[registrant_id] = persona
+        bulk.append((persona, "reseller" if i < 3 else "collector"))
     for i in range(config.medium_registrant_count):
-        persona = _new_registrant(rng, registrants, f"medium-{i:03d}")
-        medium.append((persona, "collector" if i % 2 == 0 else "reseller"))
+        registrant_id = f"medium-{i:03d}"
+        registrants[registrant_id] = world.persona(registrant_id)
 
     allocator = _IpAllocator("203.0")
     mx_hosts = _materialize_squatter_mx(rng, registry, network, whois,
                                         registrants, allocator)
-    dark_hosts = _materialize_dark_mx(rng, registry, network, allocator)
+    _materialize_dark_mx(rng, registry, network, allocator)
 
     wild: List[WildDomain] = []
-    generator = TypoGenerator()
-    small_counter = 0
+    for rank in range(1, num_targets + 1):
+        for state in world.rank_states(rank):
+            if registry.is_registered(state.domain):
+                continue
+            wild.append(_materialize_state(world, state, config, registry,
+                                           network, whois, registrants,
+                                           allocator))
 
-    for entry in alexa:
-        candidates = generator.generate(entry.domain)
-        registration_p = (config.peak_registration_probability
-                          / (entry.rank ** config.rank_decay))
-        for candidate in candidates:
-            quality = _typo_quality(candidate)
-            if not rng.bernoulli(min(0.95, registration_p * quality)):
-                continue
-            if registry.is_registered(candidate.domain):
-                continue
-            owner_roll = rng.random()
-            if owner_roll < config.defensive_fraction:
-                wild.append(_make_defensive(rng, registry, whois, entry,
-                                            candidate, allocator, network))
-                continue
-            if owner_roll < config.defensive_fraction + config.legitimate_fraction:
-                wild.append(_make_legitimate(rng, registry, network, whois,
-                                             registrants, candidate,
-                                             allocator, small_counter))
-                small_counter += 1
-                continue
-            squatter_roll = rng.random()
-            profile = "collector"
-            if squatter_roll < config.bulk_share:
-                owner, profile = rng.choices(
-                    bulk, weights=[1.8 ** -i for i in range(len(bulk))])[0]
-                owner_type = OwnerType.BULK_SQUATTER
-            elif squatter_roll < config.bulk_share + config.medium_share:
-                owner, profile = rng.choice(medium)
-                owner_type = OwnerType.MEDIUM_SQUATTER
-            else:
-                owner = _new_registrant(rng, registrants,
-                                        f"small-{small_counter:05d}")
-                small_counter += 1
-                owner_type = OwnerType.SMALL_SQUATTER
-            wild.append(_make_squatter_domain(
-                rng, config, registry, network, whois, owner, owner_type,
-                candidate, mx_hosts, dark_hosts, allocator, profile))
-
-    subdomain_typos = _register_subdomain_typos(rng, config, registry, whois,
-                                                alexa, bulk, mx_hosts)
+    subdomain_typos = _register_subdomain_typos(
+        rng.child("subdomain-typos"), config, registry, whois, alexa, bulk,
+        mx_hosts)
 
     benign_counts: Dict[str, int] = {}
     for ns in _NORMAL_NAMESERVERS:
@@ -406,18 +374,6 @@ class _IpAllocator:
         self._next += 1
         high, low = divmod(index, 250)
         return f"{self._prefix}.{high % 250}.{low + 1}"
-
-
-def _build_alexa(rng: SeededRng, config: InternetConfig) -> List[AlexaEntry]:
-    names: List[str] = [t.name for t in EMAIL_TARGETS]
-    for index in range(config.num_filler_targets):
-        names.append(_filler_domain(rng.child(f"filler-{index}"), index))
-    entries = []
-    for rank, name in enumerate(names, start=1):
-        visitors = 5e8 / (rank ** 0.9)
-        entries.append(AlexaEntry(domain=name, rank=rank,
-                                  monthly_visitors=visitors))
-    return entries
 
 
 def _register_targets(rng: SeededRng, registry: DomainRegistry,
@@ -524,200 +480,101 @@ def _typo_quality(candidate: TypoCandidate) -> float:
     return quality
 
 
-def _new_registrant(rng: SeededRng, registrants: Dict[str, RegistrantPersona],
-                    registrant_id: str) -> RegistrantPersona:
-    persona = make_registrant(rng.child(registrant_id), registrant_id)
-    registrants[registrant_id] = persona
-    return persona
-
-
-def _draw_support(rng: SeededRng,
-                  mix: Mapping[SmtpSupport, float]) -> SmtpSupport:
-    supports = list(mix)
-    weights = [mix[s] for s in supports]
-    return supports[rng.weighted_index(weights)]
-
-
-def _make_squatter_domain(rng: SeededRng, config: InternetConfig,
-                          registry: DomainRegistry, network: Network,
-                          whois: WhoisDatabase, owner: RegistrantPersona,
-                          owner_type: OwnerType, candidate: TypoCandidate,
-                          mx_hosts: List[Tuple[str, float, str]],
-                          dark_hosts: Dict[SmtpSupport, List[str]],
-                          allocator: _IpAllocator,
-                          profile: str = "collector") -> WildDomain:
-    domain = candidate.domain
-    runs_catch_all = False
-    is_bulk = owner_type in (OwnerType.BULK_SQUATTER,
-                             OwnerType.MEDIUM_SQUATTER)
-    if is_bulk and profile == "reseller":
-        # parked for resale: mostly mail-dead inventory
-        mix = _RESELLER_SUPPORT_MIX
-    elif is_bulk:
-        mix = config.squatter_support_mix
-    else:
-        mix = config.longtail_support_mix
-    support = _draw_support(rng, mix)
-
-    zone = Zone(origin=domain)
-    mx_domain: Optional[str] = None
-    ip: Optional[str] = None
-    if is_bulk or rng.bernoulli(config.small_cesspool_rate):
-        nameserver = rng.choice(_CESSPOOL_NAMESERVERS)
-    else:
-        nameserver = rng.choice(_NORMAL_NAMESERVERS)
-
-    if support is not SmtpSupport.NO_DNS:
-        if is_bulk:
-            if support in (SmtpSupport.NO_INFO, SmtpSupport.NO_EMAIL):
-                mx_domain = rng.choice(dark_hosts[support])
-            else:
-                hosts = [h for h, _, _ in mx_hosts]
-                weights = [w for _, w, _ in mx_hosts]
-                index = rng.weighted_index(weights)
-                mx_domain = hosts[index]
-                if mx_hosts[index][2]:  # host's STARTTLS is broken
-                    support = SmtpSupport.STARTTLS_ERRORS
-            zone.add(ResourceRecord(domain, RecordType.MX, mx_domain,
-                                    priority=10))
-        else:
-            ip = allocator.allocate()
-            zone.add(ResourceRecord(domain, RecordType.A, ip))
-            # most small operators rely on the RFC 5321 implicit MX;
-            # explicit self-MX records are the exception
-            if rng.bernoulli(0.1):
-                mx_domain = domain
-                zone.add(ResourceRecord(domain, RecordType.MX, domain,
-                                        priority=10))
-            runs_catch_all = _attach_longtail_server(rng, config, network,
-                                                     domain, ip, support)
-
-    registry.register(Registration(domain=domain, zone=zone,
-                                   nameserver=nameserver,
-                                   registrant_id=owner.registrant_id))
-
-    if is_bulk and profile == "reseller":
-        privacy_rate = 0.05   # resale businesses register in the open
-    elif is_bulk:
-        privacy_rate = config.bulk_privacy_rate
-    elif runs_catch_all:
-        # a small squatter deliberately hoovering mail hides its identity
-        privacy_rate = 0.75
-    else:
-        privacy_rate = config.small_privacy_rate
-    if rng.bernoulli(privacy_rate):
-        whois.add(WhoisRecord(domain=domain,
-                              privacy_proxy=rng.choice(PRIVACY_PROXIES)))
-        private = True
-    else:
-        fields_filled = 6 if rng.bernoulli(0.8) else rng.randint(2, 5)
-        whois.add(owner.record_for(domain, fields_filled=fields_filled,
-                                   rng=rng))
-        private = False
-
-    return WildDomain(domain=domain, target=candidate.target,
-                      candidate=candidate, owner_id=owner.registrant_id,
-                      owner_type=owner_type, support=support,
-                      mx_domain=mx_domain, nameserver=nameserver,
-                      private_whois=private, ip=ip)
-
-
-def _attach_longtail_server(rng: SeededRng, config: InternetConfig,
-                            network: Network, domain: str, ip: str,
-                            support: SmtpSupport) -> bool:
-    """Attach a small-squatter mail server; True when it runs a catch-all."""
-    if support is SmtpSupport.NO_EMAIL:
-        return False  # host exists, no SMTP listener
-    if support is SmtpSupport.NO_INFO:
-        # a listener might exist but scans never get through
-        network.set_behavior(ip, HostBehavior(timeout_probability=0.97,
-                                              network_error_probability=0.03))
-        return False
-    behavior = HostBehavior(
-        timeout_probability=config.longtail_timeout_probability,
-        network_error_probability=config.longtail_network_error_probability)
-    roll = rng.random()
-    if roll < config.longtail_catch_all_rate:
-        policy = accept_all_policy
-    elif roll < config.longtail_catch_all_rate + config.longtail_reject_all_rate:
-        policy = _reject_unknown_policy
-    else:
-        policy = domain_policy([domain])
-    server = SmtpServer(
-        hostname=domain, ip=ip,
-        rcpt_policy=policy,
-        supports_starttls=support is not SmtpSupport.PLAIN,
-        starttls_broken=support is SmtpSupport.STARTTLS_ERRORS)
-    network.attach(ip, server, behavior=behavior)
-    return policy is accept_all_policy
-
-
 def _reject_unknown_policy(recipient: str) -> Tuple[bool, str]:
     """A mail server without catch-all: every probe recipient is unknown."""
     return False, "user unknown"
 
 
-def _make_defensive(rng: SeededRng, registry: DomainRegistry,
-                    whois: WhoisDatabase, entry: AlexaEntry,
-                    candidate: TypoCandidate, allocator: _IpAllocator,
-                    network: Network) -> WildDomain:
-    domain = candidate.domain
-    zone = Zone(origin=domain)
-    mx_host = f"mx.{entry.domain}"
-    zone.add(ResourceRecord(domain, RecordType.MX, mx_host, priority=10))
-    registry.register(Registration(domain=domain, zone=zone,
-                                   nameserver=f"ns.{entry.domain}",
-                                   registrant_id=f"owner-{entry.domain}"))
-    target_whois = whois.lookup(entry.domain)
-    whois.add(WhoisRecord(
-        domain=domain,
-        registrant_name=target_whois.registrant_name,
-        organization=target_whois.organization,
-        email=target_whois.email,
-        phone=target_whois.phone, fax=target_whois.fax,
-        mailing_address=target_whois.mailing_address))
-    return WildDomain(domain=domain, target=candidate.target,
-                      candidate=candidate,
-                      owner_id=f"owner-{entry.domain}",
-                      owner_type=OwnerType.DEFENSIVE,
-                      support=SmtpSupport.STARTTLS_OK,
-                      mx_domain=mx_host,
-                      nameserver=f"ns.{entry.domain}",
-                      private_whois=False, ip=None)
+_LONGTAIL_POLICIES = {
+    "reject_unknown": lambda domain: _reject_unknown_policy,
+    "catch_all": lambda domain: accept_all_policy,
+    "domain": lambda domain: domain_policy([domain]),
+}
 
 
-def _make_legitimate(rng: SeededRng, registry: DomainRegistry,
-                     network: Network, whois: WhoisDatabase,
-                     registrants: Dict[str, RegistrantPersona],
-                     candidate: TypoCandidate, allocator: _IpAllocator,
-                     counter: int) -> WildDomain:
-    domain = candidate.domain
-    owner = _new_registrant(rng, registrants, f"legit-{counter:05d}")
-    ip = allocator.allocate()
+def _materialize_state(world, state, config: InternetConfig,
+                       registry: DomainRegistry, network: Network,
+                       whois: WhoisDatabase,
+                       registrants: Dict[str, RegistrantPersona],
+                       allocator: _IpAllocator) -> WildDomain:
+    """Turn one derived :class:`~repro.ecosystem.world.DomainState` into
+    registry zones, SMTP hosts, and a WHOIS record."""
+    domain = state.domain
     zone = Zone(origin=domain)
-    # a small business typically runs on its host's A record (implicit MX)
-    zone.add(ResourceRecord(domain, RecordType.A, ip))
-    nameserver = rng.choice(_NORMAL_NAMESERVERS)
+    ip: Optional[str] = None
+
+    if state.owner_type is OwnerType.DEFENSIVE:
+        zone.add(ResourceRecord(domain, RecordType.MX, state.mx_domain,
+                                priority=10))
+        registry.register(Registration(domain=domain, zone=zone,
+                                       nameserver=state.nameserver,
+                                       registrant_id=state.owner_id))
+        target_whois = whois.lookup(state.target)
+        whois.add(WhoisRecord(
+            domain=domain,
+            registrant_name=target_whois.registrant_name,
+            organization=target_whois.organization,
+            email=target_whois.email,
+            phone=target_whois.phone, fax=target_whois.fax,
+            mailing_address=target_whois.mailing_address))
+        return _wild_from_state(state, ip)
+
+    owner = registrants.get(state.owner_id)
+    if owner is None:
+        owner = world.persona(state.owner_id)
+        registrants[state.owner_id] = owner
+
+    if state.mx_domain is not None:
+        zone.add(ResourceRecord(domain, RecordType.MX, state.mx_domain,
+                                priority=10))
+    if state.has_address:
+        ip = allocator.allocate()
+        zone.add(ResourceRecord(domain, RecordType.A, ip))
     registry.register(Registration(domain=domain, zone=zone,
-                                   nameserver=nameserver,
-                                   registrant_id=owner.registrant_id))
-    legit_private = rng.bernoulli(0.25)
-    if legit_private:
+                                   nameserver=state.nameserver,
+                                   registrant_id=state.owner_id))
+
+    if state.private_whois:
         whois.add(WhoisRecord(domain=domain,
-                              privacy_proxy=rng.choice(PRIVACY_PROXIES)))
-    else:
+                              privacy_proxy=state.privacy_proxy))
+    elif state.whois_fields_filled >= 6:
         whois.add(owner.record_for(domain))
-    # an honest business has real mailboxes: probes to made-up users
-    # usually bounce, though some run catch-alls (the paper found 8
-    # legitimate look-alikes among the domains that read its honey mail)
-    policy = (accept_all_policy if rng.bernoulli(0.1)
-              else _reject_unknown_policy)
-    server = SmtpServer(hostname=domain, ip=ip, rcpt_policy=policy)
-    network.attach(ip, server, behavior=HostBehavior(
-        timeout_probability=0.05, network_error_probability=0.03))
-    return WildDomain(domain=domain, target=candidate.target,
-                      candidate=candidate, owner_id=owner.registrant_id,
-                      owner_type=OwnerType.LEGITIMATE,
-                      support=SmtpSupport.STARTTLS_OK,
-                      mx_domain=None, nameserver=nameserver,
-                      private_whois=legit_private, ip=ip)
+    else:
+        whois.add(owner.record_for(
+            domain, fields_filled=state.whois_fields_filled,
+            rng=SeededRng(derive_seed(world.seed, f"whois-{domain}"))))
+
+    if ip is not None:
+        if state.owner_type is OwnerType.LEGITIMATE:
+            # an honest business has real mailboxes: probes to made-up
+            # users usually bounce, though some run catch-alls (the paper
+            # found 8 legitimate look-alikes reading its honey mail)
+            policy = _LONGTAIL_POLICIES[state.longtail_policy](domain)
+            server = SmtpServer(hostname=domain, ip=ip, rcpt_policy=policy)
+            network.attach(ip, server, behavior=HostBehavior(
+                timeout_probability=0.05, network_error_probability=0.03))
+        elif state.support is SmtpSupport.NO_INFO:
+            # a listener might exist but scans never get through
+            network.set_behavior(ip, HostBehavior(
+                timeout_probability=0.97, network_error_probability=0.03))
+        elif state.longtail_policy is not None:
+            policy = _LONGTAIL_POLICIES[state.longtail_policy](domain)
+            server = SmtpServer(
+                hostname=domain, ip=ip, rcpt_policy=policy,
+                supports_starttls=state.support is not SmtpSupport.PLAIN,
+                starttls_broken=state.support is SmtpSupport.STARTTLS_ERRORS)
+            network.attach(ip, server, behavior=HostBehavior(
+                timeout_probability=config.longtail_timeout_probability,
+                network_error_probability=(
+                    config.longtail_network_error_probability)))
+        # NO_EMAIL: the host exists but no SMTP listener is attached
+
+    return _wild_from_state(state, ip)
+
+
+def _wild_from_state(state, ip: Optional[str]) -> WildDomain:
+    return WildDomain(domain=state.domain, target=state.target,
+                      candidate=state.candidate(), owner_id=state.owner_id,
+                      owner_type=state.owner_type, support=state.support,
+                      mx_domain=state.mx_domain, nameserver=state.nameserver,
+                      private_whois=state.private_whois, ip=ip)

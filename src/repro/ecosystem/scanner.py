@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.typogen import TypoCandidate, TypoGenerator
+from repro.core.typogen import TypoCandidate, TypoGenerator, registrable_domain
 from repro.dnssim import Resolver
+from repro.ecosystem.aggregates import ScanAggregates
 from repro.ecosystem.internet import SimulatedInternet, SmtpSupport
 from repro.smtpsim.transport import ConnectOutcome
 
@@ -37,54 +38,68 @@ class ScanResult:
 
     @property
     def primary_mx_domain(self) -> Optional[str]:
-        """The registrable domain of the best-priority MX (Table 6 key)."""
+        """The registrable domain of the best-priority MX (Table 6 key).
+
+        Uses the same public-suffix handling as ``split_domain``, so an
+        MX at ``mx1.foo.co.uk`` groups under ``foo.co.uk`` — a naive
+        last-two-labels split would misgroup it under ``co.uk``.
+        """
         if not self.mx_hosts:
             return None
-        host = self.mx_hosts[0]
-        labels = host.split(".")
-        if len(labels) <= 2:
-            return host
-        return ".".join(labels[-2:])
+        return registrable_domain(self.mx_hosts[0])
 
 
 @dataclass
 class EcosystemScan:
-    """A completed scan over the candidate typo space."""
+    """A completed scan over the candidate typo space.
 
+    The Table 4 / Table 6 counts live in streaming :class:`ScanAggregates`
+    so they exist whether or not per-domain :class:`ScanResult` objects
+    were retained.  Retention (the default for the in-memory scanner) is
+    what the clustering and honey-campaign stages consume; the paper-scale
+    streaming path switches it off.
+    """
+
+    aggregates: ScanAggregates = field(default_factory=ScanAggregates)
     results: List[ScanResult] = field(default_factory=list)
-    generated_count: int = 0   # gtypos enumerated
-    registered_count: int = 0  # ctypos found registered
+    retained: bool = True
+
+    @property
+    def generated_count(self) -> int:
+        """gtypos enumerated."""
+        return self.aggregates.generated_count
+
+    @property
+    def registered_count(self) -> int:
+        """ctypos found registered."""
+        return self.aggregates.registered_count
 
     def support_table(self) -> Dict[SmtpSupport, int]:
         """Table 4: count of ctypos per SMTP support category."""
-        counts = {support: 0 for support in SmtpSupport}
-        for result in self.results:
-            counts[result.support] += 1
-        return counts
+        return self.aggregates.support_table()
 
     def support_percentages(self) -> Dict[SmtpSupport, float]:
         """Table 4 as percentages of all scanned ctypos."""
-        total = len(self.results)
-        if total == 0:
-            return {support: 0.0 for support in SmtpSupport}
-        return {support: 100.0 * count / total
-                for support, count in self.support_table().items()}
-
-    def accepting_results(self) -> List[ScanResult]:
-        """The ctypos whose support class can accept mail."""
-        return [r for r in self.results if r.support.can_accept_mail]
+        return self.aggregates.support_percentages()
 
     def mx_domain_counts(self) -> Dict[str, int]:
         """How many ctypos each MX operator domain serves."""
-        counts: Dict[str, int] = {}
-        for result in self.results:
-            mx = result.primary_mx_domain
-            if mx is not None:
-                counts[mx] = counts.get(mx, 0) + 1
-        return counts
+        return dict(self.aggregates.mx_domain_counts)
+
+    def _require_results(self, caller: str) -> None:
+        if not self.retained:
+            raise RuntimeError(
+                f"{caller} needs per-domain results; this scan ran with "
+                "retain_results=False (streaming aggregates only)")
+
+    def accepting_results(self) -> List[ScanResult]:
+        """The ctypos whose support class can accept mail."""
+        self._require_results("accepting_results")
+        return [r for r in self.results if r.support.can_accept_mail]
 
     def results_for_targets(self, targets: Sequence[str]) -> List[ScanResult]:
         """Scan results restricted to typos of the given targets."""
+        self._require_results("results_for_targets")
         wanted = set(targets)
         return [r for r in self.results if r.target in wanted]
 
@@ -106,28 +121,48 @@ class EcosystemScanner:
     # -- the full pipeline ------------------------------------------------------
 
     def scan(self, targets: Optional[Sequence[str]] = None,
-             exclude: Sequence[str] = ()) -> EcosystemScan:
+             exclude: Sequence[str] = (),
+             retain_results: bool = True) -> EcosystemScan:
         """Enumerate gtypos of ``targets``, keep ctypos, classify support.
 
         ``targets`` defaults to the whole simulated Alexa list; ``exclude``
-        removes e.g. the study's own domains from consideration.
+        removes e.g. the study's own domains from consideration.  With
+        ``retain_results=False`` only the streaming aggregates are kept —
+        no per-domain objects survive the loop.
         """
         if targets is None:
             targets = [entry.domain for entry in self._internet.alexa]
         excluded = {d.lower() for d in exclude}
-        scan = EcosystemScan()
+        scan = EcosystemScan(retained=retain_results)
 
         for target in targets:
             for candidate in self._generator.generate(target):
-                scan.generated_count += 1
+                scan.aggregates.add_generated()
                 domain = candidate.domain
                 if domain in excluded:
                     continue
                 if not self._internet.registry.is_registered(domain):
                     continue
-                scan.registered_count += 1
-                scan.results.append(self._scan_domain(candidate))
+                result = self._scan_domain(candidate)
+                self._fold(scan.aggregates, result)
+                if retain_results:
+                    scan.results.append(result)
         return scan
+
+    def _fold(self, aggregates: ScanAggregates, result: ScanResult) -> None:
+        """Fold one probed ctypo into the streaming aggregates."""
+        truth = self._internet.ground_truth(result.domain)
+        aggregates.add_result(
+            target=result.target,
+            owner_id=truth.owner_id if truth else result.domain,
+            owner_type=truth.owner_type if truth else None,
+            truth_support=truth.support if truth else result.support,
+            observed_support=result.support,
+            mx_domain=result.primary_mx_domain,
+            used_implicit_mx=result.used_implicit_mx,
+            whois_private=result.whois_private,
+            track_owner_id=bool(truth) and truth.owner_type.value in (
+                "bulk_squatter", "medium_squatter"))
 
     # -- per-domain probing --------------------------------------------------------
 

@@ -1,0 +1,1134 @@
+"""Lazy, deterministic world model behind the paper-scale ecosystem scan.
+
+:func:`~repro.ecosystem.internet.build_internet` materializes every wild
+domain, registry zone, and SMTP host up front — fine for a ~300-target
+world, hopeless for the paper's Alexa top one million.  This module holds
+the *law* of that world in a form that can be evaluated per ``(seed,
+rank)`` on demand:
+
+* the ranked target list is derived per rank (the study's email targets
+  first, then pronounceable filler domains derived in seed-keyed chunks);
+* each rank's DL-1 candidate grid gets its registration draw from a
+  rank-keyed counter-based stream, with the squatter quality law (edit
+  type, fat-finger, visual distance) evaluated only where it can matter —
+  candidate *strings* are only built for the few that register;
+* registered candidates draw owner, support, MX, DNS, and WHOIS state
+  from a rank-keyed uniform stream, and the zmap-style probe observation
+  from another.
+
+Every stream is a pure function of ``(seed, purpose, rank)``: uniforms
+come from a Philox counter-based generator whose key is
+``derive_seed(seed, purpose)`` and whose 256-bit counter starts at
+``[0, 0, 0, rank]``.  Counter-based streams make the derivation
+*shard-independent* — any partition of the rank space produces identical
+per-rank results, which is the property the sharded scanner's digest
+tests pin down — and repositioning one reused bit generator costs ~2us
+where constructing a fresh ``default_rng`` per rank costs ~16us.
+``build_internet`` is a materializer of this same law, so a lazily
+scanned world and an eagerly built one agree on ground truth.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.targets import EMAIL_TARGETS
+from repro.core.typogen import (
+    DOMAIN_ALPHABET,
+    TypoCandidate,
+    registrable_domain,
+    split_domain,
+)
+from repro.core.distances import (
+    char_visual_cost,
+    fat_finger_for_edit,
+    visual_distance_for_edit,
+)
+from repro.core.keyboard import qwerty_adjacency
+from repro.ecosystem.aggregates import ScanAggregates
+from repro.ecosystem.internet import (
+    _CESSPOOL_NAMESERVERS,
+    _NORMAL_NAMESERVERS,
+    _PRONOUNCEABLE_ONSETS,
+    _PRONOUNCEABLE_VOWELS,
+    _RESELLER_SUPPORT_MIX,
+    AlexaEntry,
+    InternetConfig,
+    OwnerType,
+    SQUATTER_MX_POOL,
+    SmtpSupport,
+)
+from repro.ecosystem.whois import PRIVACY_PROXIES, RegistrantPersona, make_registrant
+from repro.util.rand import SeededRng, derive_seed
+
+__all__ = ["DomainState", "WorldModel", "PARKED_MX_HOSTS", "WEB_MX_HOSTS"]
+
+#: The dark mail hosts bulk squatters park non-mail inventory on, matching
+#: the hosts ``build_internet`` materializes.
+PARKED_MX_HOSTS: Tuple[str, ...] = tuple(
+    f"parked-mx-{i}.example" for i in range(3))
+WEB_MX_HOSTS: Tuple[str, ...] = tuple(
+    f"web-mx-{i}.example" for i in range(3))
+
+_EDIT_TYPE_QUALITY = {
+    "deletion": 6.0,
+    "transposition": 5.0,
+    "substitution": 1.0,
+    "addition": 0.45,
+}
+
+#: owner classes by the small integer code the hot path switches on
+_OWNER_BY_CODE: Tuple[OwnerType, ...] = (
+    OwnerType.DEFENSIVE, OwnerType.LEGITIMATE, OwnerType.BULK_SQUATTER,
+    OwnerType.MEDIUM_SQUATTER, OwnerType.SMALL_SQUATTER)
+_OWNER_VALUE_BY_CODE: Tuple[str, ...] = tuple(
+    owner.value for owner in _OWNER_BY_CODE)
+_SUPPORT_VALUE: Dict[SmtpSupport, str] = {s: s.value for s in SmtpSupport}
+
+#: SMTP support by the small integer code the hot path switches on —
+#: records carry codes so the streaming fold never hashes an enum
+_SUPPORT_BY_CODE: Tuple[SmtpSupport, ...] = (
+    SmtpSupport.NO_DNS, SmtpSupport.NO_INFO, SmtpSupport.NO_EMAIL,
+    SmtpSupport.PLAIN, SmtpSupport.STARTTLS_ERRORS, SmtpSupport.STARTTLS_OK)
+_SUPPORT_CODE: Dict[SmtpSupport, int] = {
+    s: i for i, s in enumerate(_SUPPORT_BY_CODE)}
+_SUPPORT_VALUE_BY_CODE: Tuple[str, ...] = tuple(
+    s.value for s in _SUPPORT_BY_CODE)
+
+
+@dataclass(frozen=True)
+class DomainState:
+    """Ground truth about one registered ctypo, derived — not stored.
+
+    Carries everything ``build_internet`` needs to materialize the domain
+    (zone records, SMTP server flags, WHOIS record) and everything the
+    streaming scanner needs to emulate the probe.
+    """
+
+    domain: str
+    target: str
+    rank: int
+    edit_op: str
+    edit_index: int
+    edit_char: str
+    owner_id: str
+    owner_type: OwnerType
+    profile: str                    # "collector" | "reseller" | ""
+    support: SmtpSupport            # ground truth (Table 4 category)
+    mx_domain: Optional[str]        # explicit MX host, None => A-record only
+    has_address: bool               # domain itself carries an A record
+    nameserver: str
+    private_whois: bool
+    privacy_proxy: Optional[str]
+    whois_fields_filled: int
+    #: small-squatter / legitimate recipient policy: "catch_all",
+    #: "reject_unknown", "domain", or None when no listener exists
+    longtail_policy: Optional[str]
+
+    @property
+    def is_squatting(self) -> bool:
+        return self.owner_type in (OwnerType.BULK_SQUATTER,
+                                   OwnerType.MEDIUM_SQUATTER,
+                                   OwnerType.SMALL_SQUATTER)
+
+    @property
+    def is_bulk(self) -> bool:
+        return self.owner_type in (OwnerType.BULK_SQUATTER,
+                                   OwnerType.MEDIUM_SQUATTER)
+
+    def candidate(self) -> TypoCandidate:
+        """The generator-equivalent :class:`TypoCandidate` for this ctypo."""
+        label, _ = split_domain(self.target)
+        return TypoCandidate(
+            domain=self.domain, target=self.target, edit_type=self.edit_op,
+            edit_index=self.edit_index,
+            fat_finger=fat_finger_for_edit(label, self.edit_op,
+                                           self.edit_index, self.edit_char),
+            visual=visual_distance_for_edit(label, self.edit_op,
+                                            self.edit_index, self.edit_char))
+
+
+# -- rank-keyed uniform streams ------------------------------------------------
+
+
+def _rank_uniforms(seed: int, purpose: str, rank: int,
+                   count: int) -> np.ndarray:
+    """The canonical uniform stream of ``(seed, purpose, rank)``.
+
+    One-shot reference form of the law; :class:`_RankKeyedStream` produces
+    byte-identical output by repositioning a reused bit generator.
+    """
+    bitgen = np.random.Philox(key=derive_seed(seed, purpose),
+                              counter=[0, 0, 0, rank])
+    return np.random.Generator(bitgen).random(count)
+
+
+class _RankKeyedStream:
+    """A reusable Philox generator repositioned to ``counter=[0,0,0,rank]``.
+
+    Philox is counter-based: output is a pure function of (key, counter),
+    so seeking is exact and O(1).  Drawing advances the low counter word,
+    leaving rank streams (separated in the high word) disjoint for 2**192
+    blocks.  Resetting state on a live bit generator avoids the ~16us
+    construction cost of a fresh Generator per rank.
+    """
+
+    __slots__ = ("_bitgen", "_gen", "_state", "_counter", "_buffers")
+
+    def __init__(self, seed: int, purpose: str) -> None:
+        self._bitgen = np.random.Philox(key=derive_seed(seed, purpose))
+        self._gen = np.random.Generator(self._bitgen)
+        self._state = self._bitgen.state
+        self._counter = self._state["state"]["counter"]
+        self._buffers: Dict[int, np.ndarray] = {}
+
+    def uniforms(self, rank: int, count: int) -> np.ndarray:
+        """The rank's stream prefix.  The returned array is a reused
+        scratch buffer: consume it before the next ``uniforms`` call."""
+        counter = self._counter
+        counter[0] = 0
+        counter[1] = 0
+        counter[2] = 0
+        counter[3] = rank
+        self._state["buffer_pos"] = 4
+        self._state["has_uint32"] = 0
+        self._bitgen.state = self._state
+        buf = self._buffers.get(count)
+        if buf is None:
+            buf = np.empty(count)
+            self._buffers[count] = buf
+        return self._gen.random(out=buf)
+
+
+# -- vectorised registration grid ---------------------------------------------
+#
+# The raw DL-1 grid of a label of length L is laid out flat as
+#   [ deletions: L ][ transpositions: L-1 ][ substitutions: L*A ][ additions: (L+1)*A ]
+# position-major with the alphabet innermost — exactly the order
+# ``enumerate_edit_ops`` walks.  Validity/dedup masks reproduce its skip
+# rules, so ``valid.sum()`` equals the generator's candidate count, and a
+# flat index decodes back to ``(op, index, char)`` arithmetically.  The
+# registration uniforms are drawn over the *raw* grid (invalid slots
+# included), which makes the stream independent of the masks' consumers.
+
+_ALPHA_SIZE = len(DOMAIN_ALPHABET)
+_ALPHA_CODES = np.frombuffer(DOMAIN_ALPHABET.encode("ascii"), dtype=np.uint8)
+_ALPHA_CODE_LIST = [ord(c) for c in DOMAIN_ALPHABET]
+_HYPHEN = ord("-")
+_HYPHEN_IDX = DOMAIN_ALPHABET.index("-")
+
+#: the quality law's per-section maxima: base * fat-finger * qf <= base*1.6*1.5
+_QUALITY_MAX = 6.0 * 1.6 * 1.5
+
+_ADJ37: Optional[np.ndarray] = None
+_COST37: Optional[np.ndarray] = None
+_ADJ_LIST: Optional[list] = None
+_COST_LIST: Optional[list] = None
+
+
+def _char_tables() -> Tuple[np.ndarray, np.ndarray]:
+    """(adjacency, visual-cost) matrices over the domain alphabet."""
+    global _ADJ37, _COST37, _ADJ_LIST, _COST_LIST
+    if _ADJ37 is None:
+        adj = np.zeros((_ALPHA_SIZE, _ALPHA_SIZE), dtype=bool)
+        cost = np.zeros((_ALPHA_SIZE, _ALPHA_SIZE), dtype=np.float64)
+        for i, a in enumerate(DOMAIN_ALPHABET):
+            neighbours = qwerty_adjacency(a)
+            for j, b in enumerate(DOMAIN_ALPHABET):
+                adj[i, j] = b in neighbours
+                cost[i, j] = char_visual_cost(a, b)
+        _ADJ37, _COST37 = adj, cost
+        _ADJ_LIST, _COST_LIST = adj.tolist(), cost.tolist()
+    return _ADJ37, _COST37
+
+
+_CODE2IDX = np.full(128, -1, dtype=np.int64)
+for _i, _c in enumerate(DOMAIN_ALPHABET):
+    _CODE2IDX[ord(_c)] = _i
+_CODE2IDX_LIST = _CODE2IDX.tolist()
+
+
+def _position_weights(length: int) -> np.ndarray:
+    """``position_weight(i, length)`` for i in 0..length (vectorised)."""
+    out = np.empty(length + 1, dtype=np.float64)
+    if length <= 1:
+        out[:] = 1.0
+        return out
+    rel = np.arange(length + 1, dtype=np.float64) / (length - 1)
+    out[:] = 0.85 + 0.3 * np.abs(rel - 0.5)
+    out[0] = 1.3
+    out[length - 1:] = 1.15
+    return out
+
+
+_POSW_CACHE: Dict[int, list] = {}
+
+
+def _position_weight_list(length: int) -> list:
+    posw = _POSW_CACHE.get(length)
+    if posw is None:
+        posw = _position_weights(length).tolist()
+        _POSW_CACHE[length] = posw
+    return posw
+
+
+def _sections(length: int) -> Tuple[int, int, int, int]:
+    return (length, max(0, length - 1), length * _ALPHA_SIZE,
+            (length + 1) * _ALPHA_SIZE)
+
+
+def _grid_total(length: int) -> int:
+    n_del, n_trans, n_sub, n_add = _sections(length)
+    return n_del + n_trans + n_sub + n_add
+
+
+_SECTION_UPPER_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _section_upper(length: int) -> np.ndarray:
+    """Per-slot quality upper bound (by section), for sparse preselection."""
+    upper = _SECTION_UPPER_CACHE.get(length)
+    if upper is None:
+        n_del, n_trans, n_sub, n_add = _sections(length)
+        upper = np.concatenate([
+            np.full(n_del, 6.0 * 1.6 * 1.5),
+            np.full(n_trans, 5.0 * 1.6 * 1.5),
+            np.full(n_sub, 1.6 * 1.5),
+            np.full(n_add, 0.45 * 1.6 * 1.5),
+        ])
+        _SECTION_UPPER_CACHE[length] = upper
+    return upper
+
+
+@dataclass(frozen=True)
+class RankGrid:
+    """The registration draw of one rank's raw DL-1 edit grid."""
+
+    label: str
+    generated: int               # valid (deduped) gtypos in the grid
+    registered: np.ndarray       # flat raw-grid indices that registered
+    section_sizes: Tuple[int, int, int, int]
+
+    def decode(self, flat: int) -> Tuple[str, int, str]:
+        """Flat raw-grid index -> ``(op, index, char)``."""
+        n_del, n_trans, n_sub, _ = self.section_sizes
+        if flat < n_del:
+            return "deletion", flat, ""
+        flat -= n_del
+        if flat < n_trans:
+            return "transposition", flat, ""
+        flat -= n_trans
+        if flat < n_sub:
+            return ("substitution", flat // _ALPHA_SIZE,
+                    DOMAIN_ALPHABET[flat % _ALPHA_SIZE])
+        flat -= n_sub
+        return ("addition", flat // _ALPHA_SIZE,
+                DOMAIN_ALPHABET[flat % _ALPHA_SIZE])
+
+
+def _grid_masks(label: str) -> Tuple[np.ndarray, np.ndarray,
+                                     Tuple[int, int, int, int]]:
+    """(valid mask, quality, section sizes) over the raw DL-1 grid.
+
+    ``valid`` reproduces :func:`enumerate_edit_ops`' dedup/validity rules
+    slot for slot (a property the parity tests pin down); ``quality`` is
+    the squatter preference law of ``internet._typo_quality`` evaluated
+    for every slot.
+    """
+    codes = np.frombuffer(label.encode("ascii"), dtype=np.uint8)
+    idx = _CODE2IDX[codes]
+    if np.any(idx < 0):
+        raise ValueError(f"label {label!r} has characters outside the "
+                         "domain alphabet")
+    length = len(label)
+    adj, cost = _char_tables()
+    posw = _position_weights(length)
+    inv_len = 3.0 / max(1, length)
+
+    def quality_factor(vis: np.ndarray) -> np.ndarray:
+        return np.maximum(0.2, 1.5 - vis * inv_len)
+
+    # deletions --------------------------------------------------------------
+    del_valid = np.zeros(length, dtype=bool)
+    if 2 <= length <= 64:
+        del_valid[:] = True
+        del_valid[1:] = codes[1:] != codes[:-1]
+        if codes[1] == _HYPHEN:
+            del_valid[0] = False
+        if codes[length - 2] == _HYPHEN:
+            del_valid[length - 1] = False
+    doubled = np.zeros(length, dtype=bool)
+    doubled[:-1] |= codes[:-1] == codes[1:]
+    doubled[1:] |= codes[1:] == codes[:-1]
+    del_vis = np.where(doubled, 0.3, 0.9) * posw[:length]
+    del_q = 6.0 * 1.6 * quality_factor(del_vis)
+
+    # transpositions ---------------------------------------------------------
+    n_trans = max(0, length - 1)
+    trans_valid = np.zeros(n_trans, dtype=bool)
+    if n_trans and length <= 63:
+        trans_valid[:] = codes[:-1] != codes[1:]
+        if codes[1] == _HYPHEN:
+            trans_valid[0] = False
+        if codes[length - 2] == _HYPHEN:
+            trans_valid[n_trans - 1] = False
+    trans_q = 5.0 * 1.6 * quality_factor(0.5 * posw[:n_trans])
+
+    # substitutions (position-major, alphabet innermost) ---------------------
+    same_char = _ALPHA_CODES[None, :] == codes[:, None]        # (L, A)
+    sub_valid = ~same_char
+    if length > 63:
+        sub_valid[:] = False
+    else:
+        hyphen_col = _ALPHA_CODES == _HYPHEN
+        sub_valid[0, hyphen_col] = False
+        sub_valid[length - 1, hyphen_col] = False
+    sub_adj = adj[idx]                                          # (L, A)
+    sub_vis = cost[idx] * posw[:length, None]
+    sub_q = np.where(sub_adj, 1.6, 1.0) * quality_factor(sub_vis)
+
+    # additions --------------------------------------------------------------
+    prev_eq = np.zeros((length + 1, _ALPHA_SIZE), dtype=bool)
+    prev_eq[1:] = same_char
+    next_eq = np.zeros((length + 1, _ALPHA_SIZE), dtype=bool)
+    next_eq[:length] = same_char
+    prev_adj = np.zeros((length + 1, _ALPHA_SIZE), dtype=bool)
+    prev_adj[1:] = sub_adj
+    next_adj = np.zeros((length + 1, _ALPHA_SIZE), dtype=bool)
+    next_adj[:length] = sub_adj
+    add_ff1 = prev_eq | prev_adj | next_eq | next_adj
+    add_doubles = prev_eq | next_eq
+    add_valid = ~prev_eq                       # run dedup: same as earlier slot
+    if length + 1 > 63:
+        add_valid[:] = False
+    else:
+        hyphen_col = _ALPHA_CODES == _HYPHEN
+        add_valid[0, hyphen_col] = False
+        add_valid[length, hyphen_col] = False
+    add_vis = np.where(add_doubles, 0.3, 1.0) * posw[:, None]
+    add_q = (0.45 * np.where(add_ff1, 1.6, 1.0) * quality_factor(add_vis))
+
+    quality = np.concatenate([del_q, trans_q, sub_q.ravel(), add_q.ravel()])
+    valid = np.concatenate([del_valid, trans_valid, sub_valid.ravel(),
+                            add_valid.ravel()])
+    return valid, quality, _sections(length)
+
+
+def _generated_count(label: str) -> int:
+    """``len(enumerate_edit_ops(label))`` in O(L), no grid materialized.
+
+    Mirrors the generator's validity/dedup rules section by section; the
+    parity tests pin it against the enumerator and against
+    ``_grid_masks(label)[0].sum()``.
+    """
+    length = len(label)
+    c = label
+    if 2 <= length <= 62 and "-" not in c:
+        # hyphen-free closed form: only the adjacent-duplicate dedup
+        # bites, once in the deletion section and once in transpositions
+        dups = 0
+        prev = c[0]
+        for ch in c[1:]:
+            if ch == prev:
+                dups += 1
+            prev = ch
+        return 74 * length + 32 - 2 * dups
+    total = 0
+    if 2 <= length <= 64:                       # deletions
+        for i in range(length):
+            if i > 0 and c[i] == c[i - 1]:
+                continue
+            if i == 0 and c[1] == "-":
+                continue
+            if i == length - 1 and c[length - 2] == "-":
+                continue
+            total += 1
+    if 2 <= length <= 63:                       # transpositions
+        n_trans = length - 1
+        for i in range(n_trans):
+            if c[i] == c[i + 1]:
+                continue
+            if i == 0 and c[1] == "-":
+                continue
+            if i == n_trans - 1 and c[length - 2] == "-":
+                continue
+            total += 1
+    if length <= 63:                            # substitutions
+        for i in range(length):
+            slots = _ALPHA_SIZE - 1             # minus the original char
+            if (i == 0 or i == length - 1) and c[i] != "-":
+                slots -= 1                      # boundary hyphen
+            total += slots
+    if length + 1 <= 63:                        # additions
+        for i in range(length + 1):
+            slots = _ALPHA_SIZE
+            if i >= 1:
+                slots -= 1                      # run dedup vs previous char
+            if i == 0:
+                slots -= 1                      # leading hyphen
+            elif i == length and c[length - 1] != "-":
+                slots -= 1                      # trailing hyphen
+            total += slots
+    return total
+
+
+#: per-length (threshold, hit-mask) scratch pair for the sparse preselect
+_PRESELECT_SCRATCH: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _grid_draw(label: str, reg_p: float,
+               uniforms: np.ndarray) -> Tuple[int, List[int]]:
+    """(generated count, registered flat indices) of one rank's raw grid.
+
+    Dense regime (the 0.95 probability cap can bind): evaluate the full
+    validity/quality masks.  Sparse regime (every slot's probability is
+    below the cap): preselect ``u < reg_p * section_max`` — a strict
+    superset of the registrations — then confirm the few survivors with
+    the scalar law.  Both paths compute the identical registered set; the
+    parity tests pin that.
+    """
+    length = len(label)
+    if reg_p * _QUALITY_MAX >= 0.95:
+        valid, quality, _ = _grid_masks(label)
+        probability = np.minimum(0.95, reg_p * quality)
+        registered = np.nonzero(valid & (uniforms < probability))[0].tolist()
+        return _generated_count(label), registered
+
+    scratch = _PRESELECT_SCRATCH.get(length)
+    if scratch is None:
+        total = _grid_total(length)
+        scratch = (np.empty(total), np.empty(total, dtype=bool))
+        _PRESELECT_SCRATCH[length] = scratch
+    thresh, hits = scratch
+    np.multiply(_section_upper(length), reg_p, out=thresh)
+    np.less(uniforms, thresh, out=hits)
+    cand_arr = hits.nonzero()[0]
+    registered: List[int] = []
+    if cand_arr.size:
+        _char_tables()
+        adj, cost = _ADJ_LIST, _COST_LIST
+        codes = label.encode("ascii")
+        idx = [_CODE2IDX_LIST[b] for b in codes]
+        if min(idx) < 0:
+            raise ValueError(f"label {label!r} has characters outside the "
+                             "domain alphabet")
+        posw = _position_weight_list(length)
+        inv_len = 3.0 / max(1, length)
+        n_del = length
+        n_trans = length - 1 if length > 1 else 0
+        sub_base = n_del + n_trans
+        add_base = sub_base + length * _ALPHA_SIZE
+        uvals = uniforms[cand_arr].tolist()
+        for flat, u in zip(cand_arr.tolist(), uvals):
+            if flat < n_del:
+                i = flat
+                if length < 2 or length > 64:
+                    continue
+                if i > 0 and codes[i] == codes[i - 1]:
+                    continue
+                if i == 0 and codes[1] == _HYPHEN:
+                    continue
+                if i == length - 1 and codes[length - 2] == _HYPHEN:
+                    continue
+                doubled = ((i < length - 1 and codes[i] == codes[i + 1])
+                           or (i > 0 and codes[i] == codes[i - 1]))
+                vis = (0.3 if doubled else 0.9) * posw[i]
+                q = 6.0 * 1.6 * max(0.2, 1.5 - vis * inv_len)
+            elif flat < sub_base:
+                i = flat - n_del
+                if length > 63:
+                    continue
+                if codes[i] == codes[i + 1]:
+                    continue
+                if i == 0 and codes[1] == _HYPHEN:
+                    continue
+                if i == n_trans - 1 and codes[length - 2] == _HYPHEN:
+                    continue
+                q = 5.0 * 1.6 * max(0.2, 1.5 - (0.5 * posw[i]) * inv_len)
+            elif flat < add_base:
+                rem = flat - sub_base
+                i, a = divmod(rem, _ALPHA_SIZE)
+                if length > 63:
+                    continue
+                ch = _ALPHA_CODE_LIST[a]
+                if ch == codes[i]:
+                    continue
+                if a == _HYPHEN_IDX and (i == 0 or i == length - 1):
+                    continue
+                row = idx[i]
+                vis = cost[row][a] * posw[i]
+                q = ((1.6 if adj[row][a] else 1.0)
+                     * max(0.2, 1.5 - vis * inv_len))
+            else:
+                rem = flat - add_base
+                i, a = divmod(rem, _ALPHA_SIZE)
+                if length + 1 > 63:
+                    continue
+                ch = _ALPHA_CODE_LIST[a]
+                if i >= 1 and ch == codes[i - 1]:
+                    continue
+                if a == _HYPHEN_IDX and (i == 0 or i == length):
+                    continue
+                next_eq = i < length and ch == codes[i]
+                ff1 = (next_eq or (i >= 1 and adj[idx[i - 1]][a])
+                       or (i < length and adj[idx[i]][a]))
+                vis = (0.3 if next_eq else 1.0) * posw[i]
+                q = (0.45 * (1.6 if ff1 else 1.0)
+                     * max(0.2, 1.5 - vis * inv_len))
+            if u < reg_p * q:
+                registered.append(flat)
+    return _generated_count(label), registered
+
+
+def _registration_grid(label: str, seed: int, rank: int,
+                       config: InternetConfig) -> RankGrid:
+    """The registration draw for one rank's whole candidate grid."""
+    reg_p = (config.peak_registration_probability
+             / (rank ** config.rank_decay))
+    uniforms = _rank_uniforms(seed, "reg", rank, _grid_total(len(label)))
+    generated, registered = _grid_draw(label, reg_p, uniforms)
+    return RankGrid(label=label, generated=generated,
+                    registered=np.asarray(registered, dtype=np.int64),
+                    section_sizes=_sections(len(label)))
+
+
+# -- filler targets ------------------------------------------------------------
+
+_FILLER_CHUNK = 1024
+
+_SYL_TABLE: Optional[List[List[str]]] = None
+
+
+def _syllable_table() -> List[List[str]]:
+    global _SYL_TABLE
+    if _SYL_TABLE is None:
+        _SYL_TABLE = [[onset + vowel for vowel in _PRONOUNCEABLE_VOWELS]
+                      for onset in _PRONOUNCEABLE_ONSETS]
+    return _SYL_TABLE
+
+
+def _filler_labels(seed: int, chunk: int) -> List[str]:
+    """Filler target domains for indices [chunk*N, (chunk+1)*N).
+
+    Chunked so a 100k-target universe costs ~100 stream constructions
+    instead of one per domain; each name stays a pure function of
+    ``(seed, index)``.
+    """
+    uniforms = _rank_uniforms(seed, "fillers", chunk, _FILLER_CHUNK * 7)
+    rows = uniforms.reshape(_FILLER_CHUNK, 7).tolist()
+    syl = _syllable_table()
+    n_onsets = len(_PRONOUNCEABLE_ONSETS)
+    n_vowels = len(_PRONOUNCEABLE_VOWELS)
+    base = chunk * _FILLER_CHUNK
+    out = []
+    for j, (u0, o1, v1, o2, v2, o3, v3) in enumerate(rows):
+        label = (syl[min(int(o1 * n_onsets), n_onsets - 1)]
+                    [min(int(v1 * n_vowels), n_vowels - 1)]
+                 + syl[min(int(o2 * n_onsets), n_onsets - 1)]
+                      [min(int(v2 * n_vowels), n_vowels - 1)])
+        if u0 >= 0.5:
+            label += syl[min(int(o3 * n_onsets), n_onsets - 1)] \
+                        [min(int(v3 * n_vowels), n_vowels - 1)]
+        out.append(f"{label}{base + j}.com")
+    return out
+
+
+# -- the world model ----------------------------------------------------------
+
+
+class WorldModel:
+    """Derives the simulated Internet per ``(seed, rank)`` on demand."""
+
+    def __init__(self, seed: int, config: Optional[InternetConfig] = None,
+                 probe_attempts: int = 3) -> None:
+        self.seed = seed
+        self.config = config or InternetConfig()
+        self.probe_attempts = probe_attempts
+        config = self.config
+        self._targets: List[str] = [t.name for t in EMAIL_TARGETS]
+        #: (label, suffix) per target, parallel to ``_targets``
+        self._target_parts: List[Tuple[str, str]] = []
+        for name in self._targets:
+            label, _ = split_domain(name)
+            self._target_parts.append((label, name[len(label) + 1:]))
+        self._target_set: FrozenSet[str] = frozenset()
+        self._target_set_size = 0
+        self._streams: Dict[str, _RankKeyedStream] = {}
+        # hot-path tables: cumulative weights for bisect draws, interned
+        # owner-id strings, and the MX-host -> registrable-domain map
+        self._bulk_cum, self._bulk_total = _cumulative(
+            [1.8 ** -i for i in range(config.bulk_registrant_count)])
+        self._bulk_ids = tuple(
+            f"bulk-{i:02d}" for i in range(config.bulk_registrant_count))
+        self._medium_ids = tuple(
+            f"medium-{i:03d}" for i in range(config.medium_registrant_count))
+        self._support_mixes = {
+            name: (tuple(_SUPPORT_CODE[s] for s in mix),
+                   *_cumulative(list(mix.values())))
+            for name, mix in (
+                ("squatter", config.squatter_support_mix),
+                ("reseller", _RESELLER_SUPPORT_MIX),
+                ("longtail", config.longtail_support_mix))}
+        self._pool_hosts = tuple(h for h, _, _ in SQUATTER_MX_POOL)
+        self._pool_broken = tuple(b for _, _, b in SQUATTER_MX_POOL)
+        self._pool_cum, self._pool_total = _cumulative(
+            [w for _, w, _ in SQUATTER_MX_POOL])
+        self._mx_key = {
+            host: registrable_domain(host)
+            for host in (*PARKED_MX_HOSTS, *WEB_MX_HOSTS, *self._pool_hosts)}
+
+    def _stream(self, purpose: str) -> _RankKeyedStream:
+        stream = self._streams.get(purpose)
+        if stream is None:
+            stream = _RankKeyedStream(self.seed, purpose)
+            self._streams[purpose] = stream
+        return stream
+
+    # -- the ranked target list -------------------------------------------
+
+    def target_domain(self, rank: int) -> str:
+        """The rank-``rank`` domain of the simulated Alexa list."""
+        if rank < 1:
+            raise ValueError("ranks start at 1")
+        targets = self._targets
+        while len(targets) < rank:
+            chunk = (len(targets) - len(EMAIL_TARGETS)) // _FILLER_CHUNK
+            fillers = _filler_labels(self.seed, chunk)
+            targets.extend(fillers)
+            self._target_parts.extend(
+                (name[:-4], "com") for name in fillers)
+        return targets[rank - 1]
+
+    def alexa_entry(self, rank: int) -> AlexaEntry:
+        return AlexaEntry(domain=self.target_domain(rank), rank=rank,
+                          monthly_visitors=5e8 / (rank ** 0.9))
+
+    def alexa_entries(self, count: int) -> List[AlexaEntry]:
+        return [self.alexa_entry(rank) for rank in range(1, count + 1)]
+
+    def target_names(self, max_rank: int) -> FrozenSet[str]:
+        """The target-domain universe of a ``max_rank``-sized world."""
+        if self._target_set_size != max_rank:
+            self.target_domain(max(1, max_rank))
+            self._target_set = frozenset(self._targets[:max_rank])
+            self._target_set_size = max_rank
+        return self._target_set
+
+    def persona(self, owner_id: str) -> RegistrantPersona:
+        """The stable WHOIS persona behind an owner id."""
+        return make_registrant(
+            SeededRng(derive_seed(self.seed, owner_id)), owner_id)
+
+    # -- per-rank derivation ----------------------------------------------
+
+    def target_parts(self, rank: int) -> Tuple[str, str]:
+        """(label, suffix) of the rank's target domain."""
+        self.target_domain(rank)
+        return self._target_parts[rank - 1]
+
+    def rank_grid(self, rank: int) -> RankGrid:
+        label, _ = self.target_parts(rank)
+        reg_p = (self.config.peak_registration_probability
+                 / (rank ** self.config.rank_decay))
+        uniforms = self._stream("reg").uniforms(rank, _grid_total(len(label)))
+        generated, registered = _grid_draw(label, reg_p, uniforms)
+        return RankGrid(label=label, generated=generated,
+                        registered=np.asarray(registered, dtype=np.int64),
+                        section_sizes=_sections(len(label)))
+
+    def rank_states(self, rank: int) -> List[DomainState]:
+        """Ground truth of every ctypo this rank registers, in grid order."""
+        return list(self.iter_rank_states(rank, self.rank_grid(rank)))
+
+    def iter_rank_states(self, rank: int,
+                         grid: RankGrid) -> Iterable[DomainState]:
+        """Stream the rank's registered-domain states (never a list)."""
+        target = self.target_domain(rank)
+        label = grid.label
+        suffix = target[len(label) + 1:]
+        for rec in self._iter_rank_records(rank, target, label, suffix,
+                                           grid.registered.tolist()):
+            (domain, owner_id, cls, profile, support, mx_domain, _mx_key,
+             has_address, nameserver, private, proxy, fields, policy,
+             op, index, char) = rec
+            yield DomainState(
+                domain=domain, target=target, rank=rank, edit_op=op,
+                edit_index=index, edit_char=char, owner_id=owner_id,
+                owner_type=_OWNER_BY_CODE[cls], profile=profile,
+                support=_SUPPORT_BY_CODE[support], mx_domain=mx_domain,
+                has_address=has_address, nameserver=nameserver,
+                private_whois=private, privacy_proxy=proxy,
+                whois_fields_filled=fields, longtail_policy=policy)
+
+    def _iter_rank_records(self, rank: int, target: str, label: str,
+                           suffix: str, registered: List[int]
+                           ) -> Iterator[tuple]:
+        """The rank's registered ctypos as plain tuples (the hot path).
+
+        Each decision consumes exactly one uniform from the rank's "wild"
+        stream, so the derivation is independent of how the consumer
+        iterates.  Tuple layout: (domain, owner_id, owner class code,
+        profile, support code, mx_domain, mx registrable domain,
+        has_address, nameserver, private, proxy, whois fields, longtail
+        policy, op, index, char); support travels as its
+        ``_SUPPORT_BY_CODE`` index.
+        """
+        if not registered:
+            return
+        config = self.config
+        n = len(registered)
+        wu = self._stream("wild").uniforms(rank, 12 * n + 4).tolist()
+        wi = 0
+        def_frac = config.defensive_fraction
+        legit_cut = def_frac + config.legitimate_fraction
+        bulk_share = config.bulk_share
+        medium_cut = bulk_share + config.medium_share
+        bulk_cum, bulk_total = self._bulk_cum, self._bulk_total
+        bulk_ids, medium_ids = self._bulk_ids, self._medium_ids
+        n_bulk, n_medium = len(bulk_ids), len(medium_ids)
+        mixes = self._support_mixes
+        pool_hosts, pool_broken = self._pool_hosts, self._pool_broken
+        pool_cum, pool_total = self._pool_cum, self._pool_total
+        mx_key_of = self._mx_key
+        normal_ns, cesspool_ns = _NORMAL_NAMESERVERS, _CESSPOOL_NAMESERVERS
+        n_normal, n_cesspool = len(normal_ns), len(cesspool_ns)
+        proxies = PRIVACY_PROXIES
+        n_proxies = len(proxies)
+        catch_all = config.longtail_catch_all_rate
+        reject_cut = catch_all + config.longtail_reject_all_rate
+        n_del = len(label)
+        n_trans = n_del - 1 if n_del > 1 else 0
+        sub_base = n_del + n_trans
+        add_base = sub_base + n_del * _ALPHA_SIZE
+        dot_suffix = "." + suffix
+        legit_count = 0
+        small_count = 0
+        for flat in registered:
+            if flat < n_del:
+                op, index, char = "deletion", flat, ""
+                domain = label[:flat] + label[flat + 1:] + dot_suffix
+            elif flat < sub_base:
+                index = flat - n_del
+                op, char = "transposition", ""
+                domain = (label[:index] + label[index + 1]
+                          + label[index] + label[index + 2:] + dot_suffix)
+            elif flat < add_base:
+                index, a = divmod(flat - sub_base, _ALPHA_SIZE)
+                op, char = "substitution", DOMAIN_ALPHABET[a]
+                domain = label[:index] + char + label[index + 1:] + dot_suffix
+            else:
+                index, a = divmod(flat - add_base, _ALPHA_SIZE)
+                op, char = "addition", DOMAIN_ALPHABET[a]
+                domain = label[:index] + char + label[index:] + dot_suffix
+
+            owner_u = wu[wi]
+            wi += 1
+            if owner_u < def_frac:
+                yield (domain, f"owner-{target}", 0, "", 5,
+                       f"mx.{target}", target, False, f"ns.{target}",
+                       False, None, 6, None, op, index, char)
+                continue
+            if owner_u < legit_cut:
+                nameserver = normal_ns[min(int(wu[wi] * n_normal),
+                                           n_normal - 1)]
+                wi += 1
+                private = wu[wi] < 0.25
+                wi += 1
+                proxy = None
+                if private:
+                    proxy = proxies[min(int(wu[wi] * n_proxies),
+                                        n_proxies - 1)]
+                    wi += 1
+                policy = "catch_all" if wu[wi] < 0.1 else "reject_unknown"
+                wi += 1
+                yield (domain, f"legit-r{rank}-{legit_count}", 1, "", 5,
+                       None, None, True, nameserver, private, proxy, 6,
+                       policy, op, index, char)
+                legit_count += 1
+                continue
+
+            # squatters --------------------------------------------------
+            squatter_u = wu[wi]
+            wi += 1
+            if squatter_u < bulk_share:
+                bulk_index = min(bisect_right(bulk_cum, wu[wi] * bulk_total),
+                                 n_bulk - 1)
+                wi += 1
+                owner_id = bulk_ids[bulk_index]
+                profile = "reseller" if bulk_index < 3 else "collector"
+                cls = 2
+            elif squatter_u < medium_cut:
+                medium_index = min(int(wu[wi] * n_medium), n_medium - 1)
+                wi += 1
+                owner_id = medium_ids[medium_index]
+                profile = "collector" if medium_index % 2 == 0 else "reseller"
+                cls = 3
+            else:
+                owner_id = f"small-r{rank}-{small_count}"
+                small_count += 1
+                profile = "collector"
+                cls = 4
+
+            mix_names, mix_cum, mix_total = mixes[
+                "longtail" if cls == 4 else
+                ("reseller" if profile == "reseller" else "squatter")]
+            support = mix_names[min(bisect_right(mix_cum, wu[wi] * mix_total),
+                                    len(mix_names) - 1)]
+            wi += 1
+
+            if cls != 4:
+                cesspool = True
+            else:
+                cesspool = wu[wi] < config.small_cesspool_rate
+                wi += 1
+            if cesspool:
+                nameserver = cesspool_ns[min(int(wu[wi] * n_cesspool),
+                                             n_cesspool - 1)]
+            else:
+                nameserver = normal_ns[min(int(wu[wi] * n_normal),
+                                           n_normal - 1)]
+            wi += 1
+
+            mx_domain = None
+            mx_key = None
+            has_address = False
+            policy = None
+            if support != 0:
+                if cls != 4:
+                    if support == 1:
+                        mx_domain = PARKED_MX_HOSTS[min(int(wu[wi] * 3), 2)]
+                        wi += 1
+                    elif support == 2:
+                        mx_domain = WEB_MX_HOSTS[min(int(wu[wi] * 3), 2)]
+                        wi += 1
+                    else:
+                        pool_index = min(
+                            bisect_right(pool_cum, wu[wi] * pool_total),
+                            len(pool_hosts) - 1)
+                        wi += 1
+                        mx_domain = pool_hosts[pool_index]
+                        if pool_broken[pool_index]:
+                            support = 4
+                    mx_key = mx_key_of[mx_domain]
+                else:
+                    has_address = True
+                    if wu[wi] < 0.1:
+                        mx_domain = domain
+                        mx_key = domain
+                    wi += 1
+                    if support != 2 and support != 1:
+                        roll = wu[wi]
+                        wi += 1
+                        if roll < catch_all:
+                            policy = "catch_all"
+                        elif roll < reject_cut:
+                            policy = "reject_unknown"
+                        else:
+                            policy = "domain"
+
+            if cls != 4:
+                privacy_rate = (0.05 if profile == "reseller"
+                                else config.bulk_privacy_rate)
+            elif policy == "catch_all":
+                privacy_rate = 0.75
+            else:
+                privacy_rate = config.small_privacy_rate
+            private = wu[wi] < privacy_rate
+            wi += 1
+            proxy = None
+            fields = 6
+            if private:
+                proxy = proxies[min(int(wu[wi] * n_proxies), n_proxies - 1)]
+                wi += 1
+            elif wu[wi] >= 0.8:
+                wi += 1
+                fields = 2 + min(int(wu[wi] * 4), 3)
+                wi += 1
+            else:
+                wi += 1
+
+            yield (domain, owner_id, cls, profile, support, mx_domain,
+                   mx_key, has_address, nameserver, private, proxy, fields,
+                   policy, op, index, char)
+
+    # -- the streaming scan ------------------------------------------------
+
+    def scan_ranks(self, start_rank: int, stop_rank: int, *,
+                   max_rank: Optional[int] = None,
+                   exclude: Iterable[str] = (),
+                   aggregates: Optional[ScanAggregates] = None,
+                   retain: Optional[list] = None) -> ScanAggregates:
+        """Scan ranks ``[start_rank, stop_rank)`` into streaming aggregates.
+
+        ``max_rank`` is the size of the world's target universe (candidate
+        strings colliding with a target domain are never wild typo
+        registrations); it defaults to ``stop_rank - 1`` and must be held
+        constant across the shards of one scan.  ``retain`` is the opt-in
+        result sink for small scans: when given a list, each observation
+        is appended as ``(DomainState, observed SmtpSupport)``; on the
+        paper-scale path nothing per-result is kept.
+
+        The probe emulation mirrors :meth:`EcosystemScanner._probe`
+        against the host behaviours ``build_internet`` attaches: per
+        attempt a timeout draw, then a network-error draw, then either a
+        deterministic refusal (no listener) or the listening server's
+        STARTTLS classification.  Hosts whose behaviour is deterministic
+        (defensive mail, parked or web-only hosts) resolve without
+        consuming probe uniforms.
+        """
+        aggregates = aggregates if aggregates is not None else ScanAggregates()
+        target_set = self.target_names(max_rank or (stop_rank - 1))
+        excluded = {domain.lower() for domain in exclude}
+        probe_stream = self._stream("probe")
+        attempts = self.probe_attempts
+        config = self.config
+        peak = config.peak_registration_probability
+        decay = config.rank_decay
+        reg_stream = self._stream("reg")
+        small_timeout = config.longtail_timeout_probability
+        small_neterr = config.longtail_network_error_probability
+        support_by_code = _SUPPORT_BY_CODE
+        generated = 0
+        registered_n = 0
+        # categorical folds are flat index lists; dict folds only where the
+        # key space is open-ended (MX domains, owners, targets)
+        support_l = [0] * 6
+        truth_l = [0] * 6
+        owner_type_l = [0] * 5
+        mx_c: Dict[str, int] = {}
+        owner_dom_c: Dict[str, int] = {}
+        per_target_c: Dict[str, int] = {}
+        private_n = 0
+        implicit_n = 0
+
+        self.target_domain(max(1, stop_rank - 1))
+        targets = self._targets
+        parts = self._target_parts
+        for rank in range(start_rank, stop_rank):
+            label, suffix = parts[rank - 1]
+            reg_p = peak / (rank ** decay)
+            uniforms = reg_stream.uniforms(rank, _grid_total(len(label)))
+            gen_count, regs = _grid_draw(label, reg_p, uniforms)
+            generated += gen_count
+            if not regs:
+                continue
+            target = targets[rank - 1]
+            pu: Optional[list] = None
+            pi = 0
+            n = len(regs)
+            scanned = 0
+            for rec in self._iter_rank_records(rank, target, label, suffix,
+                                               regs):
+                (domain, owner_id, cls, profile, support, mx_domain,
+                 mx_key, has_address, nameserver, private, proxy,
+                 fields, policy, op, index, char) = rec
+                if domain in excluded or domain in target_set:
+                    continue
+                # probe emulation (all codes: 0 NO_DNS, 1 NO_INFO,
+                # 2 NO_EMAIL, 3 PLAIN, 4 STARTTLS_ERRORS, 5 STARTTLS_OK)
+                if support == 0:
+                    observed = 0
+                elif cls == 0:
+                    observed = 5
+                elif support == 2 or (cls != 4 and cls != 1
+                                      and support == 1):
+                    # web-parked or refused hosts answer deterministically
+                    observed = support
+                else:
+                    if cls == 1:
+                        timeout_p, neterr_p = 0.05, 0.03
+                        starttls, broken = True, False
+                        listener = True
+                    elif cls != 4:
+                        timeout_p, neterr_p = 0.03, 0.02
+                        starttls, broken = True, support == 4
+                        listener = True
+                    elif support == 1:
+                        timeout_p, neterr_p = 0.97, 0.03
+                        listener = False
+                    else:
+                        timeout_p, neterr_p = small_timeout, small_neterr
+                        starttls, broken = support != 3, support == 4
+                        listener = True
+                    if pu is None:
+                        pu = probe_stream.uniforms(
+                            rank, 2 * attempts * n + 2).tolist()
+                    observed = -1
+                    refused = False
+                    for _ in range(attempts):
+                        if pu[pi] < timeout_p:
+                            pi += 1
+                            continue
+                        pi += 1
+                        if pu[pi] < neterr_p:
+                            pi += 1
+                            continue
+                        pi += 1
+                        if not listener:
+                            refused = True
+                            continue
+                        observed = 4 if broken else (5 if starttls else 3)
+                        break
+                    if observed < 0:
+                        observed = 2 if refused else 1
+                # fold ------------------------------------------------
+                scanned += 1
+                support_l[observed] += 1
+                truth_l[support] += 1
+                if mx_key is not None:
+                    mx_c[mx_key] = mx_c.get(mx_key, 0) + 1
+                elif has_address:
+                    implicit_n += 1
+                if cls == 2 or cls == 3:
+                    owner_dom_c[owner_id] = owner_dom_c.get(owner_id, 0) + 1
+                owner_type_l[cls] += 1
+                if private:
+                    private_n += 1
+                if retain is not None:
+                    retain.append((DomainState(
+                        domain=domain, target=target, rank=rank, edit_op=op,
+                        edit_index=index, edit_char=char, owner_id=owner_id,
+                        owner_type=_OWNER_BY_CODE[cls], profile=profile,
+                        support=support_by_code[support],
+                        mx_domain=mx_domain, has_address=has_address,
+                        nameserver=nameserver, private_whois=private,
+                        privacy_proxy=proxy, whois_fields_filled=fields,
+                        longtail_policy=policy),
+                        support_by_code[observed]))
+            if scanned:
+                registered_n += scanned
+                per_target_c[target] = per_target_c.get(target, 0) + scanned
+
+        aggregates.generated_count += generated
+        aggregates.registered_count += registered_n
+        aggregates.support_counts.update(
+            {_SUPPORT_VALUE_BY_CODE[i]: v
+             for i, v in enumerate(support_l) if v})
+        aggregates.truth_support_counts.update(
+            {_SUPPORT_VALUE_BY_CODE[i]: v
+             for i, v in enumerate(truth_l) if v})
+        aggregates.mx_domain_counts.update(mx_c)
+        aggregates.owner_domain_counts.update(owner_dom_c)
+        aggregates.owner_type_counts.update(
+            {_OWNER_VALUE_BY_CODE[i]: v
+             for i, v in enumerate(owner_type_l) if v})
+        aggregates.per_target_counts.update(per_target_c)
+        aggregates.whois_private_count += private_n
+        aggregates.implicit_mx_count += implicit_n
+        return aggregates
+
+
+def _cumulative(weights: List[float]) -> Tuple[List[float], float]:
+    """(inclusive cumulative sums, total) for bisect-based weighted draws."""
+    cum: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cum.append(acc)
+    if acc <= 0:
+        raise ValueError("weights must have a positive sum")
+    return cum, acc

@@ -2,10 +2,15 @@
 
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.parallel import (
+    ScanShard,
+    ScanShardTask,
     StudySample,
     derive_child_seeds,
     parallel_map,
+    partition_ranks,
     record_stream_digest,
+    run_scan_shard,
+    run_sharded_scan,
     run_study_sample,
     run_study_samples,
 )
@@ -37,4 +42,9 @@ __all__ = [
     "derive_child_seeds",
     "parallel_map",
     "record_stream_digest",
+    "ScanShardTask",
+    "ScanShard",
+    "run_scan_shard",
+    "partition_ranks",
+    "run_sharded_scan",
 ]

@@ -40,6 +40,8 @@ from typing import (
 
 from repro.analysis.records import CollectedRecord
 from repro.core.targets import StudyCorpus
+from repro.ecosystem.aggregates import ScanAggregates
+from repro.ecosystem.internet import InternetConfig
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.runner import StudyResults, StudyRunner
 from repro.util.rand import derive_seed
@@ -52,6 +54,11 @@ __all__ = [
     "derive_child_seeds",
     "parallel_map",
     "record_stream_digest",
+    "ScanShardTask",
+    "ScanShard",
+    "run_scan_shard",
+    "partition_ranks",
+    "run_sharded_scan",
 ]
 
 T = TypeVar("T")
@@ -164,6 +171,95 @@ def run_study_samples(configs: Sequence[ExperimentConfig],
     path: each run is a pure function of its config.
     """
     return parallel_map(run_study_sample, configs, jobs=jobs)
+
+
+# -- the sharded ecosystem scan ----------------------------------------------
+#
+# A paper-scale DL-1 scan is embarrassingly parallel over Alexa ranks:
+# every per-rank stream of the lazy world model is keyed by
+# ``derive_seed(seed, f"...-{rank}")``, so a worker needs nothing from its
+# neighbours.  Workers stream each rank's registered-candidate states
+# through a generator (never a list), fold them into
+# :class:`~repro.ecosystem.aggregates.ScanAggregates`, and ship only those
+# counts back; the merged digest is byte-identical to the serial scan's.
+
+
+@dataclass(frozen=True)
+class ScanShardTask:
+    """One worker's share of a sharded ecosystem scan (picklable)."""
+
+    seed: int
+    start_rank: int            # inclusive
+    stop_rank: int             # exclusive
+    #: size of the whole scan's target universe — must be the same for
+    #: every shard, or target-collision skipping diverges from serial
+    max_rank: int
+    config: Optional[InternetConfig] = None
+    exclude: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScanShard:
+    """A completed shard: its rank range and streaming aggregates."""
+
+    start_rank: int
+    stop_rank: int
+    aggregates: ScanAggregates
+
+
+def run_scan_shard(task: ScanShardTask) -> ScanShard:
+    """Scan one rank range of the lazy world (module-level for pickling)."""
+    from repro.ecosystem.world import WorldModel
+
+    world = WorldModel(task.seed, task.config)
+    aggregates = world.scan_ranks(task.start_rank, task.stop_rank,
+                                  max_rank=task.max_rank,
+                                  exclude=task.exclude)
+    return ScanShard(start_rank=task.start_rank, stop_rank=task.stop_rank,
+                     aggregates=aggregates)
+
+
+def partition_ranks(max_rank: int,
+                    shards: int) -> List[Tuple[int, int]]:
+    """Split ranks ``1..max_rank`` into contiguous half-open ranges.
+
+    Every rank lands in exactly one ``[start, stop)`` range (ranks are
+    shard-atomic); ranges differ in size by at most one.
+    """
+    if max_rank < 1:
+        raise ValueError("max_rank must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, max_rank)
+    base, extra = divmod(max_rank, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 1
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def run_sharded_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
+                     config: Optional[InternetConfig] = None,
+                     exclude: Sequence[str] = ()) -> ScanAggregates:
+    """Scan ranks ``1..max_rank`` of the lazy world, fanned over workers.
+
+    ``jobs=None`` or ``1`` runs serially in-process; either way the
+    merged aggregates (and their digest) are identical, which the shard
+    determinism tests pin down.
+    """
+    shard_count = jobs if jobs and jobs > 1 else 1
+    tasks = [ScanShardTask(seed=seed, start_rank=start, stop_rank=stop,
+                           max_rank=max_rank, config=config,
+                           exclude=tuple(exclude))
+             for start, stop in partition_ranks(max_rank, shard_count)]
+    shards = parallel_map(run_scan_shard, tasks, jobs=jobs)
+    merged = ScanAggregates()
+    for shard in shards:
+        merged.merge(shard.aggregates)
+    return merged
 
 
 def record_stream_digest(records: Iterable[CollectedRecord]) -> str:

@@ -55,3 +55,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "registered ctypos" in out
         assert "starttls_ok" in out
+
+    def test_scan_streaming_ranks(self, capsys):
+        assert main(["--seed", "5", "scan", "--ranks", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Table 6" in out
+        assert "b-io.co" in out
+        assert "aggregate digest: sha256:" in out
+
+    def test_scan_streaming_jobs_digest_matches_serial(self, capsys):
+        assert main(["--seed", "5", "scan", "--ranks", "60",
+                     "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--seed", "5", "scan", "--ranks", "60",
+                     "--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial == sharded

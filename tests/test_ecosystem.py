@@ -5,6 +5,7 @@ import pytest
 from repro.ecosystem import (
     CLUSTER_FIELDS,
     EcosystemScanner,
+    ScanResult,
     InternetConfig,
     OwnerType,
     SmtpSupport,
@@ -201,6 +202,29 @@ class TestScanner:
     def test_accepting_results_can_accept(self, scan):
         for result in scan.accepting_results():
             assert result.support.can_accept_mail
+
+    def test_primary_mx_domain_handles_multi_label_suffixes(self):
+        """``mx1.foo.co.uk`` groups under foo.co.uk, not co.uk."""
+        def result_with_mx(*hosts):
+            return ScanResult(
+                domain="x.com", target="y.com", candidate=None,
+                mx_hosts=hosts, addresses=(), used_implicit_mx=False,
+                support=SmtpSupport.STARTTLS_OK, nameserver=None,
+                whois_private=False)
+
+        assert result_with_mx("mx1.foo.co.uk").primary_mx_domain == "foo.co.uk"
+        assert result_with_mx("mx.b-io.co").primary_mx_domain == "b-io.co"
+        assert result_with_mx("b-io.co").primary_mx_domain == "b-io.co"
+        assert result_with_mx().primary_mx_domain is None
+
+    def test_streaming_scan_drops_results_but_keeps_tables(self, internet):
+        scan = EcosystemScanner(internet).scan(retain_results=False)
+        assert scan.results == []
+        assert scan.registered_count > 0
+        assert sum(scan.support_table().values()) == scan.registered_count
+        assert "b-io.co" in scan.mx_domain_counts()
+        with pytest.raises(RuntimeError):
+            scan.accepting_results()
 
 
 class TestClustering:
