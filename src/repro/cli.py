@@ -41,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Markdown report to PATH")
     study.add_argument("--export", metavar="DIR",
                        help="export per-figure CSV data into DIR")
+    study.add_argument("--fault-plan", metavar="PATH",
+                       help="inject the deterministic fault schedule from "
+                            "this JSON file (see repro.faultsim)")
+    study.add_argument("--chaos", action="store_true",
+                       help="inject the built-in demo fault plan "
+                            "(outages, DNS SERVFAIL spells, SMTP tempfail "
+                            "+ greylisting), seeded from --seed")
 
     scan = commands.add_parser("scan", help="scan the wild ecosystem")
     scan.add_argument("--targets", type=int, default=40,
@@ -52,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--jobs", type=int, metavar="J",
                       help="worker processes for the --ranks scan "
                            "(1 = serial; the digest is identical)")
+    scan.add_argument("--fault-plan", metavar="PATH",
+                      help="inject worker crash/hang faults from this "
+                           "JSON fault plan (--ranks scans only)")
+    scan.add_argument("--chaos", action="store_true",
+                      help="inject the built-in demo fault plan, seeded "
+                           "from --seed (--ranks scans only)")
+    scan.add_argument("--checkpoint", metavar="PATH",
+                      help="persist completed shards to PATH and resume "
+                           "from it on re-runs (--ranks scans only)")
 
     honey = commands.add_parser("honey", help="run the honey experiments")
     honey.add_argument("--targets", type=int, default=40)
@@ -77,6 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: serial)")
 
     return parser
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """Resolve --fault-plan/--chaos into an Optional[FaultPlan]."""
+    from pathlib import Path
+
+    from repro.faultsim import FaultPlan
+
+    if getattr(args, "fault_plan", None):
+        return FaultPlan.from_json(Path(args.fault_plan).read_text())
+    if getattr(args, "chaos", False):
+        return FaultPlan.chaos_demo(args.seed)
+    return None
 
 
 def _seed_list(text: str) -> List[int]:
@@ -112,13 +141,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.volume import descaled_volume_report
     from repro.experiment import ExperimentConfig, StudyRunner
 
+    plan = _load_fault_plan(args)
     config = ExperimentConfig(
         seed=args.seed,
         spam_scale=args.spam_scale,
         outage_spans=() if args.no_outage else ((75, 135),),
+        fault_plan=plan,
     )
     if args.seeds:
         return _cmd_study_multi(args, config)
+    if plan is not None:
+        print(f"fault plan active (digest sha256:{plan.digest()})",
+              file=sys.stderr)
     print("running the collection study...", file=sys.stderr)
     results = StudyRunner(config).run()
     smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
@@ -133,6 +167,15 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(f"yearly genuine typo emails:   {report.passed_all_filters:,.0f}")
     low, high = report.smtp_typo_range()
     print(f"yearly SMTP-typo band:        {low:,.0f} - {high:,.0f}")
+    robustness = results.robustness
+    if robustness is not None:
+        faults = sum(robustness.get("faults", {}).values())
+        retry = robustness.get("retry", {})
+        coverage = robustness.get("collector", {})
+        print(f"faults injected: {faults}; retry queue recovered "
+              f"{retry.get('recovered', 0)}/{retry.get('enqueued', 0)} "
+              f"(gave up {retry.get('gave_up', 0)}); collector down "
+              f"{len(coverage.get('gap_days', []))} days")
 
     if args.report:
         from pathlib import Path
@@ -216,12 +259,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 def _cmd_scan_streaming(args: argparse.Namespace) -> int:
     """``repro scan --ranks N [--jobs J]``: the paper-scale lazy scan."""
-    from repro.experiment import run_sharded_scan
+    from repro.experiment import run_resilient_scan, run_sharded_scan
 
     jobs = args.jobs or 1
+    plan = _load_fault_plan(args)
     print(f"streaming scan of ranks 1..{args.ranks} "
           f"({jobs} job{'s' if jobs != 1 else ''})...", file=sys.stderr)
-    aggregates = run_sharded_scan(args.seed, args.ranks, jobs=args.jobs)
+    if plan is not None or args.checkpoint:
+        result = run_resilient_scan(args.seed, args.ranks, jobs=args.jobs,
+                                    fault_plan=plan,
+                                    checkpoint_path=args.checkpoint)
+        aggregates = result.aggregates
+        for line in result.summary_lines():
+            print(line, file=sys.stderr)
+    else:
+        aggregates = run_sharded_scan(args.seed, args.ranks, jobs=args.jobs)
     print(f"{aggregates.generated_count} gtypos enumerated; "
           f"{aggregates.registered_count} registered ctypos")
     print("Table 4 — observed SMTP support:")

@@ -24,6 +24,13 @@ class ResolutionStatus(enum.Enum):
     OK = "ok"                      # mail hosts found
     NXDOMAIN = "nxdomain"          # no such domain registered
     NO_MAIL_HOST = "no_mail_host"  # registered, but neither MX nor A
+    SERVFAIL = "servfail"          # transient server failure (retryable)
+    TIMEOUT = "timeout"            # query timed out (retryable)
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether a real resolver would retry rather than treat as final."""
+        return self in (ResolutionStatus.SERVFAIL, ResolutionStatus.TIMEOUT)
 
 
 @dataclass(frozen=True)

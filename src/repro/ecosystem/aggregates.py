@@ -133,3 +133,23 @@ class ScanAggregates:
         payload = json.dumps(self.canonical_dict(), sort_keys=True,
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_canonical_dict(cls, data: Dict) -> "ScanAggregates":
+        """Inverse of :meth:`canonical_dict` (checkpoint/resume round-trip).
+
+        Round-tripping preserves the digest exactly, so resumed shards
+        are indistinguishable from freshly scanned ones.
+        """
+        return cls(
+            generated_count=int(data["generated_count"]),
+            registered_count=int(data["registered_count"]),
+            support_counts=Counter(data.get("support_counts", {})),
+            truth_support_counts=Counter(data.get("truth_support_counts", {})),
+            mx_domain_counts=Counter(data.get("mx_domain_counts", {})),
+            owner_domain_counts=Counter(data.get("owner_domain_counts", {})),
+            owner_type_counts=Counter(data.get("owner_type_counts", {})),
+            per_target_counts=Counter(data.get("per_target_counts", {})),
+            whois_private_count=int(data.get("whois_private_count", 0)),
+            implicit_mx_count=int(data.get("implicit_mx_count", 0)),
+        )

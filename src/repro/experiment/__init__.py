@@ -2,13 +2,19 @@
 
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.parallel import (
+    ResilientScanResult,
+    ScanCheckpoint,
     ScanShard,
     ScanShardTask,
+    ShardOutcome,
+    ShardRetryPolicy,
     StudySample,
     derive_child_seeds,
     parallel_map,
     partition_ranks,
+    pool_fallback_count,
     record_stream_digest,
+    run_resilient_scan,
     run_scan_shard,
     run_sharded_scan,
     run_study_sample,
@@ -47,4 +53,10 @@ __all__ = [
     "run_scan_shard",
     "partition_ranks",
     "run_sharded_scan",
+    "pool_fallback_count",
+    "ShardRetryPolicy",
+    "ShardOutcome",
+    "ResilientScanResult",
+    "ScanCheckpoint",
+    "run_resilient_scan",
 ]

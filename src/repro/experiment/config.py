@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.faultsim.plan import FaultPlan
 from repro.workloads.spamgen import SpamConfig
 
 __all__ = ["ExperimentConfig"]
@@ -45,6 +46,9 @@ class ExperimentConfig:
     #: route mail through the Figure-1 two-hop topology (VPS relays over
     #: SMTP to the central collector) instead of a direct callback
     smtp_forwarding: bool = True
+    #: deterministic chaos schedule (see :mod:`repro.faultsim`); None or
+    #: an empty plan reproduces the fault-free byte stream exactly
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.ham_scale <= 0 or self.spam_scale <= 0:

@@ -22,10 +22,16 @@ everything degrades to the serial path with the same outputs.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 import pickle
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -36,6 +42,7 @@ from typing import (
     Sequence,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from repro.analysis.records import CollectedRecord
@@ -44,6 +51,8 @@ from repro.ecosystem.aggregates import ScanAggregates
 from repro.ecosystem.internet import InternetConfig
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.runner import StudyResults, StudyRunner
+from repro.faultsim.plan import FaultPlan, InjectedWorkerCrash
+from repro.util.perf import PerfRegistry
 from repro.util.rand import derive_seed
 from repro.util.simtime import CollectionWindow
 
@@ -53,12 +62,18 @@ __all__ = [
     "run_study_samples",
     "derive_child_seeds",
     "parallel_map",
+    "pool_fallback_count",
     "record_stream_digest",
     "ScanShardTask",
     "ScanShard",
     "run_scan_shard",
     "partition_ranks",
     "run_sharded_scan",
+    "ShardRetryPolicy",
+    "ShardOutcome",
+    "ResilientScanResult",
+    "ScanCheckpoint",
+    "run_resilient_scan",
 ]
 
 T = TypeVar("T")
@@ -84,6 +99,7 @@ class StudySample:
     funnel_correct: int
     funnel_total: int
     perf: Optional[Dict] = None
+    robustness: Optional[Dict] = None
 
     @property
     def seed(self) -> int:
@@ -116,6 +132,7 @@ def sample_from_results(results: StudyResults) -> StudySample:
         funnel_correct=correct,
         funnel_total=total,
         perf=results.perf,
+        robustness=results.robustness,
     )
 
 
@@ -141,13 +158,42 @@ def derive_child_seeds(base_seed: int, count: int,
             for index in range(count)]
 
 
+#: process-wide count of pool-to-serial fallbacks (see parallel_map);
+#: read through :func:`pool_fallback_count`
+_pool_fallbacks = 0
+
+
+def pool_fallback_count() -> int:
+    """How many times parallel_map has degraded to serial this process."""
+    return _pool_fallbacks
+
+
+def _note_pool_fallback(error: BaseException,
+                        perf: Optional[PerfRegistry]) -> None:
+    """Make a pool-to-serial degradation visible instead of silent."""
+    global _pool_fallbacks
+    _pool_fallbacks += 1
+    if perf is not None:
+        perf.count("parallel.pool_fallback")
+    warnings.warn(
+        f"process pool unavailable ({type(error).__name__}: {error}); "
+        "falling back to serial execution",
+        RuntimeWarning, stacklevel=3)
+
+
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
-                 jobs: Optional[int] = None) -> List[R]:
+                 jobs: Optional[int] = None,
+                 perf: Optional[PerfRegistry] = None) -> List[R]:
     """Order-preserving map over worker processes, serial when ``jobs<=1``.
 
     Falls back to the serial path when the pool cannot be used at all
     (unpicklable work or a sandbox without worker processes); exceptions
-    raised by ``fn`` itself propagate unchanged in both modes.
+    raised by ``fn`` itself propagate unchanged in both modes.  The
+    fallback is *loud*: it emits a :class:`RuntimeWarning`, bumps the
+    process-wide :func:`pool_fallback_count`, and — when a ``perf``
+    registry is passed — the ``parallel.pool_fallback`` counter, so pool
+    breakage shows up in perf snapshots rather than masquerading as a
+    slow parallel run.
     """
     work = list(items)
     if jobs is None or jobs <= 1 or len(work) <= 1:
@@ -156,10 +202,11 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
             return list(pool.map(fn, work))
     except (pickle.PicklingError, AttributeError, BrokenProcessPool,
-            OSError):
+            OSError) as error:
         # AttributeError is how lambdas/closures fail to pickle; a real
         # AttributeError from ``fn`` re-raises identically on the serial
         # retry, so nothing is masked.
+        _note_pool_fallback(error, perf)
         return [fn(item) for item in work]
 
 
@@ -168,9 +215,19 @@ def run_study_samples(configs: Sequence[ExperimentConfig],
     """Run one study per config, optionally on a process pool.
 
     Results come back in input order and are identical to the serial
-    path: each run is a pure function of its config.
+    path: each run is a pure function of its config.  If the pool broke
+    and the engine degraded to serial, every returned sample's perf
+    snapshot carries a ``parallel.pool_fallback`` counter.
     """
-    return parallel_map(run_study_sample, configs, jobs=jobs)
+    perf = PerfRegistry()
+    samples = parallel_map(run_study_sample, configs, jobs=jobs, perf=perf)
+    fallbacks = perf.counters.get("parallel.pool_fallback", 0)
+    if fallbacks:
+        for sample in samples:
+            if sample.perf is not None:
+                sample.perf.setdefault("counters", {})[
+                    "parallel.pool_fallback"] = fallbacks
+    return samples
 
 
 # -- the sharded ecosystem scan ----------------------------------------------
@@ -196,6 +253,12 @@ class ScanShardTask:
     max_rank: int
     config: Optional[InternetConfig] = None
     exclude: Tuple[str, ...] = ()
+    #: chaos schedule; crash/hang specs whose rank falls in this shard's
+    #: range fire on matching attempts (see :meth:`FaultPlan.crash_spec_for_shard`)
+    fault_plan: Optional[FaultPlan] = None
+    #: 1-based retry attempt — requeued shards run with ``attempt+1``, so
+    #: a spec with ``failures=N`` kills attempts 1..N and lets N+1 pass
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -211,6 +274,16 @@ def run_scan_shard(task: ScanShardTask) -> ScanShard:
     """Scan one rank range of the lazy world (module-level for pickling)."""
     from repro.ecosystem.world import WorldModel
 
+    if task.fault_plan is not None:
+        spec = task.fault_plan.crash_spec_for_shard(
+            task.start_rank, task.stop_rank, task.attempt)
+        if spec is not None:
+            if spec.mode == "hang":
+                time.sleep(spec.hang_seconds)
+            else:
+                raise InjectedWorkerCrash(
+                    f"injected crash in shard [{task.start_rank},"
+                    f"{task.stop_rank}) attempt {task.attempt}")
     world = WorldModel(task.seed, task.config)
     aggregates = world.scan_ranks(task.start_rank, task.stop_rank,
                                   max_rank=task.max_rank,
@@ -260,6 +333,305 @@ def run_sharded_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
     for shard in shards:
         merged.merge(shard.aggregates)
     return merged
+
+
+# -- self-healing sharded scans ----------------------------------------------
+#
+# ``run_sharded_scan`` assumes every worker survives; at paper scale (days
+# of wall-clock over millions of ranks) that assumption fails.  The
+# resilient driver below treats each shard as a retryable unit of work:
+# crashed or timed-out shards are requeued with backoff, completed shards
+# are checkpointed as canonical :class:`ScanAggregates` dicts so an
+# interrupted run resumes where it died, and when retries are exhausted
+# the result is explicitly *degraded* — it names the exact unscanned rank
+# ranges instead of silently returning partial counts.
+
+
+@dataclass(frozen=True)
+class ShardRetryPolicy:
+    """Retry/timeout discipline for one sharded scan.
+
+    ``shard_timeout_seconds=None`` disables the per-shard timeout (hung
+    workers are then indistinguishable from slow ones).  Backoff between
+    attempts is real wall-clock sleep — keep it at 0 in tests.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    shard_timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if (self.shard_timeout_seconds is not None
+                and self.shard_timeout_seconds <= 0):
+            raise ValueError("shard_timeout_seconds must be positive")
+
+    def delay_before(self, attempt: int) -> float:
+        """Seconds to back off before retry ``attempt`` (2-based)."""
+        if self.backoff_seconds <= 0 or attempt <= 1:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 2)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """How one shard's rank range ended up: scanned, resumed, or lost."""
+
+    start_rank: int
+    stop_rank: int
+    status: str                # "completed" | "resumed" | "failed"
+    attempts: int              # 0 for checkpoint-resumed shards
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ResilientScanResult:
+    """A completed (possibly degraded) self-healing sharded scan.
+
+    ``degraded`` is True iff any shard exhausted its retries; the merged
+    ``aggregates`` then cover only the scanned ranges, and
+    ``unscanned_ranges`` names the holes exactly so a follow-up run (or
+    a checkpoint resume) can fill them.
+    """
+
+    aggregates: ScanAggregates
+    outcomes: Tuple[ShardOutcome, ...]
+    degraded: bool
+    unscanned_ranges: Tuple[Tuple[int, int], ...]
+    attempts_total: int
+    plan_digest: Optional[str] = None
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable robustness report for CLI/report output."""
+        completed = sum(1 for o in self.outcomes if o.status == "completed")
+        resumed = sum(1 for o in self.outcomes if o.status == "resumed")
+        lines = [
+            f"shards: {len(self.outcomes)} "
+            f"(completed {completed}, resumed {resumed}, "
+            f"failed {len(self.unscanned_ranges)})",
+            f"attempts: {self.attempts_total}",
+        ]
+        if self.plan_digest is not None:
+            lines.append(f"fault plan digest: {self.plan_digest}")
+        if self.degraded:
+            ranges = ", ".join(f"[{start},{stop})"
+                               for start, stop in self.unscanned_ranges)
+            lines.append(f"DEGRADED — unscanned rank ranges: {ranges}")
+        else:
+            lines.append("complete — every rank range scanned")
+        return lines
+
+
+class ScanCheckpoint:
+    """Durable shard-level progress for one (seed, max_rank) scan.
+
+    One JSON file maps ``"start-stop"`` range keys to canonical
+    :class:`ScanAggregates` dicts.  Writes are atomic (tmp + rename), and
+    the canonical round-trip preserves digests exactly, so a resumed scan
+    is byte-identical to an uninterrupted one.  Loading a checkpoint
+    written for a different seed or universe size is an error, not a
+    silent wrong answer.
+    """
+
+    def __init__(self, path: Union[str, Path], seed: int,
+                 max_rank: int) -> None:
+        self.path = Path(path)
+        self.seed = seed
+        self.max_rank = max_rank
+        self._shards: Dict[Tuple[int, int], ScanAggregates] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        data = json.loads(self.path.read_text(encoding="utf-8"))
+        if data.get("seed") != self.seed or data.get("max_rank") != self.max_rank:
+            raise ValueError(
+                f"checkpoint {self.path} was written for "
+                f"seed={data.get('seed')} max_rank={data.get('max_rank')}, "
+                f"not seed={self.seed} max_rank={self.max_rank}")
+        for key, payload in data.get("shards", {}).items():
+            start_text, _, stop_text = key.partition("-")
+            self._shards[(int(start_text), int(stop_text))] = (
+                ScanAggregates.from_canonical_dict(payload))
+
+    def get(self, start_rank: int, stop_rank: int
+            ) -> Optional[ScanAggregates]:
+        return self._shards.get((start_rank, stop_rank))
+
+    def record(self, start_rank: int, stop_rank: int,
+               aggregates: ScanAggregates) -> None:
+        """Persist one completed shard (atomic rewrite of the file)."""
+        self._shards[(start_rank, stop_rank)] = aggregates
+        self._write()
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._shards)
+
+    def _write(self) -> None:
+        payload = {
+            "seed": self.seed,
+            "max_rank": self.max_rank,
+            "shards": {f"{start}-{stop}": aggregates.canonical_dict()
+                       for (start, stop), aggregates
+                       in sorted(self._shards.items())},
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.path)
+
+
+def _map_shards_guarded(tasks: Sequence[ScanShardTask],
+                        jobs: Optional[int],
+                        retry: ShardRetryPolicy,
+                        perf: Optional[PerfRegistry]
+                        ) -> List[Union[ScanShard, str]]:
+    """Run every task, trapping per-task failures as error strings.
+
+    Unlike :func:`parallel_map`, one crashing/hanging shard never takes
+    the round down: its slot holds the error text and the caller decides
+    whether to requeue.  Pool-level breakage (unpicklable work, sandbox
+    without workers) still degrades loudly to the serial path.
+    """
+    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+        return _serial_shards_guarded(tasks)
+    try:
+        results: List[Union[ScanShard, str]] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = [pool.submit(run_scan_shard, task) for task in tasks]
+            for future in futures:
+                try:
+                    results.append(
+                        future.result(timeout=retry.shard_timeout_seconds))
+                except FutureTimeoutError:
+                    future.cancel()
+                    results.append(
+                        f"shard timed out after "
+                        f"{retry.shard_timeout_seconds}s")
+                except BrokenProcessPool:
+                    raise
+                except Exception as error:
+                    results.append(f"{type(error).__name__}: {error}")
+        return results
+    except (pickle.PicklingError, AttributeError, BrokenProcessPool,
+            OSError) as error:
+        _note_pool_fallback(error, perf)
+        return _serial_shards_guarded(tasks)
+
+
+def _serial_shards_guarded(tasks: Sequence[ScanShardTask]
+                           ) -> List[Union[ScanShard, str]]:
+    results: List[Union[ScanShard, str]] = []
+    for task in tasks:
+        try:
+            results.append(run_scan_shard(task))
+        except Exception as error:
+            results.append(f"{type(error).__name__}: {error}")
+    return results
+
+
+def run_resilient_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
+                       config: Optional[InternetConfig] = None,
+                       exclude: Sequence[str] = (),
+                       fault_plan: Optional[FaultPlan] = None,
+                       retry: Optional[ShardRetryPolicy] = None,
+                       checkpoint_path: Optional[Union[str, Path]] = None,
+                       perf: Optional[PerfRegistry] = None
+                       ) -> ResilientScanResult:
+    """Self-healing sharded scan: crashed shards requeue, progress persists.
+
+    The happy path merges to the same digest as :func:`run_sharded_scan`
+    (and the serial scan) for any jobs count — shard work is a pure
+    function of its rank range.  Injected crashes/hangs from
+    ``fault_plan`` (and real worker failures) are retried up to
+    ``retry.max_attempts`` with optional backoff; shards that still fail
+    are reported as explicit unscanned ranges rather than silently
+    missing counts.  With ``checkpoint_path``, completed shards are
+    written through a :class:`ScanCheckpoint` and skipped on re-runs.
+    """
+    retry = retry if retry is not None else ShardRetryPolicy()
+    shard_count = jobs if jobs and jobs > 1 else 1
+    ranges = partition_ranks(max_rank, shard_count)
+    checkpoint = (ScanCheckpoint(checkpoint_path, seed, max_rank)
+                  if checkpoint_path is not None else None)
+
+    completed: Dict[Tuple[int, int], ScanAggregates] = {}
+    resumed: set = set()
+    attempts_made: Dict[Tuple[int, int], int] = {}
+    errors: Dict[Tuple[int, int], str] = {}
+
+    pending: List[Tuple[int, int, int]] = []   # (start, stop, attempt)
+    for start, stop in ranges:
+        cached = checkpoint.get(start, stop) if checkpoint else None
+        if cached is not None:
+            completed[(start, stop)] = cached
+            resumed.add((start, stop))
+            attempts_made[(start, stop)] = 0
+        else:
+            pending.append((start, stop, 1))
+
+    while pending:
+        for _, _, attempt in pending:
+            delay = retry.delay_before(attempt)
+            if delay > 0:
+                time.sleep(delay)
+                break   # one backoff per round, not per shard
+        tasks = [ScanShardTask(seed=seed, start_rank=start, stop_rank=stop,
+                               max_rank=max_rank, config=config,
+                               exclude=tuple(exclude),
+                               fault_plan=fault_plan, attempt=attempt)
+                 for start, stop, attempt in pending]
+        results = _map_shards_guarded(tasks, jobs, retry, perf)
+        requeued: List[Tuple[int, int, int]] = []
+        for task, result in zip(tasks, results):
+            key = (task.start_rank, task.stop_rank)
+            attempts_made[key] = task.attempt
+            if isinstance(result, ScanShard):
+                completed[key] = result.aggregates
+                if checkpoint is not None:
+                    checkpoint.record(task.start_rank, task.stop_rank,
+                                      result.aggregates)
+            elif task.attempt < retry.max_attempts:
+                if perf is not None:
+                    perf.count("scan.shard_retries")
+                requeued.append((task.start_rank, task.stop_rank,
+                                 task.attempt + 1))
+            else:
+                errors[key] = result
+        pending = requeued
+
+    merged = ScanAggregates()
+    outcomes: List[ShardOutcome] = []
+    unscanned: List[Tuple[int, int]] = []
+    for start, stop in ranges:
+        key = (start, stop)
+        if key in completed:
+            merged.merge(completed[key])
+            status = "resumed" if key in resumed else "completed"
+            outcomes.append(ShardOutcome(start, stop, status,
+                                         attempts_made[key]))
+        else:
+            unscanned.append(key)
+            outcomes.append(ShardOutcome(start, stop, "failed",
+                                         attempts_made[key],
+                                         error=errors.get(key)))
+    if perf is not None and unscanned:
+        perf.count("scan.unscanned_ranges", len(unscanned))
+    return ResilientScanResult(
+        aggregates=merged,
+        outcomes=tuple(outcomes),
+        degraded=bool(unscanned),
+        unscanned_ranges=tuple(unscanned),
+        attempts_total=sum(attempts_made.values()),
+        plan_digest=fault_plan.digest() if fault_plan is not None else None,
+    )
 
 
 def record_stream_digest(records: Iterable[CollectedRecord]) -> str:

@@ -21,14 +21,16 @@ from repro.core.targets import StudyCorpus, build_study_corpus
 from repro.core.taxonomy import TypoEmailKind
 from repro.dnssim import DomainRegistry, Resolver
 from repro.experiment.config import ExperimentConfig
+from repro.faultsim.inject import FaultyResolver, StudyFaultInjector
 from repro.infra import CollectionInfrastructure, provision_study
 from repro.pipeline.processor import EmailProcessor
 from repro.pipeline.tokenizer import tokenize
 from repro.smtpsim import Network, SmtpClient
+from repro.smtpsim.retryqueue import RetryQueue
 from repro.spamfilter.funnel import FilterFunnel, Verdict
 from repro.util.perf import PerfRegistry, throughput
 from repro.util.rand import SeededRng
-from repro.util.simtime import CollectionWindow, paper_window
+from repro.util.simtime import SECONDS_PER_DAY, CollectionWindow, paper_window
 from repro.workloads.events import SendRequest
 from repro.workloads.hamgen import ReceiverTypoGenerator
 from repro.workloads.reflection import ReflectionTypoGenerator
@@ -52,6 +54,9 @@ class StudyResults:
     delivered_count: int = 0
     #: per-phase timers and call/byte counters (see :mod:`repro.util.perf`)
     perf: Optional[Dict] = None
+    #: fault-injection accounting (plan digest, injected faults, retry
+    #: queue stats, collector gap/coverage report) — None without a plan
+    robustness: Optional[Dict] = None
 
     # -- convenience views ---------------------------------------------------
 
@@ -131,9 +136,24 @@ class StudyRunner:
                     attach_forwarding(infra, network)
                 window = paper_window(outage_spans=config.outage_spans)
 
+            # -- fault injection (only when a non-trivial plan is given:
+            # the fault-free paths below must stay byte-identical)
+            plan = config.fault_plan
+            injector: Optional[StudyFaultInjector] = None
+            retry_queue: Optional[RetryQueue] = None
+            if plan is not None and not plan.is_empty:
+                injector = StudyFaultInjector(plan, window.total_days)
+                retry_queue = RetryQueue(plan.retry)
+                collector.schedule_outage_days(injector.drop_days())
+                for server in infra.servers.values():
+                    server.fault_gate = injector.make_gate(server.hostname)
+
             with perf.timer("build_generators"):
                 generators = self._build_generators(corpus)
-            client = SmtpClient(Resolver(registry), network)
+            resolver = Resolver(registry)
+            if injector is not None:
+                resolver = FaultyResolver(resolver, injector)
+            client = SmtpClient(resolver, network)
             our_domains = frozenset(corpus.domain_names())
             # suffix tuple for C-speed subdomain checks (str.endswith
             # accepts a tuple); rebuilt once per run, not per email
@@ -142,7 +162,14 @@ class StudyRunner:
             sent = 0
             origin_by_id: Dict[int, SendRequest] = {}
             for day in range(window.total_days):
-                collector.set_outage(not window.is_collecting(day))
+                if injector is not None:
+                    injector.begin_day(day)
+                collector.begin_day(day,
+                                    collecting=window.is_collecting(day))
+                if retry_queue is not None and len(retry_queue):
+                    with perf.timer("retry"):
+                        self._drain_retries(client, retry_queue,
+                                            (day + 1) * SECONDS_PER_DAY)
                 with perf.timer("generate"):
                     requests: List[SendRequest] = []
                     for generator in generators:
@@ -154,9 +181,23 @@ class StudyRunner:
                         origin_by_id[id(request.message)] = request
                         perf.count("deliver.body_bytes",
                                    len(request.message.body))
-                        self._deliver(client, infra, our_domains,
-                                      our_suffixes, request)
+                        attempt = self._deliver(client, infra, our_domains,
+                                                our_suffixes, request)
+                        if retry_queue is not None and attempt is not None:
+                            result, mode, ip = attempt
+                            retry_queue.offer(
+                                request.message, result.recipient, result,
+                                request.timestamp, mode=mode,
+                                port=request.smtp_port, ip=ip,
+                                context=request)
             collector.set_outage(False)
+            if retry_queue is not None:
+                # the queue survives the window's last day: one final
+                # drain, then everything left gives up with a DSN
+                end_of_window = window.total_days * SECONDS_PER_DAY
+                with perf.timer("retry"):
+                    self._drain_retries(client, retry_queue, end_of_window)
+                    retry_queue.expire_remaining(end_of_window)
 
             with perf.timer("classify"):
                 records = self._classify(corpus, infra, collector.corpus,
@@ -164,6 +205,17 @@ class StudyRunner:
         perf.count("emails.sent", sent)
         perf.count("emails.delivered", len(collector.corpus))
         perf.count("records", len(records))
+        robustness: Optional[Dict] = None
+        if injector is not None:
+            perf.count("faults.injected", injector.stats.total_injected)
+            perf.count("retry.recovered", retry_queue.stats.recovered)
+            robustness = {
+                "plan_digest": plan.digest(),
+                "plan_seed": plan.seed,
+                "faults": injector.stats.as_dict(),
+                "retry": retry_queue.stats.as_dict(),
+                "collector": collector.coverage_report(window.total_days),
+            }
         snapshot = perf.snapshot(extra={
             "throughput": {
                 "emails_sent_per_sec": throughput(sent, perf.seconds("run")),
@@ -182,6 +234,7 @@ class StudyRunner:
             sent_count=sent,
             delivered_count=len(collector.corpus),
             perf=snapshot,
+            robustness=robustness,
         )
 
     # -- internals ----------------------------------------------------------
@@ -208,25 +261,53 @@ class StudyRunner:
 
     def _deliver(self, client: SmtpClient, infra: CollectionInfrastructure,
                  our_domains: Set[str], our_suffixes: Tuple[str, ...],
-                 request: SendRequest) -> None:
+                 request: SendRequest):
+        """One first delivery attempt; returns (result, mode, ip) or None.
+
+        The return value feeds the retry queue when a fault plan is
+        active; fault-free runs ignore it, so the attempt itself is
+        unchanged from the original single-shot semantics.
+        """
         recipient_domain = request.recipient.rpartition("@")[2].lower()
         addressed_to_us = (recipient_domain in our_domains
                            or recipient_domain.endswith(our_suffixes))
         if addressed_to_us:
             # normal MX-routed delivery: sender's MTA resolves our zone
-            client.send(request.message, recipient=request.recipient,
-                        port=request.smtp_port, timestamp=request.timestamp)
-        else:
-            # third-party recipient: the connection only reaches us because
-            # the victim's client (or a port-scanning spammer) targets the
-            # study domain's VPS IP directly
-            ip = infra.ip_for(request.study_domain) if request.study_domain \
-                else None
-            if ip is None:
-                return
-            client.send_to_ip(request.message, request.recipient, ip,
-                              port=request.smtp_port,
-                              timestamp=request.timestamp)
+            result = client.send(request.message,
+                                 recipient=request.recipient,
+                                 port=request.smtp_port,
+                                 timestamp=request.timestamp)
+            return result, "mx", None
+        # third-party recipient: the connection only reaches us because
+        # the victim's client (or a port-scanning spammer) targets the
+        # study domain's VPS IP directly
+        ip = infra.ip_for(request.study_domain) if request.study_domain \
+            else None
+        if ip is None:
+            return None
+        result = client.send_to_ip(request.message, request.recipient, ip,
+                                   port=request.smtp_port,
+                                   timestamp=request.timestamp)
+        return result, "ip", ip
+
+    def _drain_retries(self, client: SmtpClient, retry_queue: RetryQueue,
+                       before: float) -> None:
+        """Attempt every queued delivery due before ``before``.
+
+        Jobs replay their original route (MX resolution or direct-to-IP)
+        at their scheduled retry time; outcomes fold back into the queue
+        (recovered / requeued with backoff / give-up DSN).
+        """
+        for job in retry_queue.due(before):
+            if job.mode == "ip":
+                result = client.send_to_ip(job.message, job.recipient,
+                                           job.ip, port=job.port,
+                                           timestamp=job.next_attempt)
+            else:
+                result = client.send(job.message, recipient=job.recipient,
+                                     port=job.port,
+                                     timestamp=job.next_attempt)
+            retry_queue.settle(job, result, job.next_attempt)
 
     def _classify(self, corpus: StudyCorpus, infra: CollectionInfrastructure,
                   messages, origin_by_id) -> List[CollectedRecord]:

@@ -1,0 +1,36 @@
+"""Deterministic chaos/resilience layer: seeded, schedulable faults.
+
+``plan`` declares *what* goes wrong and when (:class:`FaultPlan`);
+``inject`` applies it to a live run (:class:`StudyFaultInjector`,
+:class:`FaultyResolver`).  The scan-side consumers live in
+:mod:`repro.experiment.parallel` (crash injection, retry/requeue,
+checkpoint/resume).
+"""
+
+from repro.faultsim.inject import (
+    FaultStats,
+    FaultyResolver,
+    StudyFaultInjector,
+    unit_draw,
+)
+from repro.faultsim.plan import (
+    DnsFaultSpell,
+    FaultPlan,
+    InjectedWorkerCrash,
+    OutageSpan,
+    ShardCrashSpec,
+    SmtpFaultSpell,
+)
+
+__all__ = [
+    "FaultPlan",
+    "OutageSpan",
+    "DnsFaultSpell",
+    "SmtpFaultSpell",
+    "ShardCrashSpec",
+    "InjectedWorkerCrash",
+    "StudyFaultInjector",
+    "FaultyResolver",
+    "FaultStats",
+    "unit_draw",
+]

@@ -1,0 +1,200 @@
+"""Runtime fault injection driven by a :class:`~repro.faultsim.plan.FaultPlan`.
+
+The injector is the bridge between a declarative plan and the live
+simulation objects: the study runner advances it day by day
+(:meth:`StudyFaultInjector.begin_day`), attaches its gates to the VPS
+SMTP servers, and wraps the client's resolver with
+:class:`FaultyResolver`.
+
+Every probabilistic decision comes from :func:`unit_draw`, a pure hash
+of ``(plan seed, stable context strings)`` — no shared RNG stream — so
+decisions are independent of evaluation order, worker counts, and how
+many other faults fired before them.  The only injector *state* is the
+greylist's seen-envelope set, which the serial day loop drives in a
+deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dnssim.resolver import MailRoute, ResolutionStatus, Resolver
+from repro.faultsim.plan import FaultPlan
+from repro.smtpsim.protocol import SmtpReply
+from repro.util.rand import derive_seed
+
+__all__ = ["unit_draw", "FaultStats", "StudyFaultInjector", "FaultyResolver"]
+
+_TWO_64 = float(2 ** 64)
+
+
+def unit_draw(seed: int, *context: object) -> float:
+    """A uniform in [0, 1) that is a pure function of (seed, context).
+
+    Built on the same SHA-256 derivation as :func:`derive_seed`, so the
+    draw is stable across Python versions and independent of every other
+    draw — the property that makes fault decisions replayable no matter
+    the order in which the simulation happens to evaluate them.
+    """
+    label = "/".join(str(part) for part in context)
+    return derive_seed(seed, label) / _TWO_64
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did to one run."""
+
+    outage_tempfails: int = 0
+    smtp_tempfails: int = 0
+    smtp_drops: int = 0
+    greylist_tempfails: int = 0
+    dns_servfails: int = 0
+    dns_timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "outage_tempfails": self.outage_tempfails,
+            "smtp_tempfails": self.smtp_tempfails,
+            "smtp_drops": self.smtp_drops,
+            "greylist_tempfails": self.greylist_tempfails,
+            "dns_servfails": self.dns_servfails,
+            "dns_timeouts": self.dns_timeouts,
+        }
+
+    @property
+    def total_injected(self) -> int:
+        return (self.outage_tempfails + self.smtp_tempfails
+                + self.smtp_drops + self.greylist_tempfails
+                + self.dns_servfails + self.dns_timeouts)
+
+
+# interned fault replies — every injection site returns one of these
+_REPLY_OUTAGE = SmtpReply(
+    451, "4.3.2 system not accepting network messages (collection outage)")
+_REPLY_TEMPFAIL = SmtpReply(451, "4.7.1 please try again later")
+_REPLY_GREYLIST = SmtpReply(451, "4.7.1 greylisted, retry later")
+_REPLY_DROP = SmtpReply(421, "4.4.2 connection dropped mid-session")
+
+
+class StudyFaultInjector:
+    """Applies a plan's outage/DNS/SMTP spells to one study run."""
+
+    def __init__(self, plan: FaultPlan, total_days: int) -> None:
+        self.plan = plan
+        self.total_days = total_days
+        self.stats = FaultStats()
+        self.current_day = 0
+        self._greylist_seen: Set[Tuple[str, str, str]] = set()
+        # per-day active-spell caches, refreshed by begin_day
+        self._active_smtp = ()
+        self._active_dns = ()
+        self._vps_outage = False
+
+    # -- the day clock (driven by the runner's serial loop) ------------------
+
+    def begin_day(self, day: int) -> None:
+        self.current_day = day
+        self._active_smtp = tuple(spell for spell in self.plan.smtp_spells
+                                  if spell.covers(day))
+        self._active_dns = tuple(spell for spell in self.plan.dns_spells
+                                 if spell.covers(day))
+        self._vps_outage = any(span.covers(day) and span.mode == "tempfail"
+                               for span in self.plan.collector_outages)
+
+    def collector_drop(self, day: int) -> bool:
+        """Whether the central collector black-holes mail on ``day``."""
+        return any(span.covers(day) and span.mode == "drop"
+                   for span in self.plan.collector_outages)
+
+    def drop_days(self) -> List[int]:
+        """Every day on which a drop-mode outage is scheduled."""
+        return sorted({day for span in self.plan.collector_outages
+                       if span.mode == "drop"
+                       for day in range(span.start_day,
+                                        min(span.end_day, self.total_days))})
+
+    # -- SMTP-side injection -------------------------------------------------
+
+    def smtp_fault(self, hostname: str, sender: str, recipient: str,
+                   timestamp: float) -> Optional[SmtpReply]:
+        """The 4yz/421 reply this attempt suffers, or None to proceed."""
+        if self._vps_outage:
+            self.stats.outage_tempfails += 1
+            return _REPLY_OUTAGE
+        for index, spell in enumerate(self._active_smtp):
+            if not spell.matches_host(hostname):
+                continue
+            if spell.greylist:
+                envelope = (hostname, sender, recipient)
+                if envelope not in self._greylist_seen:
+                    self._greylist_seen.add(envelope)
+                    self.stats.greylist_tempfails += 1
+                    return _REPLY_GREYLIST
+            if spell.drop_probability > 0.0 and unit_draw(
+                    self.plan.seed, "smtp-drop", index, hostname,
+                    repr(timestamp), sender, recipient
+            ) < spell.drop_probability:
+                self.stats.smtp_drops += 1
+                return _REPLY_DROP
+            if spell.tempfail_probability > 0.0 and unit_draw(
+                    self.plan.seed, "smtp-tempfail", index, hostname,
+                    repr(timestamp), sender, recipient
+            ) < spell.tempfail_probability:
+                self.stats.smtp_tempfails += 1
+                return _REPLY_TEMPFAIL
+        return None
+
+    def make_gate(self, hostname: str):
+        """A :data:`~repro.smtpsim.server.FaultGate` bound to ``hostname``."""
+
+        def gate(session, message, timestamp: float) -> Optional[SmtpReply]:
+            sender = session.envelope_from or ""
+            recipient = session.envelope_to[0] if session.envelope_to else ""
+            return self.smtp_fault(hostname, sender, recipient, timestamp)
+
+        return gate
+
+    # -- DNS-side injection --------------------------------------------------
+
+    def dns_fault(self, domain: str) -> Optional[str]:
+        """``"servfail"``/``"timeout"`` for this resolution, or None."""
+        for index, spell in enumerate(self._active_dns):
+            if not spell.matches_domain(domain):
+                continue
+            if unit_draw(self.plan.seed, "dns", index, self.current_day,
+                         domain) < spell.probability:
+                if spell.mode == "timeout":
+                    self.stats.dns_timeouts += 1
+                else:
+                    self.stats.dns_servfails += 1
+                return spell.mode
+        return None
+
+
+class FaultyResolver:
+    """A resolver decorator that injects the plan's DNS fault spells.
+
+    Duck-types the :class:`~repro.dnssim.resolver.Resolver` surface the
+    SMTP client uses; with no spell active for the current day it defers
+    verbatim to the wrapped resolver.
+    """
+
+    def __init__(self, inner: Resolver,
+                 injector: StudyFaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def resolve_a(self, name: str):
+        return self._inner.resolve_a(name)
+
+    def resolve_mx(self, name: str):
+        return self._inner.resolve_mx(name)
+
+    def mail_route(self, domain: str) -> MailRoute:
+        mode = self._injector.dns_fault(domain.lower())
+        if mode == "servfail":
+            return MailRoute(domain, ResolutionStatus.SERVFAIL)
+        if mode == "timeout":
+            return MailRoute(domain, ResolutionStatus.TIMEOUT)
+        return self._inner.mail_route(domain)

@@ -1,0 +1,310 @@
+"""Seeded, time-windowed fault plans for the whole reproduction.
+
+The paper's seven-month live collection ran on infrastructure that
+faulted — the collection server crashed under spam for roughly two
+months, typo-domain MX hosts flapped, and senders retried transient
+errors — and those faults shaped the reported volumes.  A
+:class:`FaultPlan` makes that class of event a first-class, *scheduled*
+simulation input:
+
+* **collector outages** — day spans during which the study's VPS fleet
+  tempfails inbound mail with a 4yz (``mode="tempfail"``, recoverable by
+  the sender's retry queue) or the central collector silently drops it
+  (``mode="drop"``, the paper's crash);
+* **DNS spells** — windows during which resolution SERVFAILs or times
+  out with some probability, per domain-suffix;
+* **SMTP spells** — windows of probabilistic 4yz tempfails, greylisting
+  (first attempt per envelope tempfails), and mid-session 421 drops;
+* **shard crashes** — injected worker-process deaths (or hangs) in the
+  sharded ecosystem scan, keyed by the rank a shard covers.
+
+Determinism is the design invariant: every probabilistic decision is a
+pure function of ``(plan.seed, stable context)`` (see
+:mod:`repro.faultsim.inject`), so the same ``(seed, plan)`` pair replays
+byte-identically across runs and across worker counts, and an **empty
+plan is exactly the fault-free simulation**.  Plans round-trip through
+canonical JSON and are identified by a SHA-256 digest, which is how a
+degraded run is reproduced after the fact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.smtpsim.retryqueue import RetryPolicy
+
+__all__ = [
+    "OutageSpan",
+    "DnsFaultSpell",
+    "SmtpFaultSpell",
+    "ShardCrashSpec",
+    "FaultPlan",
+    "InjectedWorkerCrash",
+]
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised inside a scan worker to simulate its process dying."""
+
+
+def _check_span(start_day: int, end_day: int) -> None:
+    if start_day < 0 or end_day <= start_day:
+        raise ValueError(
+            f"need 0 <= start_day < end_day, got [{start_day}, {end_day})")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class OutageSpan:
+    """A half-open ``[start_day, end_day)`` collection-infrastructure outage.
+
+    ``mode="tempfail"`` (default): the VPS fleet 451s inbound mail, so
+    sending MTAs queue and retry — mail is *recovered* once the span
+    ends, unless the retry horizon expires first.  ``mode="drop"``: the
+    central collector black-holes forwarded mail, reproducing the
+    paper's crashed-infrastructure gap (counted, never recovered).
+    """
+
+    start_day: int
+    end_day: int
+    mode: str = "tempfail"
+
+    def __post_init__(self) -> None:
+        _check_span(self.start_day, self.end_day)
+        if self.mode not in ("tempfail", "drop"):
+            raise ValueError(f"unknown outage mode {self.mode!r}")
+
+    def covers(self, day: int) -> bool:
+        return self.start_day <= day < self.end_day
+
+
+@dataclass(frozen=True)
+class DnsFaultSpell:
+    """A window of transient resolver failures.
+
+    ``mode`` is ``"servfail"`` or ``"timeout"`` (both retryable by the
+    sender).  ``domain_suffixes`` limits the blast radius (a domain is
+    affected when it equals or ends with ``"." + suffix``); empty means
+    every resolution.  Each (day, domain) pair draws once against
+    ``probability`` — stateless, so retries on later days re-draw.
+    """
+
+    start_day: int
+    end_day: int
+    mode: str = "servfail"
+    probability: float = 1.0
+    domain_suffixes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_span(self.start_day, self.end_day)
+        if self.mode not in ("servfail", "timeout"):
+            raise ValueError(f"unknown DNS fault mode {self.mode!r}")
+        _check_probability("probability", self.probability)
+        object.__setattr__(self, "domain_suffixes",
+                           tuple(s.lower() for s in self.domain_suffixes))
+
+    def covers(self, day: int) -> bool:
+        return self.start_day <= day < self.end_day
+
+    def matches_domain(self, domain: str) -> bool:
+        if not self.domain_suffixes:
+            return True
+        return any(domain == suffix or domain.endswith("." + suffix)
+                   for suffix in self.domain_suffixes)
+
+
+@dataclass(frozen=True)
+class SmtpFaultSpell:
+    """A window of server-side SMTP misbehaviour on the gated hosts.
+
+    Per delivery attempt, in order: a greylisting check (first attempt
+    for a new ``(host, sender, recipient)`` envelope tempfails with 451),
+    then a ``drop_probability`` draw (421 — the server hangs up
+    mid-session), then a ``tempfail_probability`` draw (451).  Draws are
+    keyed by the attempt's timestamp, so a retried message re-rolls.
+    ``host_suffixes`` restricts the spell to matching server hostnames.
+    """
+
+    start_day: int
+    end_day: int
+    tempfail_probability: float = 0.0
+    drop_probability: float = 0.0
+    greylist: bool = False
+    host_suffixes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_span(self.start_day, self.end_day)
+        _check_probability("tempfail_probability", self.tempfail_probability)
+        _check_probability("drop_probability", self.drop_probability)
+        object.__setattr__(self, "host_suffixes",
+                           tuple(s.lower() for s in self.host_suffixes))
+
+    def covers(self, day: int) -> bool:
+        return self.start_day <= day < self.end_day
+
+    def matches_host(self, hostname: str) -> bool:
+        if not self.host_suffixes:
+            return True
+        hostname = hostname.lower()
+        return any(hostname == suffix or hostname.endswith("." + suffix)
+                   for suffix in self.host_suffixes)
+
+
+@dataclass(frozen=True)
+class ShardCrashSpec:
+    """Crash (or hang) injection for the scan shard covering ``rank``.
+
+    The shard whose ``[start_rank, stop_rank)`` range contains ``rank``
+    fails its first ``failures`` attempts.  ``mode="crash"`` raises
+    :class:`InjectedWorkerCrash` (a worker death the scheduler must
+    requeue); ``mode="hang"`` sleeps ``hang_seconds`` before proceeding,
+    which trips a per-shard timeout when one is configured.
+    """
+
+    rank: int
+    failures: int = 1
+    mode: str = "crash"
+    hang_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError("rank must be >= 1")
+        if self.failures < 1:
+            raise ValueError("failures must be >= 1")
+        if self.mode not in ("crash", "hang"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the chaos layer may do to one run, fully seeded."""
+
+    seed: int = 0
+    collector_outages: Tuple[OutageSpan, ...] = ()
+    dns_spells: Tuple[DnsFaultSpell, ...] = ()
+    smtp_spells: Tuple[SmtpFaultSpell, ...] = ()
+    shard_crashes: Tuple[ShardCrashSpec, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules no fault of any kind."""
+        return not (self.collector_outages or self.dns_spells
+                    or self.smtp_spells or self.shard_crashes)
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        """The do-nothing plan: byte-identical to running without one."""
+        return cls(seed=seed)
+
+    # -- scan-shard lookups --------------------------------------------------
+
+    def crash_spec_for_shard(self, start_rank: int, stop_rank: int,
+                             attempt: int) -> Optional[ShardCrashSpec]:
+        """The spec that fails this shard's ``attempt`` (1-based), if any."""
+        for spec in self.shard_crashes:
+            if start_rank <= spec.rank < stop_rank and attempt <= spec.failures:
+                return spec
+        return None
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "collector_outages": [
+                {"start_day": o.start_day, "end_day": o.end_day,
+                 "mode": o.mode}
+                for o in self.collector_outages],
+            "dns_spells": [
+                {"start_day": s.start_day, "end_day": s.end_day,
+                 "mode": s.mode, "probability": s.probability,
+                 "domain_suffixes": list(s.domain_suffixes)}
+                for s in self.dns_spells],
+            "smtp_spells": [
+                {"start_day": s.start_day, "end_day": s.end_day,
+                 "tempfail_probability": s.tempfail_probability,
+                 "drop_probability": s.drop_probability,
+                 "greylist": s.greylist,
+                 "host_suffixes": list(s.host_suffixes)}
+                for s in self.smtp_spells],
+            "shard_crashes": [
+                {"rank": c.rank, "failures": c.failures, "mode": c.mode,
+                 "hang_seconds": c.hang_seconds}
+                for c in self.shard_crashes],
+            "retry": self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            collector_outages=tuple(
+                OutageSpan(**entry)
+                for entry in data.get("collector_outages", ())),
+            dns_spells=tuple(
+                DnsFaultSpell(**{**entry,
+                                 "domain_suffixes": tuple(
+                                     entry.get("domain_suffixes", ()))})
+                for entry in data.get("dns_spells", ())),
+            smtp_spells=tuple(
+                SmtpFaultSpell(**{**entry,
+                                  "host_suffixes": tuple(
+                                      entry.get("host_suffixes", ()))})
+                for entry in data.get("smtp_spells", ())),
+            shard_crashes=tuple(
+                ShardCrashSpec(**entry)
+                for entry in data.get("shard_crashes", ())),
+            retry=RetryPolicy.from_dict(
+                data.get("retry", RetryPolicy().to_dict())),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON — the digest input and the ``--fault-plan`` format."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON: the plan's reproducible identity."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- the demo plan behind ``--chaos`` ------------------------------------
+
+    @classmethod
+    def chaos_demo(cls, seed: int = 0) -> "FaultPlan":
+        """A representative mid-severity plan for ``--chaos`` runs.
+
+        A recoverable ten-day tempfail outage, a shorter hard drop, a
+        flaky-DNS week, a greylisting spell, probabilistic tempfails,
+        and one injected worker crash in the sharded scan.
+        """
+        return cls(
+            seed=seed,
+            collector_outages=(
+                OutageSpan(40, 50, mode="tempfail"),
+                OutageSpan(150, 153, mode="drop"),
+            ),
+            dns_spells=(
+                DnsFaultSpell(60, 67, mode="servfail", probability=0.25),
+            ),
+            smtp_spells=(
+                SmtpFaultSpell(90, 104, tempfail_probability=0.15),
+                SmtpFaultSpell(120, 127, greylist=True),
+            ),
+            shard_crashes=(
+                ShardCrashSpec(rank=1, failures=1, mode="crash"),
+            ),
+        )

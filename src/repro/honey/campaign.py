@@ -46,6 +46,9 @@ _STATUS_TO_OUTCOME = {
     SendStatus.NETWORK_ERROR: "network_error",
     SendStatus.OTHER_ERROR: "other_error",
     SendStatus.NO_ROUTE: "network_error",
+    # honey probes are one-shot: a tempfail that would be retried by a
+    # real MTA is tabulated with the other transient errors
+    SendStatus.TEMPFAIL: "other_error",
 }
 
 

@@ -4,12 +4,19 @@ Every VPS forwards accepted mail here.  The collector never sends mail; it
 counts, optionally processes (pipeline hook), and appends to an in-memory
 corpus that the analyses consume.  A bounded-queue failure mode models the
 paper's infrastructure being "overwhelmed with spam, and crashing".
+
+Outages come in two flavours: the experiment runner drives the
+window-level outage (the paper's lost months) through :meth:`begin_day`,
+and fault plans can *schedule* additional down days with
+:meth:`schedule_outage_days`.  Either way the collector keeps per-day
+gap/coverage accounting so a degraded run can report exactly which days
+it lost and how much mail each gap swallowed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.smtpsim.message import EmailMessage
 
@@ -49,6 +56,10 @@ class MainCollectionServer:
         self._outage = False
         self._current_day: Optional[int] = None
         self._today_count = 0
+        self._scheduled_outage_days: Set[int] = set()
+        # gap/coverage accounting (day index -> count)
+        self._outage_days_seen: Set[int] = set()
+        self._dropped_by_day: Dict[int, int] = {}
 
     # -- outage control (driven by the experiment runner) --------------------
 
@@ -60,25 +71,68 @@ class MainCollectionServer:
     def in_outage(self) -> bool:
         return self._outage
 
+    def schedule_outage_days(self, days) -> None:
+        """Pre-schedule down days (fault plans); additive, idempotent."""
+        self._scheduled_outage_days.update(int(day) for day in days)
+
+    def begin_day(self, day: int, collecting: bool = True) -> None:
+        """Advance the collector's day clock and apply scheduled outages.
+
+        ``collecting=False`` is the window-level outage (the paper's lost
+        months); a day in the scheduled set is down regardless.  Each down
+        day is recorded for :meth:`coverage_report`.
+        """
+        outage = (not collecting) or (day in self._scheduled_outage_days)
+        self.set_outage(outage)
+        if outage:
+            self._outage_days_seen.add(day)
+
     # -- ingestion -----------------------------------------------------------
 
     def ingest(self, message: EmailMessage) -> None:
         """Accept one forwarded message, subject to outage/capacity."""
+        day = int(message.received_at // 86_400)
         if self._outage:
             self.stats.dropped_outage += 1
+            self._outage_days_seen.add(day)
+            self._dropped_by_day[day] = self._dropped_by_day.get(day, 0) + 1
             return
-        day = int(message.received_at // 86_400)
         if day != self._current_day:
             self._current_day = day
             self._today_count = 0
         if self.daily_capacity is not None and self._today_count >= self.daily_capacity:
             self.stats.dropped_overload += 1
+            self._dropped_by_day[day] = self._dropped_by_day.get(day, 0) + 1
             return
         self._today_count += 1
         self.stats.ingested += 1
         if self.process_hook is not None:
             self.process_hook(message)
         self.corpus.append(message)
+
+    # -- gap/coverage accounting ---------------------------------------------
+
+    def coverage_report(self, total_days: Optional[int] = None) -> Dict:
+        """Which days this run lost, and how much mail each gap swallowed.
+
+        ``gap_days`` are days the collector was down (window outage or
+        scheduled); ``dropped_by_day`` maps each lossy day to its dropped
+        message count (outage and overload drops combined).
+        """
+        gap_days = sorted(self._outage_days_seen)
+        report = {
+            "gap_days": gap_days,
+            "gap_day_count": len(gap_days),
+            "dropped_by_day": dict(sorted(self._dropped_by_day.items())),
+            "ingested": self.stats.ingested,
+            "dropped_outage": self.stats.dropped_outage,
+            "dropped_overload": self.stats.dropped_overload,
+        }
+        if total_days is not None:
+            report["total_days"] = total_days
+            report["collecting_days"] = total_days - len(
+                [d for d in gap_days if 0 <= d < total_days])
+        return report
 
     def __len__(self) -> int:
         return len(self.corpus)

@@ -138,6 +138,35 @@ def render_study_report(results: StudyResults) -> str:
              f"{correlation.p_value:.3g} | "
              f"{'yes' if correlation.significant else 'no'} |")
     push("")
+
+    robustness = results.robustness
+    if robustness is not None:
+        push("## Robustness (injected faults)")
+        push("")
+        push(f"* fault plan digest `{robustness['plan_digest']}` "
+             f"(seed `{robustness['plan_seed']}`)")
+        faults = robustness.get("faults", {})
+        injected = sum(faults.values())
+        if injected:
+            detail = ", ".join(f"{name} {count}"
+                               for name, count in sorted(faults.items())
+                               if count)
+            push(f"* faults injected: {injected} ({detail})")
+        else:
+            push("* faults injected: 0")
+        retry = robustness.get("retry", {})
+        if retry:
+            push(f"* retry queue: {retry.get('enqueued', 0)} queued, "
+                 f"{retry.get('recovered', 0)} recovered by retry, "
+                 f"{retry.get('gave_up', 0)} gave up "
+                 f"({retry.get('dsn_sent', 0)} DSNs sent)")
+        coverage = robustness.get("collector", {})
+        if coverage:
+            gap_days = coverage.get("gap_days", [])
+            push(f"* collector gaps: {len(gap_days)} down days, "
+                 f"{coverage.get('dropped_outage', 0)} messages lost to "
+                 f"outage, {coverage.get('dropped_overload', 0)} to overload")
+        push("")
     return "\n".join(lines)
 
 

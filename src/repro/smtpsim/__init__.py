@@ -14,7 +14,18 @@ from repro.smtpsim.protocol import (
     SmtpState,
     accept_all_policy,
 )
-from repro.smtpsim.server import DeliveryCallback, SmtpServer, domain_policy
+from repro.smtpsim.retryqueue import (
+    QueuedDelivery,
+    RetryPolicy,
+    RetryQueue,
+    RetryQueueStats,
+)
+from repro.smtpsim.server import (
+    DeliveryCallback,
+    FaultGate,
+    SmtpServer,
+    domain_policy,
+)
 from repro.smtpsim.transport import (
     ConnectOutcome,
     ConnectResult,
@@ -45,4 +56,9 @@ __all__ = [
     "make_bounce_message",
     "bounce_for_result",
     "is_bounce_message",
+    "FaultGate",
+    "RetryPolicy",
+    "RetryQueue",
+    "RetryQueueStats",
+    "QueuedDelivery",
 ]

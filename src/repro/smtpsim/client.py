@@ -26,10 +26,17 @@ class SendStatus(enum.Enum):
 
     DELIVERED = "delivered"         # 250 after DATA — "No error"
     BOUNCED = "bounced"             # 5xx during the dialogue
+    TEMPFAIL = "tempfail"           # 4yz — retry later (RFC 5321 §4.5.4.1)
     TIMEOUT = "timeout"
     NETWORK_ERROR = "network_error"
     OTHER_ERROR = "other_error"     # TLS failures, protocol violations
     NO_ROUTE = "no_route"           # NXDOMAIN or no MX/A at all
+
+    @property
+    def is_transient(self) -> bool:
+        """Outcomes a real MTA would queue and retry rather than bounce."""
+        return self in (SendStatus.TEMPFAIL, SendStatus.TIMEOUT,
+                        SendStatus.NETWORK_ERROR)
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,11 @@ class SmtpClient:
         domain = parse_address(recipient).domain
 
         route = self._resolver.mail_route(domain)
+        if route.status in (ResolutionStatus.SERVFAIL,
+                            ResolutionStatus.TIMEOUT):
+            # a transient resolver failure is retried, not bounced — real
+            # MTAs queue on SERVFAIL exactly like on a 4yz reply
+            return SendResult(SendStatus.TEMPFAIL, recipient)
         if route.status is ResolutionStatus.NXDOMAIN or not route.addresses:
             return SendResult(SendStatus.NO_ROUTE, recipient)
 
@@ -134,8 +146,12 @@ class SmtpClient:
             reply = session.command(line)
             if not reply.is_success:
                 session.command("QUIT")
-                status = (SendStatus.BOUNCED if reply.is_permanent_failure
-                          else SendStatus.OTHER_ERROR)
+                if reply.is_permanent_failure:
+                    status = SendStatus.BOUNCED
+                elif reply.is_transient_failure:
+                    status = SendStatus.TEMPFAIL
+                else:
+                    status = SendStatus.OTHER_ERROR
                 return status, reply
 
         reply = session.command("DATA")
@@ -147,4 +163,6 @@ class SmtpClient:
         session.command("QUIT")
         if reply.is_success:
             return SendStatus.DELIVERED, reply
+        if reply.is_transient_failure:
+            return SendStatus.TEMPFAIL, reply
         return SendStatus.BOUNCED, reply

@@ -34,6 +34,11 @@ class SmtpReply:
     def is_permanent_failure(self) -> bool:
         return 500 <= self.code < 600
 
+    @property
+    def is_transient_failure(self) -> bool:
+        """RFC 5321 4yz: try again later (tempfail, greylisting, 421)."""
+        return 400 <= self.code < 500
+
     def __str__(self) -> str:
         # replies are shared across sessions (see the reply caches below)
         # and each one is rendered into every transcript, so the wire

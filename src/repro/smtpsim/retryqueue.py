@@ -1,0 +1,252 @@
+"""An RFC 5321 §4.5.4 sender-side retry queue.
+
+Real MTAs do not drop mail on a 4yz reply or a transient network error:
+they queue the message, retry with (roughly exponential) backoff, and
+only after a give-up horizon return a non-delivery DSN to the sender.
+The paper's volume figures depend on this behaviour — mail that hit the
+collection infrastructure *during* an outage was recovered by the
+sender's retries once the infrastructure came back, rather than being
+silently lost.
+
+:class:`RetryQueue` reproduces that deterministically: jobs are ordered
+by ``(next_attempt, sequence-number)``, delays come from the pure
+:meth:`RetryPolicy.delay_for_attempt` schedule, and the give-up DSN is
+built by :mod:`repro.smtpsim.bounce`.  The queue never draws randomness,
+so a faulted run replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.smtpsim.bounce import is_bounce_message, make_bounce_message
+from repro.smtpsim.client import SendResult, SendStatus
+from repro.smtpsim.message import EmailMessage
+
+__all__ = ["RetryPolicy", "QueuedDelivery", "RetryQueueStats", "RetryQueue"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The sender's retry schedule (RFC 5321 §4.5.4.1, compressed).
+
+    ``delay_for_attempt(n)`` is the wait before retry *n* (1-based):
+    ``initial_delay_seconds * backoff_factor ** (n - 1)``.  A message
+    older than ``max_queue_seconds`` — or past ``max_attempts`` — gives
+    up with a DSN.  The RFC suggests queue lifetimes of 4–5 days; the
+    default horizon of two simulated days keeps chaos experiments inside
+    the study window while preserving the retry-vs-give-up distinction.
+    """
+
+    max_attempts: int = 6
+    initial_delay_seconds: float = 900.0
+    backoff_factor: float = 3.0
+    max_queue_seconds: float = 2 * 86_400.0
+    #: also retry connect-level timeouts/network errors (off by default:
+    #: the fault-free world's flaky wild hosts must keep today's one-shot
+    #: semantics, or the no-chaos byte-identity invariant breaks)
+    retry_transport_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.initial_delay_seconds <= 0 or self.backoff_factor < 1:
+            raise ValueError("delays must be positive and non-shrinking")
+        if self.max_queue_seconds <= 0:
+            raise ValueError("max_queue_seconds must be positive")
+
+    def delay_for_attempt(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.initial_delay_seconds * self.backoff_factor ** (attempt - 1)
+
+    def retries(self, status: SendStatus) -> bool:
+        """Whether this policy queues a result with the given status."""
+        if status is SendStatus.TEMPFAIL:
+            return True
+        if self.retry_transport_errors:
+            return status in (SendStatus.TIMEOUT, SendStatus.NETWORK_ERROR)
+        return False
+
+    # -- serialisation (rides along inside FaultPlan JSON) ------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "initial_delay_seconds": self.initial_delay_seconds,
+            "backoff_factor": self.backoff_factor,
+            "max_queue_seconds": self.max_queue_seconds,
+            "retry_transport_errors": self.retry_transport_errors,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)
+
+
+@dataclass
+class QueuedDelivery:
+    """One message waiting in the queue for its next delivery attempt.
+
+    ``mode`` records how the original attempt was routed — ``"mx"``
+    (normal resolution) or ``"ip"`` (direct-to-VPS) — so the retry
+    replays the same path.  ``context`` carries the caller's opaque
+    handle (the runner stores its :class:`SendRequest` there).
+    """
+
+    message: EmailMessage
+    recipient: str
+    mode: str                       # "mx" | "ip"
+    port: int
+    first_timestamp: float
+    next_attempt: float
+    attempts_made: int = 1
+    ip: Optional[str] = None
+    context: object = None
+    sequence: int = 0
+    last_status: Optional[SendStatus] = None
+
+
+@dataclass
+class RetryQueueStats:
+    enqueued: int = 0
+    retry_attempts: int = 0
+    recovered: int = 0
+    gave_up: int = 0
+    dsn_sent: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "retry_attempts": self.retry_attempts,
+            "recovered": self.recovered,
+            "gave_up": self.gave_up,
+            "dsn_sent": self.dsn_sent,
+        }
+
+
+class RetryQueue:
+    """Deterministic deferred-delivery queue for one sending MTA."""
+
+    def __init__(self, policy: Optional[RetryPolicy] = None,
+                 reporting_host: str = "client.example.org") -> None:
+        self.policy = policy or RetryPolicy()
+        self.reporting_host = reporting_host
+        self.stats = RetryQueueStats()
+        #: give-up DSNs, in generation order (returned to the original
+        #: envelope sender — they never enter the collection corpus)
+        self.dsn_messages: List[EmailMessage] = []
+        self._pending: List[QueuedDelivery] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # -- enqueue -------------------------------------------------------------
+
+    def offer(self, message: EmailMessage, recipient: str,
+              result: SendResult, timestamp: float, mode: str = "mx",
+              port: int = 25, ip: Optional[str] = None,
+              context: object = None) -> bool:
+        """Queue a failed first attempt if its status is retryable.
+
+        Returns True when the message was queued; False when the result
+        is not one this policy retries (the caller keeps its existing
+        handling for those).
+        """
+        if not self.policy.retries(result.status):
+            return False
+        self._sequence += 1
+        job = QueuedDelivery(
+            message=message, recipient=recipient, mode=mode, port=port,
+            first_timestamp=timestamp,
+            next_attempt=timestamp + self.policy.delay_for_attempt(1),
+            attempts_made=1, ip=ip, context=context,
+            sequence=self._sequence, last_status=result.status)
+        self.stats.enqueued += 1
+        self._pending.append(job)
+        return True
+
+    # -- drain ---------------------------------------------------------------
+
+    def due(self, before: float) -> List[QueuedDelivery]:
+        """Remove and return jobs due strictly before ``before``, ordered
+        by ``(next_attempt, sequence)`` — the queue's deterministic clock.
+        """
+        ready = [job for job in self._pending if job.next_attempt < before]
+        if not ready:
+            return []
+        ready.sort(key=lambda job: (job.next_attempt, job.sequence))
+        self._pending = [job for job in self._pending
+                         if job.next_attempt >= before]
+        self.stats.retry_attempts += len(ready)
+        return ready
+
+    def settle(self, job: QueuedDelivery, result: SendResult,
+               timestamp: float) -> Optional[EmailMessage]:
+        """Fold a retry attempt's outcome back into the queue.
+
+        Delivered → recovered; still-transient → requeue with backoff, or
+        give up (DSN) past the policy's horizon; permanent failure → give
+        up immediately.  Returns the DSN when one was generated.
+        """
+        job.attempts_made += 1
+        job.last_status = result.status
+        if result.status is SendStatus.DELIVERED:
+            self.stats.recovered += 1
+            return None
+        if not self.policy.retries(result.status):
+            return self._give_up(job, timestamp,
+                                 diagnostic=_diagnostic(result))
+        age = timestamp - job.first_timestamp
+        if (job.attempts_made >= self.policy.max_attempts
+                or age >= self.policy.max_queue_seconds):
+            return self._give_up(job, timestamp,
+                                 diagnostic=_diagnostic(result))
+        job.next_attempt = timestamp + self.policy.delay_for_attempt(
+            job.attempts_made)
+        self._pending.append(job)
+        return None
+
+    def expire_remaining(self, timestamp: float) -> List[EmailMessage]:
+        """Give up on everything still queued (e.g. at window end)."""
+        remaining = sorted(self._pending,
+                           key=lambda job: (job.next_attempt, job.sequence))
+        self._pending = []
+        dsns = []
+        for job in remaining:
+            dsn = self._give_up(job, timestamp,
+                                diagnostic="451 4.4.7 queue lifetime "
+                                           "exceeded at window end")
+            if dsn is not None:
+                dsns.append(dsn)
+        return dsns
+
+    # -- internals -----------------------------------------------------------
+
+    def _give_up(self, job: QueuedDelivery, timestamp: float,
+                 diagnostic: str) -> Optional[EmailMessage]:
+        self.stats.gave_up += 1
+        if is_bounce_message(job.message):
+            # null reverse-path (or MAILER-DAEMON sender): RFC 5321
+            # forbids bouncing a bounce
+            return None
+        try:
+            dsn = make_bounce_message(job.message, job.recipient,
+                                      self.reporting_host,
+                                      diagnostic=diagnostic,
+                                      timestamp=timestamp)
+        except ValueError:
+            # no return path at all on the original
+            return None
+        self.stats.dsn_sent += 1
+        self.dsn_messages.append(dsn)
+        return dsn
+
+
+def _diagnostic(result: SendResult) -> str:
+    if result.last_reply is not None:
+        return str(result.last_reply)
+    return f"transient delivery failure ({result.status.value})"

@@ -24,9 +24,16 @@ from repro.smtpsim.protocol import (
     accept_all_policy,
 )
 
-__all__ = ["SmtpServer", "DeliveryCallback", "domain_policy"]
+__all__ = ["SmtpServer", "DeliveryCallback", "FaultGate", "domain_policy"]
 
 DeliveryCallback = Callable[[EmailMessage], None]
+
+#: Inspects a completed DATA transaction and may veto it with a 4yz
+#: (tempfail/greylist) or 421 (connection drop) reply instead of the 250.
+#: Returning None lets the delivery proceed normally.  Fault plans attach
+#: these to the study's VPS servers; a server without a gate behaves
+#: exactly as before.
+FaultGate = Callable[[SmtpSession, EmailMessage, float], Optional[SmtpReply]]
 
 
 def domain_policy(accepted_domains: Iterable[str]) -> RcptPolicy:
@@ -58,9 +65,13 @@ class SmtpServer:
     supports_starttls: bool = True
     starttls_broken: bool = False
     on_delivery: Optional[DeliveryCallback] = None
+    #: fault-injection hook: may turn an otherwise-successful DATA
+    #: transaction into a 4yz tempfail or 421 drop (see :data:`FaultGate`)
+    fault_gate: Optional[FaultGate] = None
 
     accepted_count: int = 0
     rejected_count: int = 0
+    tempfail_count: int = 0
 
     def open_session(self) -> SmtpSession:
         """Begin a fresh SMTP conversation against this server."""
@@ -85,6 +96,14 @@ class SmtpServer:
         if not reply.is_success:
             self.rejected_count += 1
             return reply
+
+        if self.fault_gate is not None:
+            fault = self.fault_gate(session, message, timestamp)
+            if fault is not None:
+                # the message is NOT mutated on a tempfail: the sender's
+                # retry queue will replay the identical message later
+                self.tempfail_count += 1
+                return fault
 
         message.envelope_from = session.envelope_from
         message.envelope_to = list(session.envelope_to)

@@ -55,12 +55,18 @@ class HostBehavior:
     network_error_probability: float = 0.0
     other_error_probability: float = 0.0
     base_latency_seconds: float = 0.05
+    #: how long a dialling client waits before declaring the host dead —
+    #: a deadline, not a constant, so fault plans can model slow-but-not-
+    #: dead hosts alongside truly unreachable ones
+    timeout_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         total = (self.timeout_probability + self.network_error_probability
                  + self.other_error_probability)
         if total > 1.0:
             raise ValueError("failure probabilities exceed 1")
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
 
 
 class Network:
@@ -113,7 +119,8 @@ class Network:
         latency = behavior.base_latency_seconds * self._rng.uniform(0.5, 2.0)
 
         if self._rng.bernoulli(behavior.timeout_probability):
-            return ConnectResult(ConnectOutcome.TIMEOUT, latency_seconds=30.0)
+            return ConnectResult(ConnectOutcome.TIMEOUT,
+                                 latency_seconds=behavior.timeout_seconds)
         if self._rng.bernoulli(behavior.network_error_probability):
             return ConnectResult(ConnectOutcome.NETWORK_ERROR,
                                  latency_seconds=latency)

@@ -1,0 +1,150 @@
+"""Unit tests for the fault-plan schema and the deterministic draws.
+
+The plan layer is pure data: construction validates, JSON round-trips
+canonically, digests identify plans, and :func:`unit_draw` gives every
+fault decision an order-independent source of randomness.
+"""
+
+import pytest
+
+from repro.faultsim import (
+    DnsFaultSpell,
+    FaultPlan,
+    OutageSpan,
+    ShardCrashSpec,
+    SmtpFaultSpell,
+    unit_draw,
+)
+from repro.smtpsim import RetryPolicy, SendStatus
+
+pytestmark = pytest.mark.chaos
+
+
+class TestSpanValidation:
+    def test_outage_span_accepts_half_open_window(self):
+        span = OutageSpan(3, 7)
+        assert [span.covers(d) for d in (2, 3, 6, 7)] == [
+            False, True, True, False]
+
+    @pytest.mark.parametrize("start,end", [(-1, 3), (5, 5), (7, 2)])
+    def test_outage_span_rejects_bad_windows(self, start, end):
+        with pytest.raises(ValueError):
+            OutageSpan(start, end)
+
+    def test_outage_span_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            OutageSpan(1, 2, mode="explode")
+
+    def test_dns_spell_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DnsFaultSpell(1, 2, probability=1.5)
+
+    def test_smtp_spell_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SmtpFaultSpell(1, 2, tempfail_probability=-0.1)
+
+    def test_crash_spec_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ShardCrashSpec(rank=0)
+        with pytest.raises(ValueError):
+            ShardCrashSpec(rank=1, failures=0)
+        with pytest.raises(ValueError):
+            ShardCrashSpec(rank=1, mode="melt")
+
+
+class TestSuffixMatching:
+    def test_dns_suffixes_bound_the_blast_radius(self):
+        spell = DnsFaultSpell(0, 9, domain_suffixes=("gmail.com",))
+        assert spell.matches_domain("gmail.com")
+        assert spell.matches_domain("mx.gmail.com")
+        assert not spell.matches_domain("notgmail.com")
+
+    def test_empty_suffixes_match_everything(self):
+        assert DnsFaultSpell(0, 9).matches_domain("anything.org")
+        assert SmtpFaultSpell(0, 9).matches_host("any.host")
+
+    def test_smtp_host_matching_is_case_insensitive(self):
+        spell = SmtpFaultSpell(0, 9, host_suffixes=("VPS.example.COM",))
+        assert spell.matches_host("vps.example.com")
+        assert spell.matches_host("MX.VPS.EXAMPLE.COM")
+
+
+class TestPlanIdentity:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan.empty().is_empty
+        assert FaultPlan(seed=99).is_empty
+        assert not FaultPlan.chaos_demo(1).is_empty
+
+    def test_json_round_trip_preserves_digest(self):
+        plan = FaultPlan.chaos_demo(7)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.digest() == plan.digest()
+
+    def test_digest_distinguishes_plans(self):
+        assert FaultPlan.chaos_demo(1).digest() != FaultPlan.chaos_demo(2).digest()
+        assert FaultPlan.empty().digest() != FaultPlan.chaos_demo(1).digest()
+
+    def test_retry_policy_rides_along(self):
+        policy = RetryPolicy(max_attempts=2, initial_delay_seconds=10.0)
+        plan = FaultPlan(seed=1, retry=policy)
+        assert FaultPlan.from_json(plan.to_json()).retry == policy
+
+
+class TestCrashSpecLookup:
+    def test_spec_matches_only_the_covering_shard(self):
+        plan = FaultPlan(seed=0, shard_crashes=(
+            ShardCrashSpec(rank=10, failures=2),))
+        assert plan.crash_spec_for_shard(1, 11, attempt=1) is not None
+        assert plan.crash_spec_for_shard(10, 20, attempt=1) is not None
+        assert plan.crash_spec_for_shard(11, 20, attempt=1) is None
+
+    def test_spec_stops_firing_after_failures_exhausted(self):
+        plan = FaultPlan(seed=0, shard_crashes=(
+            ShardCrashSpec(rank=5, failures=2),))
+        assert plan.crash_spec_for_shard(1, 9, attempt=2) is not None
+        assert plan.crash_spec_for_shard(1, 9, attempt=3) is None
+
+
+class TestUnitDraw:
+    def test_pure_function_of_seed_and_context(self):
+        assert unit_draw(5, "a", 1) == unit_draw(5, "a", 1)
+        assert unit_draw(5, "a", 1) != unit_draw(6, "a", 1)
+        assert unit_draw(5, "a", 1) != unit_draw(5, "a", 2)
+
+    def test_draws_live_in_unit_interval_and_spread(self):
+        draws = [unit_draw(3, "x", i) for i in range(400)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 0.4 < mean < 0.6
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_exponential(self):
+        policy = RetryPolicy(initial_delay_seconds=100.0, backoff_factor=3.0)
+        assert policy.delay_for_attempt(1) == 100.0
+        assert policy.delay_for_attempt(2) == 300.0
+        assert policy.delay_for_attempt(3) == 900.0
+        with pytest.raises(ValueError):
+            policy.delay_for_attempt(0)
+
+    def test_retries_tempfail_but_not_transport_by_default(self):
+        policy = RetryPolicy()
+        assert policy.retries(SendStatus.TEMPFAIL)
+        assert not policy.retries(SendStatus.TIMEOUT)
+        assert not policy.retries(SendStatus.NETWORK_ERROR)
+        assert not policy.retries(SendStatus.BOUNCED)
+
+    def test_transport_retries_are_opt_in(self):
+        policy = RetryPolicy(retry_transport_errors=True)
+        assert policy.retries(SendStatus.TIMEOUT)
+        assert policy.retries(SendStatus.NETWORK_ERROR)
+        assert not policy.retries(SendStatus.BOUNCED)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_queue_seconds=0.0)

@@ -1,0 +1,146 @@
+"""Study-level chaos tests: byte-identity, determinism, and recovery.
+
+The regression gate at the top is the load-bearing one: running with no
+plan (or an empty plan) must reproduce the pre-chaos record stream
+byte for byte, so the fault layer can never perturb published numbers.
+"""
+
+import pytest
+
+from repro.experiment import ExperimentConfig, StudyRunner
+from repro.experiment.parallel import record_stream_digest
+from repro.faultsim import (
+    DnsFaultSpell,
+    FaultPlan,
+    OutageSpan,
+    SmtpFaultSpell,
+)
+from repro.smtpsim import RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+CHEAP = dict(seed=41, spam_scale=1e-5, ham_scale=0.5, outage_spans=())
+
+
+def _run(plan=None, **overrides):
+    config = ExperimentConfig(**{**CHEAP, **overrides}, fault_plan=plan)
+    return StudyRunner(config).run()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+class TestByteIdentityGate:
+    """Fault-free plans reproduce the existing digests exactly."""
+
+    def test_none_and_empty_plan_are_byte_identical(self, baseline):
+        digest = record_stream_digest(baseline.records)
+        empty = _run(plan=FaultPlan.empty())
+        assert record_stream_digest(empty.records) == digest
+        assert empty.delivered_count == baseline.delivered_count
+        assert empty.sent_count == baseline.sent_count
+
+    def test_empty_plan_reports_no_robustness_section(self, baseline):
+        assert baseline.robustness is None
+        assert _run(plan=FaultPlan.empty()).robustness is None
+
+
+class TestChaosDeterminism:
+    def test_same_plan_replays_byte_identically(self):
+        plan = FaultPlan.chaos_demo(11)
+        first = _run(plan=plan)
+        second = _run(plan=plan)
+        assert (record_stream_digest(first.records)
+                == record_stream_digest(second.records))
+        assert first.robustness == second.robustness
+
+    def test_different_plan_seeds_diverge(self):
+        smtp_only = lambda seed: FaultPlan(
+            seed=seed,
+            smtp_spells=(SmtpFaultSpell(0, 200, tempfail_probability=0.3),))
+        a = _run(plan=smtp_only(1))
+        b = _run(plan=smtp_only(2))
+        assert a.robustness["faults"] != b.robustness["faults"]
+
+
+class TestRecoveryByRetry:
+    def test_tempfail_outage_mail_is_recovered(self):
+        """Mail hitting a tempfail-mode outage comes back via retries."""
+        plan = FaultPlan(
+            seed=3, collector_outages=(OutageSpan(20, 22, mode="tempfail"),))
+        results = _run(plan=plan)
+        robustness = results.robustness
+        assert robustness["faults"]["outage_tempfails"] > 0
+        assert robustness["retry"]["recovered"] > 0
+        # a two-day outage sits inside the retry horizon: most queued
+        # mail must come back rather than give up
+        assert (robustness["retry"]["recovered"]
+                > robustness["retry"]["gave_up"])
+
+    def test_long_outage_gives_up_with_dsns(self):
+        """Past the queue horizon the sender returns DSNs, not silence."""
+        plan = FaultPlan(
+            seed=3,
+            collector_outages=(OutageSpan(20, 40, mode="tempfail"),),
+            retry=RetryPolicy(max_queue_seconds=86_400.0))
+        robustness = _run(plan=plan).robustness
+        assert robustness["retry"]["gave_up"] > 0
+        assert robustness["retry"]["dsn_sent"] > 0
+
+    def test_drop_outage_is_counted_never_recovered(self, baseline):
+        """Drop-mode outages reproduce the paper's hard gap."""
+        plan = FaultPlan(
+            seed=3, collector_outages=(OutageSpan(30, 33, mode="drop"),))
+        results = _run(plan=plan)
+        coverage = results.robustness["collector"]
+        assert coverage["gap_days"] == [30, 31, 32]
+        assert coverage["dropped_outage"] > 0
+        assert results.robustness["retry"]["enqueued"] == 0
+        assert results.delivered_count < baseline.delivered_count
+
+    def test_greylisting_tempfails_then_recovers(self):
+        plan = FaultPlan(
+            seed=5, smtp_spells=(SmtpFaultSpell(10, 40, greylist=True),))
+        robustness = _run(plan=plan).robustness
+        assert robustness["faults"]["greylist_tempfails"] > 0
+        assert robustness["retry"]["recovered"] > 0
+
+    def test_dns_spell_injects_servfails(self):
+        plan = FaultPlan(
+            seed=5,
+            dns_spells=(DnsFaultSpell(10, 30, mode="servfail",
+                                      probability=0.5),))
+        robustness = _run(plan=plan).robustness
+        assert robustness["faults"]["dns_servfails"] > 0
+
+    def test_plan_digest_is_reported(self):
+        plan = FaultPlan.chaos_demo(11)
+        robustness = _run(plan=plan).robustness
+        assert robustness["plan_digest"] == plan.digest()
+        assert robustness["plan_seed"] == 11
+
+
+class TestRobustnessReporting:
+    def test_report_gains_a_robustness_section(self):
+        from repro.report import render_study_report
+
+        chaotic = render_study_report(_run(plan=FaultPlan.chaos_demo(11)))
+        assert "## Robustness (injected faults)" in chaotic
+        assert "retry queue" in chaotic
+
+    def test_fault_free_report_has_no_robustness_section(self, baseline):
+        from repro.report import render_study_report
+
+        assert "Robustness" not in render_study_report(baseline)
+
+    def test_sample_carries_robustness_across_processes(self):
+        import pickle
+
+        from repro.experiment.parallel import sample_from_results
+
+        sample = sample_from_results(_run(plan=FaultPlan.chaos_demo(11)))
+        clone = pickle.loads(pickle.dumps(sample))
+        assert clone.robustness == sample.robustness
+        assert clone.robustness["plan_seed"] == 11

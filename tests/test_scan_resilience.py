@@ -1,0 +1,199 @@
+"""Self-healing sharded scan: crash requeue, checkpoints, degraded reports.
+
+The digest bar from the sharding tests carries over: a resilient scan
+that recovers every shard must be byte-identical to the plain serial
+scan, for any jobs count and any injected crash schedule the retry
+budget can absorb.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.ecosystem import ScanAggregates
+from repro.experiment import (
+    ResilientScanResult,
+    ScanCheckpoint,
+    ShardRetryPolicy,
+    parallel_map,
+    pool_fallback_count,
+    run_resilient_scan,
+    run_sharded_scan,
+)
+from repro.faultsim import FaultPlan, InjectedWorkerCrash, ShardCrashSpec
+from repro.util.perf import PerfRegistry
+
+pytestmark = pytest.mark.chaos
+
+SEED, MAX_RANK = 9, 24
+
+
+@pytest.fixture(scope="module")
+def baseline_digest():
+    return run_sharded_scan(SEED, MAX_RANK, jobs=1).digest()
+
+
+def _crash_plan(rank=3, failures=1, seed=5):
+    return FaultPlan(seed=seed, shard_crashes=(
+        ShardCrashSpec(rank=rank, failures=failures, mode="crash"),))
+
+
+class TestFaultFreeEquivalence:
+    def test_resilient_scan_matches_plain_scan(self, baseline_digest):
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=1)
+        assert result.aggregates.digest() == baseline_digest
+        assert not result.degraded and result.unscanned_ranges == ()
+        assert all(o.status == "completed" for o in result.outcomes)
+
+    def test_empty_plan_matches_too(self, baseline_digest):
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=1,
+                                    fault_plan=FaultPlan.empty())
+        assert result.aggregates.digest() == baseline_digest
+
+
+class TestCrashRecovery:
+    def test_serial_crash_is_requeued_and_recovered(self, baseline_digest):
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=1,
+                                    fault_plan=_crash_plan())
+        assert result.aggregates.digest() == baseline_digest
+        assert not result.degraded
+        # one shard needed a second attempt
+        assert result.attempts_total == 2 + (len(result.outcomes) - 1)
+
+    @pytest.mark.slow
+    def test_parallel_crash_is_requeued_and_recovered(self, baseline_digest):
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=4,
+                                    fault_plan=_crash_plan())
+        assert result.aggregates.digest() == baseline_digest
+        assert not result.degraded
+        crashed = [o for o in result.outcomes if o.attempts == 2]
+        assert len(crashed) == 1
+        assert 1 <= crashed[0].start_rank <= 3 < crashed[0].stop_rank
+
+    def test_digest_is_jobs_invariant_under_faults(self, baseline_digest):
+        plan = _crash_plan(failures=2)
+        serial = run_resilient_scan(SEED, MAX_RANK, jobs=1, fault_plan=plan)
+        sharded = run_resilient_scan(SEED, MAX_RANK, jobs=3, fault_plan=plan)
+        assert (serial.aggregates.digest() == sharded.aggregates.digest()
+                == baseline_digest)
+
+    def test_perf_counts_shard_retries(self):
+        perf = PerfRegistry()
+        run_resilient_scan(SEED, MAX_RANK, jobs=1, fault_plan=_crash_plan(),
+                           perf=perf)
+        assert perf.counters["scan.shard_retries"] == 1
+
+    def test_injected_crash_surfaces_without_a_driver(self):
+        """Outside the resilient driver the injection is a plain raise."""
+        from repro.experiment import ScanShardTask, run_scan_shard
+
+        task = ScanShardTask(seed=SEED, start_rank=1, stop_rank=9,
+                             max_rank=MAX_RANK, fault_plan=_crash_plan(),
+                             attempt=1)
+        with pytest.raises(InjectedWorkerCrash):
+            run_scan_shard(task)
+
+
+class TestDegradedReport:
+    def test_exhausted_retries_name_the_exact_ranges(self):
+        plan = _crash_plan(failures=99)
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=4, fault_plan=plan,
+                                    retry=ShardRetryPolicy(max_attempts=2))
+        assert result.degraded
+        assert len(result.unscanned_ranges) == 1
+        start, stop = result.unscanned_ranges[0]
+        assert start <= 3 < stop
+        [failed] = [o for o in result.outcomes if o.status == "failed"]
+        assert failed.attempts == 2
+        assert "InjectedWorkerCrash" in failed.error
+        assert any("DEGRADED" in line for line in result.summary_lines())
+
+    def test_surviving_shards_still_merge(self, baseline_digest):
+        plan = _crash_plan(failures=99)
+        result = run_resilient_scan(SEED, MAX_RANK, jobs=4, fault_plan=plan,
+                                    retry=ShardRetryPolicy(max_attempts=1))
+        assert result.degraded
+        assert 0 < result.aggregates.registered_count
+        assert result.aggregates.digest() != baseline_digest
+        assert result.plan_digest == plan.digest()
+
+
+@pytest.mark.slow
+class TestHangTimeout:
+    def test_hung_shard_trips_the_timeout_and_retries(self, baseline_digest):
+        plan = FaultPlan(seed=5, shard_crashes=(
+            ShardCrashSpec(rank=3, failures=1, mode="hang",
+                           hang_seconds=1.5),))
+        result = run_resilient_scan(
+            SEED, MAX_RANK, jobs=2, fault_plan=plan,
+            retry=ShardRetryPolicy(max_attempts=2,
+                                   shard_timeout_seconds=0.3))
+        assert result.aggregates.digest() == baseline_digest
+        assert not result.degraded
+        assert any(o.attempts == 2 for o in result.outcomes)
+
+
+class TestCheckpointResume:
+    def test_fresh_run_writes_and_resume_skips(self, tmp_path,
+                                               baseline_digest):
+        path = tmp_path / "scan.json"
+        first = run_resilient_scan(SEED, MAX_RANK, jobs=2,
+                                   checkpoint_path=path)
+        assert first.aggregates.digest() == baseline_digest
+        assert path.exists()
+        second = run_resilient_scan(SEED, MAX_RANK, jobs=2,
+                                    checkpoint_path=path)
+        assert second.aggregates.digest() == baseline_digest
+        assert all(o.status == "resumed" for o in second.outcomes)
+        assert second.attempts_total == 0
+
+    def test_degraded_run_resumes_into_a_complete_one(self, tmp_path,
+                                                      baseline_digest):
+        """The kill-resilience bar: crash a shard to death, re-run with
+        the same checkpoint, and the scan completes to the fault-free
+        digest."""
+        path = tmp_path / "scan.json"
+        degraded = run_resilient_scan(
+            SEED, MAX_RANK, jobs=4, fault_plan=_crash_plan(failures=99),
+            retry=ShardRetryPolicy(max_attempts=1), checkpoint_path=path)
+        assert degraded.degraded
+        healed = run_resilient_scan(SEED, MAX_RANK, jobs=4,
+                                    checkpoint_path=path)
+        assert healed.aggregates.digest() == baseline_digest
+        assert not healed.degraded
+        statuses = {o.status for o in healed.outcomes}
+        assert statuses == {"resumed", "completed"}
+
+    def test_checkpoint_rejects_mismatched_run(self, tmp_path):
+        path = tmp_path / "scan.json"
+        run_resilient_scan(SEED, MAX_RANK, jobs=1, checkpoint_path=path)
+        with pytest.raises(ValueError):
+            ScanCheckpoint(path, seed=SEED + 1, max_rank=MAX_RANK)
+        with pytest.raises(ValueError):
+            ScanCheckpoint(path, seed=SEED, max_rank=MAX_RANK + 1)
+
+    def test_canonical_round_trip_preserves_digest(self):
+        aggregates = run_sharded_scan(SEED, MAX_RANK, jobs=1)
+        clone = ScanAggregates.from_canonical_dict(
+            json.loads(json.dumps(aggregates.canonical_dict())))
+        assert clone.digest() == aggregates.digest()
+
+
+class TestPoolFallbackVisibility:
+    """The silent-degradation satellite: pool breakage must be loud."""
+
+    def test_unpicklable_work_warns_and_counts(self):
+        before = pool_fallback_count()
+        perf = PerfRegistry()
+        hostile = lambda x: x + 1      # closures cannot cross processes
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = parallel_map(hostile, [1, 2, 3], jobs=2, perf=perf)
+        assert results == [2, 3, 4]
+        assert pool_fallback_count() == before + 1
+        assert perf.counters["parallel.pool_fallback"] == 1
+
+    def test_serial_path_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(lambda x: x * 2, [1, 2], jobs=1) == [2, 4]

@@ -1,0 +1,293 @@
+"""Fault-path tests for the SMTP transport, server gate, and retry queue.
+
+Pins the satellite fixes of the chaos PR: the probability-sum boundary on
+:class:`HostBehavior`, the configurable connect timeout (previously a
+hardcoded 30.0), detach idempotency, per-outcome latency behaviour under
+a fixed seed, and the RFC 5321 retry-queue semantics.
+"""
+
+import pytest
+
+from repro.dnssim import DomainRegistry, Resolver, collection_zone, Registration
+from repro.dnssim.resolver import MailRoute, ResolutionStatus
+from repro.smtpsim import (
+    ConnectOutcome,
+    EmailMessage,
+    HostBehavior,
+    Network,
+    RetryPolicy,
+    RetryQueue,
+    SendResult,
+    SendStatus,
+    SmtpClient,
+    SmtpReply,
+    SmtpServer,
+)
+from repro.util import SeededRng
+
+pytestmark = pytest.mark.chaos
+
+
+class TestHostBehaviorValidation:
+    def test_probability_sum_of_exactly_one_is_accepted(self):
+        behavior = HostBehavior(timeout_probability=0.5,
+                                network_error_probability=0.3,
+                                other_error_probability=0.2)
+        assert behavior.timeout_probability == 0.5
+
+    def test_probability_sum_above_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            HostBehavior(timeout_probability=0.6,
+                         network_error_probability=0.3,
+                         other_error_probability=0.2)
+
+    def test_timeout_seconds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HostBehavior(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            HostBehavior(timeout_seconds=-1.0)
+
+
+class TestConnectTimeouts:
+    def test_timeout_latency_comes_from_behavior_not_a_constant(self):
+        network = Network(SeededRng(1))
+        network.attach("1.1.1.1", SmtpServer(hostname="a.com", ip="1.1.1.1"),
+                       behavior=HostBehavior(timeout_probability=1.0,
+                                             timeout_seconds=7.5))
+        result = network.connect("1.1.1.1")
+        assert result.outcome is ConnectOutcome.TIMEOUT
+        assert result.latency_seconds == 7.5
+
+    def test_default_timeout_is_thirty_seconds(self):
+        network = Network(SeededRng(1))
+        network.attach("1.1.1.2", SmtpServer(hostname="b.com", ip="1.1.1.2"),
+                       behavior=HostBehavior(timeout_probability=1.0))
+        assert network.connect("1.1.1.2").latency_seconds == 30.0
+
+
+class TestDetachIdempotency:
+    def test_detach_twice_is_harmless(self):
+        network = Network(SeededRng(2))
+        network.attach("2.2.2.2", SmtpServer(hostname="c.com", ip="2.2.2.2"),
+                       behavior=HostBehavior(timeout_probability=1.0))
+        network.detach("2.2.2.2")
+        network.detach("2.2.2.2")
+        assert network.server_at("2.2.2.2") is None
+        # the behavior went with the server: connects now refuse with the
+        # default profile instead of timing out
+        assert network.connect("2.2.2.2").outcome is ConnectOutcome.REFUSED
+
+    def test_reattach_after_detach_works(self):
+        network = Network(SeededRng(2))
+        server = SmtpServer(hostname="d.com", ip="3.3.3.3")
+        network.attach("3.3.3.3", server)
+        network.detach("3.3.3.3")
+        network.attach("3.3.3.3", server)
+        assert network.server_at("3.3.3.3") is server
+
+
+class TestLatencyDistributions:
+    def _outcomes(self, seed):
+        network = Network(SeededRng(seed))
+        network.attach("4.4.4.4", SmtpServer(hostname="e.com", ip="4.4.4.4"),
+                       behavior=HostBehavior(timeout_probability=0.3,
+                                             network_error_probability=0.3,
+                                             base_latency_seconds=0.2,
+                                             timeout_seconds=5.0))
+        return [network.connect("4.4.4.4") for _ in range(200)]
+
+    def test_fixed_seed_replays_outcomes_and_latencies(self):
+        first = self._outcomes(7)
+        second = self._outcomes(7)
+        assert ([(r.outcome, r.latency_seconds) for r in first]
+                == [(r.outcome, r.latency_seconds) for r in second])
+
+    def test_per_outcome_latency_laws(self):
+        results = self._outcomes(7)
+        by_outcome = {}
+        for result in results:
+            by_outcome.setdefault(result.outcome, []).append(
+                result.latency_seconds)
+        # every outcome class appears under these probabilities
+        assert set(by_outcome) == {ConnectOutcome.TIMEOUT,
+                                   ConnectOutcome.NETWORK_ERROR,
+                                   ConnectOutcome.CONNECTED}
+        # timeouts cost the full deadline, deterministically
+        assert set(by_outcome[ConnectOutcome.TIMEOUT]) == {5.0}
+        # everything else draws uniformly in [0.5, 2] x base latency
+        for outcome in (ConnectOutcome.NETWORK_ERROR,
+                        ConnectOutcome.CONNECTED):
+            latencies = by_outcome[outcome]
+            assert all(0.1 <= latency <= 0.4 for latency in latencies)
+            assert len(set(latencies)) > 1
+
+
+class TestTransientClassification:
+    def test_4yz_replies_are_transient(self):
+        assert SmtpReply(451, "try later").is_transient_failure
+        assert SmtpReply(421, "closing").is_transient_failure
+        assert not SmtpReply(250, "ok").is_transient_failure
+        assert not SmtpReply(550, "no").is_transient_failure
+
+    def test_send_status_transience(self):
+        assert SendStatus.TEMPFAIL.is_transient
+        assert SendStatus.TIMEOUT.is_transient
+        assert SendStatus.NETWORK_ERROR.is_transient
+        assert not SendStatus.DELIVERED.is_transient
+        assert not SendStatus.BOUNCED.is_transient
+
+
+class _ServfailResolver:
+    """A resolver whose every route SERVFAILs (transient, retryable)."""
+
+    def mail_route(self, domain):
+        return MailRoute(domain, ResolutionStatus.SERVFAIL)
+
+
+class TestClientTransientPaths:
+    def test_servfail_route_maps_to_tempfail_not_no_route(self):
+        client = SmtpClient(_ServfailResolver(), Network(SeededRng(3)))
+        message = EmailMessage.create("a@b.org", "x@flaky.com", "s", "b")
+        assert client.send(message).status is SendStatus.TEMPFAIL
+
+    def _gated_world(self, gate):
+        registry = DomainRegistry()
+        registry.register(Registration(
+            domain="sink.com", zone=collection_zone("sink.com", "5.5.5.5")))
+        received = []
+        server = SmtpServer(hostname="sink.com", ip="5.5.5.5",
+                            on_delivery=received.append, fault_gate=gate)
+        network = Network(SeededRng(4))
+        network.attach("5.5.5.5", server)
+        return SmtpClient(Resolver(registry), network), server, received
+
+    def test_fault_gate_tempfails_without_mutating_the_message(self):
+        gate = lambda session, message, timestamp: SmtpReply(
+            451, "4.7.1 please try again later")
+        client, server, received = self._gated_world(gate)
+        message = EmailMessage.create("a@b.org", "x@sink.com", "s", "b")
+        result = client.send(message, timestamp=100.0)
+        assert result.status is SendStatus.TEMPFAIL
+        assert server.tempfail_count == 1
+        assert server.accepted_count == 0
+        assert received == []
+        # the retry will replay an unstamped message
+        assert message.received_by_ip is None
+        assert not any(key == "Received" for key, _ in message.headers)
+
+    def test_none_gate_result_delivers_normally(self):
+        client, server, received = self._gated_world(
+            lambda session, message, timestamp: None)
+        message = EmailMessage.create("a@b.org", "x@sink.com", "s", "b")
+        assert client.send(message).status is SendStatus.DELIVERED
+        assert server.tempfail_count == 0
+        assert len(received) == 1
+
+
+def _tempfail(recipient):
+    return SendResult(SendStatus.TEMPFAIL, recipient,
+                      last_reply=SmtpReply(451, "4.7.1 try later"))
+
+
+def _delivered(recipient):
+    return SendResult(SendStatus.DELIVERED, recipient)
+
+
+class TestRetryQueue:
+    def _message(self):
+        return EmailMessage.create("victim@sender.org", "x@typo.com", "s", "b")
+
+    def test_non_retryable_results_are_declined(self):
+        queue = RetryQueue()
+        offered = queue.offer(self._message(), "x@typo.com",
+                              SendResult(SendStatus.BOUNCED, "x@typo.com"),
+                              timestamp=0.0)
+        assert not offered and len(queue) == 0
+
+    def test_tempfail_queues_with_first_backoff_delay(self):
+        policy = RetryPolicy(initial_delay_seconds=100.0, backoff_factor=2.0)
+        queue = RetryQueue(policy)
+        assert queue.offer(self._message(), "x@typo.com",
+                           _tempfail("x@typo.com"), timestamp=50.0)
+        assert len(queue) == 1
+        assert queue.due(before=150.0) == []       # not yet due
+        jobs = queue.due(before=151.0)
+        assert len(jobs) == 1 and jobs[0].next_attempt == 150.0
+
+    def test_due_orders_by_time_then_sequence(self):
+        policy = RetryPolicy(initial_delay_seconds=10.0)
+        queue = RetryQueue(policy)
+        for index in range(3):
+            queue.offer(self._message(), f"x{index}@typo.com",
+                        _tempfail(f"x{index}@typo.com"), timestamp=float(index))
+        jobs = queue.due(before=1e9)
+        assert [job.recipient for job in jobs] == [
+            "x0@typo.com", "x1@typo.com", "x2@typo.com"]
+
+    def test_recovery_counts_and_clears(self):
+        queue = RetryQueue(RetryPolicy(initial_delay_seconds=10.0))
+        queue.offer(self._message(), "x@typo.com", _tempfail("x@typo.com"),
+                    timestamp=0.0)
+        [job] = queue.due(before=1e9)
+        assert queue.settle(job, _delivered("x@typo.com"), 20.0) is None
+        assert queue.stats.recovered == 1
+        assert len(queue) == 0
+
+    def test_still_failing_requeues_with_exponential_backoff(self):
+        policy = RetryPolicy(initial_delay_seconds=10.0, backoff_factor=3.0,
+                             max_attempts=5)
+        queue = RetryQueue(policy)
+        queue.offer(self._message(), "x@typo.com", _tempfail("x@typo.com"),
+                    timestamp=0.0)
+        [job] = queue.due(before=1e9)
+        assert queue.settle(job, _tempfail("x@typo.com"), 10.0) is None
+        assert job.next_attempt == 10.0 + 30.0     # attempt 2's delay
+        [job] = queue.due(before=1e9)
+        assert queue.settle(job, _tempfail("x@typo.com"), 40.0) is None
+        assert job.next_attempt == 40.0 + 90.0     # attempt 3's delay
+
+    def test_gives_up_with_dsn_after_max_attempts(self):
+        policy = RetryPolicy(initial_delay_seconds=10.0, max_attempts=2)
+        queue = RetryQueue(policy, reporting_host="vps.study.org")
+        queue.offer(self._message(), "x@typo.com", _tempfail("x@typo.com"),
+                    timestamp=0.0)
+        [job] = queue.due(before=1e9)
+        dsn = queue.settle(job, _tempfail("x@typo.com"), 10.0)
+        assert dsn is not None
+        assert queue.stats.gave_up == 1 and queue.stats.dsn_sent == 1
+        assert dsn.sender.bare == "MAILER-DAEMON@vps.study.org"
+        assert dsn.recipient.bare == "victim@sender.org"
+        assert "451 4.7.1" in dsn.body
+
+    def test_gives_up_past_queue_horizon_even_with_attempts_left(self):
+        policy = RetryPolicy(initial_delay_seconds=10.0, max_attempts=99,
+                             max_queue_seconds=100.0)
+        queue = RetryQueue(policy)
+        queue.offer(self._message(), "x@typo.com", _tempfail("x@typo.com"),
+                    timestamp=0.0)
+        [job] = queue.due(before=1e9)
+        assert queue.settle(job, _tempfail("x@typo.com"), 500.0) is not None
+        assert queue.stats.gave_up == 1
+
+    def test_never_bounces_a_bounce(self):
+        from repro.smtpsim import make_bounce_message
+
+        queue = RetryQueue(RetryPolicy(initial_delay_seconds=10.0,
+                                       max_attempts=1))
+        dsn = make_bounce_message(self._message(), "x@typo.com", "vps.org")
+        # DSNs carry the null reverse-path: giving up on one must not
+        # generate a bounce-of-a-bounce
+        queue.offer(dsn, "victim@sender.org", _tempfail("victim@sender.org"),
+                    timestamp=0.0)
+        [job] = queue.due(before=1e9)
+        assert queue.settle(job, _tempfail("victim@sender.org"), 10.0) is None
+        assert queue.stats.gave_up == 1 and queue.stats.dsn_sent == 0
+
+    def test_expire_remaining_flushes_everything(self):
+        queue = RetryQueue(RetryPolicy(initial_delay_seconds=10.0))
+        for index in range(3):
+            queue.offer(self._message(), f"x{index}@t.com",
+                        _tempfail(f"x{index}@t.com"), timestamp=0.0)
+        dsns = queue.expire_remaining(timestamp=1e6)
+        assert len(dsns) == 3 and len(queue) == 0
+        assert queue.stats.gave_up == 3
