@@ -30,13 +30,27 @@ def build_parser() -> argparse.ArgumentParser:
     study = commands.add_parser("study", help="run the collection study")
     study.add_argument("--spam-scale", type=float, default=1e-4,
                        help="spam subsampling scale (default: 1e-4)")
+    study.add_argument("--scale", type=float, default=1.0, metavar="X",
+                       help="multiply the spam scale by X (paper-scale "
+                            "studies: --scale 10 = 10x the spam volume)")
     study.add_argument("--no-outage", action="store_true",
                        help="disable the two-month collection outage")
     study.add_argument("--seeds", type=_seed_list, metavar="A,B,C",
                        help="run one study per seed (comma-separated) "
                             "instead of the single --seed run")
     study.add_argument("--jobs", type=int, metavar="N",
-                       help="worker processes for the multi-seed path")
+                       help="worker processes: one study per worker on "
+                            "the multi-seed path, classify-stage workers "
+                            "on the single-seed path (the record stream "
+                            "is identical at any N)")
+    study.add_argument("--streaming", action="store_true",
+                       help="classify day-by-day inside the window loop "
+                            "instead of batching at the end (same records)")
+    study.add_argument("--bounded-memory", action="store_true",
+                       help="with --streaming: release each delivered "
+                            "message once its record is emitted and hand "
+                            "records to a digest sink (prints counts + "
+                            "multiset digest; skips the volume report)")
     study.add_argument("--report", metavar="PATH",
                        help="write a Markdown report to PATH")
     study.add_argument("--export", metavar="DIR",
@@ -142,17 +156,28 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.experiment import ExperimentConfig, StudyRunner
 
     plan = _load_fault_plan(args)
+    if args.bounded_memory and not args.streaming:
+        print("--bounded-memory requires --streaming", file=sys.stderr)
+        return 2
+    if args.bounded_memory and args.seeds:
+        print("--bounded-memory needs a single-seed run", file=sys.stderr)
+        return 2
     config = ExperimentConfig(
         seed=args.seed,
-        spam_scale=args.spam_scale,
+        spam_scale=args.spam_scale * args.scale,
         outage_spans=() if args.no_outage else ((75, 135),),
         fault_plan=plan,
+        classify_jobs=args.jobs if not args.seeds else None,
+        streaming_classify=args.streaming,
+        retain_messages=not args.bounded_memory,
     )
     if args.seeds:
         return _cmd_study_multi(args, config)
     if plan is not None:
         print(f"fault plan active (digest sha256:{plan.digest()})",
               file=sys.stderr)
+    if args.bounded_memory:
+        return _cmd_study_bounded(args, config)
     print("running the collection study...", file=sys.stderr)
     results = StudyRunner(config).run()
     smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
@@ -189,6 +214,33 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
         written = export_figure_data(results, args.export)
         print(f"exported {len(written)} files to {args.export}")
+    return 0
+
+
+def _cmd_study_bounded(args: argparse.Namespace, config) -> int:
+    """``study --streaming --bounded-memory``: records flow to a sink.
+
+    Nothing accumulates — delivered messages are released as their
+    records are emitted, and the sink keeps only counts plus an
+    order-independent multiset digest, so the run is comparable against
+    a batch run's ``record_multiset_digest`` without retaining either
+    record stream.
+    """
+    from repro.experiment import RecordDigestSink, StudyRunner
+
+    if args.report or args.export:
+        print("--report/--export need a retaining run (drop "
+              "--bounded-memory)", file=sys.stderr)
+        return 2
+    print("running the collection study (bounded memory)...",
+          file=sys.stderr)
+    sink = RecordDigestSink()
+    results = StudyRunner(config).run(record_sink=sink)
+    print(f"collected {results.delivered_count} emails over "
+          f"{results.window.effective_days} effective days")
+    print(f"records emitted:        {sink.count}")
+    print(f"true typo records:      {sink.true_typo_count}")
+    print(f"record multiset digest: {sink.digest()}")
     return 0
 
 

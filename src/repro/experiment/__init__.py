@@ -1,7 +1,14 @@
 """End-to-end study simulation: configuration, runner, and validation."""
 
+from repro.experiment.classify import (
+    ClassifyContext,
+    StreamingClassifier,
+    classify_corpus_records,
+    partition_messages_by_day,
+)
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.parallel import (
+    RecordDigestSink,
     ResilientScanResult,
     ScanCheckpoint,
     ScanShard,
@@ -13,6 +20,8 @@ from repro.experiment.parallel import (
     parallel_map,
     partition_ranks,
     pool_fallback_count,
+    record_content_digest,
+    record_multiset_digest,
     record_stream_digest,
     run_resilient_scan,
     run_scan_shard,
@@ -36,6 +45,13 @@ __all__ = [
     "ExperimentConfig",
     "StudyRunner",
     "StudyResults",
+    "ClassifyContext",
+    "StreamingClassifier",
+    "classify_corpus_records",
+    "partition_messages_by_day",
+    "RecordDigestSink",
+    "record_content_digest",
+    "record_multiset_digest",
     "SampledValidation",
     "validate_survivors_by_sampling",
     "validate_receiver_typos_at_smtp_domains",

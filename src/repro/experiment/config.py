@@ -49,9 +49,23 @@ class ExperimentConfig:
     #: deterministic chaos schedule (see :mod:`repro.faultsim`); None or
     #: an empty plan reproduces the fault-free byte stream exactly
     fault_plan: Optional[FaultPlan] = None
+    #: worker processes for the classify stage's pure per-message work
+    #: (None/1 = inline); the record stream is byte-identical at any value
+    classify_jobs: Optional[int] = None
+    #: classify day-by-day inside the window loop instead of batching the
+    #: whole corpus at the end; same record stream, different schedule
+    streaming_classify: bool = False
+    #: keep delivered messages in the collector corpus after their record
+    #: is emitted; False bounds memory at paper scale (streaming only)
+    retain_messages: bool = True
 
     def __post_init__(self) -> None:
         if self.ham_scale <= 0 or self.spam_scale <= 0:
             raise ValueError("scales must be positive")
         if self.yearly_true_typos < 0:
             raise ValueError("yearly_true_typos must be non-negative")
+        if self.classify_jobs is not None and self.classify_jobs < 1:
+            raise ValueError("classify_jobs must be >= 1")
+        if not self.retain_messages and not self.streaming_classify:
+            raise ValueError(
+                "retain_messages=False requires streaming_classify=True")

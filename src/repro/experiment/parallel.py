@@ -26,7 +26,6 @@ import json
 import os
 import pickle
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -53,6 +52,14 @@ from repro.experiment.config import ExperimentConfig
 from repro.experiment.runner import StudyResults, StudyRunner
 from repro.faultsim.plan import FaultPlan, InjectedWorkerCrash
 from repro.util.perf import PerfRegistry
+# parallel_map and the fallback counter moved to repro.util.pool (the
+# classify pipeline needs them without importing the study engine);
+# re-exported here so existing imports keep working
+from repro.util.pool import (                                    # noqa: F401
+    _note_pool_fallback,
+    parallel_map,
+    pool_fallback_count,
+)
 from repro.util.rand import derive_seed
 from repro.util.simtime import CollectionWindow
 
@@ -64,6 +71,10 @@ __all__ = [
     "parallel_map",
     "pool_fallback_count",
     "record_stream_digest",
+    "record_content_key",
+    "record_content_digest",
+    "record_multiset_digest",
+    "RecordDigestSink",
     "ScanShardTask",
     "ScanShard",
     "run_scan_shard",
@@ -156,58 +167,6 @@ def derive_child_seeds(base_seed: int, count: int,
         raise ValueError("count must be non-negative")
     return [derive_seed(base_seed, f"{name}-{index}")
             for index in range(count)]
-
-
-#: process-wide count of pool-to-serial fallbacks (see parallel_map);
-#: read through :func:`pool_fallback_count`
-_pool_fallbacks = 0
-
-
-def pool_fallback_count() -> int:
-    """How many times parallel_map has degraded to serial this process."""
-    return _pool_fallbacks
-
-
-def _note_pool_fallback(error: BaseException,
-                        perf: Optional[PerfRegistry]) -> None:
-    """Make a pool-to-serial degradation visible instead of silent."""
-    global _pool_fallbacks
-    _pool_fallbacks += 1
-    if perf is not None:
-        perf.count("parallel.pool_fallback")
-    warnings.warn(
-        f"process pool unavailable ({type(error).__name__}: {error}); "
-        "falling back to serial execution",
-        RuntimeWarning, stacklevel=3)
-
-
-def parallel_map(fn: Callable[[T], R], items: Iterable[T],
-                 jobs: Optional[int] = None,
-                 perf: Optional[PerfRegistry] = None) -> List[R]:
-    """Order-preserving map over worker processes, serial when ``jobs<=1``.
-
-    Falls back to the serial path when the pool cannot be used at all
-    (unpicklable work or a sandbox without worker processes); exceptions
-    raised by ``fn`` itself propagate unchanged in both modes.  The
-    fallback is *loud*: it emits a :class:`RuntimeWarning`, bumps the
-    process-wide :func:`pool_fallback_count`, and — when a ``perf``
-    registry is passed — the ``parallel.pool_fallback`` counter, so pool
-    breakage shows up in perf snapshots rather than masquerading as a
-    slow parallel run.
-    """
-    work = list(items)
-    if jobs is None or jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            return list(pool.map(fn, work))
-    except (pickle.PicklingError, AttributeError, BrokenProcessPool,
-            OSError) as error:
-        # AttributeError is how lambdas/closures fail to pickle; a real
-        # AttributeError from ``fn`` re-raises identically on the serial
-        # retry, so nothing is masked.
-        _note_pool_fallback(error, perf)
-        return [fn(item) for item in work]
 
 
 def run_study_samples(configs: Sequence[ExperimentConfig],
@@ -646,3 +605,83 @@ def record_stream_digest(records: Iterable[CollectedRecord]) -> str:
         digest.update(repr(record).encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
+
+
+def record_content_key(record: CollectedRecord) -> bytes:
+    """Canonical content projection of one record, minus the raw message.
+
+    The bounded-memory streaming mode releases each delivered message
+    once its record is emitted (``tokenized.original=None``), so
+    :func:`record_stream_digest` — which hashes the full repr, original
+    included — cannot compare it against a retaining run.  This key
+    covers every analysis-visible field *except* the back-reference, and
+    is identical whether or not the original was retained.
+    """
+    tok = record.tokenized
+    parts = (
+        repr(tok.metadata),
+        tok.body,
+        repr(tok.attachments),
+        repr(record.result),
+        repr(record.study_domain),
+        repr(record.timestamp),
+        repr(record.true_kind),
+        repr(record.processed),
+    )
+    return "\x1f".join(parts).encode("utf-8")
+
+
+def record_content_digest(records: Iterable[CollectedRecord]) -> str:
+    """Ordered SHA-256 over :func:`record_content_key`, in stream order.
+
+    Comparable between retaining and bounded runs of the same driver
+    (both emit records in arrival order).
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record_content_key(record))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+_MULTISET_MODULUS = 1 << 256
+
+
+def record_multiset_digest(records: Iterable[CollectedRecord]) -> str:
+    """Order-independent digest: sum of per-record key hashes mod 2^256.
+
+    The sink-mode streaming classifier emits terminal records in
+    decision order and provisional ones at finalize, so its stream is a
+    *permutation* of the batch stream; summing the per-record hashes
+    makes equality checkable without buffering either side.
+    """
+    total = 0
+    for record in records:
+        key_hash = hashlib.sha256(record_content_key(record)).digest()
+        total = (total + int.from_bytes(key_hash, "big")) % _MULTISET_MODULUS
+    return f"{total:064x}"
+
+
+class RecordDigestSink:
+    """A ``record_sink`` that keeps counts and a multiset digest only.
+
+    The memory-model endpoint: a paper-scale streaming run can verify
+    its record stream against a batch run's
+    :func:`record_multiset_digest` while retaining O(1) state.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.true_typo_count = 0
+        self._total = 0
+
+    def __call__(self, record: CollectedRecord) -> None:
+        self.count += 1
+        if record.is_true_typo:
+            self.true_typo_count += 1
+        key_hash = hashlib.sha256(record_content_key(record)).digest()
+        self._total = ((self._total + int.from_bytes(key_hash, "big"))
+                       % _MULTISET_MODULUS)
+
+    def digest(self) -> str:
+        return f"{self._total:064x}"

@@ -20,17 +20,22 @@ from repro.analysis.records import CollectedRecord
 from repro.core.targets import StudyCorpus, build_study_corpus
 from repro.core.taxonomy import TypoEmailKind
 from repro.dnssim import DomainRegistry, Resolver
+from repro.experiment.classify import (
+    ClassifyContext,
+    RecordSink,
+    StreamingClassifier,
+    classify_corpus_records,
+)
 from repro.experiment.config import ExperimentConfig
 from repro.faultsim.inject import FaultyResolver, StudyFaultInjector
 from repro.infra import CollectionInfrastructure, provision_study
-from repro.pipeline.processor import EmailProcessor
-from repro.pipeline.tokenizer import tokenize
 from repro.smtpsim import Network, SmtpClient
 from repro.smtpsim.retryqueue import RetryQueue
-from repro.spamfilter.funnel import FilterFunnel, Verdict
+from repro.spamfilter.funnel import Verdict
 from repro.util.perf import PerfRegistry, throughput
 from repro.util.rand import SeededRng
 from repro.util.simtime import SECONDS_PER_DAY, CollectionWindow, paper_window
+from repro.util.textcache import memo_totals
 from repro.workloads.events import SendRequest
 from repro.workloads.hamgen import ReceiverTypoGenerator
 from repro.workloads.reflection import ReflectionTypoGenerator
@@ -119,10 +124,19 @@ class StudyRunner:
         self.config = config or ExperimentConfig()
         self._rng = SeededRng(self.config.seed, name="study")
 
-    def run(self) -> StudyResults:
-        """Provision the world, simulate the window, classify everything."""
+    def run(self, record_sink: Optional[RecordSink] = None) -> StudyResults:
+        """Provision the world, simulate the window, classify everything.
+
+        ``record_sink`` (streaming mode only) receives each
+        :class:`CollectedRecord` as its verdict becomes final instead of
+        accumulating them; the returned results then carry an empty
+        record list.
+        """
         config = self.config
+        if record_sink is not None and not config.streaming_classify:
+            raise ValueError("record_sink requires streaming_classify=True")
         perf = PerfRegistry()
+        cache_hits0, cache_misses0 = memo_totals()
         with perf.timer("run"):
             with perf.timer("provision"):
                 corpus = build_study_corpus()
@@ -148,6 +162,22 @@ class StudyRunner:
                 for server in infra.servers.values():
                     server.fault_gate = injector.make_gate(server.hostname)
 
+            # classification pipeline shared by batch and streaming modes
+            classify_context = ClassifyContext(
+                our_domains=tuple(corpus.domain_names()),
+                ip_to_domain=ClassifyContext.ip_map(infra),
+                process_non_spam=config.process_non_spam,
+                retain_original=config.retain_messages,
+            )
+            true_kind_by_seq: Dict[int, TypoEmailKind] = {}
+            classifier: Optional[StreamingClassifier] = None
+            if config.streaming_classify:
+                collector.enable_streaming(
+                    retain_corpus=config.retain_messages)
+                classifier = StreamingClassifier(
+                    classify_context, true_kind_by_seq, perf,
+                    record_sink=record_sink)
+
             with perf.timer("build_generators"):
                 generators = self._build_generators(corpus)
             resolver = Resolver(registry)
@@ -160,7 +190,6 @@ class StudyRunner:
             our_suffixes = tuple("." + d for d in our_domains)
 
             sent = 0
-            origin_by_id: Dict[int, SendRequest] = {}
             for day in range(window.total_days):
                 if injector is not None:
                     injector.begin_day(day)
@@ -178,7 +207,12 @@ class StudyRunner:
                 with perf.timer("deliver"):
                     for request in requests:
                         sent += 1
-                        origin_by_id[id(request.message)] = request
+                        # monotone send sequence: the attribution key
+                        # (object ids are reused once streaming mode
+                        # releases delivered messages)
+                        request.sequence = sent
+                        request.message.sequence = sent
+                        true_kind_by_seq[sent] = request.true_kind
                         perf.count("deliver.body_bytes",
                                    len(request.message.body))
                         attempt = self._deliver(client, infra, our_domains,
@@ -190,6 +224,9 @@ class StudyRunner:
                                 request.timestamp, mode=mode,
                                 port=request.smtp_port, ip=ip,
                                 context=request)
+                if classifier is not None:
+                    with perf.timer("classify"):
+                        classifier.feed(collector.drain_pending())
             collector.set_outage(False)
             if retry_queue is not None:
                 # the queue survives the window's last day: one final
@@ -200,11 +237,23 @@ class StudyRunner:
                     retry_queue.expire_remaining(end_of_window)
 
             with perf.timer("classify"):
-                records = self._classify(corpus, infra, collector.corpus,
-                                         origin_by_id)
+                if classifier is not None:
+                    classifier.feed(collector.drain_pending())
+                    records = classifier.finalize()
+                else:
+                    records = classify_corpus_records(
+                        collector.corpus, classify_context,
+                        true_kind_by_seq, perf,
+                        jobs=config.classify_jobs)
+        delivered = collector.stats.ingested
+        cache_hits, cache_misses = memo_totals()
         perf.count("emails.sent", sent)
-        perf.count("emails.delivered", len(collector.corpus))
-        perf.count("records", len(records))
+        perf.count("emails.delivered", delivered)
+        perf.count("records", classifier.emitted_count
+                   if classifier is not None else len(records))
+        perf.count("classify.text_cache_hits", cache_hits - cache_hits0)
+        perf.count("classify.text_cache_misses",
+                   cache_misses - cache_misses0)
         robustness: Optional[Dict] = None
         if injector is not None:
             perf.count("faults.injected", injector.stats.total_injected)
@@ -220,7 +269,7 @@ class StudyRunner:
             "throughput": {
                 "emails_sent_per_sec": throughput(sent, perf.seconds("run")),
                 "emails_delivered_per_sec": throughput(
-                    len(collector.corpus), perf.seconds("run")),
+                    delivered, perf.seconds("run")),
             },
         })
         spam_generator = generators[-1]
@@ -232,7 +281,7 @@ class StudyRunner:
             records=records,
             malicious_hashes=set(spam_generator.malicious_hashes),
             sent_count=sent,
-            delivered_count=len(collector.corpus),
+            delivered_count=delivered,
             perf=snapshot,
             robustness=robustness,
         )
@@ -309,62 +358,3 @@ class StudyRunner:
                                      timestamp=job.next_attempt)
             retry_queue.settle(job, result, job.next_attempt)
 
-    def _classify(self, corpus: StudyCorpus, infra: CollectionInfrastructure,
-                  messages, origin_by_id) -> List[CollectedRecord]:
-        config = self.config
-        our_domains = corpus.domain_names()
-        funnel = FilterFunnel(our_domains)
-        tokenized = [tokenize(message) for message in messages]
-        results = funnel.classify_corpus(tokenized)
-
-        processor = EmailProcessor() if config.process_non_spam else None
-        # attribution index, hoisted once per run instead of rebuilt per
-        # recipient: exact matches hit the frozenset, subdomain matches the
-        # suffix tuple (str.endswith scans it in C)
-        domain_set = frozenset(our_domains)
-        suffix_of = {"." + d: d for d in our_domains}
-        suffixes = tuple(suffix_of)
-        records: List[CollectedRecord] = []
-        for message, tok, result in zip(messages, tokenized, results):
-            origin = origin_by_id.get(id(message))
-            study_domain = self._attribute(domain_set, suffixes, suffix_of,
-                                           infra, tok, result)
-            processed = None
-            if processor is not None and result.verdict is not Verdict.SPAM:
-                processed = processor.process(message, tokenized=tok)
-            records.append(CollectedRecord(
-                tokenized=tok,
-                result=result,
-                study_domain=study_domain,
-                timestamp=message.received_at,
-                true_kind=origin.true_kind if origin else None,
-                processed=processed,
-            ))
-        return records
-
-    def _attribute(self, domain_set: frozenset,
-                   suffixes: Tuple[str, ...], suffix_of: Dict[str, str],
-                   infra: CollectionInfrastructure, tok,
-                   result) -> Optional[str]:
-        """The researchers' domain attribution (no ground truth).
-
-        Receiver candidates attribute by recipient domain; SMTP
-        candidates only by the VPS IP the mail arrived on — the paper's
-        one-to-one IP mapping exists for exactly this.
-        """
-        if result.kind == "receiver":
-            for recipient in tok.metadata.envelope_to:
-                domain = recipient.rpartition("@")[2].lower()
-                if domain in domain_set:
-                    return domain
-                if domain.endswith(suffixes):
-                    # rare path: recover *which* suffix matched, in the
-                    # corpus order the serial implementation used
-                    for suffix in suffixes:
-                        if domain.endswith(suffix):
-                            return suffix_of[suffix]
-            return None
-        ip = tok.metadata.received_by_ip
-        if ip is None:
-            return None
-        return infra.domain_for_ip(ip)

@@ -60,6 +60,10 @@ class MainCollectionServer:
         # gap/coverage accounting (day index -> count)
         self._outage_days_seen: Set[int] = set()
         self._dropped_by_day: Dict[int, int] = {}
+        # streaming hand-off (see enable_streaming)
+        self._streaming = False
+        self._retain_corpus = True
+        self._pending: List[EmailMessage] = []
 
     # -- outage control (driven by the experiment runner) --------------------
 
@@ -108,7 +112,31 @@ class MainCollectionServer:
         self.stats.ingested += 1
         if self.process_hook is not None:
             self.process_hook(message)
-        self.corpus.append(message)
+        if self._retain_corpus:
+            self.corpus.append(message)
+        if self._streaming:
+            self._pending.append(message)
+
+    # -- streaming hand-off ---------------------------------------------------
+
+    def enable_streaming(self, retain_corpus: bool = True) -> None:
+        """Queue accepted mail for in-window draining (streaming classify).
+
+        With ``retain_corpus=False`` the collector stops growing
+        :attr:`corpus` — ingested messages live only in the pending queue
+        until :meth:`drain_pending` hands them to the classifier, which
+        is what bounds a paper-scale run's memory.  Acceptance
+        accounting (``stats.ingested``, outage/overload drops, coverage)
+        is identical in every mode.
+        """
+        self._streaming = True
+        self._retain_corpus = retain_corpus
+
+    def drain_pending(self) -> List[EmailMessage]:
+        """All mail accepted since the last drain, in ingest order."""
+        pending = self._pending
+        self._pending = []
+        return pending
 
     # -- gap/coverage accounting ---------------------------------------------
 

@@ -76,14 +76,18 @@ class EmailProcessor:
         self.scrubber = scrubber or SensitiveScrubber()
         self.store = store
 
-    def process(self, message: EmailMessage,
+    def process(self, message: Optional[EmailMessage],
                 tokenized: Optional[TokenizedEmail] = None) -> ProcessedEmail:
         """Run the full Fig. 2 pipeline over one received message.
 
         ``tokenized`` lets callers that already tokenized the message (the
-        study runner does, for the funnel) skip the repeat parse.
+        study runner does, for the funnel) skip the repeat parse — with it,
+        ``message`` may be None, which is how the bounded-memory streaming
+        classifier processes mail whose raw original it already released.
         """
         if tokenized is None:
+            if message is None:
+                raise ValueError("process() needs a message or a tokenized")
             tokenized = tokenize(message)
         body_result = self.scrubber.scrub(tokenized.body)
 

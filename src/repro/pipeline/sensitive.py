@@ -21,6 +21,8 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Pattern, Sequence, Tuple
 
+from repro.util.textcache import BoundedMemo
+
 __all__ = [
     "SensitiveKind",
     "SensitiveMatch",
@@ -126,6 +128,9 @@ class ScrubResult:
 
 # --- detector implementation ------------------------------------------------
 
+#: corpus-wide scrub cache, keyed by (salt, text); see SensitiveScrubber.scrub
+_SCRUB_MEMO = BoundedMemo("sensitive.scrub")
+
 _HAS_DIGIT_RE = re.compile(r"\d")
 _CARD_RE = re.compile(r"(?<![\d-])(?:\d[ -]?){12,18}\d(?![\d-])")
 _SSN_RE = re.compile(r"\b\d{3}-\d{2}-\d{4}\b")
@@ -213,7 +218,23 @@ class SensitiveScrubber:
     # -- scrubbing -------------------------------------------------------------
 
     def scrub(self, text: str) -> ScrubResult:
-        """Replace identifiers with sentinel tokens, then zero all digits."""
+        """Replace identifiers with sentinel tokens, then zero all digits.
+
+        Pure per ``(salt, text)`` and :class:`ScrubResult` is frozen, so
+        results are shared through a corpus-wide memo — spam campaigns
+        reuse bodies heavily, and scrubbing is the pipeline's single most
+        expensive per-message step.
+        """
+        key = (self._salt, text)
+        result = _SCRUB_MEMO.table.get(key)
+        if result is not None:
+            _SCRUB_MEMO.hits += 1
+            return result
+        result = self._scrub_uncached(text)
+        _SCRUB_MEMO.put(key, result)
+        return result
+
+    def _scrub_uncached(self, text: str) -> ScrubResult:
         matches = self.find(text)
         if not matches:
             if _HAS_DIGIT_RE.search(text) is None:

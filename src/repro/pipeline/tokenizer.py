@@ -56,25 +56,57 @@ class TokenizedEmail:
         return [a.extension for a in self.attachments]
 
 
-def tokenize(message: EmailMessage) -> TokenizedEmail:
-    """Tokenise one received message."""
-    metadata = HeaderMetadata(
-        from_field=message.get_header("From"),
-        to_field=message.get_header("To"),
-        subject=message.subject,
-        reply_to=message.get_header("Reply-To"),
-        return_path=message.get_header("Return-Path"),
-        sender_field=message.get_header("Sender"),
-        list_unsubscribe=message.get_header("List-Unsubscribe"),
-        received_chain=tuple(message.get_all_headers("Received")),
-        envelope_from=message.envelope_from,
-        envelope_to=tuple(message.envelope_to),
-        received_by_ip=message.received_by_ip,
-        received_at=message.received_at,
-    )
-    return TokenizedEmail(
-        metadata=metadata,
-        body=message.body,
-        attachments=list(message.attachments),
-        original=message,
-    )
+#: headers whose *first* value the metadata keeps
+_FIRST_VALUE_HEADERS = frozenset({
+    "from", "to", "subject", "reply-to", "return-path",
+    "sender", "list-unsubscribe",
+})
+
+
+def tokenize(message: EmailMessage,
+             retain_original: bool = True) -> TokenizedEmail:
+    """Tokenise one received message.
+
+    One pass over the header list collects every field the metadata
+    needs (the accessor-per-field version rescanned the list eight
+    times).  ``retain_original=False`` drops the back-reference to the
+    raw message so the bounded-memory streaming classifier can release
+    it once the summary is taken.
+    """
+    first: Dict[str, str] = {}
+    received = []
+    keep_first = first.setdefault
+    wanted = _FIRST_VALUE_HEADERS
+    for key, value in message.headers:
+        lowered = key.lower()
+        if lowered == "received":
+            received.append(value)
+        elif lowered in wanted:
+            keep_first(lowered, value)
+    get = first.get
+    # the frozen dataclass __init__ pays one object.__setattr__ per field;
+    # on the classify hot path that is measurable, so fill __dict__ directly
+    # (repr/eq/hash behaviour is unchanged — only construction is bypassed)
+    metadata = HeaderMetadata.__new__(HeaderMetadata)
+    metadata.__dict__.update({
+        "from_field": get("from"),
+        "to_field": get("to"),
+        "subject": get("subject") or "",
+        "reply_to": get("reply-to"),
+        "return_path": get("return-path"),
+        "sender_field": get("sender"),
+        "list_unsubscribe": get("list-unsubscribe"),
+        "received_chain": tuple(received),
+        "envelope_from": message.envelope_from,
+        "envelope_to": tuple(message.envelope_to),
+        "received_by_ip": message.received_by_ip,
+        "received_at": message.received_at,
+    })
+    tok = TokenizedEmail.__new__(TokenizedEmail)
+    tok.__dict__ = {
+        "metadata": metadata,
+        "body": message.body,
+        "attachments": list(message.attachments),
+        "original": message if retain_original else None,
+    }
+    return tok

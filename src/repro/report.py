@@ -167,6 +167,34 @@ def render_study_report(results: StudyResults) -> str:
                  f"{coverage.get('dropped_outage', 0)} messages lost to "
                  f"outage, {coverage.get('dropped_overload', 0)} to overload")
         push("")
+
+    perf = results.perf
+    if perf:
+        timers = perf.get("timers", {})
+        counters = perf.get("counters", {})
+        classify_seconds = timers.get("classify", {}).get("seconds", 0.0)
+        if classify_seconds > 0:
+            push("## Classification pipeline")
+            push("")
+            rate = results.delivered_count / classify_seconds
+            push(f"* classify phase: {classify_seconds:.2f}s over "
+                 f"{results.delivered_count} delivered emails "
+                 f"({rate:,.0f} emails/s)")
+            sub_phases = [("classify.tokenize", "tokenize"),
+                          ("classify.score", "layer scoring"),
+                          ("classify.fold", "stateful fold"),
+                          ("classify.process", "speculative scrub"),
+                          ("classify.emit", "record emit")]
+            parts = [f"{label} {timers[name]['seconds']:.2f}s"
+                     for name, label in sub_phases if name in timers]
+            if parts:
+                push(f"* sub-phases: {', '.join(parts)}")
+            hits = counters.get("classify.text_cache_hits", 0)
+            misses = counters.get("classify.text_cache_misses", 0)
+            if hits or misses:
+                push(f"* text caches: {hits:,} hits / {misses:,} misses "
+                     f"({hits / max(1, hits + misses):.0%} hit rate)")
+            push("")
     return "\n".join(lines)
 
 

@@ -114,6 +114,12 @@ class EmailMessage:
     received_by_ip: Optional[str] = None
     #: simulation timestamp (seconds since collection epoch)
     received_at: float = 0.0
+    #: monotone per-run send sequence stamped by the experiment runner;
+    #: the attribution key that replaced ``id(message)`` (object ids are
+    #: reused after GC, so they silently mis-attribute once the streaming
+    #: classifier releases delivered messages).  Excluded from repr/eq so
+    #: stamped and unstamped messages compare and digest identically.
+    sequence: Optional[int] = field(default=None, repr=False, compare=False)
 
     # -- header helpers ----------------------------------------------------
 

@@ -21,6 +21,24 @@ database that strengthens Layer 3 for subsequent mail:
    the ambiguous band the paper reports as 415–5,970 emails/year: one
    misconfigured client legitimately sends many emails, so some of the
    filtered mail may be real.
+
+The funnel is factored into two stages so a paper-scale corpus can be
+classified in parallel and in bounded memory:
+
+* **Stage A** (:meth:`FilterFunnel.summarize`) is a pure function of one
+  tokenised email: it evaluates Layers 1, 2 and 4 and extracts every
+  stateful-layer input (sender, bag-of-words, content hash, lowered
+  frequency keys) into a compact slotted :class:`MessageSummary`.  It
+  touches no funnel state, so summaries can be computed out of order, on
+  worker processes, or day-by-day as mail arrives.
+* **Stage B** (:class:`SummaryFold`) is the cheap serial fold that
+  consumes summaries in arrival order: the collaborative database
+  (Layer 3, including its retroactive pass) and corpus-wide frequency
+  thresholds (Layer 5) live here and only here.
+
+:meth:`classify` and :meth:`classify_corpus` are thin compositions of
+the two stages and produce byte-identical results to the historical
+single-stage implementations.
 """
 
 from __future__ import annotations
@@ -28,11 +46,21 @@ from __future__ import annotations
 import enum
 import hashlib
 import re
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.pipeline.tokenizer import TokenizedEmail
 from repro.spamfilter.spamassassin import SpamAssassinScorer
+from repro.util.textcache import BoundedMemo
 
 __all__ = [
     "Verdict",
@@ -40,6 +68,8 @@ __all__ = [
     "FunnelConfig",
     "FilterFunnel",
     "CollaborativeDatabase",
+    "MessageSummary",
+    "SummaryFold",
 ]
 
 
@@ -83,11 +113,61 @@ class FunnelConfig:
     spamassassin_threshold: float = 5.0
 
 
-# bounded memo tables keyed by body text, shared process-wide (both are
-# pure functions of the body, so staleness is impossible)
-_BODY_CACHE_MAX = 1 << 15
-_WORDS_CACHE: Dict[str, FrozenSet[str]] = {}
-_CONTENT_HASH_CACHE: Dict[str, str] = {}
+# bounded memo tables keyed by message text, shared process-wide (every
+# cached value is a pure function of its key, so staleness is impossible;
+# campaign spam repeats bodies verbatim, so these mostly hit)
+_WORDS_MEMO = BoundedMemo("funnel.bag_of_words")
+_CONTENT_HASH_MEMO = BoundedMemo("funnel.content_hash")
+_SENDER_MEMO = BoundedMemo("funnel.sender_address")
+_REFLECTION_BODY_MEMO = BoundedMemo("funnel.reflection_body")
+_RELAY_HOSTS_MEMO = BoundedMemo("funnel.relay_hosts")
+
+
+class MessageSummary:
+    """Stage A's compact projection of one tokenised email.
+
+    Holds the Layer-1/2/4 decisions (pure per-message work) plus every
+    input the stateful fold needs — nothing else, so the bounded-memory
+    streaming mode can release the raw message and keep only this.  The
+    class is slotted and contains only strings/tuples/frozensets, so it
+    pickles cheaply across the parallel stage-A workers.
+
+    ``layer2``/``layer4`` (and the frequency keys) are ``None`` when an
+    earlier layer already claimed the email — stage A short-circuits in
+    the same order the serial funnel does, so the two paths do the same
+    work per message.
+    """
+
+    __slots__ = ("sequence", "kind", "layer1", "layer2", "layer4",
+                 "sender", "sender_lower", "recipients", "recipients_lower",
+                 "content_hash", "bag")
+
+    def __init__(self, sequence: Optional[int], kind: str,
+                 layer1: Optional[str], layer2: Optional[str],
+                 layer4: Optional[str], sender: Optional[str],
+                 sender_lower: Optional[str],
+                 recipients: Tuple[str, ...],
+                 recipients_lower: Tuple[str, ...],
+                 content_hash: Optional[str],
+                 bag: Optional[FrozenSet[str]]) -> None:
+        self.sequence = sequence
+        self.kind = kind
+        self.layer1 = layer1
+        self.layer2 = layer2
+        self.layer4 = layer4
+        self.sender = sender
+        self.sender_lower = sender_lower
+        self.recipients = recipients
+        self.recipients_lower = recipients_lower
+        self.content_hash = content_hash
+        self.bag = bag
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
 
 
 class CollaborativeDatabase:
@@ -100,17 +180,28 @@ class CollaborativeDatabase:
 
     def record_spam(self, sender: Optional[str], body: str) -> None:
         """Learn from one spam decision: blacklist sender, remember body."""
-        if sender:
-            self.spam_senders.add(sender.lower())
-        bag = self._bag(body)
-        if bag is not None:
-            self.spam_bags.add(bag)
+        self.record_summary(sender.lower() if sender else None,
+                            self._bag(body))
 
     def matches(self, sender: Optional[str], body: str) -> Optional[str]:
         """A human-readable reason when the email matches known spam."""
-        if sender and sender.lower() in self.spam_senders:
+        return self.matches_summary(sender, sender.lower() if sender else None,
+                                    self._bag(body))
+
+    def record_summary(self, sender_lower: Optional[str],
+                       bag: Optional[FrozenSet[str]]) -> None:
+        """:meth:`record_spam` with the keys already extracted (stage B)."""
+        if sender_lower:
+            self.spam_senders.add(sender_lower)
+        if bag is not None:
+            self.spam_bags.add(bag)
+
+    def matches_summary(self, sender: Optional[str],
+                        sender_lower: Optional[str],
+                        bag: Optional[FrozenSet[str]]) -> Optional[str]:
+        """:meth:`matches` with the keys already extracted (stage B)."""
+        if sender and sender_lower in self.spam_senders:
             return f"sender {sender} previously sent spam"
-        bag = self._bag(body)
         if bag is not None and bag in self.spam_bags:
             return "body bag-of-words matches known spam"
         return None
@@ -119,12 +210,12 @@ class CollaborativeDatabase:
         # the word set is a pure function of the body; campaign spam repeats
         # bodies verbatim and every survivor is bagged twice (pass 1 +
         # retroactive pass 2).  The threshold stays per-instance.
-        words = _WORDS_CACHE.get(body)
+        words = _WORDS_MEMO.table.get(body)
         if words is None:
             words = frozenset(re.findall(r"[a-z0-9']+", body.lower()))
-            if len(_WORDS_CACHE) >= _BODY_CACHE_MAX:
-                _WORDS_CACHE.clear()
-            _WORDS_CACHE[body] = words
+            _WORDS_MEMO.put(body, words)
+        else:
+            _WORDS_MEMO.hits += 1
         if len(words) > self._bow_minimum:
             return words
         return None
@@ -144,6 +235,26 @@ _REFLECTION_BODY_PHRASES = (
 )
 
 
+def _reflection_body_reason(body: str) -> Optional[str]:
+    """First matching reflection phrase reason, memoised per unique body.
+
+    The empty string stands in for "no phrase matched" so the memo table
+    never stores ``None`` (a miss and a negative result must differ).
+    """
+    reason = _REFLECTION_BODY_MEMO.table.get(body)
+    if reason is None:
+        lowered = body.lower()
+        reason = ""
+        for phrase in _REFLECTION_BODY_PHRASES:
+            if phrase in lowered:
+                reason = f"body contains {phrase!r}"
+                break
+        _REFLECTION_BODY_MEMO.put(body, reason)
+    else:
+        _REFLECTION_BODY_MEMO.hits += 1
+    return reason or None
+
+
 class FilterFunnel:
     """Classify a stream (or corpus) of tokenised study emails.
 
@@ -152,7 +263,8 @@ class FilterFunnel:
     (:meth:`classify`) applies frequency thresholds against counts seen so
     far; batch use (:meth:`classify_corpus`) does the paper's two-pass
     analysis, where frequencies are computed over the whole corpus before
-    any Layer-5 decision.
+    any Layer-5 decision.  Both are compositions of the pure
+    :meth:`summarize` stage and the stateful :class:`SummaryFold` stage.
     """
 
     def __init__(self, our_domains: Iterable[str],
@@ -203,8 +315,7 @@ class FilterFunnel:
     def _layer1_header_sanity(self, email: TokenizedEmail,
                               kind: str) -> Optional[str]:
         relay_hosts = _relay_chain_hosts(email)
-        if relay_hosts and not any(h in self.our_domains
-                                   for h in relay_hosts):
+        if relay_hosts and relay_hosts.isdisjoint(self.our_domains):
             return ("relaying server "
                     f"{'/'.join(sorted(relay_hosts))} is not one of our "
                     "domains")
@@ -227,9 +338,6 @@ class FilterFunnel:
             return f"SpamAssassin score {score.total:.1f} >= {score.threshold}"
         return None
 
-    def _layer3_collaborative(self, email: TokenizedEmail) -> Optional[str]:
-        return self.collaborative.matches(_sender_address(email), email.body)
-
     def _layer4_reflection(self, email: TokenizedEmail) -> Optional[str]:
         metadata = email.metadata
         if metadata.list_unsubscribe:
@@ -249,51 +357,92 @@ class FilterFunnel:
             local = sender.split("@", 1)[0].lower()
             if local in _SYSTEM_USERS:
                 return f"system sender {local}"
-        body = email.body.lower()
-        for phrase in _REFLECTION_BODY_PHRASES:
-            if phrase in body:
-                return f"body contains {phrase!r}"
-        return None
+        return _reflection_body_reason(email.body)
+
+    # -- stage A: the pure per-message summary -------------------------------
+
+    def summarize(self, email: TokenizedEmail,
+                  sequence: Optional[int] = None) -> MessageSummary:
+        """Evaluate the pure layers and extract the fold's inputs.
+
+        Reads funnel *configuration* (domains, thresholds, enabled
+        layers) but never funnel *state*, so it can run on any process in
+        any order.  Short-circuits exactly like the serial funnel: a
+        Layer-1 claim skips the Layer-2 scorer, and a Layer-1/2/4 claim
+        skips the frequency-key extraction that only Layer 5 needs.
+        """
+        kind = self.candidate_kind(email)
+        layers = self.enabled_layers
+        sender = _sender_address(email)
+        sender_lower = sender.lower() if sender else None
+        bag = self.collaborative._bag(email.body)
+
+        if 1 in layers:
+            layer1 = self._layer1_header_sanity(email, kind)
+            if layer1 is not None:
+                return MessageSummary(sequence, kind, layer1, None, None,
+                                      sender, sender_lower, (), (), None, bag)
+        if 2 in layers:
+            layer2 = self._layer2_spamassassin(email)
+            if layer2 is not None:
+                return MessageSummary(sequence, kind, None, layer2, None,
+                                      sender, sender_lower, (), (), None, bag)
+        layer4 = self._layer4_reflection(email) if 4 in layers else None
+        if layer4 is not None:
+            return MessageSummary(sequence, kind, None, None, layer4,
+                                  sender, sender_lower, (), (), None, bag)
+        recipients = email.metadata.envelope_to
+        return MessageSummary(
+            sequence, kind, None, None, None, sender, sender_lower,
+            recipients, tuple(r.lower() for r in recipients),
+            _content_hash(email.body), bag)
 
     # -- classification ----------------------------------------------------------
+
+    def _terminal_result(self, summary: MessageSummary
+                         ) -> Optional[FilterResult]:
+        """The Layers-1..4 decision for one summary, or None (survivor).
+
+        This is the only stage-B code that runs per message: Layer-3
+        lookups against the collaborative database, and recording every
+        spam decision into it.
+        """
+        if summary.layer1 is not None:
+            self.collaborative.record_summary(summary.sender_lower,
+                                              summary.bag)
+            return FilterResult(Verdict.SPAM, summary.kind, 1, summary.layer1)
+        if summary.layer2 is not None:
+            self.collaborative.record_summary(summary.sender_lower,
+                                              summary.bag)
+            return FilterResult(Verdict.SPAM, summary.kind, 2, summary.layer2)
+        if 3 in self.enabled_layers:
+            reason = self.collaborative.matches_summary(
+                summary.sender, summary.sender_lower, summary.bag)
+            if reason is not None:
+                self.collaborative.record_summary(summary.sender_lower,
+                                                  summary.bag)
+                return FilterResult(Verdict.SPAM, summary.kind, 3, reason)
+        if summary.layer4 is not None:
+            return FilterResult(Verdict.REFLECTION, summary.kind, 4,
+                                summary.layer4)
+        return None
 
     def classify(self, email: TokenizedEmail,
                  update_frequencies: bool = True) -> FilterResult:
         """Streaming classification of one email."""
-        kind = self.candidate_kind(email)
-        layers = self.enabled_layers
-
-        if 1 in layers:
-            reason = self._layer1_header_sanity(email, kind)
-            if reason is not None:
-                self._record_spam(email)
-                return FilterResult(Verdict.SPAM, kind, 1, reason)
-
-        if 2 in layers:
-            reason = self._layer2_spamassassin(email)
-            if reason is not None:
-                self._record_spam(email)
-                return FilterResult(Verdict.SPAM, kind, 2, reason)
-
-        if 3 in layers:
-            reason = self._layer3_collaborative(email)
-            if reason is not None:
-                self._record_spam(email)
-                return FilterResult(Verdict.SPAM, kind, 3, reason)
-
-        if 4 in layers:
-            reason = self._layer4_reflection(email)
-            if reason is not None:
-                return FilterResult(Verdict.REFLECTION, kind, 4, reason)
-
+        summary = self.summarize(email)
+        result = self._terminal_result(summary)
+        if result is not None:
+            return result
         if update_frequencies:
-            self._bump_frequencies(email)
-        if 5 in layers:
-            reason = self._frequency_reason(email)
+            self._bump_summary(summary)
+        if 5 in self.enabled_layers:
+            reason = self._frequency_reason_summary(summary)
             if reason is not None:
-                return FilterResult(Verdict.FREQUENCY_FILTERED, kind, 5,
-                                    reason)
-        return FilterResult(Verdict.TRUE_TYPO, kind, None, "passed all layers")
+                return FilterResult(Verdict.FREQUENCY_FILTERED, summary.kind,
+                                    5, reason)
+        return FilterResult(Verdict.TRUE_TYPO, summary.kind, None,
+                            "passed all layers")
 
     def classify_corpus(self,
                         emails: Sequence[TokenizedEmail]) -> List[FilterResult]:
@@ -306,66 +455,115 @@ class FilterFunnel:
         spam"), so a campaign caught late still condemns its early mail —
         and then applies Layer 5 against the complete frequency counts.
         """
-        provisional: List[Tuple[int, TokenizedEmail, FilterResult]] = []
-        results: List[Optional[FilterResult]] = [None] * len(emails)
+        fold = SummaryFold(self)
+        for email in emails:
+            fold.feed(self.summarize(email))
+        return fold.finalize()
 
-        for index, email in enumerate(emails):
-            result = self.classify(email, update_frequencies=False)
-            if result.verdict in (Verdict.SPAM, Verdict.REFLECTION):
-                results[index] = result
-            else:
-                self._bump_frequencies(email)
-                provisional.append((index, email, result))
+    # -- stage B internals ----------------------------------------------------
 
-        for index, email, result in provisional:
-            if 3 in self.enabled_layers:
-                retro = self._layer3_collaborative(email)
-                if retro is not None:
-                    results[index] = FilterResult(
-                        Verdict.SPAM, result.kind, 3,
-                        f"(retroactive) {retro}")
-                    continue
-            if 5 in self.enabled_layers:
-                reason = self._frequency_reason(email)
-                if reason is not None:
-                    results[index] = FilterResult(
-                        Verdict.FREQUENCY_FILTERED, result.kind, 5, reason)
-                    continue
-            results[index] = FilterResult(Verdict.TRUE_TYPO, result.kind,
-                                          None, "passed all layers")
-        return [r for r in results if r is not None]
-
-    # -- internals -----------------------------------------------------------------
-
-    def _record_spam(self, email: TokenizedEmail) -> None:
-        self.collaborative.record_spam(_sender_address(email), email.body)
-
-    def _bump_frequencies(self, email: TokenizedEmail) -> None:
-        for recipient in email.metadata.envelope_to:
-            key = recipient.lower()
-            self._recipient_counts[key] = self._recipient_counts.get(key, 0) + 1
-        sender = _sender_address(email)
-        if sender:
-            key = sender.lower()
-            self._sender_counts[key] = self._sender_counts.get(key, 0) + 1
-        digest = _content_hash(email.body)
+    def _bump_summary(self, summary: MessageSummary) -> None:
+        counts = self._recipient_counts
+        for key in summary.recipients_lower:
+            counts[key] = counts.get(key, 0) + 1
+        sender_lower = summary.sender_lower
+        if sender_lower:
+            self._sender_counts[sender_lower] = \
+                self._sender_counts.get(sender_lower, 0) + 1
+        digest = summary.content_hash
         self._content_counts[digest] = self._content_counts.get(digest, 0) + 1
 
-    def _frequency_reason(self, email: TokenizedEmail) -> Optional[str]:
+    def _frequency_reason_summary(self,
+                                  summary: MessageSummary) -> Optional[str]:
         config = self.config
-        for recipient in email.metadata.envelope_to:
-            count = self._recipient_counts.get(recipient.lower(), 0)
+        for recipient, key in zip(summary.recipients,
+                                  summary.recipients_lower):
+            count = self._recipient_counts.get(key, 0)
             if count >= config.recipient_frequency_threshold:
                 return f"recipient {recipient} seen {count} times"
-        sender = _sender_address(email)
+        sender = summary.sender
         if sender:
-            count = self._sender_counts.get(sender.lower(), 0)
+            count = self._sender_counts.get(summary.sender_lower, 0)
             if count >= config.sender_frequency_threshold:
                 return f"sender {sender} seen {count} times"
-        count = self._content_counts.get(_content_hash(email.body), 0)
+        count = self._content_counts.get(summary.content_hash, 0)
         if count >= config.content_frequency_threshold:
             return f"identical body seen {count} times"
         return None
+
+
+class SummaryFold:
+    """Stage B: the serial stateful fold over stage-A summaries.
+
+    Feed summaries in arrival order; each :meth:`feed` returns the
+    email's *terminal* result (Layers 1–4) or ``None`` when the verdict
+    is provisional until the corpus-wide pass.  :meth:`finalize` then
+    runs the retroactive Layer-3 pass and Layer 5 against the complete
+    frequency counts and returns the full result list in feed order —
+    byte-identical to :meth:`FilterFunnel.classify_corpus` on the same
+    email stream, however the summaries were produced (serially, per-day,
+    or on worker processes).
+
+    Only provisional summaries are retained; terminal ones are released
+    as soon as their result is returned, which is what bounds the
+    streaming mode's memory (spam dominates a typosquatting corpus).
+    """
+
+    def __init__(self, funnel: FilterFunnel) -> None:
+        self.funnel = funnel
+        self.results: List[Optional[FilterResult]] = []
+        self._provisional: List[Tuple[int, MessageSummary]] = []
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def pending_count(self) -> int:
+        """Summaries awaiting the corpus-wide pass (memory high-water)."""
+        return len(self._provisional)
+
+    def feed(self, summary: MessageSummary) -> Optional[FilterResult]:
+        """Fold in one summary; return its terminal result or None."""
+        if self._finalized:
+            raise RuntimeError("SummaryFold already finalized")
+        funnel = self.funnel
+        result = funnel._terminal_result(summary)
+        if result is not None:
+            self.results.append(result)
+            return result
+        funnel._bump_summary(summary)
+        self._provisional.append((len(self.results), summary))
+        self.results.append(None)
+        return None
+
+    def finalize(self) -> List[FilterResult]:
+        """Run the retroactive and frequency passes; return all results."""
+        if self._finalized:
+            raise RuntimeError("SummaryFold already finalized")
+        self._finalized = True
+        funnel = self.funnel
+        layers = funnel.enabled_layers
+        results = self.results
+        for index, summary in self._provisional:
+            if 3 in layers:
+                retro = funnel.collaborative.matches_summary(
+                    summary.sender, summary.sender_lower, summary.bag)
+                if retro is not None:
+                    results[index] = FilterResult(
+                        Verdict.SPAM, summary.kind, 3,
+                        f"(retroactive) {retro}")
+                    continue
+            if 5 in layers:
+                reason = funnel._frequency_reason_summary(summary)
+                if reason is not None:
+                    results[index] = FilterResult(
+                        Verdict.FREQUENCY_FILTERED, summary.kind, 5, reason)
+                    continue
+            results[index] = FilterResult(Verdict.TRUE_TYPO, summary.kind,
+                                          None, "passed all layers")
+        self._provisional.clear()
+        return results
 
 
 # -- header helpers -----------------------------------------------------------
@@ -387,20 +585,41 @@ def _relay_chain_hosts(email: TokenizedEmail) -> Set[str]:
     chain = email.metadata.received_chain
     if not chain:
         return set()
-    hosts: Set[str] = set()
-    for pattern in (_RELAY_BY_RE, _RELAY_FROM_RE):
-        match = pattern.search(chain[0])
-        if match:
-            hosts.add(match.group(1).lower())
+    # the collector stamps ``from X by Y (ip); t=<timestamp>`` — only the
+    # timestamp tail varies between messages, and neither marker can occur
+    # inside it, so host extraction memoises on the prefix before ';'
+    prefix = chain[0].partition(";")[0]
+    hosts = _RELAY_HOSTS_MEMO.table.get(prefix)
+    if hosts is None:
+        hosts = set()
+        for pattern in (_RELAY_BY_RE, _RELAY_FROM_RE):
+            match = pattern.search(prefix)
+            if match:
+                hosts.add(match.group(1).lower())
+        hosts = frozenset(hosts)
+        _RELAY_HOSTS_MEMO.put(prefix, hosts)
+    else:
+        _RELAY_HOSTS_MEMO.hits += 1
     return hosts
+
+
+_SENDER_ADDRESS_RE = re.compile(r"[\w.+-]+@[\w.-]+")
 
 
 def _sender_address(email: TokenizedEmail) -> Optional[str]:
     raw = email.metadata.envelope_from or email.metadata.from_field
     if not raw:
         return None
-    match = re.search(r"[\w.+-]+@[\w.-]+", raw)
-    return match.group(0) if match else None
+    # memoised per unique raw header value; the empty string stands in
+    # for "no address found" so the table never stores None
+    sender = _SENDER_MEMO.table.get(raw)
+    if sender is None:
+        match = _SENDER_ADDRESS_RE.search(raw)
+        sender = match.group(0) if match else ""
+        _SENDER_MEMO.put(raw, sender)
+    else:
+        _SENDER_MEMO.hits += 1
+    return sender or None
 
 
 def _sender_domain(email: TokenizedEmail) -> Optional[str]:
@@ -419,12 +638,11 @@ def _header_to_domain(email: TokenizedEmail) -> Optional[str]:
 
 
 def _content_hash(body: str) -> str:
-    cached = _CONTENT_HASH_CACHE.get(body)
-    if cached is not None:
-        return cached
-    normalised = re.sub(r"\s+", " ", body.strip().lower())
-    digest = hashlib.sha1(normalised.encode("utf-8")).hexdigest()
-    if len(_CONTENT_HASH_CACHE) >= _BODY_CACHE_MAX:
-        _CONTENT_HASH_CACHE.clear()
-    _CONTENT_HASH_CACHE[body] = digest
+    digest = _CONTENT_HASH_MEMO.table.get(body)
+    if digest is None:
+        normalised = re.sub(r"\s+", " ", body.strip().lower())
+        digest = hashlib.sha1(normalised.encode("utf-8")).hexdigest()
+        _CONTENT_HASH_MEMO.put(body, digest)
+    else:
+        _CONTENT_HASH_MEMO.hits += 1
     return digest

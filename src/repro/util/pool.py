@@ -1,0 +1,86 @@
+"""Process-pool fan-out primitives shared by the experiment drivers.
+
+Historically this lived in :mod:`repro.experiment.parallel`, but that
+module imports the study runner (it projects live results into picklable
+samples), so anything the runner itself wants to fan out — the two-stage
+classify pipeline — would create an import cycle.  The pool machinery is
+runner-agnostic, so it lives here; ``experiment.parallel`` re-exports it
+under the old names.
+
+The key behaviours, unchanged from their previous home:
+
+* serial when ``jobs`` is ``None``/``<=1`` (or there is nothing to fan
+  out), with outputs identical to the pooled path;
+* *loud* degradation when the pool itself is unusable (unpicklable work,
+  sandboxed interpreter without worker processes): a RuntimeWarning, a
+  bump of the process-wide :func:`pool_fallback_count`, and — when a
+  perf registry is passed — the ``parallel.pool_fallback`` counter;
+* exceptions raised by the mapped function propagate unchanged in both
+  modes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.util.perf import PerfRegistry
+
+__all__ = ["parallel_map", "pool_fallback_count"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: process-wide count of pool-to-serial fallbacks (see parallel_map);
+#: read through :func:`pool_fallback_count`
+_pool_fallbacks = 0
+
+
+def pool_fallback_count() -> int:
+    """How many times parallel_map has degraded to serial this process."""
+    return _pool_fallbacks
+
+
+def _note_pool_fallback(error: BaseException,
+                        perf: Optional[PerfRegistry]) -> None:
+    """Make a pool-to-serial degradation visible instead of silent."""
+    global _pool_fallbacks
+    _pool_fallbacks += 1
+    if perf is not None:
+        perf.count("parallel.pool_fallback")
+    warnings.warn(
+        f"process pool unavailable ({type(error).__name__}: {error}); "
+        "falling back to serial execution",
+        RuntimeWarning, stacklevel=3)
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 jobs: Optional[int] = None,
+                 perf: Optional[PerfRegistry] = None) -> List[R]:
+    """Order-preserving map over worker processes, serial when ``jobs<=1``.
+
+    Falls back to the serial path when the pool cannot be used at all
+    (unpicklable work or a sandbox without worker processes); exceptions
+    raised by ``fn`` itself propagate unchanged in both modes.  The
+    fallback is *loud*: it emits a :class:`RuntimeWarning`, bumps the
+    process-wide :func:`pool_fallback_count`, and — when a ``perf``
+    registry is passed — the ``parallel.pool_fallback`` counter, so pool
+    breakage shows up in perf snapshots rather than masquerading as a
+    slow parallel run.
+    """
+    work = list(items)
+    if jobs is None or jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except (pickle.PicklingError, AttributeError, BrokenProcessPool,
+            OSError) as error:
+        # AttributeError is how lambdas/closures fail to pickle; a real
+        # AttributeError from ``fn`` re-raises identically on the serial
+        # retry, so nothing is masked.
+        _note_pool_fallback(error, perf)
+        return [fn(item) for item in work]

@@ -27,6 +27,10 @@ class SendRequest:
     true_kind: TypoEmailKind
     study_domain: Optional[str]   # which study domain should attract it
     smtp_port: int = 25
+    #: monotone per-run send sequence, stamped by the experiment runner
+    #: at dispatch (mirrored onto ``message.sequence``); ground-truth
+    #: attribution joins on this instead of object identity
+    sequence: Optional[int] = None
 
     @property
     def day(self) -> int:

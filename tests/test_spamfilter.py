@@ -69,6 +69,34 @@ class TestSpamAssassinScorer:
         score = SpamAssassinScorer().score(email)
         assert "PHISH_PHRASE" in score.fired_rules
 
+    @pytest.mark.perfsmoke
+    def test_two_scorers_interleaving_stay_independent(self):
+        # regression: the last-email memo used to be module-level, so two
+        # scorers alternating over the same emails could serve each other
+        # stale results; the memo is per-instance now
+        strict = SpamAssassinScorer(threshold=1.0)
+        default = SpamAssassinScorer()
+        spam, ham = _spam_email(), _email()
+        for _ in range(3):
+            for email in (spam, ham):
+                a = strict.score(email)
+                b = default.score(email)
+                assert a.total == b.total
+                assert a.fired_rules == b.fired_rules
+                assert a.threshold == 1.0
+                assert b.threshold == 5.0
+        assert strict.is_spam(_email(body="free shipping, click here"))
+        assert not default.is_spam(_email(body="free shipping, click here"))
+
+    def test_memo_invalidated_when_threshold_changes(self):
+        scorer = SpamAssassinScorer()
+        email = _spam_email()
+        first = scorer.score(email)
+        scorer.threshold = first.total + 1
+        second = scorer.score(email)
+        assert second.threshold == first.total + 1
+        assert not second.is_spam
+
 
 class TestFunnelLayer1:
     def _funnel(self):
