@@ -8,6 +8,11 @@ Commands mirror the paper's experiments:
 * ``project``  — the regression projection (§6)
 * ``typos``    — enumerate DL-1 typo candidates of a domain, with features
 * ``check``    — the §8 defense: is this address a likely typo?
+* ``doctor``   — validate on-disk artifacts (checkpoints, plans, baselines)
+
+Failures surface through the :mod:`repro.util.errors` taxonomy: exit 2
+for bad input files, exit 3 for corrupt/mismatched checkpoints, exit 4
+for degraded runs — one-line messages, never tracebacks.
 """
 
 from __future__ import annotations
@@ -62,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject the built-in demo fault plan "
                             "(outages, DNS SERVFAIL spells, SMTP tempfail "
                             "+ greylisting), seeded from --seed")
+    study.add_argument("--checkpoint", metavar="PATH",
+                       help="persist full study state to PATH at day "
+                            "boundaries; if PATH exists the run resumes "
+                            "from it (kill-safe: the resumed record "
+                            "stream is byte-identical)")
+    study.add_argument("--resume", metavar="PATH",
+                       help="like --checkpoint but PATH must already "
+                            "hold a valid checkpoint (exit 3 otherwise)")
+    study.add_argument("--checkpoint-interval", type=int, default=1,
+                       metavar="DAYS",
+                       help="write the checkpoint every DAYS simulated "
+                            "days (default: 1)")
 
     scan = commands.add_parser("scan", help="scan the wild ecosystem")
     scan.add_argument("--targets", type=int, default=40,
@@ -98,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="typo-check an address/domain")
     check.add_argument("value", help="email address or bare domain")
 
+    doctor = commands.add_parser(
+        "doctor", help="validate on-disk artifacts (checkpoints, fault "
+                       "plans, perf baselines)")
+    doctor.add_argument("paths", nargs="+", metavar="FILE",
+                        help="artifact files to examine")
+
     sweep = commands.add_parser(
         "sweep", help="multi-seed robustness sweep over headline numbers")
     sweep.add_argument("--seeds", type=int, nargs="+",
@@ -110,13 +133,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_fault_plan(args: argparse.Namespace):
-    """Resolve --fault-plan/--chaos into an Optional[FaultPlan]."""
+    """Resolve --fault-plan/--chaos into an Optional[FaultPlan].
+
+    A missing, unparseable, or invalid plan file is a
+    :class:`~repro.util.errors.PlanFileError` (exit 2, one-line
+    message) — never a traceback.
+    """
     from pathlib import Path
 
     from repro.faultsim import FaultPlan
+    from repro.util.errors import PlanFileError
 
     if getattr(args, "fault_plan", None):
-        return FaultPlan.from_json(Path(args.fault_plan).read_text())
+        path = Path(args.fault_plan)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise PlanFileError(
+                f"cannot read fault plan {path}: {error}") from error
+        try:
+            return FaultPlan.from_json(text)
+        except (ValueError, TypeError, KeyError) as error:
+            raise PlanFileError(
+                f"invalid fault plan {path}: {error}") from error
     if getattr(args, "chaos", False):
         return FaultPlan.chaos_demo(args.seed)
     return None
@@ -135,6 +174,8 @@ def _seed_list(text: str) -> List[int]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.util.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handler = {
         "study": _cmd_study,
@@ -144,8 +185,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "typos": _cmd_typos,
         "check": _cmd_check,
         "sweep": _cmd_sweep,
+        "doctor": _cmd_doctor,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as error:
+        # the taxonomy's contract: one line on stderr, a meaningful
+        # exit code, no traceback; anything else still fails loud
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
+    except Exception as error:  # noqa: BLE001 — only the crash marker
+        from repro.faultsim.plan import InjectedStudyCrash
+
+        if isinstance(error, InjectedStudyCrash):
+            # the faultsim's simulated kill: the checkpoint was forced
+            # out before the raise, so the operator's next move is clear
+            print(f"error: {error}; re-run with --resume to continue",
+                  file=sys.stderr)
+            return 1
+        raise
 
 
 # -- commands -----------------------------------------------------------------
@@ -161,6 +219,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
         return 2
     if args.bounded_memory and args.seeds:
         print("--bounded-memory needs a single-seed run", file=sys.stderr)
+        return 2
+    checkpoint_path = args.resume or args.checkpoint
+    if checkpoint_path and args.seeds:
+        print("--checkpoint/--resume need a single-seed run",
+              file=sys.stderr)
         return 2
     config = ExperimentConfig(
         seed=args.seed,
@@ -179,7 +242,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if args.bounded_memory:
         return _cmd_study_bounded(args, config)
     print("running the collection study...", file=sys.stderr)
-    results = StudyRunner(config).run()
+    results = StudyRunner(config).run(
+        checkpoint_path=checkpoint_path,
+        resume=bool(args.resume),
+        checkpoint_interval=args.checkpoint_interval)
     smtp_domains = [d.domain for d in results.corpus.by_purpose("smtp")]
     report = descaled_volume_report(results.records, results.window,
                                     config.ham_scale, config.spam_scale,
@@ -194,13 +260,21 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(f"yearly SMTP-typo band:        {low:,.0f} - {high:,.0f}")
     robustness = results.robustness
     if robustness is not None:
-        faults = sum(robustness.get("faults", {}).values())
-        retry = robustness.get("retry", {})
-        coverage = robustness.get("collector", {})
-        print(f"faults injected: {faults}; retry queue recovered "
-              f"{retry.get('recovered', 0)}/{retry.get('enqueued', 0)} "
-              f"(gave up {retry.get('gave_up', 0)}); collector down "
-              f"{len(coverage.get('gap_days', []))} days")
+        if "faults" in robustness:
+            faults = sum(robustness.get("faults", {}).values())
+            retry = robustness.get("retry", {})
+            coverage = robustness.get("collector", {})
+            print(f"faults injected: {faults}; retry queue recovered "
+                  f"{retry.get('recovered', 0)}/{retry.get('enqueued', 0)} "
+                  f"(gave up {retry.get('gave_up', 0)}); collector down "
+                  f"{len(coverage.get('gap_days', []))} days")
+        durability = robustness.get("durability")
+        if durability is not None:
+            resumed = durability.get("resumed_from_day")
+            print(f"durable run: {durability.get('checkpoints_written')} "
+                  f"checkpoints written"
+                  + (f", resumed from day {resumed}"
+                     if resumed is not None else ""))
 
     if args.report:
         from pathlib import Path
@@ -235,7 +309,11 @@ def _cmd_study_bounded(args: argparse.Namespace, config) -> int:
     print("running the collection study (bounded memory)...",
           file=sys.stderr)
     sink = RecordDigestSink()
-    results = StudyRunner(config).run(record_sink=sink)
+    results = StudyRunner(config).run(
+        record_sink=sink,
+        checkpoint_path=args.resume or args.checkpoint,
+        resume=bool(args.resume),
+        checkpoint_interval=args.checkpoint_interval)
     print(f"collected {results.delivered_count} emails over "
           f"{results.window.effective_days} effective days")
     print(f"records emitted:        {sink.count}")
@@ -317,6 +395,7 @@ def _cmd_scan_streaming(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args)
     print(f"streaming scan of ranks 1..{args.ranks} "
           f"({jobs} job{'s' if jobs != 1 else ''})...", file=sys.stderr)
+    result = None
     if plan is not None or args.checkpoint:
         result = run_resilient_scan(args.seed, args.ranks, jobs=args.jobs,
                                     fault_plan=plan,
@@ -337,6 +416,15 @@ def _cmd_scan_streaming(args: argparse.Namespace) -> int:
         for host, count in aggregates.mx_domain_counts.most_common(8):
             print(f"  {host:25s} {count:8d}  {100.0 * count / mx_total:5.1f}%")
     print(f"aggregate digest: sha256:{aggregates.digest()}")
+    if result is not None and result.degraded:
+        from repro.util.errors import DegradedRunError
+
+        ranges = ", ".join(f"[{start},{stop})" for start, stop
+                           in result.unscanned_ranges)
+        raise DegradedRunError(
+            f"scan completed DEGRADED: rank ranges {ranges} were never "
+            f"scanned (shards exhausted their retries); the aggregates "
+            f"above are partial")
     return 0
 
 
@@ -431,6 +519,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
           f"(confidence {suggestion.confidence:.0%})")
     print(f"  {suggestion.render()}")
     return 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """``repro doctor FILE...``: validate artifacts, worst finding wins."""
+    from repro.doctor import diagnose_paths, exit_code_for
+
+    diagnoses = diagnose_paths(args.paths)
+    for diagnosis in diagnoses:
+        print(diagnosis.summary_line())
+        for problem in diagnosis.problems[1:]:
+            print(f"       - {problem}")
+    bad = [d for d in diagnoses if not d.ok]
+    if bad:
+        print(f"{len(bad)} of {len(diagnoses)} artifacts failed "
+              f"validation", file=sys.stderr)
+    return exit_code_for(diagnoses)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

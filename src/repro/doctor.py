@@ -1,0 +1,254 @@
+"""Artifact integrity doctor: validate on-disk run artifacts.
+
+A long campaign leaves a trail of durable files — study checkpoints,
+scan checkpoints, the performance baseline, fault-plan schedules — and
+each of them can rot: torn writes from a crash mid-save, manual edits,
+copies from a different run.  ``repro doctor`` examines each file,
+detects what kind of artifact it is, and validates it against its own
+schema and self-check digest, reporting problems through the
+:mod:`repro.util.errors` taxonomy instead of raw tracebacks.
+
+The validators are the *same* code paths the runtime uses to load each
+artifact (:class:`~repro.experiment.checkpoint.StudyCheckpoint`,
+:class:`~repro.experiment.parallel.ScanCheckpoint`,
+:class:`~repro.faultsim.plan.FaultPlan`), so a file the doctor passes is
+a file the engine will accept — there is no second, drifting schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.util.errors import (
+    EXIT_BAD_INPUT,
+    EXIT_CORRUPT_CHECKPOINT,
+    CheckpointError,
+    ReproError,
+)
+
+__all__ = ["Diagnosis", "diagnose_file", "diagnose_paths", "exit_code_for"]
+
+#: artifact kinds :func:`diagnose_file` can identify
+KIND_STUDY_CHECKPOINT = "study-checkpoint"
+KIND_SCAN_CHECKPOINT = "scan-checkpoint"
+KIND_FAULT_PLAN = "fault-plan"
+KIND_PERF_BASELINE = "perf-baseline"
+KIND_UNKNOWN = "unknown"
+
+
+@dataclass
+class Diagnosis:
+    """One examined file: what it is and whether it is healthy."""
+
+    path: Path
+    kind: str
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+    #: small artifact facts worth showing (day counts, digests, shards…)
+    details: Dict[str, object] = field(default_factory=dict)
+    #: the taxonomy exit code this failure maps to (0 when healthy)
+    exit_code: int = 0
+
+    def summary_line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        extra = ""
+        if self.ok and self.details:
+            extra = " (" + ", ".join(f"{key}={value}" for key, value
+                                     in sorted(self.details.items())) + ")"
+        elif self.problems:
+            extra = f": {self.problems[0]}"
+        return f"{status:4s} {self.kind:17s} {self.path}{extra}"
+
+
+def diagnose_file(path: Union[str, Path]) -> Diagnosis:
+    """Identify and validate one artifact file."""
+    path = Path(path)
+    if not path.exists():
+        return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
+                         problems=["file does not exist"],
+                         exit_code=EXIT_BAD_INPUT)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        # can't even parse it, so kind detection falls back to the
+        # filename; a torn study/scan checkpoint should still exit 3
+        kind, code = _kind_from_name(path)
+        return Diagnosis(path=path, kind=kind, ok=False,
+                         problems=[f"not valid JSON ({error}); the file "
+                                   f"is torn or truncated"],
+                         exit_code=code)
+    if not isinstance(data, dict):
+        return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
+                         problems=["JSON root is not an object"],
+                         exit_code=EXIT_BAD_INPUT)
+    kind = _detect_kind(data)
+    validator = {
+        KIND_STUDY_CHECKPOINT: _check_study_checkpoint,
+        KIND_SCAN_CHECKPOINT: _check_scan_checkpoint,
+        KIND_FAULT_PLAN: _check_fault_plan,
+        KIND_PERF_BASELINE: _check_perf_baseline,
+    }.get(kind)
+    if validator is None:
+        return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
+                         problems=["not a recognized repro artifact "
+                                   "(study/scan checkpoint, fault plan, "
+                                   "or perf baseline)"],
+                         exit_code=EXIT_BAD_INPUT)
+    return validator(path, data)
+
+
+def diagnose_paths(paths) -> List[Diagnosis]:
+    return [diagnose_file(path) for path in paths]
+
+
+def exit_code_for(diagnoses: List[Diagnosis]) -> int:
+    """The doctor's process exit code: the worst finding wins.
+
+    Corrupt checkpoints (3) outrank bad input files (2) outrank healthy
+    (0) — a supervisor script keying on the exit code learns the most
+    severe category it must deal with.
+    """
+    codes = [d.exit_code for d in diagnoses if not d.ok]
+    if not codes:
+        return 0
+    if EXIT_CORRUPT_CHECKPOINT in codes:
+        return EXIT_CORRUPT_CHECKPOINT
+    return max(codes)
+
+
+# -- kind detection -----------------------------------------------------------
+
+
+def _detect_kind(data: Dict) -> str:
+    from repro.experiment.checkpoint import STUDY_CHECKPOINT_FORMAT
+
+    if data.get("format") == STUDY_CHECKPOINT_FORMAT:
+        return KIND_STUDY_CHECKPOINT
+    if {"seed", "max_rank", "shards"} <= set(data):
+        return KIND_SCAN_CHECKPOINT
+    if "baseline" in data and isinstance(data["baseline"], dict):
+        return KIND_PERF_BASELINE
+    plan_keys = {"collector_outages", "dns_spells", "smtp_spells",
+                 "shard_crashes", "study_crashes", "retry"}
+    if "seed" in data and plan_keys & set(data):
+        return KIND_FAULT_PLAN
+    return KIND_UNKNOWN
+
+
+def _kind_from_name(path: Path) -> tuple:
+    """Best-effort kind (and exit code) for an unparseable file."""
+    name = path.name.lower()
+    if "plan" in name:
+        return KIND_FAULT_PLAN, EXIT_BAD_INPUT
+    if "ckpt" in name or "checkpoint" in name:
+        # can't tell study from scan without content; either way the
+        # remedy (and exit code) is the same
+        return KIND_STUDY_CHECKPOINT, EXIT_CORRUPT_CHECKPOINT
+    return KIND_UNKNOWN, EXIT_BAD_INPUT
+
+
+# -- per-kind validators ------------------------------------------------------
+
+
+def _check_study_checkpoint(path: Path, data: Dict) -> Diagnosis:
+    from repro.experiment.checkpoint import StudyCheckpoint
+
+    try:
+        payload = StudyCheckpoint(path).load()
+    except ReproError as error:
+        return Diagnosis(path=path, kind=KIND_STUDY_CHECKPOINT, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    details = {
+        "next_day": payload["next_day"],
+        "mode": payload["state"].get("mode"),
+        "sent": payload["state"].get("sent"),
+        "digest": str(payload["payload_sha256"])[:12],
+    }
+    return Diagnosis(path=path, kind=KIND_STUDY_CHECKPOINT, ok=True,
+                     details=details)
+
+
+def _check_scan_checkpoint(path: Path, data: Dict) -> Diagnosis:
+    from repro.experiment.parallel import ScanCheckpoint
+
+    try:
+        # loading through the engine's own class revalidates every
+        # shard payload; seed/max_rank come from the file itself, so
+        # only structural corruption can fail here
+        checkpoint = ScanCheckpoint(path, seed=data["seed"],
+                                    max_rank=data["max_rank"])
+    except CheckpointError as error:
+        return Diagnosis(path=path, kind=KIND_SCAN_CHECKPOINT, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    bad_keys = [key for key in data["shards"]
+                if not _valid_shard_key(key, data["max_rank"])]
+    if bad_keys:
+        return Diagnosis(
+            path=path, kind=KIND_SCAN_CHECKPOINT, ok=False,
+            problems=[f"shard keys outside ranks 1..{data['max_rank']}: "
+                      f"{', '.join(sorted(bad_keys)[:3])}"],
+            exit_code=EXIT_CORRUPT_CHECKPOINT)
+    details = {
+        "seed": data["seed"],
+        "max_rank": data["max_rank"],
+        "shards_done": checkpoint.completed_count,
+    }
+    return Diagnosis(path=path, kind=KIND_SCAN_CHECKPOINT, ok=True,
+                     details=details)
+
+
+def _valid_shard_key(key: str, max_rank: int) -> bool:
+    start_text, sep, stop_text = key.partition("-")
+    if not sep:
+        return False
+    try:
+        start, stop = int(start_text), int(stop_text)
+    except ValueError:
+        return False
+    return 1 <= start < stop <= max_rank + 1
+
+
+def _check_fault_plan(path: Path, data: Dict) -> Diagnosis:
+    from repro.faultsim.plan import FaultPlan
+
+    try:
+        plan = FaultPlan.from_dict(data)
+    except (ValueError, TypeError, KeyError) as error:
+        return Diagnosis(path=path, kind=KIND_FAULT_PLAN, ok=False,
+                         problems=[f"invalid fault plan: {error}"],
+                         exit_code=EXIT_BAD_INPUT)
+    details = {
+        "digest": plan.digest()[:12],
+        "empty": plan.is_empty,
+    }
+    return Diagnosis(path=path, kind=KIND_FAULT_PLAN, ok=True,
+                     details=details)
+
+
+def _check_perf_baseline(path: Path, data: Dict) -> Diagnosis:
+    problems: List[str] = []
+    baseline = data["baseline"]
+    study = baseline.get("study")
+    if not isinstance(study, dict):
+        problems.append("baseline.study section missing")
+    else:
+        for key in ("wall_seconds", "emails_sent", "records"):
+            value = study.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"baseline.study.{key} missing or negative")
+    for section in ("scan", "streaming_scan"):
+        block = baseline.get(section)
+        if block is not None and not isinstance(block, dict):
+            problems.append(f"baseline.{section} is not an object")
+    if problems:
+        return Diagnosis(path=path, kind=KIND_PERF_BASELINE, ok=False,
+                         problems=problems, exit_code=EXIT_BAD_INPUT)
+    details = {"sections": len([k for k in baseline
+                                if isinstance(baseline[k], dict)])}
+    return Diagnosis(path=path, kind=KIND_PERF_BASELINE, ok=True,
+                     details=details)

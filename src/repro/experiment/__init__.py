@@ -29,7 +29,17 @@ from repro.experiment.parallel import (
     run_study_sample,
     run_study_samples,
 )
-from repro.experiment.runner import StudyResults, StudyRunner
+from repro.experiment.checkpoint import (
+    STUDY_CHECKPOINT_FORMAT,
+    StudyCheckpoint,
+    config_identity,
+)
+from repro.experiment.runner import (
+    DurableStudyOutcome,
+    StudyResults,
+    StudyRunner,
+    run_durable_study,
+)
 from repro.experiment.sweep import (
     HeadlineDistribution,
     SweepSummary,
@@ -75,4 +85,9 @@ __all__ = [
     "ResilientScanResult",
     "ScanCheckpoint",
     "run_resilient_scan",
+    "STUDY_CHECKPOINT_FORMAT",
+    "StudyCheckpoint",
+    "config_identity",
+    "DurableStudyOutcome",
+    "run_durable_study",
 ]

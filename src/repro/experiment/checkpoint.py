@@ -1,0 +1,193 @@
+"""Crash-safe, day-granular checkpointing for the study engine.
+
+The paper's collection ran for seven months on infrastructure that *did*
+die mid-window; a reproduction at that scale needs the same property the
+original pipeline had — kill it on any day, restart it, and lose nothing.
+:class:`StudyCheckpoint` persists the full simulation state at a day
+boundary as one canonical-JSON file:
+
+* **atomic**: written to a temp file, fsync'd, then ``os.replace``d, so a
+  crash mid-write leaves the previous checkpoint intact, never a torn one;
+* **self-verifying**: the payload carries a SHA-256 digest of its own
+  canonical encoding, so bit rot and truncation are detected on load (and
+  by the ``doctor`` CLI command) instead of surfacing as weird downstream
+  divergence;
+* **identity-checked**: the ``config`` block is the canonical identity of
+  every knob that shapes the record stream; resuming under a different
+  config is a :class:`~repro.util.errors.CheckpointMismatchError`, not a
+  silently different experiment.
+
+What goes in the ``state`` block is the runner's business (RNG stream
+positions, retry queue, collector accounting, classifier fold, … — see
+``StudyRunner._capture_state``); this module owns only the envelope:
+format versioning, digests, atomic persistence, and validation.
+
+``crash_attempts`` rides outside ``state``: it counts how many times each
+:class:`~repro.faultsim.plan.StudyCrashSpec` day has been reached *across
+process restarts*, which is what lets a ``failures=N`` spec kill the run
+exactly N times and then let the resumed run through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.util.errors import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+)
+
+__all__ = [
+    "STUDY_CHECKPOINT_FORMAT",
+    "canonical_json",
+    "payload_digest",
+    "config_identity",
+    "StudyCheckpoint",
+]
+
+#: Bump the suffix when the payload layout changes incompatibly; loaders
+#: reject other versions loudly instead of misreading them.
+STUDY_CHECKPOINT_FORMAT = "repro-study-checkpoint@1"
+
+
+def canonical_json(payload) -> str:
+    """The one JSON encoding used for digests and on-disk bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload) -> str:
+    """SHA-256 of the canonical encoding — the self-check stored on disk."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def config_identity(config) -> Dict:
+    """Canonical identity of every config knob that shapes the run.
+
+    ``classify_jobs`` is deliberately excluded: stage-A parallelism never
+    changes the record stream (the classify-pipeline tests pin that), so
+    a checkpoint written at ``--jobs 1`` is legitimately resumable at
+    ``--jobs 4`` and vice versa.  Everything else — seed, scales, window
+    outages, fault plan, memory mode — must match exactly.
+    """
+    return {
+        "seed": config.seed,
+        "ham_scale": config.ham_scale,
+        "spam_scale": config.spam_scale,
+        "outage_spans": [list(span) for span in config.outage_spans],
+        "yearly_true_typos": config.yearly_true_typos,
+        "smtp_domain_leak_rate": config.smtp_domain_leak_rate,
+        "smtp_typo_events_per_year": config.smtp_typo_events_per_year,
+        "reflection_signups_per_domain":
+            config.reflection_signups_per_domain,
+        "spam": asdict(config.spam),
+        "process_non_spam": config.process_non_spam,
+        "smtp_forwarding": config.smtp_forwarding,
+        "fault_plan": (config.fault_plan.to_dict()
+                       if config.fault_plan is not None else None),
+        "streaming_classify": config.streaming_classify,
+        "retain_messages": config.retain_messages,
+    }
+
+
+class StudyCheckpoint:
+    """One study run's durable state file (the write-ahead day snapshot).
+
+    The file is a single JSON object::
+
+        {"format": ..., "config": ..., "next_day": N,
+         "crash_attempts": {day: count}, "state": {...},
+         "payload_sha256": ...}
+
+    ``next_day`` is the first day that still needs simulating: the state
+    reflects every day strictly before it, so a resume re-enters the day
+    loop at exactly that index.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, identity: Dict, next_day: int,
+             crash_attempts: Dict[int, int], state: Dict) -> None:
+        """Atomically replace the checkpoint with a new day snapshot."""
+        payload = {
+            "format": STUDY_CHECKPOINT_FORMAT,
+            "config": identity,
+            "next_day": next_day,
+            "crash_attempts": {str(day): count for day, count
+                               in sorted(crash_attempts.items())},
+            "state": state,
+        }
+        payload["payload_sha256"] = payload_digest(payload)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        # fsync before the rename: os.replace is atomic against other
+        # writers, but without the flush a crash can still publish a
+        # torn file (the rename survives, the data blocks may not)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self, expected_identity: Optional[Dict] = None) -> Dict:
+        """Read and fully validate the checkpoint; return its payload.
+
+        Raises :class:`CheckpointCorruptError` for anything unreadable
+        (torn write, truncation, missing fields, digest mismatch) and
+        :class:`CheckpointMismatchError` when the file is a valid
+        checkpoint for a *different* run (format version or config
+        identity).
+        """
+        if not self.path.exists():
+            raise CheckpointCorruptError(
+                f"study checkpoint {self.path} does not exist")
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("checkpoint root is not an object")
+        except (ValueError, UnicodeDecodeError) as error:
+            raise CheckpointCorruptError(
+                f"study checkpoint {self.path} is unreadable ({error}); "
+                f"delete it to start fresh") from error
+        fmt = data.get("format")
+        if fmt != STUDY_CHECKPOINT_FORMAT:
+            raise CheckpointMismatchError(
+                f"{self.path} has format {fmt!r}, this build reads "
+                f"{STUDY_CHECKPOINT_FORMAT!r}")
+        stored = data.get("payload_sha256")
+        body = {key: value for key, value in data.items()
+                if key != "payload_sha256"}
+        actual = payload_digest(body)
+        if stored != actual:
+            raise CheckpointCorruptError(
+                f"study checkpoint {self.path} failed its digest check "
+                f"(stored {str(stored)[:12]}…, computed {actual[:12]}…); "
+                f"the file is corrupt — delete it to start fresh")
+        for key in ("config", "next_day", "crash_attempts", "state"):
+            if key not in data:
+                raise CheckpointCorruptError(
+                    f"study checkpoint {self.path} is missing {key!r}")
+        if (expected_identity is not None
+                and data["config"] != expected_identity):
+            raise CheckpointMismatchError(
+                f"study checkpoint {self.path} was written for a "
+                f"different configuration (seed/scales/plan/mode differ); "
+                f"refusing to resume a different experiment")
+        return data
+
+    # -- convenience views ---------------------------------------------------
+
+    @staticmethod
+    def crash_attempts_from(payload: Dict) -> Dict[int, int]:
+        """The persisted study-crash attempt counters, day-keyed."""
+        return {int(day): count for day, count
+                in payload["crash_attempts"].items()}

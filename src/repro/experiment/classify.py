@@ -438,6 +438,46 @@ class StreamingClassifier:
         else:
             self._records[index] = record
 
+    # -- durable state (the study checkpoint's classifier payload) -----------
+
+    def state_dict(self) -> Dict:
+        """Compact mid-window classifier state, JSON-ready (sink mode only).
+
+        Covers the funnel's learned state, the fold's emitted results,
+        the retained provisional stage-A items (whose ``tokenized`` has
+        already dropped the raw original in bounded-memory mode), and the
+        emitted-record count.  Retaining modes never call this — a
+        resumed run re-feeds the serialized corpus in ingest order
+        instead, which reproduces the same state for far fewer bytes.
+        """
+        if self._sink is None:
+            raise RuntimeError(
+                "classifier state capture requires a record sink; "
+                "retaining modes re-feed the corpus on resume")
+        return {
+            "funnel": self.funnel.state_dict(),
+            "fold": self.fold.state_dict(),
+            "pending": [
+                [index,
+                 {"tokenized": item.tokenized.to_canonical_dict(),
+                  "summary": item.summary.to_canonical_dict(),
+                  "study_domain": item.study_domain}]
+                for index, item in self._pending],
+            "emitted_count": self.emitted_count,
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh classifier."""
+        self.funnel.restore_state(data["funnel"])
+        self.fold.restore_state(data["fold"])
+        self._pending = [
+            (index, StageAItem(
+                TokenizedEmail.from_canonical_dict(entry["tokenized"]),
+                MessageSummary.from_canonical_dict(entry["summary"]),
+                entry["study_domain"]))
+            for index, entry in data["pending"]]
+        self.emitted_count = data["emitted_count"]
+
     def finalize(self) -> List[CollectedRecord]:
         """Retroactive + frequency passes; emit the waiting records.
 

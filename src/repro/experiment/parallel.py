@@ -60,6 +60,7 @@ from repro.util.pool import (                                    # noqa: F401
     parallel_map,
     pool_fallback_count,
 )
+from repro.util.errors import CheckpointCorruptError, CheckpointMismatchError
 from repro.util.rand import derive_seed
 from repro.util.simtime import CollectionWindow
 
@@ -409,16 +410,30 @@ class ScanCheckpoint:
     def _load(self) -> None:
         if not self.path.exists():
             return
-        data = json.loads(self.path.read_text(encoding="utf-8"))
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("checkpoint root is not an object")
+        except (ValueError, UnicodeDecodeError) as error:
+            # torn write, truncation, or plain corruption: a clear
+            # diagnosis (and exit code 3), not a bare JSONDecodeError
+            raise CheckpointCorruptError(
+                f"scan checkpoint {self.path} is unreadable "
+                f"({error}); delete it to start fresh") from error
         if data.get("seed") != self.seed or data.get("max_rank") != self.max_rank:
-            raise ValueError(
+            raise CheckpointMismatchError(
                 f"checkpoint {self.path} was written for "
                 f"seed={data.get('seed')} max_rank={data.get('max_rank')}, "
                 f"not seed={self.seed} max_rank={self.max_rank}")
-        for key, payload in data.get("shards", {}).items():
-            start_text, _, stop_text = key.partition("-")
-            self._shards[(int(start_text), int(stop_text))] = (
-                ScanAggregates.from_canonical_dict(payload))
+        try:
+            for key, payload in data.get("shards", {}).items():
+                start_text, _, stop_text = key.partition("-")
+                self._shards[(int(start_text), int(stop_text))] = (
+                    ScanAggregates.from_canonical_dict(payload))
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise CheckpointCorruptError(
+                f"scan checkpoint {self.path} has a malformed shard "
+                f"payload ({error}); delete it to start fresh") from error
 
     def get(self, start_rank: int, stop_rank: int
             ) -> Optional[ScanAggregates]:
@@ -443,7 +458,13 @@ class ScanCheckpoint:
                        in sorted(self._shards.items())},
         }
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        # fsync before the rename: os.replace is atomic against *other
+        # writers*, but without the flush a crash can still publish a
+        # torn file (the rename survives, the data blocks may not)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
 
 
@@ -685,3 +706,18 @@ class RecordDigestSink:
 
     def digest(self) -> str:
         return f"{self._total:064x}"
+
+    # -- durable state (the study checkpoint's sink payload) -----------------
+
+    def state_dict(self) -> Dict:
+        """The sink's O(1) accumulator state, JSON-ready."""
+        return {
+            "count": self.count,
+            "true_typo_count": self.true_typo_count,
+            "total": f"{self._total:064x}",
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self.count = data["count"]
+        self.true_typo_count = data["true_typo_count"]
+        self._total = int(data["total"], 16)

@@ -16,10 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from pathlib import Path
+from typing import Union
+
 from repro.analysis.records import CollectedRecord
 from repro.core.targets import StudyCorpus, build_study_corpus
 from repro.core.taxonomy import TypoEmailKind
 from repro.dnssim import DomainRegistry, Resolver
+from repro.experiment.checkpoint import StudyCheckpoint, config_identity
 from repro.experiment.classify import (
     ClassifyContext,
     RecordSink,
@@ -28,10 +32,13 @@ from repro.experiment.classify import (
 )
 from repro.experiment.config import ExperimentConfig
 from repro.faultsim.inject import FaultyResolver, StudyFaultInjector
+from repro.faultsim.plan import InjectedStudyCrash
 from repro.infra import CollectionInfrastructure, provision_study
 from repro.smtpsim import Network, SmtpClient
+from repro.smtpsim.message import EmailMessage
 from repro.smtpsim.retryqueue import RetryQueue
 from repro.spamfilter.funnel import Verdict
+from repro.util.errors import CheckpointMismatchError, ConfigError
 from repro.util.perf import PerfRegistry, throughput
 from repro.util.rand import SeededRng
 from repro.util.simtime import SECONDS_PER_DAY, CollectionWindow, paper_window
@@ -42,7 +49,8 @@ from repro.workloads.reflection import ReflectionTypoGenerator
 from repro.workloads.smtp_typo import SmtpTypoGenerator
 from repro.workloads.spamgen import SpamGenerator
 
-__all__ = ["StudyResults", "StudyRunner"]
+__all__ = ["StudyResults", "StudyRunner", "DurableStudyOutcome",
+           "run_durable_study"]
 
 
 @dataclass
@@ -124,13 +132,25 @@ class StudyRunner:
         self.config = config or ExperimentConfig()
         self._rng = SeededRng(self.config.seed, name="study")
 
-    def run(self, record_sink: Optional[RecordSink] = None) -> StudyResults:
+    def run(self, record_sink: Optional[RecordSink] = None,
+            checkpoint_path: Optional[Union[str, Path]] = None,
+            resume: bool = False,
+            checkpoint_interval: int = 1) -> StudyResults:
         """Provision the world, simulate the window, classify everything.
 
         ``record_sink`` (streaming mode only) receives each
         :class:`CollectedRecord` as its verdict becomes final instead of
         accumulating them; the returned results then carry an empty
         record list.
+
+        ``checkpoint_path`` turns on the durable engine: the full
+        simulation state is snapshotted at day boundaries (every
+        ``checkpoint_interval`` days, atomically) so a killed run can be
+        restarted with the same path and continue from the last completed
+        day — producing the byte-identical record stream an
+        uninterrupted run would have.  If the file already exists the
+        run resumes from it; ``resume=True`` additionally *requires* it
+        to exist.
         """
         config = self.config
         if record_sink is not None and not config.streaming_classify:
@@ -189,8 +209,88 @@ class StudyRunner:
             # accepts a tuple); rebuilt once per run, not per email
             our_suffixes = tuple("." + d for d in our_domains)
 
+            # -- durability: day-granular checkpoint/resume ------------------
+            mode = ("sink" if classifier is not None
+                    and record_sink is not None
+                    else "refeed" if classifier is not None else "batch")
+            checkpoint: Optional[StudyCheckpoint] = None
+            identity: Optional[Dict] = None
+            crash_attempts: Dict[int, int] = {}
+            checkpoints_written = 0
+            start_day = 0
+            resumed_from: Optional[int] = None
             sent = 0
-            for day in range(window.total_days):
+            if plan is not None and plan.study_crashes \
+                    and checkpoint_path is None:
+                raise ConfigError(
+                    "the fault plan schedules study-day crashes, which "
+                    "only make sense with a checkpoint to resume from; "
+                    "run the study with a checkpoint path")
+            if checkpoint_path is not None:
+                if (classifier is not None and record_sink is None
+                        and not config.retain_messages):
+                    raise ConfigError(
+                        "bounded-memory checkpointing without a record "
+                        "sink would lose already-classified records on "
+                        "resume; retain messages or attach a restorable "
+                        "record sink")
+                if mode == "sink" and not (
+                        callable(getattr(record_sink, "state_dict", None))
+                        and callable(getattr(record_sink,
+                                             "restore_state", None))):
+                    raise ConfigError(
+                        "checkpointing in sink mode needs a sink with "
+                        "state_dict()/restore_state() "
+                        "(e.g. RecordDigestSink)")
+                checkpoint = StudyCheckpoint(checkpoint_path)
+                identity = config_identity(config)
+                if resume or checkpoint.exists():
+                    payload = checkpoint.load(identity)
+                    state = payload["state"]
+                    if state.get("mode") != mode:
+                        raise CheckpointMismatchError(
+                            f"checkpoint {checkpoint.path} was written "
+                            f"in {state.get('mode')!r} mode but this run "
+                            f"is {mode!r} (record sink or retention "
+                            f"changed); refusing to resume")
+                    start_day = payload["next_day"]
+                    resumed_from = start_day
+                    crash_attempts = StudyCheckpoint.crash_attempts_from(
+                        payload)
+                    with perf.timer("checkpoint"):
+                        sent, retry_queue = self._restore_state(
+                            state, mode, collector, retry_queue, injector,
+                            generators, classifier, record_sink,
+                            true_kind_by_seq)
+
+            for day in range(start_day, window.total_days):
+                if checkpoint is not None:
+                    crash_spec = None
+                    if plan is not None and any(
+                            spec.day == day for spec in plan.study_crashes):
+                        attempt = crash_attempts.get(day, 0) + 1
+                        crash_attempts[day] = attempt
+                        crash_spec = plan.crash_spec_for_study_day(
+                            day, attempt)
+                    interval_due = (day > start_day and day
+                                    % max(1, checkpoint_interval) == 0)
+                    if interval_due or crash_spec is not None:
+                        # a firing crash spec always forces a save (even
+                        # off-interval): the persisted attempt counter is
+                        # what guarantees the resumed run makes progress
+                        with perf.timer("checkpoint"):
+                            checkpoint.save(
+                                identity, day, crash_attempts,
+                                self._capture_state(
+                                    mode, sent, true_kind_by_seq,
+                                    collector, retry_queue, injector,
+                                    generators, classifier, record_sink))
+                        checkpoints_written += 1
+                    if crash_spec is not None:
+                        raise InjectedStudyCrash(
+                            f"injected study crash at day {day} (attempt "
+                            f"{crash_attempts[day]} of "
+                            f"{crash_spec.failures} scheduled failures)")
                 if injector is not None:
                     injector.begin_day(day)
                 collector.begin_day(day,
@@ -218,15 +318,27 @@ class StudyRunner:
                         attempt = self._deliver(client, infra, our_domains,
                                                 our_suffixes, request)
                         if retry_queue is not None and attempt is not None:
-                            result, mode, ip = attempt
+                            result, route, ip = attempt
                             retry_queue.offer(
                                 request.message, result.recipient, result,
-                                request.timestamp, mode=mode,
+                                request.timestamp, mode=route,
                                 port=request.smtp_port, ip=ip,
                                 context=request)
                 if classifier is not None:
                     with perf.timer("classify"):
                         classifier.feed(collector.drain_pending())
+            if checkpoint is not None:
+                # terminal snapshot: next_day == total_days documents a
+                # completed window; a resume from it skips straight to
+                # the final retry drain + classification
+                with perf.timer("checkpoint"):
+                    checkpoint.save(
+                        identity, window.total_days, crash_attempts,
+                        self._capture_state(
+                            mode, sent, true_kind_by_seq, collector,
+                            retry_queue, injector, generators,
+                            classifier, record_sink))
+                checkpoints_written += 1
             collector.set_outage(False)
             if retry_queue is not None:
                 # the queue survives the window's last day: one final
@@ -265,6 +377,16 @@ class StudyRunner:
                 "retry": retry_queue.stats.as_dict(),
                 "collector": collector.coverage_report(window.total_days),
             }
+        if checkpoint is not None:
+            if robustness is None:
+                robustness = {}
+            robustness["durability"] = {
+                "checkpoint_path": str(checkpoint.path),
+                "resumed_from_day": resumed_from,
+                "checkpoints_written": checkpoints_written,
+                "crash_attempts": {str(day): count for day, count
+                                   in sorted(crash_attempts.items())},
+            }
         snapshot = perf.snapshot(extra={
             "throughput": {
                 "emails_sent_per_sec": throughput(sent, perf.seconds("run")),
@@ -285,6 +407,92 @@ class StudyRunner:
             perf=snapshot,
             robustness=robustness,
         )
+
+    # -- durable state (what the study checkpoint persists) ------------------
+
+    def _capture_state(self, mode: str, sent: int,
+                       true_kind_by_seq: Dict[int, TypoEmailKind],
+                       collector, retry_queue: Optional[RetryQueue],
+                       injector: Optional[StudyFaultInjector],
+                       generators: List,
+                       classifier: Optional[StreamingClassifier],
+                       record_sink: Optional[RecordSink]) -> Dict:
+        """The full day-boundary state block, JSON-clean.
+
+        Everything that can diverge between a resumed and an
+        uninterrupted run is here: RNG stream positions (the whole child
+        tree), the send-sequence counter and kind attribution, collector
+        accounting, the retained corpus (batch/refeed modes), pending
+        retry jobs with their backoff positions, injector greylist,
+        generator episode/campaign state, and — in sink mode — the
+        classifier fold plus the sink accumulator.  Stateless pieces
+        (resolver, SMTP client, infra wiring) are rebuilt from the
+        config on resume.
+        """
+        return {
+            "mode": mode,
+            "sent": sent,
+            "rng": self._rng.capture_state_tree(),
+            "true_kind_by_seq": {str(seq): kind.value for seq, kind
+                                 in true_kind_by_seq.items()},
+            "collector": collector.state_dict(),
+            "corpus": ([message.to_canonical_dict()
+                        for message in collector.corpus]
+                       if self.config.retain_messages else None),
+            "retry_queue": (retry_queue.to_canonical_dict()
+                            if retry_queue is not None else None),
+            "injector": (injector.state_dict()
+                         if injector is not None else None),
+            "smtp_typo_generator": generators[2].state_dict(),
+            "spam_generator": generators[3].state_dict(),
+            "classifier": (classifier.state_dict()
+                           if mode == "sink" else None),
+            "sink": (record_sink.state_dict()
+                     if mode == "sink" else None),
+        }
+
+    def _restore_state(self, state: Dict, mode: str, collector,
+                       retry_queue: Optional[RetryQueue],
+                       injector: Optional[StudyFaultInjector],
+                       generators: List,
+                       classifier: Optional[StreamingClassifier],
+                       record_sink: Optional[RecordSink],
+                       true_kind_by_seq: Dict[int, TypoEmailKind],
+                       ) -> Tuple[int, Optional[RetryQueue]]:
+        """Rewind a freshly built world to the checkpointed day boundary.
+
+        The world was just constructed through the normal code path (so
+        every init-time RNG draw already happened in the original
+        order); this only restores the *positions* each stream had
+        reached, plus all accumulated mutable state.  Returns the
+        restored send counter and the (re-built) retry queue.
+        """
+        self._rng.restore_state_tree(state["rng"])
+        for seq, value in state["true_kind_by_seq"].items():
+            true_kind_by_seq[int(seq)] = TypoEmailKind(value)
+        collector.restore_state(state["collector"])
+        if state["corpus"] is not None:
+            collector.corpus[:] = [
+                EmailMessage.from_canonical_dict(entry)
+                for entry in state["corpus"]]
+        if retry_queue is not None:
+            retry_queue = RetryQueue.from_canonical_dict(
+                state["retry_queue"])
+        if injector is not None:
+            injector.restore_state(state["injector"])
+        generators[2].restore_state(state["smtp_typo_generator"])
+        generators[3].restore_state(state["spam_generator"])
+        if classifier is not None:
+            if mode == "sink":
+                classifier.restore_state(state["classifier"])
+                record_sink.restore_state(state["sink"])
+            else:
+                # refeed mode: replay the retained corpus through the
+                # fresh funnel in its original ingest order — the fold
+                # is batch-boundary independent, so this reproduces the
+                # classifier state exactly without persisting it
+                classifier.feed(list(collector.corpus))
+        return state["sent"], retry_queue
 
     # -- internals ----------------------------------------------------------
 
@@ -357,4 +565,51 @@ class StudyRunner:
                                      port=job.port,
                                      timestamp=job.next_attempt)
             retry_queue.settle(job, result, job.next_attempt)
+
+
+@dataclass
+class DurableStudyOutcome:
+    """What :func:`run_durable_study` hands back after healing a run."""
+
+    results: StudyResults
+    restarts: int
+    record_sink: Optional[RecordSink] = None
+
+
+def run_durable_study(config: ExperimentConfig,
+                      checkpoint_path: Union[str, Path],
+                      record_sink_factory=None,
+                      max_restarts: Optional[int] = None,
+                      checkpoint_interval: int = 1) -> DurableStudyOutcome:
+    """Run a checkpointed study to completion through injected crashes.
+
+    :class:`~repro.faultsim.plan.InjectedStudyCrash` is the faultsim's
+    in-process stand-in for a SIGKILL at a day boundary; this driver
+    plays the operator's supervisor loop — build a fresh process-worth
+    of world (new :class:`StudyRunner`, new sink from the factory) and
+    resume from the checkpoint, until the run completes.
+
+    ``max_restarts`` bounds the healing; it defaults to the plan's total
+    scheduled failures, so a plan-driven chaos run finishes exactly and
+    anything beyond the budget (a genuinely wedged run) re-raises.
+    """
+    plan = config.fault_plan
+    if max_restarts is None:
+        max_restarts = sum(spec.failures for spec
+                           in (plan.study_crashes if plan is not None
+                               else ()))
+    restarts = 0
+    while True:
+        sink = record_sink_factory() if record_sink_factory else None
+        runner = StudyRunner(config)
+        try:
+            results = runner.run(record_sink=sink,
+                                 checkpoint_path=checkpoint_path,
+                                 checkpoint_interval=checkpoint_interval)
+            return DurableStudyOutcome(results=results, restarts=restarts,
+                                       record_sink=sink)
+        except InjectedStudyCrash:
+            restarts += 1
+            if restarts > max_restarts:
+                raise
 

@@ -102,6 +102,26 @@ class StudyFaultInjector:
         self._vps_outage = any(span.covers(day) and span.mode == "tempfail"
                                for span in self.plan.collector_outages)
 
+    # -- durable state (the study checkpoint's injector payload) -------------
+
+    def state_dict(self) -> Dict:
+        """The injector's only mutable state: stats + greylist envelopes.
+
+        The per-day spell caches are recomputed by :meth:`begin_day` and
+        need no persistence; the greylist set must survive a resume or
+        already-seen envelopes would tempfail a second time.
+        """
+        return {
+            "stats": self.stats.as_dict(),
+            "greylist_seen": sorted(list(envelope)
+                                    for envelope in self._greylist_seen),
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self.stats = FaultStats(**data["stats"])
+        self._greylist_seen = {tuple(envelope)
+                               for envelope in data["greylist_seen"]}
+
     def collector_drop(self, day: int) -> bool:
         """Whether the central collector black-holes mail on ``day``."""
         return any(span.covers(day) and span.mode == "drop"

@@ -41,13 +41,25 @@ __all__ = [
     "DnsFaultSpell",
     "SmtpFaultSpell",
     "ShardCrashSpec",
+    "StudyCrashSpec",
     "FaultPlan",
     "InjectedWorkerCrash",
+    "InjectedStudyCrash",
 ]
 
 
 class InjectedWorkerCrash(RuntimeError):
     """Raised inside a scan worker to simulate its process dying."""
+
+
+class InjectedStudyCrash(RuntimeError):
+    """Raised at a study-day boundary to simulate the whole run dying.
+
+    Only fires when the run is checkpointing — the point is to prove the
+    kill→resume→identical loop, and a crash without a checkpoint is just
+    a dead run.  :func:`~repro.experiment.runner.run_durable_study`
+    catches it and resumes from the last day-boundary checkpoint.
+    """
 
 
 def _check_span(start_day: int, end_day: int) -> None:
@@ -185,6 +197,28 @@ class ShardCrashSpec:
 
 
 @dataclass(frozen=True)
+class StudyCrashSpec:
+    """Kill the whole study run when it reaches ``day``.
+
+    Fires at the start of the day, before any of that day's work, and
+    only on the first ``failures`` visits to the day *across process
+    restarts* — the resume-attempt counter lives in the study checkpoint,
+    so a ``failures=N`` spec dies N times and then lets the N+1-th
+    (resumed) visit proceed.  This is how the chaos lane proves
+    kill→resume→identical end to end without real SIGKILLs.
+    """
+
+    day: int
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError("day must be >= 0")
+        if self.failures < 1:
+            raise ValueError("failures must be >= 1")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything the chaos layer may do to one run, fully seeded."""
 
@@ -193,13 +227,15 @@ class FaultPlan:
     dns_spells: Tuple[DnsFaultSpell, ...] = ()
     smtp_spells: Tuple[SmtpFaultSpell, ...] = ()
     shard_crashes: Tuple[ShardCrashSpec, ...] = ()
+    study_crashes: Tuple[StudyCrashSpec, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     @property
     def is_empty(self) -> bool:
         """True when the plan schedules no fault of any kind."""
         return not (self.collector_outages or self.dns_spells
-                    or self.smtp_spells or self.shard_crashes)
+                    or self.smtp_spells or self.shard_crashes
+                    or self.study_crashes)
 
     @classmethod
     def empty(cls, seed: int = 0) -> "FaultPlan":
@@ -213,6 +249,16 @@ class FaultPlan:
         """The spec that fails this shard's ``attempt`` (1-based), if any."""
         for spec in self.shard_crashes:
             if start_rank <= spec.rank < stop_rank and attempt <= spec.failures:
+                return spec
+        return None
+
+    # -- study-day lookups ---------------------------------------------------
+
+    def crash_spec_for_study_day(self, day: int,
+                                 attempt: int) -> Optional[StudyCrashSpec]:
+        """The spec that kills this visit to ``day`` (1-based attempt)."""
+        for spec in self.study_crashes:
+            if spec.day == day and attempt <= spec.failures:
                 return spec
         return None
 
@@ -241,6 +287,9 @@ class FaultPlan:
                 {"rank": c.rank, "failures": c.failures, "mode": c.mode,
                  "hang_seconds": c.hang_seconds}
                 for c in self.shard_crashes],
+            "study_crashes": [
+                {"day": c.day, "failures": c.failures}
+                for c in self.study_crashes],
             "retry": self.retry.to_dict(),
         }
 
@@ -264,6 +313,9 @@ class FaultPlan:
             shard_crashes=tuple(
                 ShardCrashSpec(**entry)
                 for entry in data.get("shard_crashes", ())),
+            study_crashes=tuple(
+                StudyCrashSpec(**entry)
+                for entry in data.get("study_crashes", ())),
             retry=RetryPolicy.from_dict(
                 data.get("retry", RetryPolicy().to_dict())),
         )

@@ -138,6 +138,42 @@ class MainCollectionServer:
         self._pending = []
         return pending
 
+    # -- durable state (the study checkpoint's collector payload) ------------
+
+    def state_dict(self) -> Dict:
+        """The collector's mutable accounting, JSON-ready.
+
+        The corpus itself is persisted (or not) by the caller per
+        retention mode; this covers everything else a resumed run needs
+        for :meth:`coverage_report` and capacity/outage bookkeeping to
+        continue exactly.  Only valid at a day boundary, when the
+        streaming pending queue has been drained.
+        """
+        if self._pending:
+            raise RuntimeError(
+                "collector state captured with undrained pending mail")
+        return {
+            "stats": {"ingested": self.stats.ingested,
+                      "dropped_overload": self.stats.dropped_overload,
+                      "dropped_outage": self.stats.dropped_outage},
+            "current_day": self._current_day,
+            "today_count": self._today_count,
+            "scheduled_outage_days": sorted(self._scheduled_outage_days),
+            "outage_days_seen": sorted(self._outage_days_seen),
+            "dropped_by_day": {str(day): count for day, count
+                               in sorted(self._dropped_by_day.items())},
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (coverage included)."""
+        self.stats = CollectorStats(**data["stats"])
+        self._current_day = data["current_day"]
+        self._today_count = data["today_count"]
+        self._scheduled_outage_days = set(data["scheduled_outage_days"])
+        self._outage_days_seen = set(data["outage_days_seen"])
+        self._dropped_by_day = {int(day): count for day, count
+                                in data["dropped_by_day"].items()}
+
     # -- gap/coverage accounting ---------------------------------------------
 
     def coverage_report(self, total_days: Optional[int] = None) -> Dict:

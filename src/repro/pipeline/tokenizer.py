@@ -55,6 +55,76 @@ class TokenizedEmail:
     def attachment_extensions(self) -> List[str]:
         return [a.extension for a in self.attachments]
 
+    # -- canonical dict (study-checkpoint persistence) ----------------------
+
+    def to_canonical_dict(self) -> Dict:
+        """JSON-ready projection of the token, back-reference included.
+
+        ``original`` is ``None`` in bounded-memory mode (the raw message
+        was released when the summary was taken); when retained it rides
+        along via :meth:`EmailMessage.to_canonical_dict`, so either
+        memory mode round-trips losslessly.
+        """
+        import base64
+
+        meta = self.metadata
+        return {
+            "metadata": {
+                "from_field": meta.from_field,
+                "to_field": meta.to_field,
+                "subject": meta.subject,
+                "reply_to": meta.reply_to,
+                "return_path": meta.return_path,
+                "sender_field": meta.sender_field,
+                "list_unsubscribe": meta.list_unsubscribe,
+                "received_chain": list(meta.received_chain),
+                "envelope_from": meta.envelope_from,
+                "envelope_to": list(meta.envelope_to),
+                "received_by_ip": meta.received_by_ip,
+                "received_at": meta.received_at,
+            },
+            "body": self.body,
+            "attachments": [
+                {"filename": a.filename,
+                 "content": base64.b64encode(a.content).decode("ascii"),
+                 "content_type": a.content_type}
+                for a in self.attachments],
+            "original": (self.original.to_canonical_dict()
+                         if self.original is not None else None),
+        }
+
+    @classmethod
+    def from_canonical_dict(cls, data: Dict) -> "TokenizedEmail":
+        import base64
+
+        meta = data["metadata"]
+        metadata = HeaderMetadata(
+            from_field=meta["from_field"],
+            to_field=meta["to_field"],
+            subject=meta["subject"],
+            reply_to=meta["reply_to"],
+            return_path=meta["return_path"],
+            sender_field=meta["sender_field"],
+            list_unsubscribe=meta["list_unsubscribe"],
+            received_chain=tuple(meta["received_chain"]),
+            envelope_from=meta["envelope_from"],
+            envelope_to=tuple(meta["envelope_to"]),
+            received_by_ip=meta["received_by_ip"],
+            received_at=meta["received_at"],
+        )
+        original = data["original"]
+        return cls(
+            metadata=metadata,
+            body=data["body"],
+            attachments=[
+                Attachment(filename=entry["filename"],
+                           content=base64.b64decode(entry["content"]),
+                           content_type=entry["content_type"])
+                for entry in data["attachments"]],
+            original=(EmailMessage.from_canonical_dict(original)
+                      if original is not None else None),
+        )
+
 
 #: headers whose *first* value the metadata keeps
 _FIRST_VALUE_HEADERS = frozenset({

@@ -140,7 +140,7 @@ def render_study_report(results: StudyResults) -> str:
     push("")
 
     robustness = results.robustness
-    if robustness is not None:
+    if robustness is not None and "plan_digest" in robustness:
         push("## Robustness (injected faults)")
         push("")
         push(f"* fault plan digest `{robustness['plan_digest']}` "
@@ -166,6 +166,27 @@ def render_study_report(results: StudyResults) -> str:
             push(f"* collector gaps: {len(gap_days)} down days, "
                  f"{coverage.get('dropped_outage', 0)} messages lost to "
                  f"outage, {coverage.get('dropped_overload', 0)} to overload")
+        push("")
+
+    durability = (robustness or {}).get("durability")
+    if durability is not None:
+        push("## Durability (checkpointed run)")
+        push("")
+        push(f"* checkpoint file: `{durability.get('checkpoint_path')}`")
+        push(f"* checkpoints written: "
+             f"{durability.get('checkpoints_written', 0)}")
+        resumed = durability.get("resumed_from_day")
+        if resumed is not None:
+            push(f"* resumed from day {resumed}")
+        else:
+            push("* ran uninterrupted (no resume)")
+        attempts = durability.get("crash_attempts") or {}
+        if attempts:
+            detail = ", ".join(f"day {day}: {count}"
+                               for day, count in sorted(
+                                   attempts.items(), key=lambda kv:
+                                   int(kv[0])))
+            push(f"* injected crash attempts survived: {detail}")
         push("")
 
     perf = results.perf

@@ -288,6 +288,53 @@ class EmailMessage:
         """Size of the serialised message on the wire."""
         return len(self.to_wire().encode("utf-8", errors="replace"))
 
+    # -- canonical dict (checkpoint/retry-queue persistence) -----------------
+
+    def to_canonical_dict(self) -> Dict:
+        """A JSON-ready dict covering *every* field, wire format included.
+
+        :meth:`to_wire` cannot serve here: ``envelope_*``,
+        ``received_by_ip``, ``received_at`` and ``sequence`` are fields,
+        not headers, and a wire round trip would drop them.  Attachment
+        payloads are base64 so arbitrary bytes survive JSON.
+        """
+        import base64
+
+        return {
+            "headers": [[key, value] for key, value in self.headers],
+            "body": self.body,
+            "attachments": [
+                {"filename": a.filename,
+                 "content": base64.b64encode(a.content).decode("ascii"),
+                 "content_type": a.content_type}
+                for a in self.attachments],
+            "envelope_from": self.envelope_from,
+            "envelope_to": list(self.envelope_to),
+            "received_by_ip": self.received_by_ip,
+            "received_at": self.received_at,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def from_canonical_dict(cls, data: Dict) -> "EmailMessage":
+        """Rebuild a message that is value-identical to the serialised one."""
+        import base64
+
+        return cls(
+            headers=[(key, value) for key, value in data["headers"]],
+            body=data["body"],
+            attachments=[
+                Attachment(filename=entry["filename"],
+                           content=base64.b64decode(entry["content"]),
+                           content_type=entry["content_type"])
+                for entry in data["attachments"]],
+            envelope_from=data["envelope_from"],
+            envelope_to=list(data["envelope_to"]),
+            received_by_ip=data["received_by_ip"],
+            received_at=data["received_at"],
+            sequence=data["sequence"],
+        )
+
 
 def _fold(value: str) -> str:
     """Escape newlines in header values (simplified RFC 5322 folding)."""

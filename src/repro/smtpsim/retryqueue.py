@@ -126,6 +126,10 @@ class RetryQueueStats:
             "dsn_sent": self.dsn_sent,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryQueueStats":
+        return cls(**data)
+
 
 class RetryQueue:
     """Deterministic deferred-delivery queue for one sending MTA."""
@@ -223,6 +227,65 @@ class RetryQueue:
             if dsn is not None:
                 dsns.append(dsn)
         return dsns
+
+    # -- canonical persistence (the study checkpoint's queue payload) --------
+
+    def to_canonical_dict(self) -> dict:
+        """Everything a resumed run needs to continue this queue exactly.
+
+        Jobs serialise with their full backoff position (``next_attempt``,
+        ``attempts_made``, ``first_timestamp``) so restored mail retries
+        on the original schedule, and DSNs already sent ride along so a
+        resume never bounces the same message twice.  ``job.context`` is
+        the caller's opaque live handle and is deliberately dropped — no
+        retry-path code reads it.
+        """
+        return {
+            "policy": self.policy.to_dict(),
+            "reporting_host": self.reporting_host,
+            "stats": self.stats.as_dict(),
+            "sequence": self._sequence,
+            "dsn_messages": [m.to_canonical_dict()
+                             for m in self.dsn_messages],
+            "pending": [
+                {"message": job.message.to_canonical_dict(),
+                 "recipient": job.recipient,
+                 "mode": job.mode,
+                 "port": job.port,
+                 "first_timestamp": job.first_timestamp,
+                 "next_attempt": job.next_attempt,
+                 "attempts_made": job.attempts_made,
+                 "ip": job.ip,
+                 "sequence": job.sequence,
+                 "last_status": (job.last_status.value
+                                 if job.last_status is not None else None)}
+                for job in self._pending],
+        }
+
+    @classmethod
+    def from_canonical_dict(cls, data: dict) -> "RetryQueue":
+        """Rebuild a queue whose future behaviour matches the original's."""
+        queue = cls(policy=RetryPolicy.from_dict(data["policy"]),
+                    reporting_host=data["reporting_host"])
+        queue.stats = RetryQueueStats.from_dict(data["stats"])
+        queue._sequence = data["sequence"]
+        queue.dsn_messages = [EmailMessage.from_canonical_dict(entry)
+                              for entry in data["dsn_messages"]]
+        for entry in data["pending"]:
+            status = entry["last_status"]
+            queue._pending.append(QueuedDelivery(
+                message=EmailMessage.from_canonical_dict(entry["message"]),
+                recipient=entry["recipient"],
+                mode=entry["mode"],
+                port=entry["port"],
+                first_timestamp=entry["first_timestamp"],
+                next_attempt=entry["next_attempt"],
+                attempts_made=entry["attempts_made"],
+                ip=entry["ip"],
+                sequence=entry["sequence"],
+                last_status=SendStatus(status) if status is not None
+                else None))
+        return queue
 
     # -- internals -----------------------------------------------------------
 

@@ -101,6 +101,16 @@ class FilterResult:
     def is_true_typo(self) -> bool:
         return self.verdict is Verdict.TRUE_TYPO
 
+    def to_canonical_dict(self) -> Dict:
+        """JSON-ready projection (study-checkpoint persistence)."""
+        return {"verdict": self.verdict.value, "kind": self.kind,
+                "layer": self.layer, "reason": self.reason}
+
+    @classmethod
+    def from_canonical_dict(cls, data: Dict) -> "FilterResult":
+        return cls(verdict=Verdict(data["verdict"]), kind=data["kind"],
+                   layer=data["layer"], reason=data["reason"])
+
 
 @dataclass(frozen=True)
 class FunnelConfig:
@@ -169,6 +179,43 @@ class MessageSummary:
         for slot, value in zip(self.__slots__, state):
             setattr(self, slot, value)
 
+    def to_canonical_dict(self) -> Dict:
+        """JSON-ready projection (study-checkpoint persistence).
+
+        ``bag`` is an unordered frozenset; sorting makes the encoding
+        canonical, and membership semantics survive the round trip.
+        """
+        return {
+            "sequence": self.sequence,
+            "kind": self.kind,
+            "layer1": self.layer1,
+            "layer2": self.layer2,
+            "layer4": self.layer4,
+            "sender": self.sender,
+            "sender_lower": self.sender_lower,
+            "recipients": list(self.recipients),
+            "recipients_lower": list(self.recipients_lower),
+            "content_hash": self.content_hash,
+            "bag": sorted(self.bag) if self.bag is not None else None,
+        }
+
+    @classmethod
+    def from_canonical_dict(cls, data: Dict) -> "MessageSummary":
+        bag = data["bag"]
+        return cls(
+            sequence=data["sequence"],
+            kind=data["kind"],
+            layer1=data["layer1"],
+            layer2=data["layer2"],
+            layer4=data["layer4"],
+            sender=data["sender"],
+            sender_lower=data["sender_lower"],
+            recipients=tuple(data["recipients"]),
+            recipients_lower=tuple(data["recipients_lower"]),
+            content_hash=data["content_hash"],
+            bag=frozenset(bag) if bag is not None else None,
+        )
+
 
 class CollaborativeDatabase:
     """Shared spam knowledge across all of the study's domains (Layer 3)."""
@@ -205,6 +252,17 @@ class CollaborativeDatabase:
         if bag is not None and bag in self.spam_bags:
             return "body bag-of-words matches known spam"
         return None
+
+    def state_dict(self) -> Dict:
+        """The learned spam knowledge, canonically ordered for JSON."""
+        return {
+            "spam_senders": sorted(self.spam_senders),
+            "spam_bags": sorted(sorted(bag) for bag in self.spam_bags),
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self.spam_senders = set(data["spam_senders"])
+        self.spam_bags = {frozenset(bag) for bag in data["spam_bags"]}
 
     def _bag(self, body: str) -> Optional[FrozenSet[str]]:
         # the word set is a pure function of the body; campaign spam repeats
@@ -289,6 +347,28 @@ class FilterFunnel:
         self._recipient_counts: Dict[str, int] = {}
         self._sender_counts: Dict[str, int] = {}
         self._content_counts: Dict[str, int] = {}
+
+    # -- durable state (the study checkpoint's stage-B payload) --------------
+
+    def state_dict(self) -> Dict:
+        """Every piece of fold-mutable funnel state, JSON-ready.
+
+        Configuration (domains, thresholds, enabled layers) is *not*
+        included — a resumed run rebuilds the funnel from its config and
+        only the learned/accumulated state needs restoring.
+        """
+        return {
+            "collaborative": self.collaborative.state_dict(),
+            "recipient_counts": dict(self._recipient_counts),
+            "sender_counts": dict(self._sender_counts),
+            "content_counts": dict(self._content_counts),
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self.collaborative.restore_state(data["collaborative"])
+        self._recipient_counts = dict(data["recipient_counts"])
+        self._sender_counts = dict(data["sender_counts"])
+        self._content_counts = dict(data["content_counts"])
 
     # -- candidate kind ------------------------------------------------------
 
@@ -564,6 +644,35 @@ class SummaryFold:
                                           None, "passed all layers")
         self._provisional.clear()
         return results
+
+    # -- durable state (the study checkpoint's stage-B payload) --------------
+
+    def state_dict(self) -> Dict:
+        """The fold's accumulated results and retained provisionals.
+
+        Funnel state is captured separately (the funnel outlives the
+        fold conceptually — it is the learned-filter state); here we
+        snapshot only the per-run fold: emitted results in feed order
+        (``None`` marks slots still provisional) and the provisional
+        summaries awaiting the corpus-wide pass.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot checkpoint a finalized SummaryFold")
+        return {
+            "results": [r.to_canonical_dict() if r is not None else None
+                        for r in self.results],
+            "provisional": [[index, summary.to_canonical_dict()]
+                            for index, summary in self._provisional],
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self.results = [FilterResult.from_canonical_dict(entry)
+                        if entry is not None else None
+                        for entry in data["results"]]
+        self._provisional = [
+            (index, MessageSummary.from_canonical_dict(entry))
+            for index, entry in data["provisional"]]
+        self._finalized = False
 
 
 # -- header helpers -----------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Structured error taxonomy for the CLI and durability layer.
+
+Long-running entry points fail in three operationally distinct ways, and
+each deserves a distinct exit code instead of a traceback:
+
+* **bad input** (exit 2) — a config or fault-plan file that cannot be
+  parsed or validated; the user fixes the file and re-runs;
+* **corrupt/mismatched checkpoint** (exit 3) — an on-disk artifact that
+  is torn, truncated, or was written by a different run; the user
+  deletes or replaces the artifact;
+* **degraded run** (exit 4) — the run itself completed but lost work
+  (e.g. scan shards exhausted their retries); the output names the
+  holes and downstream automation must not treat it as complete.
+
+``repro.cli.main`` catches :class:`ReproError` and maps
+``error.exit_code`` to the process exit status with a one-line message;
+everything outside the taxonomy still surfaces as a traceback, because
+unknown failures should stay loud.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_BAD_INPUT",
+    "EXIT_CORRUPT_CHECKPOINT",
+    "EXIT_DEGRADED",
+    "ReproError",
+    "ConfigError",
+    "PlanFileError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "DegradedRunError",
+]
+
+EXIT_BAD_INPUT = 2
+EXIT_CORRUPT_CHECKPOINT = 3
+EXIT_DEGRADED = 4
+
+
+class ReproError(Exception):
+    """Base of every error the CLI converts into an exit code."""
+
+    exit_code = 1
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or combination (exit 2)."""
+
+    exit_code = EXIT_BAD_INPUT
+
+
+class PlanFileError(ConfigError):
+    """A fault-plan file that is missing, unparseable, or invalid."""
+
+
+class CheckpointError(ReproError):
+    """Base for on-disk checkpoint problems (exit 3)."""
+
+    exit_code = EXIT_CORRUPT_CHECKPOINT
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file that cannot be parsed or fails its digest.
+
+    Torn writes (truncated JSON), manual edits, and schema drift all land
+    here — the artifact is unusable and must be deleted or restored.
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A valid checkpoint written for a *different* run.
+
+    Seed, universe size, config identity, or mode differ from the run
+    trying to resume; resuming would silently mix two experiments.
+    """
+
+
+class DegradedRunError(ReproError):
+    """The run completed but lost work it has explicitly named (exit 4)."""
+
+    exit_code = EXIT_DEGRADED

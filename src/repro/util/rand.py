@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Dict, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -41,10 +41,65 @@ class SeededRng:
         self.seed = seed
         self.name = name
         self._random = random.Random(seed)
+        #: children in creation order — the spine the durability layer
+        #: walks to capture/restore a whole simulation's stream positions
+        self._children: List["SeededRng"] = []
 
     def child(self, name: str) -> "SeededRng":
-        """Return an independent child generator labelled ``name``."""
-        return SeededRng(derive_seed(self.seed, name), name=f"{self.name}/{name}")
+        """Return an independent child generator labelled ``name``.
+
+        Every call creates a *fresh* stream (two ``child("x")`` calls are
+        two generators at position zero — memoising here would change the
+        draws existing consumers see); each is also recorded so
+        :meth:`capture_state_tree` can reach it later.
+        """
+        born = SeededRng(derive_seed(self.seed, name),
+                         name=f"{self.name}/{name}")
+        self._children.append(born)
+        return born
+
+    # -- stream-position capture (the study checkpoint's RNG payload) ------
+
+    def capture_state_tree(self) -> Dict:
+        """JSON-serialisable snapshot of this stream and every descendant.
+
+        ``random.Random.getstate()`` is a (version, ints, gauss_next)
+        tuple, already JSON-friendly once listified.  The tree mirrors
+        child *creation order*, so a resumed run that reconstructs the
+        same object graph (same code path, same seeds) can put every
+        stream back to its exact position with :meth:`restore_state_tree`.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "state": [version, list(internal), gauss_next],
+            "children": [child.capture_state_tree()
+                         for child in self._children],
+        }
+
+    def restore_state_tree(self, data: Dict) -> None:
+        """Restore a :meth:`capture_state_tree` snapshot onto this tree.
+
+        The receiving tree must have the same shape (names, seeds, child
+        order) as the captured one — i.e. be rebuilt by the same
+        deterministic construction path; anything else is an error, not a
+        silent divergence.
+        """
+        if data.get("name") != self.name or data.get("seed") != self.seed:
+            raise ValueError(
+                f"RNG state for {data.get('name')!r}/seed "
+                f"{data.get('seed')!r} does not match stream "
+                f"{self.name!r}/seed {self.seed!r}")
+        children = data.get("children", [])
+        if len(children) != len(self._children):
+            raise ValueError(
+                f"RNG stream {self.name!r} has {len(self._children)} "
+                f"children, snapshot has {len(children)}")
+        version, internal, gauss_next = data["state"]
+        self._random.setstate((version, tuple(internal), gauss_next))
+        for child, snapshot in zip(self._children, children):
+            child.restore_state_tree(snapshot)
 
     # -- scalar draws -----------------------------------------------------
 

@@ -61,6 +61,25 @@ class SmtpTypoGenerator:
         self._active: List[SmtpTypoEvent] = []
         self.completed_events: List[SmtpTypoEvent] = []
 
+    # -- durable state (the study checkpoint's generator payload) ------------
+
+    def state_dict(self) -> Dict:
+        """Mid-window mutable state: active and completed episodes."""
+        def encode(event: SmtpTypoEvent) -> Dict:
+            return {"victim_address": event.victim_address,
+                    "study_domain": event.study_domain,
+                    "start_day": event.start_day,
+                    "persistence_days": event.persistence_days,
+                    "email_count": event.email_count}
+
+        return {"active": [encode(e) for e in self._active],
+                "completed": [encode(e) for e in self.completed_events]}
+
+    def restore_state(self, data: Dict) -> None:
+        self._active = [SmtpTypoEvent(**entry) for entry in data["active"]]
+        self.completed_events = [SmtpTypoEvent(**entry)
+                                 for entry in data["completed"]]
+
     # -- the paper's persistence distribution ---------------------------------
 
     def _draw_event(self, day: int) -> SmtpTypoEvent:

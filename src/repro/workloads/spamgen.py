@@ -125,6 +125,33 @@ class SpamGenerator:
     def expected_daily_total(self) -> float:
         return self._receiver_daily + self._smtp_daily
 
+    # -- durable state (the study checkpoint's generator payload) ------------
+
+    def state_dict(self) -> Dict:
+        """Mid-window mutable state: live campaigns + the malware DB.
+
+        Everything else (rates, the stealth body pool) is derived at
+        construction from the config and init-time RNG draws, which a
+        resumed run repeats identically before restoring stream
+        positions.
+        """
+        return {
+            "campaigns": [
+                {"sender": c.sender, "body": c.body, "subject": c.subject,
+                 "obviousness": c.obviousness,
+                 "forged_headers": c.forged_headers,
+                 "daily_volume": c.daily_volume,
+                 "remaining_days": c.remaining_days,
+                 "attaches_malware": c.attaches_malware}
+                for c in self._campaigns],
+            "malicious_hashes": sorted(self.malicious_hashes),
+        }
+
+    def restore_state(self, data: Dict) -> None:
+        self._campaigns = [SpamCampaign(**entry)
+                           for entry in data["campaigns"]]
+        self.malicious_hashes = set(data["malicious_hashes"])
+
     # -- campaign lifecycle ------------------------------------------------------
 
     def _ensure_campaigns(self, needed_daily: float) -> None:

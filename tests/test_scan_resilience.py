@@ -22,6 +22,7 @@ from repro.experiment import (
     run_sharded_scan,
 )
 from repro.faultsim import FaultPlan, InjectedWorkerCrash, ShardCrashSpec
+from repro.util.errors import CheckpointMismatchError
 from repro.util.perf import PerfRegistry
 
 pytestmark = pytest.mark.chaos
@@ -168,9 +169,9 @@ class TestCheckpointResume:
     def test_checkpoint_rejects_mismatched_run(self, tmp_path):
         path = tmp_path / "scan.json"
         run_resilient_scan(SEED, MAX_RANK, jobs=1, checkpoint_path=path)
-        with pytest.raises(ValueError):
+        with pytest.raises(CheckpointMismatchError, match="was written for"):
             ScanCheckpoint(path, seed=SEED + 1, max_rank=MAX_RANK)
-        with pytest.raises(ValueError):
+        with pytest.raises(CheckpointMismatchError, match="was written for"):
             ScanCheckpoint(path, seed=SEED, max_rank=MAX_RANK + 1)
 
     def test_canonical_round_trip_preserves_digest(self):
