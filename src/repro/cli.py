@@ -99,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--checkpoint", metavar="PATH",
                       help="persist completed shards to PATH and resume "
                            "from it on re-runs (--ranks scans only)")
+    scan.add_argument("--days", type=int, default=0, metavar="D",
+                      help="evolve the world by D days of registration/"
+                           "expiration churn before scanning "
+                           "(--ranks scans only; default: 0)")
+    scan.add_argument("--churn-rate", type=float, default=0.004,
+                      metavar="RATE",
+                      help="fraction of ranks that churn per day "
+                           "(default: 0.004)")
+    scan.add_argument("--baseline", metavar="PATH",
+                      help="persist the scan as a delta baseline at PATH "
+                           "(per-rank-range sub-aggregates); with --delta, "
+                           "load it and re-scan only churned ranges")
+    scan.add_argument("--delta", action="store_true",
+                      help="incremental re-scan against --baseline: reuse "
+                           "every rank range whose world digest is "
+                           "unchanged, rescan the rest, and rewrite the "
+                           "baseline (byte-identical to a full scan)")
+    scan.add_argument("--range-width", type=int, default=1024,
+                      metavar="W",
+                      help="ranks per persisted baseline range "
+                           "(default: 1024)")
 
     honey = commands.add_parser("honey", help="run the honey experiments")
     honey.add_argument("--targets", type=int, default=40)
@@ -387,24 +408,98 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scan_perf(perf) -> None:
+    """Satellite perf report: per-phase scan timers, when collected."""
+    names = ("scan.setup_seconds", "scan.draw_seconds",
+             "scan.probe_seconds", "scan.merge_seconds",
+             "scan.shard_setup_seconds", "scan.shard_work_seconds")
+    shown = [(name, perf.timers[name]) for name in names
+             if name in perf.timers]
+    if not shown:
+        return
+    print("per-phase wall clock:", file=sys.stderr)
+    for name, stat in shown:
+        print(f"  {name:28s} {stat.seconds:9.3f}s "
+              f"({stat.calls} call{'s' if stat.calls != 1 else ''})",
+              file=sys.stderr)
+
+
 def _cmd_scan_streaming(args: argparse.Namespace) -> int:
     """``repro scan --ranks N [--jobs J]``: the paper-scale lazy scan."""
+    from repro.ecosystem import (
+        ChurnSchedule,
+        ScanBaseline,
+        build_scan_baseline,
+        delta_scan,
+    )
     from repro.experiment import run_resilient_scan, run_sharded_scan
+    from repro.util.perf import PerfRegistry
 
     jobs = args.jobs or 1
     plan = _load_fault_plan(args)
-    print(f"streaming scan of ranks 1..{args.ranks} "
-          f"({jobs} job{'s' if jobs != 1 else ''})...", file=sys.stderr)
+    if args.delta and not args.baseline:
+        print("error: --delta requires --baseline PATH", file=sys.stderr)
+        return 2
+    if args.baseline and (plan is not None or args.checkpoint):
+        print("error: --baseline/--delta cannot be combined with "
+              "--fault-plan/--chaos/--checkpoint", file=sys.stderr)
+        return 2
+    if args.days and not args.baseline and (plan is not None
+                                            or args.checkpoint):
+        print("error: --days churn is not supported on fault-injected/"
+              "checkpointed scans", file=sys.stderr)
+        return 2
+    perf = PerfRegistry()
     result = None
-    if plan is not None or args.checkpoint:
-        result = run_resilient_scan(args.seed, args.ranks, jobs=args.jobs,
-                                    fault_plan=plan,
-                                    checkpoint_path=args.checkpoint)
-        aggregates = result.aggregates
-        for line in result.summary_lines():
-            print(line, file=sys.stderr)
+    if args.delta:
+        baseline = ScanBaseline.load(args.baseline)
+        if baseline.max_rank != args.ranks:
+            print(f"error: baseline {args.baseline} covers ranks "
+                  f"1..{baseline.max_rank}, not 1..{args.ranks}",
+                  file=sys.stderr)
+            return 2
+        print(f"delta re-scan of ranks 1..{args.ranks} at churn day "
+              f"{args.days} (baseline day {baseline.day}, {jobs} "
+              f"job{'s' if jobs != 1 else ''})...", file=sys.stderr)
+        delta = delta_scan(baseline, args.days, jobs=args.jobs, perf=perf)
+        aggregates = delta.aggregates
+        delta.baseline.save(args.baseline)
+        print(f"reused {delta.ranges_reused} rank ranges, rescanned "
+              f"{delta.ranges_rescanned}; baseline updated: "
+              f"{args.baseline}", file=sys.stderr)
+    elif args.baseline:
+        print(f"streaming scan of ranks 1..{args.ranks} at churn day "
+              f"{args.days} ({jobs} job{'s' if jobs != 1 else ''}), "
+              f"building baseline...", file=sys.stderr)
+        baseline = build_scan_baseline(
+            args.seed, args.ranks, range_width=args.range_width,
+            day=args.days, churn_rate=args.churn_rate, jobs=args.jobs,
+            perf=perf)
+        baseline.save(args.baseline)
+        aggregates = baseline.total()
+        print(f"baseline written: {args.baseline} "
+              f"({len(baseline.ranges)} rank ranges)", file=sys.stderr)
     else:
-        aggregates = run_sharded_scan(args.seed, args.ranks, jobs=args.jobs)
+        print(f"streaming scan of ranks 1..{args.ranks} "
+              f"({jobs} job{'s' if jobs != 1 else ''})...", file=sys.stderr)
+        if plan is not None or args.checkpoint:
+            result = run_resilient_scan(args.seed, args.ranks,
+                                        jobs=args.jobs, fault_plan=plan,
+                                        checkpoint_path=args.checkpoint,
+                                        perf=perf)
+            aggregates = result.aggregates
+            for line in result.summary_lines():
+                print(line, file=sys.stderr)
+        else:
+            churn = ()
+            if args.days:
+                schedule = ChurnSchedule(args.seed, args.ranks,
+                                         args.churn_rate)
+                churn = tuple(sorted(
+                    schedule.generations(args.days).items()))
+            aggregates = run_sharded_scan(args.seed, args.ranks,
+                                          jobs=args.jobs, churn=churn,
+                                          perf=perf)
     print(f"{aggregates.generated_count} gtypos enumerated; "
           f"{aggregates.registered_count} registered ctypos")
     print("Table 4 — observed SMTP support:")
@@ -416,6 +511,7 @@ def _cmd_scan_streaming(args: argparse.Namespace) -> int:
         for host, count in aggregates.mx_domain_counts.most_common(8):
             print(f"  {host:25s} {count:8d}  {100.0 * count / mx_total:5.1f}%")
     print(f"aggregate digest: sha256:{aggregates.digest()}")
+    _print_scan_perf(perf)
     if result is not None and result.degraded:
         from repro.util.errors import DegradedRunError
 

@@ -1,7 +1,8 @@
 """Artifact integrity doctor: validate on-disk run artifacts.
 
 A long campaign leaves a trail of durable files — study checkpoints,
-scan checkpoints, the performance baseline, fault-plan schedules — and
+scan checkpoints, delta-scan baselines, the performance baseline,
+fault-plan schedules — and
 each of them can rot: torn writes from a crash mid-save, manual edits,
 copies from a different run.  ``repro doctor`` examines each file,
 detects what kind of artifact it is, and validates it against its own
@@ -11,6 +12,7 @@ schema and self-check digest, reporting problems through the
 The validators are the *same* code paths the runtime uses to load each
 artifact (:class:`~repro.experiment.checkpoint.StudyCheckpoint`,
 :class:`~repro.experiment.parallel.ScanCheckpoint`,
+:class:`~repro.ecosystem.delta.ScanBaseline`,
 :class:`~repro.faultsim.plan.FaultPlan`), so a file the doctor passes is
 a file the engine will accept — there is no second, drifting schema.
 """
@@ -34,6 +36,7 @@ __all__ = ["Diagnosis", "diagnose_file", "diagnose_paths", "exit_code_for"]
 #: artifact kinds :func:`diagnose_file` can identify
 KIND_STUDY_CHECKPOINT = "study-checkpoint"
 KIND_SCAN_CHECKPOINT = "scan-checkpoint"
+KIND_SCAN_BASELINE = "scan-baseline"
 KIND_FAULT_PLAN = "fault-plan"
 KIND_PERF_BASELINE = "perf-baseline"
 KIND_UNKNOWN = "unknown"
@@ -88,14 +91,16 @@ def diagnose_file(path: Union[str, Path]) -> Diagnosis:
     validator = {
         KIND_STUDY_CHECKPOINT: _check_study_checkpoint,
         KIND_SCAN_CHECKPOINT: _check_scan_checkpoint,
+        KIND_SCAN_BASELINE: _check_scan_baseline,
         KIND_FAULT_PLAN: _check_fault_plan,
         KIND_PERF_BASELINE: _check_perf_baseline,
     }.get(kind)
     if validator is None:
         return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
                          problems=["not a recognized repro artifact "
-                                   "(study/scan checkpoint, fault plan, "
-                                   "or perf baseline)"],
+                                   "(study/scan checkpoint, scan "
+                                   "baseline, fault plan, or perf "
+                                   "baseline)"],
                          exit_code=EXIT_BAD_INPUT)
     return validator(path, data)
 
@@ -123,10 +128,15 @@ def exit_code_for(diagnoses: List[Diagnosis]) -> int:
 
 
 def _detect_kind(data: Dict) -> str:
+    from repro.ecosystem.delta import SCAN_BASELINE_FORMAT
     from repro.experiment.checkpoint import STUDY_CHECKPOINT_FORMAT
 
     if data.get("format") == STUDY_CHECKPOINT_FORMAT:
         return KIND_STUDY_CHECKPOINT
+    # the scan baseline carries an explicit format tag, so test it
+    # before the schema-shape heuristics (it also has seed/max_rank)
+    if data.get("format") == SCAN_BASELINE_FORMAT:
+        return KIND_SCAN_BASELINE
     if {"seed", "max_rank", "shards"} <= set(data):
         return KIND_SCAN_CHECKPOINT
     if "baseline" in data and isinstance(data["baseline"], dict):
@@ -147,6 +157,10 @@ def _kind_from_name(path: Path) -> tuple:
         # can't tell study from scan without content; either way the
         # remedy (and exit code) is the same
         return KIND_STUDY_CHECKPOINT, EXIT_CORRUPT_CHECKPOINT
+    if "baseline" in name:
+        # a torn scan baseline is corrupt durable state, like a torn
+        # checkpoint: the remedy is a rebuild, the exit code is 3
+        return KIND_SCAN_BASELINE, EXIT_CORRUPT_CHECKPOINT
     return KIND_UNKNOWN, EXIT_BAD_INPUT
 
 
@@ -211,6 +225,28 @@ def _valid_shard_key(key: str, max_rank: int) -> bool:
     except ValueError:
         return False
     return 1 <= start < stop <= max_rank + 1
+
+
+def _check_scan_baseline(path: Path, data: Dict) -> Diagnosis:
+    from repro.ecosystem.delta import ScanBaseline
+
+    try:
+        # the engine's own loader revalidates the format tag, every
+        # per-range aggregates digest, and the merged total digest
+        baseline = ScanBaseline.load(path)
+    except ReproError as error:
+        return Diagnosis(path=path, kind=KIND_SCAN_BASELINE, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    details = {
+        "seed": baseline.seed,
+        "max_rank": baseline.max_rank,
+        "day": baseline.day,
+        "ranges": len(baseline.ranges),
+        "digest": baseline.total_digest()[:12],
+    }
+    return Diagnosis(path=path, kind=KIND_SCAN_BASELINE, ok=True,
+                     details=details)
 
 
 def _check_fault_plan(path: Path, data: Dict) -> Diagnosis:

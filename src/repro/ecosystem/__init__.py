@@ -1,6 +1,16 @@
 """The wild email-typosquatting ecosystem: synthetic Internet, scans, clustering."""
 
 from repro.ecosystem.aggregates import ScanAggregates
+from repro.ecosystem.delta import (
+    SCAN_BASELINE_FORMAT,
+    ChurnSchedule,
+    DeltaScanResult,
+    RangeRecord,
+    ScanBaseline,
+    build_scan_baseline,
+    delta_scan,
+    world_range_digest,
+)
 from repro.ecosystem.clustering import (
     ConcentrationCurve,
     RegistrantCluster,
@@ -58,6 +68,14 @@ __all__ = [
     "ScanAggregates",
     "WorldModel",
     "DomainState",
+    "SCAN_BASELINE_FORMAT",
+    "ChurnSchedule",
+    "DeltaScanResult",
+    "RangeRecord",
+    "ScanBaseline",
+    "build_scan_baseline",
+    "delta_scan",
+    "world_range_digest",
     "cluster_registrants",
     "RegistrantCluster",
     "concentration_curve",

@@ -75,6 +75,39 @@ class ScanAggregates:
         if used_implicit_mx:
             self.implicit_mx_count += 1
 
+    def fold_flat(self, generated: int, registered: int,
+                  support_l, truth_l, owner_type_l,
+                  support_value_by_code, owner_value_by_code,
+                  mx_counts: Dict[str, int],
+                  owner_domain_counts: Dict[str, int],
+                  per_target_counts: Dict[str, int],
+                  whois_private: int, implicit_mx: int) -> "ScanAggregates":
+        """Fold one scan window's pre-sized flat tallies in one pass.
+
+        ``WorldModel.scan_ranks`` accumulates the closed categorical
+        codes into flat index lists and the open key spaces (MX
+        operators, owners, targets) into plain dicts; this folds them
+        with the same exact-addition semantics as :meth:`merge`, keeping
+        Counter hashing out of the per-record hot path.
+        """
+        self.generated_count += generated
+        self.registered_count += registered
+        self.support_counts.update(
+            {support_value_by_code[i]: v
+             for i, v in enumerate(support_l) if v})
+        self.truth_support_counts.update(
+            {support_value_by_code[i]: v
+             for i, v in enumerate(truth_l) if v})
+        self.mx_domain_counts.update(mx_counts)
+        self.owner_domain_counts.update(owner_domain_counts)
+        self.owner_type_counts.update(
+            {owner_value_by_code[i]: v
+             for i, v in enumerate(owner_type_l) if v})
+        self.per_target_counts.update(per_target_counts)
+        self.whois_private_count += whois_private
+        self.implicit_mx_count += implicit_mx
+        return self
+
     def merge(self, other: "ScanAggregates") -> "ScanAggregates":
         """Fold ``other`` into this aggregate (exact, associative)."""
         self.generated_count += other.generated_count

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -63,6 +64,7 @@ from repro.ecosystem.internet import (
     SmtpSupport,
 )
 from repro.ecosystem.whois import PRIVACY_PROXIES, RegistrantPersona, make_registrant
+from repro.util.perf import PerfRegistry
 from repro.util.rand import SeededRng, derive_seed
 
 __all__ = ["DomainState", "WorldModel", "PARKED_MX_HOSTS", "WEB_MX_HOSTS"]
@@ -482,21 +484,27 @@ _PRESELECT_SCRATCH: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
 def _grid_draw(label: str, reg_p: float,
                uniforms: np.ndarray) -> Tuple[int, List[int]]:
-    """(generated count, registered flat indices) of one rank's raw grid.
+    """(generated count, registered flat indices) of one rank's raw grid."""
+    return _generated_count(label), _registered_flats(label, reg_p, uniforms)
+
+
+def _registered_flats(label: str, reg_p: float,
+                      uniforms: np.ndarray) -> List[int]:
+    """The registered flat indices of one rank's raw grid.
 
     Dense regime (the 0.95 probability cap can bind): evaluate the full
     validity/quality masks.  Sparse regime (every slot's probability is
     below the cap): preselect ``u < reg_p * section_max`` — a strict
     superset of the registrations — then confirm the few survivors with
     the scalar law.  Both paths compute the identical registered set; the
-    parity tests pin that.
+    parity tests pin that.  Split from :func:`_grid_draw` so the chunked
+    scan loop can pair it with precomputed generated counts.
     """
     length = len(label)
     if reg_p * _QUALITY_MAX >= 0.95:
         valid, quality, _ = _grid_masks(label)
         probability = np.minimum(0.95, reg_p * quality)
-        registered = np.nonzero(valid & (uniforms < probability))[0].tolist()
-        return _generated_count(label), registered
+        return np.nonzero(valid & (uniforms < probability))[0].tolist()
 
     scratch = _PRESELECT_SCRATCH.get(length)
     if scratch is None:
@@ -581,7 +589,7 @@ def _grid_draw(label: str, reg_p: float,
                      * max(0.2, 1.5 - vis * inv_len))
             if u < reg_p * q:
                 registered.append(flat)
-    return _generated_count(label), registered
+    return registered
 
 
 def _registration_grid(label: str, seed: int, rank: int,
@@ -600,63 +608,112 @@ def _registration_grid(label: str, seed: int, rank: int,
 
 _FILLER_CHUNK = 1024
 
-_SYL_TABLE: Optional[List[List[str]]] = None
+_SYL_TABLE: Optional[List[str]] = None
 
 
-def _syllable_table() -> List[List[str]]:
+def _syllable_table() -> List[str]:
+    """Onset+vowel syllables, flat-indexed ``onset * n_vowels + vowel``."""
     global _SYL_TABLE
     if _SYL_TABLE is None:
-        _SYL_TABLE = [[onset + vowel for vowel in _PRONOUNCEABLE_VOWELS]
-                      for onset in _PRONOUNCEABLE_ONSETS]
+        _SYL_TABLE = [onset + vowel for onset in _PRONOUNCEABLE_ONSETS
+                      for vowel in _PRONOUNCEABLE_VOWELS]
     return _SYL_TABLE
 
 
-def _filler_labels(seed: int, chunk: int) -> List[str]:
-    """Filler target domains for indices [chunk*N, (chunk+1)*N).
+def _filler_chunk(seed: int, chunk: int) -> Tuple[List[str], List[int]]:
+    """(names, generated counts) for filler indices [chunk*N, (chunk+1)*N).
 
     Chunked so a 100k-target universe costs ~100 stream constructions
     instead of one per domain; each name stays a pure function of
-    ``(seed, index)``.
+    ``(seed, index)``.  The generated count rides along because every
+    filler label is hyphen-free letters followed by decimal digits, so
+    the closed form of :func:`_generated_count` reduces to
+    ``74*L + 32 - 2*dups`` where adjacent duplicates can only occur
+    inside the digit run (onset+vowel syllables never repeat a
+    character across a boundary) — the chunk parity test pins this
+    against the general-purpose counter.
     """
     uniforms = _rank_uniforms(seed, "fillers", chunk, _FILLER_CHUNK * 7)
-    rows = uniforms.reshape(_FILLER_CHUNK, 7).tolist()
+    u = uniforms.reshape(_FILLER_CHUNK, 7)
     syl = _syllable_table()
     n_onsets = len(_PRONOUNCEABLE_ONSETS)
     n_vowels = len(_PRONOUNCEABLE_VOWELS)
+    # columns are (u0, o1, v1, o2, v2, o3, v3); the truncating casts
+    # reproduce the scalar ``min(int(u * n), n - 1)`` law exactly
+    onset_i = np.minimum((u[:, 1::2] * n_onsets).astype(np.intp),
+                         n_onsets - 1)
+    vowel_i = np.minimum((u[:, 2::2] * n_vowels).astype(np.intp),
+                         n_vowels - 1)
+    flat_i = (onset_i * n_vowels + vowel_i).tolist()
+    third = (u[:, 0] >= 0.5).tolist()
     base = chunk * _FILLER_CHUNK
-    out = []
-    for j, (u0, o1, v1, o2, v2, o3, v3) in enumerate(rows):
-        label = (syl[min(int(o1 * n_onsets), n_onsets - 1)]
-                    [min(int(v1 * n_vowels), n_vowels - 1)]
-                 + syl[min(int(o2 * n_onsets), n_onsets - 1)]
-                      [min(int(v2 * n_vowels), n_vowels - 1)])
-        if u0 >= 0.5:
-            label += syl[min(int(o3 * n_onsets), n_onsets - 1)] \
-                        [min(int(v3 * n_vowels), n_vowels - 1)]
-        out.append(f"{label}{base + j}.com")
-    return out
+    names: List[str] = []
+    counts: List[int] = []
+    append_name, append_count = names.append, counts.append
+    for j in range(_FILLER_CHUNK):
+        s1, s2, s3 = flat_i[j]
+        label = (syl[s1] + syl[s2] + syl[s3] if third[j]
+                 else syl[s1] + syl[s2])
+        digits = str(base + j)
+        dups = 0
+        prev = ""
+        for ch in digits:
+            if ch == prev:
+                dups += 1
+            prev = ch
+        append_count(74 * (len(label) + len(digits)) + 32 - 2 * dups)
+        append_name(f"{label}{digits}.com")
+    return names, counts
+
+
+def _filler_labels(seed: int, chunk: int) -> List[str]:
+    """Filler target domains for indices [chunk*N, (chunk+1)*N)."""
+    return _filler_chunk(seed, chunk)[0]
 
 
 # -- the world model ----------------------------------------------------------
 
 
 class WorldModel:
-    """Derives the simulated Internet per ``(seed, rank)`` on demand."""
+    """Derives the simulated Internet per ``(seed, rank)`` on demand.
+
+    ``churn`` maps rank -> generation for a world evolved by daily
+    registration/expiration churn (see :mod:`repro.ecosystem.delta`):
+    a churned rank's registration, wild-state, and probe streams are
+    re-keyed by generation, so its DL-1 grid re-rolls — some ctypos
+    expire, others register — while every generation-0 rank stays
+    byte-identical to the day-0 world.
+    """
 
     def __init__(self, seed: int, config: Optional[InternetConfig] = None,
-                 probe_attempts: int = 3) -> None:
+                 probe_attempts: int = 3,
+                 churn: Optional[Dict[int, int]] = None) -> None:
         self.seed = seed
         self.config = config or InternetConfig()
         self.probe_attempts = probe_attempts
         config = self.config
-        self._targets: List[str] = [t.name for t in EMAIL_TARGETS]
-        #: (label, suffix) per target, parallel to ``_targets``
-        self._target_parts: List[Tuple[str, str]] = []
-        for name in self._targets:
+        #: the study's email targets occupy the head ranks; fillers are
+        #: derived lazily in seed-keyed chunks below
+        self._head_names: List[str] = [t.name for t in EMAIL_TARGETS]
+        self._head_parts: List[Tuple[str, str]] = []
+        for name in self._head_names:
             label, _ = split_domain(name)
-            self._target_parts.append((label, name[len(label) + 1:]))
+            self._head_parts.append((label, name[len(label) + 1:]))
+        self._head_gen_counts: List[int] = [
+            _generated_count(label) for label, _ in self._head_parts]
+        self._head_rank: Dict[str, int] = {
+            name: index + 1 for index, name in enumerate(self._head_names)}
+        #: filler chunks, built on demand and kept for the world's
+        #: lifetime — a scan touches each chunk O(1) times (its own rank
+        #: window plus collision probes from digit-edited candidates),
+        #: so chunks never need rebuilding and the total stays bounded
+        #: by the target universe, far below the eager builder's
+        #: list+frozenset materialization
+        self._chunks: Dict[int, Tuple[List[str], List[int]]] = {}
+        self.chunk_builds = 0
         self._target_set: FrozenSet[str] = frozenset()
         self._target_set_size = 0
+        self._churn: Optional[Dict[int, int]] = dict(churn) if churn else None
         self._streams: Dict[str, _RankKeyedStream] = {}
         # hot-path tables: cumulative weights for bisect draws, interned
         # owner-id strings, and the MX-host -> registrable-domain map
@@ -690,18 +747,24 @@ class WorldModel:
 
     # -- the ranked target list -------------------------------------------
 
+    def _chunk(self, chunk: int) -> Tuple[List[str], List[int]]:
+        """The (names, generated counts) of one filler chunk, cached."""
+        cached = self._chunks.get(chunk)
+        if cached is None:
+            cached = _filler_chunk(self.seed, chunk)
+            self._chunks[chunk] = cached
+            self.chunk_builds += 1
+        return cached
+
     def target_domain(self, rank: int) -> str:
         """The rank-``rank`` domain of the simulated Alexa list."""
         if rank < 1:
             raise ValueError("ranks start at 1")
-        targets = self._targets
-        while len(targets) < rank:
-            chunk = (len(targets) - len(EMAIL_TARGETS)) // _FILLER_CHUNK
-            fillers = _filler_labels(self.seed, chunk)
-            targets.extend(fillers)
-            self._target_parts.extend(
-                (name[:-4], "com") for name in fillers)
-        return targets[rank - 1]
+        head = self._head_names
+        if rank <= len(head):
+            return head[rank - 1]
+        chunk, offset = divmod(rank - 1 - len(head), _FILLER_CHUNK)
+        return self._chunk(chunk)[0][offset]
 
     def alexa_entry(self, rank: int) -> AlexaEntry:
         return AlexaEntry(domain=self.target_domain(rank), rank=rank,
@@ -711,12 +774,57 @@ class WorldModel:
         return [self.alexa_entry(rank) for rank in range(1, count + 1)]
 
     def target_names(self, max_rank: int) -> FrozenSet[str]:
-        """The target-domain universe of a ``max_rank``-sized world."""
+        """The target-domain universe of a ``max_rank``-sized world.
+
+        Materializes ``max_rank`` names, so it is the reference form for
+        small worlds and parity tests; the streaming scan uses the O(1)
+        :meth:`is_target_domain` law instead.
+        """
         if self._target_set_size != max_rank:
-            self.target_domain(max(1, max_rank))
-            self._target_set = frozenset(self._targets[:max_rank])
+            names = list(self._head_names[:max_rank])
+            chunk = 0
+            while len(names) < max_rank:
+                names.extend(self._chunk(chunk)[0])
+                chunk += 1
+            self._target_set = frozenset(names[:max_rank])
             self._target_set_size = max_rank
         return self._target_set
+
+    def is_target_domain(self, domain: str, max_rank: int) -> bool:
+        """O(1) membership in the ``max_rank`` target universe.
+
+        The law inverted: a domain is a target iff it is one of the
+        email-study heads, or it parses as ``<letters><index>.com``
+        where ``index`` (decimal, no leading zeros — ``str`` never
+        prints them) addresses a filler slot inside the universe and
+        the slot's derived name matches exactly.  Equivalent to
+        ``domain in target_names(max_rank)`` (pinned by tests) without
+        materializing the universe, so shard setup cost no longer
+        scales with ``max_rank``.
+        """
+        rank = self._head_rank.get(domain)
+        if rank is not None:
+            return rank <= max_rank
+        if not domain.endswith(".com"):
+            return False
+        label = domain[:-4]
+        stem = label.rstrip("0123456789")
+        nstem = len(stem)
+        # no digit suffix, or a stem no 2-3 onset+vowel syllables can
+        # spell (syllables are 2-3 chars, so derived stems are 4-9)
+        if nstem == len(label) or nstem < 4 or nstem > 9:
+            return False
+        digits = label[nstem:]
+        if digits[0] == "0" and len(digits) > 1:
+            return False                   # str(index) has no leading zeros
+        index = int(digits)
+        if index >= max_rank - len(self._head_names):
+            return False
+        chunk, offset = divmod(index, _FILLER_CHUNK)
+        cached = self._chunks.get(chunk)
+        if cached is None:
+            cached = self._chunk(chunk)
+        return cached[0][offset] == domain
 
     def persona(self, owner_id: str) -> RegistrantPersona:
         """The stable WHOIS persona behind an owner id."""
@@ -727,14 +835,29 @@ class WorldModel:
 
     def target_parts(self, rank: int) -> Tuple[str, str]:
         """(label, suffix) of the rank's target domain."""
-        self.target_domain(rank)
-        return self._target_parts[rank - 1]
+        head = self._head_parts
+        if 1 <= rank <= len(head):
+            return head[rank - 1]
+        name = self.target_domain(rank)
+        return name[:-4], "com"
+
+    def rank_generation(self, rank: int) -> int:
+        """The rank's churn generation (0 = the day-0 world)."""
+        if self._churn is None:
+            return 0
+        return self._churn.get(rank, 0)
+
+    def _rank_purpose(self, base: str, rank: int) -> str:
+        """Stream purpose of ``base`` at the rank's churn generation."""
+        generation = self.rank_generation(rank)
+        return base if generation == 0 else f"{base}@{generation}"
 
     def rank_grid(self, rank: int) -> RankGrid:
         label, _ = self.target_parts(rank)
         reg_p = (self.config.peak_registration_probability
                  / (rank ** self.config.rank_decay))
-        uniforms = self._stream("reg").uniforms(rank, _grid_total(len(label)))
+        uniforms = self._stream(self._rank_purpose("reg", rank)).uniforms(
+            rank, _grid_total(len(label)))
         generated, registered = _grid_draw(label, reg_p, uniforms)
         return RankGrid(label=label, generated=generated,
                         registered=np.asarray(registered, dtype=np.int64),
@@ -781,7 +904,8 @@ class WorldModel:
             return
         config = self.config
         n = len(registered)
-        wu = self._stream("wild").uniforms(rank, 12 * n + 4).tolist()
+        wu = self._stream(self._rank_purpose("wild", rank)).uniforms(
+            rank, 12 * n + 4).tolist()
         wi = 0
         def_frac = config.defensive_fraction
         legit_cut = def_frac + config.legitimate_fraction
@@ -961,7 +1085,8 @@ class WorldModel:
                    max_rank: Optional[int] = None,
                    exclude: Iterable[str] = (),
                    aggregates: Optional[ScanAggregates] = None,
-                   retain: Optional[list] = None) -> ScanAggregates:
+                   retain: Optional[list] = None,
+                   perf: Optional["PerfRegistry"] = None) -> ScanAggregates:
         """Scan ranks ``[start_rank, stop_rank)`` into streaming aggregates.
 
         ``max_rank`` is the size of the world's target universe (candidate
@@ -972,6 +1097,15 @@ class WorldModel:
         is appended as ``(DomainState, observed SmtpSupport)``; on the
         paper-scale path nothing per-result is kept.
 
+        Setup is O(1) and the loop touches only this window's filler
+        chunks: target collisions resolve through the O(1)
+        :meth:`is_target_domain` law, never a materialized universe, so
+        a shard's cost depends on its own width — not on ``stop_rank``
+        or ``max_rank``.  ``perf`` (optional) accumulates
+        ``scan.setup_seconds`` / ``scan.draw_seconds`` /
+        ``scan.probe_seconds`` phase timers; when omitted the loop pays
+        only a dead branch per rank.
+
         The probe emulation mirrors :meth:`EcosystemScanner._probe`
         against the host behaviours ``build_internet`` attaches: per
         attempt a timeout draw, then a network-error draw, then either a
@@ -980,9 +1114,13 @@ class WorldModel:
         (defensive mail, parked or web-only hosts) resolve without
         consuming probe uniforms.
         """
+        timing = perf is not None
+        entry_t = perf_counter() if timing else 0.0
         aggregates = aggregates if aggregates is not None else ScanAggregates()
-        target_set = self.target_names(max_rank or (stop_rank - 1))
+        max_rank = max_rank or (stop_rank - 1)
         excluded = {domain.lower() for domain in exclude}
+        check_exclude = bool(excluded)
+        churn = self._churn
         probe_stream = self._stream("probe")
         attempts = self.probe_attempts
         config = self.config
@@ -992,6 +1130,9 @@ class WorldModel:
         small_timeout = config.longtail_timeout_probability
         small_neterr = config.longtail_network_error_probability
         support_by_code = _SUPPORT_BY_CODE
+        is_target = self.is_target_domain
+        head_n = len(self._head_names)
+        head_parts = self._head_parts
         generated = 0
         registered_n = 0
         # categorical folds are flat index lists; dict folds only where the
@@ -1004,121 +1145,163 @@ class WorldModel:
         per_target_c: Dict[str, int] = {}
         private_n = 0
         implicit_n = 0
+        draw_s = 0.0
+        probe_s = 0.0
+        setup_s = (perf_counter() - entry_t) if timing else 0.0
 
-        self.target_domain(max(1, stop_rank - 1))
-        targets = self._targets
-        parts = self._target_parts
-        for rank in range(start_rank, stop_rank):
-            label, suffix = parts[rank - 1]
-            reg_p = peak / (rank ** decay)
-            uniforms = reg_stream.uniforms(rank, _grid_total(len(label)))
-            gen_count, regs = _grid_draw(label, reg_p, uniforms)
-            generated += gen_count
-            if not regs:
-                continue
-            target = targets[rank - 1]
-            pu: Optional[list] = None
-            pi = 0
-            n = len(regs)
-            scanned = 0
-            for rec in self._iter_rank_records(rank, target, label, suffix,
-                                               regs):
-                (domain, owner_id, cls, profile, support, mx_domain,
-                 mx_key, has_address, nameserver, private, proxy,
-                 fields, policy, op, index, char) = rec
-                if domain in excluded or domain in target_set:
-                    continue
-                # probe emulation (all codes: 0 NO_DNS, 1 NO_INFO,
-                # 2 NO_EMAIL, 3 PLAIN, 4 STARTTLS_ERRORS, 5 STARTTLS_OK)
-                if support == 0:
-                    observed = 0
-                elif cls == 0:
-                    observed = 5
-                elif support == 2 or (cls != 4 and cls != 1
-                                      and support == 1):
-                    # web-parked or refused hosts answer deterministically
-                    observed = support
+        rank = start_rank
+        while rank < stop_rank:
+            # one block: the email-target head, or one filler chunk's
+            # overlap with the scan window (chunk lookups, generated
+            # counts, and name slicing amortize across the block)
+            if rank <= head_n:
+                base_rank = 1
+                block_stop = min(stop_rank, head_n + 1)
+                names = self._head_names
+                counts = self._head_gen_counts
+                filler = False
+            else:
+                chunk, _ = divmod(rank - 1 - head_n, _FILLER_CHUNK)
+                names, counts = self._chunk(chunk)
+                base_rank = head_n + chunk * _FILLER_CHUNK + 1
+                block_stop = min(stop_rank, base_rank + _FILLER_CHUNK)
+                filler = True
+            for r in range(rank, block_stop):
+                idx = r - base_rank
+                name = names[idx]
+                if filler:
+                    label = name[:-4]
+                    suffix = "com"
                 else:
-                    if cls == 1:
-                        timeout_p, neterr_p = 0.05, 0.03
-                        starttls, broken = True, False
-                        listener = True
-                    elif cls != 4:
-                        timeout_p, neterr_p = 0.03, 0.02
-                        starttls, broken = True, support == 4
-                        listener = True
-                    elif support == 1:
-                        timeout_p, neterr_p = 0.97, 0.03
-                        listener = False
+                    label, suffix = head_parts[idx]
+                reg_p = peak / (r ** decay)
+                if churn is not None and churn.get(r, 0):
+                    generation = churn[r]
+                    rank_reg = self._stream(f"reg@{generation}")
+                    rank_probe = self._stream(f"probe@{generation}")
+                else:
+                    rank_reg = reg_stream
+                    rank_probe = probe_stream
+                if timing:
+                    t0 = perf_counter()
+                uniforms = rank_reg.uniforms(r, 76 * len(label) + 36)
+                regs = _registered_flats(label, reg_p, uniforms)
+                if timing:
+                    draw_s += perf_counter() - t0
+                generated += counts[idx]
+                if not regs:
+                    continue
+                if timing:
+                    t1 = perf_counter()
+                target = name
+                pu: Optional[list] = None
+                pi = 0
+                n = len(regs)
+                scanned = 0
+                for rec in self._iter_rank_records(r, target, label,
+                                                   suffix, regs):
+                    (domain, owner_id, cls, profile, support, mx_domain,
+                     mx_key, has_address, nameserver, private, proxy,
+                     fields, policy, op, index, char) = rec
+                    if ((check_exclude and domain in excluded)
+                            or is_target(domain, max_rank)):
+                        continue
+                    # probe emulation (all codes: 0 NO_DNS, 1 NO_INFO,
+                    # 2 NO_EMAIL, 3 PLAIN, 4 STARTTLS_ERRORS,
+                    # 5 STARTTLS_OK)
+                    if support == 0:
+                        observed = 0
+                    elif cls == 0:
+                        observed = 5
+                    elif support == 2 or (cls != 4 and cls != 1
+                                          and support == 1):
+                        # web-parked or refused hosts answer
+                        # deterministically
+                        observed = support
                     else:
-                        timeout_p, neterr_p = small_timeout, small_neterr
-                        starttls, broken = support != 3, support == 4
-                        listener = True
-                    if pu is None:
-                        pu = probe_stream.uniforms(
-                            rank, 2 * attempts * n + 2).tolist()
-                    observed = -1
-                    refused = False
-                    for _ in range(attempts):
-                        if pu[pi] < timeout_p:
+                        if cls == 1:
+                            timeout_p, neterr_p = 0.05, 0.03
+                            starttls, broken = True, False
+                            listener = True
+                        elif cls != 4:
+                            timeout_p, neterr_p = 0.03, 0.02
+                            starttls, broken = True, support == 4
+                            listener = True
+                        elif support == 1:
+                            timeout_p, neterr_p = 0.97, 0.03
+                            listener = False
+                        else:
+                            timeout_p, neterr_p = (small_timeout,
+                                                   small_neterr)
+                            starttls, broken = support != 3, support == 4
+                            listener = True
+                        if pu is None:
+                            pu = rank_probe.uniforms(
+                                r, 2 * attempts * n + 2).tolist()
+                        observed = -1
+                        refused = False
+                        for _ in range(attempts):
+                            if pu[pi] < timeout_p:
+                                pi += 1
+                                continue
                             pi += 1
-                            continue
-                        pi += 1
-                        if pu[pi] < neterr_p:
+                            if pu[pi] < neterr_p:
+                                pi += 1
+                                continue
                             pi += 1
-                            continue
-                        pi += 1
-                        if not listener:
-                            refused = True
-                            continue
-                        observed = 4 if broken else (5 if starttls else 3)
-                        break
-                    if observed < 0:
-                        observed = 2 if refused else 1
-                # fold ------------------------------------------------
-                scanned += 1
-                support_l[observed] += 1
-                truth_l[support] += 1
-                if mx_key is not None:
-                    mx_c[mx_key] = mx_c.get(mx_key, 0) + 1
-                elif has_address:
-                    implicit_n += 1
-                if cls == 2 or cls == 3:
-                    owner_dom_c[owner_id] = owner_dom_c.get(owner_id, 0) + 1
-                owner_type_l[cls] += 1
-                if private:
-                    private_n += 1
-                if retain is not None:
-                    retain.append((DomainState(
-                        domain=domain, target=target, rank=rank, edit_op=op,
-                        edit_index=index, edit_char=char, owner_id=owner_id,
-                        owner_type=_OWNER_BY_CODE[cls], profile=profile,
-                        support=support_by_code[support],
-                        mx_domain=mx_domain, has_address=has_address,
-                        nameserver=nameserver, private_whois=private,
-                        privacy_proxy=proxy, whois_fields_filled=fields,
-                        longtail_policy=policy),
-                        support_by_code[observed]))
-            if scanned:
-                registered_n += scanned
-                per_target_c[target] = per_target_c.get(target, 0) + scanned
+                            if not listener:
+                                refused = True
+                                continue
+                            observed = (4 if broken
+                                        else (5 if starttls else 3))
+                            break
+                        if observed < 0:
+                            observed = 2 if refused else 1
+                    # fold --------------------------------------------
+                    scanned += 1
+                    support_l[observed] += 1
+                    truth_l[support] += 1
+                    if mx_key is not None:
+                        mx_c[mx_key] = mx_c.get(mx_key, 0) + 1
+                    elif has_address:
+                        implicit_n += 1
+                    if cls == 2 or cls == 3:
+                        owner_dom_c[owner_id] = (
+                            owner_dom_c.get(owner_id, 0) + 1)
+                    owner_type_l[cls] += 1
+                    if private:
+                        private_n += 1
+                    if retain is not None:
+                        retain.append((DomainState(
+                            domain=domain, target=target, rank=r,
+                            edit_op=op, edit_index=index, edit_char=char,
+                            owner_id=owner_id,
+                            owner_type=_OWNER_BY_CODE[cls],
+                            profile=profile,
+                            support=support_by_code[support],
+                            mx_domain=mx_domain, has_address=has_address,
+                            nameserver=nameserver, private_whois=private,
+                            privacy_proxy=proxy,
+                            whois_fields_filled=fields,
+                            longtail_policy=policy),
+                            support_by_code[observed]))
+                if scanned:
+                    registered_n += scanned
+                    per_target_c[target] = (
+                        per_target_c.get(target, 0) + scanned)
+                if timing:
+                    probe_s += perf_counter() - t1
+            rank = block_stop
 
-        aggregates.generated_count += generated
-        aggregates.registered_count += registered_n
-        aggregates.support_counts.update(
-            {_SUPPORT_VALUE_BY_CODE[i]: v
-             for i, v in enumerate(support_l) if v})
-        aggregates.truth_support_counts.update(
-            {_SUPPORT_VALUE_BY_CODE[i]: v
-             for i, v in enumerate(truth_l) if v})
-        aggregates.mx_domain_counts.update(mx_c)
-        aggregates.owner_domain_counts.update(owner_dom_c)
-        aggregates.owner_type_counts.update(
-            {_OWNER_VALUE_BY_CODE[i]: v
-             for i, v in enumerate(owner_type_l) if v})
-        aggregates.per_target_counts.update(per_target_c)
-        aggregates.whois_private_count += private_n
-        aggregates.implicit_mx_count += implicit_n
+        aggregates.fold_flat(
+            generated, registered_n, support_l, truth_l, owner_type_l,
+            _SUPPORT_VALUE_BY_CODE, _OWNER_VALUE_BY_CODE,
+            mx_c, owner_dom_c, per_target_c, private_n, implicit_n)
+        if timing:
+            perf.add_seconds("scan.setup_seconds", setup_s)
+            perf.add_seconds("scan.draw_seconds", draw_s)
+            perf.add_seconds("scan.probe_seconds", probe_s)
+            perf.count("scan.ranks", stop_rank - start_rank)
         return aggregates
 
 

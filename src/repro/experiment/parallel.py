@@ -79,6 +79,7 @@ __all__ = [
     "ScanShardTask",
     "ScanShard",
     "run_scan_shard",
+    "fold_shard_perf",
     "partition_ranks",
     "run_sharded_scan",
     "ShardRetryPolicy",
@@ -219,6 +220,13 @@ class ScanShardTask:
     #: 1-based retry attempt — requeued shards run with ``attempt+1``, so
     #: a spec with ``failures=N`` kills attempts 1..N and lets N+1 pass
     attempt: int = 1
+    #: churn generations of the evolved world, as sorted (rank, generation)
+    #: pairs (a tuple so the task stays hashable/picklable); empty means
+    #: the pristine day-0 world
+    churn: Tuple[Tuple[int, int], ...] = ()
+    #: collect per-phase wall-clock (shard setup vs shard work, and the
+    #: scan loop's setup/draw/probe split) into ``ScanShard.perf``
+    collect_perf: bool = False
 
 
 @dataclass(frozen=True)
@@ -228,6 +236,9 @@ class ScanShard:
     start_rank: int
     stop_rank: int
     aggregates: ScanAggregates
+    #: :meth:`PerfRegistry.snapshot` of the shard's phase timers, when
+    #: the task asked for them (picklable plain dicts)
+    perf: Optional[Dict] = None
 
 
 def run_scan_shard(task: ScanShardTask) -> ScanShard:
@@ -244,12 +255,33 @@ def run_scan_shard(task: ScanShardTask) -> ScanShard:
                 raise InjectedWorkerCrash(
                     f"injected crash in shard [{task.start_rank},"
                     f"{task.stop_rank}) attempt {task.attempt}")
-    world = WorldModel(task.seed, task.config)
+    perf = PerfRegistry() if task.collect_perf else None
+    setup_start = time.perf_counter()
+    world = WorldModel(task.seed, task.config,
+                       churn=dict(task.churn) if task.churn else None)
+    setup_seconds = time.perf_counter() - setup_start
+    work_start = time.perf_counter()
     aggregates = world.scan_ranks(task.start_rank, task.stop_rank,
                                   max_rank=task.max_rank,
-                                  exclude=task.exclude)
+                                  exclude=task.exclude, perf=perf)
+    if perf is not None:
+        perf.add_seconds("scan.shard_setup_seconds", setup_seconds)
+        perf.add_seconds("scan.shard_work_seconds",
+                         time.perf_counter() - work_start)
     return ScanShard(start_rank=task.start_rank, stop_rank=task.stop_rank,
-                     aggregates=aggregates)
+                     aggregates=aggregates,
+                     perf=perf.snapshot() if perf is not None else None)
+
+
+def fold_shard_perf(perf: Optional[PerfRegistry],
+                    shard_perf: Optional[Dict]) -> None:
+    """Fold one shard's perf snapshot into the driver-side registry."""
+    if perf is None or not shard_perf:
+        return
+    for name, stat in shard_perf.get("timers", {}).items():
+        perf.add_seconds(name, stat["seconds"], calls=stat["calls"])
+    for name, amount in shard_perf.get("counters", {}).items():
+        perf.count(name, amount)
 
 
 def partition_ranks(max_rank: int,
@@ -276,22 +308,35 @@ def partition_ranks(max_rank: int,
 
 def run_sharded_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
                      config: Optional[InternetConfig] = None,
-                     exclude: Sequence[str] = ()) -> ScanAggregates:
+                     exclude: Sequence[str] = (),
+                     churn: Sequence[Tuple[int, int]] = (),
+                     perf: Optional[PerfRegistry] = None) -> ScanAggregates:
     """Scan ranks ``1..max_rank`` of the lazy world, fanned over workers.
 
     ``jobs=None`` or ``1`` runs serially in-process; either way the
     merged aggregates (and their digest) are identical, which the shard
-    determinism tests pin down.
+    determinism tests pin down.  ``churn`` evolves the world by the
+    given (rank, generation) pairs (see :mod:`repro.ecosystem.delta`);
+    ``perf`` collects the per-phase timers (setup/draw/probe per shard,
+    plus ``scan.merge_seconds`` for the fold) into one registry.
     """
     shard_count = jobs if jobs and jobs > 1 else 1
     tasks = [ScanShardTask(seed=seed, start_rank=start, stop_rank=stop,
                            max_rank=max_rank, config=config,
-                           exclude=tuple(exclude))
+                           exclude=tuple(exclude),
+                           churn=tuple(churn),
+                           collect_perf=perf is not None)
              for start, stop in partition_ranks(max_rank, shard_count)]
     shards = parallel_map(run_scan_shard, tasks, jobs=jobs)
+    merge_start = time.perf_counter()
     merged = ScanAggregates()
     for shard in shards:
         merged.merge(shard.aggregates)
+    merge_seconds = time.perf_counter() - merge_start
+    if perf is not None:
+        for shard in shards:
+            fold_shard_perf(perf, shard.perf)
+        perf.add_seconds("scan.merge_seconds", merge_seconds)
     return merged
 
 
@@ -566,7 +611,8 @@ def run_resilient_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
         tasks = [ScanShardTask(seed=seed, start_rank=start, stop_rank=stop,
                                max_rank=max_rank, config=config,
                                exclude=tuple(exclude),
-                               fault_plan=fault_plan, attempt=attempt)
+                               fault_plan=fault_plan, attempt=attempt,
+                               collect_perf=perf is not None)
                  for start, stop, attempt in pending]
         results = _map_shards_guarded(tasks, jobs, retry, perf)
         requeued: List[Tuple[int, int, int]] = []
@@ -575,6 +621,7 @@ def run_resilient_scan(seed: int, max_rank: int, jobs: Optional[int] = None,
             attempts_made[key] = task.attempt
             if isinstance(result, ScanShard):
                 completed[key] = result.aggregates
+                fold_shard_perf(perf, result.perf)
                 if checkpoint is not None:
                     checkpoint.record(task.start_rank, task.stop_rank,
                                       result.aggregates)
