@@ -154,3 +154,32 @@ def test_perf_baseline(benchmark):
         f"streaming scan throughput regressed: "
         f"{entry['streaming_scan']['ctypos_per_sec']:,.1f}/s vs baseline "
         f"{baseline_stream_rate:,.1f}/s (gate {REGRESSION_FACTOR}x)")
+
+
+def test_query_service_not_regressed():
+    """Gate the recorded serving trajectory (query_service section).
+
+    The serving benchmark (``test_query_service``, perfsmoke lane)
+    records each run; this gate holds the *latest* recorded run within
+    2x of the recorded baseline on both p99 latency and QPS, so a
+    slowdown in the resident hot path fails the perf lane even when the
+    serving bench itself was run elsewhere.
+    """
+    import pytest
+
+    bench = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    section = bench.get("query_service")
+    if not section:
+        pytest.skip("no query_service section recorded yet — "
+                    "run benchmarks/test_query_service.py first")
+    baseline, latest = section["baseline"], section["latest"]
+    assert latest["qps"] >= baseline["qps"] / REGRESSION_FACTOR, (
+        f"serving QPS regressed: {latest['qps']:,.0f}/s vs baseline "
+        f"{baseline['qps']:,.0f}/s (gate {REGRESSION_FACTOR}x)")
+    assert latest["p99_us"] <= baseline["p99_us"] * REGRESSION_FACTOR, (
+        f"serving p99 regressed: {latest['p99_us']:.2f}us vs baseline "
+        f"{baseline['p99_us']:.2f}us (gate {REGRESSION_FACTOR}x)")
+    assert latest["build_seconds"] <= max(
+        baseline["build_seconds"] * REGRESSION_FACTOR, 1.0), (
+        f"index build regressed: {latest['build_seconds']:.3f}s vs "
+        f"baseline {baseline['build_seconds']:.3f}s")

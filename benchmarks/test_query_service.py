@@ -1,0 +1,67 @@
+"""Serving benchmark: the resident query service under mixed traffic.
+
+The perfsmoke lane's serving gate.  One modest but honest run — tens of
+thousands of ranks, hundreds of thousands of lookups, a parity sample
+against the brute-force scan — records p50/p99 latency, sustained QPS,
+and index build time into the ``query_service`` section of
+``BENCH_perf.json``, then holds the acceptance floor: a warm mixed
+workload must sustain at least 50k lookups/sec with p99 at or under
+1ms.  (The full-scale acceptance run is ``repro serve-bench --ranks
+100000``; it clears the same floor by orders of magnitude.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import run_serve_bench
+from repro.service.bench import record_query_service
+
+from test_perf_baseline import BENCH_PATH, REGRESSION_FACTOR
+
+SERVE_SEED = 606
+SERVE_RANKS = 20_000
+SERVE_LOOKUPS = 200_000
+SERVE_POOL = 2048
+PARITY_SAMPLE = 30
+
+#: the issue's acceptance floor, held at perfsmoke scale too
+MIN_QPS = 50_000.0
+MAX_P99_US = 1_000.0
+
+
+@pytest.mark.perfsmoke
+def test_query_service_serving_floor():
+    result = run_serve_bench(SERVE_SEED, SERVE_RANKS,
+                             lookups=SERVE_LOOKUPS, pool_size=SERVE_POOL,
+                             parity=PARITY_SAMPLE)
+    for line in result.report_lines():
+        print(line)
+
+    # the run is honest before it is fast
+    assert result.lookups == SERVE_LOOKUPS
+    assert result.parity_checked == PARITY_SAMPLE
+    assert result.verdict_counts.get("clean", 0) > 0
+    assert result.verdict_counts.get("typo_risk", 0) > 0
+    assert result.engine_hit_rate > 0.5  # warm regime, by construction
+
+    section = record_query_service(result.entry(), BENCH_PATH)
+
+    # acceptance floor
+    assert result.qps >= MIN_QPS, (
+        f"serving too slow: {result.qps:,.0f} lookups/sec "
+        f"(floor {MIN_QPS:,.0f})")
+    assert result.p99_us <= MAX_P99_US, (
+        f"p99 latency too high: {result.p99_us:.1f}us "
+        f"(ceiling {MAX_P99_US:.0f}us)")
+
+    # trajectory gate against the recorded baseline
+    baseline = section["baseline"]
+    assert result.qps >= baseline["qps"] / REGRESSION_FACTOR, (
+        f"serving QPS regressed: {result.qps:,.0f}/s vs baseline "
+        f"{baseline['qps']:,.0f}/s (gate {REGRESSION_FACTOR}x) — if this "
+        "slowdown is intended, delete the query_service section of "
+        "BENCH_perf.json to re-baseline")
+    assert result.p99_us <= baseline["p99_us"] * REGRESSION_FACTOR, (
+        f"serving p99 regressed: {result.p99_us:.2f}us vs baseline "
+        f"{baseline['p99_us']:.2f}us (gate {REGRESSION_FACTOR}x)")

@@ -9,6 +9,7 @@ Commands mirror the paper's experiments:
 * ``typos``    — enumerate DL-1 typo candidates of a domain, with features
 * ``check``    — the §8 defense: is this address a likely typo?
 * ``doctor``   — validate on-disk artifacts (checkpoints, plans, baselines)
+* ``serve-bench`` — benchmark the resident typo-risk query service
 
 Failures surface through the :mod:`repro.util.errors` taxonomy: exit 2
 for bad input files, exit 3 for corrupt/mismatched checkpoints, exit 4
@@ -150,6 +151,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, metavar="N",
                        help="worker processes (default: serial)")
 
+    serve = commands.add_parser(
+        "serve-bench",
+        help="benchmark the resident typo-risk query service")
+    serve.add_argument("--ranks", type=int, default=100_000, metavar="N",
+                       help="world size: most-popular N domains are "
+                            "targets (default: 100000)")
+    serve.add_argument("--lookups", type=int, default=1_000_000,
+                       metavar="N",
+                       help="queries to serve and time (default: 1000000)")
+    serve.add_argument("--pool-size", type=int, default=4096, metavar="N",
+                       help="distinct queries per workload category "
+                            "(default: 4096)")
+    serve.add_argument("--no-warmup", action="store_true",
+                       help="skip the warmup pass: measure the cold "
+                            "memo instead of the warm steady state")
+    serve.add_argument("--parity", type=int, default=0, metavar="N",
+                       help="verify N distinct queries byte-identical "
+                            "against the brute-force all-targets scan "
+                            "(slow; default: 0)")
+    serve.add_argument("--save-index", metavar="PATH",
+                       help="persist the built index as a "
+                            "repro-risk-index@1 artifact")
+    serve.add_argument("--load-index", metavar="PATH",
+                       help="serve from a persisted index artifact "
+                            "instead of building one (overrides --ranks)")
+    serve.add_argument("--bench-out", metavar="PATH",
+                       help="record the run into this BENCH_perf.json's "
+                            "query_service section")
+
     return parser
 
 
@@ -207,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "sweep": _cmd_sweep,
         "doctor": _cmd_doctor,
+        "serve-bench": _cmd_serve_bench,
     }[args.command]
     try:
         return handler(args)
@@ -631,6 +662,39 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         print(f"{len(bad)} of {len(diagnoses)} artifacts failed "
               f"validation", file=sys.stderr)
     return exit_code_for(diagnoses)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve-bench``: time the resident query service."""
+    from repro.service import (RiskEngine, TypoRiskIndex, record_query_service,
+                               run_serve_bench)
+
+    engine = None
+    if args.load_index:
+        index = TypoRiskIndex.load(args.load_index)
+        print(f"loaded index {args.load_index}: seed={index.seed} "
+              f"ranks={index.max_rank} day={index.day}", file=sys.stderr)
+    elif args.save_index:
+        index = TypoRiskIndex(args.seed, args.ranks)
+    else:
+        index = None  # run_serve_bench builds (and times) its own
+    if index is not None:
+        engine = RiskEngine(
+            index, max_cached_verdicts=max(1 << 15, 8 * args.pool_size))
+    result = run_serve_bench(
+        args.seed, args.ranks, lookups=args.lookups,
+        pool_size=args.pool_size, warmup=not args.no_warmup,
+        parity=args.parity, engine=engine)
+    for line in result.report_lines():
+        print(line)
+    if args.save_index:
+        index.save(args.save_index)
+        print(f"index saved to {args.save_index}", file=sys.stderr)
+    if args.bench_out:
+        record_query_service(result.entry(), args.bench_out)
+        print(f"recorded query_service entry in {args.bench_out}",
+              file=sys.stderr)
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

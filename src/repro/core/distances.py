@@ -78,9 +78,16 @@ def set_distance_caches_enabled(enabled: bool) -> None:
 
 
 def clear_distance_caches() -> None:
-    """Drop every memoized distance/neighbourhood result."""
-    for cache in _ALL_CACHES.values():
+    """Drop every memoized result and zero the hit/miss counters.
+
+    Counters reset alongside the entries so a hit rate computed from
+    :func:`distance_cache_stats` always describes the run since the last
+    clear, not the whole process lifetime.
+    """
+    for name, cache in _ALL_CACHES.items():
         cache.clear()
+        _CACHE_HITS[name] = 0
+        _CACHE_MISSES[name] = 0
 
 
 def distance_cache_stats() -> Dict[str, Dict[str, int]]:

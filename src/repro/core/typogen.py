@@ -119,8 +119,15 @@ def set_typogen_cache_enabled(enabled: bool) -> None:
 
 
 def clear_typogen_cache() -> None:
-    """Drop every memoized candidate list."""
+    """Drop every memoized candidate list and zero the hit/miss counters.
+
+    Matches :func:`repro.core.distances.clear_distance_caches`: stats
+    describe the run since the last clear, not the process lifetime.
+    """
+    global _CANDIDATE_CACHE_HITS, _CANDIDATE_CACHE_MISSES
     _CANDIDATE_CACHE.clear()
+    _CANDIDATE_CACHE_HITS = 0
+    _CANDIDATE_CACHE_MISSES = 0
 
 
 def typogen_cache_stats() -> dict:

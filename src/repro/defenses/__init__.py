@@ -1,6 +1,7 @@
 """Defenses and extensions (paper §8): autocorrect, policy, username typos."""
 
 from repro.defenses.autocorrect import Suggestion, TypoCorrector
+from repro.defenses.risktiers import TIER_ACTIONS, TIERS, RiskPolicy
 from repro.defenses.policy import (
     LEGITIMATE_PRICE_ELASTICITY,
     SQUATTER_PRICE_ELASTICITY,
@@ -20,6 +21,9 @@ from repro.defenses.username_typos import (
 __all__ = [
     "TypoCorrector",
     "Suggestion",
+    "RiskPolicy",
+    "TIER_ACTIONS",
+    "TIERS",
     "simulate_price_policy",
     "policy_sweep",
     "break_even_price",

@@ -1,0 +1,75 @@
+"""Risk tiers and actions for the resident typo-risk query service.
+
+The serving layer (``repro.service``) reduces a lookup to one scalar
+risk score in ``[0, 1]``; this module owns the *policy* that turns the
+score into an operational decision, mirroring the tiered responses in
+Spaulding et al.'s typosquatting-landscape survey: block outright,
+rewrite to the intended target (autocorrect), flag for the recipient,
+queue for human review, or allow.  Keeping thresholds here — in
+``defenses``, beside the autocorrect and price-policy levers — lets a
+deployment tune its appetite without touching the engine, and lets the
+parity tests pin that any two engines sharing a policy produce
+byte-identical verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["RiskPolicy", "TIER_ACTIONS", "TIERS"]
+
+#: tier -> action, in descending severity; "none" is the clean/unrelated
+#: tier (no candidate target within one edit)
+TIER_ACTIONS = {
+    "critical": "block",
+    "high": "rewrite",
+    "medium": "flag",
+    "review": "review",
+    "low": "allow",
+    "none": "allow",
+}
+
+#: tier names in descending severity
+TIERS: Tuple[str, ...] = ("critical", "high", "medium", "review", "low")
+
+
+@dataclass(frozen=True)
+class RiskPolicy:
+    """Score thresholds mapping a risk score to a tier (and action).
+
+    Thresholds are inclusive lower bounds and must descend strictly:
+    ``score >= critical`` blocks, down through the review band —
+    scores the scorer cannot confidently place, routed to a human
+    review queue instead of an automated action — to ``low``/allow.
+    The defaults put every *registered* ctypo of a popular target at
+    high or critical, and generated-but-unregistered typos of obscure
+    fillers at low.
+    """
+
+    critical: float = 0.80
+    high: float = 0.55
+    medium: float = 0.35
+    review: float = 0.18
+
+    def __post_init__(self) -> None:
+        bounds = (self.critical, self.high, self.medium, self.review)
+        if not all(0.0 < b <= 1.0 for b in bounds):
+            raise ValueError("risk thresholds must lie in (0, 1]")
+        if not all(a > b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                "risk thresholds must descend strictly: "
+                f"critical={self.critical} high={self.high} "
+                f"medium={self.medium} review={self.review}")
+
+    def tier_for(self, score: float) -> Tuple[str, str]:
+        """``(tier, action)`` for a risk score in [0, 1]."""
+        if score >= self.critical:
+            return "critical", TIER_ACTIONS["critical"]
+        if score >= self.high:
+            return "high", TIER_ACTIONS["high"]
+        if score >= self.medium:
+            return "medium", TIER_ACTIONS["medium"]
+        if score >= self.review:
+            return "review", TIER_ACTIONS["review"]
+        return "low", TIER_ACTIONS["low"]

@@ -2,7 +2,7 @@
 
 A long campaign leaves a trail of durable files — study checkpoints,
 scan checkpoints, delta-scan baselines, the performance baseline,
-fault-plan schedules — and
+fault-plan schedules, persisted typo-risk indexes — and
 each of them can rot: torn writes from a crash mid-save, manual edits,
 copies from a different run.  ``repro doctor`` examines each file,
 detects what kind of artifact it is, and validates it against its own
@@ -13,7 +13,8 @@ The validators are the *same* code paths the runtime uses to load each
 artifact (:class:`~repro.experiment.checkpoint.StudyCheckpoint`,
 :class:`~repro.experiment.parallel.ScanCheckpoint`,
 :class:`~repro.ecosystem.delta.ScanBaseline`,
-:class:`~repro.faultsim.plan.FaultPlan`), so a file the doctor passes is
+:class:`~repro.faultsim.plan.FaultPlan`,
+:class:`~repro.service.index.TypoRiskIndex`), so a file the doctor passes is
 a file the engine will accept — there is no second, drifting schema.
 """
 
@@ -39,6 +40,7 @@ KIND_SCAN_CHECKPOINT = "scan-checkpoint"
 KIND_SCAN_BASELINE = "scan-baseline"
 KIND_FAULT_PLAN = "fault-plan"
 KIND_PERF_BASELINE = "perf-baseline"
+KIND_RISK_INDEX = "risk-index"
 KIND_UNKNOWN = "unknown"
 
 
@@ -94,13 +96,14 @@ def diagnose_file(path: Union[str, Path]) -> Diagnosis:
         KIND_SCAN_BASELINE: _check_scan_baseline,
         KIND_FAULT_PLAN: _check_fault_plan,
         KIND_PERF_BASELINE: _check_perf_baseline,
+        KIND_RISK_INDEX: _check_risk_index,
     }.get(kind)
     if validator is None:
         return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
                          problems=["not a recognized repro artifact "
                                    "(study/scan checkpoint, scan "
-                                   "baseline, fault plan, or perf "
-                                   "baseline)"],
+                                   "baseline, fault plan, perf "
+                                   "baseline, or risk index)"],
                          exit_code=EXIT_BAD_INPUT)
     return validator(path, data)
 
@@ -130,13 +133,17 @@ def exit_code_for(diagnoses: List[Diagnosis]) -> int:
 def _detect_kind(data: Dict) -> str:
     from repro.ecosystem.delta import SCAN_BASELINE_FORMAT
     from repro.experiment.checkpoint import STUDY_CHECKPOINT_FORMAT
+    from repro.service.index import RISK_INDEX_FORMAT
 
     if data.get("format") == STUDY_CHECKPOINT_FORMAT:
         return KIND_STUDY_CHECKPOINT
-    # the scan baseline carries an explicit format tag, so test it
-    # before the schema-shape heuristics (it also has seed/max_rank)
+    # the scan baseline and risk index carry explicit format tags, so
+    # test them before the schema-shape heuristics (both also have
+    # seed/max_rank)
     if data.get("format") == SCAN_BASELINE_FORMAT:
         return KIND_SCAN_BASELINE
+    if data.get("format") == RISK_INDEX_FORMAT:
+        return KIND_RISK_INDEX
     if {"seed", "max_rank", "shards"} <= set(data):
         return KIND_SCAN_CHECKPOINT
     if "baseline" in data and isinstance(data["baseline"], dict):
@@ -161,6 +168,10 @@ def _kind_from_name(path: Path) -> tuple:
         # a torn scan baseline is corrupt durable state, like a torn
         # checkpoint: the remedy is a rebuild, the exit code is 3
         return KIND_SCAN_BASELINE, EXIT_CORRUPT_CHECKPOINT
+    if "index" in name:
+        # same story for a torn persisted risk index: durable state
+        # the service would refuse, so exit 3
+        return KIND_RISK_INDEX, EXIT_CORRUPT_CHECKPOINT
     return KIND_UNKNOWN, EXIT_BAD_INPUT
 
 
@@ -263,6 +274,28 @@ def _check_fault_plan(path: Path, data: Dict) -> Diagnosis:
         "empty": plan.is_empty,
     }
     return Diagnosis(path=path, kind=KIND_FAULT_PLAN, ok=True,
+                     details=details)
+
+
+def _check_risk_index(path: Path, data: Dict) -> Diagnosis:
+    from repro.service.index import TypoRiskIndex
+
+    try:
+        # the service's own loader revalidates the format tag, the
+        # payload self-digest, the config digest, and re-derives the
+        # candidate buckets from (seed, max_rank) to catch tampering
+        index = TypoRiskIndex.load(path)
+    except ReproError as error:
+        return Diagnosis(path=path, kind=KIND_RISK_INDEX, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    details = {
+        "seed": index.seed,
+        "max_rank": index.max_rank,
+        "day": index.day,
+        "head_buckets": index.head_bucket_count,
+    }
+    return Diagnosis(path=path, kind=KIND_RISK_INDEX, ok=True,
                      details=details)
 
 

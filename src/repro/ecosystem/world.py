@@ -793,38 +793,66 @@ class WorldModel:
     def is_target_domain(self, domain: str, max_rank: int) -> bool:
         """O(1) membership in the ``max_rank`` target universe.
 
-        The law inverted: a domain is a target iff it is one of the
-        email-study heads, or it parses as ``<letters><index>.com``
-        where ``index`` (decimal, no leading zeros — ``str`` never
-        prints them) addresses a filler slot inside the universe and
-        the slot's derived name matches exactly.  Equivalent to
-        ``domain in target_names(max_rank)`` (pinned by tests) without
-        materializing the universe, so shard setup cost no longer
-        scales with ``max_rank``.
+        Equivalent to ``domain in target_names(max_rank)`` (pinned by
+        tests) without materializing the universe, so shard setup cost
+        no longer scales with ``max_rank``.
+        """
+        return self.target_rank(domain, max_rank) is not None
+
+    def target_rank(self, domain: str, max_rank: int) -> Optional[int]:
+        """The domain's rank in the ``max_rank`` universe, or ``None``.
+
+        The membership law inverted, with the rank recovered: a domain
+        is a target iff it is one of the email-study heads, or it
+        parses as ``<letters><index>.com`` where ``index`` (decimal,
+        no leading zeros — ``str`` never prints them) addresses a
+        filler slot inside the universe and the slot's derived name
+        matches exactly.  This is the single membership oracle: the
+        scan's :meth:`is_target_domain` and the query service's
+        candidate index both probe it, so they can never disagree.
         """
         rank = self._head_rank.get(domain)
         if rank is not None:
-            return rank <= max_rank
+            return rank if rank <= max_rank else None
         if not domain.endswith(".com"):
-            return False
+            return None
         label = domain[:-4]
         stem = label.rstrip("0123456789")
         nstem = len(stem)
         # no digit suffix, or a stem no 2-3 onset+vowel syllables can
         # spell (syllables are 2-3 chars, so derived stems are 4-9)
         if nstem == len(label) or nstem < 4 or nstem > 9:
-            return False
+            return None
         digits = label[nstem:]
         if digits[0] == "0" and len(digits) > 1:
-            return False                   # str(index) has no leading zeros
+            return None                    # str(index) has no leading zeros
         index = int(digits)
         if index >= max_rank - len(self._head_names):
-            return False
+            return None
         chunk, offset = divmod(index, _FILLER_CHUNK)
         cached = self._chunks.get(chunk)
         if cached is None:
             cached = self._chunk(chunk)
-        return cached[0][offset] == domain
+        if cached[0][offset] != domain:
+            return None
+        return len(self._head_names) + index + 1
+
+    def evolved(self, churn: Optional[Dict[int, int]]) -> "WorldModel":
+        """A world over the same ``(seed, config)`` at different churn.
+
+        Target *identities* never churn — only per-rank registration,
+        wild-state, and probe streams are generation-keyed — so the
+        filler chunk cache and any materialized target set transfer to
+        the new world unchanged.  This is what lets a resident index
+        apply a churn delta without re-deriving the target universe.
+        """
+        world = WorldModel(self.seed, self.config,
+                           probe_attempts=self.probe_attempts, churn=churn)
+        world._chunks = self._chunks
+        world.chunk_builds = self.chunk_builds
+        world._target_set = self._target_set
+        world._target_set_size = self._target_set_size
+        return world
 
     def persona(self, owner_id: str) -> RegistrantPersona:
         """The stable WHOIS persona behind an owner id."""

@@ -1,0 +1,51 @@
+"""Resident typo-risk query service.
+
+A mail server (or registrar frontend) asks "how risky is this domain?"
+millions of times a day; re-scanning the whole target list per query is
+O(ranks) and unshippable.  This package keeps the answer resident:
+
+- :class:`TypoRiskIndex` — precomputed candidate retrieval (deletion
+  neighbourhoods for head targets, reverse-edit probes against the
+  lazy filler law) that finds every DL<=1 target in O(1)-ish probes,
+  pinned byte-identical to the brute-force all-targets scan.
+- :class:`RiskEngine` — layered lookup (rules -> exact target ->
+  index retrieval -> kernel scoring -> policy tiers) with a bounded
+  verdict memo and a review queue for the uncertain band.
+- :class:`LookupWorkload` — seeded Zipf-ish mixed traffic for the
+  serving benchmark, :func:`run_serve_bench`.
+"""
+
+from repro.service.bench import (
+    ParityError,
+    ServeBenchResult,
+    record_query_service,
+    run_serve_bench,
+)
+from repro.service.engine import (
+    LookupShardTask,
+    RiskEngine,
+    RiskVerdict,
+    run_lookup_shard,
+)
+from repro.service.index import (
+    RISK_INDEX_FORMAT,
+    TypoRiskIndex,
+    normalize_query,
+)
+from repro.service.workload import LookupWorkload, WorkloadMix
+
+__all__ = [
+    "TypoRiskIndex",
+    "RISK_INDEX_FORMAT",
+    "normalize_query",
+    "RiskEngine",
+    "RiskVerdict",
+    "LookupShardTask",
+    "run_lookup_shard",
+    "LookupWorkload",
+    "WorkloadMix",
+    "ServeBenchResult",
+    "ParityError",
+    "run_serve_bench",
+    "record_query_service",
+]

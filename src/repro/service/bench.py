@@ -1,0 +1,232 @@
+"""The million-lookup serving benchmark behind ``repro serve-bench``.
+
+Builds the resident index + engine, generates a seeded mixed workload
+(:class:`~repro.service.workload.LookupWorkload`), optionally verifies a
+parity sample against the brute-force scan path, warms the pools, then
+times every lookup individually: p50/p95/p99 latency, sustained QPS,
+index build time, and cache hit rates.  The same entry dict feeds the
+human-readable CLI report, the ``query_service`` section of
+``BENCH_perf.json`` (via :func:`record_query_service`), and the
+perfsmoke regression gates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core import clear_kernel_caches, kernel_cache_stats
+from repro.ecosystem.internet import InternetConfig
+from repro.service.engine import RiskEngine
+from repro.service.index import TypoRiskIndex
+from repro.service.workload import LookupWorkload, WorkloadMix
+from repro.util.perf import PerfRegistry, paused_gc, throughput
+
+__all__ = ["ServeBenchResult", "ParityError", "run_serve_bench",
+           "record_query_service", "QUERY_SERVICE_HISTORY_LIMIT"]
+
+QUERY_SERVICE_HISTORY_LIMIT = 50
+
+
+class ParityError(AssertionError):
+    """A service verdict diverged from the brute-force scan path."""
+
+
+@dataclass
+class ServeBenchResult:
+    """Everything one serving run measured."""
+
+    seed: int
+    max_rank: int
+    lookups: int
+    pool_size: int
+    distinct_queries: int
+    build_seconds: float
+    workload_seconds: float
+    warmup_seconds: float
+    wall_seconds: float
+    qps: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+    parity_checked: int
+    verdict_counts: Dict[str, int] = field(default_factory=dict)
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    engine_cache: Dict[str, int] = field(default_factory=dict)
+    kernel_caches: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def engine_hit_rate(self) -> float:
+        total = self.engine_cache.get("hits", 0) + self.engine_cache.get(
+            "misses", 0)
+        return self.engine_cache.get("hits", 0) / total if total else 0.0
+
+    def entry(self) -> Dict:
+        """The ``query_service`` record for BENCH_perf.json."""
+        return {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+            "seed": self.seed,
+            "ranks": self.max_rank,
+            "lookups": self.lookups,
+            "pool_size": self.pool_size,
+            "distinct_queries": self.distinct_queries,
+            "build_seconds": round(self.build_seconds, 4),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "qps": round(self.qps, 1),
+            "p50_us": round(self.p50_us, 2),
+            "p95_us": round(self.p95_us, 2),
+            "p99_us": round(self.p99_us, 2),
+            "max_us": round(self.max_us, 1),
+            "engine_hit_rate": round(self.engine_hit_rate, 4),
+            "parity_checked": self.parity_checked,
+            "verdicts": dict(sorted(self.verdict_counts.items())),
+            "actions": dict(sorted(self.action_counts.items())),
+        }
+
+    def report_lines(self) -> List[str]:
+        verdicts = ", ".join(f"{name}={count}" for name, count
+                             in sorted(self.verdict_counts.items()))
+        return [
+            f"serve-bench: seed={self.seed} ranks={self.max_rank} "
+            f"lookups={self.lookups} (distinct {self.distinct_queries})",
+            f"  index build   {self.build_seconds * 1e3:8.1f} ms",
+            f"  workload gen  {self.workload_seconds * 1e3:8.1f} ms",
+            f"  warmup        {self.warmup_seconds * 1e3:8.1f} ms",
+            f"  serving       {self.wall_seconds:8.3f} s   "
+            f"({self.qps:,.0f} lookups/s)",
+            f"  latency p50   {self.p50_us:8.2f} us",
+            f"  latency p95   {self.p95_us:8.2f} us",
+            f"  latency p99   {self.p99_us:8.2f} us "
+            f"(max {self.max_us:,.0f} us)",
+            f"  verdict memo  {self.engine_hit_rate * 100:7.2f} % hits "
+            f"({self.engine_cache.get('hits', 0)} hits / "
+            f"{self.engine_cache.get('misses', 0)} misses)",
+            f"  verdicts      {verdicts}",
+            f"  parity checks {self.parity_checked} vs brute-force scan",
+        ]
+
+
+def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
+                    lookups: int = 1_000_000,
+                    pool_size: int = 4096,
+                    warmup: bool = True,
+                    parity: int = 0,
+                    config: Optional[InternetConfig] = None,
+                    mix: Optional[WorkloadMix] = None,
+                    engine: Optional[RiskEngine] = None,
+                    perf: Optional[PerfRegistry] = None) -> ServeBenchResult:
+    """Serve ``lookups`` mixed queries and measure the hot path.
+
+    ``parity`` additionally re-answers that many distinct pool queries
+    through the brute-force all-targets scan and demands byte-identical
+    verdicts (raising :class:`ParityError` on the first divergence) —
+    the acceptance check that the index is pure acceleration.  A
+    prebuilt ``engine`` (e.g. loaded from a ``repro-risk-index@1``
+    artifact) skips index construction; its build time is then the
+    artifact load time already paid by the caller.
+    """
+    clear_kernel_caches()   # hit rates below describe this run alone
+    start = perf_counter()
+    if engine is None:
+        index = TypoRiskIndex(seed, max_rank, config=config, perf=perf)
+        engine = RiskEngine(index,
+                            max_cached_verdicts=max(1 << 15, 8 * pool_size),
+                            perf=perf)
+    else:
+        index = engine.index
+        seed, max_rank = index.seed, index.max_rank
+    build_seconds = perf_counter() - start
+
+    start = perf_counter()
+    workload = LookupWorkload(seed, max_rank, config=config,
+                              pool_size=pool_size, mix=mix,
+                              world=index.world)
+    queries = list(workload.queries(lookups))
+    workload_seconds = perf_counter() - start
+
+    distinct = workload.pool_entries()
+    parity_checked = 0
+    if parity > 0:
+        for query in distinct[:parity]:
+            fast = engine.lookup(query).canonical_json()
+            slow = engine.lookup_bruteforce(query).canonical_json()
+            if fast != slow:
+                raise ParityError(
+                    f"verdict for {query!r} diverges from the "
+                    f"brute-force scan:\n  index: {fast}\n  scan:  {slow}")
+            parity_checked += 1
+
+    lookup = engine.lookup
+    start = perf_counter()
+    if warmup:
+        for query in distinct:
+            lookup(query)
+    warmup_seconds = perf_counter() - start
+
+    latencies = np.empty(len(queries), dtype=np.float64)
+    timer = perf_counter
+    if perf is None:
+        perf = PerfRegistry()
+    with paused_gc():
+        wall_start = timer()
+        for position, query in enumerate(queries):
+            t0 = timer()
+            lookup(query)
+            latencies[position] = timer() - t0
+        wall_seconds = timer() - wall_start
+    perf.add_seconds("service.serve", wall_seconds)
+    perf.count("service.lookups", len(queries))
+
+    p50, p95, p99 = np.percentile(latencies, (50.0, 95.0, 99.0)) * 1e6
+    verdict_counts: Dict[str, int] = {}
+    action_counts: Dict[str, int] = {}
+    for query in queries:
+        verdict = lookup(query)
+        verdict_counts[verdict.verdict] = verdict_counts.get(
+            verdict.verdict, 0) + 1
+        action_counts[verdict.action] = action_counts.get(
+            verdict.action, 0) + 1
+    return ServeBenchResult(
+        seed=seed, max_rank=max_rank, lookups=len(queries),
+        pool_size=pool_size, distinct_queries=len(distinct),
+        build_seconds=build_seconds, workload_seconds=workload_seconds,
+        warmup_seconds=warmup_seconds, wall_seconds=wall_seconds,
+        qps=throughput(len(queries), wall_seconds),
+        p50_us=float(p50), p95_us=float(p95), p99_us=float(p99),
+        max_us=float(latencies.max() * 1e6),
+        parity_checked=parity_checked,
+        verdict_counts=verdict_counts, action_counts=action_counts,
+        engine_cache=engine.cache_stats(),
+        kernel_caches=kernel_cache_stats())
+
+
+def record_query_service(entry: Dict,
+                         path: Union[str, Path]) -> Dict:
+    """Fold a serve-bench entry into BENCH_perf.json's ``query_service``.
+
+    First recording becomes the regression baseline; later runs land in
+    ``latest`` plus a bounded history — the same shape the study/scan
+    perf gates use, so ``test_perf_baseline`` can gate >2x regressions.
+    Returns the section as written.
+    """
+    path = Path(path)
+    data: Dict = {}
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    section = data.setdefault("query_service", {})
+    if "baseline" not in section:
+        section["baseline"] = entry
+    section["latest"] = entry
+    history = section.setdefault("history", [])
+    history.append(entry)
+    del history[:-QUERY_SERVICE_HISTORY_LIMIT]
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return section

@@ -1,0 +1,394 @@
+"""Precomputed candidate index for the resident typo-risk query service.
+
+Answering "which targets of the top-``max_rank`` universe sit within one
+edit of this domain?" by brute force costs a Damerau-Levenshtein call per
+target — a million kernel invocations per lookup at paper scale.  This
+module turns that scan inside-out using the two structural facts of the
+lazy :class:`~repro.ecosystem.world.WorldModel`:
+
+* the **head targets** (the study's ~20 email providers) are few, so
+  their *deletion neighbourhoods* can be inverted at build time into
+  ``(suffix, variant) -> ranks`` buckets — the symmetric-delete trick:
+  two strings are within DL-1 iff they are equal, one is a deletion of
+  the other, or they share a single-character deletion.  A lookup probes
+  the query label and each of its deletions (O(len) dict probes) and
+  confirms survivors with the memoized DL kernel;
+* the **filler targets** obey the PR-6 membership law
+  (:meth:`WorldModel.target_rank` — ``<letters><index>.com`` with the
+  slot's derived name matching), so the DL<=1 candidates among them are
+  found *generatively*: every valid label within one edit of the query
+  (via :func:`enumerate_edit_ops`, which is DL-exactly-1 by
+  construction) is probed against the O(1) law.  A gapped-stem shape
+  gate (letters then digits, no leading zero) prunes nearly all of the
+  ~900 probes before any law evaluation.
+
+Both paths are *pure acceleration*: :meth:`TypoRiskIndex.candidate_ranks`
+is pinned equal to :meth:`brute_force_candidate_ranks` — a literal scan
+of every materialized target — by the property suite, for arbitrary
+query strings (unicode and over-length inputs return empty, never
+raise).
+
+The index also derives, lazily and per rank, the set of typo labels the
+world actually *registered* (the ctypos), which the risk scorer uses to
+escalate live squats over merely-possible typos; churn deltas
+(:meth:`apply_delta`) invalidate only the ranks whose generation
+changed.  A built index persists as a ``repro-risk-index@1`` artifact
+with the same atomic-write + self-digest discipline as the scan
+baseline, and ``repro doctor`` validates it through the same loader.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.core.distances import damerau_levenshtein
+from repro.core.targets import EMAIL_TARGETS
+from repro.core.typogen import apply_edit, enumerate_edit_ops, split_domain
+from repro.ecosystem.delta import ChurnSchedule, _config_digest
+from repro.ecosystem.internet import InternetConfig
+from repro.ecosystem.world import WorldModel
+from repro.util.errors import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    ConfigError,
+)
+from repro.util.perf import PerfRegistry
+
+__all__ = ["RISK_INDEX_FORMAT", "TypoRiskIndex", "normalize_query"]
+
+#: artifact format tag; bump when the on-disk schema changes
+RISK_INDEX_FORMAT = "repro-risk-index@1"
+
+#: alphabet for reverse-edit probes of the filler law — fillers are
+#: letters+digits, so hyphen edits can never reach one
+_FILLER_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+_FILLER_CHARS = frozenset(_FILLER_ALPHABET)
+
+#: the filler label shape: a 4-9 letter stem then a decimal index with no
+#: leading zero (``str`` never prints one) — a *gate*, not the oracle;
+#: every surviving probe is confirmed against the membership law
+_FILLER_SHAPE = re.compile(r"[a-z]{4,9}(?:0|[1-9][0-9]*)")
+
+
+def normalize_query(query: str) -> str:
+    """Canonical lookup form of a raw query string.
+
+    Accepts what mail software actually holds at signup/delivery time:
+    an address (``user@gmial.com``), a host with a trailing dot, mixed
+    case, stray whitespace.  Never raises — malformed input normalizes
+    to something :func:`split_domain` will reject downstream.
+    """
+    q = query.strip().lower().rstrip(".")
+    if "@" in q:
+        q = q.rsplit("@", 1)[1]
+    return q
+
+
+class TypoRiskIndex:
+    """Inverted DL-1 candidate structures over the lazy world model.
+
+    Construction cost is O(head targets) — independent of ``max_rank``,
+    because the filler side of the universe is served by the membership
+    law instead of a materialized set.  All retrieval state is a pure
+    function of ``(seed, max_rank, config, churn)``.
+    """
+
+    def __init__(self, seed: int, max_rank: int, *,
+                 config: Optional[InternetConfig] = None,
+                 churn: Optional[Dict[int, int]] = None,
+                 day: int = 0,
+                 perf: Optional[PerfRegistry] = None) -> None:
+        if max_rank < 1:
+            raise ConfigError("max_rank must be >= 1")
+        start = perf_counter()
+        self.seed = seed
+        self.max_rank = max_rank
+        self.day = day
+        self._churn: Dict[int, int] = dict(churn) if churn else {}
+        self.world = WorldModel(seed, config, churn=self._churn or None)
+        self.config = self.world.config
+        #: monotone epoch, bumped by every applied delta so resident
+        #: engines know to drop memoized verdicts
+        self.epoch = 0
+        #: lazily derived per-rank registered typo labels (the ctypos)
+        self._registered_labels: Dict[int, FrozenSet[str]] = {}
+
+        n_head = min(max_rank, len(EMAIL_TARGETS))
+        buckets: Dict[Tuple[str, str], List[int]] = {}
+        head_len_max = 0
+        for rank in range(1, n_head + 1):
+            label, suffix = self.world.target_parts(rank)
+            head_len_max = max(head_len_max, len(label))
+            variants = {label}
+            variants.update(label[:i] + label[i + 1:]
+                            for i in range(len(label)))
+            for variant in variants:
+                buckets.setdefault((suffix, variant), []).append(rank)
+        self._head_buckets: Dict[Tuple[str, str], Tuple[int, ...]] = {
+            key: tuple(ranks) for key, ranks in buckets.items()}
+        #: a query label longer than the longest head label + 1 cannot be
+        #: within one edit of any head target
+        self._head_len_max = head_len_max
+        max_filler_index = max_rank - len(EMAIL_TARGETS) - 1
+        #: longest possible filler label (9-letter stem + widest index),
+        #: 0 when the universe has no filler ranks at all
+        self._filler_len_max = (
+            9 + len(str(max_filler_index)) if max_filler_index >= 0 else 0)
+        self.build_seconds = perf_counter() - start
+        if perf is not None:
+            perf.add_seconds("service.index_build", self.build_seconds)
+
+    # -- identity ----------------------------------------------------------
+
+    def churn_map(self) -> Dict[int, int]:
+        """A copy of the index's rank -> generation churn map."""
+        return dict(self._churn)
+
+    @property
+    def head_bucket_count(self) -> int:
+        """How many (suffix, variant) deletion buckets the index holds."""
+        return len(self._head_buckets)
+
+    def target_rank(self, domain: str) -> Optional[int]:
+        """The domain's rank in this index's universe, or ``None``."""
+        return self.world.target_rank(domain, self.max_rank)
+
+    # -- candidate retrieval ----------------------------------------------
+
+    def candidate_ranks(self, domain: str) -> Tuple[int, ...]:
+        """Ranks of every target within DL-1 of ``domain`` (same suffix).
+
+        Includes the exact match (distance 0) when ``domain`` is itself
+        a target, so the set is literally ``{rank : DL(query, target) <=
+        1, same suffix}`` — the contract the brute-force parity suite
+        pins.  Unparseable input (no TLD, empty label) returns ``()``.
+        """
+        try:
+            label, suffix = split_domain(normalize_query(domain))
+        except ValueError:
+            return ()
+        return self._candidate_ranks(label, suffix)
+
+    def _candidate_ranks(self, label: str, suffix: str) -> Tuple[int, ...]:
+        found: Set[int] = set()
+        # head targets: symmetric-delete buckets + memoized DL confirm
+        if len(label) <= self._head_len_max + 1:
+            buckets = self._head_buckets
+            world_parts = self.world.target_parts
+            probes = [label]
+            probes.extend(label[:i] + label[i + 1:]
+                          for i in range(len(label)))
+            for probe in probes:
+                ranks = buckets.get((suffix, probe))
+                if not ranks:
+                    continue
+                for rank in ranks:
+                    if rank not in found and damerau_levenshtein(
+                            label, world_parts(rank)[0]) <= 1:
+                        found.add(rank)
+        # filler targets: reverse-edit probes of the O(1) membership law
+        if suffix == "com" and self._filler_len_max:
+            target_rank = self.world.target_rank
+            max_rank = self.max_rank
+            for candidate in self._filler_probe_labels(label):
+                rank = target_rank(candidate + ".com", max_rank)
+                if rank is not None:
+                    found.add(rank)
+        return tuple(sorted(found))
+
+    def _filler_probe_labels(self, label: str):
+        """Filler-shaped labels within one edit of ``label`` (plus itself).
+
+        Every yielded label is at DL distance exactly 0 or 1 from the
+        query by construction (:func:`enumerate_edit_ops` enumerates
+        each distinct valid DL-1 edit exactly once), so a law probe
+        needs no distance confirmation — and conversely every filler
+        within DL-1 *is* some valid single edit of the query, so the
+        enumeration misses nothing.
+        """
+        length = len(label)
+        if length < 4 or length > self._filler_len_max + 1:
+            return
+        # a single edit removes/replaces at most one character, so two or
+        # more out-of-class characters can never reach a filler label
+        foreign = sum(1 for ch in label if ch not in _FILLER_CHARS)
+        if foreign >= 2:
+            return
+        fullmatch = _FILLER_SHAPE.fullmatch
+        if foreign == 0 and fullmatch(label):
+            yield label
+        for op, index, char in enumerate_edit_ops(label, _FILLER_ALPHABET):
+            candidate = apply_edit(label, op, index, char)
+            if fullmatch(candidate):
+                yield candidate
+
+    def brute_force_candidate_ranks(self, domain: str) -> Tuple[int, ...]:
+        """Reference retrieval: a DL scan over every materialized target.
+
+        The oracle the parity suite compares :meth:`candidate_ranks`
+        against — O(max_rank) kernel calls, exact by definition.
+        """
+        try:
+            label, suffix = split_domain(normalize_query(domain))
+        except ValueError:
+            return ()
+        out = []
+        parts = self.world.target_parts
+        for rank in range(1, self.max_rank + 1):
+            t_label, t_suffix = parts(rank)
+            if t_suffix == suffix and damerau_levenshtein(
+                    label, t_label) <= 1:
+                out.append(rank)
+        return tuple(out)
+
+    # -- registration ground truth ----------------------------------------
+
+    def registered_typo_labels(self, rank: int) -> FrozenSet[str]:
+        """The typo labels rank ``rank`` actually registered (its ctypos).
+
+        Derived once per rank from the world's registration grid and
+        cached; :meth:`apply_delta` drops exactly the churned entries.
+        """
+        cached = self._registered_labels.get(rank)
+        if cached is None:
+            grid = self.world.rank_grid(rank)
+            label = grid.label
+            decode = grid.decode
+            cached = frozenset(
+                apply_edit(label, *decode(int(flat)))
+                for flat in grid.registered.tolist())
+            self._registered_labels[rank] = cached
+        return cached
+
+    def is_registered_typo(self, label: str, rank: int) -> bool:
+        """Is ``label`` (under the rank's suffix) a live ctypo of ``rank``?"""
+        return label in self.registered_typo_labels(rank)
+
+    # -- churn deltas ------------------------------------------------------
+
+    def apply_delta(self, schedule: ChurnSchedule, day: int) -> int:
+        """Evolve the index to churn day ``day``; returns ranks touched.
+
+        Target *identities* never churn, so the candidate buckets and
+        the membership law are untouched; only the registered-ctypo
+        caches of ranks whose generation changed are invalidated, and
+        the world's per-rank streams re-key.  The delta tests pin the
+        result equal to a fresh index built over the evolved world.
+        """
+        if schedule.seed != self.seed:
+            raise ConfigError(
+                f"churn schedule seed {schedule.seed} does not match "
+                f"index seed {self.seed}")
+        if schedule.max_rank < self.max_rank:
+            raise ConfigError(
+                f"churn schedule covers ranks 1..{schedule.max_rank}, "
+                f"index needs 1..{self.max_rank}")
+        new_churn = schedule.generations(day)
+        old_churn = self._churn
+        changed = [rank for rank in set(old_churn) | set(new_churn)
+                   if rank <= self.max_rank
+                   and old_churn.get(rank, 0) != new_churn.get(rank, 0)]
+        for rank in changed:
+            self._registered_labels.pop(rank, None)
+        self.world = self.world.evolved(new_churn or None)
+        self._churn = new_churn
+        self.day = day
+        self.epoch += 1
+        return len(changed)
+
+    # -- persistence (repro-risk-index@1) ----------------------------------
+
+    def canonical_dict(self) -> Dict:
+        payload = self._payload_dict()
+        payload["digest"] = _payload_digest(payload)
+        return payload
+
+    def _payload_dict(self) -> Dict:
+        return {
+            "format": RISK_INDEX_FORMAT,
+            "seed": self.seed,
+            "max_rank": self.max_rank,
+            "day": self.day,
+            "churn": [[rank, generation] for rank, generation
+                      in sorted(self._churn.items())],
+            "config_digest": _config_digest(self.config),
+            "head_buckets": {
+                suffix: {variant: list(ranks)
+                         for (s, variant), ranks
+                         in self._head_buckets.items() if s == suffix}
+                for suffix in sorted({s for s, _ in self._head_buckets})},
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically persist the index (tmp + flush + fsync + rename)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.canonical_dict(), sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], *,
+             config: Optional[InternetConfig] = None) -> "TypoRiskIndex":
+        """Load and validate an index written by :meth:`save`.
+
+        Validation is belt and braces: the self-digest catches torn or
+        edited files, and the candidate buckets are *re-derived* from
+        the file's identity and compared — the artifact can therefore
+        never make the service disagree with the world law it claims to
+        serve.  Unreadable/tampered files raise
+        :class:`CheckpointCorruptError`; a file built against a
+        different world config raises :class:`CheckpointMismatchError`.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("index root is not an object")
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            raise CheckpointCorruptError(
+                f"risk index {path} is unreadable ({error}); "
+                f"rebuild it with serve-bench --save-index") from error
+        if data.get("format") != RISK_INDEX_FORMAT:
+            raise CheckpointMismatchError(
+                f"{path} has format {data.get('format')!r}, "
+                f"expected {RISK_INDEX_FORMAT!r}")
+        try:
+            payload = {key: value for key, value in data.items()
+                       if key != "digest"}
+            if _payload_digest(payload) != data["digest"]:
+                raise ValueError("payload does not match its digest")
+            churn = {int(rank): int(generation)
+                     for rank, generation in data["churn"]}
+            index = cls(int(data["seed"]), int(data["max_rank"]),
+                        config=config, churn=churn, day=int(data["day"]))
+        except CheckpointMismatchError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointCorruptError(
+                f"risk index {path} is corrupt ({error}); "
+                f"rebuild it with serve-bench --save-index") from error
+        if _config_digest(index.config) != data["config_digest"]:
+            raise CheckpointMismatchError(
+                f"risk index {path} was built for a different world config")
+        derived = index._payload_dict()["head_buckets"]
+        if derived != data["head_buckets"]:
+            raise CheckpointCorruptError(
+                f"risk index {path} candidate buckets do not match the "
+                f"world law for seed {index.seed}; the file was tampered "
+                f"with or belongs to another build")
+        return index
+
+
+def _payload_digest(payload: Dict) -> str:
+    """SHA-256 self-check digest over the canonical payload JSON."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -15,6 +15,7 @@ from repro.cli import main
 from repro.doctor import (
     KIND_FAULT_PLAN,
     KIND_PERF_BASELINE,
+    KIND_RISK_INDEX,
     KIND_SCAN_CHECKPOINT,
     KIND_STUDY_CHECKPOINT,
     KIND_UNKNOWN,
@@ -63,6 +64,15 @@ def plan_file(tmp_path):
     return path
 
 
+@pytest.fixture()
+def risk_index_file(tmp_path):
+    from repro.service import TypoRiskIndex
+
+    path = tmp_path / "risk.index"
+    TypoRiskIndex(11, 60).save(path)
+    return path
+
+
 class TestKindDetectionAndHealth:
     def test_healthy_study_checkpoint(self, study_ckpt):
         diagnosis = diagnose_file(study_ckpt)
@@ -86,6 +96,14 @@ class TestKindDetectionAndHealth:
         diagnosis = diagnose_file("BENCH_perf.json")
         assert diagnosis.kind == KIND_PERF_BASELINE
         assert diagnosis.ok
+
+    def test_healthy_risk_index(self, risk_index_file):
+        diagnosis = diagnose_file(risk_index_file)
+        assert diagnosis.kind == KIND_RISK_INDEX
+        assert diagnosis.ok and diagnosis.exit_code == 0
+        assert diagnosis.details["seed"] == 11
+        assert diagnosis.details["max_rank"] == 60
+        assert diagnosis.details["head_buckets"] > 0
 
     def test_unrecognized_json_is_unknown(self, tmp_path):
         path = tmp_path / "junk.json"
@@ -137,6 +155,25 @@ class TestCorruptionDetection:
         diagnosis = diagnose_file(scan_ckpt)
         assert not diagnosis.ok
         assert diagnosis.exit_code == EXIT_CORRUPT_CHECKPOINT
+
+    def test_tampered_risk_index_exits_three(self, risk_index_file):
+        data = json.loads(risk_index_file.read_text())
+        data["max_rank"] = 61
+        risk_index_file.write_text(json.dumps(data, sort_keys=True))
+        diagnosis = diagnose_file(risk_index_file)
+        assert diagnosis.kind == KIND_RISK_INDEX
+        assert not diagnosis.ok
+        assert diagnosis.exit_code == EXIT_CORRUPT_CHECKPOINT
+
+    def test_torn_risk_index_exits_three(self, risk_index_file):
+        # torn mid-write: unparseable, so the kind falls back to the
+        # filename — "index" must map to the corrupt-state exit code
+        risk_index_file.write_text(risk_index_file.read_text()[:90])
+        diagnosis = diagnose_file(risk_index_file)
+        assert diagnosis.kind == KIND_RISK_INDEX
+        assert not diagnosis.ok
+        assert diagnosis.exit_code == EXIT_CORRUPT_CHECKPOINT
+        assert "torn or truncated" in diagnosis.problems[0]
 
     def test_invalid_fault_plan_values(self, tmp_path):
         path = tmp_path / "plan.json"

@@ -87,6 +87,36 @@ def test_warm_lookups_actually_hit_the_cache():
     assert total_warm_hits > total_cold_hits
 
 
+def test_clear_resets_hit_and_miss_counters():
+    """A cleared cache reports a clean slate, not process-lifetime totals.
+
+    Hit rates computed from :func:`kernel_cache_stats` must describe
+    the run since the last clear; stale counters silently inflated the
+    serving benchmark's reported rates.
+    """
+    set_kernel_caches_enabled(True)
+    clear_kernel_caches()
+    _distance_answers()
+    _distance_answers()
+    dirty = kernel_cache_stats()
+    assert sum(s["hits"] + s["misses"] for s in dirty.values()) > 0
+
+    clear_kernel_caches()
+    stats = kernel_cache_stats()
+    for name, counters in stats.items():
+        assert counters["hits"] == 0, name
+        assert counters["misses"] == 0, name
+        assert counters["size"] == 0, name
+
+    # and the DL cache — unique pairs, no intra-pass reuse — restarts
+    # from pure misses after the clear
+    _distance_answers()
+    cold = kernel_cache_stats()
+    dl = cold["damerau_levenshtein"]
+    assert dl["hits"] == 0
+    assert dl["misses"] == dl["size"] > 0
+
+
 def test_disabled_caches_stay_empty():
     set_kernel_caches_enabled(False)
     clear_kernel_caches()

@@ -1,0 +1,142 @@
+"""The resident typo-risk index: retrieval parity with brute force.
+
+The tentpole guarantee of the service layer is that the precomputed
+candidate index is *pure acceleration*: for any query string whatsoever
+— clean, typo, unicode, junk, over-long — :meth:`candidate_ranks`
+returns exactly the set a brute-force DL scan over every materialized
+target would, and never raises.  These tests pin that with hypothesis
+over arbitrary text plus crafted adversarial shapes (digit-boundary
+filler edits, deletion bridges between neighbouring head targets).
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EMAIL_TARGETS
+from repro.core.typogen import apply_edit, enumerate_edit_ops, split_domain
+from repro.service import TypoRiskIndex, normalize_query
+from repro.service.workload import _EDGE_QUERIES
+from repro.util.errors import ConfigError
+from repro.util.rand import SeededRng
+
+SEED = 606
+MAX_RANK = 1200
+
+
+@pytest.fixture(scope="module")
+def index():
+    return TypoRiskIndex(SEED, MAX_RANK)
+
+
+# text that exercises the parser and both retrieval layers: plain
+# labels, dots, digits, hyphens, the "@" address form, unicode
+QUERY_ALPHABET = string.ascii_lowercase + string.digits + ".-@" + "AZ" \
+    + "áñм"
+QUERIES = st.text(alphabet=QUERY_ALPHABET, min_size=0, max_size=24)
+
+
+class TestRetrievalParity:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(QUERIES)
+    def test_arbitrary_text(self, index, query):
+        assert index.candidate_ranks(query) == \
+            index.brute_force_candidate_ranks(query)
+
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=MAX_RANK),
+           st.randoms(use_true_random=False))
+    def test_single_edits_of_targets(self, index, rank, rnd):
+        """One random DL-1 edit of any target must retrieve that target."""
+        label, suffix = index.world.target_parts(rank)
+        ops = enumerate_edit_ops(label)
+        op, edit_index, char = ops[rnd.randrange(len(ops))]
+        typo = f"{apply_edit(label, op, edit_index, char)}.{suffix}"
+        ranks = index.candidate_ranks(typo)
+        assert ranks == index.brute_force_candidate_ranks(typo)
+        # the edited rank is itself within one edit, so it must appear
+        # (unless the edit produced another target exactly — then the
+        # exact rank is still included, distance 0)
+        assert rank in ranks
+
+    def test_edge_queries_never_raise(self, index):
+        for query in _EDGE_QUERIES:
+            assert index.candidate_ranks(query) == \
+                index.brute_force_candidate_ranks(query)
+
+    def test_exact_targets_retrieve_themselves(self, index):
+        rng = SeededRng(7)
+        ranks = {1, 2, len(EMAIL_TARGETS), len(EMAIL_TARGETS) + 1,
+                 MAX_RANK} | {rng.randint(1, MAX_RANK) for _ in range(24)}
+        for rank in sorted(ranks):
+            domain = index.world.target_domain(rank)
+            assert rank in index.candidate_ranks(domain)
+            assert index.target_rank(domain) == rank
+
+    def test_digit_boundary_filler_edits(self, index):
+        """Edits in the numeric tail hop between filler indexes."""
+        first_filler = len(EMAIL_TARGETS) + 1
+        for rank in (first_filler, first_filler + 9, first_filler + 99,
+                     MAX_RANK - 1, MAX_RANK):
+            label, suffix = index.world.target_parts(rank)
+            stem = label.rstrip(string.digits)
+            digits = label[len(stem):]
+            # substitute every digit position with every digit — these
+            # are the collisions most likely to hit *other* fillers
+            for position in range(len(digits)):
+                for digit in "0123456789":
+                    typo = (f"{stem}{digits[:position]}{digit}"
+                            f"{digits[position + 1:]}.{suffix}")
+                    assert index.candidate_ranks(typo) == \
+                        index.brute_force_candidate_ranks(typo), typo
+
+    def test_overlong_and_empty_labels_are_empty(self, index):
+        for query in ("", ".", "com", "a" * 70 + ".com",
+                      "b" * 200, "@@@", "x.y.z." + "q" * 64):
+            assert index.candidate_ranks(query) == ()
+
+
+class TestNormalization:
+    def test_normalize_query_strips_case_dot_and_address(self):
+        assert normalize_query(" GMAIL.COM. ") == "gmail.com"
+        assert normalize_query("User@Gmial.Com") == "gmial.com"
+        assert normalize_query("a@b@gmail.com") == "gmail.com"
+
+    def test_candidates_see_through_address_form(self, index):
+        assert index.candidate_ranks("someone@gmail.com") == \
+            index.candidate_ranks("gmail.com")
+
+
+class TestRegisteredGroundTruth:
+    def test_registered_labels_match_rank_states(self, index):
+        """The index's ctypo cache is the world's own ground truth."""
+        for rank in (1, 3, len(EMAIL_TARGETS) + 1, 40):
+            states = index.world.rank_states(rank)
+            suffix = index.world.target_parts(rank)[1]
+            expected = {split_domain(state.domain)[0] for state in states}
+            assert index.registered_typo_labels(rank) == expected
+            for state in states:
+                label = split_domain(state.domain)[0]
+                assert state.domain.endswith("." + suffix)
+                assert index.is_registered_typo(label, rank)
+
+
+class TestConstruction:
+    def test_max_rank_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            TypoRiskIndex(SEED, 0)
+
+    def test_head_only_world_has_no_filler_probes(self):
+        tiny = TypoRiskIndex(SEED, 5)
+        assert tiny.candidate_ranks("gmial.com") == \
+            tiny.brute_force_candidate_ranks("gmial.com")
+        # a filler-shaped query cannot match anything in a 5-rank world
+        assert tiny.candidate_ranks("abcd123.com") == ()
+
+    def test_build_is_fast_and_counted(self, index):
+        assert index.build_seconds < 1.0
+        assert index.head_bucket_count > len(EMAIL_TARGETS)
