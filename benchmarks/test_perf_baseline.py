@@ -183,3 +183,28 @@ def test_query_service_not_regressed():
         baseline["build_seconds"] * REGRESSION_FACTOR, 1.0), (
         f"index build regressed: {latest['build_seconds']:.3f}s vs "
         f"baseline {baseline['build_seconds']:.3f}s")
+
+
+def test_service_chaos_not_regressed():
+    """Gate the recorded chaos-serving trajectory (service_chaos section).
+
+    The chaos bench (``test_service_chaos_floor``, perfsmoke lane)
+    records each run; this gate holds the latest recorded run within 2x
+    of the recorded baseline QPS and keeps the zero-drop invariant, so
+    a slowdown in the resilient serving path fails the perf lane even
+    when the chaos bench itself was run elsewhere.
+    """
+    import pytest
+
+    bench = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    section = bench.get("service_chaos")
+    if not section:
+        pytest.skip("no service_chaos section recorded yet — "
+                    "run benchmarks/test_query_service.py first")
+    baseline, latest = section["baseline"], section["latest"]
+    assert latest["dropped"] == 0, (
+        f"chaos serving dropped {latest['dropped']} lookups — the "
+        "resilient server must answer every query")
+    assert latest["qps"] >= baseline["qps"] / REGRESSION_FACTOR, (
+        f"chaos serving QPS regressed: {latest['qps']:,.0f}/s vs baseline "
+        f"{baseline['qps']:,.0f}/s (gate {REGRESSION_FACTOR}x)")

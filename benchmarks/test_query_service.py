@@ -65,3 +65,93 @@ def test_query_service_serving_floor():
     assert result.p99_us <= baseline["p99_us"] * REGRESSION_FACTOR, (
         f"serving p99 regressed: {result.p99_us:.2f}us vs baseline "
         f"{baseline['p99_us']:.2f}us (gate {REGRESSION_FACTOR}x)")
+
+
+# -- resilient serving under the demo fault plan --------------------------
+
+CHAOS_RANKS = 20_000
+CHAOS_LOOKUPS = 120_000
+
+#: the issue's degraded-lane floor: rules-only serving stays cheap
+MIN_RULES_ONLY_QPS = 20_000.0
+
+
+@pytest.mark.perfsmoke
+def test_service_chaos_floor():
+    """The chaos lane's serving gate: replay, no drops, degraded QPS.
+
+    Two identical runs pin the replay digest (same seed, plan, and
+    workload must serve byte-identical verdict streams — shed and
+    degraded labels included), no lookup is ever dropped, and the
+    rules-only degraded lane clears its QPS floor.  The run lands in
+    the ``service_chaos`` section of ``BENCH_perf.json``.
+    """
+    from repro.service import run_serve_chaos_bench
+    from repro.service.bench import record_service_chaos
+
+    result = run_serve_chaos_bench(SERVE_SEED, CHAOS_RANKS,
+                                   lookups=CHAOS_LOOKUPS,
+                                   pool_size=SERVE_POOL)
+    for line in result.report_lines():
+        print(line)
+
+    # honest before fast: the plan actually bit
+    assert result.lookups == CHAOS_LOOKUPS
+    assert result.tripped > 0 and result.churn_swaps > 0
+    assert result.shed_lookups > 0
+    assert result.rules_only_lookups > 0
+
+    # resilience floors
+    assert result.dropped == 0, (
+        f"{result.dropped} lookups dropped — the resilient server must "
+        "answer every query")
+    rules_only_qps = result.lane_qps.get("rules_only", 0.0)
+    assert rules_only_qps >= MIN_RULES_ONLY_QPS, (
+        f"rules-only degraded lane too slow: {rules_only_qps:,.0f}/s "
+        f"(floor {MIN_RULES_ONLY_QPS:,.0f})")
+
+    # replay stability: a second identical run serves identical bytes
+    replay = run_serve_chaos_bench(SERVE_SEED, CHAOS_RANKS,
+                                   lookups=CHAOS_LOOKUPS,
+                                   pool_size=SERVE_POOL)
+    assert replay.verdict_digest == result.verdict_digest, (
+        "chaos serving is not replayable: two identical runs digested "
+        "differently")
+
+    section = record_service_chaos(result.entry(), BENCH_PATH)
+    baseline = section["baseline"]
+    assert result.qps >= baseline["qps"] / REGRESSION_FACTOR, (
+        f"chaos serving QPS regressed: {result.qps:,.0f}/s vs baseline "
+        f"{baseline['qps']:,.0f}/s (gate {REGRESSION_FACTOR}x) — if this "
+        "slowdown is intended, delete the service_chaos section of "
+        "BENCH_perf.json to re-baseline")
+
+
+@pytest.mark.perfsmoke
+def test_verdict_memo_hit_rate_across_capacity_boundary():
+    """Satellite gate: no 0%-hit-rate cliff when the memo rotates.
+
+    A workload whose hot set is re-served while a unique-query flood
+    rotates the two-generation memo keeps a >= 40% overall hit rate —
+    under the old wholesale ``clear()`` the same stream measured ~0%
+    once the flood crossed the capacity boundary.
+    """
+    from repro.service import RiskEngine, TypoRiskIndex
+
+    engine = RiskEngine(TypoRiskIndex(SERVE_SEED, 2_000),
+                        max_cached_verdicts=256)
+    hot = [f"hot-{position}.org" for position in range(40)]
+    for position in range(8_000):
+        if position % 2:
+            engine.lookup(hot[(position // 2) % len(hot)])
+        else:
+            engine.lookup(f"flood-{position}.org")
+    stats = engine.cache_stats()
+    hit_rate = stats["hits"] / (stats["hits"] + stats["misses"])
+    print(f"\nmemo hit rate across capacity boundary: {hit_rate:.1%} "
+          f"({stats['hits']} hits / {stats['misses']} misses, "
+          f"size {stats['size']})")
+    assert stats["size"] <= 256
+    assert hit_rate >= 0.40, (
+        f"two-generation memo hit rate collapsed: {hit_rate:.1%} "
+        "(floor 40%) — hot entries are not surviving rotation")

@@ -178,7 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of building one (overrides --ranks)")
     serve.add_argument("--bench-out", metavar="PATH",
                        help="record the run into this BENCH_perf.json's "
-                            "query_service section")
+                            "query_service (or service_chaos) section")
+    serve.add_argument("--chaos", action="store_true",
+                       help="serve through the resilient layer under the "
+                            "built-in service fault plan: stalls, index "
+                            "errors, memory pressure, a mid-traffic churn "
+                            "hot-swap")
+    serve.add_argument("--fault-plan", metavar="PATH",
+                       help="serve under the service spells of this fault "
+                            "plan JSON (implies the resilient layer)")
 
     return parser
 
@@ -669,6 +677,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import (RiskEngine, TypoRiskIndex, record_query_service,
                                run_serve_bench)
 
+    if args.chaos or args.fault_plan:
+        return _serve_bench_chaos(args)
     engine = None
     if args.load_index:
         index = TypoRiskIndex.load(args.load_index)
@@ -693,6 +703,38 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.bench_out:
         record_query_service(result.entry(), args.bench_out)
         print(f"recorded query_service entry in {args.bench_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _serve_bench_chaos(args: argparse.Namespace) -> int:
+    """``repro serve-bench --chaos/--fault-plan``: resilient serving.
+
+    Runs the workload through the fault-injecting resilient layer and
+    reports per-lane throughput/latency, shed/degraded/recovered
+    counts, and the replay digest; ``--bench-out`` records the run into
+    the ``service_chaos`` section.
+    """
+    from repro.faultsim import FaultPlan
+    from repro.service import record_service_chaos, run_serve_chaos_bench
+    from repro.util.errors import ConfigError
+
+    if args.fault_plan:
+        plan = _load_fault_plan(args)
+    else:
+        try:
+            plan = FaultPlan.service_chaos_demo(args.seed,
+                                                lookups=args.lookups)
+        except ValueError as error:
+            raise ConfigError(str(error)) from error
+    result = run_serve_chaos_bench(
+        args.seed, args.ranks, lookups=args.lookups,
+        pool_size=args.pool_size, plan=plan)
+    for line in result.report_lines():
+        print(line)
+    if args.bench_out:
+        record_service_chaos(result.entry(), args.bench_out)
+        print(f"recorded service_chaos entry in {args.bench_out}",
               file=sys.stderr)
     return 0
 

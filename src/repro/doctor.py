@@ -149,7 +149,8 @@ def _detect_kind(data: Dict) -> str:
     if "baseline" in data and isinstance(data["baseline"], dict):
         return KIND_PERF_BASELINE
     plan_keys = {"collector_outages", "dns_spells", "smtp_spells",
-                 "shard_crashes", "study_crashes", "retry"}
+                 "shard_crashes", "study_crashes", "service_spells",
+                 "retry"}
     if "seed" in data and plan_keys & set(data):
         return KIND_FAULT_PLAN
     return KIND_UNKNOWN
@@ -272,6 +273,7 @@ def _check_fault_plan(path: Path, data: Dict) -> Diagnosis:
     details = {
         "digest": plan.digest()[:12],
         "empty": plan.is_empty,
+        "service_spells": len(plan.service_spells),
     }
     return Diagnosis(path=path, kind=KIND_FAULT_PLAN, ok=True,
                      details=details)

@@ -8,16 +8,22 @@ checkpoint/resume).
 """
 
 from repro.faultsim.inject import (
+    NO_LOOKUP_FAULTS,
     FaultStats,
     FaultyResolver,
+    LookupFaults,
+    ServiceFaultInjector,
+    ServiceFaultStats,
     StudyFaultInjector,
     unit_draw,
 )
 from repro.faultsim.plan import (
+    SERVICE_FAULT_KINDS,
     DnsFaultSpell,
     FaultPlan,
     InjectedWorkerCrash,
     OutageSpan,
+    ServiceFaultSpell,
     ShardCrashSpec,
     SmtpFaultSpell,
 )
@@ -28,9 +34,15 @@ __all__ = [
     "DnsFaultSpell",
     "SmtpFaultSpell",
     "ShardCrashSpec",
+    "ServiceFaultSpell",
+    "SERVICE_FAULT_KINDS",
     "InjectedWorkerCrash",
     "StudyFaultInjector",
     "FaultyResolver",
     "FaultStats",
+    "ServiceFaultInjector",
+    "ServiceFaultStats",
+    "LookupFaults",
+    "NO_LOOKUP_FAULTS",
     "unit_draw",
 ]

@@ -24,7 +24,9 @@ from repro.faultsim.plan import FaultPlan
 from repro.smtpsim.protocol import SmtpReply
 from repro.util.rand import derive_seed
 
-__all__ = ["unit_draw", "FaultStats", "StudyFaultInjector", "FaultyResolver"]
+__all__ = ["unit_draw", "FaultStats", "StudyFaultInjector", "FaultyResolver",
+           "LookupFaults", "ServiceFaultStats", "ServiceFaultInjector",
+           "NO_LOOKUP_FAULTS"]
 
 _TWO_64 = float(2 ** 64)
 
@@ -218,3 +220,143 @@ class FaultyResolver:
         if mode == "timeout":
             return MailRoute(domain, ResolutionStatus.TIMEOUT)
         return self._inner.mail_route(domain)
+
+
+# -- service-lane injection ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LookupFaults:
+    """Every fault the plan schedules against one served lookup.
+
+    ``stall_ms`` is the virtual scorer stall for this lookup (0.0 when
+    none), ``index_error`` marks an injected index-probe failure,
+    ``memory_pressure`` forces a verdict-memo shrink, and ``churn_day``
+    (when not ``None``) schedules a mid-traffic index hot-swap to that
+    churn day at rate ``churn_rate`` before the lookup is answered.
+    """
+
+    stall_ms: float = 0.0
+    index_error: bool = False
+    memory_pressure: bool = False
+    churn_day: Optional[int] = None
+    churn_rate: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        return (self.stall_ms > 0.0 or self.index_error
+                or self.memory_pressure or self.churn_day is not None)
+
+
+#: the interned no-fault answer — the empty plan returns this for every
+#: lookup, which is how the fault-free fast path stays allocation-free
+NO_LOOKUP_FAULTS = LookupFaults()
+
+
+@dataclass
+class ServiceFaultStats:
+    """What the service injector actually did to one serving run."""
+
+    scorer_stalls: int = 0
+    stall_ms_injected: float = 0.0
+    index_errors: int = 0
+    memory_pressure_events: int = 0
+    churn_deltas: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scorer_stalls": self.scorer_stalls,
+            "stall_ms_injected": round(self.stall_ms_injected, 3),
+            "index_errors": self.index_errors,
+            "memory_pressure_events": self.memory_pressure_events,
+            "churn_deltas": self.churn_deltas,
+        }
+
+    @property
+    def total_injected(self) -> int:
+        return (self.scorer_stalls + self.index_errors
+                + self.memory_pressure_events + self.churn_deltas)
+
+
+class ServiceFaultInjector:
+    """Applies a plan's service spells to the resident query service.
+
+    One :meth:`step` per served lookup, in stream order.  Every draw is
+    a pure function of ``(plan seed, kind, spell index, sequence)`` —
+    the injector carries no RNG stream — so a sharded batch worker can
+    :meth:`fast_forward` to its global offset and see exactly the fault
+    history the serial path saw, and the whole fault timeline replays
+    byte-identically for any ``(seed, plan, workload)`` triple.  The
+    only cross-lookup state is the once-per-spell churn latch.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self.stats = ServiceFaultStats()
+        self.sequence = 0
+        self._spells = tuple(enumerate(self.plan.service_spells))
+        self._churn_fired: Set[int] = set()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._spells
+
+    def step(self) -> LookupFaults:
+        """The faults for the current lookup; advances the sequence."""
+        sequence = self.sequence
+        self.sequence = sequence + 1
+        if not self._spells:
+            return NO_LOOKUP_FAULTS
+        stall_ms = 0.0
+        index_error = False
+        memory_pressure = False
+        churn_day: Optional[int] = None
+        churn_rate = 0.0
+        seed = self.plan.seed
+        for spell_index, spell in self._spells:
+            if not spell.covers(sequence):
+                continue
+            kind = spell.kind
+            if kind == "churn_delta":
+                # fires once, at the first served lookup in the window
+                if spell_index not in self._churn_fired:
+                    self._churn_fired.add(spell_index)
+                    self.stats.churn_deltas += 1
+                    churn_day = spell.churn_day
+                    churn_rate = spell.churn_rate
+                continue
+            if spell.probability < 1.0 and unit_draw(
+                    seed, "svc", kind, spell_index,
+                    sequence) >= spell.probability:
+                continue
+            if kind == "scorer_stall":
+                stall_ms += spell.stall_ms
+                self.stats.scorer_stalls += 1
+                self.stats.stall_ms_injected += spell.stall_ms
+            elif kind == "index_error":
+                index_error = True
+                self.stats.index_errors += 1
+            else:  # memory_pressure
+                memory_pressure = True
+                self.stats.memory_pressure_events += 1
+        if not (stall_ms or index_error or memory_pressure
+                or churn_day is not None):
+            return NO_LOOKUP_FAULTS
+        return LookupFaults(stall_ms=stall_ms, index_error=index_error,
+                            memory_pressure=memory_pressure,
+                            churn_day=churn_day, churn_rate=churn_rate)
+
+    def fast_forward(self, sequence: int) -> None:
+        """Advance to global lookup ``sequence`` without serving.
+
+        A batch shard replays the timeline's draws (cheap hashes, no
+        kernel work) so its churn latch — and every consumer fed from
+        :meth:`step`, like the health monitor — reaches exactly the
+        state the serial path holds at that position.
+        """
+        if sequence < self.sequence:
+            raise ValueError(
+                f"cannot rewind injector from {self.sequence} "
+                f"to {sequence}")
+        while self.sequence < sequence:
+            self.step()

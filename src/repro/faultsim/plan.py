@@ -16,7 +16,12 @@ simulation input:
 * **SMTP spells** — windows of probabilistic 4yz tempfails, greylisting
   (first attempt per envelope tempfails), and mid-session 421 drops;
 * **shard crashes** — injected worker-process deaths (or hangs) in the
-  sharded ecosystem scan, keyed by the rank a shard covers.
+  sharded ecosystem scan, keyed by the rank a shard covers;
+* **service spells** — lookup-windowed faults against the resident
+  typo-risk query service (:mod:`repro.service`): scorer stalls,
+  index-probe error bursts, memory-pressure memo shrinks, and scheduled
+  mid-traffic churn deltas, keyed by the lookup sequence number instead
+  of the study day clock.
 
 Determinism is the design invariant: every probabilistic decision is a
 pure function of ``(plan.seed, stable context)`` (see
@@ -42,6 +47,8 @@ __all__ = [
     "SmtpFaultSpell",
     "ShardCrashSpec",
     "StudyCrashSpec",
+    "ServiceFaultSpell",
+    "SERVICE_FAULT_KINDS",
     "FaultPlan",
     "InjectedWorkerCrash",
     "InjectedStudyCrash",
@@ -218,6 +225,68 @@ class StudyCrashSpec:
             raise ValueError("failures must be >= 1")
 
 
+#: the service-lane fault kinds a :class:`ServiceFaultSpell` may schedule
+SERVICE_FAULT_KINDS = ("scorer_stall", "index_error", "memory_pressure",
+                       "churn_delta")
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpell:
+    """A half-open ``[start_lookup, end_lookup)`` window of service faults.
+
+    The resident query service has no day clock, so service spells are
+    keyed by the **lookup sequence number** — the position of a query in
+    the served stream.  Within the window, each lookup draws once
+    against ``probability`` (a pure :func:`~repro.faultsim.inject.unit_draw`
+    of ``(plan seed, kind, spell index, sequence)``), so the same
+    ``(seed, plan, workload)`` triple replays byte-identically at any
+    worker count.  Kinds:
+
+    * ``"scorer_stall"`` — the kernel scorer stalls for ``stall_ms`` of
+      *virtual* latency on hit lookups; stall backlog drives the
+      engine's deterministic admission-control queue depth (and hence
+      load shedding), never a real ``sleep``;
+    * ``"index_error"`` — the index probe errors on hit lookups; the
+      engine answers degraded (never an exception) and enough errors in
+      a window trip the circuit breaker toward rules-only serving;
+    * ``"memory_pressure"`` — hit lookups force a verdict-memo shrink
+      (the old memo generation is dropped), modelling an OOM-killer
+      near miss; verdicts are pure so only hit rates move;
+    * ``"churn_delta"`` — at the first served lookup inside the window
+      the engine hot-swaps its index to churn day ``churn_day`` (rate
+      ``churn_rate``) mid-traffic — the two-phase generation swap under
+      live load.  Fires once per spell; ``probability`` is ignored.
+    """
+
+    start_lookup: int
+    end_lookup: int
+    kind: str
+    probability: float = 1.0
+    stall_ms: float = 5.0
+    churn_day: int = 0
+    churn_rate: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.start_lookup < 0 or self.end_lookup <= self.start_lookup:
+            raise ValueError(
+                f"need 0 <= start_lookup < end_lookup, got "
+                f"[{self.start_lookup}, {self.end_lookup})")
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {self.kind!r} "
+                f"(expected one of {', '.join(SERVICE_FAULT_KINDS)})")
+        _check_probability("probability", self.probability)
+        if self.stall_ms < 0:
+            raise ValueError("stall_ms must be non-negative")
+        if self.kind == "churn_delta":
+            if self.churn_day < 1:
+                raise ValueError("churn_delta spells need churn_day >= 1")
+            _check_probability("churn_rate", self.churn_rate)
+
+    def covers(self, sequence: int) -> bool:
+        return self.start_lookup <= sequence < self.end_lookup
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything the chaos layer may do to one run, fully seeded."""
@@ -228,6 +297,7 @@ class FaultPlan:
     smtp_spells: Tuple[SmtpFaultSpell, ...] = ()
     shard_crashes: Tuple[ShardCrashSpec, ...] = ()
     study_crashes: Tuple[StudyCrashSpec, ...] = ()
+    service_spells: Tuple[ServiceFaultSpell, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     @property
@@ -235,7 +305,7 @@ class FaultPlan:
         """True when the plan schedules no fault of any kind."""
         return not (self.collector_outages or self.dns_spells
                     or self.smtp_spells or self.shard_crashes
-                    or self.study_crashes)
+                    or self.study_crashes or self.service_spells)
 
     @classmethod
     def empty(cls, seed: int = 0) -> "FaultPlan":
@@ -290,6 +360,12 @@ class FaultPlan:
             "study_crashes": [
                 {"day": c.day, "failures": c.failures}
                 for c in self.study_crashes],
+            "service_spells": [
+                {"start_lookup": s.start_lookup,
+                 "end_lookup": s.end_lookup, "kind": s.kind,
+                 "probability": s.probability, "stall_ms": s.stall_ms,
+                 "churn_day": s.churn_day, "churn_rate": s.churn_rate}
+                for s in self.service_spells],
             "retry": self.retry.to_dict(),
         }
 
@@ -316,6 +392,9 @@ class FaultPlan:
             study_crashes=tuple(
                 StudyCrashSpec(**entry)
                 for entry in data.get("study_crashes", ())),
+            service_spells=tuple(
+                ServiceFaultSpell(**entry)
+                for entry in data.get("service_spells", ())),
             retry=RetryPolicy.from_dict(
                 data.get("retry", RetryPolicy().to_dict())),
         )
@@ -358,5 +437,34 @@ class FaultPlan:
             ),
             shard_crashes=(
                 ShardCrashSpec(rank=1, failures=1, mode="crash"),
+            ),
+        )
+
+    @classmethod
+    def service_chaos_demo(cls, seed: int = 0,
+                           lookups: int = 100_000) -> "FaultPlan":
+        """A representative service-lane plan for ``serve-bench --chaos``.
+
+        Windows scale with the served stream: an index-error burst deep
+        enough to trip the circuit breaker into degraded (and briefly
+        rules-only) serving, a scorer-stall storm that overloads the
+        deterministic admission queue into load shedding, one
+        memory-pressure memo shrink, and a mid-traffic churn delta
+        exercising the two-phase index hot-swap under live lookups.
+        """
+        if lookups < 100:
+            raise ValueError("service_chaos_demo needs lookups >= 100")
+        tenth = lookups // 10
+        return cls(
+            seed=seed,
+            service_spells=(
+                ServiceFaultSpell(1 * tenth, 3 * tenth, "index_error",
+                                  probability=0.6),
+                ServiceFaultSpell(4 * tenth, 6 * tenth, "scorer_stall",
+                                  probability=0.7, stall_ms=8.0),
+                ServiceFaultSpell(7 * tenth, 7 * tenth + max(1, tenth // 8),
+                                  "memory_pressure", probability=1.0),
+                ServiceFaultSpell(8 * tenth, 8 * tenth + 1, "churn_delta",
+                                  churn_day=30, churn_rate=0.01),
             ),
         )

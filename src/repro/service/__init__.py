@@ -16,16 +16,30 @@ O(ranks) and unshippable.  This package keeps the answer resident:
 """
 
 from repro.service.bench import (
+    ChaosBenchResult,
     ParityError,
     ServeBenchResult,
     record_query_service,
+    record_service_chaos,
     run_serve_bench,
+    run_serve_chaos_bench,
 )
 from repro.service.engine import (
+    AdmissionController,
+    AdmissionPolicy,
     LookupShardTask,
     RiskEngine,
     RiskVerdict,
     run_lookup_shard,
+)
+from repro.service.health import (
+    HEALTH_STATES,
+    ChaosShardTask,
+    HealthMonitor,
+    HealthPolicy,
+    ResilientServer,
+    run_chaos_shard,
+    verdict_stream_digest,
 )
 from repro.service.index import (
     RISK_INDEX_FORMAT,
@@ -48,4 +62,16 @@ __all__ = [
     "ParityError",
     "run_serve_bench",
     "record_query_service",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "HEALTH_STATES",
+    "HealthPolicy",
+    "HealthMonitor",
+    "ResilientServer",
+    "ChaosShardTask",
+    "run_chaos_shard",
+    "verdict_stream_digest",
+    "ChaosBenchResult",
+    "run_serve_chaos_bench",
+    "record_service_chaos",
 ]

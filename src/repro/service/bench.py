@@ -23,15 +23,30 @@ import numpy as np
 
 from repro.core import clear_kernel_caches, kernel_cache_stats
 from repro.ecosystem.internet import InternetConfig
-from repro.service.engine import RiskEngine
+from repro.faultsim.plan import FaultPlan
+from repro.service.engine import AdmissionPolicy, RiskEngine
+from repro.service.health import (
+    HealthPolicy,
+    ResilientServer,
+    verdict_stream_digest,
+)
 from repro.service.index import TypoRiskIndex
 from repro.service.workload import LookupWorkload, WorkloadMix
 from repro.util.perf import PerfRegistry, paused_gc, throughput
 
 __all__ = ["ServeBenchResult", "ParityError", "run_serve_bench",
-           "record_query_service", "QUERY_SERVICE_HISTORY_LIMIT"]
+           "record_query_service", "ChaosBenchResult",
+           "run_serve_chaos_bench", "record_service_chaos",
+           "QUERY_SERVICE_HISTORY_LIMIT"]
 
 QUERY_SERVICE_HISTORY_LIMIT = 50
+
+#: verdict source -> serving lane, for per-lane latency buckets; the
+#: fault-free sources all belong to the full lane
+_SOURCE_LANES = {
+    "rules": "full", "exact": "full", "index": "full", "scorer": "full",
+    "degraded": "degraded", "rules_only": "rules_only", "shed": "shed",
+}
 
 
 class ParityError(AssertionError):
@@ -208,9 +223,182 @@ def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
         kernel_caches=kernel_cache_stats())
 
 
-def record_query_service(entry: Dict,
-                         path: Union[str, Path]) -> Dict:
-    """Fold a serve-bench entry into BENCH_perf.json's ``query_service``.
+@dataclass
+class ChaosBenchResult:
+    """Everything one chaos serving run measured and replayed."""
+
+    seed: int
+    max_rank: int
+    lookups: int
+    plan_digest: str
+    wall_seconds: float
+    qps: float
+    verdict_digest: str
+    lane_counts: Dict[str, int] = field(default_factory=dict)
+    lane_qps: Dict[str, float] = field(default_factory=dict)
+    lane_p50_us: Dict[str, float] = field(default_factory=dict)
+    lane_p99_us: Dict[str, float] = field(default_factory=dict)
+    dropped: int = 0
+    shed_lookups: int = 0
+    shed_reviews: int = 0
+    degraded_lookups: int = 0
+    rules_only_lookups: int = 0
+    tripped: int = 0
+    recovered: int = 0
+    churn_swaps: int = 0
+    final_state: str = "healthy"
+    injected: Dict[str, object] = field(default_factory=dict)
+    source_counts: Dict[str, int] = field(default_factory=dict)
+
+    def entry(self) -> Dict:
+        """The ``service_chaos`` record for BENCH_perf.json."""
+        return {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+            "seed": self.seed,
+            "ranks": self.max_rank,
+            "lookups": self.lookups,
+            "plan_digest": self.plan_digest,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "qps": round(self.qps, 1),
+            "verdict_digest": self.verdict_digest,
+            "lane_counts": dict(sorted(self.lane_counts.items())),
+            "lane_qps": {lane: round(value, 1) for lane, value
+                         in sorted(self.lane_qps.items())},
+            "lane_p99_us": {lane: round(value, 2) for lane, value
+                            in sorted(self.lane_p99_us.items())},
+            "dropped": self.dropped,
+            "shed_lookups": self.shed_lookups,
+            "shed_reviews": self.shed_reviews,
+            "degraded_lookups": self.degraded_lookups,
+            "rules_only_lookups": self.rules_only_lookups,
+            "tripped": self.tripped,
+            "recovered": self.recovered,
+            "churn_swaps": self.churn_swaps,
+            "final_state": self.final_state,
+            "injected": dict(self.injected),
+        }
+
+    def report_lines(self) -> List[str]:
+        lanes = ", ".join(
+            f"{lane}={count}" for lane, count
+            in sorted(self.lane_counts.items()))
+        lane_rates = ", ".join(
+            f"{lane}={self.lane_qps.get(lane, 0.0):,.0f}/s "
+            f"p99={self.lane_p99_us.get(lane, 0.0):.1f}us"
+            for lane in sorted(self.lane_counts))
+        return [
+            f"serve-bench --chaos: seed={self.seed} "
+            f"ranks={self.max_rank} lookups={self.lookups} "
+            f"plan={self.plan_digest[:12]}",
+            f"  serving       {self.wall_seconds:8.3f} s   "
+            f"({self.qps:,.0f} lookups/s, {self.dropped} dropped)",
+            f"  lanes         {lanes}",
+            f"  lane rates    {lane_rates}",
+            f"  shedding      {self.shed_lookups} lookups, "
+            f"{self.shed_reviews} review enqueues",
+            f"  health        tripped={self.tripped} "
+            f"recovered={self.recovered} final={self.final_state} "
+            f"churn_swaps={self.churn_swaps}",
+            f"  replay digest {self.verdict_digest}",
+        ]
+
+
+def run_serve_chaos_bench(seed: int = 606, max_rank: int = 100_000, *,
+                          lookups: int = 200_000,
+                          pool_size: int = 4096,
+                          plan: Optional[FaultPlan] = None,
+                          config: Optional[InternetConfig] = None,
+                          mix: Optional[WorkloadMix] = None,
+                          admission: Optional[AdmissionPolicy] = None,
+                          health: Optional[HealthPolicy] = None,
+                          perf: Optional[PerfRegistry] = None
+                          ) -> ChaosBenchResult:
+    """Serve a mixed workload through the resilient server under a
+    fault plan, measuring each lane separately.
+
+    ``plan`` defaults to :meth:`FaultPlan.service_chaos_demo` sized to
+    ``lookups``.  Every lookup is timed individually and bucketed by
+    serving lane (full / degraded / rules_only / shed), and the whole
+    verdict stream is digested — the replay acceptance check is that
+    the digest is invariant across runs and ``--jobs`` counts.  No
+    lookup is ever dropped; ``dropped`` is recorded (and floored at
+    zero by the perfsmoke gate) rather than assumed.
+    """
+    if plan is None:
+        plan = FaultPlan.service_chaos_demo(seed=seed, lookups=lookups)
+    clear_kernel_caches()
+    index = TypoRiskIndex(seed, max_rank, config=config, perf=perf)
+    engine = RiskEngine(index,
+                        max_cached_verdicts=max(1 << 15, 8 * pool_size),
+                        perf=perf)
+    server = ResilientServer(engine, plan, admission=admission,
+                             health=health, perf=perf)
+    workload = LookupWorkload(seed, max_rank, config=config,
+                              pool_size=pool_size, mix=mix,
+                              world=index.world)
+    queries = list(workload.queries(lookups))
+
+    lookup = server.lookup
+    latencies = np.empty(len(queries), dtype=np.float64)
+    lanes: List[str] = []
+    verdicts = []
+    timer = perf_counter
+    with paused_gc():
+        wall_start = timer()
+        for position, query in enumerate(queries):
+            t0 = timer()
+            verdict = lookup(query)
+            latencies[position] = timer() - t0
+            lanes.append(_SOURCE_LANES.get(verdict.source, verdict.source))
+            verdicts.append(verdict)
+        wall_seconds = timer() - wall_start
+    if perf is not None:
+        perf.add_seconds("service.chaos_serve", wall_seconds)
+        perf.count("service.chaos_lookups", len(queries))
+
+    lane_array = np.array(lanes)
+    lane_counts: Dict[str, int] = {}
+    lane_qps: Dict[str, float] = {}
+    lane_p50: Dict[str, float] = {}
+    lane_p99: Dict[str, float] = {}
+    for lane in sorted(set(lanes)):
+        mask = lane_array == lane
+        lane_latencies = latencies[mask]
+        count = int(mask.sum())
+        lane_counts[lane] = count
+        lane_seconds = float(lane_latencies.sum())
+        lane_qps[lane] = throughput(count, lane_seconds)
+        p50, p99 = np.percentile(lane_latencies, (50.0, 99.0)) * 1e6
+        lane_p50[lane] = float(p50)
+        lane_p99[lane] = float(p99)
+
+    report = server.report()
+    by_source = report["served"]["by_source"]
+    return ChaosBenchResult(
+        seed=seed, max_rank=max_rank, lookups=len(queries),
+        plan_digest=plan.digest(),
+        wall_seconds=wall_seconds,
+        qps=throughput(len(queries), wall_seconds),
+        verdict_digest=verdict_stream_digest(verdicts),
+        lane_counts=lane_counts, lane_qps=lane_qps,
+        lane_p50_us=lane_p50, lane_p99_us=lane_p99,
+        dropped=len(queries) - report["served"]["answered"],
+        shed_lookups=report["admission"]["shed_lookups"],
+        shed_reviews=report["admission"]["shed_reviews"],
+        degraded_lookups=by_source.get("degraded", 0),
+        rules_only_lookups=by_source.get("rules_only", 0),
+        tripped=report["health"]["tripped"],
+        recovered=report["health"]["recovered"],
+        churn_swaps=report["served"]["churn_swaps"],
+        final_state=report["health"]["state"],
+        injected=dict(report["injected"]),
+        source_counts=dict(by_source))
+
+
+def _record_bench_section(entry: Dict, path: Union[str, Path],
+                          section_name: str) -> Dict:
+    """Fold an entry into one BENCH_perf.json section.
 
     First recording becomes the regression baseline; later runs land in
     ``latest`` plus a bounded history — the same shape the study/scan
@@ -221,7 +409,7 @@ def record_query_service(entry: Dict,
     data: Dict = {}
     if path.exists():
         data = json.loads(path.read_text(encoding="utf-8"))
-    section = data.setdefault("query_service", {})
+    section = data.setdefault(section_name, {})
     if "baseline" not in section:
         section["baseline"] = entry
     section["latest"] = entry
@@ -230,3 +418,15 @@ def record_query_service(entry: Dict,
     del history[:-QUERY_SERVICE_HISTORY_LIMIT]
     path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
     return section
+
+
+def record_query_service(entry: Dict,
+                         path: Union[str, Path]) -> Dict:
+    """Fold a serve-bench entry into BENCH_perf.json's ``query_service``."""
+    return _record_bench_section(entry, path, "query_service")
+
+
+def record_service_chaos(entry: Dict,
+                         path: Union[str, Path]) -> Dict:
+    """Fold a chaos-bench entry into BENCH_perf.json's ``service_chaos``."""
+    return _record_bench_section(entry, path, "service_chaos")

@@ -53,15 +53,15 @@ from repro.core.distances import (
     visual_distance_for_edit,
 )
 from repro.core.typogen import split_domain
-from repro.defenses.risktiers import RiskPolicy
+from repro.defenses.risktiers import TIER_ACTIONS, RiskPolicy
 from repro.ecosystem.delta import ChurnSchedule, _config_digest
 from repro.ecosystem.internet import InternetConfig
 from repro.service.index import TypoRiskIndex, normalize_query
 from repro.util.perf import PerfRegistry
 from repro.util.pool import parallel_map
 
-__all__ = ["RiskVerdict", "RiskEngine", "LookupShardTask",
-           "run_lookup_shard"]
+__all__ = ["RiskVerdict", "RiskEngine", "AdmissionPolicy",
+           "AdmissionController", "LookupShardTask", "run_lookup_shard"]
 
 #: edit-type priors (paper Figure 9): deletions and transpositions
 #: receive the most misdirected traffic, additions the least — the same
@@ -138,14 +138,114 @@ def _flat_verdict(query: str, domain: str, verdict: str, tier: str,
         visual=None, registered=False, score=score, candidates=candidates)
 
 
+# -- admission control ----------------------------------------------------
+#
+# Overload is modeled, not measured: each admitted lookup charges a
+# deterministic cost into a virtual queue that drains at a fixed rate per
+# lookup slot.  Because the depth is a pure fold over (lane, injected
+# stall) per sequence number — never wall-clock, never memo state — the
+# same (seed, plan, workload) triple sheds the same lookups on every
+# machine and at every --jobs count.
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds for the deterministic queue-depth overload model.
+
+    ``drain_ms`` is the virtual service capacity reclaimed per lookup
+    slot; lane costs charge against it.  When the modeled backlog
+    reaches ``review_shed_depth`` the engine stops enqueueing
+    review-band verdicts (level 1 — bookkeeping sheds first); at
+    ``scorer_shed_depth`` it sheds the scorer itself and answers
+    conservatively (level 2).  Rules/exact fast paths are O(1) and are
+    never shed.
+    """
+
+    drain_ms: float = 2.0
+    review_shed_depth: float = 40.0
+    scorer_shed_depth: float = 120.0
+    fast_cost_ms: float = 0.05
+    degraded_cost_ms: float = 0.3
+    scorer_cost_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.drain_ms <= 0:
+            raise ValueError("drain_ms must be positive")
+        if not 0 < self.review_shed_depth <= self.scorer_shed_depth:
+            raise ValueError(
+                "shed depths must satisfy 0 < review_shed_depth <= "
+                f"scorer_shed_depth, got {self.review_shed_depth} / "
+                f"{self.scorer_shed_depth}")
+        for name in ("fast_cost_ms", "degraded_cost_ms", "scorer_cost_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def level_for(self, depth: float) -> int:
+        """Overload level (0 admit / 1 shed reviews / 2 shed scorer)."""
+        if depth >= self.scorer_shed_depth:
+            return 2
+        if depth >= self.review_shed_depth:
+            return 1
+        return 0
+
+
+class AdmissionController:
+    """Mutable fold state of the :class:`AdmissionPolicy` queue model.
+
+    ``arrive()`` reads the overload level *before* the lookup is
+    served; ``charge(cost_ms)`` folds the lookup's modeled cost in
+    afterwards, so shedding a lookup genuinely relieves the modeled
+    backlog.  Counters mirror into the optional
+    :class:`~repro.util.perf.PerfRegistry` under ``service.*``.
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None, *,
+                 perf: Optional[PerfRegistry] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.perf = perf
+        self.depth_ms = 0.0
+        self.admitted = 0
+        self.shed_lookups = 0
+        self.shed_reviews = 0
+
+    def arrive(self) -> int:
+        """Overload level for the lookup about to be served."""
+        return self.policy.level_for(self.depth_ms)
+
+    def charge(self, cost_ms: float) -> None:
+        """Fold one served lookup's modeled cost into the backlog."""
+        self.admitted += 1
+        self.depth_ms = max(
+            0.0, self.depth_ms + cost_ms - self.policy.drain_ms)
+
+    def record_shed_lookup(self) -> None:
+        self.shed_lookups += 1
+        if self.perf is not None:
+            self.perf.count("service.shed_lookups")
+
+    def record_shed_review(self) -> None:
+        self.shed_reviews += 1
+        if self.perf is not None:
+            self.perf.count("service.shed_reviews")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"admitted": self.admitted,
+                "shed_lookups": self.shed_lookups,
+                "shed_reviews": self.shed_reviews,
+                "depth_ms": self.depth_ms}
+
+
 class RiskEngine:
     """Resident query engine over a :class:`TypoRiskIndex`.
 
     ``allowlist``/``blocklist`` are operator overrides (normalized
     domains); ``policy`` owns the score thresholds.  The engine memoizes
-    verdicts by raw query string in a bounded dict (cleared wholesale
-    when full — verdicts are pure, so eviction order is irrelevant) and
-    keeps a bounded review queue of verdicts the policy could not place
+    verdicts by raw query string in two bounded generations (new/old
+    dicts): filling the new generation shifts it to old and drops the
+    previous old, so a warm memo degrades to ~50% retained instead of
+    falling off a cliff to 0% at the capacity boundary.  Verdicts are
+    pure, so which half survives is irrelevant for correctness.  A
+    bounded review queue holds verdicts the policy could not place
     confidently.
     """
 
@@ -161,7 +261,10 @@ class RiskEngine:
         self._allow = frozenset(normalize_query(d) for d in allowlist)
         self._block = frozenset(normalize_query(d) for d in blocklist)
         self._max_cached = max(1, int(max_cached_verdicts))
+        #: each generation holds half the budget; new + old <= max
+        self._gen_capacity = max(1, self._max_cached // 2)
         self._verdicts: Dict[str, RiskVerdict] = {}
+        self._verdicts_old: Dict[str, RiskVerdict] = {}
         self._hits = 0
         self._misses = 0
         self._epoch = index.epoch
@@ -173,18 +276,28 @@ class RiskEngine:
 
     def lookup(self, query: str) -> RiskVerdict:
         """Classify one query, serving repeats from the verdict memo."""
+        return self.serve_full(query)
+
+    def serve_full(self, query: str, *,
+                   enqueue_review: bool = True) -> RiskVerdict:
+        """The full layered path behind :meth:`lookup`.
+
+        ``enqueue_review=False`` is the level-1 load-shedding hook:
+        the verdict is still computed and memoized, but review-band
+        bookkeeping (the human queue append) is skipped.
+        """
         if self._epoch != self.index.epoch:
             # a churn delta landed since the memo warmed; stale verdicts
             # must not outlive the world that produced them
-            self._verdicts.clear()
+            self.clear_verdict_memo()
             self._epoch = self.index.epoch
-        cached = self._verdicts.get(query)
+        cached = self._memo_probe(query)
         if cached is not None:
             self._hits += 1
             return cached
         self._misses += 1
         verdict = self._classify(query, self.index.candidate_ranks)
-        self._remember(verdict)
+        self._remember(verdict, enqueue_review=enqueue_review)
         return verdict
 
     def lookup_bruteforce(self, query: str) -> RiskVerdict:
@@ -227,50 +340,224 @@ class RiskEngine:
                               perf=self.perf)
         out = [verdict for shard in shards for verdict in shard]
         for verdict in out:
-            if verdict.query not in self._verdicts:
+            if self._memo_probe(verdict.query) is None:
                 self._remember(verdict)
         return out
 
     def apply_delta(self, schedule: ChurnSchedule, day: int) -> int:
-        """Evolve the index to churn day ``day`` and drop stale verdicts."""
-        changed = self.index.apply_delta(schedule, day)
-        self._verdicts.clear()
-        self._epoch = self.index.epoch
+        """Evolve the index to churn day ``day`` and drop stale verdicts.
+
+        Since the hot-swap rework this is an alias for :meth:`hot_swap`
+        without artifact persistence: the evolved generation is built
+        off to the side and published atomically, and an *empty* delta
+        (no rank churned, epoch unchanged) keeps the warm memo instead
+        of invalidating it.
+        """
+        return self.hot_swap(schedule, day)
+
+    def hot_swap(self, schedule: ChurnSchedule, day: int, *,
+                 artifact_path: Optional[str] = None,
+                 phase_hook: Optional[Callable[[str], None]] = None) -> int:
+        """Two-phase crash-safe generation swap to churn day ``day``.
+
+        Phase one builds the evolved :class:`TypoRiskIndex` off to the
+        side (the resident generation keeps serving; nothing observable
+        mutates).  Phase two optionally persists the new generation to
+        ``artifact_path`` (atomic tmp+fsync+rename, so a kill leaves
+        either the old artifact or the new one — both loadable) and
+        then publishes it with a single attribute assignment; the epoch
+        guard in :meth:`serve_full` retires the old generation's memo
+        on the next lookup.  A kill at *any* point therefore leaves a
+        doctor-valid engine that resumes from one of the two
+        generations.  ``phase_hook`` is the torn-swap injection point:
+        it is called with ``"built"`` (after phase one) and ``"saved"``
+        (after artifact persistence, before publication) so chaos tests
+        can SIGKILL mid-swap deterministically.
+
+        An empty delta (no rank's generation moved) skips persistence,
+        publication, and memo invalidation entirely — only the
+        bookkeeping ``day`` advances.  Returns the number of ranks
+        whose generation changed.
+        """
+        new_index, changed = self.index.evolved_generation(schedule, day)
+        if changed == 0 and self._epoch == self.index.epoch:
+            self.index.day = day
+            return 0
+        if phase_hook is not None:
+            phase_hook("built")
+        if artifact_path is not None:
+            new_index.save(artifact_path)
+        if phase_hook is not None:
+            phase_hook("saved")
+        self.index = new_index          # the atomic publish
+        self.clear_verdict_memo()
+        self._epoch = new_index.epoch
         return changed
 
     def cache_stats(self) -> Dict[str, int]:
-        """Verdict-memo counters, reset-free (cleared with the memo)."""
-        return {"hits": self._hits, "misses": self._misses,
-                "size": len(self._verdicts)}
+        """Verdict-memo counters; reset alongside the memo.
 
-    def _remember(self, verdict: RiskVerdict) -> None:
-        if len(self._verdicts) >= self._max_cached:
-            self._verdicts.clear()
+        ``hits``/``misses`` zero whenever :meth:`clear_verdict_memo`
+        runs (epoch guard, hot swap, explicit clear) — the same
+        convention as ``clear_distance_caches`` — so the stats always
+        describe the *current* memo generation pair, and hit-rate math
+        never mixes worlds.  ``size`` spans both generations.
+        """
+        return {"hits": self._hits, "misses": self._misses,
+                "size": len(self._verdicts) + len(self._verdicts_old)}
+
+    def clear_verdict_memo(self) -> None:
+        """Drop both memo generations and zero the hit/miss counters."""
+        self._verdicts = {}
+        self._verdicts_old = {}
+        self._hits = 0
+        self._misses = 0
+
+    def shrink_memo(self) -> int:
+        """Memory-pressure relief: drop the old generation only.
+
+        Returns how many memoized verdicts were released.  The new
+        generation survives, so the hot set keeps most of its warmth;
+        verdict *content* is untouched (verdicts are pure), which is
+        what lets chaos replay pin memory-pressure events as invisible
+        in the verdict stream.
+        """
+        dropped = len(self._verdicts_old)
+        self._verdicts_old = {}
+        return dropped
+
+    def _memo_probe(self, query: str) -> Optional[RiskVerdict]:
+        """Probe both generations; promote an old-generation hit."""
+        verdict = self._verdicts.get(query)
+        if verdict is not None:
+            return verdict
+        verdict = self._verdicts_old.pop(query, None)
+        if verdict is not None:
+            self._store(verdict)
+        return verdict
+
+    def _store(self, verdict: RiskVerdict) -> None:
+        if len(self._verdicts) >= self._gen_capacity:
+            # shift-and-drop: the new generation ages into old, the
+            # previous old generation is released
+            self._verdicts_old = self._verdicts
+            self._verdicts = {}
         self._verdicts[verdict.query] = verdict
-        if verdict.action == "review":
+
+    def _remember(self, verdict: RiskVerdict, *,
+                  enqueue_review: bool = True) -> None:
+        self._store(verdict)
+        if enqueue_review and verdict.action == "review":
             self.review_queue.append(verdict)
+
+    # -- degraded & conservative lanes ------------------------------------
+    #
+    # The resilient server (repro.service.health) answers from these
+    # when the health state machine or admission control takes the
+    # full scorer off the table.  All three are memo-independent pure
+    # functions of the query: no memo probe, no memoization, no review
+    # bookkeeping — which is what keeps chaos-lane verdict streams
+    # byte-identical across --jobs fan-outs with per-shard memos.
+
+    def fast_verdict(self, query: str) -> Optional[RiskVerdict]:
+        """The O(1) layers only: rules + exact-target short circuit.
+
+        Returns ``None`` when the query needs candidate retrieval —
+        the signal the admission model uses to classify lane cost, and
+        the reason these verdicts are never shed.
+        """
+        return self._fast_classify(query)[3]
+
+    def degraded_lookup(self, query: str, *,
+                        floor_tier: str = "medium") -> RiskVerdict:
+        """Degraded-mode answer: rules + exact + index retrieval only.
+
+        The kernel scorer is bypassed; any query with a candidate
+        target within one edit gets the conservative ``floor_tier``
+        verdict (source ``degraded``), biased toward caution because
+        the scorer that would discriminate is unavailable.  Candidate
+        order and the reported target (the lowest-ranked, i.e. most
+        popular, candidate) stay deterministic.  Never raises.
+        """
+        domain, label, suffix, fast = self._fast_classify(query)
+        if fast is not None:
+            return fast
+        ranks = self.index.candidate_ranks(domain)
+        if not ranks:
+            return _flat_verdict(query, domain, "unrelated", "none",
+                                 "allow", "degraded")
+        parts = self.index.world.target_parts
+        names = tuple(f"{t_label}.{t_suffix}" for t_label, t_suffix
+                      in (parts(rank) for rank in ranks))
+        tier, action, score = self._floor(floor_tier)
+        return _flat_verdict(query, domain, "typo_risk", tier, action,
+                             "degraded", candidates=names,
+                             target=names[0], target_rank=ranks[0],
+                             score=score)
+
+    def conservative_verdict(self, query: str, *, source: str,
+                             floor_tier: str = "medium") -> RiskVerdict:
+        """No-retrieval fallback for shed / rules-only / probe-failure.
+
+        Rules and the exact-target probe still run (both O(1)); any
+        other parseable query gets the ``floor_tier`` verdict labeled
+        with ``source`` (``shed`` / ``rules_only`` / ``degraded``) so
+        replay suites can pin exactly which lane answered.
+        """
+        domain, label, suffix, fast = self._fast_classify(query)
+        if fast is not None:
+            return fast
+        tier, action, score = self._floor(floor_tier)
+        return _flat_verdict(query, domain, "typo_risk", tier, action,
+                             source, score=score)
+
+    def _floor(self, floor_tier: str) -> Tuple[str, str, float]:
+        """(tier, action, score) for a conservative floor tier."""
+        thresholds = {"critical": self.policy.critical,
+                      "high": self.policy.high,
+                      "medium": self.policy.medium,
+                      "review": self.policy.review}
+        if floor_tier not in thresholds:
+            raise ValueError(
+                f"unknown floor tier {floor_tier!r}; "
+                f"expected one of {sorted(thresholds)}")
+        return floor_tier, TIER_ACTIONS[floor_tier], thresholds[floor_tier]
 
     # -- the layered classifier -------------------------------------------
 
-    def _classify(self, query: str,
-                  retrieval: Callable[[str], Tuple[int, ...]]
-                  ) -> RiskVerdict:
+    def _fast_classify(self, query: str) -> Tuple[
+            str, Optional[str], Optional[str], Optional[RiskVerdict]]:
+        """Layers 1-2: ``(domain, label, suffix, verdict-or-None)``.
+
+        A non-``None`` verdict means rules or the exact-target probe
+        decided; ``None`` means the query needs retrieval/scoring.
+        """
         domain = normalize_query(query)
         try:
             label, suffix = split_domain(domain)
         except ValueError:
-            return _flat_verdict(query, domain, "invalid", "none",
-                                 "allow", "rules")
+            return domain, None, None, _flat_verdict(
+                query, domain, "invalid", "none", "allow", "rules")
         if domain in self._block:
-            return _flat_verdict(query, domain, "typo_risk", "critical",
-                                 "block", "rules", score=1.0)
+            return domain, label, suffix, _flat_verdict(
+                query, domain, "typo_risk", "critical", "block", "rules",
+                score=1.0)
         if domain in self._allow:
-            return _flat_verdict(query, domain, "clean", "none",
-                                 "allow", "rules")
+            return domain, label, suffix, _flat_verdict(
+                query, domain, "clean", "none", "allow", "rules")
         rank = self.index.target_rank(domain)
         if rank is not None:
-            return _flat_verdict(query, domain, "clean", "none", "allow",
-                                 "exact", target=domain, target_rank=rank)
+            return domain, label, suffix, _flat_verdict(
+                query, domain, "clean", "none", "allow", "exact",
+                target=domain, target_rank=rank)
+        return domain, label, suffix, None
+
+    def _classify(self, query: str,
+                  retrieval: Callable[[str], Tuple[int, ...]]
+                  ) -> RiskVerdict:
+        domain, label, suffix, fast = self._fast_classify(query)
+        if fast is not None:
+            return fast
         ranks = retrieval(domain)
         if not ranks:
             return _flat_verdict(query, domain, "unrelated", "none",

@@ -272,15 +272,9 @@ class TypoRiskIndex:
 
     # -- churn deltas ------------------------------------------------------
 
-    def apply_delta(self, schedule: ChurnSchedule, day: int) -> int:
-        """Evolve the index to churn day ``day``; returns ranks touched.
-
-        Target *identities* never churn, so the candidate buckets and
-        the membership law are untouched; only the registered-ctypo
-        caches of ranks whose generation changed are invalidated, and
-        the world's per-rank streams re-key.  The delta tests pin the
-        result equal to a fresh index built over the evolved world.
-        """
+    def _delta_against(self, schedule: ChurnSchedule,
+                       day: int) -> Tuple[Dict[int, int], List[int]]:
+        """Validate ``schedule`` and diff its day-``day`` churn vs ours."""
         if schedule.seed != self.seed:
             raise ConfigError(
                 f"churn schedule seed {schedule.seed} does not match "
@@ -294,6 +288,26 @@ class TypoRiskIndex:
         changed = [rank for rank in set(old_churn) | set(new_churn)
                    if rank <= self.max_rank
                    and old_churn.get(rank, 0) != new_churn.get(rank, 0)]
+        return new_churn, changed
+
+    def apply_delta(self, schedule: ChurnSchedule, day: int) -> int:
+        """Evolve the index to churn day ``day``; returns ranks touched.
+
+        Target *identities* never churn, so the candidate buckets and
+        the membership law are untouched; only the registered-ctypo
+        caches of ranks whose generation changed are invalidated, and
+        the world's per-rank streams re-key.  The delta tests pin the
+        result equal to a fresh index built over the evolved world.
+
+        An *empty* delta — no rank's generation moves (and so every
+        memoized verdict is still valid) — is a no-op: the epoch does
+        not bump, so resident engines keep their warm memos.  Only the
+        bookkeeping ``day`` advances.
+        """
+        new_churn, changed = self._delta_against(schedule, day)
+        if not changed:
+            self.day = day
+            return 0
         for rank in changed:
             self._registered_labels.pop(rank, None)
         self.world = self.world.evolved(new_churn or None)
@@ -301,6 +315,35 @@ class TypoRiskIndex:
         self.day = day
         self.epoch += 1
         return len(changed)
+
+    def evolved_generation(self, schedule: ChurnSchedule,
+                           day: int) -> Tuple["TypoRiskIndex", int]:
+        """Phase one of a hot swap: build the next generation off to the
+        side, leaving this index untouched and serving.
+
+        Returns ``(new_index, changed)``.  The new index shares the
+        world's immutable chunk caches and every unchurned rank's warm
+        registered-ctypo cache, carries ``epoch = self.epoch + 1`` so a
+        publishing engine's epoch guard retires stale memos, and is
+        pinned byte-identical (``canonical_dict``) to a fresh build
+        over the evolved world.  When nothing churned the caller should
+        skip the swap entirely — this method still returns a coherent
+        generation for callers that want one.
+        """
+        new_churn, changed = self._delta_against(schedule, day)
+        new_index = TypoRiskIndex(self.seed, self.max_rank,
+                                  config=self.config,
+                                  churn=new_churn, day=day)
+        # share the immutable world caches and the still-valid per-rank
+        # ctypo caches; only churned ranks re-derive lazily
+        new_index.world = self.world.evolved(new_churn or None)
+        changed_set = set(changed)
+        new_index._registered_labels = {
+            rank: labels
+            for rank, labels in self._registered_labels.items()
+            if rank not in changed_set}
+        new_index.epoch = self.epoch + 1
+        return new_index, len(changed)
 
     # -- persistence (repro-risk-index@1) ----------------------------------
 

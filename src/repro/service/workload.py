@@ -17,6 +17,7 @@ pure function of ``(seed, max_rank, config, pool sizes, mix)``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -168,6 +169,20 @@ class LookupWorkload:
                     seen.add(query)
                     out.append(query)
         return out
+
+    def stream_digest(self, count: int) -> str:
+        """SHA-256 over the first ``count`` stream queries.
+
+        The workload's replay identity: the chaos acceptance suite pins
+        verdict-stream digests per ``(seed, plan, workload)`` triple,
+        and this is the cheap way to assert two runs really served the
+        same workload before comparing their verdicts.
+        """
+        digest = hashlib.sha256()
+        for query in self.queries(count):
+            digest.update(query.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     def queries(self, count: int) -> Iterator[str]:
         """``count`` seeded draws from the mixed pools.

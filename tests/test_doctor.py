@@ -260,3 +260,42 @@ class TestCliTaxonomy:
         assert code == EXIT_DEGRADED
         assert "DEGRADED" in captured.err
         assert "never" in captured.err and "scanned" in captured.err
+
+
+class TestServicePlanSchema:
+    """The doctor understands the extended (service-spell) plan schema."""
+
+    def test_healthy_service_plan_reports_spell_count(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.service_chaos_demo(
+            9, lookups=10_000).to_json())
+        diagnosis = diagnose_file(path)
+        assert diagnosis.kind == KIND_FAULT_PLAN
+        assert diagnosis.ok and diagnosis.exit_code == 0
+        assert diagnosis.details["service_spells"] == 4
+        assert diagnosis.details["empty"] is False
+
+    def test_unknown_spell_kind_exits_two_not_traceback(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "plan.json"
+        plan = json.loads(FaultPlan(seed=3).to_json())
+        plan["service_spells"] = [{"start_lookup": 0, "end_lookup": 5,
+                                   "kind": "quantum_flux"}]
+        path.write_text(json.dumps(plan))
+        diagnosis = diagnose_file(path)
+        assert diagnosis.kind == KIND_FAULT_PLAN
+        assert not diagnosis.ok
+        assert diagnosis.exit_code == EXIT_BAD_INPUT
+        assert main(["doctor", str(path)]) == EXIT_BAD_INPUT
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+
+    def test_bad_service_window_exits_two(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = json.loads(FaultPlan(seed=3).to_json())
+        plan["service_spells"] = [{"start_lookup": 9, "end_lookup": 2,
+                                   "kind": "index_error"}]
+        path.write_text(json.dumps(plan))
+        diagnosis = diagnose_file(path)
+        assert not diagnosis.ok
+        assert diagnosis.exit_code == EXIT_BAD_INPUT

@@ -8,9 +8,13 @@ fault decision an order-independent source of randomness.
 import pytest
 
 from repro.faultsim import (
+    NO_LOOKUP_FAULTS,
+    SERVICE_FAULT_KINDS,
     DnsFaultSpell,
     FaultPlan,
     OutageSpan,
+    ServiceFaultInjector,
+    ServiceFaultSpell,
     ShardCrashSpec,
     SmtpFaultSpell,
     unit_draw,
@@ -148,3 +152,79 @@ class TestRetryPolicy:
             RetryPolicy(backoff_factor=0.5)
         with pytest.raises(ValueError):
             RetryPolicy(max_queue_seconds=0.0)
+
+
+class TestServiceSpells:
+    def test_window_is_half_open_over_lookup_sequence(self):
+        spell = ServiceFaultSpell(10, 20, "index_error")
+        assert [spell.covers(s) for s in (9, 10, 19, 20)] == [
+            False, True, True, False]
+
+    @pytest.mark.parametrize("start,end", [(-1, 3), (5, 5), (7, 2)])
+    def test_rejects_bad_windows(self, start, end):
+        with pytest.raises(ValueError):
+            ServiceFaultSpell(start, end, "index_error")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpell(1, 2, "disk_melt")
+
+    def test_rejects_bad_probability_and_stall(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpell(1, 2, "scorer_stall", probability=1.5)
+        with pytest.raises(ValueError):
+            ServiceFaultSpell(1, 2, "scorer_stall", stall_ms=-1.0)
+
+    def test_churn_delta_needs_a_target_day(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpell(1, 2, "churn_delta")  # churn_day defaults 0
+        spell = ServiceFaultSpell(1, 2, "churn_delta", churn_day=30)
+        assert spell.churn_rate == 0.004
+
+    def test_service_spells_round_trip_with_the_digest(self):
+        plan = FaultPlan.service_chaos_demo(7, lookups=10_000)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.digest() == plan.digest()
+        assert not plan.is_empty
+        assert len(plan.service_spells) == 4
+        assert {s.kind for s in plan.service_spells} == set(
+            SERVICE_FAULT_KINDS)
+
+    def test_demo_plan_rejects_trivial_streams(self):
+        with pytest.raises(ValueError):
+            FaultPlan.service_chaos_demo(0, lookups=50)
+
+
+class TestServiceFaultInjector:
+    def test_empty_plan_injects_nothing(self):
+        injector = ServiceFaultInjector(FaultPlan.empty())
+        assert injector.is_empty
+        for _ in range(5):
+            assert injector.step() is NO_LOOKUP_FAULTS
+        assert injector.sequence == 5
+
+    def test_step_stream_is_a_pure_replay(self):
+        plan = FaultPlan.service_chaos_demo(11, lookups=1000)
+        first = ServiceFaultInjector(plan)
+        second = ServiceFaultInjector(plan)
+        assert [first.step() for _ in range(1000)] == \
+            [second.step() for _ in range(1000)]
+
+    def test_fast_forward_lands_in_the_serial_state(self):
+        plan = FaultPlan.service_chaos_demo(11, lookups=1000)
+        serial = ServiceFaultInjector(plan)
+        tail = [serial.step() for _ in range(1000)][600:]
+        jumped = ServiceFaultInjector(plan)
+        jumped.fast_forward(600)
+        assert jumped.sequence == 600
+        assert [jumped.step() for _ in range(400)] == tail
+
+    def test_churn_fires_exactly_once_per_spell(self):
+        plan = FaultPlan(seed=3, service_spells=(
+            ServiceFaultSpell(5, 50, "churn_delta", churn_day=10),))
+        injector = ServiceFaultInjector(plan)
+        fired = [faults.churn_day for faults in
+                 (injector.step() for _ in range(60))
+                 if faults.churn_day is not None]
+        assert fired == [10]

@@ -77,7 +77,21 @@ class TestDeltaParity:
         index, _, _ = evolved_pair
         epoch = index.epoch
         assert index.apply_delta(SCHEDULE, DAY) == 0
-        assert index.epoch == epoch + 1  # epoch still bumps: memo safety
+        # an empty delta is a no-op: the epoch holds, so resident
+        # engines keep their warm memos (every verdict is still valid)
+        assert index.epoch == epoch
+
+    def test_empty_delta_keeps_engine_memo(self):
+        engine = RiskEngine(TypoRiskIndex(
+            SEED, MAX_RANK, churn=SCHEDULE.generations(DAY), day=DAY))
+        engine.lookup("gmial.com")
+        warm = engine.cache_stats()
+        assert warm["size"] == 1
+        assert engine.apply_delta(SCHEDULE, DAY) == 0
+        assert engine.cache_stats() == warm
+        # and the memoized verdict is served, not recomputed
+        engine.lookup("gmial.com")
+        assert engine.cache_stats()["hits"] == warm["hits"] + 1
 
     def test_rewind_to_day_zero(self, evolved_pair):
         index, _, _ = evolved_pair

@@ -120,11 +120,43 @@ class TestVerdictMemo:
         assert warm["hits"] == cold["hits"] + 6
         assert warm["misses"] == cold["misses"]
 
-    def test_bounded_memo_clears_wholesale(self, index):
+    def test_bounded_memo_stays_within_budget(self, index):
         engine = RiskEngine(index, max_cached_verdicts=4)
         for position in range(9):
             engine.lookup(f"query-{position}.org")
-        assert len(engine._verdicts) <= 4
+        assert engine.cache_stats()["size"] <= 4
+
+    def test_two_generation_eviction_keeps_hot_entries(self, index):
+        """Satellite: no 0%-hit-rate cliff at the capacity boundary.
+
+        A hot query re-served every round is promoted out of the aging
+        generation, so a flood of one-off queries can rotate the memo
+        without ever evicting it — under the old wholesale ``clear()``
+        the first rotation dropped it.
+        """
+        engine = RiskEngine(index, max_cached_verdicts=8)
+        hot = engine.lookup("gmial.com")
+        for position in range(64):
+            engine.lookup(f"flood-{position}.org")
+            assert engine.lookup("gmial.com") is hot
+
+    def test_two_generation_stream_is_byte_identical(self, index,
+                                                     sample_queries):
+        """Eviction policy is invisible in verdict bytes (purity)."""
+        tiny = RiskEngine(index, max_cached_verdicts=4)
+        roomy = RiskEngine(index, max_cached_verdicts=1 << 15)
+        stream = sample_queries[:60] * 2
+        assert [tiny.lookup(q).canonical_json() for q in stream] == \
+            [roomy.lookup(q).canonical_json() for q in stream]
+
+    def test_clear_resets_counters_with_the_memo(self, index):
+        """Satellite: cache_stats counters share the memo's lifetime."""
+        engine = RiskEngine(index)
+        for query in ("gmail.com", "gmail.com", "gmial.com"):
+            engine.lookup(query)
+        assert engine.cache_stats()["hits"] == 1
+        engine.clear_verdict_memo()
+        assert engine.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
 
     def test_memoized_verdict_is_the_same_object(self, engine):
         first = engine.lookup("gmial.com")
@@ -153,6 +185,28 @@ class TestBatchLookup:
         engine.lookup(queries[0])
         after = engine.cache_stats()
         assert after["hits"] == before["hits"] + 1
+
+    def test_parallel_batch_review_queue_equals_serial(self, index,
+                                                       sample_queries):
+        """Satellite: the human queue, not just the verdict stream.
+
+        The fan-out folds worker verdicts through the resident memo in
+        stream order, so review-band verdicts must enqueue exactly as
+        the serial path would — same members, same order, including
+        repeat suppression for memo hits.
+        """
+        policy = RiskPolicy(critical=0.99, high=0.98, medium=0.97,
+                            review=0.01)
+        # slice into the gtypo pool range (the first pool is all-clean
+        # exact targets, which never hit the review band) + repeats
+        queries = (sample_queries[150:210] + sample_queries[150:180])
+        serial = RiskEngine(index, policy=policy)
+        serial.batch_lookup(queries)
+        fanned = RiskEngine(index, policy=policy)
+        fanned.batch_lookup(queries, jobs=2)
+        assert [v.canonical_json() for v in fanned.review_queue] == \
+            [v.canonical_json() for v in serial.review_queue]
+        assert len(serial.review_queue) > 0
 
 
 class TestPersistence:
