@@ -208,3 +208,38 @@ def test_service_chaos_not_regressed():
     assert latest["qps"] >= baseline["qps"] / REGRESSION_FACTOR, (
         f"chaos serving QPS regressed: {latest['qps']:,.0f}/s vs baseline "
         f"{baseline['qps']:,.0f}/s (gate {REGRESSION_FACTOR}x)")
+
+
+def test_learned_detector_not_regressed():
+    """Gate the recorded learned-detector trajectory.
+
+    The learned-detector bench (``test_learned_detector_throughput``,
+    perfsmoke lane) records each run; this gate holds the latest
+    recorded run within 2x of the recorded baseline on both lanes —
+    vectorized message featurize+score and the columnar domain pass —
+    so a slowdown in the feature engine fails the perf lane even when
+    the detector bench itself was run elsewhere.
+    """
+    import pytest
+
+    bench = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    section = bench.get("learned_detector")
+    if not section:
+        pytest.skip("no learned_detector section recorded yet — "
+                    "run benchmarks/test_learned_detector.py first")
+    baseline, latest = section["baseline"], section["latest"]
+    assert (latest["learned_emails_per_sec"]
+            >= baseline["learned_emails_per_sec"] / REGRESSION_FACTOR), (
+        f"message featurize+score regressed: "
+        f"{latest['learned_emails_per_sec']:,.0f} emails/s vs baseline "
+        f"{baseline['learned_emails_per_sec']:,.0f}/s "
+        f"(gate {REGRESSION_FACTOR}x)")
+    assert (latest["columnar_rows_per_sec"]
+            >= baseline["columnar_rows_per_sec"] / REGRESSION_FACTOR), (
+        f"columnar domain scoring regressed: "
+        f"{latest['columnar_rows_per_sec']:,.0f} rows/s vs baseline "
+        f"{baseline['columnar_rows_per_sec']:,.0f}/s "
+        f"(gate {REGRESSION_FACTOR}x)")
+    assert latest["message_speedup"] >= 5.0, (
+        f"learned message lane fell below the 5x funnel acceptance bar: "
+        f"{latest['message_speedup']:.1f}x")

@@ -10,6 +10,8 @@ Commands mirror the paper's experiments:
 * ``check``    — the §8 defense: is this address a likely typo?
 * ``doctor``   — validate on-disk artifacts (checkpoints, plans, baselines)
 * ``serve-bench`` — benchmark the resident typo-risk query service
+* ``train``    — fit the learned detector (both lanes) from the seed
+* ``evaluate`` — Table-3-style learned vs. funnel comparison
 
 Failures surface through the :mod:`repro.util.errors` taxonomy: exit 2
 for bad input files, exit 3 for corrupt/mismatched checkpoints, exit 4
@@ -57,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "message once its record is emitted and hand "
                             "records to a digest sink (prints counts + "
                             "multiset digest; skips the volume report)")
+    study.add_argument("--detector", default="funnel",
+                       choices=("funnel", "learned", "both"),
+                       help="spam arm of the batch classification: the "
+                            "rule funnel (default), the trained model, "
+                            "or the union of the two")
+    study.add_argument("--model", metavar="PATH",
+                       help="repro-typo-model@1 artifact for "
+                            "--detector learned/both (see `repro train`)")
     study.add_argument("--report", metavar="PATH",
                        help="write a Markdown report to PATH")
     study.add_argument("--export", metavar="DIR",
@@ -187,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-plan", metavar="PATH",
                        help="serve under the service spells of this fault "
                             "plan JSON (implies the resilient layer)")
+    serve.add_argument("--score-mode", default="rules",
+                       choices=("rules", "learned"),
+                       help="layer-4 scorer: the kernel rules (default) "
+                            "or the trained domain-lane model")
+    serve.add_argument("--model", metavar="PATH",
+                       help="repro-typo-model@1 artifact for "
+                            "--score-mode learned")
+
+    train = commands.add_parser(
+        "train", help="train the learned typo detector (both lanes)")
+    train.add_argument("--out", required=True, metavar="PATH",
+                       help="write the repro-typo-model@1 artifact here")
+    train.add_argument("--ranks", type=int, default=20_000, metavar="N",
+                       help="domain-lane training sweep: most-popular N "
+                            "targets (default: 20000)")
+    train.add_argument("--dataset-size", type=int, default=1_500,
+                       metavar="N",
+                       help="messages per training corpus "
+                            "(default: 1500)")
+    train.add_argument("--jobs", type=int, metavar="J",
+                       help="featurization worker processes (the model "
+                            "is byte-identical at any J)")
+
+    evaluate = commands.add_parser(
+        "evaluate", help="Table-3-style learned vs. funnel comparison")
+    evaluate.add_argument("--model", required=True, metavar="PATH",
+                          help="repro-typo-model@1 artifact to evaluate")
+    evaluate.add_argument("--dataset-size", type=int, default=2_000,
+                          metavar="N",
+                          help="messages per evaluation corpus "
+                               "(default: 2000)")
 
     return parser
 
@@ -246,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "doctor": _cmd_doctor,
         "serve-bench": _cmd_serve_bench,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
     }[args.command]
     try:
         return handler(args)
@@ -285,6 +328,15 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print("--checkpoint/--resume need a single-seed run",
               file=sys.stderr)
         return 2
+    if args.detector != "funnel":
+        if args.streaming:
+            print("--detector learned/both runs in the batch classifier; "
+                  "drop --streaming", file=sys.stderr)
+            return 2
+        if not args.model:
+            print(f"--detector {args.detector} requires --model PATH "
+                  "(train one with `repro train`)", file=sys.stderr)
+            return 2
     config = ExperimentConfig(
         seed=args.seed,
         spam_scale=args.spam_scale * args.scale,
@@ -293,6 +345,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         classify_jobs=args.jobs if not args.seeds else None,
         streaming_classify=args.streaming,
         retain_messages=not args.bounded_memory,
+        detector=args.detector,
+        model_path=args.model,
     )
     if args.seeds:
         return _cmd_study_multi(args, config)
@@ -679,6 +733,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.chaos or args.fault_plan:
         return _serve_bench_chaos(args)
+    model = None
+    if args.score_mode == "learned":
+        from repro.learned.model import load_model
+        from repro.util.errors import ConfigError
+
+        if not args.model:
+            raise ConfigError("--score-mode learned requires --model "
+                              "PATH (train one with `repro train`)")
+        model = load_model(args.model)
     engine = None
     if args.load_index:
         index = TypoRiskIndex.load(args.load_index)
@@ -690,11 +753,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         index = None  # run_serve_bench builds (and times) its own
     if index is not None:
         engine = RiskEngine(
-            index, max_cached_verdicts=max(1 << 15, 8 * args.pool_size))
+            index, max_cached_verdicts=max(1 << 15, 8 * args.pool_size),
+            scorer=args.score_mode, model=model)
     result = run_serve_bench(
         args.seed, args.ranks, lookups=args.lookups,
         pool_size=args.pool_size, warmup=not args.no_warmup,
-        parity=args.parity, engine=engine)
+        parity=args.parity, engine=engine,
+        score_mode=args.score_mode, model=model)
     for line in result.report_lines():
         print(line)
     if args.save_index:
@@ -736,6 +801,46 @@ def _serve_bench_chaos(args: argparse.Namespace) -> int:
         record_service_chaos(result.entry(), args.bench_out)
         print(f"recorded service_chaos entry in {args.bench_out}",
               file=sys.stderr)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: fit both lanes and persist the artifact."""
+    from time import perf_counter
+
+    from repro.learned import save_model, train_typo_model
+
+    print(f"training the learned detector (seed={args.seed}, "
+          f"ranks={args.ranks}, corpus={args.dataset_size}/profile)...",
+          file=sys.stderr)
+    start = perf_counter()
+    model, stats = train_typo_model(
+        args.seed, ranks=args.ranks, dataset_size=args.dataset_size,
+        jobs=args.jobs)
+    elapsed = perf_counter() - start
+    digest = save_model(model, args.out)
+    print(f"trained in {elapsed:.1f}s: domain lane on "
+          f"{stats['domain_rows']:,} registered typos "
+          f"({stats['domain_positives']:,} squatted), message lane on "
+          f"{stats['message_rows']:,} emails "
+          f"({stats['message_positives']:,} spam)")
+    print(f"model written to {args.out} (digest sha256:{digest})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: the Table-3-style detector comparison."""
+    from repro.learned import evaluate_model
+    from repro.learned.model import load_model
+
+    model = load_model(args.model)
+    print(f"evaluating model sha256:{model.digest()[:12]}... "
+          f"(train seed {model.seed}) against the rule funnel",
+          file=sys.stderr)
+    report = evaluate_model(model, args.seed,
+                            dataset_size=args.dataset_size)
+    print(report.format_table())
+    print(f"metrics digest: sha256:{report.metrics_digest()}")
     return 0
 
 

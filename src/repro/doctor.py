@@ -41,6 +41,7 @@ KIND_SCAN_BASELINE = "scan-baseline"
 KIND_FAULT_PLAN = "fault-plan"
 KIND_PERF_BASELINE = "perf-baseline"
 KIND_RISK_INDEX = "risk-index"
+KIND_TYPO_MODEL = "typo-model"
 KIND_UNKNOWN = "unknown"
 
 
@@ -97,13 +98,15 @@ def diagnose_file(path: Union[str, Path]) -> Diagnosis:
         KIND_FAULT_PLAN: _check_fault_plan,
         KIND_PERF_BASELINE: _check_perf_baseline,
         KIND_RISK_INDEX: _check_risk_index,
+        KIND_TYPO_MODEL: _check_typo_model,
     }.get(kind)
     if validator is None:
         return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
                          problems=["not a recognized repro artifact "
                                    "(study/scan checkpoint, scan "
                                    "baseline, fault plan, perf "
-                                   "baseline, or risk index)"],
+                                   "baseline, risk index, or typo "
+                                   "model)"],
                          exit_code=EXIT_BAD_INPUT)
     return validator(path, data)
 
@@ -133,17 +136,20 @@ def exit_code_for(diagnoses: List[Diagnosis]) -> int:
 def _detect_kind(data: Dict) -> str:
     from repro.ecosystem.delta import SCAN_BASELINE_FORMAT
     from repro.experiment.checkpoint import STUDY_CHECKPOINT_FORMAT
+    from repro.learned.model import LEARNED_MODEL_FORMAT
     from repro.service.index import RISK_INDEX_FORMAT
 
     if data.get("format") == STUDY_CHECKPOINT_FORMAT:
         return KIND_STUDY_CHECKPOINT
-    # the scan baseline and risk index carry explicit format tags, so
-    # test them before the schema-shape heuristics (both also have
-    # seed/max_rank)
+    # the scan baseline, risk index, and typo model carry explicit
+    # format tags, so test them before the schema-shape heuristics
+    # (they also share generic keys like seed)
     if data.get("format") == SCAN_BASELINE_FORMAT:
         return KIND_SCAN_BASELINE
     if data.get("format") == RISK_INDEX_FORMAT:
         return KIND_RISK_INDEX
+    if data.get("format") == LEARNED_MODEL_FORMAT:
+        return KIND_TYPO_MODEL
     if {"seed", "max_rank", "shards"} <= set(data):
         return KIND_SCAN_CHECKPOINT
     if "baseline" in data and isinstance(data["baseline"], dict):
@@ -173,6 +179,9 @@ def _kind_from_name(path: Path) -> tuple:
         # same story for a torn persisted risk index: durable state
         # the service would refuse, so exit 3
         return KIND_RISK_INDEX, EXIT_CORRUPT_CHECKPOINT
+    if "model" in name:
+        # a torn typo-model artifact is the same durable-state story
+        return KIND_TYPO_MODEL, EXIT_CORRUPT_CHECKPOINT
     return KIND_UNKNOWN, EXIT_BAD_INPUT
 
 
@@ -298,6 +307,29 @@ def _check_risk_index(path: Path, data: Dict) -> Diagnosis:
         "head_buckets": index.head_bucket_count,
     }
     return Diagnosis(path=path, kind=KIND_RISK_INDEX, ok=True,
+                     details=details)
+
+
+def _check_typo_model(path: Path, data: Dict) -> Diagnosis:
+    from repro.learned.model import load_model
+
+    try:
+        # the learned package's own loader re-verifies the self-digest,
+        # parameter shapes, and the feature-schema version; corruption
+        # exits 3, an unknown schema version exits 2 (intact artifact,
+        # wrong vintage — the remedy is a retrain, not a restore)
+        model = load_model(path)
+    except ReproError as error:
+        return Diagnosis(path=path, kind=KIND_TYPO_MODEL, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    details = {
+        "seed": model.seed,
+        "schema": model.schema_version,
+        "stumps": len(model.domain.stumps) + len(model.message.stumps),
+        "digest": model.digest()[:12],
+    }
+    return Diagnosis(path=path, kind=KIND_TYPO_MODEL, ok=True,
                      details=details)
 
 

@@ -191,6 +191,18 @@ class _RankKeyedStream:
     def uniforms(self, rank: int, count: int) -> np.ndarray:
         """The rank's stream prefix.  The returned array is a reused
         scratch buffer: consume it before the next ``uniforms`` call."""
+        buf = self._buffers.get(count)
+        if buf is None:
+            buf = np.empty(count)
+            self._buffers[count] = buf
+        return self.uniforms_into(rank, buf)
+
+    def uniforms_into(self, rank: int, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (contiguous float64) with the rank's stream prefix.
+
+        Byte-identical to :meth:`uniforms` of the same length; the
+        caller-owned destination lets the feature sweep draw many ranks
+        into one matrix and preselect with a single vector compare."""
         counter = self._counter
         counter[0] = 0
         counter[1] = 0
@@ -199,11 +211,7 @@ class _RankKeyedStream:
         self._state["buffer_pos"] = 4
         self._state["has_uint32"] = 0
         self._bitgen.state = self._state
-        buf = self._buffers.get(count)
-        if buf is None:
-            buf = np.empty(count)
-            self._buffers[count] = buf
-        return self._gen.random(out=buf)
+        return self._gen.random(out=out)
 
 
 # -- vectorised registration grid ---------------------------------------------
@@ -252,6 +260,43 @@ _CODE2IDX = np.full(128, -1, dtype=np.int64)
 for _i, _c in enumerate(DOMAIN_ALPHABET):
     _CODE2IDX[ord(_c)] = _i
 _CODE2IDX_LIST = _CODE2IDX.tolist()
+
+#: per-alphabet-index character classes, for the feature sweep's
+#: delta-computed lexical stats
+_IDX_IS_DIGIT = [c.isdigit() for c in DOMAIN_ALPHABET]
+_IDX_IS_VOWEL = [c in "aeiou" for c in DOMAIN_ALPHABET]
+_IDX_IS_HYPHEN = [c == "-" for c in DOMAIN_ALPHABET]
+
+# -- packed feature-row layout -------------------------------------------------
+#
+# ``WorldModel.featurize_ranks`` emits one (packed int, visual float) pair
+# per wild registered ctypo; everything else a feature row needs is either
+# inside the packed word or shared per rank.  Bit layout (LSB up):
+#
+#   op:2  index:6  char:6  digits:6  hyphens:6  vowels:6  mx:3  addr:1
+#   ns:2  private:1  fields:3  policy:2  support:3  squat:1  adjacent:1
+#
+# 49 bits total — comfortably inside an int64, so a whole block converts
+# to numpy with one ``np.array`` call and unpacks with vector shifts.
+# Decoders live in :mod:`repro.features.domains`; the op codes are
+# 0 deletion, 1 transposition, 2 substitution, 3 addition, the mx codes
+# 0 none, 1 parked, 2 web, 3 pool, 4 self, 5 mx.<target>, and the ns
+# codes 0 cesspool, 1 normal, 2 ns.<target>.
+
+FEATURE_PACK_SHIFTS = {
+    "op": 0, "index": 2, "char": 8, "digits": 14, "hyphens": 20,
+    "vowels": 26, "mx": 32, "addr": 35, "ns": 36, "private": 38,
+    "fields": 39, "policy": 42, "support": 44, "squat": 47,
+    "adjacent": 48,
+}
+
+#: ranks per batched registration draw in the feature sweep — large
+#: enough to amortize the per-slab numpy dispatch, small enough that the
+#: draw matrix stays a few MB
+_FEATURE_BATCH = 256
+
+#: sentinel marking a rank whose registration draw needs the dense path
+_DENSE = ("dense",)
 
 
 def _position_weights(length: int) -> np.ndarray:
@@ -515,8 +560,26 @@ def _registered_flats(label: str, reg_p: float,
     np.multiply(_section_upper(length), reg_p, out=thresh)
     np.less(uniforms, thresh, out=hits)
     cand_arr = hits.nonzero()[0]
+    if not cand_arr.size:
+        return []
+    return _confirm_flats(label, reg_p, cand_arr.tolist(),
+                          uniforms[cand_arr].tolist())
+
+
+def _confirm_flats(label: str, reg_p: float, cand_flats: List[int],
+                   uvals: List[float]) -> List[int]:
+    """Confirm preselected raw-grid slots with the scalar quality law.
+
+    ``cand_flats`` must be a superset of the registrations produced by
+    any bound of the form ``u < reg_p * upper`` with per-section
+    ``upper >= quality``; the scalar law then keeps exactly the slots the
+    dense path would.  Split out of :func:`_registered_flats` so the
+    feature sweep's batched (multi-rank) preselect shares the confirm
+    step verbatim.
+    """
+    length = len(label)
     registered: List[int] = []
-    if cand_arr.size:
+    if cand_flats:
         _char_tables()
         adj, cost = _ADJ_LIST, _COST_LIST
         codes = label.encode("ascii")
@@ -530,8 +593,7 @@ def _registered_flats(label: str, reg_p: float,
         n_trans = length - 1 if length > 1 else 0
         sub_base = n_del + n_trans
         add_base = sub_base + length * _ALPHA_SIZE
-        uvals = uniforms[cand_arr].tolist()
-        for flat, u in zip(cand_arr.tolist(), uvals):
+        for flat, u in zip(cand_flats, uvals):
             if flat < n_del:
                 i = flat
                 if length < 2 or length > 64:
@@ -590,6 +652,131 @@ def _registered_flats(label: str, reg_p: float,
             if u < reg_p * q:
                 registered.append(flat)
     return registered
+
+
+def _confirm_decoded(lidx: List[int], posw: List[float], reg_p: float,
+                     cand_flats: List[int],
+                     uvals: Optional[List[float]],
+                     base_digits: int, base_hyphens: int,
+                     base_vowels: int) -> List[tuple]:
+    """Confirm candidate slots and decode the survivors in one pass.
+
+    The feature sweep's fused twin of :func:`_confirm_flats`: the same
+    validity + quality law decides registration (``uvals is None`` skips
+    the uniform test for already-registered flats from the dense path),
+    but instead of flat indices it returns ``(pack_lex, vis, op, index,
+    char)`` per kept slot — the lexical half of the packed feature word
+    (op, index, char, digit/hyphen/vowel counts, adjacency bit, see
+    ``FEATURE_PACK_SHIFTS``) plus the visual cost, so the record walk
+    never re-decodes.  ``lidx`` is the label's alphabet-index list; the
+    parity tests pin the kept set against :func:`_confirm_flats` and the
+    decoded fields against the scalar reference featurizer.
+    """
+    length = len(lidx)
+    decoded: List[tuple] = []
+    if not cand_flats:
+        return decoded
+    adj, cost = _ADJ_LIST, _COST_LIST
+    is_digit, is_vowel = _IDX_IS_DIGIT, _IDX_IS_VOWEL
+    is_hyphen = _IDX_IS_HYPHEN
+    hyphen_i = _HYPHEN_IDX
+    inv_len = 3.0 / max(1, length)
+    n_del = length
+    n_trans = length - 1 if length > 1 else 0
+    sub_base = n_del + n_trans
+    add_base = sub_base + length * _ALPHA_SIZE
+    check = uvals is not None
+    append = decoded.append
+    for k, flat in enumerate(cand_flats):
+        if flat < n_del:
+            i = flat
+            if length < 2 or length > 64:
+                continue
+            if i > 0 and lidx[i] == lidx[i - 1]:
+                continue
+            if i == 0 and lidx[1] == hyphen_i:
+                continue
+            if i == length - 1 and lidx[length - 2] == hyphen_i:
+                continue
+            rm = lidx[i]
+            doubled = ((i < length - 1 and rm == lidx[i + 1])
+                       or (i > 0 and rm == lidx[i - 1]))
+            vis = (0.3 if doubled else 0.9) * posw[i]
+            if check and uvals[k] >= (reg_p * 6.0 * 1.6
+                                      * max(0.2, 1.5 - vis * inv_len)):
+                continue
+            op = 0
+            a = 0
+            adjacent = 1 << 48
+            digits = base_digits - (1 if is_digit[rm] else 0)
+            hyphens = base_hyphens - (1 if is_hyphen[rm] else 0)
+            vowels = base_vowels - (1 if is_vowel[rm] else 0)
+        elif flat < sub_base:
+            i = flat - n_del
+            if length > 63:
+                continue
+            if lidx[i] == lidx[i + 1]:
+                continue
+            if i == 0 and lidx[1] == hyphen_i:
+                continue
+            if i == n_trans - 1 and lidx[length - 2] == hyphen_i:
+                continue
+            vis = 0.5 * posw[i]
+            if check and uvals[k] >= (reg_p * 5.0 * 1.6
+                                      * max(0.2, 1.5 - vis * inv_len)):
+                continue
+            op = 1
+            a = 0
+            adjacent = 1 << 48
+            digits = base_digits
+            hyphens = base_hyphens
+            vowels = base_vowels
+        elif flat < add_base:
+            i, a = divmod(flat - sub_base, _ALPHA_SIZE)
+            if length > 63:
+                continue
+            rm = lidx[i]
+            if a == rm:
+                continue
+            if a == hyphen_i and (i == 0 or i == length - 1):
+                continue
+            vis = cost[rm][a] * posw[i]
+            adj_f = adj[rm][a]
+            if check and uvals[k] >= (reg_p * (1.6 if adj_f else 1.0)
+                                      * max(0.2, 1.5 - vis * inv_len)):
+                continue
+            op = 2
+            adjacent = (1 << 48) if adj_f else 0
+            digits = (base_digits - (1 if is_digit[rm] else 0)
+                      + (1 if is_digit[a] else 0))
+            hyphens = (base_hyphens - (1 if is_hyphen[rm] else 0)
+                       + (1 if is_hyphen[a] else 0))
+            vowels = (base_vowels - (1 if is_vowel[rm] else 0)
+                      + (1 if is_vowel[a] else 0))
+        else:
+            i, a = divmod(flat - add_base, _ALPHA_SIZE)
+            if length + 1 > 63:
+                continue
+            if i >= 1 and a == lidx[i - 1]:
+                continue
+            if a == hyphen_i and (i == 0 or i == length):
+                continue
+            next_eq = i < length and a == lidx[i]
+            ff1 = (next_eq or (i >= 1 and adj[lidx[i - 1]][a])
+                   or (i < length and adj[lidx[i]][a]))
+            vis = (0.3 if next_eq else 1.0) * posw[i]
+            if check and uvals[k] >= (reg_p * 0.45 * (1.6 if ff1 else 1.0)
+                                      * max(0.2, 1.5 - vis * inv_len)):
+                continue
+            op = 3
+            adjacent = (1 << 48) if ff1 else 0
+            digits = base_digits + (1 if is_digit[a] else 0)
+            hyphens = base_hyphens + (1 if is_hyphen[a] else 0)
+            vowels = base_vowels + (1 if is_vowel[a] else 0)
+        append((op | (i << 2) | (a << 8) | (digits << 14)
+                | (hyphens << 20) | (vowels << 26) | adjacent,
+                vis, op, i, a))
+    return decoded
 
 
 def _registration_grid(label: str, seed: int, rank: int,
@@ -1331,6 +1518,615 @@ class WorldModel:
             perf.add_seconds("scan.probe_seconds", probe_s)
             perf.count("scan.ranks", stop_rank - start_rank)
         return aggregates
+
+    # -- the feature sweep -------------------------------------------------
+
+    def _stem_syllables(self, cache: Dict[int, tuple],
+                        chunk: int) -> tuple:
+        """(flat syllable indices, third-syllable flags) of a filler chunk.
+
+        The collision confirm of :meth:`featurize_ranks` only needs the
+        *stem* of a candidate filler name, so it derives the chunk's
+        syllable draws (pure numpy, ~60us) without paying
+        :func:`_filler_chunk`'s per-name Python loop, and keeps them in a
+        sweep-local cache the caller bounds.
+        """
+        cached = cache.get(chunk)
+        if cached is None:
+            uniforms = _rank_uniforms(self.seed, "fillers", chunk,
+                                      _FILLER_CHUNK * 7)
+            u = uniforms.reshape(_FILLER_CHUNK, 7)
+            n_onsets = len(_PRONOUNCEABLE_ONSETS)
+            n_vowels = len(_PRONOUNCEABLE_VOWELS)
+            onset_i = np.minimum((u[:, 1::2] * n_onsets).astype(np.intp),
+                                 n_onsets - 1)
+            vowel_i = np.minimum((u[:, 2::2] * n_vowels).astype(np.intp),
+                                 n_vowels - 1)
+            cached = ((onset_i * n_vowels + vowel_i).astype(np.uint16),
+                      u[:, 0] >= 0.5)
+            if len(cache) >= 4096:
+                cache.clear()          # keep a 10x-scale sweep bounded
+            cache[chunk] = cached
+        return cached
+
+    def _featurize_batch(self, rb0: int, rb1: int, base_rank: int,
+                         names: List[str], filler: bool,
+                         bufh: list) -> tuple:
+        """Batched registration draws + preselect for ranks ``[rb0, rb1)``.
+
+        Draws every rank's registration stream into one reused matrix
+        (rows grouped by label length) and preselects candidates with a
+        single vector compare per length slab, replacing ~5 small numpy
+        dispatches per rank with ~3 per 256 ranks.  Returns ``(labels,
+        cands, rows, churned)``: per-rank labels; preselect outcome
+        (``None`` no candidates, ``_DENSE`` run the dense scalar path on
+        the stored draw row, else ``(flats, uniforms)`` for
+        :func:`_confirm_flats`); each rank's draw-matrix row; and per-rank
+        churn generations (``None`` for a churn-free window — churned
+        ranks draw from re-keyed streams, so the caller resolves them
+        rank-at-a-time and their matrix rows stay unfilled).
+        """
+        m = rb1 - rb0
+        head_parts = self._head_parts
+        labels: List[str] = []
+        if filler:
+            for r in range(rb0, rb1):
+                labels.append(names[r - base_rank][:-4])
+        else:
+            for r in range(rb0, rb1):
+                labels.append(head_parts[r - base_rank][0])
+        churn = self._churn
+        churned = ([churn.get(r, 0) for r in range(rb0, rb1)]
+                   if churn is not None else None)
+        order = sorted(range(m), key=lambda p: len(labels[p]))
+        g_max = 76 * len(labels[order[-1]]) + 36
+        buf = bufh[0]
+        if buf is None or buf.shape[1] < g_max:
+            buf = np.empty((_FEATURE_BATCH, g_max))
+            bufh[0] = buf
+        fill = self._stream("reg").uniforms_into
+        rows = [0] * m
+        for j, p in enumerate(order):
+            rows[p] = j
+            if churned is not None and churned[p]:
+                continue
+            fill(rb0 + p, buf[j, :76 * len(labels[p]) + 36])
+        peak = self.config.peak_registration_probability
+        decay = self.config.rank_decay
+        # np.power can differ from the scalar ``peak / r ** decay`` law
+        # in the last ulp, so both derived tests are padded to stay
+        # conservative: the preselect must remain a superset (the exact
+        # scalar confirm decides), and a rank flagged dense merely runs
+        # the exact dense/sparse split inside _registered_flats
+        reg_all = (peak * (1.0 + 1e-9)) * np.power(
+            np.array(order, dtype=np.float64) + rb0, -decay)
+        dense_all = reg_all * _QUALITY_MAX >= 0.95 * (1.0 - 1e-9)
+        cands: List[Optional[tuple]] = [None] * m
+        j0 = 0
+        while j0 < m:
+            length = len(labels[order[j0]])
+            j1 = j0 + 1
+            while j1 < m and len(labels[order[j1]]) == length:
+                j1 += 1
+            slab = buf[j0:j1, :76 * length + 36]
+            reg_ps = reg_all[j0:j1]
+            hits = slab < reg_ps[:, None] * _section_upper(length)
+            dense = dense_all[j0:j1]
+            if dense.any():
+                hits[dense] = False
+                for jj in np.nonzero(dense)[0].tolist():
+                    cands[order[j0 + jj]] = _DENSE
+            rows_h, cols_h = np.nonzero(hits)
+            if rows_h.size:
+                uv = slab[rows_h, cols_h].tolist()
+                rlist = rows_h.tolist()
+                clist = cols_h.tolist()
+                nh = len(rlist)
+                k = 0
+                while k < nh:
+                    row = rlist[k]
+                    k2 = k + 1
+                    while k2 < nh and rlist[k2] == row:
+                        k2 += 1
+                    cands[order[j0 + row]] = (clist[k:k2], uv[k:k2])
+                    k = k2
+            j0 = j1
+        return labels, cands, rows, churned
+
+    def featurize_ranks(self, start_rank: int, stop_rank: int, *,
+                        max_rank: Optional[int] = None,
+                        on_block=None, block_records: int = 65536,
+                        perf: Optional["PerfRegistry"] = None
+                        ) -> Tuple[int, int, int]:
+        """Stream packed feature rows for every wild ctypo in the window.
+
+        The columnar twin of :meth:`scan_ranks`: the same registration
+        law, the same wild-state stream consumption (the parity tests pin
+        every row against :meth:`iter_rank_states`), but instead of
+        probing it emits one ``(packed int64, visual float)`` pair per
+        wild registered ctypo plus per-rank shared context, batched into
+        blocks for vectorized featurization downstream.  ``on_block``
+        receives ``(rank_l, nrows_l, len_l, tdigit_l, tadj_l, packed_l,
+        vis_l)`` — the first five parallel per contributing rank, the
+        last two per row — whenever ``block_records`` rows accumulate.
+
+        Returns ``(rows, excluded, generated)``; ``excluded`` counts
+        registrations skipped because the candidate string collides with
+        a target domain of the ``max_rank`` universe (the same wildness
+        rule the scan applies, via the same membership law — confirmed
+        against chunk *stems* so a deep sweep never materializes foreign
+        filler chunks).  Bounded memory: per-block lists, a capped
+        stem cache, and the window's own filler chunks only.
+        """
+        timing = perf is not None
+        entry_t = perf_counter() if timing else 0.0
+        max_rank = max_rank or (stop_rank - 1)
+        churn = self._churn
+        config = self.config
+        peak = config.peak_registration_probability
+        decay = config.rank_decay
+        wild_stream = self._stream("wild")
+        head_n = len(self._head_names)
+        head_parts = self._head_parts
+        head_rank = self._head_rank
+        chunks_cache = self._chunks
+        stem_cache: Dict[int, tuple] = {}
+        stem_tbl: Dict[str, tuple] = {}
+        bufh: list = [None]   # reused draw matrix across batches
+        syl = _syllable_table()
+        head_com = {lbl: rk for rk, (lbl, sfx0)
+                    in enumerate(head_parts, start=1) if sfx0 == "com"}
+        # the digit-run collision fast path assumes no head label
+        # contains a digit (a filler typo that keeps digits in place
+        # can then never spell a head); disable it should the target
+        # list ever grow one
+        prefilter_ok = not any(any(ch.isdigit() for ch in lbl)
+                               for lbl, _ in head_parts)
+
+        def_frac = config.defensive_fraction
+        legit_cut = def_frac + config.legitimate_fraction
+        bulk_share = config.bulk_share
+        medium_cut = bulk_share + config.medium_share
+        bulk_cum, bulk_total = self._bulk_cum, self._bulk_total
+        n_bulk = len(self._bulk_ids)
+        n_medium = len(self._medium_ids)
+        mix_sq, mix_rs, mix_lt = (self._support_mixes["squatter"],
+                                  self._support_mixes["reseller"],
+                                  self._support_mixes["longtail"])
+        pool_broken = self._pool_broken
+        pool_cum, pool_total = self._pool_cum, self._pool_total
+        n_pool = len(self._pool_hosts)
+        catch_all = config.longtail_catch_all_rate
+        reject_cut = catch_all + config.longtail_reject_all_rate
+        small_cess = config.small_cesspool_rate
+        bulk_privacy = config.bulk_privacy_rate
+        small_privacy = config.small_privacy_rate
+
+        code2idx = _CODE2IDX_LIST
+        is_digit, is_vowel = _IDX_IS_DIGIT, _IDX_IS_VOWEL
+        is_hyphen = _IDX_IS_HYPHEN
+        _char_tables()
+        adj_t = _ADJ_LIST
+        alpha = DOMAIN_ALPHABET
+
+        # branch-constant packed partials (see FEATURE_PACK_SHIFTS)
+        pack_defensive = ((5 << 32) | (2 << 36) | (6 << 39) | (5 << 44))
+        pack_legit = ((1 << 35) | (1 << 36) | (6 << 39) | (5 << 44))
+        squat_bit = 1 << 47
+
+        rank_l: List[int] = []
+        nrows_l: List[int] = []
+        len_l: List[int] = []
+        tdigit_l: List[float] = []
+        tadj_l: List[float] = []
+        packed_l: List[int] = []
+        vis_l: List[float] = []
+        pack_append = packed_l.append
+        vis_append = vis_l.append
+
+        n_rows = 0
+        n_excluded = 0
+        generated = 0
+        setup_s = (perf_counter() - entry_t) if timing else 0.0
+
+        rank = start_rank
+        while rank < stop_rank:
+            if rank <= head_n:
+                base_rank = 1
+                block_stop = min(stop_rank, head_n + 1)
+                names = self._head_names
+                counts = self._head_gen_counts
+                filler = False
+            else:
+                chunk, _ = divmod(rank - 1 - head_n, _FILLER_CHUNK)
+                names, counts = self._chunk(chunk)
+                base_rank = head_n + chunk * _FILLER_CHUNK + 1
+                block_stop = min(stop_rank, base_rank + _FILLER_CHUNK)
+                filler = True
+            generated += sum(counts[rank - base_rank:
+                                    block_stop - base_rank])
+            batch = None
+            batch_base = rank
+            for r in range(rank, block_stop):
+                p = r - batch_base
+                if batch is None or p == len(batch[0]):
+                    batch_base = r
+                    batch = self._featurize_batch(
+                        r, min(r + _FEATURE_BATCH, block_stop),
+                        base_rank, names, filler, bufh)
+                    p = 0
+                labels_b, cands, row_of, churned = batch
+                label = labels_b[p]
+                L = len(label)
+                if churned is not None and churned[p]:
+                    generation = churned[p]
+                    reg_p = peak / (r ** decay)
+                    rank_wild = self._stream(f"wild@{generation}")
+                    src_flats = _registered_flats(
+                        label, reg_p,
+                        self._stream(f"reg@{generation}").uniforms(
+                            r, 76 * L + 36))
+                    if not src_flats:
+                        continue
+                    uv = None
+                else:
+                    rank_wild = wild_stream
+                    c = cands[p]
+                    if c is None:
+                        continue
+                    reg_p = peak / (r ** decay)
+                    if c is _DENSE:
+                        src_flats = _registered_flats(
+                            label, reg_p, bufh[0][row_of[p], :76 * L + 36])
+                        if not src_flats:
+                            continue
+                        uv = None
+                    else:
+                        src_flats, uv = c
+
+                # per-rank shared tables; filler labels are stem+digits
+                # with the stem drawn from a bounded syllable vocabulary,
+                # so stem-side stats come from a capped cache and only
+                # the short digit suffix is walked per rank
+                if filler:
+                    dstr = str(r - head_n - 1)
+                    nd = len(dstr)
+                    nstem = L - nd
+                    stem = label[:nstem]
+                    ent = stem_tbl.get(stem)
+                    if ent is None:
+                        s_lidx = [code2idx[ord(ch)] for ch in stem]
+                        svow = 0
+                        sadj = 0
+                        prev = -1
+                        for a0 in s_lidx:
+                            if is_vowel[a0]:
+                                svow += 1
+                            if prev >= 0 and adj_t[prev][a0]:
+                                sadj += 1
+                            prev = a0
+                        if len(stem_tbl) >= 131072:
+                            stem_tbl.clear()
+                        ent = (s_lidx, svow, sadj)
+                        stem_tbl[stem] = ent
+                    s_lidx, svow, sadj = ent
+                    d_lidx = [code2idx[ord(ch)] for ch in dstr]
+                    lidx = s_lidx + d_lidx
+                    base_digits = nd
+                    base_hyphens = 0
+                    base_vowels = svow
+                    adj_pairs = sadj
+                    prev = s_lidx[nstem - 1]
+                    for a0 in d_lidx:
+                        if adj_t[prev][a0]:
+                            adj_pairs += 1
+                        prev = a0
+                    tgt_dig_frac = nd / L
+                    tgt_adj_frac = adj_pairs / (L - 1)
+                    # collision prefilter: only edits at or after the
+                    # last stem letter can change the trailing digit
+                    # run, and an unchanged run decodes to the target's
+                    # own slot — never a typo match (heads always check)
+                    safe_below = nstem - 1 if prefilter_ok else 0
+                else:
+                    lidx = [code2idx[ord(ch)] for ch in label]
+                    base_digits = 0
+                    base_hyphens = 0
+                    base_vowels = 0
+                    adj_pairs = 0
+                    prev = -1
+                    for a0 in lidx:
+                        if is_digit[a0]:
+                            base_digits += 1
+                        elif is_vowel[a0]:
+                            base_vowels += 1
+                        elif is_hyphen[a0]:
+                            base_hyphens += 1
+                        if prev >= 0 and adj_t[prev][a0]:
+                            adj_pairs += 1
+                        prev = a0
+                    tgt_dig_frac = base_digits / L
+                    tgt_adj_frac = adj_pairs / (L - 1) if L > 1 else 0.0
+                    safe_below = 0
+
+                posw = _position_weight_list(L)
+                decoded = _confirm_decoded(lidx, posw, reg_p, src_flats,
+                                           uv, base_digits, base_hyphens,
+                                           base_vowels)
+                if not decoded:
+                    continue
+                sfx = "com" if filler else head_parts[r - base_rank][1]
+                fast = filler and prefilter_ok
+
+                n = len(decoded)
+                wu = rank_wild.uniforms(r, 12 * n + 4).tolist()
+                wi = 0
+                rank_rows = 0
+
+                for pack_lex, vis, op, index, a in decoded:
+                    # the wild-state walk: stream consumption identical
+                    # to _iter_rank_records (the parity tests pin it) ---
+                    owner_u = wu[wi]
+                    wi += 1
+                    if owner_u < def_frac:
+                        packed = pack_defensive
+                    elif owner_u < legit_cut:
+                        wi += 1                     # nameserver pick
+                        private = wu[wi] < 0.25
+                        wi += 1
+                        if private:
+                            wi += 1                 # proxy pick
+                        policy = 1 if wu[wi] < 0.1 else 2
+                        wi += 1
+                        packed = (pack_legit | (policy << 42)
+                                  | ((1 << 38) if private else 0))
+                    else:
+                        squatter_u = wu[wi]
+                        wi += 1
+                        if squatter_u < bulk_share:
+                            bulk_index = min(
+                                bisect_right(bulk_cum, wu[wi] * bulk_total),
+                                n_bulk - 1)
+                            wi += 1
+                            reseller = bulk_index < 3
+                            cls4 = False
+                        elif squatter_u < medium_cut:
+                            medium_index = min(int(wu[wi] * n_medium),
+                                               n_medium - 1)
+                            wi += 1
+                            reseller = medium_index % 2 != 0
+                            cls4 = False
+                        else:
+                            reseller = False
+                            cls4 = True
+                        mix_names, mix_cum, mix_total = (
+                            mix_lt if cls4
+                            else (mix_rs if reseller else mix_sq))
+                        support = mix_names[min(
+                            bisect_right(mix_cum, wu[wi] * mix_total),
+                            len(mix_names) - 1)]
+                        wi += 1
+                        if cls4:
+                            cesspool = wu[wi] < small_cess
+                            wi += 1
+                        else:
+                            cesspool = True
+                        wi += 1                     # nameserver pick
+                        mx_code = 0
+                        addr = 0
+                        policy = 0
+                        if support != 0:
+                            if not cls4:
+                                if support == 1:
+                                    mx_code = 1
+                                    wi += 1
+                                elif support == 2:
+                                    mx_code = 2
+                                    wi += 1
+                                else:
+                                    pool_index = min(
+                                        bisect_right(pool_cum,
+                                                     wu[wi] * pool_total),
+                                        n_pool - 1)
+                                    wi += 1
+                                    mx_code = 3
+                                    if pool_broken[pool_index]:
+                                        support = 4
+                            else:
+                                addr = 1
+                                if wu[wi] < 0.1:
+                                    mx_code = 4
+                                wi += 1
+                                if support != 2 and support != 1:
+                                    roll = wu[wi]
+                                    wi += 1
+                                    if roll < catch_all:
+                                        policy = 1
+                                    elif roll < reject_cut:
+                                        policy = 2
+                                    else:
+                                        policy = 3
+                        if not cls4:
+                            privacy_rate = (0.05 if reseller
+                                            else bulk_privacy)
+                        elif policy == 1:
+                            privacy_rate = 0.75
+                        else:
+                            privacy_rate = small_privacy
+                        private = wu[wi] < privacy_rate
+                        wi += 1
+                        fields = 6
+                        if private:
+                            wi += 1                 # proxy pick
+                        elif wu[wi] >= 0.8:
+                            wi += 1
+                            fields = 2 + min(int(wu[wi] * 4), 3)
+                            wi += 1
+                        else:
+                            wi += 1
+                        packed = (squat_bit | (mx_code << 32) | (addr << 35)
+                                  | ((0 if cesspool else 1) << 36)
+                                  | ((1 << 38) if private else 0)
+                                  | (fields << 39) | (policy << 42)
+                                  | (support << 44))
+
+                    # wildness: drop candidates colliding with a target.
+                    # Fast path (fillers, digit-free head list): a typo
+                    # can only match a filler name if it still reads as
+                    # letters(4-9)+digits — edits confined to the digit
+                    # run keep the stem and just move the slot (compare
+                    # that slot's stem), letter/hyphen edits inside the
+                    # run break the shape, and boundary edits that keep
+                    # the shape decode to the target's own slot.  The
+                    # few stem-changing shapes fall back to the generic
+                    # membership walk, as do all head ranks.
+                    if index >= safe_below:
+                        if fast:
+                            digits2 = None
+                            generic = False
+                            if op == 0:
+                                if index < nstem:
+                                    generic = True
+                                else:
+                                    kk = index - nstem
+                                    d2 = dstr[:kk] + dstr[kk + 1:]
+                                    if not d2:
+                                        hit = head_com.get(stem)
+                                        if (hit is not None
+                                                and hit <= max_rank):
+                                            n_excluded += 1
+                                            continue
+                                    elif not (d2[0] == "0" and nd > 2):
+                                        digits2 = d2
+                            elif op == 1:
+                                if index >= nstem:
+                                    kk = index - nstem
+                                    d2 = (dstr[:kk] + dstr[kk + 1]
+                                          + dstr[kk] + dstr[kk + 2:])
+                                    if not (d2[0] == "0" and nd > 1):
+                                        digits2 = d2
+                            elif op == 2:
+                                if index >= nstem:
+                                    if is_digit[a]:
+                                        kk = index - nstem
+                                        d2 = (dstr[:kk] + alpha[a]
+                                              + dstr[kk + 1:])
+                                        if not (d2[0] == "0" and nd > 1):
+                                            digits2 = d2
+                                    elif index == nstem:
+                                        generic = True
+                                elif is_digit[a]:
+                                    generic = True
+                            else:
+                                if index >= nstem and is_digit[a]:
+                                    kk = index - nstem
+                                    d2 = (dstr[:kk] + alpha[a]
+                                          + dstr[kk:])
+                                    if d2[0] != "0":
+                                        digits2 = d2
+                            if digits2 is not None:
+                                index2 = int(digits2)
+                                if index2 < max_rank - head_n:
+                                    chunk2, off2 = divmod(
+                                        index2, _FILLER_CHUNK)
+                                    known = chunks_cache.get(chunk2)
+                                    if known is not None:
+                                        match = (known[0][off2]
+                                                 == stem + digits2
+                                                 + ".com")
+                                    else:
+                                        flat_i, third = \
+                                            self._stem_syllables(
+                                                stem_cache, chunk2)
+                                        s1, s2, s3 = flat_i[off2]
+                                        cand = (syl[s1] + syl[s2]
+                                                + syl[s3]
+                                                if third[off2]
+                                                else syl[s1] + syl[s2])
+                                        match = cand == stem
+                                    if match:
+                                        n_excluded += 1
+                                        continue
+                            if not generic:
+                                pack_append(packed | pack_lex)
+                                vis_append(vis)
+                                rank_rows += 1
+                                continue
+                        if op == 0:
+                            typo = label[:index] + label[index + 1:]
+                        elif op == 1:
+                            typo = (label[:index] + label[index + 1]
+                                    + label[index] + label[index + 2:])
+                        elif op == 2:
+                            typo = (label[:index] + alpha[a]
+                                    + label[index + 1:])
+                        else:
+                            typo = (label[:index] + alpha[a]
+                                    + label[index:])
+                        hit = head_rank.get(typo + "." + sfx)
+                        if hit is not None and hit <= max_rank:
+                            n_excluded += 1
+                            continue
+                        if sfx == "com":
+                            stem2 = typo.rstrip("0123456789")
+                            nstem2 = len(stem2)
+                            if 4 <= nstem2 <= 9 and nstem2 < len(typo):
+                                digits2 = typo[nstem2:]
+                                if not (digits2[0] == "0"
+                                        and len(digits2) > 1):
+                                    index2 = int(digits2)
+                                    if index2 < max_rank - head_n:
+                                        chunk2, off2 = divmod(
+                                            index2, _FILLER_CHUNK)
+                                        known = chunks_cache.get(chunk2)
+                                        if known is not None:
+                                            match = (known[0][off2]
+                                                     == typo + ".com")
+                                        else:
+                                            flat_i, third = \
+                                                self._stem_syllables(
+                                                    stem_cache, chunk2)
+                                            s1, s2, s3 = flat_i[off2]
+                                            cand = (syl[s1] + syl[s2]
+                                                    + syl[s3]
+                                                    if third[off2]
+                                                    else syl[s1] + syl[s2])
+                                            match = cand == stem2
+                                        if match:
+                                            n_excluded += 1
+                                            continue
+
+                    pack_append(packed | pack_lex)
+                    vis_append(vis)
+                    rank_rows += 1
+
+                if rank_rows:
+                    n_rows += rank_rows
+                    rank_l.append(r)
+                    nrows_l.append(rank_rows)
+                    len_l.append(L)
+                    tdigit_l.append(tgt_dig_frac)
+                    tadj_l.append(tgt_adj_frac)
+                    if len(packed_l) >= block_records and on_block is not None:
+                        on_block((rank_l, nrows_l, len_l, tdigit_l,
+                                  tadj_l, packed_l, vis_l))
+                        rank_l, nrows_l, len_l = [], [], []
+                        tdigit_l, tadj_l = [], []
+                        packed_l, vis_l = [], []
+                        pack_append = packed_l.append
+                        vis_append = vis_l.append
+            rank = block_stop
+
+        if packed_l and on_block is not None:
+            on_block((rank_l, nrows_l, len_l, tdigit_l, tadj_l,
+                      packed_l, vis_l))
+        if timing:
+            perf.add_seconds("featurize.setup_seconds", setup_s)
+            perf.add_seconds("featurize.walk_seconds",
+                             perf_counter() - entry_t - setup_s)
+            perf.count("featurize.ranks", stop_rank - start_rank)
+            perf.count("featurize.rows", n_rows)
+        return n_rows, n_excluded, generated
 
 
 def _cumulative(weights: List[float]) -> Tuple[List[float], float]:

@@ -55,6 +55,7 @@ __all__ = [
     "StageAChunkResult",
     "run_stage_a_chunk",
     "partition_messages_by_day",
+    "apply_learned_detector",
     "classify_corpus_records",
     "StreamingClassifier",
 ]
@@ -82,6 +83,9 @@ class ClassifyContext:
     enabled_layers: Tuple[int, ...] = (1, 2, 3, 4, 5)
     process_non_spam: bool = True
     retain_original: bool = True
+    #: build the message-lane feature matrix alongside each stage-A chunk
+    #: (the learned detector's featurization rides the same pool fan-out)
+    featurize: bool = False
 
     def build_funnel(self) -> FilterFunnel:
         return FilterFunnel(self.our_domains, config=self.funnel_config,
@@ -177,6 +181,10 @@ class StageAChunkResult:
     tokenize_seconds: float
     score_seconds: float
     process_seconds: float
+    #: message-lane feature matrix (rows aligned with ``items``); only
+    #: populated when the context asked stage A to featurize
+    features: Optional[object] = None
+    featurize_seconds: float = 0.0
 
 
 def run_stage_a_chunk(chunk: StageAChunk) -> StageAChunkResult:
@@ -217,9 +225,21 @@ def run_stage_a_chunk(chunk: StageAChunk) -> StageAChunkResult:
                 processed))
         process_seconds = clock() - start
 
+        features = None
+        featurize_seconds = 0.0
+        if context.featurize:
+            from repro.features.messages import message_feature_matrix
+
+            start = clock()
+            features = message_feature_matrix(
+                [(item.tokenized, item.summary) for item in items])
+            featurize_seconds = clock() - start
+
     return StageAChunkResult(items=items, tokenize_seconds=tokenize_seconds,
                              score_seconds=score_seconds,
-                             process_seconds=process_seconds)
+                             process_seconds=process_seconds,
+                             features=features,
+                             featurize_seconds=featurize_seconds)
 
 
 def partition_messages_by_day(messages: Sequence[EmailMessage],
@@ -281,12 +301,58 @@ def _emit_records(items: Sequence[StageAItem],
     return records
 
 
+def apply_learned_detector(results: Sequence[FilterResult],
+                           learned_spam: Sequence[bool],
+                           detector: str) -> List[FilterResult]:
+    """Overlay the learned lane's verdicts on the funnel's result stream.
+
+    * ``"learned"`` — the model owns the spam arm: mail it flags becomes
+      SPAM regardless of the funnel, and funnel SPAM it disputes is
+      released as TRUE_TYPO (a downstream consumer sees exactly what the
+      learned detector alone would have delivered);
+    * ``"both"`` — union: SPAM iff either detector says so.
+
+    Non-spam funnel verdicts (reflection, frequency) survive untouched
+    unless the model flags the mail — those layers answer questions the
+    spam arm never asked.
+    """
+    adjusted: List[FilterResult] = []
+    spam = Verdict.SPAM
+    for result, flagged in zip(results, learned_spam):
+        if flagged and result.verdict is not spam:
+            result = FilterResult(verdict=spam, kind=result.kind,
+                                  layer=None, reason="learned")
+        elif (not flagged and result.verdict is spam
+                and detector == "learned"):
+            result = FilterResult(verdict=Verdict.TRUE_TYPO,
+                                  kind=result.kind, layer=None,
+                                  reason="learned-override")
+        adjusted.append(result)
+    return adjusted
+
+
+def _score_learned(items: Sequence[StageAItem], model, perf: PerfRegistry,
+                   features=None) -> List[bool]:
+    """Vectorized message-lane scoring: one matmul + stump pass per batch."""
+    from repro.features.messages import message_feature_matrix
+    from repro.learned.evaluate import SCORE_THRESHOLD
+
+    if features is None:
+        with perf.timer("classify.featurize"):
+            features = message_feature_matrix(
+                [(item.tokenized, item.summary) for item in items])
+    with perf.timer("classify.learned_score"):
+        flags = model.message.scores(features) >= SCORE_THRESHOLD
+    return [bool(f) for f in flags]
+
+
 def classify_corpus_records(messages: Sequence[EmailMessage],
                             context: ClassifyContext,
                             true_kind_by_seq: Dict[int, TypoEmailKind],
                             perf: PerfRegistry,
-                            jobs: Optional[int] = None
-                            ) -> List[CollectedRecord]:
+                            jobs: Optional[int] = None,
+                            detector: str = "funnel",
+                            model=None) -> List[CollectedRecord]:
     """Batch classification of a delivered corpus, serial or fanned out.
 
     ``jobs<=1`` runs stage A inline (tokenize → summarize → fold →
@@ -294,7 +360,22 @@ def classify_corpus_records(messages: Sequence[EmailMessage],
     stage A over worker processes in day-ordered chunks and folds the
     returned summaries in arrival order.  Either way the record stream
     is byte-identical.
+
+    ``detector`` selects the spam arm: ``"funnel"`` (rules only, the
+    default), ``"learned"`` (the model replaces the funnel's spam
+    verdicts), or ``"both"`` (union).  The non-funnel modes need a
+    loaded :class:`~repro.learned.model.TypoModel`; featurization rides
+    the stage-A chunks (set ``context.featurize``) or runs inline, and
+    scoring is one vectorized pass over the whole corpus either way.
     """
+    if detector not in ("funnel", "learned", "both"):
+        from repro.util.errors import ConfigError
+        raise ConfigError(f"unknown detector {detector!r}; expected "
+                          "funnel, learned, or both")
+    if detector != "funnel" and model is None:
+        from repro.util.errors import ConfigError
+        raise ConfigError(f"detector {detector!r} requires a trained "
+                          "typo model (see `repro train`)")
     funnel = context.build_funnel()
     processor = (EmailProcessor() if context.process_non_spam else None)
 
@@ -304,16 +385,27 @@ def classify_corpus_records(messages: Sequence[EmailMessage],
         chunk_results = parallel_map(run_stage_a_chunk, chunks, jobs=jobs,
                                      perf=perf)
         items: List[StageAItem] = []
+        feature_parts = []
         for result in chunk_results:
             items.extend(result.items)
+            if result.features is not None:
+                feature_parts.append(result.features)
             perf.add_seconds("classify.tokenize", result.tokenize_seconds)
             perf.add_seconds("classify.score", result.score_seconds)
             perf.add_seconds("classify.process", result.process_seconds)
+            perf.add_seconds("classify.featurize", result.featurize_seconds)
         with paused_gc(), perf.timer("classify.fold"):
             fold = SummaryFold(funnel)
             for item in items:
                 fold.feed(item.summary)
             results = fold.finalize()
+        if detector != "funnel":
+            features = None
+            if feature_parts and len(feature_parts) == len(chunk_results):
+                import numpy as np
+                features = np.vstack(feature_parts)
+            flags = _score_learned(items, model, perf, features=features)
+            results = apply_learned_detector(results, flags, detector)
         with paused_gc(), perf.timer("classify.emit"):
             return _emit_records(items, results, true_kind_by_seq, processor)
 
@@ -337,6 +429,9 @@ def classify_corpus_records(messages: Sequence[EmailMessage],
             for item in items:
                 fold.feed(item.summary)
             results = fold.finalize()
+        if detector != "funnel":
+            flags = _score_learned(items, model, perf)
+            results = apply_learned_detector(results, flags, detector)
         with perf.timer("classify.emit"):
             return _emit_records(items, results, true_kind_by_seq, processor)
 

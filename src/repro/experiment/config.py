@@ -58,6 +58,13 @@ class ExperimentConfig:
     #: keep delivered messages in the collector corpus after their record
     #: is emitted; False bounds memory at paper scale (streaming only)
     retain_messages: bool = True
+    #: spam arm of the post-window batch classification: "funnel" (the
+    #: rule layers, default), "learned" (the trained model replaces the
+    #: funnel's spam verdicts), or "both" (union of the two)
+    detector: str = "funnel"
+    #: path to a persisted ``repro-typo-model@1`` artifact; required
+    #: whenever ``detector`` is not "funnel"
+    model_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.ham_scale <= 0 or self.spam_scale <= 0:
@@ -69,3 +76,10 @@ class ExperimentConfig:
         if not self.retain_messages and not self.streaming_classify:
             raise ValueError(
                 "retain_messages=False requires streaming_classify=True")
+        if self.detector not in ("funnel", "learned", "both"):
+            raise ValueError(
+                "detector must be one of: funnel, learned, both")
+        if self.detector != "funnel" and self.streaming_classify:
+            raise ValueError(
+                "the learned detector runs in the batch classifier; "
+                "disable streaming_classify")

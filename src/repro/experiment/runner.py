@@ -183,11 +183,22 @@ class StudyRunner:
                     server.fault_gate = injector.make_gate(server.hostname)
 
             # classification pipeline shared by batch and streaming modes
+            typo_model = None
+            if config.detector != "funnel":
+                if config.model_path is None:
+                    raise ConfigError(
+                        f"detector {config.detector!r} needs a trained "
+                        "model artifact; pass a model path "
+                        "(see `repro train`)")
+                from repro.learned.model import load_model
+
+                typo_model = load_model(config.model_path)
             classify_context = ClassifyContext(
                 our_domains=tuple(corpus.domain_names()),
                 ip_to_domain=ClassifyContext.ip_map(infra),
                 process_non_spam=config.process_non_spam,
                 retain_original=config.retain_messages,
+                featurize=typo_model is not None,
             )
             true_kind_by_seq: Dict[int, TypoEmailKind] = {}
             classifier: Optional[StreamingClassifier] = None
@@ -356,7 +367,9 @@ class StudyRunner:
                     records = classify_corpus_records(
                         collector.corpus, classify_context,
                         true_kind_by_seq, perf,
-                        jobs=config.classify_jobs)
+                        jobs=config.classify_jobs,
+                        detector=config.detector,
+                        model=typo_model)
         delivered = collector.stats.ingested
         cache_hits, cache_misses = memo_totals()
         perf.count("emails.sent", sent)

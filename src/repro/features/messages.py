@@ -1,0 +1,184 @@
+"""Per-message feature matrices from the classify pipeline (message lane).
+
+Featurization consumes the stage-A projection the classify pipeline
+already produces — a :class:`TokenizedEmail` (bounded-memory tokenization,
+``retain_original=False`` safe: no column reads ``tok.original``) plus its
+:class:`MessageSummary` — so the work fans over the existing
+``ProcessPoolExecutor`` day-chunks for free and never re-parses raw mail.
+Funnel verdicts (``layer1``/``layer2``/``layer4``) are deliberately not
+features: the learned detector must be comparable against the funnel, not
+stacked on it.
+
+Two implementations of the row law, pinned against each other by the
+hypothesis parity suite:
+
+* :func:`message_feature_matrix` — one pass per chunk into a
+  preallocated float64 matrix (the hot path; scoring is then a single
+  matmul + fused stump pass per batch);
+* :func:`message_feature_row` — the scalar reference, one message to one
+  row in plain branch-per-feature Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.schema import MESSAGE_FEATURES
+from repro.pipeline.tokenizer import ARCHIVE_EXTENSIONS, TokenizedEmail
+from repro.spamfilter.funnel import MessageSummary
+
+__all__ = ["message_feature_matrix", "message_feature_row"]
+
+_N_FEATURES = len(MESSAGE_FEATURES)
+_COL = {name: i for i, name in enumerate(MESSAGE_FEATURES)}
+
+_DIGITS = frozenset("0123456789")
+
+
+def message_feature_row(tok: TokenizedEmail,
+                        summary: MessageSummary) -> np.ndarray:
+    """One feature row for one message — the scalar reference law.
+
+    Tolerant of arbitrary header junk: every feature falls back to 0 for
+    missing fields, lengths are plain ``len`` (unicode-safe), and nothing
+    touches ``tok.original``.
+    """
+    row = np.zeros(_N_FEATURES, dtype=np.float64)
+    meta = tok.metadata
+
+    row[_COL["kind_receiver"]] = 1.0 if summary.kind == "receiver" else 0.0
+    row[_COL["kind_smtp"]] = 1.0 if summary.kind == "smtp" else 0.0
+
+    n_rcpt = len(meta.envelope_to)
+    row[_COL["n_recipients"]] = n_rcpt
+    row[_COL["multi_recipient"]] = 1.0 if n_rcpt > 1 else 0.0
+
+    sender = summary.sender
+    if sender:
+        row[_COL["sender_present"]] = 1.0
+        local, _, domain = sender.rpartition("@")
+        if not local:            # no "@": treat everything as local part
+            local, domain = sender, ""
+        row[_COL["sender_local_len"]] = len(local)
+        row[_COL["sender_domain_len"]] = len(domain)
+        row[_COL["sender_local_digits"]] = sum(
+            c in _DIGITS for c in local)
+
+    subject = meta.subject or ""
+    row[_COL["subject_len"]] = len(subject)
+    row[_COL["subject_exclaims"]] = subject.count("!")
+    if subject:
+        row[_COL["subject_upper_frac"]] = (
+            sum(c.isupper() for c in subject) / len(subject))
+
+    body = tok.body or ""
+    row[_COL["body_len_log"]] = math.log10(1.0 + len(body))
+    row[_COL["body_lines"]] = body.count("\n")
+
+    row[_COL["n_attachments"]] = len(tok.attachments)
+    row[_COL["has_archive_attachment"]] = 1.0 if any(
+        a.extension in ARCHIVE_EXTENSIONS for a in tok.attachments) else 0.0
+
+    row[_COL["has_list_unsubscribe"]] = (
+        1.0 if meta.list_unsubscribe else 0.0)
+    row[_COL["has_reply_to"]] = 1.0 if meta.reply_to else 0.0
+    row[_COL["reply_to_differs"]] = (
+        1.0 if meta.reply_to and meta.reply_to != meta.from_field else 0.0)
+    row[_COL["return_path_differs"]] = (
+        1.0 if meta.return_path
+        and meta.return_path != meta.envelope_from else 0.0)
+    row[_COL["sender_field_differs"]] = (
+        1.0 if meta.sender_field
+        and meta.sender_field != meta.from_field else 0.0)
+    row[_COL["received_chain_len"]] = len(meta.received_chain)
+
+    row[_COL["bag_present"]] = 1.0 if summary.bag is not None else 0.0
+    row[_COL["bag_size"]] = len(summary.bag) if summary.bag else 0.0
+    # constant by construction (the hash law never fails over content);
+    # summary.content_hash is None only when an earlier layer already
+    # claimed the mail, and reading that would leak a funnel verdict —
+    # same argument as the domain lane's constant ``registered`` column
+    row[_COL["content_hash_present"]] = 1.0
+    return row
+
+
+def message_feature_matrix(
+        items: Sequence[Tuple[TokenizedEmail, MessageSummary]],
+        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Feature matrix for a chunk of ``(tokenized, summary)`` pairs.
+
+    One pass, one preallocated float64 matrix, one row-tuple store per
+    message — the columnar twin of :func:`message_feature_row`, pinned
+    row-for-row by the parity suite.  ``out`` (when given) must be
+    ``(len(items), len(MESSAGE_FEATURES))`` and is filled in place.
+    """
+    n = len(items)
+    X = out if out is not None else np.empty((n, _N_FEATURES),
+                                             dtype=np.float64)
+    digits = _DIGITS
+    archive = ARCHIVE_EXTENSIONS
+    log10 = math.log10
+    for i, (tok, summary) in enumerate(items):
+        meta = tok.metadata
+        kind = summary.kind
+        sender = summary.sender
+        if sender:
+            local, _, domain = sender.rpartition("@")
+            if not local:
+                local, domain = sender, ""
+            s_present = 1.0
+            s_local = float(len(local))
+            s_domain = float(len(domain))
+            s_digits = 0.0
+            for c in local:
+                if c in digits:
+                    s_digits += 1.0
+        else:
+            s_present = s_local = s_domain = s_digits = 0.0
+        subject = meta.subject or ""
+        if subject:
+            upper = 0
+            for c in subject:
+                if c.isupper():
+                    upper += 1
+            upper_frac = upper / len(subject)
+        else:
+            upper_frac = 0.0
+        body = tok.body or ""
+        attachments = tok.attachments
+        n_rcpt = len(meta.envelope_to)
+        reply_to = meta.reply_to
+        bag = summary.bag
+        X[i] = (
+            1.0 if kind == "receiver" else 0.0,
+            1.0 if kind == "smtp" else 0.0,
+            float(n_rcpt),
+            1.0 if n_rcpt > 1 else 0.0,
+            s_present,
+            s_local,
+            s_domain,
+            s_digits,
+            float(len(subject)),
+            float(subject.count("!")),
+            upper_frac,
+            log10(1.0 + len(body)),
+            float(body.count("\n")),
+            float(len(attachments)),
+            1.0 if any(a.extension in archive for a in attachments)
+            else 0.0,
+            1.0 if meta.list_unsubscribe else 0.0,
+            1.0 if reply_to else 0.0,
+            1.0 if reply_to and reply_to != meta.from_field else 0.0,
+            1.0 if meta.return_path
+            and meta.return_path != meta.envelope_from else 0.0,
+            1.0 if meta.sender_field
+            and meta.sender_field != meta.from_field else 0.0,
+            float(len(meta.received_chain)),
+            1.0 if bag is not None else 0.0,
+            float(len(bag)) if bag else 0.0,
+            1.0,   # content_hash_present: see message_feature_row
+        )
+    return X

@@ -1,0 +1,123 @@
+"""Versioned feature schemas for the learned-detector lane.
+
+The learned classifier (:mod:`repro.learned`) consumes fixed-width
+float64 matrices; this module is the single source of truth for what
+each column means, on both lanes:
+
+* **domain lane** — one row per registered wild ctypo of the lazy
+  ecosystem (:mod:`repro.features.domains`): lexical shape of the typo
+  label, the DL-1 edit that produced it (type, position, keyboard
+  adjacency, visual cost), rank popularity, and the registration-side
+  observables (MX class, nameserver reputation, WHOIS privacy and
+  completeness, SMTP support) a scanner actually sees.  Ground truth
+  (``DomainState.is_squatting``) is *never* a feature.
+* **message lane** — one row per delivered email
+  (:mod:`repro.features.messages`): header shape, sender address
+  statistics, body/subject statistics, attachment and automation
+  fingerprints, built from the stage-A :class:`MessageSummary` plus the
+  tokenized header, so featurization rides the classify pipeline's
+  existing day-chunk fan-out.  Funnel verdicts are *never* features —
+  the learned detector must be comparable against the funnel, not
+  stacked on it.
+
+``FEATURE_SCHEMA_VERSION`` is persisted inside every
+``repro-typo-model@1`` artifact; a model trained against a different
+schema version is rejected with a one-line exit-2 diagnosis instead of
+silently scoring garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "FEATURE_SCHEMA_VERSION",
+    "DOMAIN_FEATURES",
+    "MESSAGE_FEATURES",
+    "VOWELS",
+    "EDIT_OP_CODES",
+]
+
+#: bump when any column list below changes meaning, order, or width
+FEATURE_SCHEMA_VERSION = 1
+
+VOWELS = frozenset("aeiou")
+
+#: edit-op small codes shared by both featurizer implementations
+EDIT_OP_CODES = {"deletion": 0, "transposition": 1,
+                 "substitution": 2, "addition": 3}
+
+#: per-domain feature columns, in matrix order
+DOMAIN_FEATURES: Tuple[str, ...] = (
+    # lexical / popularity -------------------------------------------------
+    "typo_len",                 # characters in the typo label
+    "target_len",               # characters in the target label
+    "log10_rank",               # log10 of the target's Alexa rank
+    "popularity",               # 1 / (1 + log10(rank))
+    # the DL-1 edit --------------------------------------------------------
+    "op_deletion",
+    "op_transposition",
+    "op_substitution",
+    "op_addition",
+    "edit_pos_rel",             # edit index / max(1, target_len - 1)
+    "edit_pos_weight",          # position_weight(index, target_len)
+    "edit_adjacent",            # keyboard-adjacency of the edit (fat finger)
+    "edit_visual",              # visual cost of the edit (quality-law terms)
+    # typo-label n-gram / character stats ----------------------------------
+    "digit_count",              # digits in the typo label
+    "hyphen_count",             # hyphens in the typo label
+    "vowel_frac",               # vowels / typo_len
+    "target_digit_frac",        # digits / target_len (target label)
+    "target_adj_bigram_frac",   # keyboard-adjacent bigrams / (target_len-1)
+    # registration observables ---------------------------------------------
+    "registered",               # 1.0 when the domain is actually registered
+    "mx_none",                  # no explicit MX record
+    "mx_parked",                # MX points at a parking host
+    "mx_web",                   # MX points at a web-redirect host
+    "mx_pool",                  # MX points at a shared squatter pool host
+    "mx_self",                  # MX is the domain itself
+    "mx_target",                # MX is mx.<target> (defensive registration)
+    "has_address",              # bare A record (implicit MX)
+    "ns_cesspool",              # nameserver on the cesspool list
+    "ns_normal",                # nameserver on the mainstream list
+    "ns_target",                # nameserver is ns.<target> (defensive)
+    "private_whois",            # WHOIS behind a privacy proxy
+    "whois_fields_frac",        # filled WHOIS fields / 6
+    "policy_catch_all",         # recipient policy: accept anything
+    "policy_reject",            # recipient policy: reject unknown users
+    "policy_domain",            # recipient policy: domain-specific users
+    "support_no_dns",
+    "support_no_info",
+    "support_no_email",
+    "support_plain",
+    "support_starttls_errors",
+    "support_starttls_ok",
+)
+
+#: per-message feature columns, in matrix order
+MESSAGE_FEATURES: Tuple[str, ...] = (
+    "kind_receiver",            # header class: receiver-typo candidate
+    "kind_smtp",                # header class: smtp-typo candidate
+    "n_recipients",             # envelope recipient count
+    "multi_recipient",          # more than one envelope recipient
+    "sender_present",           # a sender address was extractable
+    "sender_local_len",         # characters before the @
+    "sender_domain_len",        # characters after the @
+    "sender_local_digits",      # digits in the local part
+    "subject_len",
+    "subject_exclaims",         # '!' count in the subject
+    "subject_upper_frac",       # uppercase fraction of the subject
+    "body_len_log",             # log10(1 + len(body))
+    "body_lines",               # newline count in the body
+    "n_attachments",
+    "has_archive_attachment",   # ZIP/RAR (the paper's hard spam rule)
+    "has_list_unsubscribe",     # bulk-mail fingerprint
+    "has_reply_to",
+    "reply_to_differs",         # Reply-To present and != From
+    "return_path_differs",      # Return-Path present and != envelope From
+    "sender_field_differs",     # Sender header present and != From
+    "received_chain_len",       # relay hops recorded
+    "bag_present",              # stage A extracted a bag of words
+    "bag_size",                 # |bag| (0 when absent)
+    "content_hash_present",     # stage A extracted a content hash
+)

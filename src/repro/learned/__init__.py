@@ -1,0 +1,43 @@
+"""The learned-detector lane: a seeded pure-numpy typo classifier.
+
+Logistic regression (minibatch SGD) plus a small gradient-boosted-stump
+ensemble, trained per lane (domains from the scan pipeline, messages from
+the classify pipeline) on the world's exact ground truth — no sklearn,
+deterministic from the seed, persisted as a ``repro-typo-model@1``
+artifact with an SHA-256 self-digest.
+
+Inference is vectorized: one standardized matmul plus one fused
+``np.where`` pass per stump over the whole batch — never per-row Python.
+"""
+
+from repro.learned.model import (
+    LEARNED_MODEL_FORMAT,
+    LaneModel,
+    Stump,
+    TypoModel,
+    load_model,
+    save_model,
+)
+from repro.learned.train import TrainConfig, train_lane, train_typo_model
+from repro.learned.evaluate import (
+    SCORE_THRESHOLD,
+    CorpusEval,
+    EvaluationReport,
+    evaluate_model,
+)
+
+__all__ = [
+    "LEARNED_MODEL_FORMAT",
+    "LaneModel",
+    "Stump",
+    "TypoModel",
+    "load_model",
+    "save_model",
+    "TrainConfig",
+    "train_lane",
+    "train_typo_model",
+    "SCORE_THRESHOLD",
+    "CorpusEval",
+    "EvaluationReport",
+    "evaluate_model",
+]

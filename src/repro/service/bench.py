@@ -37,6 +37,7 @@ from repro.util.perf import PerfRegistry, paused_gc, throughput
 __all__ = ["ServeBenchResult", "ParityError", "run_serve_bench",
            "record_query_service", "ChaosBenchResult",
            "run_serve_chaos_bench", "record_service_chaos",
+           "record_learned_detector",
            "QUERY_SERVICE_HISTORY_LIMIT"]
 
 QUERY_SERVICE_HISTORY_LIMIT = 50
@@ -62,6 +63,7 @@ class ServeBenchResult:
     lookups: int
     pool_size: int
     distinct_queries: int
+    score_mode: str
     build_seconds: float
     workload_seconds: float
     warmup_seconds: float
@@ -93,6 +95,7 @@ class ServeBenchResult:
             "lookups": self.lookups,
             "pool_size": self.pool_size,
             "distinct_queries": self.distinct_queries,
+            "score_mode": self.score_mode,
             "build_seconds": round(self.build_seconds, 4),
             "wall_seconds": round(self.wall_seconds, 3),
             "qps": round(self.qps, 1),
@@ -111,7 +114,8 @@ class ServeBenchResult:
                              in sorted(self.verdict_counts.items()))
         return [
             f"serve-bench: seed={self.seed} ranks={self.max_rank} "
-            f"lookups={self.lookups} (distinct {self.distinct_queries})",
+            f"lookups={self.lookups} (distinct {self.distinct_queries}) "
+            f"scorer={self.score_mode}",
             f"  index build   {self.build_seconds * 1e3:8.1f} ms",
             f"  workload gen  {self.workload_seconds * 1e3:8.1f} ms",
             f"  warmup        {self.warmup_seconds * 1e3:8.1f} ms",
@@ -137,6 +141,8 @@ def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
                     config: Optional[InternetConfig] = None,
                     mix: Optional[WorkloadMix] = None,
                     engine: Optional[RiskEngine] = None,
+                    score_mode: str = "rules",
+                    model=None,
                     perf: Optional[PerfRegistry] = None) -> ServeBenchResult:
     """Serve ``lookups`` mixed queries and measure the hot path.
 
@@ -147,6 +153,10 @@ def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
     prebuilt ``engine`` (e.g. loaded from a ``repro-risk-index@1``
     artifact) skips index construction; its build time is then the
     artifact load time already paid by the caller.
+
+    ``score_mode="learned"`` serves layer 4 through the domain-lane
+    model (requires ``model``); the brute-force parity contract holds in
+    either mode since retrieval, not scoring, is what parity varies.
     """
     clear_kernel_caches()   # hit rates below describe this run alone
     start = perf_counter()
@@ -154,10 +164,12 @@ def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
         index = TypoRiskIndex(seed, max_rank, config=config, perf=perf)
         engine = RiskEngine(index,
                             max_cached_verdicts=max(1 << 15, 8 * pool_size),
+                            scorer=score_mode, model=model,
                             perf=perf)
     else:
         index = engine.index
         seed, max_rank = index.seed, index.max_rank
+        score_mode = engine.scorer
     build_seconds = perf_counter() - start
 
     start = perf_counter()
@@ -212,6 +224,7 @@ def run_serve_bench(seed: int = 606, max_rank: int = 100_000, *,
     return ServeBenchResult(
         seed=seed, max_rank=max_rank, lookups=len(queries),
         pool_size=pool_size, distinct_queries=len(distinct),
+        score_mode=score_mode,
         build_seconds=build_seconds, workload_seconds=workload_seconds,
         warmup_seconds=warmup_seconds, wall_seconds=wall_seconds,
         qps=throughput(len(queries), wall_seconds),
@@ -430,3 +443,10 @@ def record_service_chaos(entry: Dict,
                          path: Union[str, Path]) -> Dict:
     """Fold a chaos-bench entry into BENCH_perf.json's ``service_chaos``."""
     return _record_bench_section(entry, path, "service_chaos")
+
+
+def record_learned_detector(entry: Dict,
+                            path: Union[str, Path]) -> Dict:
+    """Fold a learned-detector entry into BENCH_perf.json's
+    ``learned_detector``."""
+    return _record_bench_section(entry, path, "learned_detector")

@@ -255,8 +255,23 @@ class RiskEngine:
                  blocklist: Iterable[str] = (),
                  max_cached_verdicts: int = 1 << 15,
                  review_limit: int = 1024,
+                 scorer: str = "rules",
+                 model=None,
                  perf: Optional[PerfRegistry] = None) -> None:
+        if scorer not in ("rules", "learned"):
+            from repro.util.errors import ConfigError
+            raise ConfigError(f"unknown scorer {scorer!r}; expected "
+                              "rules or learned")
+        if scorer == "learned" and model is None:
+            from repro.util.errors import ConfigError
+            raise ConfigError("scorer='learned' needs a loaded "
+                              "repro-typo-model@1 (see `repro train`)")
         self.index = index
+        self.scorer = scorer
+        self.model = model
+        #: per-rank registered-state cache for the learned scorer
+        #: (label -> DomainState); bounded, dropped on epoch change
+        self._state_cache: Dict[int, Dict] = {}
         self.policy = policy or RiskPolicy()
         self._allow = frozenset(normalize_query(d) for d in allowlist)
         self._block = frozenset(normalize_query(d) for d in blocklist)
@@ -322,7 +337,10 @@ class RiskEngine:
         order and content.
         """
         work = list(queries)
-        if jobs is None or jobs <= 1 or len(work) <= 1:
+        if (jobs is None or jobs <= 1 or len(work) <= 1
+                or self.scorer != "rules"):
+            # the learned scorer stays resident: its model + state cache
+            # don't ship to shard workers, and the memo amortizes anyway
             lookup = self.lookup
             return [lookup(query) for query in work]
         shard_count = min(jobs, len(work))
@@ -410,6 +428,7 @@ class RiskEngine:
         """Drop both memo generations and zero the hit/miss counters."""
         self._verdicts = {}
         self._verdicts_old = {}
+        self._state_cache = {}
         self._hits = 0
         self._misses = 0
 
@@ -571,7 +590,17 @@ class RiskEngine:
         Ties break to the lowest rank (``ranks`` ascends and only a
         strictly better score displaces the incumbent), so the verdict
         is deterministic for any candidate order the retrieval yields.
+
+        With ``scorer="learned"`` the registered candidates are scored
+        by the domain-lane model instead (one vectorized pass); queries
+        with no registered candidate fall through to the rules law, the
+        only signal available for typos nobody bought.
         """
+        if self.scorer == "learned":
+            verdict = self._score_learned(query, domain, label, suffix,
+                                          ranks)
+            if verdict is not None:
+                return verdict
         index = self.index
         parts = index.world.target_parts
         best_score = -1.0
@@ -611,6 +640,77 @@ class RiskEngine:
             action=action, source="scorer", target=target,
             target_rank=rank, edit_type=op, fat_finger=fat_finger,
             visual=visual, registered=registered, score=best_score,
+            candidates=tuple(names))
+
+    def _rank_states(self, rank: int) -> Dict:
+        """``label -> DomainState`` for one rank's registered ctypos.
+
+        Built lazily from the world's exact record stream and cached
+        (bounded; the epoch-change memo flush drops it too) — the
+        learned scorer pays the rank walk once per resident rank, then
+        every later query against it is a dict probe plus the matmul.
+        """
+        states = self._state_cache.get(rank)
+        if states is None:
+            if len(self._state_cache) >= 4096:
+                self._state_cache = {}
+            world = self.index.world
+            grid = world.rank_grid(rank)
+            states = {split_domain(state.domain)[0]: state
+                      for state in world.iter_rank_states(rank, grid)}
+            self._state_cache[rank] = states
+        return states
+
+    def _score_learned(self, query: str, domain: str, label: str,
+                       suffix: str,
+                       ranks: Tuple[int, ...]) -> Optional[RiskVerdict]:
+        """Model-score the registered candidates; None = fall back.
+
+        The domain lane was trained on the scan pipeline's registered
+        population, so only registered candidates are in-distribution;
+        each contributes one feature row (its true world state) and the
+        whole candidate set is scored in a single vectorized pass.
+        """
+        from repro.features.domains import state_feature_row
+
+        index = self.index
+        parts = index.world.target_parts
+        candidates = []
+        names: List[str] = []
+        for rank in ranks:
+            t_label, t_suffix = parts(rank)
+            names.append(f"{t_label}.{t_suffix}")
+            if not index.is_registered_typo(label, rank):
+                continue
+            state = self._rank_states(rank).get(label)
+            if state is not None:
+                candidates.append((rank, f"{t_label}.{t_suffix}", state))
+        if not candidates:
+            return None
+        import numpy as np
+
+        rows = np.vstack([state_feature_row(state)
+                          for _, _, state in candidates])
+        scores = self.model.domain.scores(rows)
+        best_pos = 0
+        for pos in range(1, len(candidates)):
+            if scores[pos] > scores[best_pos]:
+                best_pos = pos
+        rank, target, state = candidates[best_pos]
+        best_score = float(scores[best_pos])
+        op, edit_index = classify_edit(split_domain(target)[0], label)
+        char = (label[edit_index]
+                if op in ("substitution", "addition") else "")
+        fat_finger = fat_finger_for_edit(
+            split_domain(target)[0], op, edit_index, char) == 1
+        visual = visual_distance_for_edit(
+            split_domain(target)[0], op, edit_index, char)
+        tier, action = self.policy.tier_for(best_score)
+        return RiskVerdict(
+            query=query, domain=domain, verdict="typo_risk", tier=tier,
+            action=action, source="scorer", target=target,
+            target_rank=rank, edit_type=op, fat_finger=fat_finger,
+            visual=visual, registered=True, score=best_score,
             candidates=tuple(names))
 
 
