@@ -243,3 +243,45 @@ def test_learned_detector_not_regressed():
     assert latest["message_speedup"] >= 5.0, (
         f"learned message lane fell below the 5x funnel acceptance bar: "
         f"{latest['message_speedup']:.1f}x")
+
+
+def test_drift_resilience_not_regressed():
+    """Gate the recorded drift-resilience trajectory.
+
+    The drift bench (``test_drift_resilience_floor``, perfsmoke/chaos
+    lane) records each run; this gate holds the latest recorded run
+    within 2x of the recorded baseline on the lifecycle cycle, the
+    scenario stepping rate, and learned chaos serving QPS — and keeps
+    the zero-drop invariant and the scripted promote — so a slowdown in
+    the living-internet lane fails the perf lane even when the drift
+    bench itself was run elsewhere.
+    """
+    import pytest
+
+    bench = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    section = bench.get("drift_resilience")
+    if not section:
+        pytest.skip("no drift_resilience section recorded yet — "
+                    "run benchmarks/test_drift_resilience.py first")
+    baseline, latest = section["baseline"], section["latest"]
+    assert latest["dropped"] == 0, (
+        f"learned chaos serving dropped {latest['dropped']} lookups — "
+        "the resilient server must answer every query")
+    assert latest["decision"] == "promote", (
+        "the drift drill no longer promotes its shadow-retrained "
+        f"candidate (got {latest['decision']!r})")
+    assert latest["cycle_seconds"] <= max(
+        baseline["cycle_seconds"] * REGRESSION_FACTOR, 1.0), (
+        f"lifecycle cycle regressed: {latest['cycle_seconds']:.2f}s vs "
+        f"baseline {baseline['cycle_seconds']:.2f}s "
+        f"(gate {REGRESSION_FACTOR}x)")
+    assert (latest["scenario_steps_per_sec"]
+            >= baseline["scenario_steps_per_sec"] / REGRESSION_FACTOR), (
+        f"scenario stepping regressed: "
+        f"{latest['scenario_steps_per_sec']:,.0f} steps/s vs baseline "
+        f"{baseline['scenario_steps_per_sec']:,.0f}/s "
+        f"(gate {REGRESSION_FACTOR}x)")
+    assert latest["chaos_qps"] >= baseline["chaos_qps"] / REGRESSION_FACTOR, (
+        f"learned chaos serving regressed: {latest['chaos_qps']:,.0f}/s "
+        f"vs baseline {baseline['chaos_qps']:,.0f}/s "
+        f"(gate {REGRESSION_FACTOR}x)")

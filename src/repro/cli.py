@@ -90,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DAYS",
                        help="write the checkpoint every DAYS simulated "
                             "days (default: 1)")
+    study.add_argument("--scenario", metavar="PATH",
+                       help="drive a repro-scenario@1 living-internet "
+                            "timeline alongside the study (churn bursts, "
+                            "adaptive squatter campaigns, defensive "
+                            "registrations; retrain events run the drift "
+                            "lifecycle under --detector learned/both)")
+    study.add_argument("--model-dir", metavar="DIR",
+                       help="directory for the drift lifecycle's "
+                            "active/candidate/previous model artifacts "
+                            "(default: <checkpoint>.models)")
 
     scan = commands.add_parser("scan", help="scan the wild ecosystem")
     scan.add_argument("--targets", type=int, default=40,
@@ -337,6 +347,22 @@ def _cmd_study(args: argparse.Namespace) -> int:
             print(f"--detector {args.detector} requires --model PATH "
                   "(train one with `repro train`)", file=sys.stderr)
             return 2
+    scenario = None
+    if args.scenario:
+        from repro.scenario.timeline import Scenario
+
+        # Scenario.load speaks the error taxonomy: a torn file exits 3,
+        # an unknown event kind exits 2 — both through the main handler
+        scenario = Scenario.load(args.scenario)
+        if args.seeds:
+            print("--scenario needs a single-seed run", file=sys.stderr)
+            return 2
+        if any(event.retrain for event in scenario.events) \
+                and args.detector == "funnel":
+            print("this scenario schedules retrain events; run it with "
+                  "--detector learned/both and --model PATH",
+                  file=sys.stderr)
+            return 2
     config = ExperimentConfig(
         seed=args.seed,
         spam_scale=args.spam_scale * args.scale,
@@ -347,6 +373,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         retain_messages=not args.bounded_memory,
         detector=args.detector,
         model_path=args.model,
+        scenario=scenario,
+        model_dir=args.model_dir,
     )
     if args.seeds:
         return _cmd_study_multi(args, config)
@@ -389,6 +417,19 @@ def _cmd_study(args: argparse.Namespace) -> int:
                   f"checkpoints written"
                   + (f", resumed from day {resumed}"
                      if resumed is not None else ""))
+        timeline = robustness.get("scenario")
+        if timeline is not None:
+            line = (f"scenario {timeline.get('name')!r}: "
+                    f"{timeline.get('days')} days, timeline digest "
+                    f"{str(timeline.get('timeline_digest'))[:12]}")
+            lifecycle = timeline.get("lifecycle")
+            if lifecycle:
+                actions = [entry["decision"]["action"]
+                           for entry in lifecycle.get("events", [])]
+                line += (f"; lifecycle: {', '.join(actions) or 'idle'}, "
+                         f"active model "
+                         f"{str(lifecycle.get('active_digest'))[:12]}")
+            print(line)
 
     if args.report:
         from pathlib import Path

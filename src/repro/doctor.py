@@ -42,6 +42,7 @@ KIND_FAULT_PLAN = "fault-plan"
 KIND_PERF_BASELINE = "perf-baseline"
 KIND_RISK_INDEX = "risk-index"
 KIND_TYPO_MODEL = "typo-model"
+KIND_SCENARIO = "scenario"
 KIND_UNKNOWN = "unknown"
 
 
@@ -99,14 +100,15 @@ def diagnose_file(path: Union[str, Path]) -> Diagnosis:
         KIND_PERF_BASELINE: _check_perf_baseline,
         KIND_RISK_INDEX: _check_risk_index,
         KIND_TYPO_MODEL: _check_typo_model,
+        KIND_SCENARIO: _check_scenario,
     }.get(kind)
     if validator is None:
         return Diagnosis(path=path, kind=KIND_UNKNOWN, ok=False,
                          problems=["not a recognized repro artifact "
                                    "(study/scan checkpoint, scan "
                                    "baseline, fault plan, perf "
-                                   "baseline, risk index, or typo "
-                                   "model)"],
+                                   "baseline, risk index, typo "
+                                   "model, or scenario)"],
                          exit_code=EXIT_BAD_INPUT)
     return validator(path, data)
 
@@ -137,8 +139,11 @@ def _detect_kind(data: Dict) -> str:
     from repro.ecosystem.delta import SCAN_BASELINE_FORMAT
     from repro.experiment.checkpoint import STUDY_CHECKPOINT_FORMAT
     from repro.learned.model import LEARNED_MODEL_FORMAT
+    from repro.scenario.timeline import SCENARIO_FORMAT
     from repro.service.index import RISK_INDEX_FORMAT
 
+    if data.get("format") == SCENARIO_FORMAT:
+        return KIND_SCENARIO
     if data.get("format") == STUDY_CHECKPOINT_FORMAT:
         return KIND_STUDY_CHECKPOINT
     # the scan baseline, risk index, and typo model carry explicit
@@ -182,6 +187,9 @@ def _kind_from_name(path: Path) -> tuple:
     if "model" in name:
         # a torn typo-model artifact is the same durable-state story
         return KIND_TYPO_MODEL, EXIT_CORRUPT_CHECKPOINT
+    if "scenario" in name:
+        # a torn scenario timeline can't be trusted to replay; exit 3
+        return KIND_SCENARIO, EXIT_CORRUPT_CHECKPOINT
     return KIND_UNKNOWN, EXIT_BAD_INPUT
 
 
@@ -330,6 +338,30 @@ def _check_typo_model(path: Path, data: Dict) -> Diagnosis:
         "digest": model.digest()[:12],
     }
     return Diagnosis(path=path, kind=KIND_TYPO_MODEL, ok=True,
+                     details=details)
+
+
+def _check_scenario(path: Path, data: Dict) -> Diagnosis:
+    from repro.scenario.timeline import Scenario
+
+    try:
+        # the scenario package's own loader re-verifies the format tag
+        # and self-digest (corruption exits 3) and re-validates every
+        # event through the schema (an unknown event kind is an intact
+        # file this build can't drive — a one-line exit 2)
+        scenario = Scenario.load(path)
+    except ReproError as error:
+        return Diagnosis(path=path, kind=KIND_SCENARIO, ok=False,
+                         problems=[str(error)],
+                         exit_code=error.exit_code)
+    details = {
+        "seed": scenario.seed,
+        "name": scenario.name,
+        "events": len(scenario.events),
+        "last_day": scenario.last_event_day(),
+        "digest": scenario.digest()[:12],
+    }
+    return Diagnosis(path=path, kind=KIND_SCENARIO, ok=True,
                      details=details)
 
 

@@ -7,6 +7,8 @@ from repro.ecosystem.delta import (
     DeltaScanResult,
     RangeRecord,
     ScanBaseline,
+    WorldEvent,
+    WorldEvolution,
     build_scan_baseline,
     delta_scan,
     world_range_digest,
@@ -70,6 +72,8 @@ __all__ = [
     "DomainState",
     "SCAN_BASELINE_FORMAT",
     "ChurnSchedule",
+    "WorldEvent",
+    "WorldEvolution",
     "DeltaScanResult",
     "RangeRecord",
     "ScanBaseline",

@@ -44,6 +44,8 @@ from repro.util.perf import PerfRegistry
 __all__ = [
     "SCAN_BASELINE_FORMAT",
     "ChurnSchedule",
+    "WorldEvent",
+    "WorldEvolution",
     "RangeRecord",
     "ScanBaseline",
     "DeltaScanResult",
@@ -108,6 +110,107 @@ class ChurnSchedule:
         churned = np.flatnonzero(counts)
         return {int(position) + 1: int(counts[position])
                 for position in churned}
+
+
+@dataclass(frozen=True)
+class WorldEvent:
+    """One discrete ecosystem event applied on ``day``.
+
+    The event churns each rank in ``[rank_lo, rank_hi]`` independently
+    with probability ``rate``; whether rank ``r`` churns is a pure hash
+    of ``(seed, name, r)`` (via :func:`~repro.util.rand.derive_seed`),
+    so replay is byte-identical at any shard layout and independent of
+    event ordering.  A churned rank's generation bumps by one — the
+    same re-keying law :class:`ChurnSchedule` uses, so registrations,
+    expirations, and re-registrations all fall out of the world model's
+    generation streams.
+    """
+
+    name: str
+    day: int
+    rank_lo: int
+    rank_hi: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("event name must be non-empty")
+        if self.day < 1:
+            raise ValueError("event days are 1-based")
+        if self.rank_lo < 1 or self.rank_hi < self.rank_lo:
+            raise ValueError("need 1 <= rank_lo <= rank_hi")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+    def churned_ranks(self, seed: int) -> List[int]:
+        """Ranks this event churns under ``seed`` (ascending)."""
+        from repro.util.rand import derive_seed
+
+        if self.rate <= 0.0:
+            return []
+        if self.rate >= 1.0:
+            return list(range(self.rank_lo, self.rank_hi + 1))
+        return [rank for rank in range(self.rank_lo, self.rank_hi + 1)
+                if derive_seed(seed, f"event/{self.name}/{rank}") / 2**64
+                < self.rate]
+
+
+@dataclass(frozen=True)
+class WorldEvolution:
+    """Event-driven world evolution: daily churn + discrete events.
+
+    Generalizes :class:`ChurnSchedule` — the same duck-typed surface
+    (``seed`` / ``max_rank`` / ``generations(day)`` / ``day_events(day)``)
+    the risk index's ``apply_delta`` / ``hot_swap`` consume, but the
+    churn map at day ``d`` merges the background daily churn with every
+    :class:`WorldEvent` whose day has arrived.  With ``daily_rate == 0``
+    and no events it reproduces the static world exactly
+    (``generations(d) == {}`` for all ``d``).
+    """
+
+    seed: int
+    max_rank: int
+    daily_rate: float = 0.0
+    events: Tuple[WorldEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_rank < 1:
+            raise ValueError("max_rank must be >= 1")
+        if not 0.0 <= self.daily_rate <= 1.0:
+            raise ValueError("daily_rate must be in [0, 1]")
+        for event in self.events:
+            if event.rank_hi > self.max_rank:
+                raise ValueError(
+                    f"event {event.name!r} reaches rank {event.rank_hi} "
+                    f"beyond max_rank {self.max_rank}")
+
+    def _base(self) -> ChurnSchedule:
+        return ChurnSchedule(self.seed, self.max_rank, self.daily_rate)
+
+    def day_events(self, day: int) -> List[int]:
+        """Ranks that churn on ``day`` — background plus events, merged."""
+        churned = set(self._base().day_events(day)
+                      if self.daily_rate > 0.0 else [])
+        if day < 1:
+            raise ValueError("days are 1-based")
+        for event in self.events:
+            if event.day == day:
+                churned.update(event.churned_ranks(self.seed))
+        return sorted(churned)
+
+    def generations(self, days: int) -> Dict[int, int]:
+        """Cumulative churn map after ``days`` days: rank -> generation.
+
+        Order-independent: each event contributes its own generation
+        bumps on top of the background churn, so the day-``N`` world is
+        a pure function of ``(seed, events with day <= N)``.
+        """
+        counts: Dict[int, int] = dict(self._base().generations(days))
+        for event in self.events:
+            if event.day <= days:
+                for rank in event.churned_ranks(self.seed):
+                    counts[rank] = counts.get(rank, 0) + 1
+        return counts
 
 
 def world_range_digest(seed: int, start_rank: int, stop_rank: int,

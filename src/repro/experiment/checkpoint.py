@@ -91,6 +91,8 @@ def config_identity(config) -> Dict:
                        if config.fault_plan is not None else None),
         "streaming_classify": config.streaming_classify,
         "retain_messages": config.retain_messages,
+        **({"scenario": config.scenario.to_dict()}
+           if getattr(config, "scenario", None) is not None else {}),
     }
 
 
@@ -187,7 +189,12 @@ class StudyCheckpoint:
     # -- convenience views ---------------------------------------------------
 
     @staticmethod
-    def crash_attempts_from(payload: Dict) -> Dict[int, int]:
-        """The persisted study-crash attempt counters, day-keyed."""
-        return {int(day): count for day, count
+    def crash_attempts_from(payload: Dict) -> Dict[str, int]:
+        """The persisted study-crash attempt counters.
+
+        Keys are strings: ``"12"`` for a day-boundary crash spec and
+        ``"12:retrain"`` for a retrain-phase spec on day 12 (see
+        :class:`~repro.faultsim.plan.StudyCrashSpec`).
+        """
+        return {str(day): count for day, count
                 in payload["crash_attempts"].items()}

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.faultsim.plan import FaultPlan
+from repro.scenario.timeline import Scenario
 from repro.workloads.spamgen import SpamConfig
 
 __all__ = ["ExperimentConfig"]
@@ -65,6 +66,16 @@ class ExperimentConfig:
     #: path to a persisted ``repro-typo-model@1`` artifact; required
     #: whenever ``detector`` is not "funnel"
     model_path: Optional[str] = None
+    #: living-internet timeline driven alongside the study day loop
+    #: (see :mod:`repro.scenario`); None = today's static world,
+    #: byte-identical to running without a scenario at all
+    scenario: Optional[Scenario] = None
+    #: directory for the drift lifecycle's active/candidate/previous
+    #: model artifacts; defaults to ``<checkpoint>.models`` when a
+    #: checkpoint path is given.  Only consulted when the scenario
+    #: schedules ``retrain=True`` campaign events under a learned
+    #: detector
+    model_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.ham_scale <= 0 or self.spam_scale <= 0:
@@ -83,3 +94,9 @@ class ExperimentConfig:
             raise ValueError(
                 "the learned detector runs in the batch classifier; "
                 "disable streaming_classify")
+        if self.scenario is not None and any(
+                event.retrain for event in self.scenario.events) \
+                and self.detector == "funnel" and self.model_dir:
+            raise ValueError(
+                "model_dir is only meaningful when retrain events run "
+                "under a learned detector (detector != 'funnel')")

@@ -193,6 +193,40 @@ class StudyRunner:
                 from repro.learned.model import load_model
 
                 typo_model = load_model(config.model_path)
+
+            # -- living-internet scenario + drift-resilient lifecycle --------
+            scenario = config.scenario
+            scenario_driver = None
+            lifecycle = None
+            lifecycle_events: List[Dict] = []
+            if scenario is not None:
+                from repro.scenario.driver import ScenarioDriver
+
+                scenario_driver = ScenarioDriver(scenario)
+                if any(event.retrain for event in scenario.events):
+                    if typo_model is None:
+                        raise ConfigError(
+                            "the scenario schedules retrain=True campaign "
+                            "events, which drive the learned-model "
+                            "lifecycle; run with detector='learned' (or "
+                            "'both') and a trained model artifact")
+                    lifecycle_dir = config.model_dir
+                    if lifecycle_dir is None and checkpoint_path is not None:
+                        lifecycle_dir = str(checkpoint_path) + ".models"
+                    if lifecycle_dir is None:
+                        raise ConfigError(
+                            "retrain events need a directory for the "
+                            "active/candidate/previous model artifacts; "
+                            "set model_dir or run with a checkpoint path")
+                    from repro.learned.lifecycle import ModelLifecycle
+
+                    lifecycle = ModelLifecycle(lifecycle_dir,
+                                               seed=scenario.seed)
+                    # every (re)start replays the lifecycle fold from the
+                    # same initial model: promoted artifacts are pure
+                    # functions of (scenario, model), so crashed and
+                    # crash-free runs converge on identical bytes
+                    lifecycle.initialize(typo_model, overwrite=True)
             classify_context = ClassifyContext(
                 our_domains=tuple(corpus.domain_names()),
                 ip_to_domain=ClassifyContext.ip_map(infra),
@@ -226,7 +260,8 @@ class StudyRunner:
                     else "refeed" if classifier is not None else "batch")
             checkpoint: Optional[StudyCheckpoint] = None
             identity: Optional[Dict] = None
-            crash_attempts: Dict[int, int] = {}
+            # keyed "12" (day boundary) / "12:retrain" (mid-retrain phase)
+            crash_attempts: Dict[str, int] = {}
             checkpoints_written = 0
             start_day = 0
             resumed_from: Optional[int] = None
@@ -273,19 +308,51 @@ class StudyRunner:
                             state, mode, collector, retry_queue, injector,
                             generators, classifier, record_sink,
                             true_kind_by_seq)
+                    if scenario_driver is not None:
+                        saved_driver = state.get("scenario_driver")
+                        if saved_driver is not None:
+                            scenario_driver.restore_state(saved_driver)
+                        else:
+                            scenario_driver.run(start_day)
+                    if lifecycle is not None and start_day > 0:
+                        # replay completed days' lifecycle cycles (their
+                        # crash budgets are exhausted, so no hooks): the
+                        # same initial model + the same campaign windows
+                        # reproduce byte-identical promoted artifacts
+                        with perf.timer("lifecycle"):
+                            for scenario_day in range(1, start_day + 1):
+                                for event in scenario.events_on(
+                                        scenario_day):
+                                    if event.retrain:
+                                        lifecycle_events.append(
+                                            self._run_lifecycle_cycle(
+                                                lifecycle, scenario.seed,
+                                                event))
 
             for day in range(start_day, window.total_days):
+                retrain_crash = None
+                retrain_attempt = 0
                 if checkpoint is not None:
                     crash_spec = None
                     if plan is not None and any(
-                            spec.day == day for spec in plan.study_crashes):
-                        attempt = crash_attempts.get(day, 0) + 1
-                        crash_attempts[day] = attempt
+                            spec.day == day and spec.phase == "day"
+                            for spec in plan.study_crashes):
+                        attempt = crash_attempts.get(str(day), 0) + 1
+                        crash_attempts[str(day)] = attempt
                         crash_spec = plan.crash_spec_for_study_day(
                             day, attempt)
+                    if plan is not None and any(
+                            spec.day == day and spec.phase == "retrain"
+                            for spec in plan.study_crashes):
+                        key = f"{day}:retrain"
+                        retrain_attempt = crash_attempts.get(key, 0) + 1
+                        crash_attempts[key] = retrain_attempt
+                        retrain_crash = plan.crash_spec_for_study_day(
+                            day, retrain_attempt, phase="retrain")
                     interval_due = (day > start_day and day
                                     % max(1, checkpoint_interval) == 0)
-                    if interval_due or crash_spec is not None:
+                    if (interval_due or crash_spec is not None
+                            or retrain_crash is not None):
                         # a firing crash spec always forces a save (even
                         # off-interval): the persisted attempt counter is
                         # what guarantees the resumed run makes progress
@@ -295,17 +362,34 @@ class StudyRunner:
                                 self._capture_state(
                                     mode, sent, true_kind_by_seq,
                                     collector, retry_queue, injector,
-                                    generators, classifier, record_sink))
+                                    generators, classifier, record_sink,
+                                    scenario_driver))
                         checkpoints_written += 1
                     if crash_spec is not None:
                         raise InjectedStudyCrash(
                             f"injected study crash at day {day} (attempt "
-                            f"{crash_attempts[day]} of "
+                            f"{crash_attempts[str(day)]} of "
                             f"{crash_spec.failures} scheduled failures)")
                 if injector is not None:
                     injector.begin_day(day)
                 collector.begin_day(day,
                                     collecting=window.is_collecting(day))
+                if scenario_driver is not None:
+                    # scenario day N fires during study day N-1, so the
+                    # pre-day checkpoint above brackets the event boundary
+                    scenario_driver.step()
+                    if lifecycle is not None:
+                        for event in scenario.events_on(
+                                scenario_driver.day):
+                            if not event.retrain:
+                                continue
+                            with perf.timer("lifecycle"):
+                                lifecycle_events.append(
+                                    self._run_lifecycle_cycle(
+                                        lifecycle, scenario.seed, event,
+                                        crash_spec=retrain_crash,
+                                        day=day,
+                                        attempt=retrain_attempt))
                 if retry_queue is not None and len(retry_queue):
                     with perf.timer("retry"):
                         self._drain_retries(client, retry_queue,
@@ -348,7 +432,7 @@ class StudyRunner:
                         self._capture_state(
                             mode, sent, true_kind_by_seq, collector,
                             retry_queue, injector, generators,
-                            classifier, record_sink))
+                            classifier, record_sink, scenario_driver))
                 checkpoints_written += 1
             collector.set_outage(False)
             if retry_queue is not None:
@@ -359,6 +443,13 @@ class StudyRunner:
                     self._drain_retries(client, retry_queue, end_of_window)
                     retry_queue.expire_remaining(end_of_window)
 
+            # the lifecycle's final active model (a promoted candidate,
+            # or the initial artifact if every gate held/rejected) is
+            # what classifies the corpus — the whole point of healing
+            # drift before the batch detector runs
+            active_model = typo_model
+            if lifecycle is not None:
+                active_model = lifecycle.active()
             with perf.timer("classify"):
                 if classifier is not None:
                     classifier.feed(collector.drain_pending())
@@ -369,7 +460,7 @@ class StudyRunner:
                         true_kind_by_seq, perf,
                         jobs=config.classify_jobs,
                         detector=config.detector,
-                        model=typo_model)
+                        model=active_model)
         delivered = collector.stats.ingested
         cache_hits, cache_misses = memo_totals()
         perf.count("emails.sent", sent)
@@ -397,8 +488,25 @@ class StudyRunner:
                 "checkpoint_path": str(checkpoint.path),
                 "resumed_from_day": resumed_from,
                 "checkpoints_written": checkpoints_written,
-                "crash_attempts": {str(day): count for day, count
+                "crash_attempts": {str(key): count for key, count
                                    in sorted(crash_attempts.items())},
+            }
+        if scenario_driver is not None:
+            if robustness is None:
+                robustness = {}
+            robustness["scenario"] = {
+                "name": scenario.name,
+                "digest": scenario.digest(),
+                "days": scenario_driver.day,
+                "samples": [dict(sample)
+                            for sample in scenario_driver.samples],
+                "timeline_digest": scenario_driver.timeline_digest(),
+                "lifecycle": ({
+                    "events": lifecycle_events,
+                    "decisions_digest": lifecycle.decisions_digest(),
+                    "drift_digest": lifecycle.monitor().digest(),
+                    "active_digest": lifecycle.active().digest(),
+                } if lifecycle is not None else None),
             }
         snapshot = perf.snapshot(extra={
             "throughput": {
@@ -429,7 +537,8 @@ class StudyRunner:
                        injector: Optional[StudyFaultInjector],
                        generators: List,
                        classifier: Optional[StreamingClassifier],
-                       record_sink: Optional[RecordSink]) -> Dict:
+                       record_sink: Optional[RecordSink],
+                       scenario_driver=None) -> Dict:
         """The full day-boundary state block, JSON-clean.
 
         Everything that can diverge between a resumed and an
@@ -442,7 +551,7 @@ class StudyRunner:
         (resolver, SMTP client, infra wiring) are rebuilt from the
         config on resume.
         """
-        return {
+        state = {
             "mode": mode,
             "sent": sent,
             "rng": self._rng.capture_state_tree(),
@@ -463,6 +572,11 @@ class StudyRunner:
             "sink": (record_sink.state_dict()
                      if mode == "sink" else None),
         }
+        # key present only for scenario runs: checkpoint bytes for every
+        # pre-scenario configuration stay exactly what they were
+        if scenario_driver is not None:
+            state["scenario_driver"] = scenario_driver.state_dict()
+        return state
 
     def _restore_state(self, state: Dict, mode: str, collector,
                        retry_queue: Optional[RetryQueue],
@@ -506,6 +620,38 @@ class StudyRunner:
                 # classifier state exactly without persisting it
                 classifier.feed(list(collector.corpus))
         return state["sent"], retry_queue
+
+    def _run_lifecycle_cycle(self, lifecycle, seed: int, event, *,
+                             crash_spec=None, day: Optional[int] = None,
+                             attempt: int = 0) -> Dict:
+        """One retrain event's detect → retrain → gate → promote cycle.
+
+        ``crash_spec`` (a retrain-phase :class:`StudyCrashSpec`) injects
+        the in-process SIGKILL stand-in at the candidate-saved boundary
+        — after the shadow retrain persisted its candidate, before the
+        gated promote — exactly the window the resume path must heal.
+        The post-cycle live-disagreement check runs on the monitor's
+        baseline window, so a bad promote demotes itself immediately.
+        """
+        from repro.learned.lifecycle import campaign_message_window
+
+        def hook(phase: str) -> None:
+            if crash_spec is not None and phase == "candidate_saved":
+                raise InjectedStudyCrash(
+                    f"injected retrain crash at day {day} during "
+                    f"{event.name!r} (attempt {attempt} of "
+                    f"{crash_spec.failures} scheduled failures)")
+
+        window_X, window_y = campaign_message_window(
+            lifecycle.active(), seed, event.name,
+            pool_size=event.pool_size, evasion_bias=event.evasion_bias)
+        decision = lifecycle.run_cycle(event.name, window_X, window_y,
+                                       phase_hook=hook)
+        disagreement = lifecycle.check_live_disagreement(
+            lifecycle.monitor().baseline_X)
+        return {"event": event.name, "scenario_day": event.day,
+                "decision": decision.to_dict(),
+                "disagreement": disagreement}
 
     # -- internals ----------------------------------------------------------
 

@@ -213,16 +213,25 @@ class StudyCrashSpec:
     so a ``failures=N`` spec dies N times and then lets the N+1-th
     (resumed) visit proceed.  This is how the chaos lane proves
     kill→resume→identical end to end without real SIGKILLs.
+
+    ``phase`` picks the injection point inside the day: ``"day"`` (the
+    default, day start) or ``"retrain"`` — after a scenario-scheduled
+    shadow retrain has produced its candidate but before the gated
+    promote publishes, the mid-lifecycle boundary the drift-resilience
+    chaos lane kills at.
     """
 
     day: int
     failures: int = 1
+    phase: str = "day"
 
     def __post_init__(self) -> None:
         if self.day < 0:
             raise ValueError("day must be >= 0")
         if self.failures < 1:
             raise ValueError("failures must be >= 1")
+        if self.phase not in ("day", "retrain"):
+            raise ValueError(f"unknown study crash phase {self.phase!r}")
 
 
 #: the service-lane fault kinds a :class:`ServiceFaultSpell` may schedule
@@ -324,11 +333,13 @@ class FaultPlan:
 
     # -- study-day lookups ---------------------------------------------------
 
-    def crash_spec_for_study_day(self, day: int,
-                                 attempt: int) -> Optional[StudyCrashSpec]:
+    def crash_spec_for_study_day(self, day: int, attempt: int,
+                                 phase: str = "day"
+                                 ) -> Optional[StudyCrashSpec]:
         """The spec that kills this visit to ``day`` (1-based attempt)."""
         for spec in self.study_crashes:
-            if spec.day == day and attempt <= spec.failures:
+            if (spec.day == day and spec.phase == phase
+                    and attempt <= spec.failures):
                 return spec
         return None
 
@@ -358,7 +369,11 @@ class FaultPlan:
                  "hang_seconds": c.hang_seconds}
                 for c in self.shard_crashes],
             "study_crashes": [
-                {"day": c.day, "failures": c.failures}
+                # phase is emitted only when non-default so pre-existing
+                # plan digests stay stable
+                ({"day": c.day, "failures": c.failures}
+                 if c.phase == "day" else
+                 {"day": c.day, "failures": c.failures, "phase": c.phase})
                 for c in self.study_crashes],
             "service_spells": [
                 {"start_lookup": s.start_lookup,

@@ -25,6 +25,17 @@ from repro.learned.evaluate import (
     EvaluationReport,
     evaluate_model,
 )
+from repro.learned.lifecycle import (
+    DriftMonitor,
+    DriftReport,
+    GateDecision,
+    LifecycleDecision,
+    ModelLifecycle,
+    campaign_message_window,
+    gate_candidate,
+    run_drift_drill,
+    shadow_retrain,
+)
 
 __all__ = [
     "LEARNED_MODEL_FORMAT",
@@ -40,4 +51,13 @@ __all__ = [
     "CorpusEval",
     "EvaluationReport",
     "evaluate_model",
+    "DriftMonitor",
+    "DriftReport",
+    "GateDecision",
+    "LifecycleDecision",
+    "ModelLifecycle",
+    "campaign_message_window",
+    "gate_candidate",
+    "run_drift_drill",
+    "shadow_retrain",
 ]

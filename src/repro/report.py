@@ -182,11 +182,59 @@ def render_study_report(results: StudyResults) -> str:
             push("* ran uninterrupted (no resume)")
         attempts = durability.get("crash_attempts") or {}
         if attempts:
+            # keys are "12" (day boundary) or "12:retrain" (mid-retrain);
+            # sort by day first, phase second
             detail = ", ".join(f"day {day}: {count}"
                                for day, count in sorted(
                                    attempts.items(), key=lambda kv:
-                                   int(kv[0])))
+                                   (int(str(kv[0]).split(":")[0]),
+                                    str(kv[0]))))
             push(f"* injected crash attempts survived: {detail}")
+        push("")
+
+    timeline = (robustness or {}).get("scenario")
+    if timeline is not None:
+        push("## Living internet (scenario run)")
+        push("")
+        push(f"* scenario: `{timeline.get('name')}` "
+             f"(digest `{str(timeline.get('digest'))[:12]}…`), "
+             f"{timeline.get('days')} days stepped")
+        push(f"* timeline digest: "
+             f"`{str(timeline.get('timeline_digest'))[:12]}…` "
+             f"(the byte-identical replay pin)")
+        for sample in timeline.get("samples", []):
+            if not sample.get("events"):
+                continue
+            metrics = ", ".join(
+                f"{name}={value}" for name, value
+                in sorted(sample.get("metrics", {}).items()))
+            line = (f"* day {sample.get('day')}: "
+                    f"{', '.join(sample['events'])}")
+            if metrics:
+                line += f" — {metrics}"
+            push(line)
+        lifecycle = timeline.get("lifecycle")
+        if lifecycle:
+            push("* model lifecycle "
+                 f"(active `{str(lifecycle.get('active_digest'))[:12]}…`, "
+                 f"decisions "
+                 f"`{str(lifecycle.get('decisions_digest'))[:12]}…`):")
+            for entry in lifecycle.get("events", []):
+                decision = entry.get("decision", {})
+                drift = decision.get("drift", {})
+                detail = (f"drift {drift.get('drift_score', 0):.3f}"
+                          f" → {decision.get('action')}")
+                gate = decision.get("gate")
+                if gate:
+                    detail += (f" (held-out recall "
+                               f"{gate.get('incumbent_recall', 0):.3f}"
+                               f" → {gate.get('candidate_recall', 0):.3f})")
+                disagreement = entry.get("disagreement", {})
+                if disagreement.get("rolled_back"):
+                    detail += "; live disagreement spiked — rolled back"
+                push(f"  * `{entry.get('event')}` "
+                     f"(scenario day {entry.get('scenario_day')}): "
+                     f"{detail}")
         push("")
 
     perf = results.perf

@@ -1,0 +1,27 @@
+"""Living-internet scenarios: seeded event timelines + the step driver.
+
+``Scenario`` is the persistable artifact (``repro-scenario@1``),
+``EcosystemEvent`` the typed events it sequences, ``ScenarioDriver`` the
+step/auto-run loop that walks the timeline and samples observation
+metrics at event boundaries.  Every draw downstream of a scenario is a
+pure hash of ``(seed, event, day)``, so ``(seed, scenario)`` replays
+byte-identically at any ``--jobs``.
+"""
+
+from repro.scenario.driver import BUILTIN_METRICS, ScenarioDriver
+from repro.scenario.events import EVENT_KINDS, EcosystemEvent
+from repro.scenario.timeline import (
+    SCENARIO_FORMAT,
+    Scenario,
+    drift_drill_scenario,
+)
+
+__all__ = [
+    "BUILTIN_METRICS",
+    "EVENT_KINDS",
+    "SCENARIO_FORMAT",
+    "EcosystemEvent",
+    "Scenario",
+    "ScenarioDriver",
+    "drift_drill_scenario",
+]

@@ -1,0 +1,139 @@
+"""Typed ecosystem events for living-internet scenarios.
+
+A scenario is a seeded timeline of :class:`EcosystemEvent`s — the
+discrete things that happen to the email-typosquatting ecosystem while a
+study runs:
+
+* ``churn_burst`` — a registration/expiration/re-registration wave over
+  a rank window (a registrar sweep, a bulk drop-catch).  Each rank in
+  the window churns independently with probability ``rate``.
+* ``squatter_campaign`` — an adaptive squatter cohort re-weights its
+  typo model against the deployed detector: the campaign draws a pool
+  of candidate lure messages, scores them with the incumbent model, and
+  preferentially keeps the ones that *evade* it (``evasion_bias``
+  controls how aggressively).  With ``retrain=True`` the campaign also
+  schedules the drift-resilient model lifecycle (monitor → shadow
+  retrain → gated promote/rollback) at the event boundary.
+* ``defensive_registration`` — head targets defensively register their
+  own typo space over ``[rank_lo, rank_hi]``; the affected ranks churn
+  (their typo grids re-roll under defensive ownership pressure) and are
+  recorded as *defended* for observation metrics.
+
+Every event is a pure value object; all randomness it implies is drawn
+downstream as hashes of ``(scenario seed, event name, rank/day)``, never
+from mutable RNG state — so a (seed, scenario) pair replays
+byte-identically at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.errors import ConfigError
+
+__all__ = ["EVENT_KINDS", "EcosystemEvent"]
+
+#: the closed set of event kinds the driver understands
+EVENT_KINDS: Tuple[str, ...] = (
+    "churn_burst",
+    "squatter_campaign",
+    "defensive_registration",
+)
+
+
+@dataclass(frozen=True)
+class EcosystemEvent:
+    """One typed scenario event, applied at the start of ``day``.
+
+    ``day`` is 1-based and relative to the study/scenario start.  The
+    rank window ``[rank_lo, rank_hi]`` is inclusive; ``rate`` is the
+    per-rank churn probability for world-touching kinds.  Campaign
+    events add ``pool_size`` (how many candidate lure messages the
+    cohort drafts), ``evasion_bias`` (the fraction of the kept window
+    biased toward detector-evading drafts), and ``retrain`` (whether
+    the defender's model lifecycle runs at this boundary).
+    """
+
+    kind: str
+    day: int
+    name: str
+    rank_lo: int = 1
+    rank_hi: int = 1
+    rate: float = 0.0
+    pool_size: int = 0
+    evasion_bias: float = 0.0
+    retrain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigError(
+                f"unknown scenario event kind {self.kind!r}; "
+                f"expected one of {', '.join(EVENT_KINDS)}")
+        if not self.name:
+            raise ConfigError("scenario event name must be non-empty")
+        if self.day < 1:
+            raise ConfigError("scenario event days are 1-based")
+        if self.rank_lo < 1 or self.rank_hi < self.rank_lo:
+            raise ConfigError("need 1 <= rank_lo <= rank_hi")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError("event rate must be in [0, 1]")
+        if self.pool_size < 0:
+            raise ConfigError("pool_size must be non-negative")
+        if not 0.0 <= self.evasion_bias <= 1.0:
+            raise ConfigError("evasion_bias must be in [0, 1]")
+        if self.kind == "squatter_campaign" and self.pool_size == 0:
+            raise ConfigError(
+                "squatter_campaign events need pool_size > 0")
+
+    @property
+    def touches_world(self) -> bool:
+        """Whether this event churns world ranks (re-keys typo grids)."""
+        return self.kind in ("churn_burst", "defensive_registration") \
+            and self.rate > 0.0
+
+    def churned_ranks(self, seed: int) -> List[int]:
+        """Ranks this event churns under ``seed`` — the same hash law
+        the compiled :class:`~repro.ecosystem.delta.WorldEvent` uses,
+        so driver bookkeeping and world evolution always agree."""
+        from repro.ecosystem.delta import WorldEvent
+
+        if not self.touches_world:
+            return []
+        return WorldEvent(name=self.name, day=self.day,
+                          rank_lo=self.rank_lo, rank_hi=self.rank_hi,
+                          rate=self.rate).churned_ranks(seed)
+
+    def to_dict(self) -> Dict:
+        """JSON-clean projection (stable key order via canonical dump)."""
+        return {
+            "kind": self.kind,
+            "day": self.day,
+            "name": self.name,
+            "rank_lo": self.rank_lo,
+            "rank_hi": self.rank_hi,
+            "rate": self.rate,
+            "pool_size": self.pool_size,
+            "evasion_bias": self.evasion_bias,
+            "retrain": self.retrain,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EcosystemEvent":
+        """Inverse of :meth:`to_dict`; unknown kinds raise ConfigError."""
+        if not isinstance(payload, dict):
+            raise ConfigError("scenario event must be an object")
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                day=int(payload["day"]),
+                name=str(payload["name"]),
+                rank_lo=int(payload.get("rank_lo", 1)),
+                rank_hi=int(payload.get("rank_hi", 1)),
+                rate=float(payload.get("rate", 0.0)),
+                pool_size=int(payload.get("pool_size", 0)),
+                evasion_bias=float(payload.get("evasion_bias", 0.0)),
+                retrain=bool(payload.get("retrain", False)))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(
+                f"malformed scenario event ({error})") from error

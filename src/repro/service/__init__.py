@@ -19,6 +19,7 @@ from repro.service.bench import (
     ChaosBenchResult,
     ParityError,
     ServeBenchResult,
+    record_drift_resilience,
     record_query_service,
     record_service_chaos,
     run_serve_bench,
@@ -74,4 +75,5 @@ __all__ = [
     "ChaosBenchResult",
     "run_serve_chaos_bench",
     "record_service_chaos",
+    "record_drift_resilience",
 ]

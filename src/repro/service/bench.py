@@ -450,3 +450,10 @@ def record_learned_detector(entry: Dict,
     """Fold a learned-detector entry into BENCH_perf.json's
     ``learned_detector``."""
     return _record_bench_section(entry, path, "learned_detector")
+
+
+def record_drift_resilience(entry: Dict,
+                            path: Union[str, Path]) -> Dict:
+    """Fold a drift-drill entry into BENCH_perf.json's
+    ``drift_resilience``."""
+    return _record_bench_section(entry, path, "drift_resilience")

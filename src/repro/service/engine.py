@@ -283,6 +283,8 @@ class RiskEngine:
         self._hits = 0
         self._misses = 0
         self._epoch = index.epoch
+        #: bumped once per swap_model publish (lifecycle promotes)
+        self.model_epoch = 0
         self.perf = perf
         #: review-band verdicts awaiting a human, most recent last
         self.review_queue: Deque[RiskVerdict] = deque(maxlen=review_limit)
@@ -411,6 +413,28 @@ class RiskEngine:
         self.clear_verdict_memo()
         self._epoch = new_index.epoch
         return changed
+
+    def swap_model(self, model) -> int:
+        """Publish a new learned model (the lifecycle's promote hook).
+
+        Single attribute assignment plus exactly one memo flush —
+        verdicts memoized under the old model must not outlive it, but
+        the world index, its epoch, and the engine's layered config are
+        untouched (the drift lifecycle swaps models without re-churning
+        the world).  ``model_epoch`` counts publishes so tests can pin
+        "exactly one invalidation per swap".  A no-op swap (same object)
+        keeps the warm memo.
+        """
+        if model is self.model:
+            return self.model_epoch
+        if self.scorer == "learned" and model is None:
+            from repro.util.errors import ConfigError
+            raise ConfigError("scorer='learned' cannot swap to a null "
+                              "model")
+        self.model = model
+        self.clear_verdict_memo()
+        self.model_epoch += 1
+        return self.model_epoch
 
     def cache_stats(self) -> Dict[str, int]:
         """Verdict-memo counters; reset alongside the memo.

@@ -273,7 +273,8 @@ class ResilientServer:
             blocklist=tuple(sorted(engine._block)),
             plan=self.plan, offset=base + low,
             admission=self.admission.policy, health=self.health_policy,
-            queries=tuple(work[low:low + step]))
+            queries=tuple(work[low:low + step]),
+            scorer=engine.scorer, model=engine.model)
             for low in range(0, len(work), step)]
         shards = parallel_map(run_chaos_shard, tasks, jobs=jobs,
                               perf=self.perf)
@@ -435,6 +436,10 @@ class ChaosShardTask:
     admission: AdmissionPolicy
     health: HealthPolicy
     queries: Tuple[str, ...]
+    #: learned-scorer plumbing (PR 8 predates the learned lane): the
+    #: model is pure numpy dataclasses, so it ships to workers intact
+    scorer: str = "rules"
+    model: object = None
 
 
 def run_chaos_shard(task: ChaosShardTask) -> List[RiskVerdict]:
@@ -451,7 +456,8 @@ def run_chaos_shard(task: ChaosShardTask) -> List[RiskVerdict]:
                           churn=dict(task.churn), day=task.day)
     engine = RiskEngine(index, policy=task.policy,
                         allowlist=task.allowlist,
-                        blocklist=task.blocklist)
+                        blocklist=task.blocklist,
+                        scorer=task.scorer, model=task.model)
     server = ResilientServer(engine, task.plan,
                              admission=task.admission, health=task.health)
     server.fast_forward(task.offset)

@@ -1,0 +1,206 @@
+"""Chaos serving × the learned scorer × scenario-event hot swaps.
+
+Satellite contracts on the PR-8/PR-9 seam: a ``scorer="learned"``
+engine behind the chaos layer keeps every resilience invariant the
+rules engine pins (byte-identical fan-out, all lanes labeled, zero
+drops, faults never raise); a lifecycle ``swap_model`` publish
+invalidates the verdict memo exactly once and never on a no-op; and a
+scenario event replayed through ``hot_swap`` bumps the memo epoch
+exactly once per event while re-served verdicts stay correct and
+labeled.
+"""
+
+import pytest
+
+from repro.faultsim import FaultPlan, ServiceFaultSpell
+from repro.learned import shadow_retrain, train_typo_model
+from repro.learned.lifecycle import campaign_message_window
+from repro.scenario import drift_drill_scenario
+from repro.service import (
+    LookupWorkload,
+    ResilientServer,
+    RiskEngine,
+    TypoRiskIndex,
+    verdict_stream_digest,
+)
+from repro.util.errors import ConfigError
+
+pytestmark = pytest.mark.chaos
+
+SEED = 707
+MAX_RANK = 700
+LOOKUPS = 2500
+
+DEMO_PLAN = FaultPlan.service_chaos_demo(seed=SEED, lookups=LOOKUPS)
+
+
+@pytest.fixture(scope="module")
+def model():
+    trained, _ = train_typo_model(SEED, ranks=300, dataset_size=40)
+    return trained
+
+
+@pytest.fixture(scope="module")
+def queries():
+    index = TypoRiskIndex(SEED, MAX_RANK)
+    workload = LookupWorkload(SEED, MAX_RANK, pool_size=192,
+                              world=index.world)
+    return list(workload.queries(LOOKUPS))
+
+
+def learned_engine(model, *, churn=None, day=0):
+    index = TypoRiskIndex(SEED, MAX_RANK, churn=churn or {}, day=day)
+    return RiskEngine(index, scorer="learned", model=model)
+
+
+def serve(model, plan, queries, *, jobs=None):
+    server = ResilientServer(learned_engine(model), plan)
+    verdicts = server.batch_lookup(queries, jobs=jobs)
+    return server, verdicts
+
+
+class TestLearnedChaosReplay:
+    def test_fanout_is_byte_identical_to_serial(self, model, queries):
+        serial_server, serial = serve(model, DEMO_PLAN, queries)
+        fanned_server, fanned = serve(model, DEMO_PLAN, queries, jobs=2)
+        assert [v.canonical_json() for v in fanned] == \
+            [v.canonical_json() for v in serial]
+        assert fanned_server.report() == serial_server.report()
+
+    def test_every_lane_answers_and_nothing_drops(self, model, queries):
+        server, verdicts = serve(model, DEMO_PLAN, queries)
+        sources = {v.source for v in verdicts}
+        assert {"scorer", "degraded", "rules_only", "shed"} <= sources
+        assert len(verdicts) == len(queries)
+        assert server.stats.answered == len(queries)
+
+    def test_empty_plan_is_pinned_to_the_plain_learned_engine(
+            self, model, queries):
+        baseline = verdict_stream_digest(
+            learned_engine(model).lookup(q) for q in queries[:800])
+        server = ResilientServer(learned_engine(model))
+        assert verdict_stream_digest(
+            server.lookup(q) for q in queries[:800]) == baseline
+
+    def test_error_burst_trips_the_breaker_without_raising(self, model,
+                                                           queries):
+        plan = FaultPlan(seed=SEED, service_spells=(
+            ServiceFaultSpell(100, 400, "index_error", probability=1.0),))
+        server, verdicts = serve(model, plan, queries[:800])
+        health = server.report()["health"]
+        assert health["tripped"] == 2
+        assert [t[2] for t in health["transitions"]][:2] == \
+            ["degraded", "rules_only"]
+        assert any(v.source == "rules_only" for v in verdicts)
+
+
+class TestModelSwapInvalidation:
+    """``swap_model`` is the lifecycle's promote hook into the engine:
+    one memo flush per publish, none on a no-op."""
+
+    @pytest.fixture()
+    def candidate(self, model):
+        window_X, window_y = campaign_message_window(
+            model, SEED, "adaptive-campaign", pool_size=400,
+            evasion_bias=0.9)
+        return shadow_retrain(model, SEED, "adaptive-campaign",
+                              window_X, window_y)
+
+    def test_swap_clears_the_memo_exactly_once(self, model, candidate,
+                                               queries):
+        engine = learned_engine(model)
+        for query in queries[:200]:
+            engine.lookup(query)
+        assert engine.cache_stats()["size"] > 0
+        assert engine.model_epoch == 0
+        assert engine.swap_model(candidate) == 1
+        assert engine.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+        # the world did not move: only the model epoch advances
+        assert engine.index.epoch == learned_engine(model).index.epoch
+
+    def test_noop_swap_keeps_the_warm_memo(self, model, queries):
+        engine = learned_engine(model)
+        for query in queries[:100]:
+            engine.lookup(query)
+        warm = engine.cache_stats()
+        assert engine.swap_model(model) == 0
+        assert engine.cache_stats() == warm
+
+    def test_post_swap_verdicts_match_a_fresh_candidate_engine(
+            self, model, candidate, queries):
+        engine = learned_engine(model)
+        for query in queries[:150]:
+            engine.lookup(query)
+        engine.swap_model(candidate)
+        fresh = learned_engine(candidate)
+        assert [engine.lookup(q).canonical_json()
+                for q in queries[:150]] == \
+            [fresh.lookup(q).canonical_json() for q in queries[:150]]
+
+    def test_swap_to_null_model_is_rejected(self, model):
+        engine = learned_engine(model)
+        with pytest.raises(ConfigError, match="null"):
+            engine.swap_model(None)
+
+
+class TestScenarioEventHotSwap:
+    """Replaying a scenario's churn + defensive-registration day through
+    ``hot_swap`` bumps the verdict-memo epoch exactly once per event
+    boundary; re-served verdicts stay correct and labeled."""
+
+    @pytest.fixture(scope="class")
+    def evolution(self):
+        return drift_drill_scenario(SEED, max_rank=MAX_RANK) \
+            .world_evolution()
+
+    def test_event_day_bumps_the_epoch_exactly_once(self, model,
+                                                    evolution, queries):
+        engine = learned_engine(model)
+        for query in queries[:300]:
+            engine.lookup(query)
+        assert engine.cache_stats()["size"] > 0
+        epoch_before = engine.index.epoch
+        changed = engine.hot_swap(evolution, day=1)
+        assert changed > 0
+        assert engine.index.epoch == epoch_before + 1
+        assert engine.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_replaying_the_same_day_is_a_noop(self, model, evolution,
+                                              queries):
+        engine = learned_engine(model)
+        engine.hot_swap(evolution, day=1)
+        for query in queries[:100]:
+            engine.lookup(query)
+        warm = engine.cache_stats()
+        epoch = engine.index.epoch
+        assert engine.hot_swap(evolution, day=1) == 0
+        assert engine.index.epoch == epoch
+        assert engine.cache_stats() == warm
+
+    def test_post_event_verdicts_match_an_engine_born_evolved(
+            self, model, evolution, queries):
+        engine = learned_engine(model)
+        for query in queries[:200]:
+            engine.lookup(query)
+        engine.hot_swap(evolution, day=1)
+        born = learned_engine(model, churn=evolution.generations(1),
+                              day=1)
+        assert [engine.lookup(q).canonical_json()
+                for q in queries[:200]] == \
+            [born.lookup(q).canonical_json() for q in queries[:200]]
+
+    def test_two_generation_memo_survives_the_event(self, model,
+                                                    evolution, queries):
+        engine = learned_engine(model)
+        engine.hot_swap(evolution, day=1)
+        first = [engine.lookup(q) for q in queries[:150]]
+        warm = engine.cache_stats()
+        # memory pressure mid-event drops only the old generation; the
+        # repeat stream stays all-hits with identical labeled verdicts
+        engine.shrink_memo()
+        again = [engine.lookup(q) for q in queries[:150]]
+        assert [v.canonical_json() for v in again] == \
+            [v.canonical_json() for v in first]
+        stats = engine.cache_stats()
+        assert stats["hits"] == warm["hits"] + len(queries[:150])
+        assert stats["misses"] == warm["misses"]

@@ -160,7 +160,7 @@ class TestCoverageAcrossResume:
 class TestCheckpointFileDiscipline:
     def _dummy_save(self, path, identity=None, next_day=3):
         checkpoint = StudyCheckpoint(path)
-        checkpoint.save(identity or {"seed": 1}, next_day, {2: 1},
+        checkpoint.save(identity or {"seed": 1}, next_day, {"2": 1},
                         {"mode": "batch", "sent": 7})
         return checkpoint
 
@@ -169,7 +169,7 @@ class TestCheckpointFileDiscipline:
         self._dummy_save(path)
         payload = StudyCheckpoint(path).load({"seed": 1})
         assert payload["next_day"] == 3
-        assert StudyCheckpoint.crash_attempts_from(payload) == {2: 1}
+        assert StudyCheckpoint.crash_attempts_from(payload) == {"2": 1}
 
     def test_missing_file_is_corrupt_error(self, tmp_path):
         with pytest.raises(CheckpointCorruptError):

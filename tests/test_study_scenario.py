@@ -1,0 +1,152 @@
+"""Scenario-driven studies: living internet + drift lifecycle in the loop.
+
+Satellite contracts at the experiment layer: a ``study --scenario`` run
+drives the scenario timeline and the model lifecycle alongside the day
+loop and reports both; killing it mid-event and mid-retrain heals to a
+byte-identical record stream (at any ``classify_jobs``); an *empty*
+scenario is pinned byte-identical to running without one; and the
+checkpoint identity gains a scenario key only for scenario runs, so
+every pre-scenario checkpoint stays loadable.
+"""
+
+import pytest
+
+from repro.experiment import (
+    ExperimentConfig,
+    StudyRunner,
+    config_identity,
+    record_stream_digest,
+    run_durable_study,
+)
+from repro.faultsim.plan import FaultPlan, StudyCrashSpec
+from repro.learned import save_model, train_typo_model
+from repro.scenario import Scenario, ScenarioDriver, drift_drill_scenario
+from repro.util.errors import ConfigError
+
+CHEAP = dict(seed=41, spam_scale=1e-5, ham_scale=0.5, outage_spans=())
+
+#: the retrain campaign lands on scenario day 2, which fires during
+#: study day 1; day 5 is a plain mid-event day boundary
+CRASHES = (StudyCrashSpec(day=1, failures=1, phase="retrain"),
+           StudyCrashSpec(day=5, failures=1))
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory):
+    model, _ = train_typo_model(41, ranks=300, dataset_size=40)
+    path = tmp_path_factory.mktemp("model") / "model.json"
+    save_model(model, str(path))
+    return model, str(path)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return drift_drill_scenario(41)
+
+
+@pytest.fixture(scope="module")
+def baseline(model_file, scenario, tmp_path_factory):
+    """Uninterrupted scenario study — the byte-identity reference."""
+    _, path = model_file
+    config = ExperimentConfig(
+        **CHEAP, detector="learned", model_path=path, scenario=scenario,
+        model_dir=str(tmp_path_factory.mktemp("baseline-models")))
+    return StudyRunner(config).run()
+
+
+class TestScenarioStudy:
+    def test_scenario_report_carries_the_timeline(self, baseline,
+                                                  scenario):
+        report = baseline.robustness["scenario"]
+        assert report["name"] == scenario.name
+        assert report["digest"] == scenario.digest()
+        assert report["days"] > scenario.last_event_day()
+        fired = [name for sample in report["samples"]
+                 for name in sample["events"]]
+        assert fired == ["burst-tail", "defend-head", "adaptive-campaign"]
+        assert all(sample["metrics"] for sample in report["samples"])
+
+    def test_study_timeline_matches_the_standalone_driver(self, baseline,
+                                                          scenario):
+        report = baseline.robustness["scenario"]
+        driver = ScenarioDriver(scenario)
+        driver.run(report["days"])
+        assert report["timeline_digest"] == driver.timeline_digest()
+
+    def test_campaign_trips_and_promotes_in_the_loop(self, baseline,
+                                                     model_file):
+        model, _ = model_file
+        lifecycle = baseline.robustness["scenario"]["lifecycle"]
+        (event,) = lifecycle["events"]
+        assert event["event"] == "adaptive-campaign"
+        assert event["decision"]["action"] == "promote"
+        assert event["decision"]["drift"]["tripped"]
+        gate = event["decision"]["gate"]
+        assert gate["candidate_recall"] > gate["incumbent_recall"]
+        # the promoted model classifies the rest of the study
+        assert lifecycle["active_digest"] != model.digest()
+        assert lifecycle["active_digest"] == \
+            event["decision"]["active_digest"]
+
+    @pytest.mark.chaos
+    def test_kill_mid_retrain_and_mid_event_heals_identically(
+            self, tmp_path, baseline, model_file, scenario):
+        _, path = model_file
+        config = ExperimentConfig(
+            **CHEAP, detector="learned", model_path=path,
+            scenario=scenario, classify_jobs=2,
+            fault_plan=FaultPlan(seed=7, study_crashes=CRASHES))
+        outcome = run_durable_study(config, tmp_path / "study.ckpt",
+                                    checkpoint_interval=25)
+        assert outcome.restarts == 2
+        assert (record_stream_digest(outcome.results.records)
+                == record_stream_digest(baseline.records))
+        durability = outcome.results.robustness["durability"]
+        assert durability["crash_attempts"] == {"1:retrain": 2, "5": 2}
+        # the scenario + lifecycle trajectory healed byte-identically too
+        assert outcome.results.robustness["scenario"] == \
+            baseline.robustness["scenario"]
+
+
+class TestEmptyScenarioPin:
+    def test_empty_scenario_is_byte_identical_to_none(self):
+        static = StudyRunner(ExperimentConfig(**CHEAP)).run()
+        empty = Scenario(seed=41, name="static", max_rank=2000)
+        wired = StudyRunner(
+            ExperimentConfig(**CHEAP, scenario=empty)).run()
+        assert (record_stream_digest(wired.records)
+                == record_stream_digest(static.records))
+        report = wired.robustness["scenario"]
+        assert report["lifecycle"] is None
+        assert all(sample["events"] == [] for sample in report["samples"])
+        assert "scenario" not in (static.robustness or {})
+
+
+class TestScenarioConfigContracts:
+    def test_identity_gains_a_key_only_for_scenario_runs(self, scenario):
+        plain = config_identity(ExperimentConfig(**CHEAP))
+        wired = config_identity(
+            ExperimentConfig(**CHEAP, scenario=scenario))
+        assert "scenario" not in plain
+        assert wired["scenario"] == scenario.to_dict()
+        assert {k: v for k, v in wired.items() if k != "scenario"} == \
+            plain
+
+    def test_retrain_events_need_a_learned_detector(self, scenario):
+        config = ExperimentConfig(**CHEAP, scenario=scenario)
+        with pytest.raises(ConfigError, match="retrain=True"):
+            StudyRunner(config).run()
+
+    def test_retrain_events_need_a_model_directory(self, model_file,
+                                                   scenario):
+        _, path = model_file
+        config = ExperimentConfig(**CHEAP, detector="learned",
+                                  model_path=path, scenario=scenario)
+        with pytest.raises(ConfigError, match="model_dir"):
+            StudyRunner(config).run()
+
+    def test_model_dir_without_learned_detector_is_rejected(self,
+                                                            scenario):
+        with pytest.raises(ValueError, match="model_dir"):
+            ExperimentConfig(**CHEAP, scenario=scenario,
+                             model_dir="somewhere")
